@@ -1,0 +1,209 @@
+//! Broadcast + blocking migration (ChaRM / Dynamite).
+//!
+//! §7: "Dynamite broadcasts new location information of the migrating
+//! process to every host in the virtual machine, while ChaRM broadcasts
+//! the new location to every other process in a distributed
+//! application. … The needs for broadcast mechanisms in these systems
+//! severely limit their applicability in a large distributed
+//! environment." ChaRM additionally buffers ("delays") messages headed
+//! to the migrating process until a second broadcast announces
+//! completion.
+//!
+//! This module implements that scheme: a migration manager freezes
+//! senders by broadcast, senders buffer outbound traffic to the
+//! migrant, the mailbox moves, and a second broadcast unfreezes and
+//! flushes. Control-message count is inherently Θ(N) per migration.
+
+use crate::Metrics;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::thread;
+
+/// Control traffic of the migration manager.
+#[derive(Debug)]
+enum Ctl {
+    /// Stop sending to the migrant; buffer instead. Ack required.
+    Freeze,
+    /// New address for the migrant; flush buffers. Ack required.
+    Update(Sender<u64>),
+}
+
+/// One sender process: emits `msgs` sequence numbers to the migrant,
+/// obeying freeze/update broadcasts between messages.
+fn sender_thread(
+    mut dest: Sender<u64>,
+    ctl: Receiver<Ctl>,
+    ack: Sender<()>,
+    msgs: u64,
+    base: u64,
+) -> (u64, u64) {
+    // Returns (sent, max_buffered).
+    let mut buffer: Vec<u64> = Vec::new();
+    let mut frozen = false;
+    let mut max_buffered = 0u64;
+    let mut sent = 0u64;
+    for i in 0..msgs {
+        // Poll control between application sends.
+        while let Ok(c) = ctl.try_recv() {
+            match c {
+                Ctl::Freeze => {
+                    frozen = true;
+                    ack.send(()).unwrap();
+                }
+                Ctl::Update(new_dest) => {
+                    dest = new_dest;
+                    for m in buffer.drain(..) {
+                        let _ = dest.send(m);
+                        sent += 1;
+                    }
+                    frozen = false;
+                    ack.send(()).unwrap();
+                }
+            }
+        }
+        let m = base + i;
+        if frozen {
+            buffer.push(m);
+            max_buffered = max_buffered.max(buffer.len() as u64);
+        } else {
+            let _ = dest.send(m);
+            sent += 1;
+        }
+    }
+    // Application sends are done, but the process must keep servicing
+    // the migration protocol until the manager hangs up — otherwise the
+    // freeze/update broadcast would race its exit.
+    while let Ok(c) = ctl.recv() {
+        match c {
+            Ctl::Freeze => {
+                frozen = true;
+                ack.send(()).unwrap();
+            }
+            Ctl::Update(new_dest) => {
+                dest = new_dest;
+                for m in buffer.drain(..) {
+                    let _ = dest.send(m);
+                    sent += 1;
+                }
+                frozen = false;
+                ack.send(()).unwrap();
+            }
+        }
+    }
+    let _ = frozen;
+    (sent, max_buffered)
+}
+
+/// Outcome of [`run_broadcast_demo`] beyond the common metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BroadcastOutcome {
+    /// Messages each sender had to buffer at peak.
+    pub peak_buffered: u64,
+    /// Application messages delivered to the migrant.
+    pub delivered: u64,
+}
+
+/// Run one ChaRM-style migration among `n_senders` senders, each
+/// emitting `msgs_per_sender` messages while the migration happens.
+pub fn run_broadcast_demo(n_senders: usize, msgs_per_sender: u64) -> (Metrics, BroadcastOutcome) {
+    let (old_tx, old_rx) = unbounded::<u64>();
+    let (ack_tx, ack_rx) = unbounded::<()>();
+    let mut ctls: Vec<Sender<Ctl>> = Vec::new();
+    let mut joins = Vec::new();
+    for s in 0..n_senders {
+        let (ctl_tx, ctl_rx) = unbounded();
+        ctls.push(ctl_tx);
+        let dest = old_tx.clone();
+        let ack = ack_tx.clone();
+        joins.push(thread::spawn(move || {
+            sender_thread(dest, ctl_rx, ack, msgs_per_sender, (s as u64) << 32)
+        }));
+    }
+    drop(old_tx);
+
+    let mut control_msgs = 0u64;
+    // Phase 1: freeze broadcast + acks (ChaRM's pre-migration signal).
+    for c in &ctls {
+        c.send(Ctl::Freeze).unwrap();
+        control_msgs += 1;
+    }
+    for _ in &ctls {
+        ack_rx.recv().unwrap();
+        control_msgs += 1;
+    }
+    // Migration: move the mailbox.
+    let (new_tx, new_rx) = unbounded::<u64>();
+    // Phase 2: location-update broadcast + acks, buffers flush.
+    for c in &ctls {
+        c.send(Ctl::Update(new_tx.clone())).unwrap();
+        control_msgs += 1;
+    }
+    for _ in &ctls {
+        ack_rx.recv().unwrap();
+        control_msgs += 1;
+    }
+    drop(new_tx);
+    // Hang up the control channels so sender tails observe disconnect.
+    drop(ctls);
+
+    let mut peak = 0u64;
+    for j in joins {
+        let (_sent, buffered) = j.join().unwrap();
+        peak = peak.max(buffered);
+    }
+    // Everything sent pre-freeze sits in the old mailbox and must be
+    // drained by the migrant before the move (counted as delivered).
+    let delivered = old_rx.try_iter().count() as u64 + new_rx.try_iter().count() as u64;
+
+    (
+        Metrics {
+            coordination_msgs: control_msgs,
+            processes_disturbed: n_senders as u64 + 1,
+            post_migration_extra_hops: 0.0,
+            blocked_messages: peak,
+            residual_dependency: false,
+            state_bytes_moved: 0,
+        },
+        BroadcastOutcome {
+            peak_buffered: peak,
+            delivered,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_traffic_is_linear_in_world_size() {
+        let (m4, _) = run_broadcast_demo(4, 50);
+        let (m8, _) = run_broadcast_demo(8, 50);
+        assert_eq!(m4.coordination_msgs, 4 * 4);
+        assert_eq!(m8.coordination_msgs, 4 * 8);
+        assert_eq!(m8.processes_disturbed, 9);
+    }
+
+    #[test]
+    fn no_message_loss_across_the_move() {
+        let (_, out) = run_broadcast_demo(3, 100);
+        assert_eq!(out.delivered, 300);
+    }
+
+    #[test]
+    fn senders_buffer_while_frozen() {
+        // With many messages per sender, some sends must land in the
+        // frozen window and get buffered.
+        let (m, out) = run_broadcast_demo(2, 2000);
+        assert_eq!(out.delivered, 4000);
+        // Peak buffering is timing-dependent but the window exists; we
+        // only assert the accounting is consistent.
+        assert_eq!(m.blocked_messages, out.peak_buffered);
+    }
+
+    #[test]
+    fn single_sender_edge_case() {
+        let (m, out) = run_broadcast_demo(1, 10);
+        assert_eq!(m.coordination_msgs, 4);
+        assert_eq!(out.delivered, 10);
+    }
+}

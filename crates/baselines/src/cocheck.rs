@@ -1,0 +1,232 @@
+//! Coordinated checkpointing migration (CoCheck on Chandy–Lamport).
+//!
+//! §7: CoCheck migrates by intentionally "crashing" a process and
+//! restarting it from the last *globally consistent* checkpoint, built
+//! with Chandy & Lamport's snapshot algorithm \[28\]. The price the paper
+//! calls out: "coordination of all processes that are directly or
+//! indirectly connected to the migrating process, and blocking off
+//! communication among these processes during checkpointing".
+//!
+//! This module is a working Chandy–Lamport snapshot over a full message
+//! mesh, plus the CoCheck-style migration driver on top. Every process
+//! records its state; markers flood every channel (N·(N−1) of them);
+//! the migrating process is then restarted from its recorded state.
+
+use crate::Metrics;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::HashMap;
+use std::thread;
+
+/// Traffic on a mesh channel: application payloads or snapshot markers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    /// Application payload.
+    App(u64),
+    /// Chandy–Lamport marker.
+    Marker,
+}
+
+/// One process's recorded snapshot.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LocalSnapshot {
+    /// Local state: the application counter value at recording time.
+    pub state: u64,
+    /// In-transit messages recorded per inbound channel.
+    pub channel_state: HashMap<usize, Vec<u64>>,
+    /// Markers this process received.
+    pub markers_seen: u64,
+}
+
+struct Proc {
+    rank: usize,
+    n: usize,
+    txs: Vec<Sender<(usize, Msg)>>,
+    rx: Receiver<(usize, Msg)>,
+    counter: u64,
+    recording: bool,
+    /// Channels (by source) that have delivered their marker.
+    marker_from: Vec<bool>,
+    snap: LocalSnapshot,
+}
+
+impl Proc {
+    fn send_app(&mut self, to: usize, v: u64) {
+        let _ = self.txs[to].send((self.rank, Msg::App(v)));
+    }
+
+    fn begin_snapshot(&mut self) {
+        // Record local state, then flood markers on every outgoing
+        // channel (the CL rule).
+        self.recording = true;
+        self.snap.state = self.counter;
+        for to in 0..self.n {
+            if to != self.rank {
+                let _ = self.txs[to].send((self.rank, Msg::Marker));
+            }
+        }
+    }
+
+    /// Run until the snapshot is complete (a marker received on every
+    /// inbound channel), processing application traffic along the way.
+    fn run_until_snapshot_done(&mut self) -> LocalSnapshot {
+        while !self.marker_from.iter().enumerate().all(|(s, done)| {
+            s == self.rank || *done
+        }) {
+            let (from, msg) = self.rx.recv().expect("mesh peers alive");
+            match msg {
+                Msg::Marker => {
+                    self.snap.markers_seen += 1;
+                    if !self.recording {
+                        self.begin_snapshot();
+                    }
+                    self.marker_from[from] = true;
+                }
+                Msg::App(v) => {
+                    self.counter = self.counter.wrapping_add(v);
+                    if self.recording && !self.marker_from[from] {
+                        // In-transit on this channel: part of the
+                        // channel state.
+                        self.snap
+                            .channel_state
+                            .entry(from)
+                            .or_default()
+                            .push(v);
+                    }
+                }
+            }
+        }
+        self.snap.clone()
+    }
+}
+
+/// Result of one CoCheck-style migration.
+#[derive(Debug)]
+pub struct CocheckOutcome {
+    /// Every process's snapshot (globally consistent cut).
+    pub snapshots: Vec<LocalSnapshot>,
+    /// The migrated process's restored state (== its snapshot state
+    /// plus replayed channel messages).
+    pub restored_state: u64,
+    /// Comparable metrics.
+    pub metrics: Metrics,
+}
+
+/// Run a mesh of `n` processes exchanging a burst of application
+/// traffic, take a coordinated snapshot initiated by `migrant`, and
+/// "restart" the migrant from its checkpoint (CoCheck migration).
+/// `state_bytes` models each process's checkpoint size.
+pub fn run_cocheck_migration(n: usize, traffic: u64, migrant: usize, state_bytes: u64) -> CocheckOutcome {
+    assert!(n >= 2 && migrant < n);
+    let mut txs: Vec<Sender<(usize, Msg)>> = Vec::new();
+    let mut rxs: Vec<Receiver<(usize, Msg)>> = Vec::new();
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let mut joins = Vec::new();
+    for (rank, rx) in rxs.into_iter().enumerate() {
+        let txs = txs.clone();
+        joins.push(thread::spawn(move || {
+            let mut p = Proc {
+                rank,
+                n,
+                txs,
+                rx,
+                counter: 0,
+                recording: false,
+                marker_from: vec![false; n],
+                snap: LocalSnapshot::default(),
+            };
+            // A burst of app traffic to the right neighbour before the
+            // snapshot starts.
+            for i in 0..traffic {
+                p.send_app((rank + 1) % n, i + 1);
+            }
+            if rank == migrant {
+                p.begin_snapshot();
+            }
+            p.run_until_snapshot_done()
+        }));
+    }
+    drop(txs);
+    let snapshots: Vec<LocalSnapshot> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+
+    // Restart the migrant from its checkpoint: local state + replay of
+    // recorded channel state.
+    let mig_snap = &snapshots[migrant];
+    let replayed: u64 = mig_snap
+        .channel_state
+        .values()
+        .flat_map(|v| v.iter())
+        .sum();
+    let restored_state = mig_snap.state.wrapping_add(replayed);
+
+    let marker_count: u64 = snapshots.iter().map(|s| s.markers_seen).sum();
+    CocheckOutcome {
+        metrics: Metrics {
+            coordination_msgs: marker_count,
+            processes_disturbed: n as u64,
+            post_migration_extra_hops: 0.0,
+            blocked_messages: 0,
+            residual_dependency: false,
+            // Consistent-cut restart conservatively stores everyone's
+            // checkpoint (that is what makes CoCheck a fault-tolerance
+            // system first, §7).
+            state_bytes_moved: state_bytes * n as u64,
+        },
+        restored_state,
+        snapshots,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marker_count_is_n_squared_ish() {
+        // Every process sends a marker on every outgoing channel:
+        // N·(N−1) markers total.
+        for n in [2usize, 4, 6] {
+            let out = run_cocheck_migration(n, 5, 0, 100);
+            assert_eq!(out.metrics.coordination_msgs, (n * (n - 1)) as u64);
+            assert_eq!(out.metrics.processes_disturbed, n as u64);
+        }
+    }
+
+    #[test]
+    fn snapshot_is_consistent() {
+        // The global invariant: the sum of recorded states plus recorded
+        // in-channel messages equals the traffic actually injected by
+        // processes before their recording points. We check the weaker
+        // but sufficient property that the restored migrant equals its
+        // live final counter (all inbound traffic either reached the
+        // counter before recording or sits in the channel state).
+        let n = 4;
+        let traffic = 10u64;
+        let out = run_cocheck_migration(n, traffic, 1, 64);
+        let expected: u64 = (1..=traffic).sum();
+        // Each process receives exactly `traffic` messages from its left
+        // neighbour; after the snapshot completes, state+channel must
+        // account for all of them.
+        assert_eq!(out.restored_state, expected);
+    }
+
+    #[test]
+    fn state_moved_scales_with_world_size() {
+        let small = run_cocheck_migration(2, 3, 0, 1000);
+        let large = run_cocheck_migration(6, 3, 0, 1000);
+        assert_eq!(small.metrics.state_bytes_moved, 2000);
+        assert_eq!(large.metrics.state_bytes_moved, 6000);
+    }
+
+    #[test]
+    fn all_processes_record() {
+        let out = run_cocheck_migration(5, 2, 3, 10);
+        assert_eq!(out.snapshots.len(), 5);
+        for s in &out.snapshots {
+            assert_eq!(s.markers_seen, 4, "one marker per inbound channel");
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Message forwarding after migration (Mach / tmPVM / MPVM-indirect).
+//!
+//! The migrated process leaves a *forwarder* behind on the source host;
+//! senders keep using the old address and every message pays an extra
+//! hop per past migration. §7: "message forwarding can degrade
+//! communication performance \[and\] dependencies between the migrating
+//! process and source or original computers further make these systems
+//! unsuitable for virtual machine environments where computers can join
+//! and leave dynamically."
+
+use crate::Metrics;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::thread;
+
+/// A message whose hop count grows at each forwarder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hopped {
+    /// Message sequence number.
+    pub seq: u64,
+    /// Forwarding hops taken after leaving the sender.
+    pub hops: u32,
+    /// Payload size (bytes) for cost accounting.
+    pub bytes: usize,
+}
+
+/// One live forwarder: relays everything from its inbox to the next
+/// address, bumping the hop count. Dropping the handle stops the relay
+/// (simulating the source host leaving) — messages still in its queue
+/// are lost, which is exactly the residual-dependency failure.
+pub struct Forwarder {
+    stop: Sender<()>,
+    join: Option<thread::JoinHandle<u64>>,
+}
+
+impl Forwarder {
+    fn spawn(from: Receiver<Hopped>, to: Sender<Hopped>) -> Forwarder {
+        let (stop_tx, stop_rx) = unbounded::<()>();
+        let join = thread::spawn(move || {
+            let mut relayed = 0u64;
+            loop {
+                crossbeam::channel::select! {
+                    recv(from) -> msg => match msg {
+                        Ok(mut m) => {
+                            m.hops += 1;
+                            if to.send(m).is_err() {
+                                return relayed;
+                            }
+                            relayed += 1;
+                        }
+                        Err(_) => return relayed,
+                    },
+                    recv(stop_rx) -> _ => return relayed,
+                }
+            }
+        });
+        Forwarder {
+            stop: stop_tx,
+            join: Some(join),
+        }
+    }
+
+    /// Stop the forwarder ("the source host leaves"); returns how many
+    /// messages it relayed while alive.
+    pub fn stop(mut self) -> u64 {
+        let _ = self.stop.send(());
+        self.join.take().map(|j| j.join().unwrap()).unwrap_or(0)
+    }
+}
+
+/// A process address under the forwarding scheme. Senders hold the
+/// *original* address forever — location updates never propagate.
+pub struct ForwardingEndpoint {
+    /// Address senders use (never changes).
+    pub address: Sender<Hopped>,
+    inbox: Receiver<Hopped>,
+    forwarders: Vec<Forwarder>,
+    migrations: u32,
+}
+
+impl Default for ForwardingEndpoint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ForwardingEndpoint {
+    /// A fresh process at its birth host.
+    pub fn new() -> Self {
+        let (tx, rx) = unbounded();
+        ForwardingEndpoint {
+            address: tx,
+            inbox: rx,
+            forwarders: Vec::new(),
+            migrations: 0,
+        }
+    }
+
+    /// Migrate: the current inbox stays behind as a forwarder's input;
+    /// a new inbox is created at the destination. Senders are *not*
+    /// told anything.
+    pub fn migrate(&mut self) {
+        let (new_tx, new_rx) = unbounded();
+        let old_rx = std::mem::replace(&mut self.inbox, new_rx);
+        self.forwarders.push(Forwarder::spawn(old_rx, new_tx));
+        self.migrations += 1;
+    }
+
+    /// Number of completed migrations (= forwarding-chain length).
+    pub fn chain_len(&self) -> u32 {
+        self.migrations
+    }
+
+    /// Receive the next message at the current location.
+    pub fn recv(&self) -> Option<Hopped> {
+        self.inbox.recv().ok()
+    }
+
+    /// Tear down all forwarders (source hosts leave). Messages queued
+    /// inside them are lost.
+    pub fn drop_forwarders(&mut self) -> u64 {
+        self.forwarders.drain(..).map(Forwarder::stop).sum()
+    }
+}
+
+/// Drive the forwarding scheme: `msgs` messages are sent after each of
+/// `migrations` migrations; returns comparable [`Metrics`] (hops grow
+/// with chain length; the old hosts can never leave).
+pub fn run_forwarding_demo(migrations: u32, msgs: u64, payload: usize) -> Metrics {
+    let mut ep = ForwardingEndpoint::new();
+    let mut seq = 0u64;
+    let mut total_hops = 0u64;
+    let mut delivered = 0u64;
+    for _ in 0..migrations {
+        ep.migrate();
+    }
+    for _ in 0..msgs {
+        ep.address
+            .send(Hopped {
+                seq,
+                hops: 0,
+                bytes: payload,
+            })
+            .unwrap();
+        seq += 1;
+    }
+    for _ in 0..msgs {
+        let m = ep.recv().expect("forwarding chain delivers");
+        total_hops += m.hops as u64;
+        delivered += 1;
+    }
+    Metrics {
+        // Migration itself is cheap: no peer coordination at all.
+        coordination_msgs: 0,
+        processes_disturbed: 1,
+        post_migration_extra_hops: if delivered > 0 {
+            total_hops as f64 / delivered as f64
+        } else {
+            0.0
+        },
+        blocked_messages: 0,
+        residual_dependency: migrations > 0,
+        state_bytes_moved: payload as u64, // one process's state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_migration_no_hops() {
+        let m = run_forwarding_demo(0, 10, 100);
+        assert_eq!(m.post_migration_extra_hops, 0.0);
+        assert!(!m.residual_dependency);
+    }
+
+    #[test]
+    fn each_migration_adds_a_hop() {
+        let m1 = run_forwarding_demo(1, 20, 100);
+        assert_eq!(m1.post_migration_extra_hops, 1.0);
+        assert!(m1.residual_dependency);
+        let m3 = run_forwarding_demo(3, 20, 100);
+        assert_eq!(m3.post_migration_extra_hops, 3.0);
+    }
+
+    #[test]
+    fn messages_survive_while_forwarders_live() {
+        let mut ep = ForwardingEndpoint::new();
+        ep.migrate();
+        ep.migrate();
+        for seq in 0..5 {
+            ep.address
+                .send(Hopped {
+                    seq,
+                    hops: 0,
+                    bytes: 8,
+                })
+                .unwrap();
+        }
+        for seq in 0..5 {
+            let m = ep.recv().unwrap();
+            assert_eq!(m.seq, seq, "forwarding preserves order");
+            assert_eq!(m.hops, 2);
+        }
+        assert_eq!(ep.chain_len(), 2);
+    }
+
+    #[test]
+    fn dead_forwarder_breaks_delivery() {
+        // The residual-dependency failure: once the source host leaves,
+        // traffic to the old address goes nowhere.
+        let mut ep = ForwardingEndpoint::new();
+        ep.migrate();
+        // Let the forwarder drain nothing, then kill it.
+        ep.drop_forwarders();
+        // The old address is now a dead letterbox: sends fail outright
+        // (or, on a real network, vanish) and nothing reaches the new
+        // inbox. SNOW has no such dependency (§7).
+        let send_result = ep.address.send(Hopped {
+            seq: 0,
+            hops: 0,
+            bytes: 8,
+        });
+        assert!(send_result.is_err(), "old host gone ⇒ address dead");
+        assert!(ep
+            .inbox
+            .recv_timeout(std::time::Duration::from_millis(50))
+            .is_err());
+    }
+}

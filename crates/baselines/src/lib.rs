@@ -1,0 +1,87 @@
+//! # snow-baselines — the §7 comparator systems
+//!
+//! The paper argues (qualitatively) that SNOW's communication-state
+//! transfer beats the approaches used by contemporary systems. To turn
+//! those arguments into measurable ablations, this crate implements the
+//! three competing mechanisms as working mini-systems on the same
+//! substrate primitives:
+//!
+//! * [`forwarding`] — **message forwarding** (Mach, tmPVM, MPVM
+//!   indirect mode): the source host keeps a forwarder that relays
+//!   traffic to the migrated process. Cheap migration, but every later
+//!   message pays extra hops and the old host can never go away
+//!   (*residual dependency*).
+//! * [`broadcast`] — **broadcast + blocking** (ChaRM, Dynamite): the
+//!   new location is broadcast to every process/host and senders block
+//!   (buffer) traffic to the migrating process for the duration. No
+//!   forwarding, but O(N) control messages per migration and sender-side
+//!   stalls.
+//! * [`cocheck`] — **coordinated checkpointing** (CoCheck, built on
+//!   Chandy–Lamport \[28\]): snapshot *every* process, kill the migrating
+//!   one, restart it from the checkpoint elsewhere. Correct, but all N
+//!   processes are disturbed and O(N²) marker messages cross the mesh.
+//!
+//! Each module exposes a runnable demo returning a [`Metrics`] record;
+//! `snow_reference_metrics` gives the corresponding analytic costs of
+//! the SNOW protocol for the same scenario, so benches can print
+//! side-by-side tables (experiment ids A1/A2 in DESIGN.md).
+
+#![warn(missing_docs)]
+
+pub mod broadcast;
+pub mod cocheck;
+pub mod forwarding;
+
+/// Comparable costs of one migration under a given strategy.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Metrics {
+    /// Control messages spent coordinating the migration (markers,
+    /// broadcasts, acks, scheduler traffic).
+    pub coordination_msgs: u64,
+    /// Processes interrupted by the migration (including the migrant).
+    pub processes_disturbed: u64,
+    /// Extra per-message hops paid by traffic sent to the migrated
+    /// process *after* migration (forwarding chains).
+    pub post_migration_extra_hops: f64,
+    /// Application messages delayed/buffered during the migration.
+    pub blocked_messages: u64,
+    /// Does correctness still depend on the source host after the
+    /// migration committed?
+    pub residual_dependency: bool,
+    /// Bytes of process state moved (all processes for checkpointing
+    /// schemes, one process for direct schemes).
+    pub state_bytes_moved: u64,
+}
+
+/// Analytic SNOW costs for a migration with `connected_peers` open
+/// connections and `state_bytes` of exe+mem state (per §3: the protocol
+/// coordinates *only* directly connected processes; location updates are
+/// on-demand; no forwarding; no blocking).
+pub fn snow_reference_metrics(connected_peers: u64, state_bytes: u64) -> Metrics {
+    Metrics {
+        // Per peer: disconnection signal + peer_migrating marker +
+        // end_of_messages back; plus 4 scheduler handshake messages
+        // (start/new-vmid, restore/PL) and the commit.
+        coordination_msgs: 3 * connected_peers + 5,
+        processes_disturbed: connected_peers + 1,
+        post_migration_extra_hops: 0.0,
+        blocked_messages: 0,
+        residual_dependency: false,
+        state_bytes_moved: state_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snow_scales_with_connectivity_not_world_size() {
+        let sparse = snow_reference_metrics(2, 1000);
+        let dense = snow_reference_metrics(7, 1000);
+        assert!(sparse.coordination_msgs < dense.coordination_msgs);
+        assert_eq!(sparse.processes_disturbed, 3);
+        assert!(!sparse.residual_dependency);
+        assert_eq!(sparse.post_migration_extra_hops, 0.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! A1 — execution cost of one migration under each §7 comparator
+//! mechanism as world size grows, complementing the analytic table of
+//! the `ablation` binary with measured wall-clock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snow_baselines::{
+    broadcast::run_broadcast_demo, cocheck::run_cocheck_migration,
+    forwarding::run_forwarding_demo,
+};
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("baseline_migration");
+    g.sample_size(10);
+    for n in [4usize, 16, 64] {
+        g.bench_with_input(BenchmarkId::new("broadcast", n), &n, |b, &n| {
+            b.iter(|| run_broadcast_demo(n - 1, 50));
+        });
+        g.bench_with_input(BenchmarkId::new("cocheck", n), &n, |b, &n| {
+            b.iter(|| run_cocheck_migration(n, 20, 0, 1024));
+        });
+        g.bench_with_input(BenchmarkId::new("forwarding", n), &n, |b, _| {
+            // Forwarding cost is independent of N; chain length 1.
+            b.iter(|| run_forwarding_demo(1, 50, 1024));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! A2 — migration latency versus the number of *connected* peers. §3's
+//! scalability claim: "during a migration, the protocols coordinate
+//! only those processes directly connected to the migrating process",
+//! so cost should grow with connectivity, not world size.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snow_core::{Computation, Start};
+use snow_state::ProcessState;
+use snow_vm::HostSpec;
+use std::time::{Duration, Instant};
+
+/// One full migration of rank 0 with `peers` established connections;
+/// returns request→commit latency.
+fn migrate_once(peers: usize) -> Duration {
+    let comp = Computation::builder()
+        .hosts(HostSpec::ideal(), peers + 3)
+        .build();
+    let spare = comp.hosts()[peers + 2];
+    let handles = comp.launch(peers + 1, move |mut p, start| match (p.rank(), start) {
+        (0, Start::Fresh) => {
+            // Establish a channel with every peer.
+            for _ in 0..peers {
+                let _ = p.recv(None, Some(1)).unwrap();
+            }
+            while !p.poll_point().unwrap() {
+                std::thread::yield_now();
+            }
+            p.migrate(&ProcessState::empty()).unwrap();
+        }
+        (0, Start::Resumed(_)) => {
+            // Confirm liveness to every peer.
+            for peer in 1..=peers {
+                p.send(peer, 2, Bytes::from_static(b"alive")).unwrap();
+            }
+            p.finish();
+        }
+        (_r, Start::Fresh) => {
+            p.send(0, 1, Bytes::from_static(b"hello")).unwrap();
+            let _ = p.recv(Some(0), Some(2)).unwrap();
+            p.finish();
+        }
+        _ => unreachable!(),
+    });
+    let t0 = Instant::now();
+    comp.migrate(0, spare).expect("migration commits");
+    let d = t0.elapsed();
+    for h in handles {
+        h.join().unwrap();
+    }
+    comp.join_init_processes();
+    d
+}
+
+fn bench_migration_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("migration_latency");
+    g.sample_size(10);
+    for peers in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(peers),
+            &peers,
+            |b, &peers| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        total += migrate_once(peers);
+                    }
+                    total
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_migration_latency);
+criterion_main!(benches);

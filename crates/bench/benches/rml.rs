@@ -1,0 +1,71 @@
+//! RML micro-benchmarks: the received-message-list is searched linearly
+//! on every receive (Fig 4 line 2); this quantifies the cost of deep
+//! buffering — relevant to the §3.1 design note that unwanted messages
+//! "would be appended to the list until the wanted message is found".
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snow_core::Rml;
+use snow_trace::MsgId;
+use snow_vm::{Envelope, Payload};
+
+fn env(src: usize, tag: i32, id: u64) -> Envelope {
+    Envelope {
+        src,
+        tag,
+        msg: MsgId(id),
+        payload: Payload::Data(Bytes::from_static(b"xxxxxxxx")),
+    }
+}
+
+fn filled(n: usize) -> Rml {
+    let mut rml = Rml::new();
+    for i in 0..n {
+        rml.append(env(i % 8, (i % 16) as i32, i as u64));
+    }
+    rml
+}
+
+fn bench_rml(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rml");
+    for n in [8usize, 64, 512, 4096] {
+        g.bench_with_input(BenchmarkId::new("take_front", n), &n, |b, &n| {
+            b.iter_batched(
+                || filled(n),
+                |mut rml| rml.take_match(Some(0), Some(0)).unwrap(),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        g.bench_with_input(BenchmarkId::new("take_back", n), &n, |b, &n| {
+            // Worst case: the wanted message is the newest one.
+            let last_src = (n - 1) % 8;
+            let last_tag = ((n - 1) % 16) as i32;
+            b.iter_batched(
+                || filled(n),
+                |mut rml| {
+                    rml.take_match(Some(last_src), Some(last_tag)).unwrap()
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        g.bench_with_input(BenchmarkId::new("miss", n), &n, |b, &n| {
+            b.iter_batched(
+                || filled(n),
+                |mut rml| rml.take_match(Some(99), None),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        g.bench_with_input(BenchmarkId::new("prepend_batch", n), &n, |b, &n| {
+            let batch: Vec<Envelope> = (0..64).map(|i| env(0, 0, i)).collect();
+            b.iter_batched(
+                || (filled(n), batch.clone()),
+                |(mut rml, batch)| rml.prepend_batch(batch),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rml);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! A4 — throughput of the heterogeneous state machinery that feeds the
+//! Table 2 Collect/Restore rows: canonical encoding of values, memory
+//! graphs and full process-state snapshots from 64 KB to 8 MB.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use snow_codec::Value;
+use snow_state::{ExecState, MemoryGraph, ProcessState};
+
+const SIZES: [usize; 4] = [64 << 10, 512 << 10, 2 << 20, 8 << 20];
+
+fn padded_state(bytes: usize) -> ProcessState {
+    let exec = ExecState::at_entry()
+        .enter("kernelMG")
+        .with_local("iteration", Value::U64(2));
+    let mut mem = MemoryGraph::new();
+    // A linked structure plus a dense payload, like a real heap.
+    let arr = mem.add_node(Value::F64Array(vec![1.5; 4096]));
+    let hdr = mem.add_node(Value::Str("grid".into()));
+    mem.add_edge(hdr, 0, arr);
+    let mut s = ProcessState::new(exec, mem);
+    s.pad_to(bytes);
+    s
+}
+
+fn bench_collect_restore(c: &mut Criterion) {
+    let mut g = c.benchmark_group("state");
+    g.sample_size(10);
+    for &bytes in &SIZES {
+        let state = padded_state(bytes);
+        let collected = state.collect();
+        g.throughput(Throughput::Bytes(collected.len() as u64));
+        g.bench_with_input(BenchmarkId::new("collect", bytes), &state, |b, s| {
+            b.iter(|| s.collect());
+        });
+        g.bench_with_input(
+            BenchmarkId::new("restore", bytes),
+            &collected,
+            |b, bytes| {
+                b.iter(|| ProcessState::restore(bytes).unwrap());
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_memory_graph(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memory_graph");
+    g.sample_size(20);
+    for nodes in [16usize, 256, 2048] {
+        let mut graph = MemoryGraph::new();
+        let ids: Vec<_> = (0..nodes)
+            .map(|i| graph.add_node(Value::F64Array(vec![i as f64; 32])))
+            .collect();
+        for w in ids.windows(2) {
+            graph.add_edge(w[0], 0, w[1]);
+        }
+        // Cross links + a cycle for realism.
+        graph.add_edge(ids[nodes - 1], 0, ids[0]);
+        let encoded = graph.encode();
+        g.throughput(Throughput::Bytes(encoded.len() as u64));
+        g.bench_with_input(BenchmarkId::new("encode", nodes), &graph, |b, gr| {
+            b.iter(|| gr.encode());
+        });
+        g.bench_with_input(BenchmarkId::new("decode", nodes), &encoded, |b, e| {
+            b.iter(|| MemoryGraph::decode(e).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_value_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("value");
+    let v = Value::Record(vec![
+        ("grid".into(), Value::F64Array(vec![0.5; 8192])),
+        ("name".into(), Value::Str("kernelMG".into())),
+        ("iter".into(), Value::U64(2)),
+    ]);
+    let bytes = v.encode();
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("encode", |b| b.iter(|| v.encode()));
+    g.bench_function("decode", |b| b.iter(|| Value::decode(&bytes).unwrap()));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_collect_restore,
+    bench_memory_graph,
+    bench_value_roundtrip
+);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Error type for canonical encoding and decoding.
+
+use std::fmt;
+
+/// Errors produced while encoding to or decoding from the canonical form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The reader ran out of bytes mid-value.
+    UnexpectedEof {
+        /// How many bytes the decoder needed.
+        needed: usize,
+        /// How many bytes remained.
+        remaining: usize,
+    },
+    /// A type tag byte did not correspond to any known `Value` variant.
+    BadTag(u8),
+    /// A variable-length integer exceeded the maximum encodable width.
+    VarintOverflow,
+    /// A declared length was implausibly large for the remaining input
+    /// (corruption guard).
+    LengthOverflow {
+        /// Declared element/byte count.
+        declared: u64,
+        /// Bytes remaining in the input.
+        remaining: usize,
+    },
+    /// A byte string declared as UTF-8 text failed validation.
+    InvalidUtf8,
+    /// Nesting depth exceeded [`crate::wire::MAX_DEPTH`]; guards against
+    /// stack exhaustion on hostile input.
+    DepthExceeded,
+    /// Trailing garbage followed a complete top-level value.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof { needed, remaining } => write!(
+                f,
+                "unexpected end of input: needed {needed} bytes, {remaining} remaining"
+            ),
+            CodecError::BadTag(t) => write!(f, "unknown type tag 0x{t:02x}"),
+            CodecError::VarintOverflow => write!(f, "variable-length integer overflow"),
+            CodecError::LengthOverflow {
+                declared,
+                remaining,
+            } => write!(
+                f,
+                "declared length {declared} exceeds remaining input {remaining}"
+            ),
+            CodecError::InvalidUtf8 => write!(f, "byte string is not valid UTF-8"),
+            CodecError::DepthExceeded => write!(f, "value nesting too deep"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CodecError::UnexpectedEof {
+            needed: 8,
+            remaining: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("8"), "{s}");
+        assert!(s.contains("3"), "{s}");
+        assert!(CodecError::BadTag(0xfe).to_string().contains("0xfe"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CodecError>();
+    }
+}

@@ -1,0 +1,128 @@
+//! Simulated host architecture model.
+//!
+//! The paper's testbed mixed big-endian Sun Ultra 5 (SPARC/Solaris) and
+//! little-endian-era DEC 5000/120 (MIPS/Ultrix) machines. The protocol's
+//! heterogeneity story is that all state crossing machines is converted to
+//! a canonical machine-independent form. This module models the *native*
+//! representation of a host so tests and examples can demonstrate that a
+//! value written natively on one architecture decodes identically on
+//! another after passing through the canonical form.
+
+use crate::wire::{WireReader, WireWriter};
+use crate::Result;
+
+/// Byte order of a simulated host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ByteOrder {
+    /// Most-significant byte first (e.g. SPARC — the paper's Sun Ultra 5).
+    Big,
+    /// Least-significant byte first (e.g. MIPS/DECstation, x86).
+    Little,
+}
+
+/// A simulated host architecture: byte order plus native word size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HostArch {
+    /// Native integer byte order.
+    pub order: ByteOrder,
+    /// Native word size in bytes (4 for the paper-era machines, 8 today).
+    pub word_bytes: u8,
+    /// Short human-readable label used in traces ("ultra5", "dec5000").
+    pub label: &'static str,
+}
+
+impl HostArch {
+    /// The paper's fast host: big-endian Sun Ultra 5 under Solaris 2.6.
+    pub const SUN_ULTRA5: HostArch = HostArch {
+        order: ByteOrder::Big,
+        word_bytes: 4,
+        label: "ultra5",
+    };
+
+    /// The paper's slow host: DEC 5000/120 under Ultrix (little-endian MIPS).
+    pub const DEC_5000: HostArch = HostArch {
+        order: ByteOrder::Little,
+        word_bytes: 4,
+        label: "dec5000",
+    };
+
+    /// A modern 64-bit little-endian host (the machine running the tests).
+    pub const X86_64: HostArch = HostArch {
+        order: ByteOrder::Little,
+        word_bytes: 8,
+        label: "x86_64",
+    };
+
+    /// Write `v` in this host's *native* byte order — the representation
+    /// that lives in the process memory image before conversion.
+    pub fn native_u64(&self, v: u64) -> [u8; 8] {
+        match self.order {
+            ByteOrder::Big => v.to_be_bytes(),
+            ByteOrder::Little => v.to_le_bytes(),
+        }
+    }
+
+    /// Read a native-order u64 back (source-side step of conversion).
+    pub fn read_native_u64(&self, b: [u8; 8]) -> u64 {
+        match self.order {
+            ByteOrder::Big => u64::from_be_bytes(b),
+            ByteOrder::Little => u64::from_le_bytes(b),
+        }
+    }
+
+    /// Convert a native in-memory u64 into canonical bytes: the
+    /// "collect" half of heterogeneous state transfer.
+    pub fn to_canonical_u64(&self, native: [u8; 8], w: &mut WireWriter) {
+        w.put_u64(self.read_native_u64(native));
+    }
+
+    /// Materialise a canonical u64 into this host's native representation:
+    /// the "restore" half of heterogeneous state transfer.
+    pub fn from_canonical_u64(&self, r: &mut WireReader<'_>) -> Result<[u8; 8]> {
+        Ok(self.native_u64(r.get_u64()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_orders_differ() {
+        let v = 0x0102_0304_0506_0708u64;
+        assert_eq!(HostArch::SUN_ULTRA5.native_u64(v)[0], 0x01);
+        assert_eq!(HostArch::DEC_5000.native_u64(v)[0], 0x08);
+    }
+
+    #[test]
+    fn cross_architecture_roundtrip() {
+        // Value lives natively on the DEC, is canonicalised, and is
+        // restored natively on the Sun — exactly the Table 2 scenario.
+        let v = 0xfeed_face_cafe_beefu64;
+        let native_dec = HostArch::DEC_5000.native_u64(v);
+        let mut w = WireWriter::new();
+        HostArch::DEC_5000.to_canonical_u64(native_dec, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let native_sun = HostArch::SUN_ULTRA5.from_canonical_u64(&mut r).unwrap();
+        assert_eq!(HostArch::SUN_ULTRA5.read_native_u64(native_sun), v);
+    }
+
+    #[test]
+    fn canonical_form_is_host_independent() {
+        let v = 0x1122_3344_5566_7788u64;
+        let mut w1 = WireWriter::new();
+        HostArch::DEC_5000.to_canonical_u64(HostArch::DEC_5000.native_u64(v), &mut w1);
+        let mut w2 = WireWriter::new();
+        HostArch::SUN_ULTRA5.to_canonical_u64(HostArch::SUN_ULTRA5.native_u64(v), &mut w2);
+        assert_eq!(w1.as_slice(), w2.as_slice());
+    }
+
+    #[test]
+    fn same_host_is_identity() {
+        let v = 42u64;
+        let h = HostArch::X86_64;
+        let n = h.native_u64(v);
+        assert_eq!(h.read_native_u64(n), v);
+    }
+}

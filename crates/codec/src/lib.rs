@@ -1,0 +1,41 @@
+//! # snow-codec — machine-independent data representation
+//!
+//! Heterogeneous process migration moves execution and memory state between
+//! machines with different word sizes, byte orders and data layouts. The
+//! SNOW system (Chanchio & Sun, ICPP 2001, and the memory-state companion
+//! work) solves this by transforming process data into a *machine
+//! independent* canonical form on the source machine and re-materialising
+//! it on the destination.
+//!
+//! This crate provides that canonical form:
+//!
+//! * [`wire`] — a low-level canonical wire format: fixed-width big-endian
+//!   primitives (XDR-flavoured) plus LEB128/zig-zag variable-length
+//!   integers for compact counts.
+//! * [`value`] — a self-describing [`value::Value`] model (scalars, byte
+//!   strings, lists, records) with canonical encode/decode. This is the
+//!   interchange type used for execution-state snapshots.
+//! * [`host`] — a simulated *host architecture* description (byte order,
+//!   word size). Encoding always produces the canonical big-endian form
+//!   regardless of the simulated host, which is exactly what makes the
+//!   state portable; the host model exists so tests can prove that a
+//!   little-endian "DEC" host and a big-endian "Sun" host round-trip each
+//!   other's state.
+//!
+//! The memory-graph layer (pointers, cycles, relocation) lives one level
+//! up in `snow-state`; it serialises node payloads through this crate.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod host;
+pub mod value;
+pub mod wire;
+
+pub use error::CodecError;
+pub use host::{ByteOrder, HostArch};
+pub use value::Value;
+pub use wire::{WireReader, WireWriter};
+
+/// Result alias for codec operations.
+pub type Result<T> = std::result::Result<T, CodecError>;

@@ -1,0 +1,414 @@
+//! Self-describing machine-independent value model.
+//!
+//! [`Value`] is the interchange representation for execution-state
+//! snapshots: every datum a migrating process needs to carry (loop
+//! counters, locals, partition descriptors, flattened arrays) is expressed
+//! as a `Value` tree and encoded to the canonical wire form.
+//!
+//! The encoding is tag-prefixed so the destination machine can decode
+//! without out-of-band schema — the property that makes migration work
+//! between program versions compiled for different architectures.
+
+use crate::error::CodecError;
+use crate::wire::{WireReader, WireWriter, MAX_DEPTH};
+use crate::Result;
+
+/// Type tags of the canonical encoding. Kept `#[repr(u8)]`-style stable:
+/// changing a tag value breaks cross-version migration.
+mod tag {
+    pub const UNIT: u8 = 0x00;
+    pub const BOOL: u8 = 0x01;
+    pub const I64: u8 = 0x02;
+    pub const U64: u8 = 0x03;
+    pub const F64: u8 = 0x04;
+    pub const BYTES: u8 = 0x05;
+    pub const STR: u8 = 0x06;
+    pub const LIST: u8 = 0x07;
+    pub const RECORD: u8 = 0x08;
+    pub const F64ARRAY: u8 = 0x09;
+    pub const I64ARRAY: u8 = 0x0a;
+}
+
+/// A machine-independent value.
+///
+/// Numeric types are normalised to their widest representation (`i64`,
+/// `u64`, `f64`) — the canonical form carries *values*, not native widths;
+/// the restoring side narrows as its program requires. Dense numeric
+/// arrays get dedicated variants so multigrid-sized payloads encode
+/// without per-element tags.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// The empty value.
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer (zig-zag varint encoded).
+    I64(i64),
+    /// An unsigned integer (varint encoded).
+    U64(u64),
+    /// An IEEE-754 double (bit pattern preserved, NaNs included).
+    F64(f64),
+    /// An opaque byte string.
+    Bytes(Vec<u8>),
+    /// A UTF-8 string.
+    Str(String),
+    /// A heterogeneous ordered sequence.
+    List(Vec<Value>),
+    /// Named fields in a fixed order (struct-like).
+    Record(Vec<(String, Value)>),
+    /// A dense array of doubles (grid data, vectors).
+    F64Array(Vec<f64>),
+    /// A dense array of signed integers.
+    I64Array(Vec<i64>),
+}
+
+impl Value {
+    /// Encode into an existing writer.
+    pub fn encode_into(&self, w: &mut WireWriter) {
+        match self {
+            Value::Unit => w.put_u8(tag::UNIT),
+            Value::Bool(b) => {
+                w.put_u8(tag::BOOL);
+                w.put_u8(u8::from(*b));
+            }
+            Value::I64(v) => {
+                w.put_u8(tag::I64);
+                w.put_ivarint(*v);
+            }
+            Value::U64(v) => {
+                w.put_u8(tag::U64);
+                w.put_uvarint(*v);
+            }
+            Value::F64(v) => {
+                w.put_u8(tag::F64);
+                w.put_f64(*v);
+            }
+            Value::Bytes(b) => {
+                w.put_u8(tag::BYTES);
+                w.put_bytes(b);
+            }
+            Value::Str(s) => {
+                w.put_u8(tag::STR);
+                w.put_str(s);
+            }
+            Value::List(items) => {
+                w.put_u8(tag::LIST);
+                w.put_uvarint(items.len() as u64);
+                for it in items {
+                    it.encode_into(w);
+                }
+            }
+            Value::Record(fields) => {
+                w.put_u8(tag::RECORD);
+                w.put_uvarint(fields.len() as u64);
+                for (name, v) in fields {
+                    w.put_str(name);
+                    v.encode_into(w);
+                }
+            }
+            Value::F64Array(a) => {
+                w.put_u8(tag::F64ARRAY);
+                w.put_uvarint(a.len() as u64);
+                for v in a {
+                    w.put_f64(*v);
+                }
+            }
+            Value::I64Array(a) => {
+                w.put_u8(tag::I64ARRAY);
+                w.put_uvarint(a.len() as u64);
+                for v in a {
+                    w.put_ivarint(*v);
+                }
+            }
+        }
+    }
+
+    /// Encode to a fresh canonical byte vector.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(self.encoded_size_hint());
+        self.encode_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// Cheap upper-bound size estimate used to pre-reserve buffers.
+    pub fn encoded_size_hint(&self) -> usize {
+        match self {
+            Value::Unit => 1,
+            Value::Bool(_) => 2,
+            Value::I64(_) | Value::U64(_) => 11,
+            Value::F64(_) => 9,
+            Value::Bytes(b) => 11 + b.len(),
+            Value::Str(s) => 11 + s.len(),
+            Value::List(items) => {
+                11 + items.iter().map(Value::encoded_size_hint).sum::<usize>()
+            }
+            Value::Record(fields) => {
+                11 + fields
+                    .iter()
+                    .map(|(n, v)| 11 + n.len() + v.encoded_size_hint())
+                    .sum::<usize>()
+            }
+            Value::F64Array(a) => 11 + a.len() * 8,
+            Value::I64Array(a) => 11 + a.len() * 10,
+        }
+    }
+
+    /// Decode a value from a reader.
+    pub fn decode_from(r: &mut WireReader<'_>) -> Result<Value> {
+        Self::decode_at_depth(r, 0)
+    }
+
+    /// Decode exactly one value from `bytes`, rejecting trailing garbage.
+    pub fn decode(bytes: &[u8]) -> Result<Value> {
+        let mut r = WireReader::new(bytes);
+        let v = Self::decode_from(&mut r)?;
+        r.finish()?;
+        Ok(v)
+    }
+
+    fn decode_at_depth(r: &mut WireReader<'_>, depth: usize) -> Result<Value> {
+        if depth > MAX_DEPTH {
+            return Err(CodecError::DepthExceeded);
+        }
+        let t = r.get_u8()?;
+        Ok(match t {
+            tag::UNIT => Value::Unit,
+            tag::BOOL => Value::Bool(r.get_u8()? != 0),
+            tag::I64 => Value::I64(r.get_ivarint()?),
+            tag::U64 => Value::U64(r.get_uvarint()?),
+            tag::F64 => Value::F64(r.get_f64()?),
+            tag::BYTES => Value::Bytes(r.get_bytes()?.to_vec()),
+            tag::STR => Value::Str(r.get_str()?.to_string()),
+            tag::LIST => {
+                let n = checked_len(r, 1)?;
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    items.push(Self::decode_at_depth(r, depth + 1)?);
+                }
+                Value::List(items)
+            }
+            tag::RECORD => {
+                let n = checked_len(r, 2)?;
+                let mut fields = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = r.get_str()?.to_string();
+                    fields.push((name, Self::decode_at_depth(r, depth + 1)?));
+                }
+                Value::Record(fields)
+            }
+            tag::F64ARRAY => {
+                let n = checked_len(r, 8)?;
+                let mut a = Vec::with_capacity(n);
+                for _ in 0..n {
+                    a.push(r.get_f64()?);
+                }
+                Value::F64Array(a)
+            }
+            tag::I64ARRAY => {
+                let n = checked_len(r, 1)?;
+                let mut a = Vec::with_capacity(n);
+                for _ in 0..n {
+                    a.push(r.get_ivarint()?);
+                }
+                Value::I64Array(a)
+            }
+            other => return Err(CodecError::BadTag(other)),
+        })
+    }
+
+    /// Fetch a field from a [`Value::Record`] by name.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Record(fields) => fields.iter().find(|(n, _)| n == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Interpret as `i64` if the variant allows.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(v) => Some(*v),
+            Value::U64(v) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// Interpret as `u64` if the variant allows.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            Value::I64(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// Interpret as `f64` if the variant allows.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Interpret as `&str` if the variant allows.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Read a declared element count and sanity-check it against the bytes
+/// remaining (each element needs at least `min_elem_bytes`).
+fn checked_len(r: &mut WireReader<'_>, min_elem_bytes: usize) -> Result<usize> {
+    let n = r.get_uvarint()?;
+    let need = n.saturating_mul(min_elem_bytes as u64);
+    if need > r.remaining() as u64 {
+        return Err(CodecError::LengthOverflow {
+            declared: n,
+            remaining: r.remaining(),
+        });
+    }
+    Ok(n as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Value) {
+        let bytes = v.encode();
+        let back = Value::decode(&bytes).unwrap();
+        assert_eq!(&back, v);
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        roundtrip(&Value::Unit);
+        roundtrip(&Value::Bool(true));
+        roundtrip(&Value::Bool(false));
+        roundtrip(&Value::I64(i64::MIN));
+        roundtrip(&Value::U64(u64::MAX));
+        roundtrip(&Value::F64(std::f64::consts::PI));
+        roundtrip(&Value::Str("grid".into()));
+        roundtrip(&Value::Bytes(vec![0, 255, 128]));
+    }
+
+    #[test]
+    fn nested_structures_roundtrip() {
+        roundtrip(&Value::Record(vec![
+            ("rank".into(), Value::U64(3)),
+            ("iteration".into(), Value::I64(2)),
+            (
+                "halo".into(),
+                Value::List(vec![Value::F64Array(vec![1.0, 2.0]), Value::Unit]),
+            ),
+        ]));
+    }
+
+    #[test]
+    fn dense_arrays_roundtrip() {
+        roundtrip(&Value::F64Array((0..1000).map(|i| i as f64 * 0.5).collect()));
+        roundtrip(&Value::I64Array((-500..500).collect()));
+    }
+
+    #[test]
+    fn f64_array_is_compact() {
+        let a = Value::F64Array(vec![0.0; 1024]);
+        // tag + varint + 8 bytes/elem, no per-element tags.
+        assert!(a.encode().len() <= 1 + 3 + 1024 * 8);
+    }
+
+    #[test]
+    fn record_field_lookup() {
+        let v = Value::Record(vec![
+            ("a".into(), Value::I64(1)),
+            ("b".into(), Value::I64(2)),
+        ]);
+        assert_eq!(v.field("b").and_then(Value::as_i64), Some(2));
+        assert_eq!(v.field("missing"), None);
+        assert_eq!(Value::Unit.field("a"), None);
+    }
+
+    #[test]
+    fn accessors_cross_variant() {
+        assert_eq!(Value::U64(7).as_i64(), Some(7));
+        assert_eq!(Value::I64(-1).as_u64(), None);
+        assert_eq!(Value::U64(u64::MAX).as_i64(), None);
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Value::F64(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Bool(true).as_f64(), None);
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        assert_eq!(Value::decode(&[0x7f]), Err(CodecError::BadTag(0x7f)));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = Value::I64(5).encode();
+        bytes.push(0);
+        assert_eq!(Value::decode(&bytes), Err(CodecError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let bytes = Value::F64Array(vec![1.0; 16]).encode();
+        for cut in 1..bytes.len() {
+            assert!(
+                Value::decode(&bytes[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_length_rejected_before_allocation() {
+        // LIST claiming u64::MAX elements with a 2-byte body.
+        let mut w = WireWriter::new();
+        w.put_u8(0x07);
+        w.put_uvarint(u64::MAX);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            Value::decode(&bytes),
+            Err(CodecError::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn deep_nesting_rejected() {
+        // MAX_DEPTH+2 nested single-element lists.
+        let mut bytes = Vec::new();
+        for _ in 0..(MAX_DEPTH + 2) {
+            bytes.push(0x07); // LIST
+            bytes.push(0x01); // len 1
+        }
+        bytes.push(0x00); // innermost UNIT
+        assert_eq!(Value::decode(&bytes), Err(CodecError::DepthExceeded));
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let v = Value::Record(vec![
+            ("x".into(), Value::F64Array(vec![1.5, -2.5])),
+            ("y".into(), Value::Str("abc".into())),
+        ]);
+        assert_eq!(v.encode(), v.encode());
+    }
+
+    #[test]
+    fn size_hint_is_upper_bound() {
+        let vals = [
+            Value::Unit,
+            Value::I64(-123456),
+            Value::Str("hello world".into()),
+            Value::F64Array(vec![1.0; 100]),
+            Value::Record(vec![("k".into(), Value::List(vec![Value::Bool(true)]))]),
+        ];
+        for v in &vals {
+            assert!(v.encode().len() <= v.encoded_size_hint(), "{v:?}");
+        }
+    }
+}

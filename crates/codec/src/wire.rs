@@ -1,0 +1,427 @@
+//! Low-level canonical wire format.
+//!
+//! All multi-byte primitives are written big-endian ("network order"),
+//! matching the XDR convention PVM used for heterogeneous transfers.
+//! Counts and lengths use unsigned LEB128 varints; signed integers that
+//! are typically small use zig-zag + LEB128.
+//!
+//! The format is *canonical*: a given value has exactly one encoding, so
+//! encoded state can be compared byte-wise and hashed for integrity
+//! checks during migration.
+
+use crate::error::CodecError;
+use crate::Result;
+
+/// Maximum nesting depth accepted by decoders of structured values.
+pub const MAX_DEPTH: usize = 64;
+
+/// Maximum LEB128 continuation bytes for a u64 (ceil(64/7)).
+const MAX_VARINT_BYTES: usize = 10;
+
+/// Append-only writer producing canonical bytes.
+#[derive(Debug, Default, Clone)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// Create an empty writer.
+    pub fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    /// Create a writer with pre-reserved capacity (a hot path during
+    /// migration state collection — see perf notes in the repo docs).
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the writer, returning the canonical bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrow the bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Write a single raw byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Write a big-endian u16.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Write a big-endian u32.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Write a big-endian u64.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Write a big-endian i64.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Write an IEEE-754 f32, big-endian bit pattern.
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_bits().to_be_bytes());
+    }
+
+    /// Write an IEEE-754 f64, big-endian bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_be_bytes());
+    }
+
+    /// Write an unsigned LEB128 varint.
+    pub fn put_uvarint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Write a signed integer with zig-zag + LEB128.
+    pub fn put_ivarint(&mut self, v: i64) {
+        self.put_uvarint(zigzag_encode(v));
+    }
+
+    /// Write a length-prefixed byte string.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_uvarint(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Write a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Write raw bytes with no length prefix (caller manages framing).
+    pub fn put_raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// Zig-zag-encode a signed integer so small magnitudes stay small.
+pub fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+pub fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Cursor-style reader over canonical bytes.
+#[derive(Debug, Clone)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Wrap a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True once every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Current read offset from the start of the buffer.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a big-endian u16.
+    pub fn get_u16(&mut self) -> Result<u16> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Read a big-endian u32.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a big-endian u64.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a big-endian i64.
+    pub fn get_i64(&mut self) -> Result<i64> {
+        Ok(i64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a big-endian IEEE-754 f32.
+    pub fn get_f32(&mut self) -> Result<f32> {
+        Ok(f32::from_bits(self.get_u32()?))
+    }
+
+    /// Read a big-endian IEEE-754 f64.
+    pub fn get_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Read an unsigned LEB128 varint.
+    pub fn get_uvarint(&mut self) -> Result<u64> {
+        let mut shift = 0u32;
+        let mut out = 0u64;
+        for i in 0..MAX_VARINT_BYTES {
+            let byte = self.get_u8()?;
+            let low = (byte & 0x7f) as u64;
+            // The 10th byte may only contribute a single bit.
+            if i == MAX_VARINT_BYTES - 1 && low > 1 {
+                return Err(CodecError::VarintOverflow);
+            }
+            out |= low << shift;
+            if byte & 0x80 == 0 {
+                return Ok(out);
+            }
+            shift += 7;
+        }
+        Err(CodecError::VarintOverflow)
+    }
+
+    /// Read a zig-zag + LEB128 signed integer.
+    pub fn get_ivarint(&mut self) -> Result<i64> {
+        Ok(zigzag_decode(self.get_uvarint()?))
+    }
+
+    /// Read a length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8]> {
+        let len = self.get_uvarint()?;
+        if len > self.remaining() as u64 {
+            return Err(CodecError::LengthOverflow {
+                declared: len,
+                remaining: self.remaining(),
+            });
+        }
+        self.take(len as usize)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<&'a str> {
+        let b = self.get_bytes()?;
+        std::str::from_utf8(b).map_err(|_| CodecError::InvalidUtf8)
+    }
+
+    /// Read `n` raw bytes with no length prefix.
+    pub fn get_raw(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n)
+    }
+
+    /// Error unless the buffer is fully consumed; used by top-level
+    /// decoders to reject trailing garbage.
+    pub fn finish(&self) -> Result<()> {
+        if self.is_exhausted() {
+            Ok(())
+        } else {
+            Err(CodecError::TrailingBytes(self.remaining()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut w = WireWriter::new();
+        w.put_u8(0xab);
+        w.put_u16(0x1234);
+        w.put_u32(0xdead_beef);
+        w.put_u64(0x0123_4567_89ab_cdef);
+        w.put_i64(-42);
+        w.put_f32(1.5);
+        w.put_f64(-2.25);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 0xab);
+        assert_eq!(r.get_u16().unwrap(), 0x1234);
+        assert_eq!(r.get_u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.get_u64().unwrap(), 0x0123_4567_89ab_cdef);
+        assert_eq!(r.get_i64().unwrap(), -42);
+        assert_eq!(r.get_f32().unwrap(), 1.5);
+        assert_eq!(r.get_f64().unwrap(), -2.25);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn big_endian_layout_is_canonical() {
+        let mut w = WireWriter::new();
+        w.put_u32(0x0102_0304);
+        assert_eq!(w.as_slice(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn varint_roundtrip_boundaries() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut w = WireWriter::new();
+            w.put_uvarint(v);
+            let mut r = WireReader::new(w.as_slice());
+            assert_eq!(r.get_uvarint().unwrap(), v);
+            r.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn ivarint_roundtrip() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 123_456_789] {
+            let mut w = WireWriter::new();
+            w.put_ivarint(v);
+            let mut r = WireReader::new(w.as_slice());
+            assert_eq!(r.get_ivarint().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_small_magnitudes_stay_small() {
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+        assert_eq!(zigzag_encode(-2), 3);
+        for v in -1000..1000 {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+    }
+
+    #[test]
+    fn varint_overflow_detected() {
+        // 11 continuation bytes is never valid.
+        let bytes = [0xff; 11];
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_uvarint(), Err(CodecError::VarintOverflow));
+    }
+
+    #[test]
+    fn varint_final_byte_overflow_detected() {
+        // 10 bytes whose last contributes >1 bit encodes more than 64 bits.
+        let mut bytes = [0x80u8; 10];
+        bytes[9] = 0x02;
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_uvarint(), Err(CodecError::VarintOverflow));
+    }
+
+    #[test]
+    fn eof_reports_needed_and_remaining() {
+        let mut r = WireReader::new(&[1, 2]);
+        match r.get_u32() {
+            Err(CodecError::UnexpectedEof { needed, remaining }) => {
+                assert_eq!((needed, remaining), (4, 2));
+            }
+            other => panic!("expected EOF error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn length_overflow_guard() {
+        // Declared length 1000 but only a few bytes follow.
+        let mut w = WireWriter::new();
+        w.put_uvarint(1000);
+        w.put_raw(&[0; 4]);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(
+            r.get_bytes(),
+            Err(CodecError::LengthOverflow { declared: 1000, .. })
+        ));
+    }
+
+    #[test]
+    fn bytes_and_str_roundtrip() {
+        let mut w = WireWriter::new();
+        w.put_bytes(b"hello");
+        w.put_str("w\u{00f6}rld");
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_bytes().unwrap(), b"hello");
+        assert_eq!(r.get_str().unwrap(), "w\u{00f6}rld");
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut w = WireWriter::new();
+        w.put_bytes(&[0xff, 0xfe]);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_str(), Err(CodecError::InvalidUtf8));
+    }
+
+    #[test]
+    fn finish_rejects_trailing_bytes() {
+        let r = WireReader::new(&[0, 0]);
+        assert_eq!(r.finish(), Err(CodecError::TrailingBytes(2)));
+    }
+
+    #[test]
+    fn nan_bit_pattern_preserved() {
+        let nan = f64::from_bits(0x7ff8_0000_dead_beef);
+        let mut w = WireWriter::new();
+        w.put_f64(nan);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_f64().unwrap().to_bits(), nan.to_bits());
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests: canonical encoding round-trips arbitrary value trees,
+//! and decoding never panics on arbitrary byte soup.
+
+use proptest::prelude::*;
+use snow_codec::{Value, WireReader, WireWriter};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Unit),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::I64),
+        any::<u64>().prop_map(Value::U64),
+        any::<f64>().prop_map(Value::F64),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(Value::Bytes),
+        "[a-zA-Z0-9 ]{0,24}".prop_map(Value::Str),
+        proptest::collection::vec(any::<f64>(), 0..32).prop_map(Value::F64Array),
+        proptest::collection::vec(any::<i64>(), 0..32).prop_map(Value::I64Array),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..6).prop_map(Value::List),
+            proptest::collection::vec(("[a-z]{1,8}", inner), 0..6)
+                .prop_map(Value::Record),
+        ]
+    })
+}
+
+/// Structural equality that treats NaN bit patterns as equal when the bits
+/// match (Value's PartialEq uses f64 ==, under which NaN != NaN).
+fn bits_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::F64(x), Value::F64(y)) => x.to_bits() == y.to_bits(),
+        (Value::F64Array(x), Value::F64Array(y)) => {
+            x.len() == y.len()
+                && x.iter()
+                    .zip(y)
+                    .all(|(p, q)| p.to_bits() == q.to_bits())
+        }
+        (Value::List(x), Value::List(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|(p, q)| bits_eq(p, q))
+        }
+        (Value::Record(x), Value::Record(y)) => {
+            x.len() == y.len()
+                && x.iter()
+                    .zip(y)
+                    .all(|((nx, p), (ny, q))| nx == ny && bits_eq(p, q))
+        }
+        _ => a == b,
+    }
+}
+
+proptest! {
+    #[test]
+    fn value_roundtrip(v in arb_value()) {
+        let bytes = v.encode();
+        let back = Value::decode(&bytes).unwrap();
+        prop_assert!(bits_eq(&v, &back), "{v:?} != {back:?}");
+    }
+
+    #[test]
+    fn encoding_deterministic(v in arb_value()) {
+        prop_assert_eq!(v.encode(), v.encode());
+    }
+
+    #[test]
+    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Hostile/corrupt migration payloads must produce errors, not UB
+        // or panics.
+        let _ = Value::decode(&bytes);
+    }
+
+    #[test]
+    fn uvarint_roundtrip(v in any::<u64>()) {
+        let mut w = WireWriter::new();
+        w.put_uvarint(v);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        prop_assert_eq!(r.get_uvarint().unwrap(), v);
+        prop_assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn ivarint_roundtrip(v in any::<i64>()) {
+        let mut w = WireWriter::new();
+        w.put_ivarint(v);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        prop_assert_eq!(r.get_ivarint().unwrap(), v);
+    }
+}

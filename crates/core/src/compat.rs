@@ -1,0 +1,82 @@
+//! Prototype-compatible function names (§5.2).
+//!
+//! The SNOW prototype exposed C entry points
+//!
+//! ```c
+//! int snow_send(int dst_id, int tag);
+//! int snow_recv(int src_id, int tag);
+//! ```
+//!
+//! with wildcard support on `snow_recv`'s parameters, replacing
+//! `pvm_send`/`pvm_recv` in application source. This module mirrors
+//! those names over [`SnowProcess`] for readers following the paper;
+//! idiomatic Rust code should call the methods directly.
+
+use crate::error::ProtoError;
+use crate::process::SnowProcess;
+use bytes::Bytes;
+use snow_vm::{Rank, Tag};
+
+/// Wildcard value for `snow_recv`'s source parameter (PVM's `-1`).
+pub const ANY_SOURCE: i64 = -1;
+
+/// Wildcard value for `snow_recv`'s tag parameter (PVM's `-1` wildcard;
+/// distinct from real tags only by convention, as in the prototype).
+pub const ANY_TAG: i64 = i64::MIN;
+
+/// `snow_send`: send `data` to `dst_id` under `tag` (Fig 2 + §5.2).
+pub fn snow_send(
+    p: &mut SnowProcess,
+    dst_id: Rank,
+    tag: Tag,
+    data: &[u8],
+) -> Result<(), ProtoError> {
+    p.send(dst_id, tag, Bytes::copy_from_slice(data))
+}
+
+/// `snow_recv`: receive a message matching `src_id`/`tag`, either of
+/// which may be a wildcard ([`ANY_SOURCE`], [`ANY_TAG`]). Returns
+/// `(source, tag, payload)`.
+pub fn snow_recv(
+    p: &mut SnowProcess,
+    src_id: i64,
+    tag: i64,
+) -> Result<(Rank, Tag, Bytes), ProtoError> {
+    let src = if src_id == ANY_SOURCE {
+        None
+    } else {
+        Some(src_id as Rank)
+    };
+    let tag = if tag == ANY_TAG { None } else { Some(tag as Tag) };
+    p.recv(src, tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::computation::{Computation, Start};
+    use snow_vm::HostSpec;
+
+    #[test]
+    fn compat_names_roundtrip() {
+        let comp = Computation::builder().hosts(HostSpec::ideal(), 2).build();
+        let handles = comp.launch(2, move |mut p, _start: Start| match p.rank() {
+            0 => {
+                snow_send(&mut p, 1, 3, b"via compat").unwrap();
+                let (src, tag, body) = snow_recv(&mut p, ANY_SOURCE, ANY_TAG).unwrap();
+                assert_eq!((src, tag, &body[..]), (1, 4, &b"reply"[..]));
+                p.finish();
+            }
+            1 => {
+                let (src, tag, body) = snow_recv(&mut p, 0, 3).unwrap();
+                assert_eq!((src, tag, &body[..]), (0, 3, &b"via compat"[..]));
+                snow_send(&mut p, 0, 4, b"reply").unwrap();
+                p.finish();
+            }
+            _ => unreachable!(),
+        });
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

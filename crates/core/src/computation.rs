@@ -1,0 +1,358 @@
+//! Launching distributed computations (the harness around the library).
+//!
+//! `Computation` assembles the full SNOW environment: a virtual machine
+//! with hosts, the scheduler carrying the *migration-enabled executable
+//! image* (§2.2), rank registration, and round-robin (or explicit)
+//! process placement. Applications are a single function of
+//! `(SnowProcess, Start)` — the `Start::Resumed` arm is the poll-point
+//! re-entry after a migration, mirroring how the SNOW compiler's
+//! annotated code jumps back to the interrupted location.
+
+use crate::migrate::initialize;
+use crate::process::SnowProcess;
+use snow_net::TimeScale;
+use snow_sched::{spawn_scheduler, MigrationRecord, SchedClient, SchedulerHandle};
+use snow_state::{ProcessState, StateCostModel};
+use snow_trace::Tracer;
+use snow_vm::{HostId, HostSpec, Rank, VirtualMachine, Vmid};
+use std::sync::{Arc, Barrier, Mutex};
+use std::thread::JoinHandle;
+
+/// How an application invocation begins.
+pub enum Start {
+    /// A fresh process at program entry.
+    Fresh,
+    /// Resumed on a destination host after migration, with the restored
+    /// execution + memory state.
+    Resumed(ProcessState),
+}
+
+/// Builder for a [`Computation`] environment.
+pub struct ComputationBuilder {
+    tracer: Arc<Tracer>,
+    scale: TimeScale,
+    cost: StateCostModel,
+    host_specs: Vec<HostSpec>,
+}
+
+impl Default for ComputationBuilder {
+    fn default() -> Self {
+        ComputationBuilder {
+            tracer: Tracer::disabled(),
+            scale: TimeScale::ZERO,
+            cost: StateCostModel::PAPER,
+            host_specs: Vec::new(),
+        }
+    }
+}
+
+impl ComputationBuilder {
+    /// Install a trace collector.
+    pub fn tracer(mut self, t: Arc<Tracer>) -> Self {
+        self.tracer = t;
+        self
+    }
+
+    /// Set the modeled-time scale (0 disables modeled delays).
+    pub fn time_scale(mut self, s: TimeScale) -> Self {
+        self.scale = s;
+        self
+    }
+
+    /// Override the state cost model.
+    pub fn cost_model(mut self, c: StateCostModel) -> Self {
+        self.cost = c;
+        self
+    }
+
+    /// Add `n` identical hosts.
+    pub fn hosts(mut self, spec: HostSpec, n: usize) -> Self {
+        self.host_specs.extend(std::iter::repeat_n(spec, n));
+        self
+    }
+
+    /// Add one host.
+    pub fn host(mut self, spec: HostSpec) -> Self {
+        self.host_specs.push(spec);
+        self
+    }
+
+    /// Build the environment. At least one host is required (it carries
+    /// the scheduler).
+    pub fn build(self) -> Computation {
+        assert!(
+            !self.host_specs.is_empty(),
+            "a computation needs at least one host"
+        );
+        let vm = VirtualMachine::new(Arc::clone(&self.tracer), self.scale);
+        let hosts: Vec<HostId> = self
+            .host_specs
+            .iter()
+            .map(|spec| vm.add_host(*spec))
+            .collect();
+        Computation {
+            vm,
+            hosts,
+            tracer: self.tracer,
+            cost: self.cost,
+            sched: Mutex::new(None),
+            client: Mutex::new(None),
+        }
+    }
+}
+
+/// A running SNOW environment plus its launch/migration controls.
+pub struct Computation {
+    vm: VirtualMachine,
+    hosts: Vec<HostId>,
+    tracer: Arc<Tracer>,
+    cost: StateCostModel,
+    sched: Mutex<Option<SchedulerHandle>>,
+    client: Mutex<Option<SchedClient>>,
+}
+
+impl Computation {
+    /// Start building an environment.
+    pub fn builder() -> ComputationBuilder {
+        ComputationBuilder::default()
+    }
+
+    /// The member hosts, in the order they were added.
+    pub fn hosts(&self) -> &[HostId] {
+        &self.hosts
+    }
+
+    /// The underlying virtual machine.
+    pub fn vm(&self) -> &VirtualMachine {
+        &self.vm
+    }
+
+    /// The trace collector.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
+    /// Launch `n` ranks placed round-robin over the member hosts.
+    ///
+    /// The same `app` function is also installed as the migration-
+    /// enabled executable image: after a migration it is re-entered with
+    /// [`Start::Resumed`]. May be called once per `Computation`.
+    pub fn launch<F>(&self, n: usize, app: F) -> Vec<JoinHandle<()>>
+    where
+        F: Fn(SnowProcess, Start) + Send + Sync + 'static,
+    {
+        let placement: Vec<HostId> = (0..n)
+            .map(|r| self.hosts[r % self.hosts.len()])
+            .collect();
+        self.launch_placed(&placement, app)
+    }
+
+    /// Launch one rank per entry of `placement` (rank i on
+    /// `placement[i]`).
+    pub fn launch_placed<F>(&self, placement: &[HostId], app: F) -> Vec<JoinHandle<()>>
+    where
+        F: Fn(SnowProcess, Start) + Send + Sync + 'static,
+    {
+        let app: Arc<dyn Fn(SnowProcess, Start) + Send + Sync> = Arc::new(app);
+        let cost = self.cost;
+
+        // The migration-enabled executable image (§2.2): initialize,
+        // then resume the application at its poll point.
+        let image_app = Arc::clone(&app);
+        let image: snow_sched::ProcessImage = Arc::new(move |cell, rank| {
+            match initialize(cell, rank, cost) {
+                Ok((proc_, state, _restore_s)) => image_app(proc_, Start::Resumed(state)),
+                Err(e) => panic!("initialize() failed for rank {rank}: {e}"),
+            }
+        });
+        {
+            let mut slot = self.sched.lock().unwrap();
+            assert!(slot.is_none(), "launch may only be called once");
+            *slot = Some(spawn_scheduler(&self.vm, self.hosts[0], image));
+        }
+        let client = SchedClient::new(&self.vm);
+
+        // Gate processes until every rank is registered and the initial
+        // PL table (§2.1: stored in every process's memory) has been
+        // distributed, so first connections route directly; scheduler
+        // consultation is reserved for post-nack on-demand updates.
+        let gate = Arc::new(Barrier::new(placement.len() + 1));
+        let pl_table: Arc<Mutex<Vec<(Rank, Vmid)>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::with_capacity(placement.len());
+        for (rank, host) in placement.iter().enumerate() {
+            let app = Arc::clone(&app);
+            let gate = Arc::clone(&gate);
+            let pl_for_proc = Arc::clone(&pl_table);
+            let (vmid, handle) = self
+                .vm
+                .spawn(*host, &format!("p{rank}"), move |cell| {
+                    gate.wait();
+                    let mut proc_ = SnowProcess::fresh(cell, rank, cost);
+                    proc_.install_pl(&pl_for_proc.lock().unwrap());
+                    app(proc_, Start::Fresh);
+                })
+                .expect("placement host is a member");
+            client
+                .register(rank, vmid)
+                .expect("scheduler is running");
+            pl_table.lock().unwrap().push((rank, vmid));
+            handles.push(handle);
+        }
+        gate.wait();
+        *self.client.lock().unwrap() = Some(client);
+        handles
+    }
+
+    fn with_client<T>(&self, f: impl FnOnce(&SchedClient) -> T) -> T {
+        let guard = self.client.lock().unwrap();
+        let client = guard
+            .as_ref()
+            .expect("launch() must be called before migration controls");
+        f(client)
+    }
+
+    /// Ask the scheduler to migrate `rank` to `host`, blocking until the
+    /// migration commits; returns the new vmid.
+    pub fn migrate(&self, rank: Rank, host: HostId) -> Result<Vmid, String> {
+        self.with_client(|c| c.migrate(rank, host))
+    }
+
+    /// Fire a migration request without waiting.
+    pub fn migrate_async(&self, rank: Rank, host: HostId) -> Result<(), String> {
+        self.with_client(|c| c.migrate_async(rank, host))
+    }
+
+    /// Wait for a previously requested migration to commit.
+    pub fn wait_migration_done(&self, rank: Rank) -> Result<Vmid, String> {
+        self.with_client(|c| c.wait_migration_done(rank))
+    }
+
+    /// Look up a rank's status and location.
+    pub fn lookup(&self, rank: Rank) -> Result<(snow_vm::wire::ExeStatus, Option<Vmid>), String> {
+        self.with_client(|c| c.lookup(rank))
+    }
+
+    /// Wait for every *initialized* (post-migration) process spawned so
+    /// far to finish. Migrated ranks continue on threads owned by the
+    /// scheduler; harnesses must join them — after joining the original
+    /// rank threads — before reading results or traces.
+    pub fn join_init_processes(&self) {
+        loop {
+            let joins = {
+                let guard = self.sched.lock().unwrap();
+                match guard.as_ref() {
+                    Some(s) => s.take_init_joins(),
+                    None => return,
+                }
+            };
+            if joins.is_empty() {
+                return;
+            }
+            for j in joins {
+                let _ = j.join();
+            }
+            // A resumed process may itself have migrated meanwhile;
+            // loop until no new initialized processes appear.
+        }
+    }
+
+    /// The scheduler's migration bookkeeping records.
+    pub fn migration_records(&self) -> Vec<MigrationRecord> {
+        self.sched
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map(|s| s.records())
+            .unwrap_or_default()
+    }
+
+    /// Gracefully stop the scheduler (after all application processes
+    /// have been joined). Further migration requests fail; the
+    /// environment can still route data between surviving processes.
+    pub fn shutdown(&self) {
+        let sched = self.sched.lock().unwrap().take();
+        if let Some(sched) = sched {
+            if let Some(client) = self.client.lock().unwrap().as_ref() {
+                let _ = client.shutdown();
+            }
+            sched.join();
+        }
+    }
+}
+
+impl Drop for Computation {
+    fn drop(&mut self) {
+        // Unblock the scheduler thread so test binaries do not leak it.
+        if let (Some(_), Some(client)) = (
+            self.sched.lock().unwrap().as_ref(),
+            self.client.lock().unwrap().as_ref(),
+        ) {
+            let _ = client.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[test]
+    fn two_rank_ping_pong() {
+        let comp = Computation::builder()
+            .hosts(HostSpec::ideal(), 2)
+            .build();
+        let handles = comp.launch(2, |mut p, _start| {
+            match p.rank() {
+                0 => {
+                    p.send(1, 1, Bytes::from_static(b"ping")).unwrap();
+                    let (src, tag, body) = p.recv(Some(1), Some(2)).unwrap();
+                    assert_eq!((src, tag, &body[..]), (1, 2, &b"pong"[..]));
+                }
+                1 => {
+                    let (src, tag, body) = p.recv(Some(0), Some(1)).unwrap();
+                    assert_eq!((src, tag, &body[..]), (0, 1, &b"ping"[..]));
+                    p.send(0, 2, Bytes::from_static(b"pong")).unwrap();
+                }
+                _ => unreachable!(),
+            }
+            p.finish();
+        });
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn wildcard_receive_across_ranks() {
+        let comp = Computation::builder()
+            .hosts(HostSpec::ideal(), 3)
+            .build();
+        let handles = comp.launch(3, |mut p, _start| {
+            match p.rank() {
+                0 => {
+                    let mut seen = Vec::new();
+                    for _ in 0..2 {
+                        let (src, _tag, _b) = p.recv(None, None).unwrap();
+                        seen.push(src);
+                    }
+                    seen.sort_unstable();
+                    assert_eq!(seen, vec![1, 2]);
+                }
+                r => {
+                    p.send(0, 9, Bytes::from(vec![r as u8; 8])).unwrap();
+                }
+            }
+            p.finish();
+        });
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one host")]
+    fn empty_builder_rejected() {
+        let _ = Computation::builder().build();
+    }
+}

@@ -1,0 +1,350 @@
+//! Process migration (Fig 5) and initialization (Fig 7).
+//!
+//! `migrate()` runs on the migrating process after a `migration_request`
+//! signal was intercepted at a poll point; `initialize()` runs as the
+//! body of the process the scheduler spawned on the destination host.
+//! Together they transfer the communication state: connections are
+//! drained and closed with Chandy-Lamport-style marker coordination
+//! \[28\], in-transit messages are captured in the received-message-list
+//! and forwarded, and the exe+mem state follows on the same FIFO
+//! channel.
+
+use crate::error::ProtoError;
+use crate::process::{Event, SnowProcess, TAG_CTRL, TICK, WATCHDOG};
+use bytes::Bytes;
+use snow_state::{ProcessState, StateCostModel};
+use snow_trace::EventKind;
+use snow_vm::process::EnvError;
+use snow_vm::wire::{ConnReqMsg, SchedReply, SchedRequest};
+use snow_vm::{Envelope, Incoming, Payload, ProcessCell, Rank, Signal, Vmid};
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// Timing breakdown of one migration, as measured by the two protocol
+/// halves. "Modeled" components come from the calibrated cost models
+/// (host speed, link bandwidth); "real" components are wall-clock on the
+/// machine running the reproduction.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MigrationTimings {
+    /// Real seconds coordinating connected peers (signal + markers +
+    /// drain + close) — Table 2 row "Coordinate".
+    pub coordinate_real_s: f64,
+    /// Modeled seconds to collect the exe+mem state — row "Collect".
+    pub collect_modeled_s: f64,
+    /// Modeled seconds to push the state across the network — row "Tx".
+    pub tx_modeled_s: f64,
+    /// Modeled seconds to restore on the destination — row "Restore"
+    /// (filled by the initialized process).
+    pub restore_modeled_s: f64,
+    /// Canonical state size in bytes.
+    pub state_bytes: usize,
+    /// In-transit messages captured and forwarded (Fig 13 behaviour).
+    pub rml_forwarded: usize,
+}
+
+impl MigrationTimings {
+    /// Total modeled+real migration cost — Table 2 row "Migrate".
+    pub fn total_s(&self) -> f64 {
+        self.coordinate_real_s
+            + self.collect_modeled_s
+            + self.tx_modeled_s
+            + self.restore_modeled_s
+    }
+}
+
+impl SnowProcess {
+    /// The migrate() algorithm (Fig 5). Consumes the process — after
+    /// this returns the application must return from its entry function,
+    /// terminating the migrating process (Fig 5 line 11). Execution
+    /// resumes inside the initialized process on the destination host.
+    pub fn migrate(mut self, state: &ProcessState) -> Result<MigrationTimings, ProtoError> {
+        let mut timings = MigrationTimings::default();
+        self.trace_mig(EventKind::MigrationStart);
+
+        // Lines 2–3: inform the scheduler, learn the initialized
+        // process's vmid.
+        self.cell.sched_send(SchedRequest::MigrationStart {
+            rank: self.rank,
+            reply: self.cell.reply_sender(),
+        })?;
+        let new_vmid = loop {
+            match self.wait_event("migration_start handshake")? {
+                Event::Sched(SchedReply::NewVmid { new_vmid }) => break new_vmid,
+                Event::Sched(SchedReply::Error { reason }) => {
+                    return Err(ProtoError::Scheduler(reason))
+                }
+                _ => continue,
+            }
+        };
+
+        // Line 4: tell the local daemon to reject all future conn_req,
+        // and reject those already queued — `classify` nacks inbound
+        // requests while `migrating` is set, which covers requests that
+        // raced past the daemon before the flag landed.
+        self.migrating = true;
+        self.cell.set_reject_all(true);
+
+        // Lines 5–7: coordinate connected peers.
+        let t0 = Instant::now();
+        let mut awaiting: HashSet<Rank> = self.cc.keys().copied().collect();
+        let peers: Vec<Rank> = awaiting.iter().copied().collect();
+        for peer in peers {
+            let env = Envelope {
+                src: self.rank,
+                tag: TAG_CTRL,
+                msg: self.cell.tracer().next_msg_id(),
+                payload: Payload::PeerMigrating,
+            };
+            let bytes = env.wire_bytes();
+            let delivered = self
+                .cc
+                .get(&peer)
+                .map(|tx| tx.send(Incoming::Data(env), bytes).is_ok())
+                .unwrap_or(false);
+            self.trace_mig(EventKind::PeerMigratingSent { peer });
+            if !delivered {
+                // Peer already terminated; nothing to drain from it.
+                awaiting.remove(&peer);
+                continue;
+            }
+            // The disconnection signal interrupts the peer if it is
+            // computing (Fig 6); if it is in recv, the marker alone
+            // suffices (Fig 4 lines 12–14).
+            if let Some(v) = self.pl.get(&peer) {
+                self.cell.send_signal(*v, Signal::Disconnect { from: self.rank });
+            }
+        }
+
+        // Line 6: receive into the RML until end_of_messages (peer not
+        // migrating) or peer_migrating (peer migrating simultaneously)
+        // arrives from every connected peer.
+        let deadline = Instant::now() + WATCHDOG;
+        while !awaiting.is_empty() {
+            match self.next_event(TICK)? {
+                Some(Event::EndOfMessages(p)) | Some(Event::PeerMigrated(p)) => {
+                    awaiting.remove(&p);
+                }
+                Some(_) => {}
+                None => {
+                    // Liveness check: a peer that died uncoordinated
+                    // cannot ever send its marker.
+                    awaiting.retain(|p| match self.pl.get(p) {
+                        Some(v) => self.cell.shared().registry().addr_of(*v).is_some(),
+                        None => false,
+                    });
+                    if Instant::now() >= deadline {
+                        return Err(ProtoError::Watchdog("migration drain"));
+                    }
+                }
+            }
+        }
+
+        // Absorb everything still deliverable in the inbox into the RML.
+        // Live peers are fully drained by the marker protocol (FIFO puts
+        // their data before end_of_messages); this catches messages from
+        // peers that terminated after sending, which can never produce a
+        // marker.
+        while self.next_event(std::time::Duration::ZERO)?.is_some() {}
+
+        // Line 7: close all existing connections.
+        let still_open: Vec<Rank> = self.cc.keys().copied().collect();
+        for peer in still_open {
+            // Peers that coordinated were closed by the marker handling;
+            // anything left (e.g. simultaneous migration races) closes
+            // here.
+            self.close_channel_to(peer);
+        }
+        timings.coordinate_real_s = t0.elapsed().as_secs_f64();
+
+        // Line 8: send the received-message-list to the new process over
+        // a direct channel (the initialized process accepts all
+        // connection requests, Fig 7 line 1).
+        let state_tx = self.connect_to_vmid(new_vmid)?;
+        let batch = self.rml.drain_all();
+        timings.rml_forwarded = batch.len();
+        self.trace_mig(EventKind::RmlForwarded {
+            count: batch.len(),
+            bytes: batch.iter().map(Envelope::wire_bytes).sum(),
+        });
+        let env = Envelope {
+            src: self.rank,
+            tag: TAG_CTRL,
+            msg: self.cell.tracer().next_msg_id(),
+            payload: Payload::RmlBatch(batch),
+        };
+        let nbytes = env.wire_bytes();
+        state_tx
+            .send(Incoming::Data(env), nbytes)
+            .map_err(|_| ProtoError::Env(EnvError::InboxClosed))?;
+
+        // Line 9: collect the execution and memory state (cost modeled
+        // by host speed; real work: canonical encoding).
+        let speed = self.cell.host_spec().map(|h| h.speed).unwrap_or(1.0);
+        let bytes = state.collect();
+        timings.state_bytes = bytes.len();
+        timings.collect_modeled_s = self.cost.collect_seconds(bytes.len(), speed);
+        let nap = self.cell.time_scale().real(timings.collect_modeled_s);
+        if !nap.is_zero() {
+            std::thread::sleep(nap);
+        }
+        self.trace_mig(EventKind::StateCollected { bytes: bytes.len() });
+
+        // Line 10: send the exe+mem state to the new process.
+        timings.tx_modeled_s = self
+            .cell
+            .shared()
+            .path(self.cell.vmid().host, new_vmid.host)
+            .transfer_seconds(bytes.len());
+        let env = Envelope {
+            src: self.rank,
+            tag: TAG_CTRL,
+            msg: self.cell.tracer().next_msg_id(),
+            payload: Payload::ExeMemState(Bytes::from(bytes)),
+        };
+        let nbytes = env.wire_bytes();
+        state_tx
+            .send(Incoming::Data(env), nbytes)
+            .map_err(|_| ProtoError::Env(EnvError::InboxClosed))?;
+        self.trace_mig(EventKind::StateTransmitted {
+            bytes: timings.state_bytes,
+        });
+
+        // Line 11: terminate — the caller returns from the app function;
+        // the spawn wrapper unregisters us and notifies the daemon.
+        Ok(timings)
+    }
+
+    fn trace_mig(&self, kind: EventKind) {
+        self.cell.trace(kind);
+    }
+
+    /// Establish a channel to an explicit vmid (the initialized
+    /// process). Same machinery as `connect()` but addressed by vmid,
+    /// since the PL table still maps our rank to ourselves.
+    fn connect_to_vmid(
+        &mut self,
+        target: Vmid,
+    ) -> Result<snow_vm::PostSender<Incoming>, ProtoError> {
+        let mut retries = 0u32;
+        loop {
+            let req_id = self.cell.next_req_id();
+            let req = ConnReqMsg {
+                req_id,
+                from_rank: self.rank,
+                from_vmid: self.cell.vmid(),
+                target,
+                reply: self.cell.reply_sender(),
+                data_to_requester: self.cell.data_sender_to_me(target.host),
+            };
+            self.cell.route_conn_req(req)?;
+            loop {
+                match self.wait_event("state-transfer connect")? {
+                    Event::Granted { req_id: r, .. } if r == req_id => {
+                        // Do not record this in cc: it is the transfer
+                        // channel, not an application connection. Build
+                        // a dedicated sender from the grant.
+                        // `classify` stored it in cc under our own rank
+                        // (peer_rank == self.rank); pull it back out.
+                        if let Some(tx) = self.cc.remove(&self.rank) {
+                            return Ok(tx);
+                        }
+                        unreachable!("grant recorded under own rank");
+                    }
+                    Event::Nacked { req_id: r } if r == req_id => {
+                        // Initialized process not ready yet (spawn race):
+                        // retry, but give up if it never appears — e.g.
+                        // the destination host left mid-migration.
+                        retries += 1;
+                        if retries > 2000 {
+                            return Err(ProtoError::Watchdog(
+                                "state-transfer connect retries",
+                            ));
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                        break;
+                    }
+                    _ => continue,
+                }
+            }
+        }
+    }
+}
+
+/// The initialize() algorithm (Fig 7): the body of the process the
+/// scheduler spawned on the destination host. Accepts every connection
+/// request from the start, buffers early traffic, receives the forwarded
+/// RML and the exe+mem state, completes the scheduler handshake, and
+/// restores the state.
+///
+/// Returns the resumed [`SnowProcess`] (with the merged RML and the
+/// authoritative PL table), the restored [`ProcessState`], and the
+/// restore timing for Table 2.
+pub fn initialize(
+    cell: ProcessCell,
+    rank: Rank,
+    cost: StateCostModel,
+) -> Result<(SnowProcess, ProcessState, f64), ProtoError> {
+    let mut p = SnowProcess::fresh(cell, rank, cost);
+    // Line 1: all conn_req accepted from here on — `classify` grants by
+    // default.
+    let mut forwarded_rml: Option<Vec<Envelope>> = None;
+    let mut state_bytes: Option<Bytes> = None;
+    // Lines 2–4: receive the RML, buffering and granting meanwhile, then
+    // the exe+mem state (FIFO on the transfer channel guarantees the RML
+    // arrives first).
+    while state_bytes.is_none() {
+        match p.wait_event("initialize")? {
+            Event::StateBatch(batch) => forwarded_rml = Some(batch),
+            Event::State(bytes) => state_bytes = Some(bytes),
+            _ => continue,
+        }
+    }
+    // Line 3: insert the forwarded list *in front of* locally received
+    // messages.
+    p.rml.prepend_batch(forwarded_rml.unwrap_or_default());
+    // The transfer channel was recorded under our own rank; it is not an
+    // application connection.
+    p.cc.remove(&rank);
+
+    // Line 5: inform the scheduler restore_complete.
+    p.cell.sched_send(SchedRequest::RestoreComplete {
+        rank,
+        new_vmid: p.cell.vmid(),
+        reply: p.cell.reply_sender(),
+    })?;
+    // Line 6: wait for the PL table and old vmid.
+    loop {
+        match p.wait_event("PL table handshake")? {
+            Event::Sched(SchedReply::PlTable { entries, old_vmid: _ }) => {
+                for (r, v) in entries {
+                    // Our own row still names the initialized process's
+                    // predecessor until commit; we are authoritative for
+                    // ourselves.
+                    if r != rank {
+                        p.pl.insert(r, v);
+                    }
+                }
+                p.pl.insert(rank, p.cell.vmid());
+                break;
+            }
+            Event::Sched(SchedReply::Error { reason }) => {
+                return Err(ProtoError::Scheduler(reason))
+            }
+            _ => continue,
+        }
+    }
+    // Line 7: migration_commit.
+    p.cell.sched_send(SchedRequest::MigrationCommit { rank })?;
+
+    // Line 8: restore the process state (cost modeled by host speed).
+    let bytes = state_bytes.expect("loop exits only with state");
+    let state = ProcessState::restore(&bytes)?;
+    let speed = p.cell.host_spec().map(|h| h.speed).unwrap_or(1.0);
+    let restore_modeled_s = cost.restore_seconds(bytes.len(), speed);
+    let nap = p.cell.time_scale().real(restore_modeled_s);
+    if !nap.is_zero() {
+        std::thread::sleep(nap);
+    }
+    p.cell.trace(EventKind::StateRestored { bytes: bytes.len() });
+    Ok((p, state, restore_modeled_s))
+}

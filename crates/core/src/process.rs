@@ -1,0 +1,594 @@
+//! The SNOW process runtime: send (Fig 2), connect (Fig 3), recv (Fig 4)
+//! and the disconnection handler (Fig 6).
+//!
+//! A [`SnowProcess`] wraps a virtual-machine [`ProcessCell`] with the
+//! paper's protocol state: the PL-table cache `pl[]`, the `Connected`
+//! set with its channels `cc[]`, the received-message-list, and the
+//! `Closed_conn` coordination counter. All algorithm line references in
+//! comments are to the paper's figures.
+
+use crate::error::ProtoError;
+use crate::rml::Rml;
+use bytes::Bytes;
+use snow_state::StateCostModel;
+use snow_trace::EventKind;
+use snow_vm::process::EnvError;
+use snow_vm::wire::{ConnReqMsg, Ctrl, ExeStatus, SchedReply, SchedRequest};
+use snow_vm::{Envelope, Incoming, Payload, PostSender, ProcessCell, Rank, Signal, Tag, Vmid};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Tag used by protocol marker envelopes (`peer_migrating`,
+/// `end_of_messages`); never surfaced to applications.
+pub(crate) const TAG_CTRL: Tag = -1;
+
+/// How long a blocking protocol step may stall before reporting a
+/// watchdog error instead of hanging (peers dying uncoordinated are
+/// outside the paper's failure model).
+pub(crate) const WATCHDOG: Duration = Duration::from_secs(60);
+
+/// Granularity at which blocked protocol loops wake to run liveness
+/// checks.
+pub(crate) const TICK: Duration = Duration::from_millis(25);
+
+/// Events surfaced by the shared inbox-processing loop. Everything not
+/// listed here (data buffering, inbound connection grants) is fully
+/// handled internally.
+#[derive(Debug)]
+pub(crate) enum Event {
+    /// A data message was appended to the RML (re-check your match).
+    Data,
+    /// An inbound connection was granted to `peer`.
+    InboundConn(Rank),
+    /// Our outbound request `req_id` was granted by `peer`.
+    Granted {
+        /// The request id we sent.
+        req_id: u64,
+        /// The granting rank.
+        peer: Rank,
+    },
+    /// Our outbound request `req_id` was rejected.
+    Nacked {
+        /// The rejected request id.
+        req_id: u64,
+    },
+    /// A scheduler reply arrived.
+    Sched(SchedReply),
+    /// A `peer_migrating` marker from `rank` was processed: the channel
+    /// is closed and `Closed_conn` incremented.
+    PeerMigrated(Rank),
+    /// An `end_of_messages` marker from `rank` (meaningful during a
+    /// migration drain).
+    EndOfMessages(Rank),
+    /// The forwarded received-message-list (initialization only).
+    StateBatch(Vec<Envelope>),
+    /// The canonical exe+mem state (initialization only).
+    State(Bytes),
+}
+
+/// A SNOW application process: the paper's protocol endpoint.
+pub struct SnowProcess {
+    pub(crate) cell: ProcessCell,
+    pub(crate) rank: Rank,
+    /// PL-table cache: rank → vmid (§2.1).
+    pub(crate) pl: HashMap<Rank, Vmid>,
+    /// `Connected` + `cc[]`: open logical channels per peer rank.
+    pub(crate) cc: HashMap<Rank, PostSender<Incoming>>,
+    /// The received-message-list (§3.1).
+    pub(crate) rml: Rml,
+    /// The `Closed_conn` coordination counter (Fig 6).
+    pub(crate) closed_conn: u32,
+    /// Set once a `migration_request` signal has been intercepted.
+    pub(crate) migrate_pending: bool,
+    /// True while running `migrate()`: inbound `conn_req`s are nacked.
+    pub(crate) migrating: bool,
+    /// State collect/restore cost model.
+    pub(crate) cost: StateCostModel,
+}
+
+impl SnowProcess {
+    /// Wrap a freshly spawned process.
+    pub fn fresh(cell: ProcessCell, rank: Rank, cost: StateCostModel) -> Self {
+        let mut pl = HashMap::new();
+        pl.insert(rank, cell.vmid());
+        SnowProcess {
+            cell,
+            rank,
+            pl,
+            cc: HashMap::new(),
+            rml: Rml::new(),
+            closed_conn: 0,
+            migrate_pending: false,
+            migrating: false,
+            cost,
+        }
+    }
+
+    /// Install PL-table rows (rank → vmid). §2.1: "the PL table is
+    /// stored inside the memory spaces of every process" — launchers
+    /// distribute the initial table so first connections route directly
+    /// instead of consulting the scheduler (consultation is reserved for
+    /// the on-demand update after a `conn_nack`, Fig 3).
+    pub fn install_pl(&mut self, entries: &[(Rank, Vmid)]) {
+        for (r, v) in entries {
+            if *r != self.rank {
+                self.pl.insert(*r, *v);
+            }
+        }
+    }
+
+    /// This process's application rank.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// This process's vmid.
+    pub fn vmid(&self) -> Vmid {
+        self.cell.vmid()
+    }
+
+    /// Ranks currently in the `Connected` set.
+    pub fn connected(&self) -> Vec<Rank> {
+        let mut v: Vec<Rank> = self.cc.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Messages buffered in the received-message-list.
+    pub fn rml_len(&self) -> usize {
+        self.rml.len()
+    }
+
+    /// The environment cell (host spec, tracer, ...).
+    pub fn cell(&self) -> &ProcessCell {
+        &self.cell
+    }
+
+    fn trace(&self, kind: EventKind) {
+        self.cell.trace(kind);
+    }
+
+    // ------------------------------------------------------------------
+    // Shared inbox processing
+    // ------------------------------------------------------------------
+
+    /// Receive and classify the next inbox message, fully handling
+    /// everything that has a context-independent reaction:
+    /// * data messages → RML (Fig 4 line 7),
+    /// * `peer_migrating` → close channel + `Closed_conn += 1`
+    ///   (Fig 4 lines 12–14),
+    /// * inbound `conn_req` → grant, or nack while migrating
+    ///   (Fig 4 lines 9–11 / Fig 5 line 4).
+    ///
+    /// Returns `Ok(None)` on a tick timeout so callers can run liveness
+    /// checks; errors with [`ProtoError::Watchdog`] via
+    /// [`Self::wait_event`].
+    pub(crate) fn next_event(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<Option<Event>, ProtoError> {
+        let inc = match self.cell.recv_incoming_timeout(timeout) {
+            Ok(Some(inc)) => inc,
+            Ok(None) => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        Ok(Some(self.classify(inc)))
+    }
+
+    fn classify(&mut self, inc: Incoming) -> Event {
+        match inc {
+            Incoming::Data(env) => match env.payload {
+                Payload::Data(_) => {
+                    self.trace(EventKind::RmlAppend {
+                        from: env.src,
+                        tag: env.tag,
+                        msg: env.msg,
+                    });
+                    self.rml.append(env);
+                    Event::Data
+                }
+                Payload::PeerMigrating => {
+                    let src = env.src;
+                    self.trace(EventKind::PeerMigratingSeen { peer: src });
+                    self.close_channel_to(src);
+                    self.closed_conn += 1;
+                    Event::PeerMigrated(src)
+                }
+                Payload::EndOfMessages => {
+                    self.trace(EventKind::EndOfMessages { peer: env.src });
+                    Event::EndOfMessages(env.src)
+                }
+                Payload::RmlBatch(batch) => Event::StateBatch(batch),
+                Payload::ExeMemState(bytes) => Event::State(bytes),
+            },
+            Incoming::Ctrl(ctrl) => match ctrl {
+                Ctrl::ConnReq(req) => {
+                    if self.migrating {
+                        // Fig 5 line 4: a migrating process rejects
+                        // connection requests itself.
+                        let req_id = req.req_id;
+                        let target = req.target;
+                        self.trace(EventKind::ConnNack { to: req.from_rank });
+                        self.cell
+                            .answer_conn_req(req_id, Ctrl::ConnNack { req_id, target });
+                        Event::Data
+                    } else {
+                        let peer = req.from_rank;
+                        self.grant(req);
+                        Event::InboundConn(peer)
+                    }
+                }
+                Ctrl::ConnGrant {
+                    req_id,
+                    peer_rank,
+                    peer_vmid,
+                    data_to_granter,
+                } => {
+                    self.pl.insert(peer_rank, peer_vmid);
+                    // Crossing-request dedup: the first established
+                    // channel wins so each direction stays on one wire.
+                    if let std::collections::hash_map::Entry::Vacant(e) =
+                        self.cc.entry(peer_rank)
+                    {
+                        e.insert(data_to_granter);
+                        self.trace(EventKind::ChannelOpen { peer: peer_rank });
+                    }
+                    Event::Granted {
+                        req_id,
+                        peer: peer_rank,
+                    }
+                }
+                Ctrl::ConnNack { req_id, .. } => Event::Nacked { req_id },
+                Ctrl::Sched(reply) => Event::Sched(reply),
+                // Normal processes never receive scheduler *requests*.
+                Ctrl::SchedRequest(_) => Event::Data,
+            },
+        }
+    }
+
+    /// Block for the next event, up to the watchdog limit.
+    pub(crate) fn wait_event(&mut self, what: &'static str) -> Result<Event, ProtoError> {
+        let deadline = Instant::now() + WATCHDOG;
+        loop {
+            if let Some(ev) = self.next_event(TICK)? {
+                return Ok(ev);
+            }
+            if Instant::now() >= deadline {
+                return Err(ProtoError::Watchdog(what));
+            }
+        }
+    }
+
+    /// Grant an inbound connection request (`grant_connection_to`,
+    /// Fig 3 line 7 / Fig 4 line 10).
+    pub(crate) fn grant(&mut self, req: ConnReqMsg) {
+        let peer = req.from_rank;
+        self.pl.insert(peer, req.from_vmid);
+        let grant = Ctrl::ConnGrant {
+            req_id: req.req_id,
+            peer_rank: self.rank,
+            peer_vmid: self.cell.vmid(),
+            data_to_granter: self.cell.data_sender_to_me(req.from_vmid.host),
+        };
+        self.trace(EventKind::ConnAck { from: peer });
+        self.cell.answer_conn_req(req.req_id, grant);
+        if let std::collections::hash_map::Entry::Vacant(e) = self.cc.entry(peer) {
+            e.insert(req.data_to_requester);
+            self.trace(EventKind::ChannelOpen { peer });
+        }
+    }
+
+    /// Close the channel toward `peer`, sending `end_of_messages` as the
+    /// last message on it (§3.2.2).
+    pub(crate) fn close_channel_to(&mut self, peer: Rank) {
+        if let Some(tx) = self.cc.remove(&peer) {
+            let env = Envelope {
+                src: self.rank,
+                tag: TAG_CTRL,
+                msg: self.cell.tracer().next_msg_id(),
+                payload: Payload::EndOfMessages,
+            };
+            let bytes = env.wire_bytes();
+            let _ = tx.send(Incoming::Data(env), bytes);
+            self.trace(EventKind::ChannelClose { peer });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduler consultation (Fig 3 lines 10–14)
+    // ------------------------------------------------------------------
+
+    /// Ask the scheduler where `dest` lives, updating the PL cache.
+    /// Errors with [`ProtoError::DestinationTerminated`] when the
+    /// scheduler reports termination.
+    pub(crate) fn consult_scheduler(&mut self, dest: Rank) -> Result<Vmid, ProtoError> {
+        self.trace(EventKind::SchedulerConsult { about: dest });
+        self.cell.sched_send(SchedRequest::Lookup {
+            about: dest,
+            reply: self.cell.reply_sender(),
+        })?;
+        loop {
+            match self.wait_event("scheduler lookup")? {
+                Event::Sched(SchedReply::Location {
+                    about,
+                    status,
+                    vmid,
+                }) if about == dest => match (status, vmid) {
+                    (ExeStatus::Terminated, _) | (_, None) => {
+                        return Err(ProtoError::DestinationTerminated(dest))
+                    }
+                    (_, Some(v)) => {
+                        self.pl.insert(dest, v);
+                        return Ok(v);
+                    }
+                },
+                Event::Sched(SchedReply::Error { reason }) => {
+                    return Err(ProtoError::Scheduler(reason))
+                }
+                _ => continue,
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // connect (Fig 3)
+    // ------------------------------------------------------------------
+
+    /// Establish a connection with `dest` (sender-initiated, §3.1).
+    /// On `conn_nack`, consults the scheduler and retries at the new
+    /// location — the on-demand location update.
+    pub(crate) fn connect(&mut self, dest: Rank) -> Result<(), ProtoError> {
+        // A nacked request whose re-lookup names the *same* location is
+        // making no progress: the target is dead but the scheduler has
+        // not (yet) heard. Retry briefly, then report instead of
+        // spinning forever — peers dying uncoordinated are outside the
+        // paper's failure model, so this is surfaced, not masked.
+        let mut stale_retries = 0u32;
+        const MAX_STALE_RETRIES: u32 = 400;
+        // Fig 3 line 1: while dest ∉ Connected
+        while !self.cc.contains_key(&dest) {
+            let target = match self.pl.get(&dest) {
+                Some(v) => *v,
+                None => self.consult_scheduler(dest)?,
+            };
+            let req_id = self.cell.next_req_id();
+            let req = ConnReqMsg {
+                req_id,
+                from_rank: self.rank,
+                from_vmid: self.cell.vmid(),
+                target,
+                reply: self.cell.reply_sender(),
+                data_to_requester: self.cell.data_sender_to_me(target.host),
+            };
+            self.trace(EventKind::ConnReq { to: dest });
+            // Fig 3 line 2: send conn_req to pl[dest].
+            if let Err(EnvError::HostGone(h)) = self.cell.route_conn_req(req) {
+                // The target daemon no longer exists: the requester's
+                // daemon rejects on its behalf (§3.1). Re-locate.
+                self.trace(EventKind::ConnNack { to: dest });
+                let fresh = self.consult_scheduler(dest)?;
+                if fresh.host == h {
+                    // The directory still names the departed host: the
+                    // destination is unreachable.
+                    return Err(ProtoError::Env(EnvError::HostGone(h)));
+                }
+                continue;
+            }
+            // Fig 3 lines 3–15: wait for ack/nack, servicing other
+            // traffic meanwhile.
+            'wait: loop {
+                match self.wait_event("connect")? {
+                    Event::Granted { req_id: r, peer } => {
+                        if r == req_id || peer == dest {
+                            break 'wait;
+                        }
+                    }
+                    Event::Nacked { req_id: r } if r == req_id => {
+                        self.trace(EventKind::ConnNack { to: dest });
+                        // Fig 3 lines 9–14: consult scheduler; retry or
+                        // report termination.
+                        let fresh = self.consult_scheduler(dest)?;
+                        if fresh == target {
+                            stale_retries += 1;
+                            if stale_retries >= MAX_STALE_RETRIES {
+                                return Err(ProtoError::Watchdog("connect retries"));
+                            }
+                            std::thread::sleep(Duration::from_millis(2));
+                        } else {
+                            stale_retries = 0;
+                        }
+                        break 'wait;
+                    }
+                    // Fig 3 lines 6–8: grant crossing requests. If the
+                    // requester was dest itself, Connected now holds it
+                    // and the outer while exits.
+                    Event::InboundConn(peer) => {
+                        if peer == dest || self.cc.contains_key(&dest) {
+                            break 'wait;
+                        }
+                    }
+                    _ => {
+                        if self.cc.contains_key(&dest) {
+                            break 'wait;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // send (Fig 2)
+    // ------------------------------------------------------------------
+
+    /// Send `payload` to rank `dest` under `tag`. Establishes the
+    /// connection first when necessary; never blocks on the receiver
+    /// (buffered mode, §2.3). If the channel died because the peer
+    /// migrated away, re-locates and retries transparently.
+    pub fn send(&mut self, dest: Rank, tag: Tag, payload: Bytes) -> Result<(), ProtoError> {
+        loop {
+            // Fig 2 lines 1–3.
+            self.connect(dest)?;
+            let env = Envelope {
+                src: self.rank,
+                tag,
+                msg: self.cell.tracer().next_msg_id(),
+                payload: Payload::Data(payload.clone()),
+            };
+            let bytes = env.wire_bytes();
+            let trace_ev = EventKind::Send {
+                to: dest,
+                tag,
+                bytes: payload.len(),
+                msg: env.msg,
+            };
+            // Fig 2 line 4.
+            let tx = self.cc.get(&dest).expect("connected after connect()");
+            match tx.send(Incoming::Data(env), bytes) {
+                Ok(()) => {
+                    self.trace(trace_ev);
+                    return Ok(());
+                }
+                Err(_) => {
+                    // The peer's inbox died: it terminated or its
+                    // migration completed and the old process exited.
+                    // Drop the stale channel and re-resolve; the
+                    // scheduler reports Terminated if it is truly gone.
+                    self.cc.remove(&dest);
+                    self.pl.remove(&dest);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // recv (Fig 4)
+    // ------------------------------------------------------------------
+
+    /// Receive a message matching `src`/`tag` (either may be `None` for
+    /// a wildcard). Searches the received-message-list first; new
+    /// unwanted messages are appended to it.
+    pub fn recv(
+        &mut self,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+    ) -> Result<(Rank, Tag, Bytes), ProtoError> {
+        self.trace(EventKind::RecvStart { from: src, tag });
+        let mut first_check = true;
+        loop {
+            // Fig 4 lines 2–4.
+            if let Some(env) = self.rml.take_match(src, tag) {
+                let body = match env.payload {
+                    Payload::Data(b) => b,
+                    _ => unreachable!("only data envelopes enter the RML"),
+                };
+                self.trace(EventKind::RecvDone {
+                    from: env.src,
+                    tag: env.tag,
+                    bytes: body.len(),
+                    msg: env.msg,
+                    from_rml: first_check,
+                });
+                return Ok((env.src, env.tag, body));
+            }
+            first_check = false;
+            // Fig 4 lines 5–15: get a new data or control message; the
+            // shared classifier implements lines 6–14.
+            let _ = self.wait_event("recv")?;
+        }
+    }
+
+    /// Non-blocking probe: is a matching message already buffered or
+    /// deliverable? Drains deliverable inbox traffic into the RML first.
+    pub fn probe(&mut self, src: Option<Rank>, tag: Option<Tag>) -> Result<bool, ProtoError> {
+        while let Some(_ev) = self.next_event(Duration::ZERO)? {}
+        Ok(self
+            .rml
+            .take_match(src, tag)
+            .map(|env| {
+                // Put it back in front: probe must not consume.
+                self.rml.prepend_batch(vec![env]);
+            })
+            .is_some())
+    }
+
+    // ------------------------------------------------------------------
+    // poll points & signals (Fig 6, §5.2)
+    // ------------------------------------------------------------------
+
+    /// A poll point: process queued signals, exactly as the prototype's
+    /// migration macros do at compiler-selected locations. Returns
+    /// `true` when a `migration_request` has been intercepted and the
+    /// application should call [`SnowProcess::migrate`].
+    ///
+    /// Signals are *only* handled here (and in [`Self::compute`]) —
+    /// never inside send/recv — which realises the `sighold`/`sigrelse`
+    /// discipline of §5.2.
+    pub fn poll_point(&mut self) -> Result<bool, ProtoError> {
+        while let Some(sig) = self.cell.poll_signal() {
+            match sig {
+                Signal::Migrate => {
+                    self.cell.trace(EventKind::SignalDelivered {
+                        signal: "SIGMIGRATE",
+                    });
+                    self.migrate_pending = true;
+                }
+                Signal::Disconnect { from } => {
+                    self.cell.trace(EventKind::SignalDelivered {
+                        signal: "SIGDISCONNECT",
+                    });
+                    self.disconnection_handler(from)?;
+                }
+            }
+        }
+        Ok(self.migrate_pending)
+    }
+
+    /// Has a migration request been intercepted (without polling again)?
+    pub fn migration_pending(&self) -> bool {
+        self.migrate_pending
+    }
+
+    /// The disconnection handler (Fig 6): if the coordination for some
+    /// migrating peer has not already been performed by `recv`
+    /// (`Closed_conn == 0`), drain messages into the RML until a
+    /// `peer_migrating` marker arrives, then close that channel;
+    /// otherwise consume one unit of completed coordination.
+    fn disconnection_handler(&mut self, _from: Rank) -> Result<(), ProtoError> {
+        if self.closed_conn == 0 {
+            loop {
+                match self.wait_event("disconnection_handler")? {
+                    Event::PeerMigrated(_) => break,
+                    _ => continue,
+                }
+            }
+            // `classify` incremented Closed_conn for the marker we just
+            // consumed; this handler invocation pairs with it.
+            self.closed_conn -= 1;
+        } else {
+            self.closed_conn -= 1;
+        }
+        Ok(())
+    }
+
+    /// A computation event of `modeled_seconds` of work: sleeps the
+    /// scaled real time, then hits a poll point. Returns `true` when
+    /// migration was requested.
+    pub fn compute(&mut self, modeled_seconds: f64) -> Result<bool, ProtoError> {
+        self.trace(EventKind::Compute {
+            work: (modeled_seconds * 1e6) as u64,
+        });
+        let real = self.cell.time_scale().real(modeled_seconds);
+        if !real.is_zero() {
+            std::thread::sleep(real);
+        }
+        self.poll_point()
+    }
+
+    /// Graceful termination: tells the scheduler this rank is done
+    /// (peers that later try to reach it get "destination terminated").
+    pub fn finish(self) {
+        let _ = self.cell.sched_send(SchedRequest::Terminated { rank: self.rank });
+    }
+}

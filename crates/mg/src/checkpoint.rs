@@ -1,0 +1,157 @@
+//! MG poll-point checkpoints ↔ machine-independent process state.
+//!
+//! The paper migrates the MG process "when a function call sequence
+//! main → kernelMG is made and two iterations of the multigrid solver
+//! ... are performed" (§6). At our iteration-boundary poll points the
+//! live state is: the fine-grid slab, the iteration counter, and the
+//! residual history. This module maps that to/from
+//! [`snow_state::ProcessState`] so it rides the exe+mem transfer.
+
+use crate::grid::Slab;
+use snow_codec::Value;
+use snow_state::{ExecState, MemoryGraph, ProcessState};
+
+/// The MG solver's live state at an iteration boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MgCheckpoint {
+    /// The fine-grid slab (ghosts included; re-exchanged on resume).
+    pub u: Slab,
+    /// Next iteration to execute.
+    pub iteration: usize,
+    /// Residual norms of completed iterations.
+    pub residuals: Vec<f64>,
+}
+
+impl MgCheckpoint {
+    /// Pack into a machine-independent process state. The exec state
+    /// records the paper's `main → kernelMG` call path with the
+    /// iteration as the poll-point local; the slab lives in the memory
+    /// graph.
+    pub fn to_state(&self) -> ProcessState {
+        let exec = ExecState::at_entry()
+            .enter("kernelMG")
+            .at_poll(self.iteration as u32)
+            .with_local("iteration", Value::U64(self.iteration as u64))
+            .with_local("nz", Value::U64(self.u.nz as u64))
+            .with_local("n", Value::U64(self.u.n as u64));
+        let mut mem = MemoryGraph::new();
+        let u_node = mem.add_node(Value::F64Array(self.u.as_slice().to_vec()));
+        let res_node = mem.add_node(Value::F64Array(self.residuals.clone()));
+        let root = mem.add_node(Value::Str("kernelMG state".into()));
+        mem.add_edge(root, 0, u_node);
+        mem.add_edge(root, 1, res_node);
+        ProcessState::new(exec, mem)
+    }
+
+    /// Unpack from a restored process state.
+    pub fn from_state(state: &ProcessState) -> Result<Self, String> {
+        let exec = &state.exec;
+        if exec.call_path.last().map(String::as_str) != Some("kernelMG") {
+            return Err(format!(
+                "unexpected call path {:?} for an MG checkpoint",
+                exec.call_path
+            ));
+        }
+        let get = |name: &str| {
+            exec.local(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("missing local {name}"))
+        };
+        let iteration = get("iteration")? as usize;
+        let nz = get("nz")? as usize;
+        let n = get("n")? as usize;
+        // Walk the memory graph from the root node.
+        let root = (0..state.memory.len() as u32)
+            .map(snow_state::NodeId)
+            .find(|id| {
+                matches!(state.memory.payload(*id), Some(Value::Str(s)) if s == "kernelMG state")
+            })
+            .ok_or("missing MG state root node")?;
+        let u_node = state.memory.follow(root, 0).ok_or("missing slab edge")?;
+        let res_node = state.memory.follow(root, 1).ok_or("missing residual edge")?;
+        let u_raw = match state.memory.payload(u_node) {
+            Some(Value::F64Array(a)) => a.clone(),
+            other => return Err(format!("bad slab payload: {other:?}")),
+        };
+        let residuals = match state.memory.payload(res_node) {
+            Some(Value::F64Array(a)) => a.clone(),
+            other => return Err(format!("bad residual payload: {other:?}")),
+        };
+        if u_raw.len() != (nz + 2) * (n + 2) * (n + 2) {
+            return Err(format!(
+                "slab payload has {} values, expected {}",
+                u_raw.len(),
+                (nz + 2) * (n + 2) * (n + 2)
+            ));
+        }
+        Ok(MgCheckpoint {
+            u: Slab::from_raw(nz, n, u_raw),
+            iteration,
+            residuals,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MgCheckpoint {
+        let mut u = Slab::zeros(2, 4);
+        u.set(1, 2, 3, 1.5);
+        u.set(2, 1, 1, -0.25);
+        MgCheckpoint {
+            u,
+            iteration: 2,
+            residuals: vec![10.0, 3.0],
+        }
+    }
+
+    #[test]
+    fn state_roundtrip() {
+        let cp = sample();
+        let state = cp.to_state();
+        let back = MgCheckpoint::from_state(&state).unwrap();
+        assert_eq!(back, cp);
+    }
+
+    #[test]
+    fn roundtrip_through_canonical_bytes() {
+        // The full migration path: collect on source, restore on dest.
+        let cp = sample();
+        let bytes = cp.to_state().collect();
+        let restored = snow_state::ProcessState::restore(&bytes).unwrap();
+        let back = MgCheckpoint::from_state(&restored).unwrap();
+        assert_eq!(back, cp);
+    }
+
+    #[test]
+    fn exec_state_names_the_paper_call_path() {
+        let state = sample().to_state();
+        assert_eq!(state.exec.call_path, vec!["main", "kernelMG"]);
+        assert_eq!(state.exec.poll_point, 2);
+    }
+
+    #[test]
+    fn wrong_state_rejected() {
+        let foreign = ProcessState::empty();
+        assert!(MgCheckpoint::from_state(&foreign).is_err());
+    }
+
+    #[test]
+    fn truncated_slab_rejected() {
+        let mut cp = sample();
+        cp.u = Slab::zeros(2, 4);
+        let mut state = cp.to_state();
+        // Tamper: claim a different nz in exec state.
+        state.exec = state.exec.clone().with_local("nz", Value::U64(9));
+        // from_state reads the FIRST matching local; rebuild instead.
+        let exec = ExecState::at_entry()
+            .enter("kernelMG")
+            .with_local("iteration", Value::U64(0))
+            .with_local("nz", Value::U64(9))
+            .with_local("n", Value::U64(4));
+        let state = ProcessState::new(exec, state.memory);
+        assert!(MgCheckpoint::from_state(&state).is_err());
+    }
+}

@@ -1,0 +1,334 @@
+//! Communication backends for the MG solver.
+//!
+//! The paper's Table 1 compares the *original* kernel MG (plain PVM) to
+//! the *modified* program (SNOW send/recv swapped in). The [`Comm`]
+//! trait lets one solver implementation run over both:
+//!
+//! * [`SnowComm`] — the SNOW protocol ([`snow_core::SnowProcess`]),
+//!   migration-capable;
+//! * [`RawComm`] — pre-wired crossbeam channels, no protocol layer, no
+//!   migration — the "original" baseline.
+//!
+//! Both backends account communication time, message and byte counts so
+//! Table 1's Execution/Communication split can be reproduced.
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use snow_core::SnowProcess;
+use std::time::{Duration, Instant};
+
+/// Accumulated communication-side statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CommStats {
+    /// Wall-clock spent inside send/recv calls.
+    pub comm_seconds: f64,
+    /// Messages sent.
+    pub sent: u64,
+    /// Messages received.
+    pub received: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+}
+
+impl CommStats {
+    fn add_send(&mut self, d: Duration, bytes: usize) {
+        self.comm_seconds += d.as_secs_f64();
+        self.sent += 1;
+        self.bytes_sent += bytes as u64;
+    }
+
+    fn add_recv(&mut self, d: Duration) {
+        self.comm_seconds += d.as_secs_f64();
+        self.received += 1;
+    }
+}
+
+/// Abstract point-to-point communication for SPMD workloads.
+pub trait Comm {
+    /// This process's rank.
+    fn rank(&self) -> usize;
+    /// Number of ranks in the computation.
+    fn nprocs(&self) -> usize;
+    /// Send a dense f64 buffer to `to` under `tag` (buffered mode:
+    /// returns once the buffer may be reused).
+    fn send_f64(&mut self, to: usize, tag: i32, data: &[f64]) -> Result<(), String>;
+    /// Receive the next f64 buffer from `from` under `tag`.
+    fn recv_f64(&mut self, from: usize, tag: i32) -> Result<Vec<f64>, String>;
+    /// Receive the next f64 buffer under `tag` from *any* source
+    /// (wildcard receive, like `snow_recv` with a source wildcard).
+    fn recv_any_f64(&mut self, tag: i32) -> Result<(usize, Vec<f64>), String>;
+    /// Poll-point hook: returns `true` when the workload should
+    /// checkpoint and migrate (always `false` for backends without
+    /// migration support).
+    fn poll_migration(&mut self) -> bool;
+    /// Statistics so far.
+    fn stats(&self) -> CommStats;
+}
+
+fn f64s_to_bytes(data: &[f64]) -> Bytes {
+    let mut v = Vec::with_capacity(data.len() * 8);
+    for x in data {
+        v.extend_from_slice(&x.to_le_bytes());
+    }
+    Bytes::from(v)
+}
+
+fn bytes_to_f64s(b: &[u8]) -> Result<Vec<f64>, String> {
+    if !b.len().is_multiple_of(8) {
+        return Err(format!("payload of {} bytes is not f64-aligned", b.len()));
+    }
+    Ok(b.chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect())
+}
+
+/// The SNOW-protocol backend (the paper's *modified* program).
+pub struct SnowComm {
+    p: SnowProcess,
+    nprocs: usize,
+    stats: CommStats,
+}
+
+impl SnowComm {
+    /// Wrap a SNOW process.
+    pub fn new(p: SnowProcess, nprocs: usize) -> Self {
+        SnowComm {
+            p,
+            nprocs,
+            stats: CommStats::default(),
+        }
+    }
+
+    /// Unwrap (to migrate or finish).
+    pub fn into_process(self) -> SnowProcess {
+        self.p
+    }
+
+    /// Borrow the underlying process.
+    pub fn process(&self) -> &SnowProcess {
+        &self.p
+    }
+}
+
+impl Comm for SnowComm {
+    fn rank(&self) -> usize {
+        self.p.rank()
+    }
+
+    fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    fn send_f64(&mut self, to: usize, tag: i32, data: &[f64]) -> Result<(), String> {
+        let t0 = Instant::now();
+        let payload = f64s_to_bytes(data);
+        let bytes = payload.len();
+        self.p.send(to, tag, payload).map_err(|e| e.to_string())?;
+        self.stats.add_send(t0.elapsed(), bytes);
+        Ok(())
+    }
+
+    fn recv_f64(&mut self, from: usize, tag: i32) -> Result<Vec<f64>, String> {
+        let t0 = Instant::now();
+        let (_src, _tag, body) = self
+            .p
+            .recv(Some(from), Some(tag))
+            .map_err(|e| e.to_string())?;
+        let out = bytes_to_f64s(&body)?;
+        self.stats.add_recv(t0.elapsed());
+        Ok(out)
+    }
+
+    fn recv_any_f64(&mut self, tag: i32) -> Result<(usize, Vec<f64>), String> {
+        let t0 = Instant::now();
+        let (src, _tag, body) = self
+            .p
+            .recv(None, Some(tag))
+            .map_err(|e| e.to_string())?;
+        let out = bytes_to_f64s(&body)?;
+        self.stats.add_recv(t0.elapsed());
+        Ok((src, out))
+    }
+
+    fn poll_migration(&mut self) -> bool {
+        self.p.poll_point().unwrap_or(false)
+    }
+
+    fn stats(&self) -> CommStats {
+        self.stats
+    }
+}
+
+type RawMsg = (usize, i32, Vec<f64>);
+
+/// Factory for a fully pre-wired mesh of [`RawComm`] endpoints.
+pub struct RawNetwork;
+
+impl RawNetwork {
+    /// Create `n` endpoints with all-pairs channels established up
+    /// front (the "original" program's static environment).
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new(n: usize) -> Vec<RawComm> {
+        let mut txs: Vec<Sender<RawMsg>> = Vec::with_capacity(n);
+        let mut rxs: Vec<Receiver<RawMsg>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        rxs.into_iter()
+            .enumerate()
+            .map(|(rank, rx)| RawComm {
+                rank,
+                nprocs: n,
+                txs: txs.clone(),
+                rx,
+                pending: Vec::new(),
+                stats: CommStats::default(),
+            })
+            .collect()
+    }
+}
+
+/// Raw-channel backend: no connection establishment, no RML, no
+/// migration — the Table 1 "original" baseline.
+pub struct RawComm {
+    rank: usize,
+    nprocs: usize,
+    txs: Vec<Sender<RawMsg>>,
+    rx: Receiver<RawMsg>,
+    /// Out-of-order buffer (the moral equivalent of PVM's message
+    /// queue, *not* the SNOW RML).
+    pending: Vec<RawMsg>,
+    stats: CommStats,
+}
+
+impl Comm for RawComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    fn send_f64(&mut self, to: usize, tag: i32, data: &[f64]) -> Result<(), String> {
+        let t0 = Instant::now();
+        let bytes = data.len() * 8;
+        self.txs[to]
+            .send((self.rank, tag, data.to_vec()))
+            .map_err(|_| format!("rank {to} hung up"))?;
+        self.stats.add_send(t0.elapsed(), bytes);
+        Ok(())
+    }
+
+    fn recv_f64(&mut self, from: usize, tag: i32) -> Result<Vec<f64>, String> {
+        let t0 = Instant::now();
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|(s, t, _)| *s == from && *t == tag)
+        {
+            let (_, _, data) = self.pending.remove(pos);
+            self.stats.add_recv(t0.elapsed());
+            return Ok(data);
+        }
+        loop {
+            let (s, t, data) = self
+                .rx
+                .recv()
+                .map_err(|_| "all senders hung up".to_string())?;
+            if s == from && t == tag {
+                self.stats.add_recv(t0.elapsed());
+                return Ok(data);
+            }
+            self.pending.push((s, t, data));
+        }
+    }
+
+    fn recv_any_f64(&mut self, tag: i32) -> Result<(usize, Vec<f64>), String> {
+        let t0 = Instant::now();
+        if let Some(pos) = self.pending.iter().position(|(_, t, _)| *t == tag) {
+            let (s, _, data) = self.pending.remove(pos);
+            self.stats.add_recv(t0.elapsed());
+            return Ok((s, data));
+        }
+        loop {
+            let (s, t, data) = self
+                .rx
+                .recv()
+                .map_err(|_| "all senders hung up".to_string())?;
+            if t == tag {
+                self.stats.add_recv(t0.elapsed());
+                return Ok((s, data));
+            }
+            self.pending.push((s, t, data));
+        }
+    }
+
+    fn poll_migration(&mut self) -> bool {
+        false
+    }
+
+    fn stats(&self) -> CommStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn f64_codec_roundtrip() {
+        let data = [1.5, -2.25, 0.0, f64::MAX];
+        let b = f64s_to_bytes(&data);
+        assert_eq!(b.len(), 32);
+        assert_eq!(bytes_to_f64s(&b).unwrap(), data);
+    }
+
+    #[test]
+    fn misaligned_payload_rejected() {
+        assert!(bytes_to_f64s(&[0u8; 7]).is_err());
+    }
+
+    #[test]
+    fn raw_pair_roundtrip() {
+        let mut net = RawNetwork::new(2);
+        let mut c1 = net.pop().unwrap();
+        let mut c0 = net.pop().unwrap();
+        let t = thread::spawn(move || {
+            c1.send_f64(0, 7, &[1.0, 2.0]).unwrap();
+            let got = c1.recv_f64(0, 8).unwrap();
+            assert_eq!(got, vec![3.0]);
+            c1.stats()
+        });
+        assert_eq!(c0.recv_f64(1, 7).unwrap(), vec![1.0, 2.0]);
+        c0.send_f64(1, 8, &[3.0]).unwrap();
+        let s1 = t.join().unwrap();
+        assert_eq!(s1.sent, 1);
+        assert_eq!(s1.received, 1);
+        assert_eq!(s1.bytes_sent, 16);
+        assert!(c0.stats().comm_seconds >= 0.0);
+    }
+
+    #[test]
+    fn raw_out_of_order_tags_buffered() {
+        let mut net = RawNetwork::new(2);
+        let mut c1 = net.pop().unwrap();
+        let mut c0 = net.pop().unwrap();
+        c1.send_f64(0, 1, &[1.0]).unwrap();
+        c1.send_f64(0, 2, &[2.0]).unwrap();
+        // Receive tag 2 first; tag 1 must be buffered, not lost.
+        assert_eq!(c0.recv_f64(1, 2).unwrap(), vec![2.0]);
+        assert_eq!(c0.recv_f64(1, 1).unwrap(), vec![1.0]);
+    }
+
+    #[test]
+    fn raw_never_migrates() {
+        let mut net = RawNetwork::new(1);
+        let mut c = net.pop().unwrap();
+        assert!(!c.poll_migration());
+    }
+}

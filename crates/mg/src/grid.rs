@@ -1,0 +1,191 @@
+//! Ghost-padded slab storage.
+//!
+//! The kernel MG program applies block partitioning along one axis
+//! (§6: "a vector is assigned to an array of size 16×128×128 when 8
+//! processes are used"). A [`Slab`] holds a process's block of a cubic
+//! grid: `nz` interior planes plus one ghost plane on each side in
+//! every dimension. The x/y ghosts wrap periodically *within* the slab;
+//! the z ghosts are filled by halo exchange with ring neighbours.
+
+/// One process's ghost-padded block of an `n × n × n` grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Slab {
+    /// Interior planes along the partitioned (z) axis.
+    pub nz: usize,
+    /// Interior extent of the unpartitioned axes.
+    pub n: usize,
+    data: Vec<f64>,
+}
+
+impl Slab {
+    /// A zero-filled slab of `nz` planes of an `n²` cross-section.
+    pub fn zeros(nz: usize, n: usize) -> Self {
+        assert!(nz >= 1 && n >= 2, "degenerate slab {nz}x{n}");
+        Slab {
+            nz,
+            n,
+            data: vec![0.0; (nz + 2) * (n + 2) * (n + 2)],
+        }
+    }
+
+    #[inline]
+    fn stride_z(&self) -> usize {
+        (self.n + 2) * (self.n + 2)
+    }
+
+    /// Index with ghost offsets: `z, y, x ∈ [0, nz+1] × [0, n+1]²`,
+    /// where 0 and the upper bound are ghosts.
+    #[inline]
+    pub fn idx(&self, z: usize, y: usize, x: usize) -> usize {
+        debug_assert!(z <= self.nz + 1 && y <= self.n + 1 && x <= self.n + 1);
+        z * self.stride_z() + y * (self.n + 2) + x
+    }
+
+    /// Read a cell.
+    #[inline]
+    pub fn get(&self, z: usize, y: usize, x: usize) -> f64 {
+        self.data[self.idx(z, y, x)]
+    }
+
+    /// Write a cell.
+    #[inline]
+    pub fn set(&mut self, z: usize, y: usize, x: usize, v: f64) {
+        let i = self.idx(z, y, x);
+        self.data[i] = v;
+    }
+
+    /// The raw storage (ghosts included).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Rebuild from raw storage (inverse of [`Slab::as_slice`]).
+    pub fn from_raw(nz: usize, n: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), (nz + 2) * (n + 2) * (n + 2));
+        Slab { nz, n, data }
+    }
+
+    /// Copy one ghost-extended plane (`(n+2)²` values) out of the slab.
+    /// `z` may address ghost planes.
+    pub fn plane(&self, z: usize) -> Vec<f64> {
+        let s = self.stride_z();
+        self.data[z * s..(z + 1) * s].to_vec()
+    }
+
+    /// Overwrite plane `z` from a buffer of `(n+2)²` values.
+    pub fn set_plane(&mut self, z: usize, buf: &[f64]) {
+        let s = self.stride_z();
+        assert_eq!(buf.len(), s, "plane size mismatch");
+        self.data[z * s..(z + 1) * s].copy_from_slice(buf);
+    }
+
+    /// Fill the x and y ghost cells by periodic wrap within the slab
+    /// (the grid is periodic in all dimensions; only z is partitioned).
+    pub fn wrap_xy(&mut self) {
+        let n = self.n;
+        for z in 0..=self.nz + 1 {
+            for y in 1..=n {
+                let lo = self.get(z, y, n);
+                let hi = self.get(z, y, 1);
+                self.set(z, y, 0, lo);
+                self.set(z, y, n + 1, hi);
+            }
+            for x in 0..=n + 1 {
+                let lo = self.get(z, n, x);
+                let hi = self.get(z, 1, x);
+                self.set(z, 0, x, lo);
+                self.set(z, n + 1, x, hi);
+            }
+        }
+    }
+
+    /// Sum of squares over interior cells (for norms).
+    pub fn norm2_interior(&self) -> f64 {
+        let mut acc = 0.0;
+        for z in 1..=self.nz {
+            for y in 1..=self.n {
+                for x in 1..=self.n {
+                    let v = self.get(z, y, x);
+                    acc += v * v;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Bytes of one ghost-extended plane — the halo message payload.
+    pub fn plane_bytes(&self) -> usize {
+        self.stride_z() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_roundtrip() {
+        let mut s = Slab::zeros(4, 8);
+        s.set(2, 3, 4, 7.5);
+        assert_eq!(s.get(2, 3, 4), 7.5);
+        assert_eq!(s.get(2, 3, 5), 0.0);
+    }
+
+    #[test]
+    fn plane_extract_insert() {
+        let mut s = Slab::zeros(2, 4);
+        s.set(1, 2, 2, 3.0);
+        let p = s.plane(1);
+        assert_eq!(p.len(), 36);
+        let mut t = Slab::zeros(2, 4);
+        t.set_plane(2, &p);
+        assert_eq!(t.get(2, 2, 2), 3.0);
+    }
+
+    #[test]
+    fn plane_bytes_matches_paper_sizes() {
+        // §6.1: messages of 34848, 9248, 2592 and 800 bytes.
+        assert_eq!(Slab::zeros(8, 64).plane_bytes(), 34848);
+        assert_eq!(Slab::zeros(4, 32).plane_bytes(), 9248);
+        assert_eq!(Slab::zeros(2, 16).plane_bytes(), 2592);
+        assert_eq!(Slab::zeros(1, 8).plane_bytes(), 800);
+    }
+
+    #[test]
+    fn wrap_xy_is_periodic() {
+        let mut s = Slab::zeros(1, 4);
+        s.set(1, 2, 4, 9.0); // x = n edge
+        s.set(1, 1, 2, 5.0); // y = 1 edge
+        s.wrap_xy();
+        assert_eq!(s.get(1, 2, 0), 9.0, "x ghost wraps from x=n");
+        assert_eq!(s.get(1, 5, 2), 5.0, "y ghost wraps from y=1");
+    }
+
+    #[test]
+    fn norm_ignores_ghosts() {
+        let mut s = Slab::zeros(2, 4);
+        s.set(0, 0, 0, 100.0); // ghost
+        s.set(1, 1, 1, 2.0);
+        assert_eq!(s.norm2_interior(), 4.0);
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        let mut s = Slab::zeros(2, 4);
+        s.set(1, 2, 3, 1.25);
+        let raw = s.as_slice().to_vec();
+        let t = Slab::from_raw(2, 4, raw);
+        assert_eq!(t, s);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_planes_rejected() {
+        let _ = Slab::zeros(0, 4);
+    }
+}

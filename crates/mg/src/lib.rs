@@ -1,0 +1,40 @@
+//! # snow-mg — the parallel kernel MG workload (§6 of the paper)
+//!
+//! The paper's case study migrates one process of the NAS *kernel MG*
+//! benchmark: an SPMD program running V-cycle multigrid iterations to
+//! approximate the solution of a discrete Poisson problem, with block
+//! partitioning and a ring communication topology ("every MG process
+//! transmits data to its left and right neighbors").
+//!
+//! This crate reimplements that workload:
+//!
+//! * [`grid`] — ghost-padded slab storage for the block partitioning.
+//! * [`stencil`] — Jacobi smoothing, residual, restriction and
+//!   prolongation on slabs (periodic boundaries, like NAS MG).
+//! * [`comm`] — the [`comm::Comm`] abstraction: the same solver runs
+//!   over the SNOW protocol ([`comm::SnowComm`], the paper's *modified*
+//!   program) or over raw pre-wired channels ([`comm::RawComm`], the
+//!   *original* program) — exactly the Table 1 comparison.
+//! * [`vcycle`] — the iteration driver with poll points at iteration
+//!   boundaries and checkpoint/resume for migration.
+//! * [`workloads`] — auxiliary communication patterns (ring token,
+//!   random traffic) for the §7 ablation benches.
+//!
+//! With the default `n = 64`, the ghost-extended halo planes exchanged
+//! at successive V-cycle levels are 66², 34², 18² and 10² doubles —
+//! 34 848, 9 248, 2 592 and 800 bytes, byte-for-byte the message sizes
+//! reported in §6.1 of the paper.
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod comm;
+pub mod grid;
+pub mod stencil;
+pub mod vcycle;
+pub mod workloads;
+
+pub use checkpoint::MgCheckpoint;
+pub use comm::{Comm, CommStats, RawComm, RawNetwork, SnowComm};
+pub use grid::Slab;
+pub use vcycle::{mg_app, mg_app_instrumented, plane_bytes, run_mg, MgConfig, MgOutcome, MgResult, MgResults};

@@ -1,0 +1,254 @@
+//! Numerical kernels: Jacobi smoothing, residual, restriction,
+//! prolongation (periodic Poisson, 7-point stencil).
+//!
+//! All kernels operate on one slab and assume ghosts (x/y wrap and z
+//! halo) are current; they are deterministic and order-independent, so
+//! a partitioned run produces bit-identical results to a serial run —
+//! which is how the tests verify the parallel harness.
+
+use crate::grid::Slab;
+
+/// One weighted-Jacobi sweep of `u` for `∇²u = f` (unit mesh width):
+/// writes the relaxed field into `out`.
+pub fn jacobi(u: &Slab, f: &Slab, out: &mut Slab, omega: f64) {
+    debug_assert_eq!((u.nz, u.n), (f.nz, f.n));
+    debug_assert_eq!((u.nz, u.n), (out.nz, out.n));
+    for z in 1..=u.nz {
+        for y in 1..=u.n {
+            for x in 1..=u.n {
+                let nb = u.get(z - 1, y, x)
+                    + u.get(z + 1, y, x)
+                    + u.get(z, y - 1, x)
+                    + u.get(z, y + 1, x)
+                    + u.get(z, y, x - 1)
+                    + u.get(z, y, x + 1);
+                let jac = (nb - f.get(z, y, x)) / 6.0;
+                let old = u.get(z, y, x);
+                out.set(z, y, x, old + omega * (jac - old));
+            }
+        }
+    }
+}
+
+/// Residual `r = f − ∇²u` into `out`.
+pub fn residual(u: &Slab, f: &Slab, out: &mut Slab) {
+    for z in 1..=u.nz {
+        for y in 1..=u.n {
+            for x in 1..=u.n {
+                let lap = u.get(z - 1, y, x)
+                    + u.get(z + 1, y, x)
+                    + u.get(z, y - 1, x)
+                    + u.get(z, y + 1, x)
+                    + u.get(z, y, x - 1)
+                    + u.get(z, y, x + 1)
+                    - 6.0 * u.get(z, y, x);
+                out.set(z, y, x, f.get(z, y, x) - lap);
+            }
+        }
+    }
+}
+
+/// Full-weighting-lite restriction: each coarse cell is the average of
+/// its 2×2×2 fine children. The fine slab must have even `nz` and `n`.
+pub fn restrict(fine: &Slab) -> Slab {
+    assert!(
+        fine.nz.is_multiple_of(2) && fine.n.is_multiple_of(2),
+        "restrict needs even dims"
+    );
+    let mut coarse = Slab::zeros(fine.nz / 2, fine.n / 2);
+    for z in 1..=coarse.nz {
+        for y in 1..=coarse.n {
+            for x in 1..=coarse.n {
+                let (fz, fy, fx) = (2 * z - 1, 2 * y - 1, 2 * x - 1);
+                let mut acc = 0.0;
+                for dz in 0..2 {
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            acc += fine.get(fz + dz, fy + dy, fx + dx);
+                        }
+                    }
+                }
+                coarse.set(z, y, x, acc / 8.0);
+            }
+        }
+    }
+    coarse
+}
+
+/// Piecewise-constant prolongation: adds each coarse correction to its
+/// 2×2×2 fine children in `fine` (in-place correction step).
+pub fn prolong_add(coarse: &Slab, fine: &mut Slab) {
+    assert_eq!(coarse.nz * 2, fine.nz);
+    assert_eq!(coarse.n * 2, fine.n);
+    for z in 1..=coarse.nz {
+        for y in 1..=coarse.n {
+            for x in 1..=coarse.n {
+                let c = coarse.get(z, y, x);
+                let (fz, fy, fx) = (2 * z - 1, 2 * y - 1, 2 * x - 1);
+                for dz in 0..2 {
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let v = fine.get(fz + dz, fy + dy, fx + dx) + c;
+                            fine.set(fz + dz, fy + dy, fx + dx, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// NAS-MG-style right-hand side: ±1 spikes at deterministic
+/// pseudo-random interior positions of the *global* grid. `z_off` is
+/// this slab's global z offset so every partitioning sees the same
+/// field.
+pub fn init_rhs(f: &mut Slab, n_global: usize, z_off: usize) {
+    // xorshift64* positions, fixed seed — identical across runs & ranks.
+    let mut s: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut next = move || {
+        s ^= s >> 12;
+        s ^= s << 25;
+        s ^= s >> 27;
+        s.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    };
+    for spike in 0..20 {
+        let gz = (next() as usize) % n_global;
+        let gy = (next() as usize) % n_global;
+        let gx = (next() as usize) % n_global;
+        let val = if spike % 2 == 0 { 1.0 } else { -1.0 };
+        if gz >= z_off && gz < z_off + f.nz {
+            f.set(gz - z_off + 1, gy + 1, gx + 1, val);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ghosted(nz: usize, n: usize, fill: impl Fn(usize, usize, usize) -> f64) -> Slab {
+        let mut s = Slab::zeros(nz, n);
+        for z in 0..=nz + 1 {
+            for y in 0..=n + 1 {
+                for x in 0..=n + 1 {
+                    s.set(z, y, x, fill(z, y, x));
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn jacobi_fixed_point_on_exact_solution() {
+        // u ≡ c with f ≡ 0 is a fixed point of the smoother.
+        let u = ghosted(2, 4, |_, _, _| 3.0);
+        let f = Slab::zeros(2, 4);
+        let mut out = Slab::zeros(2, 4);
+        jacobi(&u, &f, &mut out, 1.0);
+        for z in 1..=2 {
+            for y in 1..=4 {
+                for x in 1..=4 {
+                    assert_eq!(out.get(z, y, x), 3.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn residual_zero_on_harmonic_constant() {
+        let u = ghosted(2, 4, |_, _, _| 1.0);
+        let f = Slab::zeros(2, 4);
+        let mut r = Slab::zeros(2, 4);
+        residual(&u, &f, &mut r);
+        assert_eq!(r.norm2_interior(), 0.0);
+    }
+
+    #[test]
+    fn jacobi_reduces_residual() {
+        let mut u = Slab::zeros(4, 8);
+        let mut f = Slab::zeros(4, 8);
+        init_rhs(&mut f, 8, 0);
+        u.wrap_xy();
+        f.wrap_xy();
+        let mut r = Slab::zeros(4, 8);
+        residual(&u, &f, &mut r);
+        let before = r.norm2_interior();
+        let mut out = Slab::zeros(4, 8);
+        // A few smoothing sweeps with refreshed ghosts (serial: z is
+        // also periodic within the slab; emulate by copying planes).
+        for _ in 0..5 {
+            u.wrap_xy();
+            let top = u.plane(u.nz);
+            let bot = u.plane(1);
+            u.set_plane(0, &top);
+            u.set_plane(u.nz + 1, &bot);
+            jacobi(&u, &f, &mut out, 0.8);
+            std::mem::swap(&mut u, &mut out);
+        }
+        u.wrap_xy();
+        let top = u.plane(u.nz);
+        let bot = u.plane(1);
+        u.set_plane(0, &top);
+        u.set_plane(u.nz + 1, &bot);
+        residual(&u, &f, &mut r);
+        assert!(
+            r.norm2_interior() < before,
+            "{} !< {}",
+            r.norm2_interior(),
+            before
+        );
+    }
+
+    #[test]
+    fn restrict_preserves_constant() {
+        let fine = ghosted(4, 8, |_, _, _| 2.0);
+        let coarse = restrict(&fine);
+        assert_eq!((coarse.nz, coarse.n), (2, 4));
+        for z in 1..=2 {
+            for y in 1..=4 {
+                for x in 1..=4 {
+                    assert_eq!(coarse.get(z, y, x), 2.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prolong_adds_to_children() {
+        let mut coarse = Slab::zeros(1, 2);
+        coarse.set(1, 1, 1, 0.5);
+        let mut fine = Slab::zeros(2, 4);
+        prolong_add(&coarse, &mut fine);
+        assert_eq!(fine.get(1, 1, 1), 0.5);
+        assert_eq!(fine.get(2, 2, 2), 0.5);
+        assert_eq!(fine.get(1, 3, 1), 0.0, "other coarse cell was zero");
+    }
+
+    #[test]
+    fn rhs_is_partition_invariant() {
+        // The same global spikes regardless of slab decomposition.
+        let mut whole = Slab::zeros(8, 8);
+        init_rhs(&mut whole, 8, 0);
+        let mut lo = Slab::zeros(4, 8);
+        let mut hi = Slab::zeros(4, 8);
+        init_rhs(&mut lo, 8, 0);
+        init_rhs(&mut hi, 8, 4);
+        for z in 1..=4 {
+            for y in 1..=8 {
+                for x in 1..=8 {
+                    assert_eq!(lo.get(z, y, x), whole.get(z, y, x));
+                    assert_eq!(hi.get(z, y, x), whole.get(z + 4, y, x));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rhs_has_both_signs() {
+        let mut f = Slab::zeros(8, 8);
+        init_rhs(&mut f, 8, 0);
+        let vals: Vec<f64> = f.as_slice().iter().copied().filter(|v| *v != 0.0).collect();
+        assert!(vals.iter().any(|v| *v > 0.0));
+        assert!(vals.iter().any(|v| *v < 0.0));
+    }
+}

@@ -1,0 +1,350 @@
+//! Auxiliary communication workloads.
+//!
+//! §8 of the paper announces "more case studies on a number of parallel
+//! applications with different communication characteristics"; these
+//! patterns are the ones the §7 comparison arguments care about:
+//!
+//! * [`ring_token`] — a token circulating a ring (sparse connectivity:
+//!   exactly two peers per process), the best case for SNOW's
+//!   "coordinate only connected peers" scalability claim;
+//! * [`random_pairs`] — seeded random point-to-point traffic (denser,
+//!   irregular connectivity);
+//! * [`all_to_one`] — everyone funnels to rank 0 (a hotspot receiver,
+//!   the worst case for migrating rank 0).
+
+use crate::comm::Comm;
+
+/// Circulate a counter token `laps` times around the ring, with a
+/// migration poll each time the token leaves. Returns the final token
+/// value (rank 0 only; other ranks return 0) — it must equal
+/// `laps * nprocs`.
+pub fn ring_token(comm: &mut impl Comm, laps: usize) -> Result<u64, String> {
+    let np = comm.nprocs();
+    let rank = comm.rank();
+    if np == 1 {
+        return Ok(laps as u64);
+    }
+    let right = (rank + 1) % np;
+    let left = (rank + np - 1) % np;
+    let mut final_token = 0u64;
+    for lap in 0..laps {
+        if rank == 0 {
+            comm.send_f64(right, 10, &[(lap * np + 1) as f64])?;
+            let t = comm.recv_f64(left, 10)?[0] as u64;
+            final_token = t;
+        } else {
+            let t = comm.recv_f64(left, 10)?[0];
+            comm.send_f64(right, 10, &[t + 1.0])?;
+        }
+        comm.poll_migration();
+    }
+    Ok(if rank == 0 { final_token } else { 0 })
+}
+
+/// Deterministic pseudo-random pairwise traffic: every rank sends
+/// `rounds` messages to seeded-random partners and receives exactly the
+/// messages destined for it. Returns the number of payload doubles
+/// received. The schedule is globally known (same seed everywhere) so
+/// receives can be posted without a termination protocol.
+pub fn random_pairs(
+    comm: &mut impl Comm,
+    rounds: usize,
+    payload_len: usize,
+    seed: u64,
+) -> Result<usize, String> {
+    let np = comm.nprocs();
+    let rank = comm.rank();
+    if np < 2 {
+        return Ok(0);
+    }
+    // Global schedule: in round k, rank s sends to partner(s, k).
+    let partner = |s: usize, k: usize| -> usize {
+        let mut x = seed ^ ((s as u64) << 32) ^ k as u64;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        let p = (x.wrapping_mul(0x2545_f491_4f6c_dd1d) as usize) % (np - 1);
+        if p >= s {
+            p + 1
+        } else {
+            p
+        }
+    };
+    let mut received = 0usize;
+    let payload: Vec<f64> = (0..payload_len).map(|i| i as f64).collect();
+    for k in 0..rounds {
+        // Sends never block, so send first...
+        let to = partner(rank, k);
+        comm.send_f64(to, 20 + k as i32, &payload)?;
+        // ...then collect everything addressed to us this round.
+        for s in 0..np {
+            if s != rank && partner(s, k) == rank {
+                let got = comm.recv_f64(s, 20 + k as i32)?;
+                received += got.len();
+            }
+        }
+        comm.poll_migration();
+    }
+    Ok(received)
+}
+
+/// Everyone sends `rounds` messages to rank 0; rank 0 receives them all
+/// (wildcard-free: per-sender in order). Returns messages received
+/// (rank 0) or sent (others).
+pub fn all_to_one(
+    comm: &mut impl Comm,
+    rounds: usize,
+    payload_len: usize,
+) -> Result<usize, String> {
+    let np = comm.nprocs();
+    let rank = comm.rank();
+    if np == 1 {
+        return Ok(0);
+    }
+    if rank == 0 {
+        let mut got = 0;
+        for k in 0..rounds {
+            for s in 1..np {
+                let data = comm.recv_f64(s, 30 + k as i32)?;
+                debug_assert_eq!(data.len(), payload_len);
+                got += 1;
+            }
+            comm.poll_migration();
+        }
+        Ok(got)
+    } else {
+        let payload: Vec<f64> = vec![rank as f64; payload_len];
+        for k in 0..rounds {
+            comm.send_f64(0, 30 + k as i32, &payload)?;
+            comm.poll_migration();
+        }
+        Ok(rounds)
+    }
+}
+
+/// How a task-farm worker run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerOutcome {
+    /// The master sent Stop after `completed` tasks.
+    Done {
+        /// Tasks this worker finished (across all its incarnations).
+        completed: usize,
+    },
+    /// A migration request arrived at the between-tasks poll point.
+    Migrate {
+        /// Tasks finished so far (to carry in the checkpoint).
+        completed: usize,
+    },
+}
+
+/// Worker→master traffic: `[rank]` means Ready, `[rank, task, value]`
+/// means Result. One tag keeps master-side wildcard receives fair.
+const TAG_FARM: i32 = 40;
+const TAG_TASK: i32 = 41;
+
+/// Deterministic task function shared by master verification and
+/// workers.
+pub fn farm_task_value(task: usize) -> f64 {
+    let x = task as f64;
+    (x.sin() * x.sin() + 1.0) * (task % 7 + 1) as f64
+}
+
+/// Task-farm master (rank 0): hands `n_tasks` work items to whichever
+/// worker reports ready, collects one result per task, then stops every
+/// worker. Returns the per-task results. Workers may migrate at any
+/// between-tasks point; the master neither knows nor cares — the
+/// protocol redirects its replies.
+pub fn task_farm_master(comm: &mut impl Comm, n_tasks: usize) -> Result<Vec<f64>, String> {
+    let workers = comm.nprocs() - 1;
+    assert!(comm.rank() == 0 && workers >= 1);
+    let mut results = vec![f64::NAN; n_tasks];
+    let mut next_task = 0usize;
+    let mut stopped = 0usize;
+    // Workers alternate strictly Ready → Task → Result on one FIFO
+    // stream, so once every worker has been stopped (which happens at a
+    // Ready, after its last Result) every result has been processed.
+    while stopped < workers {
+        let (_src, d) = comm.recv_any_f64(TAG_FARM)?;
+        match d.len() {
+            1 => {
+                let worker = d[0] as usize;
+                if next_task < n_tasks {
+                    comm.send_f64(worker, TAG_TASK, &[next_task as f64])?;
+                    next_task += 1;
+                } else {
+                    comm.send_f64(worker, TAG_TASK, &[-1.0])?;
+                    stopped += 1;
+                }
+            }
+            3 => {
+                let task = d[1] as usize;
+                results[task] = d[2];
+            }
+            other => return Err(format!("malformed farm message of len {other}")),
+        }
+    }
+    if results.iter().any(|v| v.is_nan()) {
+        return Err("missing task results".into());
+    }
+    Ok(results)
+}
+
+/// Task-farm worker: request → compute → report, with a migration poll
+/// point between tasks (where no message is outstanding, so the
+/// checkpoint is just the completion counter).
+pub fn task_farm_worker(
+    comm: &mut impl Comm,
+    completed_so_far: usize,
+    task_work: std::time::Duration,
+) -> Result<WorkerOutcome, String> {
+    let me = comm.rank() as f64;
+    let mut completed = completed_so_far;
+    loop {
+        if comm.poll_migration() {
+            return Ok(WorkerOutcome::Migrate { completed });
+        }
+        comm.send_f64(0, TAG_FARM, &[me])?;
+        let task = comm.recv_f64(0, TAG_TASK)?[0];
+        if task < 0.0 {
+            return Ok(WorkerOutcome::Done { completed });
+        }
+        let task = task as usize;
+        if !task_work.is_zero() {
+            std::thread::sleep(task_work);
+        }
+        let value = farm_task_value(task);
+        comm.send_f64(0, TAG_FARM, &[me, task as f64, value])?;
+        completed += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::RawNetwork;
+    use std::thread;
+
+    fn run_all<F, T>(np: usize, f: F) -> Vec<T>
+    where
+        F: Fn(&mut crate::comm::RawComm) -> T + Send + Sync + Clone + 'static,
+        T: Send + 'static,
+    {
+        let comms = RawNetwork::new(np);
+        let mut handles = Vec::new();
+        for mut c in comms {
+            let f = f.clone();
+            handles.push(thread::spawn(move || (c.rank(), f(&mut c))));
+        }
+        let mut out: Vec<(usize, T)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        out.sort_by_key(|(r, _)| *r);
+        out.into_iter().map(|(_, t)| t).collect()
+    }
+
+    #[test]
+    fn ring_token_counts_hops() {
+        let res = run_all(4, |c| ring_token(c, 3).unwrap());
+        assert_eq!(res[0], 12, "3 laps × 4 hops");
+    }
+
+    #[test]
+    fn ring_token_single_process() {
+        let res = run_all(1, |c| ring_token(c, 5).unwrap());
+        assert_eq!(res[0], 5);
+    }
+
+    #[test]
+    fn random_pairs_conserves_messages() {
+        let rounds = 6;
+        let len = 16;
+        let res = run_all(5, move |c| random_pairs(c, rounds, len, 42).unwrap());
+        let total: usize = res.iter().sum();
+        assert_eq!(total, rounds * 5 * len, "every send is received");
+    }
+
+    #[test]
+    fn all_to_one_delivers_everything() {
+        let res = run_all(4, |c| all_to_one(c, 3, 8).unwrap());
+        assert_eq!(res[0], 9, "3 rounds × 3 senders");
+        assert!(res[1..].iter().all(|&s| s == 3));
+    }
+
+    #[test]
+    fn task_farm_computes_everything_once() {
+        const TASKS: usize = 37;
+        let comms = RawNetwork::new(4);
+        let mut handles = Vec::new();
+        for mut c in comms {
+            handles.push(thread::spawn(move || {
+                if c.rank() == 0 {
+                    (0, Some(task_farm_master(&mut c, TASKS).unwrap()), 0)
+                } else {
+                    match task_farm_worker(&mut c, 0, std::time::Duration::ZERO).unwrap() {
+                        WorkerOutcome::Done { completed } => (c.rank(), None, completed),
+                        WorkerOutcome::Migrate { .. } => unreachable!("raw never migrates"),
+                    }
+                }
+            }));
+        }
+        let mut results = None;
+        let mut total_done = 0;
+        for h in handles {
+            let (rank, r, done) = h.join().unwrap();
+            if rank == 0 {
+                results = r;
+            } else {
+                total_done += done;
+            }
+        }
+        let results = results.unwrap();
+        assert_eq!(results.len(), TASKS);
+        assert_eq!(total_done, TASKS, "each task done exactly once");
+        for (task, v) in results.iter().enumerate() {
+            assert_eq!(*v, farm_task_value(task));
+        }
+    }
+
+    #[test]
+    fn task_farm_single_worker() {
+        let comms = RawNetwork::new(2);
+        let mut handles = Vec::new();
+        for mut c in comms {
+            handles.push(thread::spawn(move || {
+                if c.rank() == 0 {
+                    Some(task_farm_master(&mut c, 5).unwrap())
+                } else {
+                    task_farm_worker(&mut c, 0, std::time::Duration::ZERO).unwrap();
+                    None
+                }
+            }));
+        }
+        let results: Vec<_> = handles.into_iter().filter_map(|h| h.join().unwrap()).collect();
+        assert_eq!(results[0].len(), 5);
+    }
+
+    #[test]
+    fn task_farm_zero_tasks_stops_workers() {
+        let comms = RawNetwork::new(3);
+        let mut handles = Vec::new();
+        for mut c in comms {
+            handles.push(thread::spawn(move || {
+                if c.rank() == 0 {
+                    assert!(task_farm_master(&mut c, 0).unwrap().is_empty());
+                } else {
+                    match task_farm_worker(&mut c, 0, std::time::Duration::ZERO).unwrap() {
+                        WorkerOutcome::Done { completed } => assert_eq!(completed, 0),
+                        _ => unreachable!(),
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn farm_task_value_is_deterministic() {
+        assert_eq!(farm_task_value(10), farm_task_value(10));
+        assert_ne!(farm_task_value(3), farm_task_value(4));
+    }
+}

@@ -1,0 +1,43 @@
+//! # snow-model — an executable model of the SNOW protocols
+//!
+//! The paper proves its four correctness properties analytically (§4).
+//! This crate complements the thread-based implementation (`snow-core`)
+//! with a *model-checking-flavoured* validation: the protocol is
+//! re-expressed as a small state machine over explicit message pools,
+//! and a seeded scheduler explores interleavings one atomic step at a
+//! time — including interleavings that are hard to hit with real
+//! threads (a marker overtaking nothing, every possible racing order of
+//! redirected sends, simultaneous migrations at every phase offset).
+//!
+//! The model covers the protocol's essence:
+//!
+//! * per-(sender→receiver) FIFO message pools (the §2.3 channel
+//!   assumption — and nothing stronger: cross-sender delivery order is
+//!   scheduler-chosen);
+//! * the received-message-list with wildcard search (Fig 4);
+//! * location caches updated *on demand* after a bounce (Fig 3's
+//!   nack → consult-scheduler path);
+//! * `peer_migrating` / `end_of_messages` marker coordination and RML
+//!   capture (Fig 5/6), RML forwarding and prepending (Fig 7);
+//! * process incarnations: the old process dies, the initialized one
+//!   resumes the remaining program.
+//!
+//! Each explored schedule asserts, at termination:
+//!
+//! 1. every process finished (no deadlock — Theorem 1 / Lemma 1);
+//! 2. every sent message was received exactly once (Theorem 2);
+//! 3. receives per (sender, receiver-rank) happened in send order
+//!    (Theorem 3);
+//! 4. the above hold with any number of concurrent migrations
+//!    (Theorem 4).
+//!
+//! [`explore`] runs many seeds; the `schedules` integration test and
+//! the property tests drive it across program shapes.
+
+#![warn(missing_docs)]
+
+pub mod script;
+pub mod world;
+
+pub use script::{Op, Program};
+pub use world::{explore, ExploreReport, ModelError, World};

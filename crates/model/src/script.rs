@@ -1,0 +1,143 @@
+//! Program scripts: the application behaviour each modelled rank runs.
+
+/// One application operation at a poll-point granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Send a message (payload is a generated sequence number) to a
+    /// rank under a tag.
+    Send {
+        /// Destination rank.
+        to: usize,
+        /// Application tag.
+        tag: i32,
+    },
+    /// Receive a matching message; `None` components are wildcards.
+    Recv {
+        /// Source filter.
+        from: Option<usize>,
+        /// Tag filter.
+        tag: Option<i32>,
+    },
+    /// An explicit poll point: the only place a pending migration order
+    /// is intercepted (§2.3 signal discipline).
+    Poll,
+}
+
+/// A rank's whole program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// The operations, executed in order. An implicit poll point exists
+    /// between any two operations *only* where an explicit [`Op::Poll`]
+    /// is placed.
+    pub ops: Vec<Op>,
+}
+
+impl Program {
+    /// Empty program (terminates immediately).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a send.
+    pub fn send(mut self, to: usize, tag: i32) -> Self {
+        self.ops.push(Op::Send { to, tag });
+        self
+    }
+
+    /// Append a receive.
+    pub fn recv(mut self, from: Option<usize>, tag: Option<i32>) -> Self {
+        self.ops.push(Op::Recv { from, tag });
+        self
+    }
+
+    /// Append a poll point.
+    pub fn poll(mut self) -> Self {
+        self.ops.push(Op::Poll);
+        self
+    }
+
+    /// Total messages this program sends.
+    pub fn sends(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, Op::Send { .. }))
+            .count()
+    }
+
+    /// Total messages this program receives.
+    pub fn recvs(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, Op::Recv { .. }))
+            .count()
+    }
+}
+
+/// A symmetric ping-ring program set: each of `n` ranks sends `k`
+/// messages to its right neighbour and receives `k` from its left, with
+/// poll points between rounds.
+pub fn ring_programs(n: usize, k: usize) -> Vec<Program> {
+    (0..n)
+        .map(|r| {
+            let mut p = Program::new();
+            for _ in 0..k {
+                p = p.send((r + 1) % n, 7).poll().recv(Some((r + n - 1) % n), Some(7)).poll();
+            }
+            p
+        })
+        .collect()
+}
+
+/// All-pairs programs: every rank sends `k` to every other, then
+/// receives everything addressed to it (wildcard), with poll points.
+pub fn all_pairs_programs(n: usize, k: usize) -> Vec<Program> {
+    (0..n)
+        .map(|r| {
+            let mut p = Program::new();
+            for other in 0..n {
+                if other != r {
+                    for _ in 0..k {
+                        p = p.send(other, 5);
+                    }
+                }
+            }
+            p = p.poll();
+            for _ in 0..k * (n - 1) {
+                p = p.recv(None, None).poll();
+            }
+            p
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let p = Program::new().send(1, 2).poll().recv(None, Some(2));
+        assert_eq!(p.ops.len(), 3);
+        assert_eq!(p.sends(), 1);
+        assert_eq!(p.recvs(), 1);
+    }
+
+    #[test]
+    fn ring_programs_balanced() {
+        let ps = ring_programs(4, 3);
+        assert_eq!(ps.len(), 4);
+        for p in &ps {
+            assert_eq!(p.sends(), 3);
+            assert_eq!(p.recvs(), 3);
+        }
+    }
+
+    #[test]
+    fn all_pairs_balanced() {
+        let ps = all_pairs_programs(3, 2);
+        for p in &ps {
+            assert_eq!(p.sends(), 4);
+            assert_eq!(p.recvs(), 4);
+        }
+    }
+}

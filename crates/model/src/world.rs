@@ -1,0 +1,764 @@
+//! The model world: incarnations, message pools, the seeded scheduler,
+//! and the invariant checks.
+
+use crate::script::{Op, Program};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Incarnation index (a rank gets a fresh incarnation per migration).
+type Inc = usize;
+
+/// Model-level message.
+#[derive(Debug, Clone, PartialEq)]
+enum Kind {
+    /// Application data; `seq` is the per-(src,dst-rank) send counter.
+    Data { seq: u64 },
+    /// The migrating process's last message on a channel (Fig 5).
+    PeerMigrating,
+    /// A peer's last message before closing toward the migrant.
+    EndOfMessages,
+    /// The forwarded received-message-list (Fig 5 line 8).
+    RmlBatch(Vec<Msg>),
+    /// The exe+mem state: the program counter to resume at.
+    State { pc: usize },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Msg {
+    id: u64,
+    src_rank: usize,
+    src_inc: Inc,
+    tag: i32,
+    kind: Kind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Executing its program.
+    Running,
+    /// Coordinating disconnection (Fig 5 line 6).
+    Draining,
+    /// An initialized process awaiting state (Fig 7).
+    Initialized,
+    /// Terminated after migrating (Fig 5 line 11).
+    Dead,
+    /// Program complete.
+    Done,
+}
+
+#[derive(Debug)]
+struct Proc {
+    rank: usize,
+    status: Status,
+    pc: usize,
+    rml: VecDeque<Msg>,
+    /// This process's PL-table cache: rank → believed incarnation
+    /// (§2.1: every process stores the PL table; updated on demand
+    /// after a nack, Fig 3).
+    pl: Vec<Inc>,
+    /// Open channels: peer rank → the peer incarnation on the other end.
+    channels: BTreeMap<usize, Inc>,
+    /// Pending disconnection signals: (peer rank, peer's old inc).
+    signals: VecDeque<(usize, Inc)>,
+    /// Migration ordered but not yet intercepted at a poll point; holds
+    /// the pre-spawned initialized incarnation.
+    migrate_pending: Option<Inc>,
+    /// While draining: peers whose final marker is still awaited.
+    awaiting: BTreeSet<usize>,
+}
+
+/// Model failure: an invariant of §4 was violated (or the model itself
+/// is inconsistent).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelError {
+    /// Seed of the offending schedule.
+    pub seed: u64,
+    /// Step at which the violation surfaced (or the final step).
+    pub step: usize,
+    /// Human-readable description.
+    pub what: String,
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "seed {} step {}: {}", self.seed, self.step, self.what)
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// The explorable protocol world.
+pub struct World {
+    programs: Vec<Program>,
+    procs: Vec<Proc>,
+    /// Scheduler's PL table: rank → current incarnation.
+    location: Vec<Inc>,
+    /// Per (sender rank, destination incarnation) FIFO pool — the §2.3
+    /// channel guarantee and nothing stronger.
+    queues: BTreeMap<(usize, Inc), VecDeque<Msg>>,
+    /// Migrations not yet injected (each fires once, at any step the
+    /// scheduler chooses, onto a fresh incarnation).
+    pending_migrations: Vec<usize>,
+    rng: StdRng,
+    seed: u64,
+    step: usize,
+    next_msg: u64,
+    /// Per (src,dst rank) send counters.
+    sent_seq: BTreeMap<(usize, usize), u64>,
+    /// Per (src,dst rank) last-consumed seq (Theorem 3 check).
+    recv_seq: BTreeMap<(usize, usize), u64>,
+    /// Data messages sent / consumed (Theorem 2 check).
+    data_sent: u64,
+    data_consumed: u64,
+}
+
+/// Outcome of exploring one or more schedules.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExploreReport {
+    /// Schedules executed.
+    pub schedules: usize,
+    /// Total scheduler steps across all schedules.
+    pub steps: usize,
+    /// Total migrations performed.
+    pub migrations: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Action {
+    /// Run the next app op of incarnation `i` (Running only).
+    App(Inc),
+    /// Deliver the head of queue (sender rank, dest inc) — only used
+    /// for incarnations that consume outside app recv (Draining,
+    /// Initialized).
+    Deliver(usize, Inc),
+    /// The app recv of `i` consumes from queue (sender rank, i).
+    RecvFrom(Inc, usize),
+    /// Inject the next pending migration for `rank`.
+    Migrate(usize),
+}
+
+impl World {
+    /// Build a world: one initial incarnation per program, plus a list
+    /// of ranks to migrate (each exactly once, at a scheduler-chosen
+    /// step; repeat a rank to migrate it repeatedly).
+    pub fn new(programs: Vec<Program>, migrations: Vec<usize>, seed: u64) -> Self {
+        let n = programs.len();
+        let procs = (0..n)
+            .map(|rank| Proc {
+                rank,
+                status: Status::Running,
+                pc: 0,
+                rml: VecDeque::new(),
+                pl: (0..n).collect(),
+                channels: BTreeMap::new(),
+                signals: VecDeque::new(),
+                migrate_pending: None,
+                awaiting: BTreeSet::new(),
+            })
+            .collect();
+        World {
+            programs,
+            procs,
+            location: (0..n).collect(),
+            queues: BTreeMap::new(),
+            pending_migrations: migrations,
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+            step: 0,
+            next_msg: 0,
+            sent_seq: BTreeMap::new(),
+            recv_seq: BTreeMap::new(),
+            data_sent: 0,
+            data_consumed: 0,
+        }
+    }
+
+    fn err(&self, what: impl Into<String>) -> ModelError {
+        ModelError {
+            seed: self.seed,
+            step: self.step,
+            what: what.into(),
+        }
+    }
+
+    fn push(&mut self, src_rank: usize, src_inc: Inc, dst_inc: Inc, tag: i32, kind: Kind) {
+        let msg = Msg {
+            id: self.next_msg,
+            src_rank,
+            src_inc,
+            tag,
+            kind,
+        };
+        self.next_msg += 1;
+        self.queues
+            .entry((src_rank, dst_inc))
+            .or_default()
+            .push_back(msg);
+    }
+
+    /// Establish/refresh the channel between `src` (incarnation) and the
+    /// rank `dst_rank`, exactly per Fig 3: an existing channel stays
+    /// valid while the peer lives (even while it drains); a fresh
+    /// `conn_req` goes to the *cached PL entry* and is nacked by dead or
+    /// migrating incarnations, whereupon the sender consults the
+    /// scheduler (on-demand update) and retries.
+    fn resolve(&mut self, src: Inc, dst_rank: usize) -> Inc {
+        let src_rank = self.procs[src].rank;
+        if let Some(&cached) = self.procs[src].channels.get(&dst_rank) {
+            if self.procs[cached].status != Status::Dead {
+                return cached;
+            }
+            // The peer's inbox died (it migrated away): drop the stale
+            // channel and re-establish.
+            self.procs[src].channels.remove(&dst_rank);
+        }
+        loop {
+            let target = self.procs[src].pl[dst_rank];
+            match self.procs[target].status {
+                // Running/Initialized/Done grant connections (a Done
+                // process never receives under balanced programs; the
+                // grant models PVM answering before exit).
+                Status::Running | Status::Initialized | Status::Done => {
+                    self.procs[src].channels.insert(dst_rank, target);
+                    self.procs[target].channels.entry(src_rank).or_insert(src);
+                    return target;
+                }
+                // Draining rejects new conn_req (Fig 5 line 4); Dead is
+                // nacked by the daemon. Consult the scheduler.
+                Status::Draining | Status::Dead => {
+                    let fresh = self.location[dst_rank];
+                    assert_ne!(
+                        fresh, target,
+                        "scheduler keeps naming a dead/migrating incarnation"
+                    );
+                    self.procs[src].pl[dst_rank] = fresh;
+                }
+            }
+        }
+    }
+
+    fn app_send(&mut self, i: Inc, to: usize, tag: i32) {
+        let src_rank = self.procs[i].rank;
+        let dst_inc = self.resolve(i, to);
+        let seq = self.sent_seq.entry((src_rank, to)).or_insert(0);
+        *seq += 1;
+        let seq = *seq;
+        self.push(src_rank, i, dst_inc, tag, Kind::Data { seq });
+        self.data_sent += 1;
+    }
+
+    /// Consume a data message at the application level, checking the
+    /// Theorem 3 per-pair order.
+    fn consume(&mut self, i: Inc, msg: &Msg) -> Result<(), ModelError> {
+        let dst_rank = self.procs[i].rank;
+        let Kind::Data { seq } = msg.kind else {
+            return Err(self.err("consumed a non-data message"));
+        };
+        let last = *self.recv_seq.get(&(msg.src_rank, dst_rank)).unwrap_or(&0);
+        if seq != last + 1 {
+            return Err(self.err(format!(
+                "rank {dst_rank} consumed seq {seq} from {} after {last}",
+                msg.src_rank
+            )));
+        }
+        self.recv_seq.insert((msg.src_rank, dst_rank), seq);
+        self.data_consumed += 1;
+        Ok(())
+    }
+
+    fn rml_take(&mut self, i: Inc, from: Option<usize>, tag: Option<i32>) -> Option<Msg> {
+        let pos = self.procs[i].rml.iter().position(|m| {
+            from.is_none_or(|f| m.src_rank == f) && tag.is_none_or(|t| m.tag == t)
+        })?;
+        self.procs[i].rml.remove(pos)
+    }
+
+    /// Handle one popped message in "protocol" context (recv loop /
+    /// drain / initialize): data buffers, markers close, state restores.
+    fn classify(&mut self, i: Inc, msg: Msg) -> Result<(), ModelError> {
+        match msg.kind {
+            Kind::Data { .. } => self.procs[i].rml.push_back(msg),
+            Kind::PeerMigrating => {
+                let m = msg.src_rank;
+                // Close the channel; send end_of_messages as its last
+                // message (§3.2.2).
+                if self.procs[i].channels.remove(&m).is_some() {
+                    let my_rank = self.procs[i].rank;
+                    self.push(my_rank, i, msg.src_inc, -1, Kind::EndOfMessages);
+                }
+                if self.procs[i].status == Status::Draining {
+                    // Simultaneous migration: the peer's marker counts
+                    // as its final message.
+                    self.procs[i].awaiting.remove(&m);
+                }
+                // A pending disconnection signal for this peer is now
+                // satisfied (the Closed_conn pairing of Fig 6).
+                self.procs[i].signals.retain(|(r, _)| *r != m);
+            }
+            Kind::EndOfMessages => {
+                let m = msg.src_rank;
+                if self.procs[i].status == Status::Draining {
+                    self.procs[i].awaiting.remove(&m);
+                }
+                // Otherwise: stale marker after a symmetric close; drop.
+            }
+            Kind::RmlBatch(batch) => {
+                if self.procs[i].status != Status::Initialized {
+                    return Err(self.err("RML batch at a non-initialized process"));
+                }
+                for m in batch.into_iter().rev() {
+                    self.procs[i].rml.push_front(m);
+                }
+            }
+            Kind::State { pc } => {
+                if self.procs[i].status != Status::Initialized {
+                    return Err(self.err("state at a non-initialized process"));
+                }
+                self.procs[i].status = Status::Running;
+                self.procs[i].pc = pc;
+            }
+        }
+        Ok(())
+    }
+
+    /// Poll point: run disconnection handlers, then intercept a pending
+    /// migration order (Fig 5 line 1 / Fig 6).
+    fn poll(&mut self, i: Inc) -> Result<(), ModelError> {
+        while let Some((m, _old_inc)) = self.procs[i].signals.pop_front() {
+            if !self.procs[i].channels.contains_key(&m) {
+                continue; // coordination already done by recv (Closed_conn > 0)
+            }
+            // Drain that peer's channel into the RML until its marker.
+            loop {
+                let Some(msg) = self
+                    .queues
+                    .get_mut(&(m, i))
+                    .and_then(VecDeque::pop_front)
+                else {
+                    return Err(self.err(format!(
+                        "disconnection handler of rank {} starved waiting for {m}'s marker",
+                        self.procs[i].rank
+                    )));
+                };
+                let is_marker = matches!(msg.kind, Kind::PeerMigrating);
+                self.classify(i, msg)?;
+                if is_marker {
+                    break;
+                }
+            }
+        }
+        if let Some(new_inc) = self.procs[i].migrate_pending.take() {
+            self.begin_migration(i, new_inc)?;
+        }
+        Ok(())
+    }
+
+    fn begin_migration(&mut self, i: Inc, new_inc: Inc) -> Result<(), ModelError> {
+        let my_rank = self.procs[i].rank;
+        // migration_start handshake: from now on lookups redirect.
+        self.location[my_rank] = new_inc;
+        let channels: Vec<(usize, Inc)> = self
+            .procs[i]
+            .channels
+            .iter()
+            .map(|(r, inc)| (*r, *inc))
+            .collect();
+        self.procs[i].status = Status::Draining;
+        for (m, m_inc) in channels {
+            if matches!(self.procs[m_inc].status, Status::Dead | Status::Done) {
+                // Peer already gone; nothing to drain from it (but any
+                // messages it sent earlier are still in our queues and
+                // will be absorbed before we die).
+                self.procs[i].channels.remove(&m);
+                continue;
+            }
+            self.push(my_rank, i, m_inc, -1, Kind::PeerMigrating);
+            self.procs[m_inc].signals.push_back((my_rank, i));
+            self.procs[i].awaiting.insert(m);
+        }
+        self.maybe_finish_drain(i)
+    }
+
+    fn maybe_finish_drain(&mut self, i: Inc) -> Result<(), ModelError> {
+        if self.procs[i].status != Status::Draining || !self.procs[i].awaiting.is_empty() {
+            return Ok(());
+        }
+        // Every channel coordinated. Absorb anything still queued toward
+        // us into the RML before dying (the implementation's final
+        // absorb pass — catches traffic from peers that terminated
+        // after sending, which never produce a marker).
+        let keys: Vec<(usize, Inc)> = self
+            .queues
+            .keys()
+            .filter(|(_, d)| *d == i)
+            .copied()
+            .collect();
+        for k in keys {
+            while let Some(msg) = self.queues.get_mut(&k).and_then(VecDeque::pop_front) {
+                self.classify(i, msg)?;
+            }
+        }
+        let my_rank = self.procs[i].rank;
+        let new_inc = self.location[my_rank];
+        if new_inc == i {
+            return Err(self.err("migration without a new incarnation"));
+        }
+        // Fig 5 lines 8–11: forward the RML, then the state, then die.
+        let batch: Vec<Msg> = self.procs[i].rml.drain(..).collect();
+        let pc = self.procs[i].pc;
+        self.push(my_rank, i, new_inc, -1, Kind::RmlBatch(batch));
+        self.push(my_rank, i, new_inc, -1, Kind::State { pc });
+        self.procs[i].status = Status::Dead;
+        Ok(())
+    }
+
+    fn start_scheduler_migration(&mut self, rank: usize) -> Result<bool, ModelError> {
+        let cur = self.location[rank];
+        if self.procs[cur].status != Status::Running {
+            // Already migrating or finished: the scheduler would reject;
+            // the schedule simply drops this order.
+            return Ok(false);
+        }
+        if self.procs[cur].pc >= self.programs[rank].ops.len() {
+            return Ok(false); // effectively terminated
+        }
+        let new_inc = self.procs.len();
+        let mut pl = self.location.clone();
+        pl[rank] = new_inc;
+        self.procs.push(Proc {
+            rank,
+            status: Status::Initialized,
+            pc: 0,
+            rml: VecDeque::new(),
+            pl,
+            channels: BTreeMap::new(),
+            signals: VecDeque::new(),
+            migrate_pending: None,
+            awaiting: BTreeSet::new(),
+        });
+        // The scheduler's PL table does NOT flip yet: it keeps naming
+        // the old (still accepting) incarnation until migration_start —
+        // flipping at order time deadlocks a receiver blocked on a
+        // message that would get redirected (this very model found it).
+        self.procs[cur].migrate_pending = Some(new_inc);
+        Ok(true)
+    }
+
+    fn enabled(&self) -> Vec<Action> {
+        let mut acts = Vec::new();
+        for (i, p) in self.procs.iter().enumerate() {
+            match p.status {
+                Status::Running => {
+                    let prog = &self.programs[p.rank];
+                    match prog.ops.get(p.pc) {
+                        None => {} // completion handled as its own action
+                        Some(Op::Send { .. }) | Some(Op::Poll) => acts.push(Action::App(i)),
+                        Some(Op::Recv { from, tag }) => {
+                            // Enabled if a match is buffered, or any
+                            // inbound message exists to examine.
+                            let rml_hit = p.rml.iter().any(|m| {
+                                from.is_none_or(|f| m.src_rank == f)
+                                    && tag.is_none_or(|t| m.tag == t)
+                            });
+                            if rml_hit {
+                                acts.push(Action::App(i));
+                            }
+                            for ((s, d), q) in &self.queues {
+                                if *d == i && !q.is_empty() {
+                                    acts.push(Action::RecvFrom(i, *s));
+                                }
+                            }
+                        }
+                    }
+                    if prog.ops.len() == p.pc {
+                        acts.push(Action::App(i)); // the "finish" step
+                    }
+                }
+                Status::Draining | Status::Initialized => {
+                    for ((s, d), q) in &self.queues {
+                        if *d == i && !q.is_empty() {
+                            acts.push(Action::Deliver(*s, i));
+                        }
+                    }
+                }
+                Status::Dead | Status::Done => {}
+            }
+        }
+        for rank in self.pending_migrations.iter().take(1) {
+            // Only the next pending migration is offered (orders are a
+            // queue at the scheduler), but at any step.
+            acts.push(Action::Migrate(*rank));
+        }
+        acts
+    }
+
+    fn run_action(&mut self, act: Action) -> Result<(), ModelError> {
+        match act {
+            Action::Migrate(rank) => {
+                self.pending_migrations.remove(0);
+                self.start_scheduler_migration(rank)?;
+            }
+            Action::App(i) => {
+                let rank = self.procs[i].rank;
+                match self.programs[rank].ops.get(self.procs[i].pc).copied() {
+                    None => {
+                        self.procs[i].status = Status::Done;
+                        // Termination sweep (the daemon's ProcessExited):
+                        // any drainer awaiting this incarnation's final
+                        // marker will never get one; prune it, as the
+                        // implementation's liveness check does.
+                        let dead_rank = self.procs[i].rank;
+                        for j in 0..self.procs.len() {
+                            if self.procs[j].status == Status::Draining
+                                && self.procs[j].awaiting.contains(&dead_rank)
+                                && self.procs[j].channels.get(&dead_rank) == Some(&i)
+                            {
+                                self.procs[j].awaiting.remove(&dead_rank);
+                                self.procs[j].channels.remove(&dead_rank);
+                                self.maybe_finish_drain(j)?;
+                            }
+                        }
+                        if let Some(new_inc) = self.procs[i].migrate_pending.take() {
+                            // The process finished before ever reaching a
+                            // poll point: the migration order dies with
+                            // it. The scheduler reclaims the initialized
+                            // process (a cleanup outside the paper's
+                            // scope, needed for quiescence). The PL never
+                            // flipped, so nothing was redirected there.
+                            if !self.procs[new_inc].rml.is_empty() {
+                                return Err(self.err(
+                                    "aborted initialized process had buffered messages",
+                                ));
+                            }
+                            self.procs[new_inc].status = Status::Dead;
+                        }
+                    }
+                    Some(Op::Send { to, tag }) => {
+                        self.app_send(i, to, tag);
+                        self.procs[i].pc += 1;
+                    }
+                    Some(Op::Poll) => {
+                        self.procs[i].pc += 1;
+                        self.poll(i)?;
+                    }
+                    Some(Op::Recv { from, tag }) => {
+                        // Only reachable via the rml_hit arm.
+                        let msg = self
+                            .rml_take(i, from, tag)
+                            .ok_or_else(|| self.err("recv enabled without a match"))?;
+                        self.consume(i, &msg)?;
+                        self.procs[i].pc += 1;
+                    }
+                }
+            }
+            Action::RecvFrom(i, s) => {
+                // The app recv examines the next message from sender s:
+                // everything funnels through the RML (Fig 4 line 7),
+                // then the op completes if its match is now buffered.
+                let msg = self
+                    .queues
+                    .get_mut(&(s, i))
+                    .and_then(VecDeque::pop_front)
+                    .ok_or_else(|| self.err("empty queue chosen"))?;
+                self.classify(i, msg)?;
+                if let Some(Op::Recv { from, tag }) =
+                    self.programs[self.procs[i].rank].ops.get(self.procs[i].pc).copied()
+                {
+                    if let Some(m) = self.rml_take(i, from, tag) {
+                        self.consume(i, &m)?;
+                        self.procs[i].pc += 1;
+                    }
+                }
+            }
+            Action::Deliver(s, i) => {
+                let msg = self
+                    .queues
+                    .get_mut(&(s, i))
+                    .and_then(VecDeque::pop_front)
+                    .ok_or_else(|| self.err("empty queue chosen"))?;
+                self.classify(i, msg)?;
+                self.maybe_finish_drain(i)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Run the schedule to quiescence and check every invariant.
+    pub fn run(&mut self) -> Result<(), ModelError> {
+        const STEP_CAP: usize = 2_000_000;
+        loop {
+            let acts = self.enabled();
+            if acts.is_empty() {
+                break;
+            }
+            let pick = acts[self.rng.gen_range(0..acts.len())];
+            self.run_action(pick)?;
+            self.step += 1;
+            if self.step > STEP_CAP {
+                return Err(self.err("step cap exceeded (livelock?)"));
+            }
+        }
+        // Theorem 1 / Lemma 1: every rank's live incarnation finished.
+        for rank in 0..self.programs.len() {
+            let inc = self.location[rank];
+            if self.procs[inc].status != Status::Done {
+                let dump: Vec<String> = self
+                    .procs
+                    .iter()
+                    .enumerate()
+                    .map(|(j, p)| {
+                        format!(
+                            "inc{j}(r{} {:?} pc{} rml{} sig{} await{:?})",
+                            p.rank,
+                            p.status,
+                            p.pc,
+                            p.rml.len(),
+                            p.signals.len(),
+                            p.awaiting
+                        )
+                    })
+                    .collect();
+                let queues: Vec<String> = self
+                    .queues
+                    .iter()
+                    .filter(|(_, q)| !q.is_empty())
+                    .map(|((s, d), q)| format!("{s}->inc{d}:{}", q.len()))
+                    .collect();
+                return Err(self.err(format!(
+                    "rank {rank} stuck in {:?} at pc {} of {} (deadlock); procs: {} ; queues: {}",
+                    self.procs[inc].status,
+                    self.procs[inc].pc,
+                    self.programs[rank].ops.len(),
+                    dump.join(" "),
+                    queues.join(" ")
+                )));
+            }
+        }
+        // Theorem 2: exactly-once delivery of every application message.
+        if self.data_sent != self.data_consumed {
+            return Err(self.err(format!(
+                "sent {} data messages but consumed {}",
+                self.data_sent, self.data_consumed
+            )));
+        }
+        Ok(())
+    }
+
+    /// Migrations actually performed in this run.
+    pub fn incarnations(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Steps executed.
+    pub fn steps(&self) -> usize {
+        self.step
+    }
+}
+
+/// Explore `schedules` seeded interleavings of `programs` with the given
+/// migration orders; panics on the first violated invariant (the error
+/// names the seed for replay).
+pub fn explore(
+    programs: &[Program],
+    migrations: &[usize],
+    schedules: usize,
+    base_seed: u64,
+) -> Result<ExploreReport, ModelError> {
+    let mut report = ExploreReport {
+        schedules,
+        ..Default::default()
+    };
+    for s in 0..schedules {
+        let mut w = World::new(
+            programs.to_vec(),
+            migrations.to_vec(),
+            base_seed ^ (s as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        w.run()?;
+        report.steps += w.steps();
+        report.migrations += w.incarnations() - programs.len();
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::script::{all_pairs_programs, ring_programs};
+
+    #[test]
+    fn ring_without_migration() {
+        let r = explore(&ring_programs(3, 4), &[], 50, 1).unwrap();
+        assert_eq!(r.migrations, 0);
+        assert!(r.steps > 0);
+    }
+
+    #[test]
+    fn ring_with_one_migration() {
+        let r = explore(&ring_programs(3, 4), &[0], 200, 2).unwrap();
+        assert!(r.migrations > 0, "most schedules should fire the migration");
+    }
+
+    #[test]
+    fn all_pairs_with_migration() {
+        explore(&all_pairs_programs(4, 2), &[2], 150, 3).unwrap();
+    }
+
+    #[test]
+    fn simultaneous_migrations() {
+        // Two ranks migrate; the scheduler may fire the orders at any
+        // phase offset (Theorem 4's space).
+        explore(&ring_programs(4, 3), &[0, 1], 200, 4).unwrap();
+    }
+
+    #[test]
+    fn repeated_migration_of_one_rank() {
+        explore(&ring_programs(3, 5), &[1, 1], 150, 5).unwrap();
+    }
+
+    #[test]
+    fn everyone_migrates() {
+        explore(&ring_programs(3, 3), &[0, 1, 2], 150, 6).unwrap();
+    }
+
+    #[test]
+    fn wildcard_receivers_with_migration() {
+        // all-pairs uses wildcard recvs: per-sender order must still
+        // hold across the migration.
+        explore(&all_pairs_programs(3, 3), &[0, 1], 150, 7).unwrap();
+    }
+
+    #[test]
+    fn unbalanced_programs() {
+        // Rank 0 only receives, rank 1 only sends; rank 0 migrates
+        // mid-stream.
+        let programs = vec![
+            {
+                let mut p = Program::new();
+                for _ in 0..6 {
+                    p = p.poll().recv(Some(1), Some(9));
+                }
+                p
+            },
+            {
+                let mut p = Program::new();
+                for _ in 0..6 {
+                    p = p.send(0, 9).poll();
+                }
+                p
+            },
+        ];
+        explore(&programs, &[0], 300, 8).unwrap();
+    }
+
+    #[test]
+    fn error_reports_seed() {
+        let e = ModelError {
+            seed: 42,
+            step: 7,
+            what: "x".into(),
+        };
+        assert!(e.to_string().contains("42"));
+    }
+}

@@ -1,0 +1,91 @@
+//! Large-scale schedule exploration and property-based program
+//! generation for the protocol model: the §4 theorems checked across
+//! thousands of interleavings.
+
+use proptest::prelude::*;
+use snow_model::{explore, Op, Program};
+
+/// Deep sweep over the canonical shapes (hundreds of seeds each).
+#[test]
+fn sweep_canonical_shapes() {
+    use snow_model::script::{all_pairs_programs, ring_programs};
+    let mut total_steps = 0usize;
+    for (programs, migs) in [
+        (ring_programs(2, 5), vec![0]),
+        (ring_programs(3, 4), vec![0, 2]),
+        (ring_programs(5, 3), vec![1, 3, 1]),
+        (all_pairs_programs(3, 2), vec![0, 1, 2]),
+        (all_pairs_programs(4, 1), vec![3, 0]),
+    ] {
+        let r = explore(&programs, &migs, 400, 0xfeed).unwrap();
+        total_steps += r.steps;
+    }
+    assert!(total_steps > 10_000, "exploration actually ran: {total_steps}");
+}
+
+/// Generate balanced random programs: a random multiset of (src → dst,
+/// tag-per-pair) messages turned into per-rank send lists and matching
+/// receive lists (receives use a per-pair tag so per-pair FIFO is the
+/// correct specification even with interleaved senders).
+fn arb_balanced_programs(n: usize) -> impl Strategy<Value = Vec<Program>> {
+    proptest::collection::vec((0..n, 0..n), 0..18).prop_map(move |pairs| {
+        let mut programs: Vec<Program> = (0..n).map(|_| Program::new()).collect();
+        let mut recv_counts = vec![vec![0usize; n]; n]; // [dst][src]
+        for (s, d) in pairs {
+            if s == d {
+                continue;
+            }
+            let tag = (s * n + d) as i32;
+            programs[s] = std::mem::take(&mut programs[s]).send(d, tag).poll();
+            recv_counts[d][s] += 1;
+        }
+        for (d, per_src) in recv_counts.iter().enumerate() {
+            for (s, &k) in per_src.iter().enumerate() {
+                for _ in 0..k {
+                    let tag = (s * n + d) as i32;
+                    programs[d] =
+                        std::mem::take(&mut programs[d]).recv(Some(s), Some(tag)).poll();
+                }
+            }
+        }
+        programs
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn random_programs_random_migrations(
+        programs in arb_balanced_programs(4),
+        migs in proptest::collection::vec(0usize..4, 0..4),
+        seed in any::<u64>(),
+    ) {
+        explore(&programs, &migs, 25, seed).map_err(|e| {
+            TestCaseError::fail(format!("invariant violated: {e}"))
+        })?;
+    }
+
+    #[test]
+    fn wildcard_heavy_programs(
+        k in 1usize..5,
+        migs in proptest::collection::vec(0usize..3, 0..3),
+        seed in any::<u64>(),
+    ) {
+        // Rank 0 receives everything with full wildcards; 1 and 2 send.
+        let mut p0 = Program::new();
+        for _ in 0..2 * k {
+            p0.ops.push(Op::Recv { from: None, tag: None });
+            p0.ops.push(Op::Poll);
+        }
+        let mut p1 = Program::new();
+        let mut p2 = Program::new();
+        for _ in 0..k {
+            p1 = p1.send(0, 5).poll();
+            p2 = p2.send(0, 5).poll();
+        }
+        explore(&[p0, p1, p2], &migs, 25, seed).map_err(|e| {
+            TestCaseError::fail(format!("invariant violated: {e}"))
+        })?;
+    }
+}

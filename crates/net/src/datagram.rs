@@ -1,0 +1,252 @@
+//! Connectionless datagram routing ("connectionless service").
+//!
+//! The paper routes connection-request control messages and their
+//! acknowledgements/rejections "from one process to another through the
+//! virtual machine" (§2.3). This module provides the underlying fabric:
+//! a [`Router`] that maps [`EndpointId`]s to mailboxes. `snow-vm` builds
+//! the daemon bookkeeping (pending-request records, rejection on missing
+//! targets) on top.
+//!
+//! Routing itself is best-effort addressed delivery — the router reports
+//! when the target endpoint does not exist, which is exactly the signal
+//! the daemons turn into a `conn_nack`.
+
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Address of a datagram endpoint within one virtual machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EndpointId(pub u64);
+
+/// Routing error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// No endpoint registered under the destination id (host left, the
+    /// process terminated, or it was never created).
+    NoSuchEndpoint(EndpointId),
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::NoSuchEndpoint(id) => write!(f, "no endpoint {id:?}"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+struct RouterInner<T> {
+    table: RwLock<HashMap<EndpointId, Sender<T>>>,
+    next_id: AtomicU64,
+}
+
+/// A shared datagram router.
+pub struct Router<T> {
+    inner: Arc<RouterInner<T>>,
+}
+
+impl<T> Clone for Router<T> {
+    fn clone(&self) -> Self {
+        Router {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Default for Router<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Router<T> {
+    /// Create an empty router.
+    pub fn new() -> Self {
+        Router {
+            inner: Arc::new(RouterInner {
+                table: RwLock::new(HashMap::new()),
+                next_id: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// Register a new endpoint and return its mailbox.
+    pub fn register(&self) -> Mailbox<T> {
+        let id = EndpointId(self.inner.next_id.fetch_add(1, Ordering::Relaxed));
+        let (tx, rx) = channel::unbounded();
+        self.inner.table.write().insert(id, tx);
+        Mailbox {
+            id,
+            rx,
+            router: self.clone(),
+        }
+    }
+
+    /// Remove an endpoint (host leave / process termination). Datagrams
+    /// sent afterwards fail with [`RouteError::NoSuchEndpoint`].
+    pub fn unregister(&self, id: EndpointId) {
+        self.inner.table.write().remove(&id);
+    }
+
+    /// Deliver a datagram to `to`.
+    pub fn send(&self, to: EndpointId, msg: T) -> Result<(), RouteError> {
+        let table = self.inner.table.read();
+        match table.get(&to) {
+            Some(tx) => tx.send(msg).map_err(|_| RouteError::NoSuchEndpoint(to)),
+            None => Err(RouteError::NoSuchEndpoint(to)),
+        }
+    }
+
+    /// Is an endpoint currently registered?
+    pub fn is_registered(&self, id: EndpointId) -> bool {
+        self.inner.table.read().contains_key(&id)
+    }
+
+    /// Number of live endpoints.
+    pub fn endpoint_count(&self) -> usize {
+        self.inner.table.read().len()
+    }
+}
+
+/// Receiving side of a registered endpoint.
+pub struct Mailbox<T> {
+    id: EndpointId,
+    rx: Receiver<T>,
+    router: Router<T>,
+}
+
+impl<T> Mailbox<T> {
+    /// This endpoint's address.
+    pub fn id(&self) -> EndpointId {
+        self.id
+    }
+
+    /// A handle to the router (for replies).
+    pub fn router(&self) -> &Router<T> {
+        &self.router
+    }
+
+    /// Blocking receive.
+    pub fn recv(&self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+
+    /// Receive with deadline.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.rx.recv_timeout(timeout)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<T> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Datagrams waiting in this mailbox.
+    pub fn backlog(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+impl<T> Drop for Mailbox<T> {
+    fn drop(&mut self) {
+        // A dropped mailbox is an endpoint that disappeared without an
+        // explicit leave; unregister so senders get NoSuchEndpoint
+        // rather than silently queueing into the void.
+        self.router.unregister(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn register_send_receive() {
+        let router: Router<u32> = Router::new();
+        let mb = router.register();
+        router.send(mb.id(), 42).unwrap();
+        assert_eq!(mb.recv(), Some(42));
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let router: Router<u32> = Router::new();
+        let a = router.register();
+        let b = router.register();
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn send_to_missing_endpoint_fails() {
+        let router: Router<u32> = Router::new();
+        let err = router.send(EndpointId(999), 1).unwrap_err();
+        assert_eq!(err, RouteError::NoSuchEndpoint(EndpointId(999)));
+    }
+
+    #[test]
+    fn unregister_makes_sends_fail() {
+        let router: Router<u32> = Router::new();
+        let mb = router.register();
+        let id = mb.id();
+        assert!(router.is_registered(id));
+        router.unregister(id);
+        assert!(!router.is_registered(id));
+        assert!(router.send(id, 1).is_err());
+    }
+
+    #[test]
+    fn drop_unregisters() {
+        let router: Router<u32> = Router::new();
+        let id = {
+            let mb = router.register();
+            mb.id()
+        };
+        assert!(!router.is_registered(id));
+        assert_eq!(router.endpoint_count(), 0);
+    }
+
+    #[test]
+    fn datagrams_ordered_per_sender() {
+        let router: Router<u32> = Router::new();
+        let mb = router.register();
+        for i in 0..50 {
+            router.send(mb.id(), i).unwrap();
+        }
+        for i in 0..50 {
+            assert_eq!(mb.recv(), Some(i));
+        }
+    }
+
+    #[test]
+    fn cross_thread_routing() {
+        let router: Router<String> = Router::new();
+        let a = router.register();
+        let b = router.register();
+        let (aid, bid) = (a.id(), b.id());
+        let r2 = router.clone();
+        let t = thread::spawn(move || {
+            // b replies to whatever it gets.
+            let m = b.recv().unwrap();
+            r2.send(aid, format!("re: {m}")).unwrap();
+        });
+        router.send(bid, "hello".to_string()).unwrap();
+        assert_eq!(a.recv().unwrap(), "re: hello");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_and_try_recv() {
+        let router: Router<u32> = Router::new();
+        let mb = router.register();
+        assert!(mb.try_recv().is_none());
+        assert!(mb.recv_timeout(Duration::from_millis(5)).is_err());
+        router.send(mb.id(), 1).unwrap();
+        assert_eq!(mb.try_recv(), Some(1));
+    }
+}

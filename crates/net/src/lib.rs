@@ -1,0 +1,30 @@
+//! # snow-net — transport substrate
+//!
+//! Layers 1–2 of the paper's protocol stack (Fig 1): the OS/virtual-machine
+//! communication services that the SNOW protocols are built on. The paper
+//! assumes (§2.3):
+//!
+//! 1. a **connection-oriented service** — bi-directional FIFO channels
+//!    with no loss and in-order delivery ([`channel`]);
+//! 2. a **connectionless service** — datagram routing between arbitrary
+//!    endpoints through the virtual machine ([`datagram`]);
+//! 3. a **signaling service** — reliable ordered signals (implemented in
+//!    `snow-vm` on top of [`datagram`]).
+//!
+//! Channels between threads are trivially reliable and ordered, so those
+//! guarantees hold by construction. What a thread-backed substrate does
+//! *not* give us is the paper's testbed timing — 10/100 Mbit Ethernet and
+//! hosts of very different speeds — so every link can carry a
+//! [`link::LinkModel`] that (a) accounts *modeled* seconds for the tables
+//! and (b) optionally applies a scaled-down real delay so interleavings
+//! (Fig 13's early-arriving messages) actually happen.
+
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod datagram;
+pub mod link;
+
+pub use channel::{ChannelError, Duplex, RecvTimeout};
+pub use datagram::{EndpointId, Mailbox, Router};
+pub use link::{LinkModel, TimeScale};

@@ -1,0 +1,160 @@
+//! Link and time-scale models.
+//!
+//! The paper's heterogeneous testbed (§6.3) mixes a 100 Mbit/s Ethernet
+//! cluster with one host on 10 Mbit/s Ethernet. Reproducing Table 2's
+//! *shape* requires charging transfers with `bytes / bandwidth + latency`.
+//! We keep two clocks:
+//!
+//! * **modeled seconds** — what the paper's stopwatch would have shown on
+//!   the 2001 testbed; used by the table harnesses.
+//! * **real delay** — the modeled time multiplied by a [`TimeScale`]
+//!   factor and actually slept, so that protocol interleavings that
+//!   depend on relative speeds really occur between threads. A scale of
+//!   zero disables sleeping entirely (the default for unit tests).
+
+use std::time::Duration;
+
+/// Scale factor between modeled seconds and real slept seconds.
+///
+/// `TimeScale(0.001)` makes one modeled second cost one real millisecond.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeScale(pub f64);
+
+impl TimeScale {
+    /// No real sleeping at all; modeled accounting only.
+    pub const ZERO: TimeScale = TimeScale(0.0);
+
+    /// 1 modeled second → 1 real millisecond; fast enough for benches,
+    /// slow enough that relative speeds are observable.
+    pub const MILLI: TimeScale = TimeScale(1e-3);
+
+    /// Convert a modeled duration in seconds to a real [`Duration`].
+    pub fn real(&self, modeled_seconds: f64) -> Duration {
+        if self.0 <= 0.0 || modeled_seconds <= 0.0 {
+            return Duration::ZERO;
+        }
+        Duration::from_secs_f64(modeled_seconds * self.0)
+    }
+}
+
+impl Default for TimeScale {
+    fn default() -> Self {
+        TimeScale::ZERO
+    }
+}
+
+/// Bandwidth/latency model of one network link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    /// One-way latency in modeled seconds.
+    pub latency_s: f64,
+    /// Usable bandwidth in bits per modeled second.
+    pub bandwidth_bps: f64,
+}
+
+impl LinkModel {
+    /// An idealised infinitely fast link (protocol-logic tests).
+    pub const INSTANT: LinkModel = LinkModel {
+        latency_s: 0.0,
+        bandwidth_bps: f64::INFINITY,
+    };
+
+    /// 100 Mbit/s switched Ethernet, ~0.1 ms latency — the paper's
+    /// Ultra 5 cluster interconnect (§6.1).
+    pub const ETHERNET_100M: LinkModel = LinkModel {
+        latency_s: 1e-4,
+        bandwidth_bps: 100e6 * 0.8, // ~80% achievable goodput
+    };
+
+    /// 10 Mbit/s shared Ethernet, ~0.5 ms latency — the DEC 5000/120's
+    /// link in the heterogeneous experiment (§6.3).
+    pub const ETHERNET_10M: LinkModel = LinkModel {
+        latency_s: 5e-4,
+        bandwidth_bps: 10e6 * 0.8,
+    };
+
+    /// Modeled seconds to move `bytes` across the link, including latency.
+    pub fn transfer_seconds(&self, bytes: usize) -> f64 {
+        if self.bandwidth_bps.is_infinite() {
+            return self.latency_s;
+        }
+        self.latency_s + (bytes as f64 * 8.0) / self.bandwidth_bps
+    }
+
+    /// Pure serialisation time (no latency) — used when pipelining
+    /// back-to-back frames that share the wire.
+    pub fn serialize_seconds(&self, bytes: usize) -> f64 {
+        if self.bandwidth_bps.is_infinite() {
+            0.0
+        } else {
+            (bytes as f64 * 8.0) / self.bandwidth_bps
+        }
+    }
+
+    /// The slower (min-bandwidth, max-latency) of two link models; a path
+    /// through two links is constrained by its worst hop.
+    pub fn bottleneck(&self, other: &LinkModel) -> LinkModel {
+        LinkModel {
+            latency_s: self.latency_s.max(other.latency_s),
+            bandwidth_bps: self.bandwidth_bps.min(other.bandwidth_bps),
+        }
+    }
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        LinkModel::INSTANT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_link_is_free() {
+        assert_eq!(LinkModel::INSTANT.transfer_seconds(1 << 30), 0.0);
+        assert_eq!(LinkModel::INSTANT.serialize_seconds(1 << 30), 0.0);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let l = LinkModel::ETHERNET_10M;
+        let t1 = l.transfer_seconds(1_000_000);
+        let t2 = l.transfer_seconds(2_000_000);
+        assert!(t2 > t1);
+        // 7.5 MB over 8 Mbit/s goodput ≈ 7.9 s — the right Table 2 order
+        // of magnitude (paper: 8.591 s).
+        let t = l.transfer_seconds(7_500_000);
+        assert!((6.0..11.0).contains(&t), "{t}");
+    }
+
+    #[test]
+    fn fast_link_is_faster() {
+        let b = 7_500_000;
+        assert!(
+            LinkModel::ETHERNET_100M.transfer_seconds(b)
+                < LinkModel::ETHERNET_10M.transfer_seconds(b) / 5.0
+        );
+    }
+
+    #[test]
+    fn bottleneck_takes_worst_of_each() {
+        let p = LinkModel::ETHERNET_100M.bottleneck(&LinkModel::ETHERNET_10M);
+        assert_eq!(p.bandwidth_bps, LinkModel::ETHERNET_10M.bandwidth_bps);
+        assert_eq!(p.latency_s, LinkModel::ETHERNET_10M.latency_s);
+    }
+
+    #[test]
+    fn timescale_zero_never_sleeps() {
+        assert_eq!(TimeScale::ZERO.real(100.0), Duration::ZERO);
+        assert_eq!(TimeScale::MILLI.real(0.0), Duration::ZERO);
+        assert_eq!(TimeScale::MILLI.real(-1.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn timescale_scales_linearly() {
+        assert_eq!(TimeScale::MILLI.real(2.0), Duration::from_millis(2));
+        assert_eq!(TimeScale(0.5).real(4.0), Duration::from_secs(2));
+    }
+}

@@ -1,0 +1,167 @@
+//! Harness-side scheduler client.
+//!
+//! Test harnesses and benchmark drivers are not SNOW processes, but they
+//! need to register ranks, request migrations (the "user sends a request
+//! to the scheduler" of §2.2) and query locations. `SchedClient` owns a
+//! private mailbox for the replies.
+
+use snow_net::LinkModel;
+use snow_vm::wire::{Ctrl, ExeStatus, Incoming, SchedReply, SchedRequest};
+use snow_vm::{HostId, Post, PostSender, Rank, VirtualMachine, Vmid};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Default patience for scheduler replies.
+const REPLY_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A blocking client for the scheduler.
+pub struct SchedClient {
+    shared: Arc<snow_vm::vm::VmShared>,
+    reply_tx: PostSender<Incoming>,
+    post: Post<Incoming>,
+    /// Completions that arrived while waiting for a different rank
+    /// (several migrations may be in flight through one client).
+    done: parking_lot::Mutex<std::collections::HashMap<Rank, Vmid>>,
+}
+
+impl SchedClient {
+    /// Create a client against a running environment.
+    pub fn new(vm: &VirtualMachine) -> Self {
+        let (reply_tx, post) =
+            Post::channel(LinkModel::INSTANT, vm.shared().time_scale());
+        SchedClient {
+            shared: Arc::clone(vm.shared()),
+            reply_tx,
+            post,
+            done: parking_lot::Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+
+    fn send(&self, req: SchedRequest) -> Result<(), String> {
+        let sched = self
+            .shared
+            .scheduler_vmid()
+            .ok_or_else(|| "no scheduler installed".to_string())?;
+        let addr = self
+            .shared
+            .registry()
+            .addr_of(sched)
+            .ok_or_else(|| "scheduler terminated".to_string())?;
+        addr.inbox
+            .send(
+                Incoming::Ctrl(Ctrl::SchedRequest(req)),
+                snow_vm::wire::ENVELOPE_OVERHEAD_BYTES,
+            )
+            .map_err(|_| "scheduler terminated".to_string())
+    }
+
+    fn recv_reply(&self) -> Result<SchedReply, String> {
+        let deadline = std::time::Instant::now() + REPLY_TIMEOUT;
+        loop {
+            let left = deadline
+                .checked_duration_since(std::time::Instant::now())
+                .ok_or_else(|| "timed out waiting for scheduler".to_string())?;
+            match self.post.recv_timeout(left) {
+                Ok(Some(Incoming::Ctrl(Ctrl::Sched(reply)))) => return Ok(reply),
+                Ok(Some(_)) => continue, // stray traffic; clients only expect replies
+                Ok(None) => continue,
+                Err(_) => return Err("client mailbox closed".into()),
+            }
+        }
+    }
+
+    /// Register a rank's initial location.
+    pub fn register(&self, rank: Rank, vmid: Vmid) -> Result<(), String> {
+        self.send(SchedRequest::Register { rank, vmid })
+    }
+
+    /// Mark a rank terminated.
+    pub fn terminated(&self, rank: Rank) -> Result<(), String> {
+        self.send(SchedRequest::Terminated { rank })
+    }
+
+    /// Look up a rank's status and location.
+    pub fn lookup(&self, rank: Rank) -> Result<(ExeStatus, Option<Vmid>), String> {
+        self.send(SchedRequest::Lookup {
+            about: rank,
+            reply: self.reply_tx.clone(),
+        })?;
+        loop {
+            match self.recv_reply()? {
+                SchedReply::Location { about, status, vmid } if about == rank => {
+                    return Ok((status, vmid))
+                }
+                SchedReply::Error { reason } => return Err(reason),
+                _ => continue,
+            }
+        }
+    }
+
+    /// Request a migration without waiting for completion.
+    pub fn migrate_async(&self, rank: Rank, to_host: HostId) -> Result<(), String> {
+        self.send(SchedRequest::Migrate {
+            rank,
+            to_host,
+            reply: self.reply_tx.clone(),
+        })
+    }
+
+    /// Request a migration and block until it commits; returns the new
+    /// vmid.
+    pub fn migrate(&self, rank: Rank, to_host: HostId) -> Result<Vmid, String> {
+        self.migrate_async(rank, to_host)?;
+        self.wait_migration_done(rank)
+    }
+
+    /// Wait for a previously requested migration of `rank` to commit.
+    /// Completions for other in-flight ranks observed meanwhile are
+    /// buffered for their own waiters.
+    pub fn wait_migration_done(&self, rank: Rank) -> Result<Vmid, String> {
+        if let Some(v) = self.done.lock().remove(&rank) {
+            return Ok(v);
+        }
+        loop {
+            match self.recv_reply()? {
+                SchedReply::MigrationDone { rank: r, new_vmid } => {
+                    if r == rank {
+                        return Ok(new_vmid);
+                    }
+                    self.done.lock().insert(r, new_vmid);
+                }
+                SchedReply::Error { reason } => return Err(reason),
+                _ => continue,
+            }
+        }
+    }
+
+    /// Ask the scheduler to stop (environment teardown).
+    pub fn shutdown(&self) -> Result<(), String> {
+        self.send(SchedRequest::Shutdown)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{null_image, spawn_scheduler};
+    use snow_vm::HostSpec;
+
+    #[test]
+    fn client_without_scheduler_errors() {
+        let vm = VirtualMachine::ideal();
+        let client = SchedClient::new(&vm);
+        assert!(client.register(0, Vmid { host: HostId(0), pid: 0 }).is_err());
+    }
+
+    #[test]
+    fn shutdown_stops_scheduler() {
+        let vm = VirtualMachine::ideal();
+        let h = vm.add_host(HostSpec::ideal());
+        let sched = spawn_scheduler(&vm, h, null_image());
+        let client = SchedClient::new(&vm);
+        client.shutdown().unwrap();
+        sched.join();
+        // Requests now fail: the scheduler unregistered on exit.
+        assert!(client.lookup(0).is_err());
+    }
+}

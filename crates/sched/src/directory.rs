@@ -1,0 +1,233 @@
+//! Process-location directory backends.
+//!
+//! §2 of the paper: the lookup service "could have a centralized or
+//! distributed structure depending on the applications' needs" — DNS,
+//! LDAP, Chord and Globe are all cited as viable. The [`Directory`]
+//! trait captures the three operations the protocol needs; the default
+//! [`CentralTable`] is the paper's simple centralized server.
+
+use snow_vm::wire::ExeStatus;
+use snow_vm::{Rank, Vmid};
+use std::collections::BTreeMap;
+
+/// One PL-table row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlEntry {
+    /// Current (or new, when migrating) location.
+    pub vmid: Vmid,
+    /// Execution status reported to lookups.
+    pub status: ExeStatus,
+}
+
+/// Abstract process-location directory.
+pub trait Directory: Send {
+    /// Insert or overwrite a rank's entry.
+    fn insert(&mut self, rank: Rank, entry: PlEntry);
+    /// Look up a rank.
+    fn lookup(&self, rank: Rank) -> Option<PlEntry>;
+    /// All entries, ordered by rank (the PL table shipped to an
+    /// initialized process, Fig 7 line 6).
+    fn entries(&self) -> Vec<(Rank, PlEntry)>;
+    /// Number of known ranks.
+    fn len(&self) -> usize {
+        self.entries().len()
+    }
+    /// True when no rank is registered.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Centralized in-memory PL table (the paper's prototype scheduler).
+#[derive(Debug, Clone, Default)]
+pub struct CentralTable {
+    rows: BTreeMap<Rank, PlEntry>,
+}
+
+impl CentralTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Directory for CentralTable {
+    fn insert(&mut self, rank: Rank, entry: PlEntry) {
+        self.rows.insert(rank, entry);
+    }
+
+    fn lookup(&self, rank: Rank) -> Option<PlEntry> {
+        self.rows.get(&rank).copied()
+    }
+
+    fn entries(&self) -> Vec<(Rank, PlEntry)> {
+        self.rows.iter().map(|(r, e)| (*r, *e)).collect()
+    }
+}
+
+/// A two-level hierarchical directory: ranks are hashed into `fan`
+/// *domains*, each holding its own table — the shape of the DNS/LDAP-
+/// style deployments §2 suggests for multi-domain environments. Lookup
+/// cost is one domain hop plus one leaf access; the counters make that
+/// observable for scalability experiments.
+#[derive(Debug, Default)]
+pub struct TwoLevelDirectory {
+    domains: Vec<CentralTable>,
+    /// Accesses that touched the domain level.
+    pub domain_hops: std::cell::Cell<u64>,
+    /// Accesses that touched a leaf table.
+    pub leaf_hits: std::cell::Cell<u64>,
+}
+
+impl TwoLevelDirectory {
+    /// Create a directory with `fan` leaf domains.
+    pub fn new(fan: usize) -> Self {
+        assert!(fan >= 1, "at least one domain");
+        TwoLevelDirectory {
+            domains: vec![CentralTable::new(); fan],
+            domain_hops: std::cell::Cell::new(0),
+            leaf_hits: std::cell::Cell::new(0),
+        }
+    }
+
+    fn domain_of(&self, rank: Rank) -> usize {
+        // Knuth multiplicative hash keeps ranks spread over domains.
+        (rank.wrapping_mul(2654435761) >> 4) % self.domains.len()
+    }
+
+    /// Number of domains.
+    pub fn fan(&self) -> usize {
+        self.domains.len()
+    }
+}
+
+impl Directory for TwoLevelDirectory {
+    fn insert(&mut self, rank: Rank, entry: PlEntry) {
+        let d = self.domain_of(rank);
+        self.domain_hops.set(self.domain_hops.get() + 1);
+        self.leaf_hits.set(self.leaf_hits.get() + 1);
+        self.domains[d].insert(rank, entry);
+    }
+
+    fn lookup(&self, rank: Rank) -> Option<PlEntry> {
+        let d = self.domain_of(rank);
+        self.domain_hops.set(self.domain_hops.get() + 1);
+        self.leaf_hits.set(self.leaf_hits.get() + 1);
+        self.domains[d].lookup(rank)
+    }
+
+    fn entries(&self) -> Vec<(Rank, PlEntry)> {
+        let mut all: Vec<(Rank, PlEntry)> = self
+            .domains
+            .iter()
+            .flat_map(|d| d.entries())
+            .collect();
+        all.sort_by_key(|(r, _)| *r);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snow_vm::HostId;
+
+    fn vmid(h: u32, p: u32) -> Vmid {
+        Vmid {
+            host: HostId(h),
+            pid: p,
+        }
+    }
+
+    #[test]
+    fn insert_lookup_overwrite() {
+        let mut t = CentralTable::new();
+        assert!(t.is_empty());
+        t.insert(
+            0,
+            PlEntry {
+                vmid: vmid(0, 0),
+                status: ExeStatus::Running,
+            },
+        );
+        assert_eq!(t.lookup(0).unwrap().vmid, vmid(0, 0));
+        t.insert(
+            0,
+            PlEntry {
+                vmid: vmid(1, 0),
+                status: ExeStatus::Migrated,
+            },
+        );
+        let e = t.lookup(0).unwrap();
+        assert_eq!(e.vmid, vmid(1, 0));
+        assert_eq!(e.status, ExeStatus::Migrated);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn entries_ordered_by_rank() {
+        let mut t = CentralTable::new();
+        for r in [3usize, 1, 2, 0] {
+            t.insert(
+                r,
+                PlEntry {
+                    vmid: vmid(0, r as u32),
+                    status: ExeStatus::Running,
+                },
+            );
+        }
+        let ranks: Vec<Rank> = t.entries().iter().map(|(r, _)| *r).collect();
+        assert_eq!(ranks, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn missing_rank_is_none() {
+        let t = CentralTable::new();
+        assert_eq!(t.lookup(9), None);
+    }
+
+    #[test]
+    fn two_level_roundtrip_and_ordering() {
+        let mut d = TwoLevelDirectory::new(4);
+        for r in (0..32).rev() {
+            d.insert(
+                r,
+                PlEntry {
+                    vmid: vmid(0, r as u32),
+                    status: ExeStatus::Running,
+                },
+            );
+        }
+        for r in 0..32 {
+            assert_eq!(d.lookup(r).unwrap().vmid, vmid(0, r as u32));
+        }
+        assert_eq!(d.lookup(99), None);
+        let ranks: Vec<Rank> = d.entries().iter().map(|(r, _)| *r).collect();
+        assert_eq!(ranks, (0..32).collect::<Vec<_>>());
+        assert!(d.domain_hops.get() >= 64, "accesses are counted");
+    }
+
+    #[test]
+    fn two_level_spreads_ranks() {
+        let mut d = TwoLevelDirectory::new(4);
+        for r in 0..64 {
+            d.insert(
+                r,
+                PlEntry {
+                    vmid: vmid(0, r as u32),
+                    status: ExeStatus::Running,
+                },
+            );
+        }
+        // Every domain should have received some ranks.
+        let per_domain: Vec<usize> = d.domains.iter().map(|t| t.len()).collect();
+        assert!(per_domain.iter().all(|&n| n > 0), "{per_domain:?}");
+        assert_eq!(per_domain.iter().sum::<usize>(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one domain")]
+    fn zero_fan_rejected() {
+        let _ = TwoLevelDirectory::new(0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Migration bookkeeping (the scheduler "performs bookkeeping on process
+//! migration records", §5).
+
+use parking_lot::Mutex;
+use snow_vm::{Rank, Vmid};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Phases of one migration, in choreography order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MigrationPhase {
+    /// Migrate request accepted; destination process initialized.
+    Requested,
+    /// `migration_start` received from the migrating process.
+    Started,
+    /// `restore_complete` received from the initialized process.
+    Restored,
+    /// `migration_commit` received; migration finished.
+    Committed,
+}
+
+/// The scheduler's record of one migration.
+#[derive(Debug, Clone)]
+pub struct MigrationRecord {
+    /// The migrated rank.
+    pub rank: Rank,
+    /// Location before migration.
+    pub old_vmid: Vmid,
+    /// Location after migration (the initialized process).
+    pub new_vmid: Vmid,
+    /// Wall-clock timestamps per completed phase.
+    pub phases: Vec<(MigrationPhase, Instant)>,
+}
+
+impl MigrationRecord {
+    /// Has the given phase completed?
+    pub fn reached(&self, phase: MigrationPhase) -> bool {
+        self.phases.iter().any(|(p, _)| *p == phase)
+    }
+
+    /// Seconds from request to commit, when committed.
+    pub fn total_seconds(&self) -> Option<f64> {
+        let t0 = self
+            .phases
+            .iter()
+            .find(|(p, _)| *p == MigrationPhase::Requested)?
+            .1;
+        let t1 = self
+            .phases
+            .iter()
+            .find(|(p, _)| *p == MigrationPhase::Committed)?
+            .1;
+        Some((t1 - t0).as_secs_f64())
+    }
+}
+
+/// Shared, append-only record store surfaced through
+/// [`crate::SchedulerHandle`].
+#[derive(Debug, Clone, Default)]
+pub struct RecordStore {
+    inner: Arc<Mutex<Vec<MigrationRecord>>>,
+}
+
+impl RecordStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open a new record, returning its index.
+    pub fn open(&self, rank: Rank, old_vmid: Vmid, new_vmid: Vmid) -> usize {
+        let mut v = self.inner.lock();
+        v.push(MigrationRecord {
+            rank,
+            old_vmid,
+            new_vmid,
+            phases: vec![(MigrationPhase::Requested, Instant::now())],
+        });
+        v.len() - 1
+    }
+
+    /// Stamp a phase on record `idx`.
+    pub fn stamp(&self, idx: usize, phase: MigrationPhase) {
+        if let Some(r) = self.inner.lock().get_mut(idx) {
+            r.phases.push((phase, Instant::now()));
+        }
+    }
+
+    /// Copy out all records.
+    pub fn all(&self) -> Vec<MigrationRecord> {
+        self.inner.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snow_vm::HostId;
+
+    fn vmid(h: u32, p: u32) -> Vmid {
+        Vmid {
+            host: HostId(h),
+            pid: p,
+        }
+    }
+
+    #[test]
+    fn record_lifecycle() {
+        let store = RecordStore::new();
+        let idx = store.open(0, vmid(0, 0), vmid(1, 0));
+        store.stamp(idx, MigrationPhase::Started);
+        store.stamp(idx, MigrationPhase::Restored);
+        store.stamp(idx, MigrationPhase::Committed);
+        let recs = store.all();
+        assert_eq!(recs.len(), 1);
+        let r = &recs[0];
+        assert!(r.reached(MigrationPhase::Committed));
+        assert!(r.total_seconds().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn uncommitted_record_has_no_total() {
+        let store = RecordStore::new();
+        let idx = store.open(3, vmid(0, 0), vmid(1, 0));
+        store.stamp(idx, MigrationPhase::Started);
+        let r = &store.all()[0];
+        assert!(r.reached(MigrationPhase::Started));
+        assert!(!r.reached(MigrationPhase::Committed));
+        assert_eq!(r.total_seconds(), None);
+    }
+
+    #[test]
+    fn stamp_out_of_range_is_ignored() {
+        let store = RecordStore::new();
+        store.stamp(5, MigrationPhase::Committed);
+        assert!(store.all().is_empty());
+    }
+}

@@ -1,0 +1,513 @@
+//! The scheduler process: lookup service + migration choreography.
+
+use crate::directory::{CentralTable, Directory, PlEntry};
+use crate::records::{MigrationPhase, MigrationRecord, RecordStore};
+use snow_trace::EventKind;
+use snow_vm::wire::{Ctrl, ExeStatus, Incoming, SchedReply, SchedRequest};
+use snow_vm::{HostId, PostSender, ProcessCell, Rank, Signal, VirtualMachine, Vmid};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// The migration-enabled executable image (§2.2): what the scheduler
+/// remotely invokes on a destination host to create an *initialized
+/// process* awaiting state transfer. The closure receives the fresh
+/// [`ProcessCell`] and the migrating rank; it is expected to run the
+/// `initialize()` protocol and then resume the application.
+pub type ProcessImage = Arc<dyn Fn(ProcessCell, Rank) + Send + Sync>;
+
+/// Handle returned by [`spawn_scheduler`].
+pub struct SchedulerHandle {
+    /// The scheduler's own vmid (install with `vm.set_scheduler` is done
+    /// automatically).
+    pub vmid: Vmid,
+    records: RecordStore,
+    init_joins: Arc<parking_lot::Mutex<Vec<JoinHandle<()>>>>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl SchedulerHandle {
+    /// Bookkeeping records collected so far.
+    pub fn records(&self) -> Vec<MigrationRecord> {
+        self.records.all()
+    }
+
+    /// Take the join handles of initialized processes spawned so far.
+    /// Joining them waits for resumed applications to finish — harness
+    /// code should do this after joining the original rank threads.
+    pub fn take_init_joins(&self) -> Vec<JoinHandle<()>> {
+        std::mem::take(&mut *self.init_joins.lock())
+    }
+
+    /// Wait for the scheduler thread to stop (after a
+    /// [`SchedRequest::Shutdown`]).
+    pub fn join(mut self) {
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+struct InFlight {
+    record: usize,
+    old_vmid: Vmid,
+    new_vmid: Vmid,
+    requester: Option<PostSender<Incoming>>,
+}
+
+struct SchedState {
+    dir: Box<dyn Directory>,
+    records: RecordStore,
+    in_flight: HashMap<Rank, InFlight>,
+    vm: VirtualMachine,
+    image: ProcessImage,
+    init_joins: Arc<parking_lot::Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl SchedState {
+    fn reply(&self, to: &PostSender<Incoming>, reply: SchedReply) {
+        let _ = to.send(
+            Incoming::Ctrl(Ctrl::Sched(reply)),
+            snow_vm::wire::ENVELOPE_OVERHEAD_BYTES,
+        );
+    }
+
+    fn handle(&mut self, cell: &ProcessCell, req: SchedRequest) -> bool {
+        match req {
+            SchedRequest::Register { rank, vmid } => {
+                self.dir.insert(
+                    rank,
+                    PlEntry {
+                        vmid,
+                        status: ExeStatus::Running,
+                    },
+                );
+            }
+            SchedRequest::Lookup { about, reply } => {
+                cell.trace(EventKind::SchedulerConsult { about });
+                let (status, vmid) = match self.dir.lookup(about) {
+                    Some(e) => (
+                        e.status,
+                        if e.status == ExeStatus::Terminated {
+                            None
+                        } else {
+                            Some(e.vmid)
+                        },
+                    ),
+                    None => (ExeStatus::Terminated, None),
+                };
+                self.reply(&reply, SchedReply::Location { about, status, vmid });
+            }
+            SchedRequest::Migrate {
+                rank,
+                to_host,
+                reply,
+            } => self.start_migration(cell, rank, to_host, reply),
+            SchedRequest::MigrationStart { rank, reply } => {
+                match self.in_flight.get(&rank) {
+                    Some(mig) => {
+                        self.records.stamp(mig.record, MigrationPhase::Started);
+                        let new_vmid = mig.new_vmid;
+                        // Only NOW may lookups redirect: the migrating
+                        // process is about to reject connections, so
+                        // nacked senders consulting us must find the
+                        // initialized process. Redirecting any earlier
+                        // can deadlock a process that is blocked in
+                        // recv and has not yet intercepted the signal
+                        // (found by the snow-model schedule explorer).
+                        self.dir.insert(
+                            rank,
+                            PlEntry {
+                                vmid: new_vmid,
+                                status: ExeStatus::Migrated,
+                            },
+                        );
+                        self.reply(&reply, SchedReply::NewVmid { new_vmid });
+                    }
+                    None => self.reply(
+                        &reply,
+                        SchedReply::Error {
+                            reason: format!("rank {rank} has no migration in flight"),
+                        },
+                    ),
+                }
+            }
+            SchedRequest::RestoreComplete {
+                rank,
+                new_vmid,
+                reply,
+            } => match self.in_flight.get(&rank) {
+                Some(mig) => {
+                    debug_assert_eq!(mig.new_vmid, new_vmid);
+                    self.records.stamp(mig.record, MigrationPhase::Restored);
+                    let entries = self
+                        .dir
+                        .entries()
+                        .into_iter()
+                        .map(|(r, e)| (r, e.vmid))
+                        .collect();
+                    let old_vmid = mig.old_vmid;
+                    self.reply(&reply, SchedReply::PlTable { entries, old_vmid });
+                }
+                None => self.reply(
+                    &reply,
+                    SchedReply::Error {
+                        reason: format!("rank {rank}: restore without migration"),
+                    },
+                ),
+            },
+            SchedRequest::MigrationCommit { rank } => {
+                if let Some(mig) = self.in_flight.remove(&rank) {
+                    self.records.stamp(mig.record, MigrationPhase::Committed);
+                    self.dir.insert(
+                        rank,
+                        PlEntry {
+                            vmid: mig.new_vmid,
+                            status: ExeStatus::Running,
+                        },
+                    );
+                    cell.trace(EventKind::MigrationCommit);
+                    if let Some(requester) = mig.requester {
+                        self.reply(
+                            &requester,
+                            SchedReply::MigrationDone {
+                                rank,
+                                new_vmid: mig.new_vmid,
+                            },
+                        );
+                    }
+                }
+            }
+            SchedRequest::Terminated { rank } => {
+                if let Some(e) = self.dir.lookup(rank) {
+                    self.dir.insert(
+                        rank,
+                        PlEntry {
+                            vmid: e.vmid,
+                            status: ExeStatus::Terminated,
+                        },
+                    );
+                }
+            }
+            SchedRequest::Shutdown => return false,
+        }
+        true
+    }
+
+    fn start_migration(
+        &mut self,
+        cell: &ProcessCell,
+        rank: Rank,
+        to_host: HostId,
+        reply: PostSender<Incoming>,
+    ) {
+        let entry = match self.dir.lookup(rank) {
+            Some(e) if e.status == ExeStatus::Running => e,
+            Some(e) => {
+                return self.reply(
+                    &reply,
+                    SchedReply::Error {
+                        reason: format!("rank {rank} not running ({:?})", e.status),
+                    },
+                )
+            }
+            None => {
+                return self.reply(
+                    &reply,
+                    SchedReply::Error {
+                        reason: format!("unknown rank {rank}"),
+                    },
+                )
+            }
+        };
+        if self.in_flight.contains_key(&rank) {
+            return self.reply(
+                &reply,
+                SchedReply::Error {
+                    reason: format!("rank {rank} already migrating"),
+                },
+            );
+        }
+        // Process initialization (§2.2): remotely invoke the
+        // migration-enabled executable on the destination and let it wait
+        // for state transfer.
+        let image = Arc::clone(&self.image);
+        let spawned = self
+            .vm
+            .spawn(to_host, &format!("init:{rank}"), move |init_cell| {
+                image(init_cell, rank)
+            });
+        let Some((new_vmid, init_join)) = spawned else {
+            return self.reply(
+                &reply,
+                SchedReply::Error {
+                    reason: format!("host {to_host} is not a member"),
+                },
+            );
+        };
+        self.init_joins.lock().push(init_join);
+        // NOTE: the PL table is NOT updated yet — lookups keep naming
+        // the (still accepting) old process until it announces
+        // migration_start. See the MigrationStart handler.
+        let record = self.records.open(rank, entry.vmid, new_vmid);
+        self.in_flight.insert(
+            rank,
+            InFlight {
+                record,
+                old_vmid: entry.vmid,
+                new_vmid,
+                requester: Some(reply.clone()),
+            },
+        );
+        // Send the migration signal (SIGUSR1 in the prototype).
+        if !cell.send_signal(entry.vmid, Signal::Migrate) {
+            // The process vanished between lookup and signal.
+            self.in_flight.remove(&rank);
+            self.dir.insert(
+                rank,
+                PlEntry {
+                    vmid: entry.vmid,
+                    status: ExeStatus::Terminated,
+                },
+            );
+            self.reply(
+                &reply,
+                SchedReply::Error {
+                    reason: format!("rank {rank} terminated before migration"),
+                },
+            );
+        }
+    }
+}
+
+/// Spawn the scheduler on `host` and install it in the environment,
+/// using the default centralized PL table.
+pub fn spawn_scheduler(
+    vm: &VirtualMachine,
+    host: HostId,
+    image: ProcessImage,
+) -> SchedulerHandle {
+    spawn_scheduler_with_directory(vm, host, image, Box::new(CentralTable::new()))
+}
+
+/// Spawn the scheduler with a custom [`Directory`] backend (§2: any
+/// lookup service meeting the requirements works — centralized,
+/// hierarchical, or peer-to-peer).
+pub fn spawn_scheduler_with_directory(
+    vm: &VirtualMachine,
+    host: HostId,
+    image: ProcessImage,
+    dir: Box<dyn Directory>,
+) -> SchedulerHandle {
+    let records = RecordStore::new();
+    let init_joins = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let mut state = SchedState {
+        dir,
+        records: records.clone(),
+        in_flight: HashMap::new(),
+        vm: vm.clone(),
+        image,
+        init_joins: Arc::clone(&init_joins),
+    };
+    let (vmid, join) = vm
+        .spawn(host, "scheduler", move |cell| loop {
+            match cell.recv_incoming() {
+                Ok(Incoming::Ctrl(Ctrl::SchedRequest(req))) => {
+                    if !state.handle(&cell, req) {
+                        return;
+                    }
+                }
+                Ok(Incoming::Ctrl(Ctrl::ConnReq(req))) => {
+                    // Nobody establishes data connections with the
+                    // scheduler; reject through the daemon so its pending
+                    // record is cleaned up.
+                    let target = req.target;
+                    let req_id = req.req_id;
+                    cell.answer_conn_req(req_id, Ctrl::ConnNack { req_id, target });
+                }
+                Ok(_) => {}
+                Err(_) => return,
+            }
+        })
+        .expect("scheduler host must be a member");
+    vm.set_scheduler(vmid);
+    SchedulerHandle {
+        vmid,
+        records,
+        init_joins,
+        join: Some(join),
+    }
+}
+
+/// A no-op image for environments that never migrate (pure messaging
+/// tests) — the initialized process exits immediately.
+pub fn null_image() -> ProcessImage {
+    Arc::new(|_cell, _rank| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::SchedClient;
+    use snow_vm::HostSpec;
+
+    #[test]
+    fn lookup_roundtrip() {
+        let vm = VirtualMachine::ideal();
+        let h = vm.add_host(HostSpec::ideal());
+        let _sched = spawn_scheduler(&vm, h, null_image());
+        let client = SchedClient::new(&vm);
+        let v = Vmid { host: h, pid: 77 };
+        client.register(3, v).unwrap();
+        let (status, vmid) = client.lookup(3).unwrap();
+        assert_eq!(status, ExeStatus::Running);
+        assert_eq!(vmid, Some(v));
+        // Unknown rank → Terminated/None.
+        let (status, vmid) = client.lookup(9).unwrap();
+        assert_eq!(status, ExeStatus::Terminated);
+        assert_eq!(vmid, None);
+    }
+
+    #[test]
+    fn terminated_rank_reported() {
+        let vm = VirtualMachine::ideal();
+        let h = vm.add_host(HostSpec::ideal());
+        let _sched = spawn_scheduler(&vm, h, null_image());
+        let client = SchedClient::new(&vm);
+        client.register(0, Vmid { host: h, pid: 1 }).unwrap();
+        client.terminated(0).unwrap();
+        let (status, vmid) = client.lookup(0).unwrap();
+        assert_eq!(status, ExeStatus::Terminated);
+        assert_eq!(vmid, None);
+    }
+
+    #[test]
+    fn migrate_unknown_rank_errors() {
+        let vm = VirtualMachine::ideal();
+        let h = vm.add_host(HostSpec::ideal());
+        let _sched = spawn_scheduler(&vm, h, null_image());
+        let client = SchedClient::new(&vm);
+        let err = client.migrate(42, h).unwrap_err();
+        assert!(err.contains("unknown rank"), "{err}");
+    }
+
+    #[test]
+    fn migrate_to_unknown_host_errors() {
+        let vm = VirtualMachine::ideal();
+        let h = vm.add_host(HostSpec::ideal());
+        let _sched = spawn_scheduler(&vm, h, null_image());
+        let client = SchedClient::new(&vm);
+        // Register a rank backed by a real blocked process so the signal
+        // could be delivered if we got that far.
+        let (pv, _join) = vm
+            .spawn(h, "p0", |cell| {
+                let _ = cell.wait_signal(std::time::Duration::from_millis(500));
+            })
+            .unwrap();
+        client.register(0, pv).unwrap();
+        let err = client.migrate(0, HostId(99)).unwrap_err();
+        assert!(err.contains("not a member"), "{err}");
+    }
+
+    #[test]
+    fn migrate_dead_process_errors() {
+        let vm = VirtualMachine::ideal();
+        let h = vm.add_host(HostSpec::ideal());
+        let _sched = spawn_scheduler(&vm, h, null_image());
+        let client = SchedClient::new(&vm);
+        let (pv, join) = vm.spawn(h, "p0", |_cell| {}).unwrap();
+        join.join().unwrap();
+        client.register(0, pv).unwrap();
+        let err = client.migrate(0, h).unwrap_err();
+        assert!(err.contains("terminated before migration"), "{err}");
+    }
+
+    #[test]
+    fn full_choreography_with_stub_processes() {
+        // Drive the four-step dance by hand (no snow-core yet): the
+        // "migrating process" and the image both speak the scheduler
+        // protocol directly.
+        let vm = VirtualMachine::ideal();
+        let h0 = vm.add_host(HostSpec::ideal());
+        let h1 = vm.add_host(HostSpec::ideal());
+
+        // The image plays the initialized process: restore-complete then
+        // commit.
+        let image: ProcessImage = Arc::new(move |cell: ProcessCell, rank: Rank| {
+            cell.sched_send(SchedRequest::RestoreComplete {
+                rank,
+                new_vmid: cell.vmid(),
+                reply: cell.reply_sender(),
+            })
+            .unwrap();
+            match cell.recv_incoming().unwrap() {
+                Incoming::Ctrl(Ctrl::Sched(SchedReply::PlTable { entries, old_vmid })) => {
+                    assert!(!entries.is_empty());
+                    assert_ne!(old_vmid, cell.vmid());
+                }
+                other => panic!("expected PL table, got {other:?}"),
+            }
+            cell.sched_send(SchedRequest::MigrationCommit { rank }).unwrap();
+        });
+        let sched = spawn_scheduler(&vm, h0, image);
+        let client = SchedClient::new(&vm);
+
+        // The migrating process: wait for the signal, announce start.
+        let (pv, pjoin) = vm
+            .spawn(h0, "p0", move |cell| {
+                let sig = cell.wait_signal(std::time::Duration::from_secs(5));
+                assert_eq!(sig, Some(Signal::Migrate));
+                cell.sched_send(SchedRequest::MigrationStart {
+                    rank: 0,
+                    reply: cell.reply_sender(),
+                })
+                .unwrap();
+                match cell.recv_incoming().unwrap() {
+                    Incoming::Ctrl(Ctrl::Sched(SchedReply::NewVmid { new_vmid })) => {
+                        assert_eq!(new_vmid.host, h1);
+                    }
+                    other => panic!("expected NewVmid, got {other:?}"),
+                }
+                // Migrating process terminates (Fig 5 line 11).
+            })
+            .unwrap();
+        client.register(0, pv).unwrap();
+
+        let new_vmid = client.migrate(0, h1).unwrap();
+        assert_eq!(new_vmid.host, h1);
+        pjoin.join().unwrap();
+
+        // Post-commit lookup points at the new location, Running.
+        let (status, vmid) = client.lookup(0).unwrap();
+        assert_eq!(status, ExeStatus::Running);
+        assert_eq!(vmid, Some(new_vmid));
+
+        // Bookkeeping has all four phases.
+        let recs = sched.records();
+        assert_eq!(recs.len(), 1);
+        assert!(recs[0].reached(MigrationPhase::Committed));
+        assert!(recs[0].total_seconds().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn second_migration_of_same_rank_while_in_flight_errors() {
+        let vm = VirtualMachine::ideal();
+        let h = vm.add_host(HostSpec::ideal());
+        let _sched = spawn_scheduler(&vm, h, null_image());
+        let client = SchedClient::new(&vm);
+        // A process that ignores the signal, keeping the migration
+        // in flight.
+        let (pv, _join) = vm
+            .spawn(h, "p0", |cell| {
+                std::thread::sleep(std::time::Duration::from_millis(300));
+                let _ = cell.poll_signal();
+            })
+            .unwrap();
+        client.register(0, pv).unwrap();
+        client.migrate_async(0, h).unwrap();
+        // Give the scheduler a beat to open the in-flight entry.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let err = client.migrate(0, h).unwrap_err();
+        assert!(err.contains("migrating") || err.contains("not running"), "{err}");
+    }
+}

@@ -1,0 +1,63 @@
+//! # snow — communication state transfer for process migration
+//!
+//! A Rust reproduction of Chanchio & Sun, *"Communication State Transfer
+//! for the Mobility of Concurrent Heterogeneous Computing"* (ICPP 2001):
+//! data-communication and process-migration protocols that move a
+//! running process between hosts of a dynamic, heterogeneous virtual
+//! machine **without losing or reordering messages and without
+//! deadlock** — while its peers keep computing and communicating.
+//!
+//! This facade re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `snow-core` | the protocols: send/recv/connect, received-message-list, `migrate()`, `initialize()`, [`core::Computation`] launcher |
+//! | [`vm`] | `snow-vm` | the virtual machine substrate: hosts, daemons, vmids, signals |
+//! | [`sched`] | `snow-sched` | the scheduler: PL table, lookup service, migration choreography |
+//! | [`state`] | `snow-state` | heterogeneous execution + memory state capture/restore |
+//! | [`codec`] | `snow-codec` | machine-independent canonical encoding |
+//! | [`net`] | `snow-net` | FIFO channels, datagram routing, link cost models |
+//! | [`trace`] | `snow-trace` | event tracing, space-time diagrams, timing reports |
+//! | [`mg`] | `snow-mg` | the kernel MG workload of the paper's evaluation |
+//! | [`baselines`] | `snow-baselines` | §7 comparators: forwarding, broadcast, coordinated checkpointing |
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use snow::prelude::*;
+//! use bytes::Bytes;
+//!
+//! let comp = Computation::builder().hosts(HostSpec::ideal(), 3).build();
+//! let handles = comp.launch(2, |mut p, start| {
+//!     if matches!(start, Start::Fresh) && p.rank() == 0 {
+//!         p.send(1, 1, Bytes::from_static(b"hi")).unwrap();
+//!     } else if matches!(start, Start::Fresh) {
+//!         let _ = p.recv(Some(0), Some(1)).unwrap();
+//!     }
+//!     p.finish();
+//! });
+//! // Migrate rank 0 to the third host while it runs:
+//! // comp.migrate(0, comp.hosts()[2]).unwrap();
+//! for h in handles { h.join().unwrap(); }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use snow_baselines as baselines;
+pub use snow_codec as codec;
+pub use snow_core as core;
+pub use snow_mg as mg;
+pub use snow_net as net;
+pub use snow_sched as sched;
+pub use snow_state as state;
+pub use snow_trace as trace;
+pub use snow_vm as vm;
+
+/// The common imports for applications.
+pub mod prelude {
+    pub use snow_core::{Computation, ProtoError, SnowProcess, Start};
+    pub use snow_net::{LinkModel, TimeScale};
+    pub use snow_state::{ExecState, MemoryGraph, ProcessState, StateCostModel};
+    pub use snow_trace::{SpaceTime, Tracer};
+    pub use snow_vm::{HostId, HostSpec, Rank, Tag, Vmid};
+}

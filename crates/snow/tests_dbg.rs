@@ -1,0 +1,42 @@
+use bytes::Bytes;
+use snow::prelude::*;
+use std::time::Duration;
+
+fn await_migration(p: &mut SnowProcess) {
+    while !p.poll_point().unwrap() {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+fn seq_payload(i: u64) -> Bytes { Bytes::copy_from_slice(&i.to_be_bytes()) }
+fn seq_of(b: &[u8]) -> u64 { u64::from_be_bytes(b[..8].try_into().unwrap()) }
+
+#[test]
+fn dbg_sim() {
+    const HALF: u64 = 3;
+    let tracer = Tracer::new();
+    let comp = Computation::builder().hosts(HostSpec::ideal(), 4).tracer(tracer.clone()).build();
+    let (d0, d1) = (comp.hosts()[2], comp.hosts()[3]);
+    let phase = move |p: &mut SnowProcess, from: u64, to: u64| {
+        let other = 1 - p.rank();
+        for i in from..to { p.send(other, 5, seq_payload(i)).unwrap(); }
+        for i in from..to {
+            let (_s, _t, b) = p.recv(Some(other), Some(5)).unwrap();
+            assert_eq!(seq_of(&b), i);
+        }
+    };
+    let handles = comp.launch(2, move |mut p, start| match start {
+        Start::Fresh => { phase(&mut p, 0, HALF); await_migration(&mut p); p.migrate(&ProcessState::empty()).unwrap(); }
+        Start::Resumed(_) => { phase(&mut p, HALF, 2 * HALF); p.finish(); }
+    });
+    comp.migrate_async(0, d0).unwrap();
+    comp.migrate_async(1, d1).unwrap();
+    comp.wait_migration_done(0).unwrap();
+    comp.wait_migration_done(1).unwrap();
+    for h in handles { h.join().unwrap(); }
+    let st = SpaceTime::build(tracer.snapshot());
+    for ev in st.events() {
+        eprintln!("{:>9} {:<8} {:?}", ev.t_ns/1000, ev.who, ev.kind);
+    }
+    eprintln!("undelivered: {:?}", st.undelivered());
+    assert!(st.undelivered().is_empty());
+}

@@ -1,0 +1,95 @@
+//! Collect/restore cost model.
+//!
+//! Calibrated against the paper's measurements of ~7.5 MB of exe+mem
+//! state:
+//!
+//! | operation | Ultra 5 (speed 1.0) | DEC 5000/120 (speed ≈ 0.14) |
+//! |---|---|---|
+//! | collect | 0.73 s (§6.2) | 5.209 s (§6.3, Table 2) |
+//! | restore | 0.6794 s (§6.2) | — (restored on an Ultra 5: 0.696 s) |
+//!
+//! 7.5 MB / 0.73 s ≈ 10.3 MB/s of collection throughput at speed 1.0;
+//! restoration is slightly faster (≈ 11.0 MB/s). A host's `speed`
+//! factor divides the throughput, so the DEC's collect of the same state
+//! takes 7.5 MB / (0.14 × 10.3 MB/s) ≈ 5.2 s — matching Table 2.
+
+/// Throughput-based cost model for state collection and restoration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StateCostModel {
+    /// Collection throughput at host speed 1.0, bytes per modeled second.
+    pub collect_bps: f64,
+    /// Restoration throughput at host speed 1.0, bytes per modeled
+    /// second.
+    pub restore_bps: f64,
+}
+
+impl StateCostModel {
+    /// The model calibrated from the paper (see module docs).
+    pub const PAPER: StateCostModel = StateCostModel {
+        collect_bps: 7_500_000.0 / 0.73,
+        restore_bps: 7_500_000.0 / 0.6794,
+    };
+
+    /// Modeled seconds to collect `bytes` of state on a host of relative
+    /// `speed`.
+    pub fn collect_seconds(&self, bytes: usize, speed: f64) -> f64 {
+        assert!(speed > 0.0, "host speed must be positive");
+        bytes as f64 / (self.collect_bps * speed)
+    }
+
+    /// Modeled seconds to restore `bytes` of state on a host of relative
+    /// `speed`.
+    pub fn restore_seconds(&self, bytes: usize, speed: f64) -> f64 {
+        assert!(speed > 0.0, "host speed must be positive");
+        bytes as f64 / (self.restore_bps * speed)
+    }
+}
+
+impl Default for StateCostModel {
+    fn default() -> Self {
+        StateCostModel::PAPER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB75: usize = 7_500_000;
+
+    #[test]
+    fn calibration_matches_table1_breakdown() {
+        let m = StateCostModel::PAPER;
+        // §6.2: collect 0.73 s, restore 0.6794 s on Ultra 5s.
+        assert!((m.collect_seconds(MB75, 1.0) - 0.73).abs() < 0.02);
+        assert!((m.restore_seconds(MB75, 1.0) - 0.6794).abs() < 0.02);
+    }
+
+    #[test]
+    fn calibration_matches_table2_collect() {
+        let m = StateCostModel::PAPER;
+        // §6.3: 5.209 s on the DEC 5000/120 (speed 0.14).
+        let t = m.collect_seconds(MB75, 0.14);
+        assert!((t - 5.209).abs() < 0.3, "{t}");
+    }
+
+    #[test]
+    fn cost_scales_linearly_in_bytes() {
+        let m = StateCostModel::PAPER;
+        let t1 = m.collect_seconds(1_000_000, 1.0);
+        let t2 = m.collect_seconds(2_000_000, 1.0);
+        assert!((t2 - 2.0 * t1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slower_host_costs_more() {
+        let m = StateCostModel::PAPER;
+        assert!(m.restore_seconds(MB75, 0.5) > m.restore_seconds(MB75, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "speed must be positive")]
+    fn zero_speed_rejected() {
+        StateCostModel::PAPER.collect_seconds(1, 0.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Execution state at a poll point.
+//!
+//! The SNOW compiler annotates source programs with *poll points* —
+//! locations where migration is safe — and records, at migration time,
+//! the chain of active function calls plus the live variables needed to
+//! resume (§2.2, §6: "we force process 0 to migrate when a function call
+//! sequence main → kernelMG is made and two iterations ... are
+//! performed"). `ExecState` is that record in machine-independent form.
+
+use snow_codec::{CodecError, Value};
+
+/// Machine-independent execution state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecState {
+    /// Active call chain, outermost first (e.g. `["main", "kernelMG"]`).
+    pub call_path: Vec<String>,
+    /// Identifier of the poll point within the innermost function.
+    pub poll_point: u32,
+    /// Live locals, named; values are machine-independent.
+    pub locals: Vec<(String, Value)>,
+}
+
+impl ExecState {
+    /// Empty state at the program entry.
+    pub fn at_entry() -> Self {
+        ExecState {
+            call_path: vec!["main".to_string()],
+            poll_point: 0,
+            locals: Vec::new(),
+        }
+    }
+
+    /// Push a callee onto the call path (builder-style).
+    pub fn enter(mut self, func: &str) -> Self {
+        self.call_path.push(func.to_string());
+        self
+    }
+
+    /// Set the poll point (builder-style).
+    pub fn at_poll(mut self, pp: u32) -> Self {
+        self.poll_point = pp;
+        self
+    }
+
+    /// Record a live local (builder-style).
+    pub fn with_local(mut self, name: &str, v: Value) -> Self {
+        self.locals.push((name.to_string(), v));
+        self
+    }
+
+    /// Fetch a local by name.
+    pub fn local(&self, name: &str) -> Option<&Value> {
+        self.locals.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Convert to the canonical value form.
+    pub fn to_value(&self) -> Value {
+        Value::Record(vec![
+            (
+                "call_path".to_string(),
+                Value::List(
+                    self.call_path
+                        .iter()
+                        .map(|s| Value::Str(s.clone()))
+                        .collect(),
+                ),
+            ),
+            ("poll_point".to_string(), Value::U64(self.poll_point as u64)),
+            (
+                "locals".to_string(),
+                Value::Record(self.locals.clone()),
+            ),
+        ])
+    }
+
+    /// Rebuild from the canonical value form.
+    pub fn from_value(v: &Value) -> Result<Self, CodecError> {
+        let bad = || CodecError::BadTag(0xff);
+        let call_path = match v.field("call_path").ok_or_else(bad)? {
+            Value::List(items) => items
+                .iter()
+                .map(|i| i.as_str().map(str::to_string).ok_or_else(bad))
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err(bad()),
+        };
+        let poll_point = v
+            .field("poll_point")
+            .and_then(Value::as_u64)
+            .ok_or_else(bad)? as u32;
+        let locals = match v.field("locals").ok_or_else(bad)? {
+            Value::Record(fields) => fields.clone(),
+            _ => return Err(bad()),
+        };
+        Ok(ExecState {
+            call_path,
+            poll_point,
+            locals,
+        })
+    }
+
+    /// Canonical encoded bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        self.to_value().encode()
+    }
+
+    /// Decode canonical bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        Self::from_value(&Value::decode(bytes)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mg_like_state() -> ExecState {
+        ExecState::at_entry()
+            .enter("kernelMG")
+            .at_poll(2)
+            .with_local("iteration", Value::U64(2))
+            .with_local("residual", Value::F64(1.25e-7))
+            .with_local("halo", Value::F64Array(vec![0.5; 64]))
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = mg_like_state();
+        let back = ExecState::decode(&s.encode()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn call_path_matches_paper_scenario() {
+        let s = mg_like_state();
+        assert_eq!(s.call_path, vec!["main", "kernelMG"]);
+        assert_eq!(s.poll_point, 2);
+    }
+
+    #[test]
+    fn local_lookup() {
+        let s = mg_like_state();
+        assert_eq!(s.local("iteration").and_then(Value::as_u64), Some(2));
+        assert_eq!(s.local("nope"), None);
+    }
+
+    #[test]
+    fn decode_rejects_wrong_shape() {
+        let not_exec = Value::I64(5).encode();
+        assert!(ExecState::decode(&not_exec).is_err());
+        let missing_fields = Value::Record(vec![]).encode();
+        assert!(ExecState::decode(&missing_fields).is_err());
+    }
+
+    #[test]
+    fn entry_state_is_minimal() {
+        let s = ExecState::at_entry();
+        assert_eq!(s.call_path, vec!["main"]);
+        assert_eq!(s.poll_point, 0);
+        assert!(s.locals.is_empty());
+    }
+}

@@ -1,0 +1,304 @@
+//! Graph-based memory state.
+//!
+//! The SNOW memory-state work models a process's data structures as a
+//! graph: nodes are memory blocks, edges are the pointers connecting
+//! them. Transforming the graph into machine-independent information
+//! means (a) encoding node contents canonically and (b) replacing raw
+//! pointers with node identities so the destination machine can rebuild
+//! the structure at whatever addresses its allocator chooses.
+//!
+//! `MemoryGraph` supports arbitrary shapes — lists, trees, cycles,
+//! shared substructure — and round-trips through the canonical encoding
+//! with isomorphism preserved.
+
+use snow_codec::{CodecError, Value, WireReader, WireWriter};
+use std::collections::BTreeMap;
+
+/// Identity of a memory block within a graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// One memory block: a machine-independent payload plus outgoing
+/// pointer slots.
+#[derive(Debug, Clone, PartialEq)]
+struct Node {
+    payload: Value,
+    /// slot index → target node. Slots model pointer-valued fields.
+    edges: BTreeMap<u32, NodeId>,
+}
+
+/// A process's heap as a pointer graph.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemoryGraph {
+    nodes: BTreeMap<NodeId, Node>,
+    next: u32,
+}
+
+impl MemoryGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a block with `payload`.
+    pub fn add_node(&mut self, payload: Value) -> NodeId {
+        let id = NodeId(self.next);
+        self.next += 1;
+        self.nodes.insert(
+            id,
+            Node {
+                payload,
+                edges: BTreeMap::new(),
+            },
+        );
+        id
+    }
+
+    /// Set pointer slot `slot` of `from` to point at `to`. Panics if
+    /// either node does not exist (a construction bug, not a runtime
+    /// input).
+    pub fn add_edge(&mut self, from: NodeId, slot: u32, to: NodeId) {
+        assert!(self.nodes.contains_key(&to), "dangling edge target");
+        self.nodes
+            .get_mut(&from)
+            .expect("edge source exists")
+            .edges
+            .insert(slot, to);
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the heap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// A block's payload.
+    pub fn payload(&self, id: NodeId) -> Option<&Value> {
+        self.nodes.get(&id).map(|n| &n.payload)
+    }
+
+    /// Follow pointer slot `slot` out of `id`.
+    pub fn follow(&self, id: NodeId, slot: u32) -> Option<NodeId> {
+        self.nodes.get(&id)?.edges.get(&slot).copied()
+    }
+
+    /// Total payload bytes (canonical form) — the size the migration
+    /// cost model charges for.
+    pub fn payload_bytes(&self) -> usize {
+        self.nodes
+            .values()
+            .map(|n| n.payload.encoded_size_hint())
+            .sum()
+    }
+
+    /// Encode to canonical machine-independent bytes. Node identities
+    /// are compacted to dense indices in id order (relocation step).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(self.payload_bytes() + 16 * self.len() + 8);
+        // Dense relocation map: position in id order.
+        let index: BTreeMap<NodeId, u64> = self
+            .nodes
+            .keys()
+            .enumerate()
+            .map(|(i, id)| (*id, i as u64))
+            .collect();
+        w.put_uvarint(self.nodes.len() as u64);
+        for node in self.nodes.values() {
+            node.payload.encode_into(&mut w);
+            w.put_uvarint(node.edges.len() as u64);
+            for (slot, target) in &node.edges {
+                w.put_uvarint(*slot as u64);
+                w.put_uvarint(index[target]);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decode canonical bytes. The rebuilt graph is isomorphic to the
+    /// source graph, with node ids re-assigned densely from zero —
+    /// mirroring the destination machine allocating fresh blocks.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = WireReader::new(bytes);
+        let n = r.get_uvarint()?;
+        if n > bytes.len() as u64 {
+            return Err(CodecError::LengthOverflow {
+                declared: n,
+                remaining: bytes.len(),
+            });
+        }
+        let n = n as usize;
+        let mut g = MemoryGraph::new();
+        let mut pending_edges: Vec<(NodeId, u32, u64)> = Vec::new();
+        for _ in 0..n {
+            let payload = Value::decode_from(&mut r)?;
+            let id = g.add_node(payload);
+            let e = r.get_uvarint()? as usize;
+            for _ in 0..e {
+                let slot = r.get_uvarint()? as u32;
+                let target = r.get_uvarint()?;
+                if target >= n as u64 {
+                    return Err(CodecError::LengthOverflow {
+                        declared: target,
+                        remaining: n,
+                    });
+                }
+                pending_edges.push((id, slot, target));
+            }
+        }
+        r.finish()?;
+        let ids: Vec<NodeId> = g.nodes.keys().copied().collect();
+        for (from, slot, target) in pending_edges {
+            g.add_edge(from, slot, ids[target as usize]);
+        }
+        Ok(g)
+    }
+
+    /// Structural equality up to node renaming (graph isomorphism along
+    /// the dense-index relocation): payloads and edge shapes must match
+    /// in id order.
+    pub fn isomorphic(&self, other: &MemoryGraph) -> bool {
+        if self.len() != other.len() {
+            return false;
+        }
+        let ia: BTreeMap<NodeId, usize> = self
+            .nodes
+            .keys()
+            .enumerate()
+            .map(|(i, id)| (*id, i))
+            .collect();
+        let ib: BTreeMap<NodeId, usize> = other
+            .nodes
+            .keys()
+            .enumerate()
+            .map(|(i, id)| (*id, i))
+            .collect();
+        self.nodes.values().zip(other.nodes.values()).all(|(a, b)| {
+            a.payload == b.payload
+                && a.edges.len() == b.edges.len()
+                && a.edges.iter().zip(b.edges.iter()).all(
+                    |((sa, ta), (sb, tb))| sa == sb && ia[ta] == ib[tb],
+                )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_roundtrip(g: &MemoryGraph) {
+        let bytes = g.encode();
+        let back = MemoryGraph::decode(&bytes).unwrap();
+        assert!(g.isomorphic(&back), "roundtrip lost structure");
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = MemoryGraph::new();
+        assert!(g.is_empty());
+        assert_roundtrip(&g);
+    }
+
+    #[test]
+    fn linked_list_roundtrip() {
+        let mut g = MemoryGraph::new();
+        let ids: Vec<NodeId> = (0..10)
+            .map(|i| g.add_node(Value::I64(i)))
+            .collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], 0, w[1]);
+        }
+        assert_roundtrip(&g);
+        assert_eq!(g.follow(ids[0], 0), Some(ids[1]));
+        assert_eq!(g.follow(ids[9], 0), None);
+    }
+
+    #[test]
+    fn cycle_roundtrip() {
+        let mut g = MemoryGraph::new();
+        let a = g.add_node(Value::Str("a".into()));
+        let b = g.add_node(Value::Str("b".into()));
+        g.add_edge(a, 0, b);
+        g.add_edge(b, 0, a); // cycle
+        g.add_edge(a, 1, a); // self-loop
+        assert_roundtrip(&g);
+    }
+
+    #[test]
+    fn shared_substructure_roundtrip() {
+        let mut g = MemoryGraph::new();
+        let shared = g.add_node(Value::F64Array(vec![1.0, 2.0, 3.0]));
+        let x = g.add_node(Value::Str("x".into()));
+        let y = g.add_node(Value::Str("y".into()));
+        g.add_edge(x, 0, shared);
+        g.add_edge(y, 0, shared);
+        let back = MemoryGraph::decode(&g.encode()).unwrap();
+        assert!(g.isomorphic(&back));
+        // Sharing preserved: both decoded parents point at the same node.
+        let ids: Vec<NodeId> = (0..3).map(NodeId).collect();
+        assert_eq!(back.follow(ids[1], 0), back.follow(ids[2], 0));
+    }
+
+    #[test]
+    fn payload_bytes_scales() {
+        let mut g = MemoryGraph::new();
+        g.add_node(Value::F64Array(vec![0.0; 1000]));
+        assert!(g.payload_bytes() >= 8000);
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range_edge() {
+        let mut g = MemoryGraph::new();
+        let a = g.add_node(Value::Unit);
+        let b = g.add_node(Value::Unit);
+        g.add_edge(a, 0, b);
+        let mut bytes = g.encode();
+        // Corrupt the final byte (the edge target index) to 9.
+        let last = bytes.len() - 1;
+        bytes[last] = 9;
+        assert!(MemoryGraph::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let mut g = MemoryGraph::new();
+        let a = g.add_node(Value::F64Array(vec![1.0; 8]));
+        let b = g.add_node(Value::I64(7));
+        g.add_edge(a, 0, b);
+        let bytes = g.encode();
+        for cut in 1..bytes.len() {
+            assert!(MemoryGraph::decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn isomorphic_detects_differences() {
+        let mut g1 = MemoryGraph::new();
+        let a1 = g1.add_node(Value::I64(1));
+        let b1 = g1.add_node(Value::I64(2));
+        g1.add_edge(a1, 0, b1);
+
+        let mut g2 = g1.clone();
+        assert!(g1.isomorphic(&g2));
+        g2.add_edge(b1, 0, a1);
+        assert!(!g1.isomorphic(&g2));
+
+        let mut g3 = MemoryGraph::new();
+        let a3 = g3.add_node(Value::I64(1));
+        let b3 = g3.add_node(Value::I64(999)); // different payload
+        g3.add_edge(a3, 0, b3);
+        assert!(!g1.isomorphic(&g3));
+    }
+
+    #[test]
+    #[should_panic(expected = "dangling edge target")]
+    fn dangling_edge_panics() {
+        let mut g = MemoryGraph::new();
+        let a = g.add_node(Value::Unit);
+        g.add_edge(a, 0, NodeId(42));
+    }
+}

@@ -1,0 +1,210 @@
+//! Trace analysis: per-lane statistics and machine-readable export.
+//!
+//! The paper reads its space-time diagrams qualitatively ("there is no
+//! message sent to the migrating process", "other processes proceed
+//! with their data exchanges normally"). These helpers turn such
+//! readings into numbers: per-process activity summaries and a JSON
+//! export for external tooling.
+
+use crate::event::{Event, EventKind};
+use crate::report::JsonValue;
+use crate::spacetime::SpaceTime;
+
+/// Aggregate activity of one process lane.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LaneStats {
+    /// Total events recorded for this lane.
+    pub events: usize,
+    /// Data messages sent.
+    pub sends: usize,
+    /// Data messages received (returned to the application).
+    pub recvs: usize,
+    /// Payload bytes sent.
+    pub bytes_sent: usize,
+    /// Messages satisfied from the received-message-list.
+    pub rml_hits: usize,
+    /// Connection requests issued.
+    pub conn_reqs: usize,
+    /// Scheduler consultations performed.
+    pub consults: usize,
+    /// Timestamp of the lane's first event (ns).
+    pub first_ns: u64,
+    /// Timestamp of the lane's last event (ns).
+    pub last_ns: u64,
+}
+
+impl LaneStats {
+    /// Active span of the lane in nanoseconds.
+    pub fn span_ns(&self) -> u64 {
+        self.last_ns.saturating_sub(self.first_ns)
+    }
+}
+
+/// Compute per-lane statistics in first-appearance order.
+pub fn lane_stats(st: &SpaceTime) -> Vec<(String, LaneStats)> {
+    let mut out: Vec<(String, LaneStats)> = st
+        .lanes()
+        .iter()
+        .map(|l| (l.clone(), LaneStats::default()))
+        .collect();
+    for ev in st.events() {
+        let slot = out
+            .iter_mut()
+            .find(|(l, _)| l == &ev.who)
+            .expect("lane exists");
+        let s = &mut slot.1;
+        if s.events == 0 {
+            s.first_ns = ev.t_ns;
+        }
+        s.events += 1;
+        s.last_ns = ev.t_ns;
+        match &ev.kind {
+            EventKind::Send { bytes, .. } => {
+                s.sends += 1;
+                s.bytes_sent += bytes;
+            }
+            EventKind::RecvDone { from_rml, .. } => {
+                s.recvs += 1;
+                if *from_rml {
+                    s.rml_hits += 1;
+                }
+            }
+            EventKind::ConnReq { .. } => s.conn_reqs += 1,
+            EventKind::SchedulerConsult { .. } => s.consults += 1,
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Export events as a JSON array (one object per event, `kind` as the
+/// Rust debug rendering — stable enough for offline inspection).
+pub fn events_to_json(events: &[Event]) -> JsonValue {
+    JsonValue::Array(
+        events
+            .iter()
+            .map(|e| {
+                JsonValue::Object(vec![
+                    ("t_ns".into(), JsonValue::Num(e.t_ns as f64)),
+                    ("who".into(), JsonValue::Str(e.who.clone())),
+                    ("kind".into(), JsonValue::Str(format!("{:?}", e.kind))),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Render lane statistics as an aligned text table.
+pub fn lane_table(st: &SpaceTime) -> String {
+    use std::fmt::Write as _;
+    let stats = lane_stats(st);
+    let w = stats.iter().map(|(l, _)| l.len()).max().unwrap_or(4).max(4);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>w$} {:>7} {:>7} {:>7} {:>10} {:>8} {:>8} {:>9}",
+        "lane", "events", "sends", "recvs", "bytes", "rml", "consults", "span(ms)"
+    );
+    for (lane, s) in &stats {
+        let _ = writeln!(
+            out,
+            "{lane:>w$} {:>7} {:>7} {:>7} {:>10} {:>8} {:>8} {:>9.3}",
+            s.events,
+            s.sends,
+            s.recvs,
+            s.bytes_sent,
+            s.rml_hits,
+            s.consults,
+            s.span_ns() as f64 / 1e6
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::MsgId;
+
+    fn ev(t: u64, who: &str, kind: EventKind) -> Event {
+        Event {
+            t_ns: t,
+            who: who.into(),
+            kind,
+        }
+    }
+
+    fn sample() -> SpaceTime {
+        SpaceTime::build(vec![
+            ev(
+                10,
+                "p0",
+                EventKind::Send {
+                    to: 1,
+                    tag: 1,
+                    bytes: 100,
+                    msg: MsgId(1),
+                },
+            ),
+            ev(
+                20,
+                "p0",
+                EventKind::Send {
+                    to: 1,
+                    tag: 1,
+                    bytes: 50,
+                    msg: MsgId(2),
+                },
+            ),
+            ev(15, "p1", EventKind::SchedulerConsult { about: 0 }),
+            ev(
+                30,
+                "p1",
+                EventKind::RecvDone {
+                    from: 0,
+                    tag: 1,
+                    bytes: 100,
+                    msg: MsgId(1),
+                    from_rml: true,
+                },
+            ),
+        ])
+    }
+
+    #[test]
+    fn lane_stats_aggregate() {
+        let st = sample();
+        let stats = lane_stats(&st);
+        let p0 = &stats.iter().find(|(l, _)| l == "p0").unwrap().1;
+        assert_eq!(p0.sends, 2);
+        assert_eq!(p0.bytes_sent, 150);
+        assert_eq!(p0.span_ns(), 10);
+        let p1 = &stats.iter().find(|(l, _)| l == "p1").unwrap().1;
+        assert_eq!(p1.recvs, 1);
+        assert_eq!(p1.rml_hits, 1);
+        assert_eq!(p1.consults, 1);
+    }
+
+    #[test]
+    fn lane_table_renders() {
+        let t = lane_table(&sample());
+        assert!(t.contains("p0"));
+        assert!(t.contains("150"));
+    }
+
+    #[test]
+    fn json_export_shape() {
+        let st = sample();
+        let j = events_to_json(st.events()).to_string();
+        assert!(j.starts_with('['));
+        assert!(j.contains("\"who\":\"p0\""));
+        assert!(j.contains("SchedulerConsult"));
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let st = SpaceTime::build(vec![]);
+        assert!(lane_stats(&st).is_empty());
+        assert_eq!(events_to_json(st.events()).to_string(), "[]");
+    }
+}

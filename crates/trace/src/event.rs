@@ -1,0 +1,238 @@
+//! Trace event model.
+//!
+//! Event kinds map one-to-one onto the protocol actions of §3 of the
+//! paper, so a trace can be checked against the algorithms (Figs 2–7)
+//! and rendered like the XPVM diagrams (Figs 10–13).
+
+/// Globally unique message identifier, assigned at send time, carried in
+/// the wire envelope, and echoed by the receive event — this is how
+/// space-time "message lines" are reconstructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MsgId(pub u64);
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Nanoseconds since the tracer was created.
+    pub t_ns: u64,
+    /// Label of the acting process ("p0", "scheduler", "init",
+    /// "daemon:h2", …).
+    pub who: String,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The protocol actions a trace can record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    // -- data communication (Figs 2–4) ---------------------------------
+    /// A data message left the sender (send algorithm, Fig 2 line 4).
+    Send {
+        /// Destination rank.
+        to: usize,
+        /// Application tag.
+        tag: i32,
+        /// Payload size in bytes.
+        bytes: usize,
+        /// Wire identifier for send→recv matching.
+        msg: MsgId,
+    },
+    /// `recv` began waiting for a matching message (Fig 4).
+    RecvStart {
+        /// Requested source rank (`None` = wildcard).
+        from: Option<usize>,
+        /// Requested tag (`None` = wildcard).
+        tag: Option<i32>,
+    },
+    /// `recv` returned a message to the application.
+    RecvDone {
+        /// Originating rank.
+        from: usize,
+        /// Application tag.
+        tag: i32,
+        /// Payload size in bytes.
+        bytes: usize,
+        /// Matched wire identifier.
+        msg: MsgId,
+        /// True if satisfied from the received-message-list rather than
+        /// a live channel read — the RML hit path of Fig 4 line 2.
+        from_rml: bool,
+    },
+    /// A data message was appended to the received-message-list while
+    /// searching for a different message (Fig 4 line 7) or while
+    /// draining during migration (Fig 5 line 6).
+    RmlAppend {
+        /// Originating rank.
+        from: usize,
+        /// Application tag.
+        tag: i32,
+        /// Wire identifier.
+        msg: MsgId,
+    },
+
+    // -- connection establishment (Fig 3) -------------------------------
+    /// `conn_req` sent toward a peer's daemon.
+    ConnReq {
+        /// Target rank.
+        to: usize,
+    },
+    /// `conn_ack` granted (by peer or initialized process).
+    ConnAck {
+        /// Requesting rank.
+        from: usize,
+    },
+    /// `conn_nack` received — the peer migrated or is migrating.
+    ConnNack {
+        /// Target rank whose request bounced.
+        to: usize,
+    },
+    /// Sender consulted the scheduler for a fresh location
+    /// (Fig 3 line 10) — the "on demand" location update.
+    SchedulerConsult {
+        /// Rank being located.
+        about: usize,
+    },
+    /// A new communication channel became usable between two ranks.
+    ChannelOpen {
+        /// Peer rank.
+        peer: usize,
+    },
+    /// A channel was torn down (migration coordination).
+    ChannelClose {
+        /// Peer rank.
+        peer: usize,
+    },
+
+    // -- migration (Figs 5–7) -------------------------------------------
+    /// The migrating process intercepted `migration_request`
+    /// (Fig 5 line 1).
+    MigrationStart,
+    /// Disconnection signal + `peer_migrating` pushed to a peer
+    /// (Fig 5 line 5).
+    PeerMigratingSent {
+        /// Peer rank being coordinated.
+        peer: usize,
+    },
+    /// `peer_migrating` observed by a peer (recv algorithm line 12 or
+    /// the disconnection handler, Fig 6).
+    PeerMigratingSeen {
+        /// The migrating rank.
+        peer: usize,
+    },
+    /// `end_of_messages` observed on a channel being drained.
+    EndOfMessages {
+        /// Peer whose channel drained dry.
+        peer: usize,
+    },
+    /// In-transit messages captured into the migrating process's RML
+    /// during coordination and forwarded to the initialized process —
+    /// the Fig 13 "captured and forwarded" behaviour.
+    RmlForwarded {
+        /// Number of captured messages forwarded.
+        count: usize,
+        /// Their total payload bytes.
+        bytes: usize,
+    },
+    /// Execution + memory state collection finished (Fig 5 line 9).
+    StateCollected {
+        /// Canonical state size in bytes.
+        bytes: usize,
+    },
+    /// State transmission to the destination finished (Fig 5 line 10).
+    StateTransmitted {
+        /// Canonical state size in bytes.
+        bytes: usize,
+    },
+    /// The initialized process finished restoring state (Fig 7 line 8).
+    StateRestored {
+        /// Canonical state size in bytes.
+        bytes: usize,
+    },
+    /// Scheduler recorded `migration_commit` (Fig 7 line 7).
+    MigrationCommit,
+
+    // -- environment -----------------------------------------------------
+    /// A signal was delivered to a process's handler.
+    SignalDelivered {
+        /// Signal name ("SIGMIGRATE", "SIGDISCONNECT").
+        signal: &'static str,
+    },
+    /// A computation event ran for `work` abstract units.
+    Compute {
+        /// Abstract work units (workload-defined).
+        work: u64,
+    },
+    /// Free-form phase marker used by harnesses ("iteration 2 done").
+    Phase {
+        /// Marker text.
+        label: String,
+    },
+}
+
+impl EventKind {
+    /// Glyph used for the event in space-time lanes.
+    pub fn glyph(&self) -> char {
+        match self {
+            EventKind::Send { .. } => 'S',
+            EventKind::RecvStart { .. } => 'r',
+            EventKind::RecvDone { .. } => 'R',
+            EventKind::RmlAppend { .. } => 'q',
+            EventKind::ConnReq { .. } => 'c',
+            EventKind::ConnAck { .. } => 'a',
+            EventKind::ConnNack { .. } => 'n',
+            EventKind::SchedulerConsult { .. } => '?',
+            EventKind::ChannelOpen { .. } => '(',
+            EventKind::ChannelClose { .. } => ')',
+            EventKind::MigrationStart => 'M',
+            EventKind::PeerMigratingSent { .. } => 'm',
+            EventKind::PeerMigratingSeen { .. } => 'p',
+            EventKind::EndOfMessages { .. } => 'e',
+            EventKind::RmlForwarded { .. } => 'F',
+            EventKind::StateCollected { .. } => 'K',
+            EventKind::StateTransmitted { .. } => 'T',
+            EventKind::StateRestored { .. } => 'V',
+            EventKind::MigrationCommit => 'X',
+            EventKind::SignalDelivered { .. } => '!',
+            EventKind::Compute { .. } => '=',
+            EventKind::Phase { .. } => '|',
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glyphs_are_distinct_for_protocol_events() {
+        let kinds = [
+            EventKind::Send {
+                to: 0,
+                tag: 0,
+                bytes: 0,
+                msg: MsgId(0),
+            },
+            EventKind::RecvDone {
+                from: 0,
+                tag: 0,
+                bytes: 0,
+                msg: MsgId(0),
+                from_rml: false,
+            },
+            EventKind::MigrationStart,
+            EventKind::MigrationCommit,
+            EventKind::StateCollected { bytes: 0 },
+            EventKind::StateTransmitted { bytes: 0 },
+            EventKind::StateRestored { bytes: 0 },
+        ];
+        let mut glyphs: Vec<char> = kinds.iter().map(|k| k.glyph()).collect();
+        glyphs.sort_unstable();
+        glyphs.dedup();
+        assert_eq!(glyphs.len(), kinds.len());
+    }
+
+    #[test]
+    fn msgid_orders_by_assignment() {
+        assert!(MsgId(1) < MsgId(2));
+    }
+}

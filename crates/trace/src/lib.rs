@@ -1,0 +1,35 @@
+//! # snow-trace — instrumentation for the SNOW migration protocols
+//!
+//! The paper's evaluation (§6) leans on XPVM space-time diagrams
+//! (Figs 10–13) and timing breakdowns (Tables 1–2). This crate is the
+//! Rust stand-in for XPVM plus the paper's stopwatch:
+//!
+//! * [`Tracer`] — a low-overhead, thread-safe global event log. Every
+//!   protocol-relevant action (send, recv, connection handshake,
+//!   migration phase, signal, scheduler consult) is recorded with a
+//!   nanosecond timestamp and the acting process's label.
+//! * [`spacetime`] — renders an event log as an ASCII space-time diagram
+//!   (process lanes over bucketed time) and extracts matched
+//!   send→receive *message lines*, the "lines between timelines" of the
+//!   XPVM figures.
+//! * [`report`] — timing-breakdown accumulators for the tables
+//!   (coordinate / collect / tx / restore / total) and a dependency-free
+//!   JSON emitter so harnesses can dump machine-readable results.
+//!
+//! Tracing is optional everywhere: a disabled tracer records nothing and
+//! costs one relaxed atomic load per call site, so the Table 1 overhead
+//! experiment is not polluted by instrumentation.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod event;
+pub mod report;
+pub mod spacetime;
+pub mod tracer;
+
+pub use analysis::{events_to_json, lane_stats, lane_table, LaneStats};
+pub use event::{Event, EventKind, MsgId};
+pub use report::{Breakdown, JsonValue};
+pub use spacetime::{MessageLine, SpaceTime};
+pub use tracer::Tracer;

@@ -1,0 +1,265 @@
+//! Timing-breakdown accumulators and a dependency-free JSON emitter.
+//!
+//! Tables 1 and 2 of the paper report averages of ten runs of a handful
+//! of named phases. [`Breakdown`] collects per-phase samples across
+//! repetitions and reports mean / min / max; [`JsonValue`] lets harnesses
+//! dump results machine-readably without pulling in a JSON crate.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Per-phase timing samples across benchmark repetitions.
+#[derive(Debug, Clone, Default)]
+pub struct Breakdown {
+    phases: BTreeMap<String, Vec<f64>>,
+}
+
+impl Breakdown {
+    /// Empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample (in seconds) for `phase`.
+    pub fn add(&mut self, phase: &str, seconds: f64) {
+        self.phases.entry(phase.to_string()).or_default().push(seconds);
+    }
+
+    /// Record a [`Duration`] sample.
+    pub fn add_duration(&mut self, phase: &str, d: Duration) {
+        self.add(phase, d.as_secs_f64());
+    }
+
+    /// Merge all samples from another breakdown.
+    pub fn merge(&mut self, other: &Breakdown) {
+        for (k, v) in &other.phases {
+            self.phases.entry(k.clone()).or_default().extend(v);
+        }
+    }
+
+    /// Mean of a phase's samples, if any were recorded.
+    pub fn mean(&self, phase: &str) -> Option<f64> {
+        let v = self.phases.get(phase)?;
+        if v.is_empty() {
+            return None;
+        }
+        Some(v.iter().sum::<f64>() / v.len() as f64)
+    }
+
+    /// (min, max) of a phase's samples.
+    pub fn min_max(&self, phase: &str) -> Option<(f64, f64)> {
+        let v = self.phases.get(phase)?;
+        let mut it = v.iter().copied();
+        let first = it.next()?;
+        Some(it.fold((first, first), |(lo, hi), x| (lo.min(x), hi.max(x))))
+    }
+
+    /// Number of samples recorded for a phase.
+    pub fn count(&self, phase: &str) -> usize {
+        self.phases.get(phase).map_or(0, Vec::len)
+    }
+
+    /// Phase names in sorted order.
+    pub fn phases(&self) -> impl Iterator<Item = &str> {
+        self.phases.keys().map(String::as_str)
+    }
+
+    /// Render an aligned text table (seconds, mean over samples).
+    pub fn to_table(&self, title: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{title}");
+        let w = self.phases.keys().map(|k| k.len()).max().unwrap_or(5).max(5);
+        let _ = writeln!(out, "{:>w$}  {:>10}  {:>10}  {:>10}  {:>4}", "phase", "mean(s)", "min(s)", "max(s)", "n");
+        for k in self.phases.keys() {
+            let mean = self.mean(k).unwrap_or(f64::NAN);
+            let (lo, hi) = self.min_max(k).unwrap_or((f64::NAN, f64::NAN));
+            let _ = writeln!(
+                out,
+                "{k:>w$}  {mean:>10.4}  {lo:>10.4}  {hi:>10.4}  {:>4}",
+                self.count(k)
+            );
+        }
+        out
+    }
+
+    /// Convert to a JSON object `{phase: {mean, min, max, n}, ...}`.
+    pub fn to_json(&self) -> JsonValue {
+        let mut obj = Vec::new();
+        for k in self.phases.keys() {
+            let (lo, hi) = self.min_max(k).unwrap_or((f64::NAN, f64::NAN));
+            obj.push((
+                k.clone(),
+                JsonValue::Object(vec![
+                    ("mean".into(), JsonValue::Num(self.mean(k).unwrap_or(f64::NAN))),
+                    ("min".into(), JsonValue::Num(lo)),
+                    ("max".into(), JsonValue::Num(hi)),
+                    ("n".into(), JsonValue::Num(self.count(k) as f64)),
+                ]),
+            ));
+        }
+        JsonValue::Object(obj)
+    }
+}
+
+/// A minimal JSON document model with an emitter. Covers exactly what the
+/// harness reports need; not a general-purpose JSON library.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// true/false
+    Bool(bool),
+    /// Any number (NaN/∞ emit as null per JSON rules).
+    Num(f64),
+    /// A string (escaped on emit).
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl std::fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = String::new();
+        self.write(&mut s);
+        f.write_str(&s)
+    }
+}
+
+impl JsonValue {
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(n) => {
+                if n.is_finite() {
+                    let _ = write!(out, "{n}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, it) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    it.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    JsonValue::Str(k.clone()).write(out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_statistics() {
+        let mut b = Breakdown::new();
+        b.add("collect", 1.0);
+        b.add("collect", 3.0);
+        b.add("tx", 0.5);
+        assert_eq!(b.mean("collect"), Some(2.0));
+        assert_eq!(b.min_max("collect"), Some((1.0, 3.0)));
+        assert_eq!(b.count("collect"), 2);
+        assert_eq!(b.mean("missing"), None);
+        assert_eq!(b.phases().collect::<Vec<_>>(), vec!["collect", "tx"]);
+    }
+
+    #[test]
+    fn breakdown_merge() {
+        let mut a = Breakdown::new();
+        a.add("x", 1.0);
+        let mut b = Breakdown::new();
+        b.add("x", 3.0);
+        b.add("y", 5.0);
+        a.merge(&b);
+        assert_eq!(a.mean("x"), Some(2.0));
+        assert_eq!(a.count("y"), 1);
+    }
+
+    #[test]
+    fn breakdown_duration_sample() {
+        let mut b = Breakdown::new();
+        b.add_duration("p", Duration::from_millis(250));
+        assert!((b.mean("p").unwrap() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_contains_phases() {
+        let mut b = Breakdown::new();
+        b.add("coordinate", 0.125);
+        b.add("migrate", 14.621);
+        let t = b.to_table("Table 2");
+        assert!(t.contains("coordinate"));
+        assert!(t.contains("14.621"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        let v = JsonValue::Str("a\"b\\c\nd\u{1}".into());
+        assert_eq!(v.to_string(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn json_structure() {
+        let v = JsonValue::Object(vec![
+            ("a".into(), JsonValue::Num(1.5)),
+            (
+                "b".into(),
+                JsonValue::Array(vec![JsonValue::Bool(true), JsonValue::Null]),
+            ),
+        ]);
+        assert_eq!(v.to_string(), r#"{"a":1.5,"b":[true,null]}"#);
+    }
+
+    #[test]
+    fn json_nonfinite_numbers_become_null() {
+        assert_eq!(JsonValue::Num(f64::NAN).to_string(), "null");
+        assert_eq!(JsonValue::Num(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn breakdown_to_json_roundtrips_names() {
+        let mut b = Breakdown::new();
+        b.add("tx", 8.591);
+        let s = b.to_json().to_string();
+        assert!(s.contains("\"tx\""), "{s}");
+        assert!(s.contains("8.591"), "{s}");
+    }
+}

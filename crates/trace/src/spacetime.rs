@@ -1,0 +1,370 @@
+//! Space-time diagram construction and rendering.
+//!
+//! XPVM drew each process as a horizontal timeline and each message as a
+//! line from its `pvm_send` to the matching `pvm_recv` return. This
+//! module reconstructs the same picture from a trace: matched
+//! [`MessageLine`]s plus an ASCII lane rendering suitable for a terminal.
+
+use crate::event::{Event, EventKind, MsgId};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// A matched send→receive pair: one "line" of the XPVM diagram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MessageLine {
+    /// Wire id.
+    pub msg: MsgId,
+    /// Sender label.
+    pub from: String,
+    /// Receiver label (the process whose `recv` returned it).
+    pub to: String,
+    /// Application tag.
+    pub tag: i32,
+    /// Payload bytes.
+    pub bytes: usize,
+    /// Send timestamp (ns since trace start).
+    pub sent_ns: u64,
+    /// Receive-completion timestamp; `None` if never received (a bug —
+    /// Theorem 2 says this cannot happen under the protocol).
+    pub recv_ns: Option<u64>,
+    /// True when the receive was satisfied out of the received-message
+    /// list rather than a live channel.
+    pub via_rml: bool,
+}
+
+impl MessageLine {
+    /// Latency from send to receive completion, if received.
+    pub fn latency_ns(&self) -> Option<u64> {
+        self.recv_ns.map(|r| r.saturating_sub(self.sent_ns))
+    }
+}
+
+/// An analysed trace: events plus matched message lines.
+#[derive(Debug, Clone)]
+pub struct SpaceTime {
+    events: Vec<Event>,
+    lines: Vec<MessageLine>,
+    lanes: Vec<String>,
+}
+
+impl SpaceTime {
+    /// Analyse a snapshot of trace events.
+    pub fn build(events: Vec<Event>) -> Self {
+        let mut lanes: Vec<String> = Vec::new();
+        for e in &events {
+            if !lanes.iter().any(|l| l == &e.who) {
+                lanes.push(e.who.clone());
+            }
+        }
+
+        let mut sends: HashMap<MsgId, MessageLine> = HashMap::new();
+        for e in &events {
+            if let EventKind::Send {
+                to: _,
+                tag,
+                bytes,
+                msg,
+            } = &e.kind
+            {
+                sends.insert(
+                    *msg,
+                    MessageLine {
+                        msg: *msg,
+                        from: e.who.clone(),
+                        to: String::new(),
+                        tag: *tag,
+                        bytes: *bytes,
+                        sent_ns: e.t_ns,
+                        recv_ns: None,
+                        via_rml: false,
+                    },
+                );
+            }
+        }
+        for e in &events {
+            if let EventKind::RecvDone {
+                msg,
+                from_rml,
+                ..
+            } = &e.kind
+            {
+                if let Some(line) = sends.get_mut(msg) {
+                    // First receive wins; duplicates would be a protocol
+                    // bug surfaced by `duplicate_receives`.
+                    if line.recv_ns.is_none() {
+                        line.to = e.who.clone();
+                        line.recv_ns = Some(e.t_ns);
+                        line.via_rml = *from_rml;
+                    }
+                }
+            }
+        }
+        let mut lines: Vec<MessageLine> = sends.into_values().collect();
+        lines.sort_by_key(|l| (l.sent_ns, l.msg));
+        Self {
+            events,
+            lines,
+            lanes,
+        }
+    }
+
+    /// All matched (and unmatched) message lines, in send order.
+    pub fn lines(&self) -> &[MessageLine] {
+        &self.lines
+    }
+
+    /// The underlying events.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Process labels in first-appearance order.
+    pub fn lanes(&self) -> &[String] {
+        &self.lanes
+    }
+
+    /// Messages that were sent but never returned by any `recv` — must be
+    /// empty for a complete run (Theorem 2: no message loss).
+    pub fn undelivered(&self) -> Vec<&MessageLine> {
+        self.lines.iter().filter(|l| l.recv_ns.is_none()).collect()
+    }
+
+    /// Wire ids received more than once — must be empty (exactly-once
+    /// delivery).
+    pub fn duplicate_receives(&self) -> Vec<MsgId> {
+        let mut seen: HashMap<MsgId, usize> = HashMap::new();
+        for e in &self.events {
+            if let EventKind::RecvDone { msg, .. } = &e.kind {
+                *seen.entry(*msg).or_default() += 1;
+            }
+        }
+        let mut dups: Vec<MsgId> = seen
+            .into_iter()
+            .filter(|(_, n)| *n > 1)
+            .map(|(m, _)| m)
+            .collect();
+        dups.sort_unstable();
+        dups
+    }
+
+    /// Check per-(sender,receiver-rank,tag-stream) FIFO: receive order of
+    /// messages between one ordered pair must match send order (Theorem 3).
+    /// Returns violating message-id pairs (earlier-sent received later).
+    pub fn fifo_violations(&self) -> Vec<(MsgId, MsgId)> {
+        // Group by (from-label, to-label); within a pair, sort by send
+        // time and verify receive times are monotone.
+        let mut groups: HashMap<(String, String), Vec<&MessageLine>> = HashMap::new();
+        for l in &self.lines {
+            if l.recv_ns.is_some() {
+                groups
+                    .entry((l.from.clone(), l.to.clone()))
+                    .or_default()
+                    .push(l);
+            }
+        }
+        let mut bad = Vec::new();
+        for (_, mut ls) in groups {
+            ls.sort_by_key(|l| (l.sent_ns, l.msg));
+            for w in ls.windows(2) {
+                if w[0].recv_ns > w[1].recv_ns {
+                    bad.push((w[0].msg, w[1].msg));
+                }
+            }
+        }
+        bad.sort_unstable();
+        bad
+    }
+
+    /// Timestamp of the first event satisfying `pred`, if any.
+    pub fn first_when(&self, mut pred: impl FnMut(&Event) -> bool) -> Option<u64> {
+        self.events.iter().find(|e| pred(e)).map(|e| e.t_ns)
+    }
+
+    /// Events attributed to one lane.
+    pub fn lane_events<'a>(&'a self, who: &'a str) -> impl Iterator<Item = &'a Event> + 'a {
+        self.events.iter().filter(move |e| e.who == who)
+    }
+
+    /// Render an ASCII space-time diagram with `width` time buckets.
+    ///
+    /// Each lane is a row; each bucket shows the glyph of the last event
+    /// falling in it. A legend and the matched message count follow.
+    pub fn render(&self, width: usize) -> String {
+        let width = width.max(10);
+        let t_max = self.events.last().map(|e| e.t_ns).unwrap_or(0).max(1);
+        let label_w = self
+            .lanes
+            .iter()
+            .map(|l| l.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "space-time diagram: {} lanes, {} events, {} messages, span {:.3} ms",
+            self.lanes.len(),
+            self.events.len(),
+            self.lines.len(),
+            t_max as f64 / 1e6
+        );
+        for lane in &self.lanes {
+            let mut row = vec![' '; width];
+            for e in self.lane_events(lane) {
+                let idx = ((e.t_ns as u128 * (width as u128 - 1)) / t_max as u128) as usize;
+                row[idx] = e.kind.glyph();
+            }
+            let _ = writeln!(
+                out,
+                "{lane:>label_w$} |{}|",
+                row.iter().collect::<String>()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "legend: S send R recv q rml c/a/n conn-req/ack/nack ? sched M mig-start \
+             m peer-mig-sent p peer-mig-seen e eom K collect T tx V restore X commit"
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, who: &str, kind: EventKind) -> Event {
+        Event {
+            t_ns: t,
+            who: who.into(),
+            kind,
+        }
+    }
+
+    fn send(t: u64, who: &str, to: usize, id: u64) -> Event {
+        ev(
+            t,
+            who,
+            EventKind::Send {
+                to,
+                tag: 7,
+                bytes: 100,
+                msg: MsgId(id),
+            },
+        )
+    }
+
+    fn recv(t: u64, who: &str, from: usize, id: u64, rml: bool) -> Event {
+        ev(
+            t,
+            who,
+            EventKind::RecvDone {
+                from,
+                tag: 7,
+                bytes: 100,
+                msg: MsgId(id),
+                from_rml: rml,
+            },
+        )
+    }
+
+    #[test]
+    fn matches_send_to_recv() {
+        let st = SpaceTime::build(vec![
+            send(10, "p0", 1, 1),
+            recv(50, "p1", 0, 1, false),
+        ]);
+        assert_eq!(st.lines().len(), 1);
+        let l = &st.lines()[0];
+        assert_eq!(l.from, "p0");
+        assert_eq!(l.to, "p1");
+        assert_eq!(l.latency_ns(), Some(40));
+        assert!(st.undelivered().is_empty());
+    }
+
+    #[test]
+    fn detects_undelivered() {
+        let st = SpaceTime::build(vec![send(10, "p0", 1, 1), send(20, "p0", 1, 2)]);
+        assert_eq!(st.undelivered().len(), 2);
+    }
+
+    #[test]
+    fn detects_duplicates() {
+        let st = SpaceTime::build(vec![
+            send(10, "p0", 1, 1),
+            recv(20, "p1", 0, 1, false),
+            recv(30, "p1", 0, 1, true),
+        ]);
+        assert_eq!(st.duplicate_receives(), vec![MsgId(1)]);
+    }
+
+    #[test]
+    fn fifo_violation_detected() {
+        let st = SpaceTime::build(vec![
+            send(10, "p0", 1, 1),
+            send(20, "p0", 1, 2),
+            recv(30, "p1", 0, 2, false),
+            recv(40, "p1", 0, 1, false),
+        ]);
+        assert_eq!(st.fifo_violations(), vec![(MsgId(1), MsgId(2))]);
+    }
+
+    #[test]
+    fn fifo_ok_when_ordered() {
+        let st = SpaceTime::build(vec![
+            send(10, "p0", 1, 1),
+            send(20, "p0", 1, 2),
+            recv(30, "p1", 0, 1, false),
+            recv(40, "p1", 0, 2, true),
+        ]);
+        assert!(st.fifo_violations().is_empty());
+    }
+
+    #[test]
+    fn lanes_in_first_appearance_order() {
+        let st = SpaceTime::build(vec![
+            ev(5, "scheduler", EventKind::Phase { label: "go".into() }),
+            send(10, "p0", 1, 1),
+            recv(20, "p1", 0, 1, false),
+        ]);
+        assert_eq!(st.lanes(), &["scheduler", "p0", "p1"]);
+    }
+
+    #[test]
+    fn render_contains_all_lanes() {
+        let st = SpaceTime::build(vec![
+            send(10, "p0", 1, 1),
+            recv(20, "p1", 0, 1, false),
+            ev(30, "p1", EventKind::MigrationStart),
+        ]);
+        let s = st.render(40);
+        assert!(s.contains("p0"), "{s}");
+        assert!(s.contains("p1"), "{s}");
+        assert!(s.contains('M'), "{s}");
+        assert!(s.contains("legend"), "{s}");
+    }
+
+    #[test]
+    fn render_empty_trace() {
+        let st = SpaceTime::build(Vec::new());
+        let s = st.render(40);
+        assert!(s.contains("0 lanes"));
+    }
+
+    #[test]
+    fn first_when_finds_event() {
+        let st = SpaceTime::build(vec![
+            send(10, "p0", 1, 1),
+            ev(42, "p0", EventKind::MigrationStart),
+        ]);
+        assert_eq!(
+            st.first_when(|e| matches!(e.kind, EventKind::MigrationStart)),
+            Some(42)
+        );
+        assert_eq!(
+            st.first_when(|e| matches!(e.kind, EventKind::MigrationCommit)),
+            None
+        );
+    }
+}

@@ -1,0 +1,380 @@
+//! Per-host virtual machine daemons.
+//!
+//! The paper extends the PVM daemon to "keep records of connection
+//! requests being routed through it" and to reject requests whose target
+//! is gone or is refusing connections (§3.1, §5). Each host runs one
+//! daemon thread with this exact role:
+//!
+//! * **route** `conn_req` control messages to local target processes,
+//!   recording a pending entry per request;
+//! * **delete** the pending entry when the target's grant/rejection is
+//!   routed back, forwarding the reply to the requester;
+//! * **reject** (`conn_nack`) when the target process does not exist,
+//!   has terminated with requests still pending, or has registered a
+//!   *reject-all* flag (a migrating process does this at Fig 5 line 4);
+//! * on host leave, nack everything outstanding and exit.
+
+use crate::ids::{HostId, Vmid};
+use crate::vm::Registry;
+use crate::wire::{ConnReqMsg, Ctrl, Incoming};
+use crossbeam::channel::{self, Receiver, Sender};
+use snow_trace::{EventKind, Tracer};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::thread;
+
+/// Messages handled by a daemon thread.
+#[derive(Debug)]
+pub enum DaemonMsg {
+    /// A requester (possibly remote) asks to reach a process on this
+    /// host.
+    RouteConnReq(ConnReqMsg),
+    /// A local process answers a previously routed request; `ctrl` is a
+    /// [`Ctrl::ConnGrant`] or [`Ctrl::ConnNack`]. The daemon deletes its
+    /// pending record and forwards the reply.
+    ConnReply {
+        /// The request being answered.
+        req_id: u64,
+        /// Grant or nack to forward to the requester.
+        ctrl: Ctrl,
+    },
+    /// Set/clear the reject-all flag for a local process (a migrating
+    /// process sets it; cleared implicitly when the process exits).
+    SetReject {
+        /// The local process.
+        vmid: Vmid,
+        /// New flag value.
+        on: bool,
+    },
+    /// A local process terminated: nack everything pending for it.
+    ProcessExited(Vmid),
+    /// Host leave: nack everything and stop.
+    Shutdown,
+}
+
+/// Handle to a running daemon.
+#[derive(Debug, Clone)]
+pub struct DaemonHandle {
+    /// The host this daemon serves.
+    pub host: HostId,
+    tx: Sender<DaemonMsg>,
+}
+
+impl DaemonHandle {
+    /// Send a message to the daemon. Returns `false` if the daemon has
+    /// shut down (host left).
+    pub fn send(&self, msg: DaemonMsg) -> bool {
+        self.tx.send(msg).is_ok()
+    }
+}
+
+struct DaemonState {
+    host: HostId,
+    registry: Registry,
+    tracer: Arc<Tracer>,
+    /// req_id → the original request (holding the requester's reply
+    /// sender and target vmid).
+    pending: HashMap<u64, ConnReqMsg>,
+    /// Local processes currently refusing connections.
+    rejecting: HashSet<Vmid>,
+}
+
+impl DaemonState {
+    fn label(&self) -> String {
+        format!("daemon:{}", self.host)
+    }
+
+    fn nack(&self, req: &ConnReqMsg) {
+        self.tracer.record(
+            &self.label(),
+            EventKind::ConnNack {
+                to: req.from_rank,
+            },
+        );
+        // Ignore failure: the requester itself may be gone.
+        let _ = req.reply.send(
+            Incoming::Ctrl(Ctrl::ConnNack {
+                req_id: req.req_id,
+                target: req.target,
+            }),
+            crate::wire::ENVELOPE_OVERHEAD_BYTES,
+        );
+    }
+
+    fn route(&mut self, req: ConnReqMsg) {
+        debug_assert_eq!(req.target.host, self.host, "misrouted conn_req");
+        if self.rejecting.contains(&req.target) {
+            // The migrating process told us to reject all future
+            // requests (Fig 5 line 4).
+            self.nack(&req);
+            return;
+        }
+        match self.registry.addr_of(req.target) {
+            Some(addr) => {
+                let fwd = Incoming::Ctrl(Ctrl::ConnReq(req.clone()));
+                if addr
+                    .inbox
+                    .send(fwd, crate::wire::ENVELOPE_OVERHEAD_BYTES)
+                    .is_ok()
+                {
+                    self.pending.insert(req.req_id, req);
+                } else {
+                    // Raced with termination.
+                    self.nack(&req);
+                }
+            }
+            None => self.nack(&req),
+        }
+    }
+
+    fn reply(&mut self, req_id: u64, ctrl: Ctrl) {
+        if let Some(req) = self.pending.remove(&req_id) {
+            let _ = req
+                .reply
+                .send(Incoming::Ctrl(ctrl), crate::wire::ENVELOPE_OVERHEAD_BYTES);
+        }
+        // Unknown req_id: the record was already cleared (e.g. the
+        // requester was nacked when the target exited). Drop silently.
+    }
+
+    fn process_exited(&mut self, vmid: Vmid) {
+        self.rejecting.remove(&vmid);
+        let dead: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, req)| req.target == vmid)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in dead {
+            if let Some(req) = self.pending.remove(&id) {
+                self.nack(&req);
+            }
+        }
+    }
+
+    fn shutdown(&mut self) {
+        let all: Vec<u64> = self.pending.keys().copied().collect();
+        for id in all {
+            if let Some(req) = self.pending.remove(&id) {
+                self.nack(&req);
+            }
+        }
+    }
+}
+
+/// Spawn the daemon thread for `host`.
+pub fn spawn_daemon(host: HostId, registry: Registry, tracer: Arc<Tracer>) -> DaemonHandle {
+    let (tx, rx): (Sender<DaemonMsg>, Receiver<DaemonMsg>) = channel::unbounded();
+    let mut state = DaemonState {
+        host,
+        registry,
+        tracer,
+        pending: HashMap::new(),
+        rejecting: HashSet::new(),
+    };
+    thread::Builder::new()
+        .name(format!("snow-daemon-{}", host.0))
+        .spawn(move || {
+            while let Ok(msg) = rx.recv() {
+                match msg {
+                    DaemonMsg::RouteConnReq(req) => state.route(req),
+                    DaemonMsg::ConnReply { req_id, ctrl } => state.reply(req_id, ctrl),
+                    DaemonMsg::SetReject { vmid, on } => {
+                        if on {
+                            state.rejecting.insert(vmid);
+                        } else {
+                            state.rejecting.remove(&vmid);
+                        }
+                    }
+                    DaemonMsg::ProcessExited(vmid) => state.process_exited(vmid),
+                    DaemonMsg::Shutdown => {
+                        state.shutdown();
+                        return;
+                    }
+                }
+            }
+            // All senders dropped (environment torn down): flush pending.
+            state.shutdown();
+        })
+        .expect("spawn daemon thread");
+    DaemonHandle { host, tx }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::post::Post;
+    use crate::vm::{ProcAddr, Registry};
+    use snow_net::{LinkModel, TimeScale};
+    use std::time::Duration;
+
+    fn mk_req(
+        req_id: u64,
+        target: Vmid,
+    ) -> (ConnReqMsg, Post<Incoming>) {
+        let (reply, post) = Post::channel(LinkModel::INSTANT, TimeScale::ZERO);
+        let req = ConnReqMsg {
+            req_id,
+            from_rank: 1,
+            from_vmid: Vmid {
+                host: HostId(9),
+                pid: 9,
+            },
+            target,
+            reply: reply.clone(),
+            data_to_requester: reply,
+        };
+        (req, post)
+    }
+
+    fn target_addr(registry: &Registry, vmid: Vmid) -> Post<Incoming> {
+        let (tx, post) = Post::channel(LinkModel::INSTANT, TimeScale::ZERO);
+        let (sig_tx, _sig_rx) = channel::unbounded();
+        registry.register(
+            vmid,
+            ProcAddr {
+                inbox: tx,
+                signals: sig_tx,
+                host: vmid.host,
+                label: "t".into(),
+            },
+        );
+        post
+    }
+
+    fn expect_nack(post: &Post<Incoming>, req_id: u64) {
+        match post.recv_timeout(Duration::from_secs(2)).unwrap() {
+            Some(Incoming::Ctrl(Ctrl::ConnNack { req_id: r, .. })) => assert_eq!(r, req_id),
+            other => panic!("expected nack, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn routes_to_registered_process() {
+        let registry = Registry::new();
+        let tracer = Tracer::disabled();
+        let host = HostId(0);
+        let d = spawn_daemon(host, registry.clone(), tracer);
+        let target = Vmid { host, pid: 1 };
+        let target_post = target_addr(&registry, target);
+        let (req, _reply_post) = mk_req(1, target);
+        assert!(d.send(DaemonMsg::RouteConnReq(req)));
+        match target_post.recv_timeout(Duration::from_secs(2)).unwrap() {
+            Some(Incoming::Ctrl(Ctrl::ConnReq(r))) => assert_eq!(r.req_id, 1),
+            other => panic!("expected forwarded req, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nacks_missing_process() {
+        let registry = Registry::new();
+        let d = spawn_daemon(HostId(0), registry, Tracer::disabled());
+        let target = Vmid {
+            host: HostId(0),
+            pid: 42,
+        };
+        let (req, reply_post) = mk_req(7, target);
+        d.send(DaemonMsg::RouteConnReq(req));
+        expect_nack(&reply_post, 7);
+    }
+
+    #[test]
+    fn reject_flag_nacks_immediately() {
+        let registry = Registry::new();
+        let d = spawn_daemon(HostId(0), registry.clone(), Tracer::disabled());
+        let target = Vmid {
+            host: HostId(0),
+            pid: 1,
+        };
+        let _target_post = target_addr(&registry, target);
+        d.send(DaemonMsg::SetReject {
+            vmid: target,
+            on: true,
+        });
+        let (req, reply_post) = mk_req(3, target);
+        d.send(DaemonMsg::RouteConnReq(req));
+        expect_nack(&reply_post, 3);
+        // Clearing the flag lets requests through again.
+        d.send(DaemonMsg::SetReject {
+            vmid: target,
+            on: false,
+        });
+        let (req, reply_post2) = mk_req(4, target);
+        d.send(DaemonMsg::RouteConnReq(req));
+        // No nack this time: it was forwarded.
+        assert!(reply_post2
+            .recv_timeout(Duration::from_millis(100))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn reply_forwarded_and_record_deleted() {
+        let registry = Registry::new();
+        let d = spawn_daemon(HostId(0), registry.clone(), Tracer::disabled());
+        let target = Vmid {
+            host: HostId(0),
+            pid: 1,
+        };
+        let _tp = target_addr(&registry, target);
+        let (req, reply_post) = mk_req(11, target);
+        d.send(DaemonMsg::RouteConnReq(req));
+        d.send(DaemonMsg::ConnReply {
+            req_id: 11,
+            ctrl: Ctrl::ConnNack {
+                req_id: 11,
+                target,
+            },
+        });
+        expect_nack(&reply_post, 11);
+        // Second reply for the same id is dropped (record deleted).
+        d.send(DaemonMsg::ConnReply {
+            req_id: 11,
+            ctrl: Ctrl::ConnNack {
+                req_id: 11,
+                target,
+            },
+        });
+        assert!(reply_post
+            .recv_timeout(Duration::from_millis(50))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn process_exit_nacks_pending() {
+        let registry = Registry::new();
+        let d = spawn_daemon(HostId(0), registry.clone(), Tracer::disabled());
+        let target = Vmid {
+            host: HostId(0),
+            pid: 1,
+        };
+        let _tp = target_addr(&registry, target);
+        let (req, reply_post) = mk_req(21, target);
+        d.send(DaemonMsg::RouteConnReq(req));
+        // Give the daemon time to record the pending entry.
+        std::thread::sleep(Duration::from_millis(20));
+        d.send(DaemonMsg::ProcessExited(target));
+        expect_nack(&reply_post, 21);
+    }
+
+    #[test]
+    fn shutdown_nacks_everything() {
+        let registry = Registry::new();
+        let d = spawn_daemon(HostId(0), registry.clone(), Tracer::disabled());
+        let target = Vmid {
+            host: HostId(0),
+            pid: 1,
+        };
+        let _tp = target_addr(&registry, target);
+        let (req, reply_post) = mk_req(31, target);
+        d.send(DaemonMsg::RouteConnReq(req));
+        std::thread::sleep(Duration::from_millis(20));
+        d.send(DaemonMsg::Shutdown);
+        expect_nack(&reply_post, 31);
+        // Daemon is gone: further sends fail eventually.
+        std::thread::sleep(Duration::from_millis(20));
+        let (req2, _rp) = mk_req(32, target);
+        let _ = d.send(DaemonMsg::RouteConnReq(req2));
+    }
+}

@@ -1,0 +1,95 @@
+//! Host descriptions.
+//!
+//! A host couples a simulated architecture (byte order / word size, used
+//! by the heterogeneous state transfer), a relative CPU speed (used by
+//! the state collect/restore cost model) and the host's network uplink
+//! (used by the transfer cost model). The paper's two testbeds are
+//! provided as presets.
+
+use snow_codec::HostArch;
+use snow_net::LinkModel;
+
+/// Static description of a workstation participating in the virtual
+/// machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostSpec {
+    /// Simulated architecture (byte order, word size, label).
+    pub arch: HostArch,
+    /// Relative CPU speed; 1.0 = a Sun Ultra 5 of the paper's testbed.
+    /// State collection/restoration of `B` bytes is modeled to cost
+    /// `B / (speed * BYTES_PER_SECOND_AT_1X)` seconds.
+    pub speed: f64,
+    /// The host's uplink; a path between two hosts is the bottleneck of
+    /// their uplinks.
+    pub uplink: LinkModel,
+}
+
+impl HostSpec {
+    /// The paper's fast homogeneous node: Sun Ultra 5 on 100 Mbit/s
+    /// switched Ethernet.
+    pub fn ultra5() -> Self {
+        HostSpec {
+            arch: HostArch::SUN_ULTRA5,
+            speed: 1.0,
+            uplink: LinkModel::ETHERNET_100M,
+        }
+    }
+
+    /// The paper's slow heterogeneous node: DEC 5000/120 on 10 Mbit/s
+    /// Ethernet. §6.3 reports state collection ~7× slower than on the
+    /// Ultra 5 (5.209 s vs 0.73 s), hence speed ≈ 0.14.
+    pub fn dec5000() -> Self {
+        HostSpec {
+            arch: HostArch::DEC_5000,
+            speed: 0.14,
+            uplink: LinkModel::ETHERNET_10M,
+        }
+    }
+
+    /// An idealised host for pure protocol-logic tests: instant network,
+    /// unit speed, native-looking architecture.
+    pub fn ideal() -> Self {
+        HostSpec {
+            arch: HostArch::X86_64,
+            speed: 1.0,
+            uplink: LinkModel::INSTANT,
+        }
+    }
+
+    /// The network path model between two hosts.
+    pub fn path_to(&self, other: &HostSpec) -> LinkModel {
+        self.uplink.bottleneck(&other.uplink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_reflect_testbed() {
+        let fast = HostSpec::ultra5();
+        let slow = HostSpec::dec5000();
+        assert!(fast.speed > slow.speed * 5.0);
+        assert!(
+            slow.uplink.transfer_seconds(1_000_000)
+                > fast.uplink.transfer_seconds(1_000_000)
+        );
+    }
+
+    #[test]
+    fn path_is_bottleneck() {
+        let fast = HostSpec::ultra5();
+        let slow = HostSpec::dec5000();
+        let p = fast.path_to(&slow);
+        assert_eq!(p.bandwidth_bps, slow.uplink.bandwidth_bps);
+        // Symmetric:
+        assert_eq!(p, slow.path_to(&fast));
+    }
+
+    #[test]
+    fn ideal_path_is_instant() {
+        let h = HostSpec::ideal();
+        assert_eq!(h.path_to(&h).transfer_seconds(1 << 20), 0.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Two-level process identification (§2.1 of the paper).
+//!
+//! Application-level processes are named by a *rank* — "a non-negative
+//! integer assigned in sequence to every process in a distributed
+//! computation" — which is location-transparent. The virtual machine
+//! names every process (including daemons and the scheduler) by a
+//! [`Vmid`]: a coupling of workstation and per-workstation process
+//! numbers. The rank→vmid mappings form the PL (process location) table,
+//! kept by every process and the scheduler.
+
+use std::fmt;
+
+/// Application-level process identifier (the paper's rank number).
+pub type Rank = usize;
+
+/// Application message tag (PVM-style).
+pub type Tag = i32;
+
+/// Virtual-machine-level workstation identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HostId(pub u32);
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+/// Virtual-machine-level process identification: host number plus the
+/// process number on that host, both assigned sequentially.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Vmid {
+    /// The workstation the process runs on.
+    pub host: HostId,
+    /// Sequential process number on that workstation.
+    pub pid: u32,
+}
+
+impl fmt::Display for Vmid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.p{}", self.host, self.pid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vmid_display() {
+        let v = Vmid {
+            host: HostId(2),
+            pid: 5,
+        };
+        assert_eq!(v.to_string(), "h2.p5");
+    }
+
+    #[test]
+    fn vmid_ordering_is_host_major() {
+        let a = Vmid {
+            host: HostId(1),
+            pid: 9,
+        };
+        let b = Vmid {
+            host: HostId(2),
+            pid: 0,
+        };
+        assert!(a < b);
+    }
+
+    #[test]
+    fn vmid_usable_as_map_key() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(
+            Vmid {
+                host: HostId(0),
+                pid: 1,
+            },
+            "x",
+        );
+        assert_eq!(
+            m[&Vmid {
+                host: HostId(0),
+                pid: 1
+            }],
+            "x"
+        );
+    }
+}

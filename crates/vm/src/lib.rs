@@ -1,0 +1,53 @@
+//! # snow-vm — the virtual machine substrate
+//!
+//! The paper's environment (§2) is "a collection of software and hardware
+//! to support the distributed computations": a network of workstations, a
+//! set of per-host daemons forming a *virtual machine*, and a scheduler.
+//! This crate builds that environment for SNOW processes implemented as
+//! OS threads:
+//!
+//! * [`host`] — host descriptions: simulated architecture
+//!   ([`snow_codec::HostArch`]), relative CPU speed, and uplink
+//!   [`snow_net::LinkModel`]. Hosts can join and leave dynamically.
+//! * [`ids`] — the two-level naming of §2.1: application-level *ranks*
+//!   and virtual-machine-level [`ids::Vmid`]s (host id + per-host process
+//!   id).
+//! * [`post`] — the per-process *inbox*: a FIFO mailbox carrying both
+//!   data envelopes and control messages, with modeled link delays
+//!   applied per logical connection. This mirrors PVM, where
+//!   `pvm_recv` surfaces data and connection-control traffic through one
+//!   interface (§5.1).
+//! * [`wire`] — the wire types: data [`wire::Envelope`]s (payload,
+//!   `peer_migrating`, `end_of_messages`, state transfer), control
+//!   messages (`conn_req`/grant/nack, scheduler requests/replies) and
+//!   [`wire::Signal`]s.
+//! * [`daemon`] — one daemon thread per host. Daemons route connection
+//!   requests to local processes, keep *pending-request records*, and
+//!   send `conn_nack` when the target process is gone, the host left, or
+//!   the target registered a reject-all flag (the paper's §3.1 extension
+//!   of the PVM daemon).
+//! * [`process`] — [`process::ProcessCell`], everything a running SNOW
+//!   process borrows from the environment (inbox, signal queue, registry
+//!   access, tracing).
+//! * [`vm`] — [`vm::VirtualMachine`]: membership, process spawning,
+//!   vmid allocation, the signal service.
+//!
+//! The protocol algorithms themselves (send/recv/connect/migrate/
+//! initialize) live in `snow-core`; the scheduler logic in `snow-sched`.
+
+#![warn(missing_docs)]
+
+pub mod daemon;
+pub mod host;
+pub mod ids;
+pub mod post;
+pub mod process;
+pub mod vm;
+pub mod wire;
+
+pub use host::HostSpec;
+pub use ids::{HostId, Rank, Tag, Vmid};
+pub use post::{Post, PostSender};
+pub use process::ProcessCell;
+pub use vm::VirtualMachine;
+pub use wire::{Ctrl, Envelope, Incoming, Payload, SchedReply, SchedRequest, Signal};

@@ -1,0 +1,313 @@
+//! The per-process inbox with modeled delivery delays.
+//!
+//! Every SNOW process owns one [`Post`]: a FIFO mailbox into which both
+//! data envelopes and control messages are delivered — exactly how PVM
+//! surfaces data and connection-control traffic through `pvm_recv`
+//! (§5.1 of the paper). A logical communication channel is a
+//! [`PostSender`] clone held by the peer: per-sender FIFO order is
+//! guaranteed by the underlying queue, which is the paper's FIFO channel
+//! assumption (§2.3).
+//!
+//! Each `PostSender` carries its own *wire state* so back-to-back frames
+//! on one logical connection serialise behind each other under a modeled
+//! [`LinkModel`]; delivery is delayed on the receive side so senders stay
+//! non-blocking (buffered-mode send semantics, §2.3).
+//!
+//! Modeled-delay caveat: the mailbox pops frames in arrival order, so a
+//! frame with a later modeled delivery time can momentarily head-of-line
+//! block one from a faster sender. Per-sender ordering — the property the
+//! protocol relies on — is unaffected.
+
+use parking_lot::Mutex;
+use snow_net::{LinkModel, TimeScale};
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Error returned when the inbox owner has terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InboxClosed;
+
+impl std::fmt::Display for InboxClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "inbox owner terminated")
+    }
+}
+
+impl std::error::Error for InboxClosed {}
+
+struct Timed<T> {
+    deliver_at: Instant,
+    msg: T,
+}
+
+/// Sending half of an inbox, bound to one logical connection.
+pub struct PostSender<T> {
+    tx: Sender<Timed<T>>,
+    wire_free_at: Arc<Mutex<Instant>>,
+    link: LinkModel,
+    scale: TimeScale,
+}
+
+impl<T> Clone for PostSender<T> {
+    fn clone(&self) -> Self {
+        // A clone shares the wire: it is the same logical connection.
+        PostSender {
+            tx: self.tx.clone(),
+            wire_free_at: Arc::clone(&self.wire_free_at),
+            link: self.link,
+            scale: self.scale,
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for PostSender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PostSender")
+            .field("link", &self.link)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T> PostSender<T> {
+    /// Derive a sender to the same inbox over a *different* logical
+    /// connection (fresh wire, possibly different link model). Used when
+    /// a connection is established between two hosts: the path model is
+    /// the bottleneck of their uplinks.
+    pub fn with_link(&self, link: LinkModel, scale: TimeScale) -> PostSender<T> {
+        PostSender {
+            tx: self.tx.clone(),
+            wire_free_at: Arc::new(Mutex::new(Instant::now())),
+            link,
+            scale,
+        }
+    }
+
+    /// The link model of this logical connection.
+    pub fn link(&self) -> LinkModel {
+        self.link
+    }
+
+    /// Modeled seconds to move `bytes` over this connection.
+    pub fn modeled_transfer_seconds(&self, bytes: usize) -> f64 {
+        self.link.transfer_seconds(bytes)
+    }
+
+    /// Post a message of `bytes` payload size. Never blocks for the
+    /// transfer time (buffered-mode semantics); returns `Err` if the
+    /// owner terminated.
+    pub fn send(&self, msg: T, bytes: usize) -> Result<(), InboxClosed> {
+        let now = Instant::now();
+        let deliver_at = if self.scale.0 > 0.0 {
+            let ser = self.scale.real(self.link.serialize_seconds(bytes));
+            let lat = self.scale.real(self.link.latency_s);
+            let mut free = self.wire_free_at.lock();
+            let start = (*free).max(now);
+            *free = start + ser;
+            *free + lat
+        } else {
+            now
+        };
+        self.tx
+            .send(Timed { deliver_at, msg })
+            .map_err(|_| InboxClosed)
+    }
+
+}
+
+/// Receiving half: the process's inbox.
+pub struct Post<T> {
+    rx: Receiver<Timed<T>>,
+    pending: Mutex<Option<Timed<T>>>,
+}
+
+impl<T> std::fmt::Debug for Post<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Post").finish_non_exhaustive()
+    }
+}
+
+impl<T> Post<T> {
+    /// Create an inbox plus its prototype sender. The prototype uses the
+    /// given (usually instant/control) link; data connections derive
+    /// their own senders with [`PostSender::with_link`].
+    pub fn channel(link: LinkModel, scale: TimeScale) -> (PostSender<T>, Post<T>) {
+        let (tx, rx) = channel::unbounded();
+        (
+            PostSender {
+                tx,
+                wire_free_at: Arc::new(Mutex::new(Instant::now())),
+                link,
+                scale,
+            },
+            Post {
+                rx,
+                pending: Mutex::new(None),
+            },
+        )
+    }
+
+    fn deliver(&self, frame: Timed<T>) -> T {
+        let now = Instant::now();
+        if frame.deliver_at > now {
+            std::thread::sleep(frame.deliver_at - now);
+        }
+        frame.msg
+    }
+
+    /// Blocking receive.
+    pub fn recv(&self) -> Result<T, InboxClosed> {
+        if let Some(f) = self.pending.lock().take() {
+            return Ok(self.deliver(f));
+        }
+        match self.rx.recv() {
+            Ok(f) => Ok(self.deliver(f)),
+            Err(_) => Err(InboxClosed),
+        }
+    }
+
+    /// Receive with a real-time deadline. A frame whose modeled delivery
+    /// time lies beyond the deadline is parked, preserving order.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<T>, InboxClosed> {
+        let deadline = Instant::now() + timeout;
+        let frame = {
+            let mut pending = self.pending.lock();
+            match pending.take() {
+                Some(f) => f,
+                None => match self.rx.recv_deadline(deadline) {
+                    Ok(f) => f,
+                    Err(RecvTimeoutError::Timeout) => return Ok(None),
+                    Err(RecvTimeoutError::Disconnected) => return Err(InboxClosed),
+                },
+            }
+        };
+        if frame.deliver_at > deadline {
+            *self.pending.lock() = Some(frame);
+            return Ok(None);
+        }
+        Ok(Some(self.deliver(frame)))
+    }
+
+    /// Non-blocking receive of an already-deliverable frame.
+    pub fn try_recv(&self) -> Result<Option<T>, InboxClosed> {
+        let mut pending = self.pending.lock();
+        let frame = match pending.take() {
+            Some(f) => f,
+            None => match self.rx.try_recv() {
+                Ok(f) => f,
+                Err(TryRecvError::Empty) => return Ok(None),
+                Err(TryRecvError::Disconnected) => return Err(InboxClosed),
+            },
+        };
+        if frame.deliver_at > Instant::now() {
+            *pending = Some(frame);
+            return Ok(None);
+        }
+        drop(pending);
+        Ok(Some(self.deliver(frame)))
+    }
+
+    /// Frames queued (including a parked one).
+    pub fn backlog(&self) -> usize {
+        self.rx.len() + usize::from(self.pending.lock().is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_per_sender() {
+        let (tx, rx) = Post::<u32>::channel(LinkModel::INSTANT, TimeScale::ZERO);
+        for i in 0..100 {
+            tx.send(i, 4).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn clones_share_a_wire_new_links_do_not() {
+        let (tx, _rx) = Post::<u32>::channel(LinkModel::ETHERNET_10M, TimeScale::MILLI);
+        let c = tx.clone();
+        assert!(Arc::ptr_eq(&tx.wire_free_at, &c.wire_free_at));
+        let fresh = tx.with_link(LinkModel::ETHERNET_100M, TimeScale::MILLI);
+        assert!(!Arc::ptr_eq(&tx.wire_free_at, &fresh.wire_free_at));
+        assert_eq!(fresh.link(), LinkModel::ETHERNET_100M);
+    }
+
+    #[test]
+    fn closed_inbox_reported_to_sender() {
+        let (tx, rx) = Post::<u32>::channel(LinkModel::INSTANT, TimeScale::ZERO);
+        drop(rx);
+        assert_eq!(tx.send(1, 4), Err(InboxClosed));
+    }
+
+    #[test]
+    fn closed_senders_reported_to_receiver() {
+        let (tx, rx) = Post::<u32>::channel(LinkModel::INSTANT, TimeScale::ZERO);
+        tx.send(1, 4).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(InboxClosed));
+    }
+
+    #[test]
+    fn timeout_parks_undeliverable_frame() {
+        let (tx, rx) = Post::<u32>::channel(LinkModel::ETHERNET_10M, TimeScale::MILLI);
+        tx.send(9, 5_000_000).unwrap(); // ~5 ms modeled-at-milli delivery
+        assert_eq!(rx.recv_timeout(Duration::ZERO).unwrap(), None);
+        assert_eq!(rx.backlog(), 1);
+        assert_eq!(rx.recv().unwrap(), 9);
+    }
+
+    #[test]
+    fn sender_is_never_blocked_by_link() {
+        let (tx, rx) = Post::<u32>::channel(LinkModel::ETHERNET_10M, TimeScale::MILLI);
+        let t0 = Instant::now();
+        for i in 0..5 {
+            tx.send(i, 1_000_000).unwrap();
+        }
+        assert!(t0.elapsed() < Duration::from_millis(2));
+        for i in 0..5 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+        // Five 1 MB frames serialised over one wire at milli scale
+        // (1 MB over 8 Mb/s = 1 modeled second = 1 ms real each).
+        assert!(t0.elapsed() >= Duration::from_millis(4), "{:?}", t0.elapsed());
+    }
+
+    #[test]
+    fn multi_sender_delivery_complete() {
+        let (proto, rx) = Post::<u32>::channel(LinkModel::INSTANT, TimeScale::ZERO);
+        let mut handles = Vec::new();
+        for s in 0..4u32 {
+            let tx = proto.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..100 {
+                    tx.send(s * 1000 + i, 4).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut got: Vec<u32> = (0..400).map(|_| rx.recv().unwrap()).collect();
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(got.len(), 400);
+    }
+
+    #[test]
+    fn try_recv_and_backlog() {
+        let (tx, rx) = Post::<u32>::channel(LinkModel::INSTANT, TimeScale::ZERO);
+        assert_eq!(rx.try_recv().unwrap(), None);
+        tx.send(5, 4).unwrap();
+        assert_eq!(rx.backlog(), 1);
+        assert_eq!(rx.try_recv().unwrap(), Some(5));
+        assert_eq!(rx.backlog(), 0);
+    }
+}

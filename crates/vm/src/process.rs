@@ -1,0 +1,348 @@
+//! The environment handle held by a running SNOW process.
+
+use crate::daemon::DaemonMsg;
+use crate::host::HostSpec;
+use crate::ids::{HostId, Rank, Vmid};
+use crate::post::{InboxClosed, Post, PostSender};
+use crate::vm::VmShared;
+use crate::wire::{ConnReqMsg, Ctrl, Incoming, SchedRequest, Signal, ENVELOPE_OVERHEAD_BYTES};
+use crossbeam::channel::Receiver;
+use snow_net::TimeScale;
+use snow_trace::Tracer;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+static NEXT_REQ_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Errors a process can hit talking to the environment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnvError {
+    /// The target host has left the virtual machine (requester-side
+    /// daemon rejection, §3.1).
+    HostGone(HostId),
+    /// No scheduler has been installed.
+    NoScheduler,
+    /// The scheduler terminated.
+    SchedulerGone,
+    /// This process's own inbox was closed (environment torn down).
+    InboxClosed,
+}
+
+impl std::fmt::Display for EnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnvError::HostGone(h) => write!(f, "host {h} has left the virtual machine"),
+            EnvError::NoScheduler => write!(f, "no scheduler installed"),
+            EnvError::SchedulerGone => write!(f, "scheduler terminated"),
+            EnvError::InboxClosed => write!(f, "process inbox closed"),
+        }
+    }
+}
+
+impl std::error::Error for EnvError {}
+
+/// Everything a running process borrows from the virtual machine.
+pub struct ProcessCell {
+    vmid: Vmid,
+    label: String,
+    inbox: Post<Incoming>,
+    inbox_proto: PostSender<Incoming>,
+    signals: Receiver<Signal>,
+    shared: Arc<VmShared>,
+}
+
+impl ProcessCell {
+    /// Assemble a cell (called by [`crate::vm::VirtualMachine::spawn`]).
+    pub fn new(
+        vmid: Vmid,
+        label: String,
+        inbox: Post<Incoming>,
+        inbox_proto: PostSender<Incoming>,
+        signals: Receiver<Signal>,
+        shared: Arc<VmShared>,
+    ) -> Self {
+        ProcessCell {
+            vmid,
+            label,
+            inbox,
+            inbox_proto,
+            signals,
+            shared,
+        }
+    }
+
+    /// This process's vmid.
+    pub fn vmid(&self) -> Vmid {
+        self.vmid
+    }
+
+    /// Trace label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The host this process runs on.
+    pub fn host(&self) -> HostId {
+        self.vmid.host
+    }
+
+    /// This host's spec (architecture, speed, uplink). `None` if the
+    /// host has left while the process still runs.
+    pub fn host_spec(&self) -> Option<HostSpec> {
+        self.shared.host_spec(self.vmid.host)
+    }
+
+    /// The shared environment.
+    pub fn shared(&self) -> &Arc<VmShared> {
+        &self.shared
+    }
+
+    /// The trace collector.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        self.shared.tracer()
+    }
+
+    /// The modeled-time scale of this environment.
+    pub fn time_scale(&self) -> TimeScale {
+        self.shared.time_scale()
+    }
+
+    /// Allocate a unique connection-request id.
+    pub fn next_req_id(&self) -> u64 {
+        NEXT_REQ_ID.fetch_add(1, Ordering::Relaxed)
+    }
+
+    // --- inbox ----------------------------------------------------------
+
+    /// Blocking receive of the next data/control message.
+    pub fn recv_incoming(&self) -> Result<Incoming, EnvError> {
+        self.inbox.recv().map_err(|InboxClosed| EnvError::InboxClosed)
+    }
+
+    /// Timed receive.
+    pub fn recv_incoming_timeout(&self, d: Duration) -> Result<Option<Incoming>, EnvError> {
+        self.inbox
+            .recv_timeout(d)
+            .map_err(|InboxClosed| EnvError::InboxClosed)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv_incoming(&self) -> Result<Option<Incoming>, EnvError> {
+        self.inbox
+            .try_recv()
+            .map_err(|InboxClosed| EnvError::InboxClosed)
+    }
+
+    /// A control-grade sender into this process's own inbox (reply
+    /// address for scheduler/daemon handshakes).
+    pub fn reply_sender(&self) -> PostSender<Incoming> {
+        self.inbox_proto.clone()
+    }
+
+    /// A *data* sender into this process's own inbox, provisioned with
+    /// the path model from `peer_host`. Handed to peers during
+    /// connection establishment.
+    pub fn data_sender_to_me(&self, peer_host: HostId) -> PostSender<Incoming> {
+        let link = self.shared.path(peer_host, self.vmid.host);
+        self.inbox_proto.with_link(link, self.shared.time_scale())
+    }
+
+    // --- signals ----------------------------------------------------------
+
+    /// Non-blocking signal poll. Only call at computation-event
+    /// boundaries (§2.3: signals never interrupt communication events).
+    pub fn poll_signal(&self) -> Option<Signal> {
+        self.signals.try_recv().ok()
+    }
+
+    /// Block up to `d` for a signal.
+    pub fn wait_signal(&self, d: Duration) -> Option<Signal> {
+        self.signals.recv_timeout(d).ok()
+    }
+
+    /// Deliver a signal to another process.
+    pub fn send_signal(&self, to: Vmid, sig: Signal) -> bool {
+        self.shared.signal(to, sig)
+    }
+
+    // --- connectionless service -----------------------------------------
+
+    /// Route a `conn_req` toward `target` through its host's daemon.
+    /// Errors with [`EnvError::HostGone`] when the target daemon no
+    /// longer exists — the paper's "requestor's daemon sends the
+    /// rejection message back" case, which callers treat as a nack.
+    pub fn route_conn_req(&self, req: ConnReqMsg) -> Result<(), EnvError> {
+        let host = req.target.host;
+        match self.shared.daemon(host) {
+            Some(d) => {
+                if d.send(DaemonMsg::RouteConnReq(req)) {
+                    Ok(())
+                } else {
+                    Err(EnvError::HostGone(host))
+                }
+            }
+            None => Err(EnvError::HostGone(host)),
+        }
+    }
+
+    /// Answer a previously received `conn_req` through the local daemon
+    /// so its pending record is deleted (§3.1). `ctrl` must be a
+    /// [`Ctrl::ConnGrant`] or [`Ctrl::ConnNack`].
+    pub fn answer_conn_req(&self, req_id: u64, ctrl: Ctrl) {
+        if let Some(d) = self.shared.daemon(self.vmid.host) {
+            d.send(DaemonMsg::ConnReply { req_id, ctrl });
+        }
+    }
+
+    /// Set/clear this process's reject-all flag at its local daemon
+    /// (Fig 5 line 4).
+    pub fn set_reject_all(&self, on: bool) {
+        if let Some(d) = self.shared.daemon(self.vmid.host) {
+            d.send(DaemonMsg::SetReject {
+                vmid: self.vmid,
+                on,
+            });
+        }
+    }
+
+    // --- scheduler --------------------------------------------------------
+
+    /// Fire-and-forget request to the scheduler.
+    pub fn sched_send(&self, req: SchedRequest) -> Result<(), EnvError> {
+        let sched = self
+            .shared
+            .scheduler_vmid()
+            .ok_or(EnvError::NoScheduler)?;
+        let addr = self
+            .shared
+            .registry()
+            .addr_of(sched)
+            .ok_or(EnvError::SchedulerGone)?;
+        addr.inbox
+            .send(
+                Incoming::Ctrl(Ctrl::SchedRequest(req)),
+                ENVELOPE_OVERHEAD_BYTES,
+            )
+            .map_err(|_| EnvError::SchedulerGone)
+    }
+
+    /// Trace-record an event attributed to this process.
+    pub fn trace(&self, kind: snow_trace::EventKind) {
+        self.tracer().record(&self.label, kind);
+    }
+
+    /// Convenience: rank-labelled tracing for application processes.
+    pub fn trace_as(&self, rank: Rank, kind: snow_trace::EventKind) {
+        let _ = rank;
+        self.trace(kind);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::HostSpec;
+    use crate::vm::VirtualMachine;
+
+    #[test]
+    fn req_ids_are_unique() {
+        let vm = VirtualMachine::ideal();
+        let h = vm.add_host(HostSpec::ideal());
+        let (_v, handle) = vm
+            .spawn(h, "p", |cell| {
+                let a = cell.next_req_id();
+                let b = cell.next_req_id();
+                assert_ne!(a, b);
+            })
+            .unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn route_to_missing_host_is_host_gone() {
+        let vm = VirtualMachine::ideal();
+        let h = vm.add_host(HostSpec::ideal());
+        let (_v, handle) = vm
+            .spawn(h, "p", move |cell| {
+                let (reply, _post) = crate::post::Post::channel(
+                    snow_net::LinkModel::INSTANT,
+                    TimeScale::ZERO,
+                );
+                let bad_host = HostId(55);
+                let req = ConnReqMsg {
+                    req_id: cell.next_req_id(),
+                    from_rank: 0,
+                    from_vmid: cell.vmid(),
+                    target: Vmid {
+                        host: bad_host,
+                        pid: 0,
+                    },
+                    reply: reply.clone(),
+                    data_to_requester: reply,
+                };
+                assert_eq!(
+                    cell.route_conn_req(req),
+                    Err(EnvError::HostGone(bad_host))
+                );
+            })
+            .unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn sched_send_without_scheduler_errors() {
+        let vm = VirtualMachine::ideal();
+        let h = vm.add_host(HostSpec::ideal());
+        let (_v, handle) = vm
+            .spawn(h, "p", move |cell| {
+                let err = cell
+                    .sched_send(SchedRequest::Terminated { rank: 0 })
+                    .unwrap_err();
+                assert_eq!(err, EnvError::NoScheduler);
+            })
+            .unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn reply_sender_loops_back() {
+        let vm = VirtualMachine::ideal();
+        let h = vm.add_host(HostSpec::ideal());
+        let (_v, handle) = vm
+            .spawn(h, "p", move |cell| {
+                let tx = cell.reply_sender();
+                tx.send(
+                    Incoming::Ctrl(Ctrl::ConnNack {
+                        req_id: 1,
+                        target: cell.vmid(),
+                    }),
+                    10,
+                )
+                .unwrap();
+                match cell.recv_incoming().unwrap() {
+                    Incoming::Ctrl(Ctrl::ConnNack { req_id: 1, .. }) => {}
+                    other => panic!("unexpected {other:?}"),
+                }
+            })
+            .unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn data_sender_uses_path_model() {
+        let vm = VirtualMachine::ideal();
+        let fast = vm.add_host(HostSpec::ultra5());
+        let slow = vm.add_host(HostSpec::dec5000());
+        let (_v, handle) = vm
+            .spawn(fast, "p", move |cell| {
+                let s = cell.data_sender_to_me(slow);
+                assert_eq!(
+                    s.link().bandwidth_bps,
+                    HostSpec::dec5000().uplink.bandwidth_bps
+                );
+            })
+            .unwrap();
+        handle.join().unwrap();
+    }
+}

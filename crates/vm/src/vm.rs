@@ -1,0 +1,386 @@
+//! The virtual machine: membership, registries, spawning, signals.
+
+use crate::daemon::{spawn_daemon, DaemonHandle, DaemonMsg};
+use crate::host::HostSpec;
+use crate::ids::{HostId, Vmid};
+use crate::post::{Post, PostSender};
+use crate::process::ProcessCell;
+use crate::wire::{Incoming, Signal};
+use crossbeam::channel::{self, Sender};
+use parking_lot::{Mutex, RwLock};
+use snow_net::{LinkModel, TimeScale};
+use snow_trace::Tracer;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Address record of one live process.
+#[derive(Debug, Clone)]
+pub struct ProcAddr {
+    /// Control-grade sender into the process inbox.
+    pub inbox: PostSender<Incoming>,
+    /// Ordered signal queue.
+    pub signals: Sender<Signal>,
+    /// Where the process lives.
+    pub host: HostId,
+    /// Trace label.
+    pub label: String,
+}
+
+/// Shared vmid → address table (process registry).
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    procs: Arc<RwLock<HashMap<Vmid, ProcAddr>>>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a process address.
+    pub fn register(&self, vmid: Vmid, addr: ProcAddr) {
+        self.procs.write().insert(vmid, addr);
+    }
+
+    /// Remove a process (termination / migration completion).
+    pub fn unregister(&self, vmid: Vmid) {
+        self.procs.write().remove(&vmid);
+    }
+
+    /// Look up an address.
+    pub fn addr_of(&self, vmid: Vmid) -> Option<ProcAddr> {
+        self.procs.read().get(&vmid).cloned()
+    }
+
+    /// Remove every process living on `host`; returns the removed vmids.
+    pub fn remove_host(&self, host: HostId) -> Vec<Vmid> {
+        let mut table = self.procs.write();
+        let doomed: Vec<Vmid> = table
+            .iter()
+            .filter(|(v, _)| v.host == host)
+            .map(|(v, _)| *v)
+            .collect();
+        for v in &doomed {
+            table.remove(v);
+        }
+        doomed
+    }
+
+    /// Number of live processes.
+    pub fn len(&self) -> usize {
+        self.procs.read().len()
+    }
+
+    /// True when no process is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+struct HostEntry {
+    spec: HostSpec,
+    daemon: DaemonHandle,
+    next_pid: AtomicU32,
+}
+
+/// Environment state shared by every process, daemon and the scheduler.
+pub struct VmShared {
+    hosts: RwLock<HashMap<HostId, Arc<HostEntry>>>,
+    registry: Registry,
+    scheduler: RwLock<Option<Vmid>>,
+    tracer: Arc<Tracer>,
+    scale: TimeScale,
+    next_host: AtomicU32,
+    /// Serialises host membership changes.
+    membership: Mutex<()>,
+}
+
+impl VmShared {
+    /// The process registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The trace collector.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
+    /// The configured modeled-time scale.
+    pub fn time_scale(&self) -> TimeScale {
+        self.scale
+    }
+
+    /// Spec of a live host.
+    pub fn host_spec(&self, host: HostId) -> Option<HostSpec> {
+        self.hosts.read().get(&host).map(|e| e.spec)
+    }
+
+    /// Daemon handle of a live host.
+    pub fn daemon(&self, host: HostId) -> Option<DaemonHandle> {
+        self.hosts.read().get(&host).map(|e| e.daemon.clone())
+    }
+
+    /// Network path model between two hosts (bottleneck of uplinks);
+    /// `INSTANT` when either host is unknown.
+    pub fn path(&self, a: HostId, b: HostId) -> LinkModel {
+        let hosts = self.hosts.read();
+        match (hosts.get(&a), hosts.get(&b)) {
+            (Some(x), Some(y)) => x.spec.path_to(&y.spec),
+            _ => LinkModel::INSTANT,
+        }
+    }
+
+    /// The scheduler's vmid, once one has been installed.
+    pub fn scheduler_vmid(&self) -> Option<Vmid> {
+        *self.scheduler.read()
+    }
+
+    /// Deliver a signal to a process's ordered signal queue. Returns
+    /// `false` when the process is unknown or has terminated.
+    pub fn signal(&self, vmid: Vmid, sig: Signal) -> bool {
+        match self.registry.addr_of(vmid) {
+            Some(addr) => addr.signals.send(sig).is_ok(),
+            None => false,
+        }
+    }
+}
+
+/// A running virtual machine environment.
+#[derive(Clone)]
+pub struct VirtualMachine {
+    shared: Arc<VmShared>,
+}
+
+impl VirtualMachine {
+    /// Create an empty environment.
+    pub fn new(tracer: Arc<Tracer>, scale: TimeScale) -> Self {
+        VirtualMachine {
+            shared: Arc::new(VmShared {
+                hosts: RwLock::new(HashMap::new()),
+                registry: Registry::new(),
+                scheduler: RwLock::new(None),
+                tracer,
+                scale,
+                next_host: AtomicU32::new(0),
+                membership: Mutex::new(()),
+            }),
+        }
+    }
+
+    /// Convenience: an environment with no tracing, no modeled delays.
+    pub fn ideal() -> Self {
+        Self::new(Tracer::disabled(), TimeScale::ZERO)
+    }
+
+    /// The shared environment state.
+    pub fn shared(&self) -> &Arc<VmShared> {
+        &self.shared
+    }
+
+    /// A host joins the virtual machine; its daemon starts (§2: "the
+    /// virtual machine daemon is executed on a host when it joins").
+    pub fn add_host(&self, spec: HostSpec) -> HostId {
+        let _guard = self.shared.membership.lock();
+        let id = HostId(self.shared.next_host.fetch_add(1, Ordering::Relaxed));
+        let daemon = spawn_daemon(
+            id,
+            self.shared.registry.clone(),
+            Arc::clone(&self.shared.tracer),
+        );
+        self.shared.hosts.write().insert(
+            id,
+            Arc::new(HostEntry {
+                spec,
+                daemon,
+                next_pid: AtomicU32::new(0),
+            }),
+        );
+        id
+    }
+
+    /// Add `n` identical hosts.
+    pub fn add_hosts(&self, spec: HostSpec, n: usize) -> Vec<HostId> {
+        (0..n).map(|_| self.add_host(spec)).collect()
+    }
+
+    /// A host leaves: its daemon nacks outstanding requests and stops,
+    /// and its processes disappear from the registry. (The paper's
+    /// protocols guarantee no residual dependency on departed hosts.)
+    pub fn remove_host(&self, host: HostId) {
+        let _guard = self.shared.membership.lock();
+        let entry = self.shared.hosts.write().remove(&host);
+        if let Some(entry) = entry {
+            entry.daemon.send(DaemonMsg::Shutdown);
+        }
+        self.shared.registry.remove_host(host);
+    }
+
+    /// Is `host` currently a member?
+    pub fn has_host(&self, host: HostId) -> bool {
+        self.shared.hosts.read().contains_key(&host)
+    }
+
+    /// Install the scheduler's address so processes can consult it.
+    pub fn set_scheduler(&self, vmid: Vmid) {
+        *self.shared.scheduler.write() = Some(vmid);
+    }
+
+    /// Allocate a vmid on a host without spawning (used by tests).
+    pub fn allocate_vmid(&self, host: HostId) -> Option<Vmid> {
+        let hosts = self.shared.hosts.read();
+        let entry = hosts.get(&host)?;
+        Some(Vmid {
+            host,
+            pid: entry.next_pid.fetch_add(1, Ordering::Relaxed),
+        })
+    }
+
+    /// Spawn a process on `host`. The body runs on its own OS thread
+    /// with a [`ProcessCell`] giving access to the environment. On
+    /// return the process is unregistered and its daemon is notified so
+    /// pending connection requests are rejected.
+    pub fn spawn<F>(&self, host: HostId, label: &str, body: F) -> Option<(Vmid, JoinHandle<()>)>
+    where
+        F: FnOnce(ProcessCell) + Send + 'static,
+    {
+        let vmid = self.allocate_vmid(host)?;
+        let (inbox_tx, inbox) =
+            Post::<Incoming>::channel(LinkModel::INSTANT, self.shared.scale);
+        let (sig_tx, sig_rx) = channel::unbounded();
+        self.shared.registry.register(
+            vmid,
+            ProcAddr {
+                inbox: inbox_tx.clone(),
+                signals: sig_tx,
+                host,
+                label: label.to_string(),
+            },
+        );
+        let shared = Arc::clone(&self.shared);
+        let label = label.to_string();
+        let thread_label = label.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("snow-{thread_label}"))
+            .spawn(move || {
+                let cell = ProcessCell::new(vmid, label.clone(), inbox, inbox_tx, sig_rx, shared.clone());
+                body(cell);
+                // Termination: unregister, then tell the local daemon so
+                // pending conn_reqs are nacked.
+                shared.registry.unregister(vmid);
+                if let Some(d) = shared.daemon(vmid.host) {
+                    d.send(DaemonMsg::ProcessExited(vmid));
+                }
+            })
+            .expect("spawn process thread");
+        Some((vmid, handle))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn hosts_join_and_leave() {
+        let vm = VirtualMachine::ideal();
+        let h0 = vm.add_host(HostSpec::ideal());
+        let h1 = vm.add_host(HostSpec::ultra5());
+        assert_ne!(h0, h1);
+        assert!(vm.has_host(h0));
+        vm.remove_host(h0);
+        assert!(!vm.has_host(h0));
+        assert!(vm.has_host(h1));
+    }
+
+    #[test]
+    fn vmids_sequential_per_host() {
+        let vm = VirtualMachine::ideal();
+        let h = vm.add_host(HostSpec::ideal());
+        let a = vm.allocate_vmid(h).unwrap();
+        let b = vm.allocate_vmid(h).unwrap();
+        assert_eq!(a.host, h);
+        assert_eq!(b.pid, a.pid + 1);
+        assert_eq!(vm.allocate_vmid(HostId(99)), None);
+    }
+
+    #[test]
+    fn spawn_runs_and_unregisters() {
+        let vm = VirtualMachine::ideal();
+        let h = vm.add_host(HostSpec::ideal());
+        let (vmid, handle) = vm
+            .spawn(h, "worker", move |cell| {
+                assert_eq!(cell.label(), "worker");
+            })
+            .unwrap();
+        handle.join().unwrap();
+        assert!(vm.shared().registry().addr_of(vmid).is_none());
+    }
+
+    #[test]
+    fn signals_reach_running_process() {
+        let vm = VirtualMachine::ideal();
+        let h = vm.add_host(HostSpec::ideal());
+        let (vmid, handle) = vm
+            .spawn(h, "sig", move |cell| {
+                // Wait for the signal to arrive.
+                let sig = cell.wait_signal(Duration::from_secs(5));
+                assert_eq!(sig, Some(Signal::Migrate));
+            })
+            .unwrap();
+        // Deliver after spawn.
+        while !vm.shared().signal(vmid, Signal::Migrate) {
+            std::thread::yield_now();
+        }
+        handle.join().unwrap();
+        // After termination, signalling fails.
+        assert!(!vm.shared().signal(vmid, Signal::Migrate));
+    }
+
+    #[test]
+    fn path_between_hosts_is_bottleneck() {
+        let vm = VirtualMachine::ideal();
+        let fast = vm.add_host(HostSpec::ultra5());
+        let slow = vm.add_host(HostSpec::dec5000());
+        let p = vm.shared().path(fast, slow);
+        assert_eq!(
+            p.bandwidth_bps,
+            HostSpec::dec5000().uplink.bandwidth_bps
+        );
+        // Unknown host → INSTANT fallback.
+        assert_eq!(
+            vm.shared().path(fast, HostId(77)),
+            LinkModel::INSTANT
+        );
+    }
+
+    #[test]
+    fn removing_host_clears_registry() {
+        let vm = VirtualMachine::ideal();
+        let h = vm.add_host(HostSpec::ideal());
+        let (vmid, handle) = vm
+            .spawn(h, "stay", move |cell| {
+                // Block until inbox closes or a signal arrives.
+                let _ = cell.wait_signal(Duration::from_millis(300));
+            })
+            .unwrap();
+        assert!(vm.shared().registry().addr_of(vmid).is_some());
+        vm.remove_host(h);
+        assert!(vm.shared().registry().addr_of(vmid).is_none());
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn scheduler_installation() {
+        let vm = VirtualMachine::ideal();
+        assert_eq!(vm.shared().scheduler_vmid(), None);
+        let h = vm.add_host(HostSpec::ideal());
+        let v = vm.allocate_vmid(h).unwrap();
+        vm.set_scheduler(v);
+        assert_eq!(vm.shared().scheduler_vmid(), Some(v));
+    }
+}

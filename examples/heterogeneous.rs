@@ -1,0 +1,80 @@
+//! The §6.3 heterogeneous experiment in miniature: a process on a slow
+//! little-endian DEC 5000/120 behind 10 Mbit Ethernet migrates to a
+//! fast big-endian Sun Ultra 5 on 100 Mbit Ethernet, carrying ~7.5 MB
+//! of execution + memory state. Prints the Table 2 breakdown.
+//!
+//! Run with: `cargo run -p snow --release --example heterogeneous`
+
+use snow::prelude::*;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+fn main() {
+    let comp = Computation::builder()
+        .host(HostSpec::ultra5()) // scheduler
+        .host(HostSpec::dec5000()) // the slow source
+        .host(HostSpec::ultra5()) // the destination
+        .build();
+    let dec = comp.hosts()[1];
+    let ultra = comp.hosts()[2];
+
+    println!(
+        "source: {} (speed {:.2}×, {:.0} Mbit/s uplink)",
+        HostSpec::dec5000().arch.label,
+        HostSpec::dec5000().speed,
+        HostSpec::dec5000().uplink.bandwidth_bps / 1e6
+    );
+    println!(
+        "target: {} (speed {:.2}×, {:.0} Mbit/s uplink)\n",
+        HostSpec::ultra5().arch.label,
+        HostSpec::ultra5().speed,
+        HostSpec::ultra5().uplink.bandwidth_bps / 1e6
+    );
+
+    let timings: Arc<Mutex<Option<snow::core::MigrationTimings>>> = Arc::new(Mutex::new(None));
+    let restore_s: Arc<Mutex<f64>> = Arc::new(Mutex::new(0.0));
+    let t_w = Arc::clone(&timings);
+
+    let placement = vec![dec];
+    let handles = comp.launch_placed(&placement, move |mut p, start| match start {
+        Start::Fresh => {
+            // The paper's migrating process carries >7.5 MB of state.
+            let mut state = ProcessState::new(
+                ExecState::at_entry().enter("kernelMG").at_poll(2),
+                MemoryGraph::new(),
+            );
+            state.pad_to(7_500_000);
+            while !p.poll_point().unwrap() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let t = p.migrate(&state).unwrap();
+            *t_w.lock().unwrap() = Some(t);
+        }
+        Start::Resumed(state) => {
+            assert_eq!(state.exec.call_path, vec!["main", "kernelMG"]);
+            p.finish();
+        }
+    });
+
+    comp.migrate(0, ultra).expect("migration commits");
+    for h in handles {
+        h.join().unwrap();
+    }
+    comp.join_init_processes();
+    let t = timings.lock().unwrap().clone().unwrap();
+    let restore = StateCostModel::PAPER.restore_seconds(t.state_bytes, HostSpec::ultra5().speed);
+    *restore_s.lock().unwrap() = restore;
+
+    println!("state transferred: {:.2} MB\n", t.state_bytes as f64 / 1e6);
+    println!("{:<12} {:>10} {:>10}", "operation", "model(s)", "paper(s)");
+    println!("{:<12} {:>10.3} {:>10}", "Coordinate", t.coordinate_real_s, "0.125");
+    println!("{:<12} {:>10.3} {:>10}", "Collect", t.collect_modeled_s, "5.209");
+    println!("{:<12} {:>10.3} {:>10}", "Tx", t.tx_modeled_s, "8.591");
+    println!("{:<12} {:>10.3} {:>10}", "Restore", restore, "0.696");
+    println!(
+        "{:<12} {:>10.3} {:>10}",
+        "Migrate",
+        t.collect_modeled_s + t.tx_modeled_s + restore + t.coordinate_real_s,
+        "14.621"
+    );
+}

@@ -1,0 +1,128 @@
+//! Dynamic membership (§2): hosts join and leave the virtual machine;
+//! the protocols leave *no residual dependency* on departed hosts —
+//! "data communication between the migrating process and others can be
+//! done without existence of old hosts".
+
+use bytes::Bytes;
+use snow::prelude::*;
+use std::time::Duration;
+
+fn await_migration(p: &mut SnowProcess) {
+    while !p.poll_point().unwrap() {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// After rank 0 migrates away, its source host leaves entirely; a peer
+/// that has never spoken to rank 0 can still reach it (via scheduler
+/// redirect, not via the old host).
+#[test]
+fn source_host_can_leave_after_migration() {
+    let comp = Computation::builder().hosts(HostSpec::ideal(), 4).build();
+    let old_host = comp.hosts()[1]; // rank 0 placed round-robin on hosts[1]? see below
+    let spare = comp.hosts()[3];
+
+    // Explicit placement: scheduler shares hosts[0]; rank 0 on
+    // hosts[1], rank 1 on hosts[2].
+    let placement = vec![comp.hosts()[1], comp.hosts()[2]];
+    let handles = comp.launch_placed(&placement, move |mut p, start| {
+        match (p.rank(), start) {
+            (0, Start::Fresh) => {
+                await_migration(&mut p);
+                p.migrate(&ProcessState::empty()).unwrap();
+            }
+            (0, Start::Resumed(_)) => {
+                let (_s, _t, b) = p.recv(Some(1), None).unwrap();
+                assert_eq!(&b[..], b"post-leave");
+                p.finish();
+            }
+            (1, Start::Fresh) => {
+                // Wait until told (via a signal-free convention: sleep
+                // long enough for the host removal below).
+                std::thread::sleep(Duration::from_millis(150));
+                p.send(0, 1, Bytes::from_static(b"post-leave")).unwrap();
+                p.finish();
+            }
+            _ => unreachable!(),
+        }
+    });
+
+    comp.migrate(0, spare).expect("migration commits");
+    // The source workstation resigns from the virtual machine.
+    comp.vm().remove_host(old_host);
+    assert!(!comp.vm().has_host(old_host));
+
+    for h in handles {
+        h.join().unwrap();
+    }
+    comp.join_init_processes();
+}
+
+/// A host that joins *after* launch can be a migration destination.
+#[test]
+fn late_joining_host_receives_migrant() {
+    let comp = Computation::builder().hosts(HostSpec::ideal(), 2).build();
+
+    let handles = comp.launch(2, move |mut p, start| match (p.rank(), start) {
+        (0, Start::Fresh) => {
+            await_migration(&mut p);
+            p.migrate(&ProcessState::empty()).unwrap();
+        }
+        (0, Start::Resumed(_)) => {
+            let (_s, _t, b) = p.recv(Some(1), None).unwrap();
+            assert_eq!(&b[..], b"hello newcomer");
+            p.finish();
+        }
+        (1, Start::Fresh) => {
+            std::thread::sleep(Duration::from_millis(80));
+            p.send(0, 1, Bytes::from_static(b"hello newcomer")).unwrap();
+            p.finish();
+        }
+        _ => unreachable!(),
+    });
+
+    // The newcomer joins mid-run and immediately hosts the migrant.
+    let newcomer = comp.vm().add_host(HostSpec::ultra5());
+    let new_vmid = comp.migrate(0, newcomer).expect("migration commits");
+    assert_eq!(new_vmid.host, newcomer);
+
+    for h in handles {
+        h.join().unwrap();
+    }
+    comp.join_init_processes();
+}
+
+/// Sending toward a vanished host (left without migration) surfaces a
+/// clean error once the scheduler learns of the termination — the
+/// requester's daemon rejects on behalf of the missing target daemon.
+#[test]
+fn vanished_host_yields_nack_not_hang() {
+    let comp = Computation::builder().hosts(HostSpec::ideal(), 3).build();
+    let victim_host = comp.hosts()[1];
+
+    let placement = vec![comp.hosts()[1], comp.hosts()[2]];
+    let handles = comp.launch_placed(&placement, move |mut p, _start| match p.rank() {
+        0 => {
+            // Just linger; the host is yanked from under us.
+            std::thread::sleep(Duration::from_millis(400));
+        }
+        1 => {
+            std::thread::sleep(Duration::from_millis(100));
+            // rank 0's host is gone and rank 0 never told the scheduler
+            // it terminated: the lookup still names the dead vmid, so
+            // the outcome must be an error or (if the scheduler already
+            // knows) DestinationTerminated — never a hang or a silent
+            // drop.
+            let r = p.send(0, 1, Bytes::from_static(b"?"));
+            assert!(r.is_err(), "send into a vanished host must fail");
+        }
+        _ => unreachable!(),
+    });
+
+    std::thread::sleep(Duration::from_millis(30));
+    comp.vm().remove_host(victim_host);
+    for h in handles {
+        h.join().unwrap();
+    }
+    comp.join_init_processes();
+}

@@ -1,0 +1,198 @@
+//! Heterogeneity (§6.3): migrating between hosts of different
+//! architecture and speed. The state travels in canonical
+//! machine-independent form; the cost model charges the slow host for
+//! collection and the slow link for transmission, reproducing Table 2's
+//! shape.
+
+use bytes::Bytes;
+use snow::codec::{ByteOrder, HostArch};
+use snow::prelude::*;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+fn await_migration(p: &mut SnowProcess) {
+    while !p.poll_point().unwrap() {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Migrate a process with a realistic state payload from the slow
+/// little-endian DEC host to a fast big-endian Sun host; the restored
+/// state must be identical and the modeled timings must show the
+/// Table 2 asymmetry (slow collect, fast restore).
+#[test]
+fn dec_to_ultra_migration_preserves_state() {
+    // hosts[0]: scheduler (fast); hosts[1]: the DEC; hosts[2]: target.
+    let comp = Computation::builder()
+        .host(HostSpec::ultra5())
+        .host(HostSpec::dec5000())
+        .host(HostSpec::ultra5())
+        .build();
+    let dec = comp.hosts()[1];
+    let ultra = comp.hosts()[2];
+
+    assert_eq!(
+        comp.vm().shared().host_spec(dec).unwrap().arch.order,
+        ByteOrder::Little
+    );
+    assert_eq!(
+        comp.vm().shared().host_spec(ultra).unwrap().arch.order,
+        ByteOrder::Big
+    );
+
+    let timings: Arc<Mutex<Option<snow::core::MigrationTimings>>> =
+        Arc::new(Mutex::new(None));
+    let timings_w = Arc::clone(&timings);
+
+    let placement = vec![dec, comp.hosts()[0]];
+    let handles = comp.launch_placed(&placement, move |mut p, start| {
+        match (p.rank(), start) {
+            (0, Start::Fresh) => {
+                // Build a distinctive state: values that a byte-order
+                // bug would scramble, padded toward the paper's 7.5 MB.
+                let exec = ExecState::at_entry()
+                    .enter("kernelMG")
+                    .at_poll(2)
+                    .with_local("magic", snow::codec::Value::U64(0x0102_0304_0506_0708))
+                    .with_local("pi", snow::codec::Value::F64(std::f64::consts::PI));
+                let mut mem = MemoryGraph::new();
+                let a = mem.add_node(snow::codec::Value::F64Array(
+                    (0..1000).map(|i| i as f64 * 0.25).collect(),
+                ));
+                let b = mem.add_node(snow::codec::Value::Str("linked".into()));
+                mem.add_edge(b, 0, a);
+                let mut state = ProcessState::new(exec, mem);
+                state.pad_to(500_000);
+                await_migration(&mut p);
+                let t = p.migrate(&state).unwrap();
+                *timings_w.lock().unwrap() = Some(t);
+            }
+            (0, Start::Resumed(state)) => {
+                assert_eq!(
+                    state.exec.local("magic").and_then(snow::codec::Value::as_u64),
+                    Some(0x0102_0304_0506_0708),
+                    "integer scrambled crossing byte orders"
+                );
+                assert_eq!(
+                    state.exec.local("pi").and_then(snow::codec::Value::as_f64),
+                    Some(std::f64::consts::PI)
+                );
+                assert_eq!(state.memory.len(), 3);
+                p.finish();
+            }
+            (1, Start::Fresh) => {
+                // A peer that messages the migrant after it moved.
+                std::thread::sleep(Duration::from_millis(60));
+                let _ = p.send(0, 1, Bytes::from_static(b"ping"));
+                p.finish();
+            }
+            _ => unreachable!(),
+        }
+    });
+
+    comp.migrate(0, ultra).expect("migration commits");
+    for h in handles {
+        h.join().unwrap();
+    }
+    comp.join_init_processes();
+
+    let t = timings.lock().unwrap().clone().expect("timings recorded");
+    // Table 2 shape: collection on the DEC (speed 0.14) dominates
+    // restore on the Ultra; Tx over the 10 Mbit link dominates both.
+    assert!(t.state_bytes >= 500_000);
+    let collect_fast = StateCostModel::PAPER.collect_seconds(t.state_bytes, 1.0);
+    assert!(
+        t.collect_modeled_s > 5.0 * collect_fast,
+        "slow host must pay for collection: {} vs {}",
+        t.collect_modeled_s,
+        collect_fast
+    );
+    assert!(t.tx_modeled_s > t.collect_modeled_s / 10.0);
+}
+
+/// The canonical form really is host-independent: the same state
+/// collected under either simulated architecture yields identical
+/// bytes.
+#[test]
+fn canonical_state_is_architecture_independent() {
+    let exec = ExecState::at_entry().with_local("x", snow::codec::Value::I64(-42));
+    let mut mem = MemoryGraph::new();
+    mem.add_node(snow::codec::Value::F64Array(vec![1.5, 2.5]));
+    let state = ProcessState::new(exec, mem);
+    let bytes = state.collect();
+    // Byte-order round trips through both architectures' native forms.
+    for arch in [HostArch::SUN_ULTRA5, HostArch::DEC_5000, HostArch::X86_64] {
+        let v = 0xdead_beef_0123_4567u64;
+        let native = arch.native_u64(v);
+        assert_eq!(arch.read_native_u64(native), v);
+    }
+    let restored = ProcessState::restore(&bytes).unwrap();
+    assert_eq!(restored.collect(), bytes);
+}
+
+/// Slow-host capture shows the Fig 13 behaviour: neighbours on fast
+/// hosts send before the slow migrant starts coordinating, so messages
+/// are captured into the RML and forwarded.
+#[test]
+fn slow_host_captures_early_messages() {
+    let tracer = Tracer::new();
+    let comp = Computation::builder()
+        .host(HostSpec::ultra5())
+        .host(HostSpec::dec5000())
+        .host(HostSpec::ultra5())
+        .host(HostSpec::ultra5())
+        .tracer(tracer.clone())
+        .build();
+    let dec = comp.hosts()[1];
+    let target = comp.hosts()[3];
+
+    let placement = vec![dec, comp.hosts()[2]];
+    let handles = comp.launch_placed(&placement, move |mut p, start| {
+        match (p.rank(), start) {
+            (0, Start::Fresh) => {
+                // Handshake so a channel exists, then dawdle (slow
+                // host): the fast neighbour's messages arrive before we
+                // coordinate.
+                let _ = p.recv(Some(1), Some(0)).unwrap();
+                await_migration(&mut p);
+                let t = p.migrate(&ProcessState::empty()).unwrap();
+                assert!(
+                    t.rml_forwarded >= 2,
+                    "messages in transit must be captured and forwarded, got {}",
+                    t.rml_forwarded
+                );
+            }
+            (0, Start::Resumed(_)) => {
+                for i in 0u8..2 {
+                    let (_s, _t, b) = p.recv(Some(1), Some(5)).unwrap();
+                    assert_eq!(b[0], i);
+                }
+                p.finish();
+            }
+            (1, Start::Fresh) => {
+                p.send(0, 0, Bytes::from_static(b"hs")).unwrap();
+                // Fire the in-transit messages immediately.
+                p.send(0, 5, Bytes::from(vec![0u8])).unwrap();
+                p.send(0, 5, Bytes::from(vec![1u8])).unwrap();
+                p.finish();
+            }
+            _ => unreachable!(),
+        }
+    });
+
+    // Give the sends time to land in the migrant's inbox, then migrate.
+    std::thread::sleep(Duration::from_millis(40));
+    comp.migrate(0, target).unwrap();
+    for h in handles {
+        h.join().unwrap();
+    }
+    comp.join_init_processes();
+
+    let st = SpaceTime::build(tracer.snapshot());
+    assert!(st.undelivered().is_empty());
+    let forwarded = st
+        .events()
+        .iter()
+        .any(|e| matches!(e.kind, snow::trace::EventKind::RmlForwarded { count, .. } if count >= 2));
+    assert!(forwarded, "trace must show the Fig 13 capture+forward");
+}

@@ -1,0 +1,229 @@
+//! Theorem 3 / Lemma 2 (§4.3): point-to-point FIFO ordering is
+//! preserved across migration — for messages straddling the migration
+//! of the receiver (ListA before ListB before new messages) and of the
+//! sender.
+
+use bytes::Bytes;
+use snow::prelude::*;
+use std::time::Duration;
+
+fn await_migration(p: &mut SnowProcess) {
+    while !p.poll_point().unwrap() {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+fn seq_payload(i: u64) -> Bytes {
+    Bytes::copy_from_slice(&i.to_be_bytes())
+}
+
+fn seq_of(b: &[u8]) -> u64 {
+    u64::from_be_bytes(b[..8].try_into().unwrap())
+}
+
+/// Theorem 3 case 1b: m1 is captured by the *migrating* process
+/// (ListA), m2 is redirected to the *initialized* process (ListB); the
+/// receiver must read ListA before ListB.
+#[test]
+fn list_a_read_before_list_b() {
+    let tracer = Tracer::new();
+    let comp = Computation::builder()
+        .hosts(HostSpec::ideal(), 3)
+        .tracer(tracer.clone())
+        .build();
+    let spare = comp.hosts()[2];
+
+    let handles = comp.launch(2, move |mut p, start| match (p.rank(), start) {
+        (0, Start::Fresh) => {
+            // Establish the channel so m1 arrives on it, then wait for
+            // the migration without consuming m1: it is drained into
+            // the RML (ListA) during coordination.
+            let _ = p.recv(Some(1), Some(0)).unwrap(); // handshake
+            await_migration(&mut p);
+            let t = p.migrate(&ProcessState::empty()).unwrap();
+            assert!(t.rml_forwarded >= 1, "m1 must ride ListA");
+        }
+        (0, Start::Resumed(_)) => {
+            let (_s, _t, b1) = p.recv(Some(1), Some(5)).unwrap();
+            let (_s, _t, b2) = p.recv(Some(1), Some(5)).unwrap();
+            assert_eq!(seq_of(&b1), 1, "ListA (m1) must come first");
+            assert_eq!(seq_of(&b2), 2, "ListB (m2) second");
+            p.finish();
+        }
+        (1, Start::Fresh) => {
+            p.send(0, 0, Bytes::from_static(b"hs")).unwrap();
+            // m1 rides the established channel into the migration
+            // window.
+            p.send(0, 5, seq_payload(1)).unwrap();
+            // Wait until the old process is certainly gone, then send
+            // m2: the channel is dead, so the protocol re-resolves and
+            // redirects to the initialized process (ListB or live).
+            std::thread::sleep(Duration::from_millis(80));
+            p.send(0, 5, seq_payload(2)).unwrap();
+            p.finish();
+        }
+        _ => unreachable!(),
+    });
+
+    comp.migrate(0, spare).unwrap();
+    for h in handles {
+        h.join().unwrap();
+    }
+    comp.join_init_processes();
+    let st = SpaceTime::build(tracer.snapshot());
+    assert!(st.fifo_violations().is_empty(), "{:?}", st.fifo_violations());
+    assert!(st.undelivered().is_empty());
+}
+
+/// A long numbered stream spanning the migration arrives strictly in
+/// order, whichever path each message took.
+#[test]
+fn numbered_stream_strictly_ordered() {
+    const MSGS: u64 = 120;
+    let tracer = Tracer::new();
+    let comp = Computation::builder()
+        .hosts(HostSpec::ideal(), 3)
+        .tracer(tracer.clone())
+        .build();
+    let spare = comp.hosts()[2];
+
+    let handles = comp.launch(2, move |mut p, start| match (p.rank(), start) {
+        (0, Start::Fresh) => {
+            // Consume a prefix, then migrate with the rest in flight.
+            let mut next = 0u64;
+            for _ in 0..MSGS / 4 {
+                let (_s, _t, b) = p.recv(Some(1), Some(5)).unwrap();
+                assert_eq!(seq_of(&b), next);
+                next += 1;
+            }
+            await_migration(&mut p);
+            let state = ProcessState::new(
+                ExecState::at_entry().with_local("next", snow::codec::Value::U64(next)),
+                MemoryGraph::new(),
+            );
+            p.migrate(&state).unwrap();
+        }
+        (0, Start::Resumed(state)) => {
+            let mut next = state
+                .exec
+                .local("next")
+                .and_then(snow::codec::Value::as_u64)
+                .unwrap();
+            while next < MSGS {
+                let (_s, _t, b) = p.recv(Some(1), Some(5)).unwrap();
+                assert_eq!(seq_of(&b), next, "gap or reorder at {next}");
+                next += 1;
+            }
+            p.finish();
+        }
+        (1, Start::Fresh) => {
+            for i in 0..MSGS {
+                p.send(0, 5, seq_payload(i)).unwrap();
+                if i % 10 == 0 {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+            p.finish();
+        }
+        _ => unreachable!(),
+    });
+
+    comp.migrate(0, spare).unwrap();
+    for h in handles {
+        h.join().unwrap();
+    }
+    comp.join_init_processes();
+    let st = SpaceTime::build(tracer.snapshot());
+    assert!(st.fifo_violations().is_empty());
+    assert!(st.undelivered().is_empty());
+}
+
+/// Lemma 2: the *sender* migrates between m1 and m2; the stationary
+/// receiver still sees them in order.
+#[test]
+fn sender_migration_preserves_order() {
+    let comp = Computation::builder().hosts(HostSpec::ideal(), 3).build();
+    let spare = comp.hosts()[2];
+
+    let handles = comp.launch(2, move |mut p, start| match (p.rank(), start) {
+        (0, Start::Fresh) => {
+            for expect in 1..=2u64 {
+                let (_s, _t, b) = p.recv(Some(1), Some(5)).unwrap();
+                assert_eq!(seq_of(&b), expect);
+            }
+            p.finish();
+        }
+        (1, Start::Fresh) => {
+            p.send(0, 5, seq_payload(1)).unwrap();
+            await_migration(&mut p);
+            p.migrate(&ProcessState::empty()).unwrap();
+        }
+        (1, Start::Resumed(_)) => {
+            p.send(0, 5, seq_payload(2)).unwrap();
+            p.finish();
+        }
+        _ => unreachable!(),
+    });
+
+    comp.migrate(1, spare).unwrap();
+    for h in handles {
+        h.join().unwrap();
+    }
+    comp.join_init_processes();
+}
+
+/// Two independent senders to a migrating receiver: per-sender order
+/// holds even though their messages interleave arbitrarily.
+#[test]
+fn per_sender_fifo_with_two_senders() {
+    const MSGS: u64 = 40;
+    let comp = Computation::builder().hosts(HostSpec::ideal(), 4).build();
+    let spare = comp.hosts()[3];
+
+    let handles = comp.launch(3, move |mut p, start| match (p.rank(), start) {
+        (0, Start::Fresh) => {
+            let mut next = [0u64; 3];
+            for _ in 0..MSGS / 2 {
+                let (s, _t, b) = p.recv(None, Some(5)).unwrap();
+                assert_eq!(seq_of(&b), next[s]);
+                next[s] += 1;
+            }
+            await_migration(&mut p);
+            let state = ProcessState::new(
+                ExecState::at_entry()
+                    .with_local("n1", snow::codec::Value::U64(next[1]))
+                    .with_local("n2", snow::codec::Value::U64(next[2])),
+                MemoryGraph::new(),
+            );
+            p.migrate(&state).unwrap();
+        }
+        (0, Start::Resumed(state)) => {
+            let mut next = [0u64; 3];
+            next[1] = state.exec.local("n1").and_then(snow::codec::Value::as_u64).unwrap();
+            next[2] = state.exec.local("n2").and_then(snow::codec::Value::as_u64).unwrap();
+            while next[1] + next[2] < 2 * MSGS {
+                let (s, _t, b) = p.recv(None, Some(5)).unwrap();
+                assert_eq!(seq_of(&b), next[s], "sender {s} out of order");
+                next[s] += 1;
+            }
+            p.finish();
+        }
+        (s, Start::Fresh) => {
+            for i in 0..MSGS {
+                p.send(0, 5, seq_payload(i)).unwrap();
+                if i % 9 == 0 {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+            let _ = s;
+            p.finish();
+        }
+        _ => unreachable!(),
+    });
+
+    comp.migrate(0, spare).unwrap();
+    for h in handles {
+        h.join().unwrap();
+    }
+    comp.join_init_processes();
+}

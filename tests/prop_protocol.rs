@@ -1,0 +1,275 @@
+//! Property-based protocol tests: random traffic matrices with a
+//! migration injected at a random point must always deliver every
+//! message exactly once with per-pair FIFO order (Theorems 2 + 3 under
+//! randomized schedules).
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use snow::prelude::*;
+use std::time::Duration;
+
+fn await_migration(p: &mut SnowProcess) {
+    while !p.poll_point().unwrap() {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// One randomized scenario: `n` ranks, `msgs[s][d]` messages from s to
+/// d; rank `migrant` migrates after consuming `consume_before` of its
+/// inbound messages.
+#[derive(Debug, Clone)]
+struct Scenario {
+    n: usize,
+    msgs: Vec<Vec<u8>>,
+    migrant: usize,
+    consume_frac: u8, // 0..=100
+    payload: u8,      // payload length seed
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (2usize..5)
+        .prop_flat_map(|n| {
+            (
+                Just(n),
+                proptest::collection::vec(
+                    proptest::collection::vec(0u8..8, n..=n),
+                    n..=n,
+                ),
+                0..n,
+                0u8..=100,
+                1u8..64,
+            )
+        })
+        .prop_map(|(n, msgs, migrant, consume_frac, payload)| Scenario {
+            n,
+            msgs,
+            migrant,
+            consume_frac,
+            payload,
+        })
+}
+
+fn run_scenario(sc: &Scenario) -> Result<(), TestCaseError> {
+    let tracer = Tracer::new();
+    let comp = Computation::builder()
+        .hosts(HostSpec::ideal(), sc.n + 1)
+        .tracer(tracer.clone())
+        .build();
+    let spare = comp.hosts()[sc.n];
+    let sc2 = sc.clone();
+
+    let handles = comp.launch(sc.n, move |mut p, start| {
+        let me = p.rank();
+        let sc = &sc2;
+        let inbound: u64 = (0..sc.n).map(|s| sc.msgs[s][me] as u64).sum();
+        let send_all = |p: &mut SnowProcess| {
+            for d in 0..sc.n {
+                if d == me {
+                    continue;
+                }
+                for i in 0..sc.msgs[me][d] {
+                    let mut body = vec![0u8; 1 + (sc.payload as usize)];
+                    body[0] = i;
+                    p.send(d, me as i32, Bytes::from(body)).unwrap();
+                }
+            }
+        };
+        // Per-source next-expected counters; panics on gaps/reorders.
+        let recv_n = |p: &mut SnowProcess, next: &mut Vec<u8>, k: u64| {
+            for _ in 0..k {
+                let (s, _t, b) = p.recv(None, None).unwrap();
+                assert_eq!(b[0], next[s], "rank {me}: reorder from {s}");
+                next[s] += 1;
+            }
+        };
+        match start {
+            Start::Fresh => {
+                send_all(&mut p);
+                let mut next = vec![0u8; sc.n];
+                // Self-messages never occur; expected inbound excludes me.
+                let inbound = inbound - sc.msgs[me][me] as u64;
+                if me == sc.migrant {
+                    let before = inbound * sc.consume_frac as u64 / 100;
+                    recv_n(&mut p, &mut next, before);
+                    await_migration(&mut p);
+                    let mut exec = ExecState::at_entry();
+                    for (s, nx) in next.iter().enumerate() {
+                        exec = exec.with_local(
+                            &format!("n{s}"),
+                            snow::codec::Value::U64(*nx as u64),
+                        );
+                    }
+                    p.migrate(&ProcessState::new(exec, MemoryGraph::new()))
+                        .unwrap();
+                } else {
+                    recv_n(&mut p, &mut next, inbound);
+                    p.finish();
+                }
+            }
+            Start::Resumed(state) => {
+                let mut next = vec![0u8; sc.n];
+                let mut done = 0u64;
+                for (s, nx) in next.iter_mut().enumerate() {
+                    let v = state
+                        .exec
+                        .local(&format!("n{s}"))
+                        .and_then(snow::codec::Value::as_u64)
+                        .unwrap();
+                    *nx = v as u8;
+                    done += v;
+                }
+                let inbound = inbound - sc.msgs[me][me] as u64;
+                recv_n(&mut p, &mut next, inbound - done);
+                p.finish();
+            }
+        }
+    });
+
+    comp.migrate(sc.migrant, spare)
+        .map_err(|e| TestCaseError::fail(format!("migration failed: {e}")))?;
+    for h in handles {
+        h.join()
+            .map_err(|_| TestCaseError::fail("rank panicked (loss/reorder)"))?;
+    }
+
+    let st = SpaceTime::build(tracer.snapshot());
+    prop_assert!(
+        st.undelivered().is_empty(),
+        "lost: {:?}",
+        st.undelivered().len()
+    );
+    prop_assert!(st.duplicate_receives().is_empty());
+    prop_assert!(st.fifo_violations().is_empty());
+    Ok(())
+}
+
+/// Dual-migrant variant of the scenario runner: `migrant` and a second
+/// rank both migrate concurrently (Theorem 4 under random traffic).
+fn run_scenario_dual(sc: &Scenario) -> Result<(), TestCaseError> {
+    let second = (sc.migrant + 1) % sc.n;
+    let tracer = Tracer::new();
+    let comp = Computation::builder()
+        .hosts(HostSpec::ideal(), sc.n + 2)
+        .tracer(tracer.clone())
+        .build();
+    let spare_a = comp.hosts()[sc.n];
+    let spare_b = comp.hosts()[sc.n + 1];
+    let sc2 = sc.clone();
+
+    let handles = comp.launch(sc.n, move |mut p, start| {
+        let me = p.rank();
+        let sc = &sc2;
+        let migrates = me == sc.migrant || me == (sc.migrant + 1) % sc.n;
+        let inbound: u64 = (0..sc.n)
+            .filter(|s| *s != me)
+            .map(|s| sc.msgs[s][me] as u64)
+            .sum();
+        match start {
+            Start::Fresh => {
+                for d in 0..sc.n {
+                    if d == me {
+                        continue;
+                    }
+                    for i in 0..sc.msgs[me][d] {
+                        p.send(d, me as i32, Bytes::from(vec![i, sc.payload]))
+                            .unwrap();
+                    }
+                }
+                let mut next = vec![0u8; sc.n];
+                if migrates {
+                    await_migration(&mut p);
+                    let mut exec = ExecState::at_entry();
+                    for (s, nx) in next.iter().enumerate() {
+                        exec = exec.with_local(
+                            &format!("n{s}"),
+                            snow::codec::Value::U64(*nx as u64),
+                        );
+                    }
+                    p.migrate(&ProcessState::new(exec, MemoryGraph::new()))
+                        .unwrap();
+                } else {
+                    for _ in 0..inbound {
+                        let (s, _t, b) = p.recv(None, None).unwrap();
+                        assert_eq!(b[0], next[s], "rank {me}: reorder from {s}");
+                        next[s] += 1;
+                    }
+                    p.finish();
+                }
+            }
+            Start::Resumed(_) => {
+                let mut next = vec![0u8; sc.n];
+                for _ in 0..inbound {
+                    let (s, _t, b) = p.recv(None, None).unwrap();
+                    assert_eq!(b[0], next[s], "resumed {me}: reorder from {s}");
+                    next[s] += 1;
+                }
+                p.finish();
+            }
+        }
+    });
+
+    comp.migrate_async(sc.migrant, spare_a)
+        .map_err(TestCaseError::fail)?;
+    comp.migrate_async(second, spare_b)
+        .map_err(TestCaseError::fail)?;
+    comp.wait_migration_done(sc.migrant)
+        .map_err(TestCaseError::fail)?;
+    comp.wait_migration_done(second)
+        .map_err(TestCaseError::fail)?;
+    for h in handles {
+        h.join()
+            .map_err(|_| TestCaseError::fail("rank panicked (loss/reorder)"))?;
+    }
+    comp.join_init_processes();
+
+    let st = SpaceTime::build(tracer.snapshot());
+    prop_assert!(st.undelivered().is_empty());
+    prop_assert!(st.duplicate_receives().is_empty());
+    prop_assert!(st.fifo_violations().is_empty());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        max_shrink_iters: 20,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_traffic_with_migration(sc in arb_scenario()) {
+        run_scenario(&sc)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        max_shrink_iters: 20,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_traffic_with_two_simultaneous_migrations(sc in arb_scenario()) {
+        run_scenario_dual(&sc)?;
+    }
+}
+
+/// A pinned regression scenario (dense traffic, migrant consumes
+/// nothing before migrating) that once stressed the drain path.
+#[test]
+fn pinned_dense_scenario() {
+    let sc = Scenario {
+        n: 4,
+        msgs: vec![
+            vec![0, 7, 7, 7],
+            vec![7, 0, 7, 7],
+            vec![7, 7, 0, 7],
+            vec![7, 7, 7, 0],
+        ],
+        migrant: 2,
+        consume_frac: 0,
+        payload: 32,
+    };
+    run_scenario(&sc).unwrap();
+}

@@ -1,0 +1,153 @@
+//! Larger-world scenarios backing the §3 scalability claims: SNOW
+//! coordinates only directly connected peers, so a migration in a big,
+//! sparsely connected computation disturbs almost nobody.
+
+use bytes::Bytes;
+use snow::prelude::*;
+use std::time::Duration;
+
+fn await_migration(p: &mut SnowProcess) {
+    while !p.poll_point().unwrap() {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+fn seq_payload(i: u64) -> Bytes {
+    Bytes::copy_from_slice(&i.to_be_bytes())
+}
+
+/// Sixteen ranks in a ring; rank 5 migrates mid-run. The trace must
+/// show coordination traffic touching only the two ring neighbours —
+/// every other rank sees zero protocol events from the migration.
+#[test]
+fn sparse_ring_migration_disturbs_only_neighbours() {
+    const N: usize = 16;
+    const ROUNDS: u64 = 6;
+    const MIGRANT: usize = 5;
+    let tracer = Tracer::new();
+    let comp = Computation::builder()
+        .hosts(HostSpec::ideal(), N + 2)
+        .tracer(tracer.clone())
+        .build();
+    let spare = comp.hosts()[N + 1];
+
+    let handles = comp.launch(N, move |mut p, start| {
+        let me = p.rank();
+        let right = (me + 1) % N;
+        let left = (me + N - 1) % N;
+        let from = match &start {
+            Start::Fresh => 0u64,
+            Start::Resumed(s) => s
+                .exec
+                .local("round")
+                .and_then(snow::codec::Value::as_u64)
+                .unwrap(),
+        };
+        for round in from..ROUNDS {
+            p.send(right, 1, seq_payload(round)).unwrap();
+            let (_s, _t, b) = p.recv(Some(left), Some(1)).unwrap();
+            assert_eq!(u64::from_be_bytes(b[..8].try_into().unwrap()), round);
+            if me == MIGRANT && round == 1 {
+                await_migration(&mut p);
+                let state = ProcessState::new(
+                    ExecState::at_entry()
+                        .with_local("round", snow::codec::Value::U64(round + 1)),
+                    MemoryGraph::new(),
+                );
+                p.migrate(&state).unwrap();
+                return;
+            }
+        }
+        p.finish();
+    });
+
+    comp.migrate(MIGRANT, spare).expect("migration commits");
+    for h in handles {
+        h.join().unwrap();
+    }
+    comp.join_init_processes();
+
+    let st = SpaceTime::build(tracer.snapshot());
+    assert!(st.undelivered().is_empty());
+    assert!(st.fifo_violations().is_empty());
+
+    // Scalability check: only the migrant's ring neighbours saw the
+    // disconnection coordination.
+    let neighbours = [(MIGRANT + 1) % N, (MIGRANT + N - 1) % N];
+    for rank in 0..N {
+        let who = format!("p{rank}");
+        let saw_marker = st.events().iter().any(|e| {
+            e.who == who
+                && matches!(
+                    e.kind,
+                    snow::trace::EventKind::PeerMigratingSeen { peer } if peer == MIGRANT
+                )
+        });
+        if neighbours.contains(&rank) {
+            assert!(saw_marker, "neighbour {rank} must coordinate");
+        } else if rank != MIGRANT {
+            assert!(
+                !saw_marker,
+                "rank {rank} is not connected to the migrant and must not be disturbed"
+            );
+        }
+    }
+}
+
+/// A burst of interleaved migrations across a 12-rank all-pairs
+/// exchange: the system stays correct when a third of the world moves.
+#[test]
+fn third_of_the_world_migrates() {
+    const N: usize = 12;
+    const MOVERS: usize = 4;
+    let tracer = Tracer::new();
+    let comp = Computation::builder()
+        .hosts(HostSpec::ideal(), N + MOVERS + 1)
+        .tracer(tracer.clone())
+        .build();
+    let spares: Vec<HostId> = comp.hosts()[N + 1..].to_vec();
+
+    let handles = comp.launch(N, move |mut p, start| {
+        let me = p.rank();
+        let resumed = matches!(start, Start::Resumed(_));
+        if !resumed {
+            for other in 0..N {
+                if other != me {
+                    p.send(other, 3, seq_payload(me as u64)).unwrap();
+                }
+            }
+            if me < MOVERS {
+                await_migration(&mut p);
+                p.migrate(&ProcessState::empty()).unwrap();
+                return;
+            }
+        }
+        // Movers resume here with their RML intact; everyone collects
+        // N-1 messages.
+        let mut seen = vec![false; N];
+        for _ in 0..N - 1 {
+            let (s, _t, b) = p.recv(None, Some(3)).unwrap();
+            assert_eq!(u64::from_be_bytes(b[..8].try_into().unwrap()), s as u64);
+            assert!(!seen[s], "duplicate from {s}");
+            seen[s] = true;
+        }
+        p.finish();
+    });
+
+    for (i, spare) in spares.iter().enumerate().take(MOVERS) {
+        comp.migrate_async(i, *spare).unwrap();
+    }
+    for i in 0..MOVERS {
+        comp.wait_migration_done(i).expect("mover commits");
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    comp.join_init_processes();
+
+    let st = SpaceTime::build(tracer.snapshot());
+    assert!(st.undelivered().is_empty(), "{:?}", st.undelivered().len());
+    assert!(st.duplicate_receives().is_empty());
+    assert!(st.fifo_violations().is_empty());
+    assert_eq!(st.lines().len(), N * (N - 1));
+}

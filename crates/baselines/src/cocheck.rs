@@ -69,9 +69,12 @@ impl Proc {
     /// Run until the snapshot is complete (a marker received on every
     /// inbound channel), processing application traffic along the way.
     fn run_until_snapshot_done(&mut self) -> LocalSnapshot {
-        while !self.marker_from.iter().enumerate().all(|(s, done)| {
-            s == self.rank || *done
-        }) {
+        while !self
+            .marker_from
+            .iter()
+            .enumerate()
+            .all(|(s, done)| s == self.rank || *done)
+        {
             let (from, msg) = self.rx.recv().expect("mesh peers alive");
             match msg {
                 Msg::Marker => {
@@ -86,11 +89,7 @@ impl Proc {
                     if self.recording && !self.marker_from[from] {
                         // In-transit on this channel: part of the
                         // channel state.
-                        self.snap
-                            .channel_state
-                            .entry(from)
-                            .or_default()
-                            .push(v);
+                        self.snap.channel_state.entry(from).or_default().push(v);
                     }
                 }
             }
@@ -115,7 +114,12 @@ pub struct CocheckOutcome {
 /// traffic, take a coordinated snapshot initiated by `migrant`, and
 /// "restart" the migrant from its checkpoint (CoCheck migration).
 /// `state_bytes` models each process's checkpoint size.
-pub fn run_cocheck_migration(n: usize, traffic: u64, migrant: usize, state_bytes: u64) -> CocheckOutcome {
+pub fn run_cocheck_migration(
+    n: usize,
+    traffic: u64,
+    migrant: usize,
+    state_bytes: u64,
+) -> CocheckOutcome {
     assert!(n >= 2 && migrant < n);
     let mut txs: Vec<Sender<(usize, Msg)>> = Vec::new();
     let mut rxs: Vec<Receiver<(usize, Msg)>> = Vec::new();
@@ -155,11 +159,7 @@ pub fn run_cocheck_migration(n: usize, traffic: u64, migrant: usize, state_bytes
     // Restart the migrant from its checkpoint: local state + replay of
     // recorded channel state.
     let mig_snap = &snapshots[migrant];
-    let replayed: u64 = mig_snap
-        .channel_state
-        .values()
-        .flat_map(|v| v.iter())
-        .sum();
+    let replayed: u64 = mig_snap.channel_state.values().flat_map(|v| v.iter()).sum();
     let restored_state = mig_snap.state.wrapping_add(replayed);
 
     let marker_count: u64 = snapshots.iter().map(|s| s.markers_seen).sum();

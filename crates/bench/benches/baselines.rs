@@ -4,8 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use snow_baselines::{
-    broadcast::run_broadcast_demo, cocheck::run_cocheck_migration,
-    forwarding::run_forwarding_demo,
+    broadcast::run_broadcast_demo, cocheck::run_cocheck_migration, forwarding::run_forwarding_demo,
 };
 
 fn bench_baselines(c: &mut Criterion) {

@@ -56,19 +56,15 @@ fn bench_migration_latency(c: &mut Criterion) {
     let mut g = c.benchmark_group("migration_latency");
     g.sample_size(10);
     for peers in [1usize, 2, 4, 8] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(peers),
-            &peers,
-            |b, &peers| {
-                b.iter_custom(|iters| {
-                    let mut total = Duration::ZERO;
-                    for _ in 0..iters {
-                        total += migrate_once(peers);
-                    }
-                    total
-                });
-            },
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(peers), &peers, |b, &peers| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    total += migrate_once(peers);
+                }
+                total
+            });
+        });
     }
     g.finish();
 }

@@ -42,9 +42,7 @@ fn bench_rml(c: &mut Criterion) {
             let last_tag = ((n - 1) % 16) as i32;
             b.iter_batched(
                 || filled(n),
-                |mut rml| {
-                    rml.take_match(Some(last_src), Some(last_tag)).unwrap()
-                },
+                |mut rml| rml.take_match(Some(last_src), Some(last_tag)).unwrap(),
                 criterion::BatchSize::SmallInput,
             );
         });

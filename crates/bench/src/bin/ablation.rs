@@ -9,8 +9,8 @@
 //! * state moved — consistent-cut restart stores every process's state.
 
 use snow_baselines::{
-    broadcast::run_broadcast_demo, cocheck::run_cocheck_migration,
-    forwarding::run_forwarding_demo, snow_reference_metrics, Metrics,
+    broadcast::run_broadcast_demo, cocheck::run_cocheck_migration, forwarding::run_forwarding_demo,
+    snow_reference_metrics, Metrics,
 };
 
 fn row(name: &str, m: &Metrics) {
@@ -54,7 +54,10 @@ fn main() {
     println!("forwarding chains (hops per message after k migrations):");
     for k in [1u32, 2, 4, 8] {
         let m = run_forwarding_demo(k, 100, 1024);
-        println!("  k = {k}: {:.1} extra hops/message", m.post_migration_extra_hops);
+        println!(
+            "  k = {k}: {:.1} extra hops/message",
+            m.post_migration_extra_hops
+        );
     }
     println!("  SNOW: 0.0 at any k (no forwarding, on-demand location update)");
 

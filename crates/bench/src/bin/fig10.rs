@@ -29,7 +29,13 @@ fn main() {
         ..MgConfig::default()
     };
     let tracer = Tracer::new();
-    let run = run_snow_mg(cfg, HostSpec::ultra5(), TimeScale::MILLI, true, tracer.clone());
+    let run = run_snow_mg(
+        cfg,
+        HostSpec::ultra5(),
+        TimeScale::MILLI,
+        true,
+        tracer.clone(),
+    );
     assert_eq!(run.migrations.len(), 1);
     let t = &run.migrations[0];
 
@@ -48,7 +54,10 @@ fn main() {
 
     // A: coordination captured nothing on the homogeneous testbed and
     // closed every connection.
-    println!("\n[A] RML messages forwarded: {} (paper: 0 on the homogeneous testbed)", t.rml_forwarded);
+    println!(
+        "\n[A] RML messages forwarded: {} (paper: 0 on the homogeneous testbed)",
+        t.rml_forwarded
+    );
     let closes = st
         .events()
         .iter()
@@ -68,7 +77,9 @@ fn main() {
                 && matches!(e.kind, EventKind::Send { .. })
         })
         .count();
-    println!("[B] data messages sent by non-migrating ranks during the migration window: {b_sends}");
+    println!(
+        "[B] data messages sent by non-migrating ranks during the migration window: {b_sends}"
+    );
     assert!(b_sends > 0, "peers must keep exchanging (area B)");
 
     // D: neighbours consulted the scheduler after their conn_req

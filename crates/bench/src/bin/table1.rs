@@ -34,7 +34,7 @@ fn main() {
     let reps = if quick { 3 } else { 10 };
 
     let cfg = MgConfig {
-        min_migrate_iter: 2, // §6: migrate after two iterations
+        min_migrate_iter: 2,  // §6: migrate after two iterations
         state_pad: 7_500_000, // §6.2: >7.5 MB of exe+mem state
         ..MgConfig::default()
     };
@@ -56,7 +56,10 @@ fn main() {
         // original: raw pre-wired channels, no protocol.
         let (wall, raw) = run_raw_mg(cfg);
         b.add("original/execution", wall);
-        b.add("original/communication", mean_comm_s(raw.iter().map(|r| r.stats)));
+        b.add(
+            "original/communication",
+            mean_comm_s(raw.iter().map(|r| r.stats)),
+        );
         baseline_residuals.get_or_insert_with(|| raw[0].residuals.clone());
 
         // modified: SNOW protocol, no migration.
@@ -97,7 +100,10 @@ fn main() {
         }
     }
 
-    println!("\n{}", b.to_table("Table 1 — measured on this machine (seconds)"));
+    println!(
+        "\n{}",
+        b.to_table("Table 1 — measured on this machine (seconds)")
+    );
 
     // Paper-scale reconstruction of the migration penalty from the
     // calibrated models (Ultra 5 collect/restore + 100 Mbit Tx).

@@ -110,7 +110,13 @@ mod tests {
         let (wall, raw) = run_raw_mg(cfg);
         assert!(wall > 0.0);
         assert_eq!(raw.len(), 2);
-        let run = run_snow_mg(cfg, HostSpec::ideal(), TimeScale::ZERO, true, Tracer::disabled());
+        let run = run_snow_mg(
+            cfg,
+            HostSpec::ideal(),
+            TimeScale::ZERO,
+            true,
+            Tracer::disabled(),
+        );
         assert_eq!(run.results.len(), 2);
         assert_eq!(run.migrations.len(), 1);
         // Identical numerics between backends.

@@ -36,7 +36,7 @@ mod tag {
 /// the restoring side narrows as its program requires. Dense numeric
 /// arrays get dedicated variants so multigrid-sized payloads encode
 /// without per-element tags.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// The empty value.
     Unit,
@@ -61,6 +61,36 @@ pub enum Value {
     /// A dense array of signed integers.
     I64Array(Vec<i64>),
 }
+
+/// Equality matches the canonical encoding: two values are equal iff
+/// their encodings are byte-identical. Doubles therefore compare by
+/// bit pattern (NaN == NaN with the same bits; 0.0 != -0.0), unlike
+/// IEEE `==`.
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Unit, Value::Unit) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::I64(a), Value::I64(b)) => a == b,
+            (Value::U64(a), Value::U64(b)) => a == b,
+            (Value::F64(a), Value::F64(b)) => a.to_bits() == b.to_bits(),
+            (Value::Bytes(a), Value::Bytes(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::List(a), Value::List(b)) => a == b,
+            (Value::Record(a), Value::Record(b)) => a == b,
+            (Value::F64Array(a), Value::F64Array(b)) => {
+                a.len() == b.len()
+                    && a.iter()
+                        .zip(b.iter())
+                        .all(|(x, y)| x.to_bits() == y.to_bits())
+            }
+            (Value::I64Array(a), Value::I64Array(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
 
 impl Value {
     /// Encode into an existing writer.
@@ -139,9 +169,7 @@ impl Value {
             Value::F64(_) => 9,
             Value::Bytes(b) => 11 + b.len(),
             Value::Str(s) => 11 + s.len(),
-            Value::List(items) => {
-                11 + items.iter().map(Value::encoded_size_hint).sum::<usize>()
-            }
+            Value::List(items) => 11 + items.iter().map(Value::encoded_size_hint).sum::<usize>(),
             Value::Record(fields) => {
                 11 + fields
                     .iter()
@@ -309,7 +337,9 @@ mod tests {
 
     #[test]
     fn dense_arrays_roundtrip() {
-        roundtrip(&Value::F64Array((0..1000).map(|i| i as f64 * 0.5).collect()));
+        roundtrip(&Value::F64Array(
+            (0..1000).map(|i| i as f64 * 0.5).collect(),
+        ));
         roundtrip(&Value::I64Array((-500..500).collect()));
     }
 

@@ -53,6 +53,24 @@ impl WireWriter {
         self.buf
     }
 
+    /// Take the bytes written so far, leaving the writer empty but
+    /// usable. The hot chunked-collection path hands off each chunk
+    /// with this instead of constructing a fresh writer per chunk.
+    pub fn take_bytes(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.buf)
+    }
+
+    /// Discard everything written so far, keeping the allocation for
+    /// reuse.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Reserve room for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
     /// Borrow the bytes written so far.
     pub fn as_slice(&self) -> &[u8] {
         &self.buf
@@ -296,6 +314,26 @@ mod tests {
         assert_eq!(r.get_f32().unwrap(), 1.5);
         assert_eq!(r.get_f64().unwrap(), -2.25);
         r.finish().unwrap();
+    }
+
+    #[test]
+    fn take_bytes_and_clear_reuse_the_writer() {
+        let mut w = WireWriter::with_capacity(64);
+        w.put_str("first");
+        let a = w.take_bytes();
+        assert!(w.is_empty());
+        w.put_str("second");
+        let cap_before = {
+            w.clear();
+            assert!(w.is_empty());
+            w.put_str("third");
+            w.as_slice().len()
+        };
+        assert!(cap_before > 0);
+        let mut r = WireReader::new(&a);
+        assert_eq!(r.get_str().unwrap(), "first");
+        let mut r = WireReader::new(w.as_slice());
+        assert_eq!(r.get_str().unwrap(), "third");
     }
 
     #[test]

@@ -19,8 +19,7 @@ fn arb_value() -> impl Strategy<Value = Value> {
     leaf.prop_recursive(4, 64, 8, |inner| {
         prop_oneof![
             proptest::collection::vec(inner.clone(), 0..6).prop_map(Value::List),
-            proptest::collection::vec(("[a-z]{1,8}", inner), 0..6)
-                .prop_map(Value::Record),
+            proptest::collection::vec(("[a-z]{1,8}", inner), 0..6).prop_map(Value::Record),
         ]
     })
 }
@@ -31,10 +30,7 @@ fn bits_eq(a: &Value, b: &Value) -> bool {
     match (a, b) {
         (Value::F64(x), Value::F64(y)) => x.to_bits() == y.to_bits(),
         (Value::F64Array(x), Value::F64Array(y)) => {
-            x.len() == y.len()
-                && x.iter()
-                    .zip(y)
-                    .all(|(p, q)| p.to_bits() == q.to_bits())
+            x.len() == y.len() && x.iter().zip(y).all(|(p, q)| p.to_bits() == q.to_bits())
         }
         (Value::List(x), Value::List(y)) => {
             x.len() == y.len() && x.iter().zip(y).all(|(p, q)| bits_eq(p, q))

@@ -47,7 +47,11 @@ pub fn snow_recv(
     } else {
         Some(src_id as Rank)
     };
-    let tag = if tag == ANY_TAG { None } else { Some(tag as Tag) };
+    let tag = if tag == ANY_TAG {
+        None
+    } else {
+        Some(tag as Tag)
+    };
     p.recv(src, tag)
 }
 

@@ -12,7 +12,7 @@ use crate::migrate::initialize;
 use crate::process::SnowProcess;
 use snow_net::TimeScale;
 use snow_sched::{spawn_scheduler, MigrationRecord, SchedClient, SchedulerHandle};
-use snow_state::{ProcessState, StateCostModel};
+use snow_state::{PipelineConfig, ProcessState, StateCostModel};
 use snow_trace::Tracer;
 use snow_vm::{HostId, HostSpec, Rank, VirtualMachine, Vmid};
 use std::sync::{Arc, Barrier, Mutex};
@@ -32,6 +32,7 @@ pub struct ComputationBuilder {
     tracer: Arc<Tracer>,
     scale: TimeScale,
     cost: StateCostModel,
+    pipeline: PipelineConfig,
     host_specs: Vec<HostSpec>,
 }
 
@@ -41,6 +42,7 @@ impl Default for ComputationBuilder {
             tracer: Tracer::disabled(),
             scale: TimeScale::ZERO,
             cost: StateCostModel::PAPER,
+            pipeline: PipelineConfig::default(),
             host_specs: Vec::new(),
         }
     }
@@ -62,6 +64,14 @@ impl ComputationBuilder {
     /// Override the state cost model.
     pub fn cost_model(mut self, c: StateCostModel) -> Self {
         self.cost = c;
+        self
+    }
+
+    /// Override the chunked state-transfer configuration every process
+    /// uses when migrating ([`PipelineConfig::monolithic`] restores the
+    /// single-frame transfer the paper measures).
+    pub fn pipeline(mut self, cfg: PipelineConfig) -> Self {
+        self.pipeline = cfg;
         self
     }
 
@@ -95,6 +105,7 @@ impl ComputationBuilder {
             hosts,
             tracer: self.tracer,
             cost: self.cost,
+            pipeline: self.pipeline,
             sched: Mutex::new(None),
             client: Mutex::new(None),
         }
@@ -107,6 +118,7 @@ pub struct Computation {
     hosts: Vec<HostId>,
     tracer: Arc<Tracer>,
     cost: StateCostModel,
+    pipeline: PipelineConfig,
     sched: Mutex<Option<SchedulerHandle>>,
     client: Mutex<Option<SchedClient>>,
 }
@@ -141,9 +153,7 @@ impl Computation {
     where
         F: Fn(SnowProcess, Start) + Send + Sync + 'static,
     {
-        let placement: Vec<HostId> = (0..n)
-            .map(|r| self.hosts[r % self.hosts.len()])
-            .collect();
+        let placement: Vec<HostId> = (0..n).map(|r| self.hosts[r % self.hosts.len()]).collect();
         self.launch_placed(&placement, app)
     }
 
@@ -155,12 +165,14 @@ impl Computation {
     {
         let app: Arc<dyn Fn(SnowProcess, Start) + Send + Sync> = Arc::new(app);
         let cost = self.cost;
+        let pipeline = self.pipeline.clone();
 
         // The migration-enabled executable image (§2.2): initialize,
         // then resume the application at its poll point.
         let image_app = Arc::clone(&app);
+        let image_pipeline = pipeline.clone();
         let image: snow_sched::ProcessImage = Arc::new(move |cell, rank| {
-            match initialize(cell, rank, cost) {
+            match initialize(cell, rank, cost, image_pipeline.clone()) {
                 Ok((proc_, state, _restore_s)) => image_app(proc_, Start::Resumed(state)),
                 Err(e) => panic!("initialize() failed for rank {rank}: {e}"),
             }
@@ -183,18 +195,18 @@ impl Computation {
             let app = Arc::clone(&app);
             let gate = Arc::clone(&gate);
             let pl_for_proc = Arc::clone(&pl_table);
+            let proc_pipeline = pipeline.clone();
             let (vmid, handle) = self
                 .vm
                 .spawn(*host, &format!("p{rank}"), move |cell| {
                     gate.wait();
                     let mut proc_ = SnowProcess::fresh(cell, rank, cost);
+                    proc_.set_pipeline(proc_pipeline);
                     proc_.install_pl(&pl_for_proc.lock().unwrap());
                     app(proc_, Start::Fresh);
                 })
                 .expect("placement host is a member");
-            client
-                .register(rank, vmid)
-                .expect("scheduler is running");
+            client.register(rank, vmid).expect("scheduler is running");
             pl_table.lock().unwrap().push((rank, vmid));
             handles.push(handle);
         }
@@ -299,9 +311,7 @@ mod tests {
 
     #[test]
     fn two_rank_ping_pong() {
-        let comp = Computation::builder()
-            .hosts(HostSpec::ideal(), 2)
-            .build();
+        let comp = Computation::builder().hosts(HostSpec::ideal(), 2).build();
         let handles = comp.launch(2, |mut p, _start| {
             match p.rank() {
                 0 => {
@@ -325,9 +335,7 @@ mod tests {
 
     #[test]
     fn wildcard_receive_across_ranks() {
-        let comp = Computation::builder()
-            .hosts(HostSpec::ideal(), 3)
-            .build();
+        let comp = Computation::builder().hosts(HostSpec::ideal(), 3).build();
         let handles = comp.launch(3, |mut p, _start| {
             match p.rank() {
                 0 => {

@@ -60,7 +60,9 @@ mod tests {
         assert!(ProtoError::DestinationTerminated(3)
             .to_string()
             .contains("rank 3"));
-        assert!(ProtoError::Scheduler("boom".into()).to_string().contains("boom"));
+        assert!(ProtoError::Scheduler("boom".into())
+            .to_string()
+            .contains("boom"));
         assert!(ProtoError::Watchdog("drain").to_string().contains("drain"));
     }
 

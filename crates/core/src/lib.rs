@@ -64,3 +64,4 @@ pub use error::ProtoError;
 pub use migrate::{initialize, MigrationTimings};
 pub use process::SnowProcess;
 pub use rml::Rml;
+pub use snow_state::PipelineConfig;

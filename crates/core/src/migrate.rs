@@ -12,7 +12,7 @@
 use crate::error::ProtoError;
 use crate::process::{Event, SnowProcess, TAG_CTRL, TICK, WATCHDOG};
 use bytes::Bytes;
-use snow_state::{ProcessState, StateCostModel};
+use snow_state::{ChunkedRestorer, PipelineConfig, ProcessState, StateCostModel, StateError};
 use snow_trace::EventKind;
 use snow_vm::process::EnvError;
 use snow_vm::wire::{ConnReqMsg, SchedReply, SchedRequest};
@@ -33,9 +33,19 @@ pub struct MigrationTimings {
     pub collect_modeled_s: f64,
     /// Modeled seconds to push the state across the network — row "Tx".
     pub tx_modeled_s: f64,
-    /// Modeled seconds to restore on the destination — row "Restore"
-    /// (filled by the initialized process).
+    /// Modeled seconds to restore on the destination — row "Restore",
+    /// estimated by the source from the destination host's speed (the
+    /// initialized process naps the same model on its own clock).
     pub restore_modeled_s: f64,
+    /// Modeled seconds for the overlapped collect→tx→restore pipeline:
+    /// the makespan of the chunk schedule rather than the sum of its
+    /// stages. For a monolithic transfer this equals
+    /// `collect + tx + restore`.
+    pub pipelined_modeled_s: f64,
+    /// Chunks the state was streamed as (1 for a monolithic transfer).
+    pub chunks: usize,
+    /// Encoder workers used (0 = monolithic path).
+    pub workers: usize,
     /// Canonical state size in bytes.
     pub state_bytes: usize,
     /// In-transit messages captured and forwarded (Fig 13 behaviour).
@@ -43,12 +53,21 @@ pub struct MigrationTimings {
 }
 
 impl MigrationTimings {
-    /// Total modeled+real migration cost — Table 2 row "Migrate".
+    /// Total migration cost with the serial state transfer the paper
+    /// measures — Table 2 row "Migrate" (coordinate + collect + tx +
+    /// restore, each stage strictly after the previous).
     pub fn total_s(&self) -> f64 {
-        self.coordinate_real_s
-            + self.collect_modeled_s
-            + self.tx_modeled_s
-            + self.restore_modeled_s
+        self.serial_total_s()
+    }
+
+    /// Serial-sum total: what the migration costs without stage overlap.
+    pub fn serial_total_s(&self) -> f64 {
+        self.coordinate_real_s + self.collect_modeled_s + self.tx_modeled_s + self.restore_modeled_s
+    }
+
+    /// Pipelined total: coordinate plus the overlapped-schedule makespan.
+    pub fn pipelined_total_s(&self) -> f64 {
+        self.coordinate_real_s + self.pipelined_modeled_s
     }
 }
 
@@ -111,7 +130,8 @@ impl SnowProcess {
             // computing (Fig 6); if it is in recv, the marker alone
             // suffices (Fig 4 lines 12–14).
             if let Some(v) = self.pl.get(&peer) {
-                self.cell.send_signal(*v, Signal::Disconnect { from: self.rank });
+                self.cell
+                    .send_signal(*v, Signal::Disconnect { from: self.rank });
             }
         }
 
@@ -177,37 +197,151 @@ impl SnowProcess {
             .send(Incoming::Data(env), nbytes)
             .map_err(|_| ProtoError::Env(EnvError::InboxClosed))?;
 
-        // Line 9: collect the execution and memory state (cost modeled
-        // by host speed; real work: canonical encoding).
+        // Lines 9–10: collect and send the execution and memory state
+        // (cost modeled by host speed and link bandwidth).
         let speed = self.cell.host_spec().map(|h| h.speed).unwrap_or(1.0);
-        let bytes = state.collect();
-        timings.state_bytes = bytes.len();
-        timings.collect_modeled_s = self.cost.collect_seconds(bytes.len(), speed);
-        let nap = self.cell.time_scale().real(timings.collect_modeled_s);
-        if !nap.is_zero() {
-            std::thread::sleep(nap);
-        }
-        self.trace_mig(EventKind::StateCollected { bytes: bytes.len() });
-
-        // Line 10: send the exe+mem state to the new process.
-        timings.tx_modeled_s = self
+        let dest_speed = self
             .cell
             .shared()
-            .path(self.cell.vmid().host, new_vmid.host)
-            .transfer_seconds(bytes.len());
-        let env = Envelope {
-            src: self.rank,
-            tag: TAG_CTRL,
-            msg: self.cell.tracer().next_msg_id(),
-            payload: Payload::ExeMemState(Bytes::from(bytes)),
-        };
-        let nbytes = env.wire_bytes();
-        state_tx
-            .send(Incoming::Data(env), nbytes)
-            .map_err(|_| ProtoError::Env(EnvError::InboxClosed))?;
-        self.trace_mig(EventKind::StateTransmitted {
-            bytes: timings.state_bytes,
-        });
+            .host_spec(new_vmid.host)
+            .map(|h| h.speed)
+            .unwrap_or(1.0);
+        let link = self
+            .cell
+            .shared()
+            .path(self.cell.vmid().host, new_vmid.host);
+
+        if self.pipeline.is_monolithic() {
+            // Serial path: collect everything, then ship one frame —
+            // each stage strictly after the previous, as the paper
+            // measures it.
+            let bytes = state.collect();
+            timings.state_bytes = bytes.len();
+            timings.collect_modeled_s = self.cost.collect_seconds(bytes.len(), speed);
+            let nap = self.cell.time_scale().real(timings.collect_modeled_s);
+            if !nap.is_zero() {
+                std::thread::sleep(nap);
+            }
+            self.trace_mig(EventKind::StateCollected { bytes: bytes.len() });
+
+            timings.tx_modeled_s = link.transfer_seconds(bytes.len());
+            timings.restore_modeled_s = self.cost.restore_seconds(bytes.len(), dest_speed);
+            timings.pipelined_modeled_s =
+                timings.collect_modeled_s + timings.tx_modeled_s + timings.restore_modeled_s;
+            timings.chunks = 1;
+            let env = Envelope {
+                src: self.rank,
+                tag: TAG_CTRL,
+                msg: self.cell.tracer().next_msg_id(),
+                payload: Payload::ExeMemState(Bytes::from(bytes)),
+            };
+            let nbytes = env.wire_bytes();
+            state_tx
+                .send(Incoming::Data(env), nbytes)
+                .map_err(|_| ProtoError::Env(EnvError::InboxClosed))?;
+            self.trace_mig(EventKind::StateTransmitted {
+                bytes: timings.state_bytes,
+            });
+        } else {
+            // Pipelined path: partition the state into chunks, encode on
+            // a worker pool, ship each chunk as its own frame. Encoding
+            // of chunk i+1 overlaps transmission of chunk i, and the
+            // destination restores chunks as they arrive. The modeled
+            // schedule tracks each chunk through `workers` encoders, the
+            // FIFO wire, and the destination's restorer; its makespan is
+            // the pipelined cost, while the plain sums remain the serial
+            // (Table 2) stage costs.
+            let cfg = self.pipeline.clone();
+            let workers = cfg.workers.max(1);
+            let cell = &self.cell;
+            let cost = self.cost;
+            let rank = self.rank;
+            let scale = cell.time_scale();
+            let t0 = Instant::now();
+            let mut worker_free = vec![0.0f64; workers];
+            let mut wire_free = 0.0f64;
+            let mut restore_free = 0.0f64;
+            let mut collect_serial = 0.0f64;
+            let mut tx_serial = 0.0f64;
+            let mut restore_serial = 0.0f64;
+            let summary = snow_state::stream_chunks(state, &cfg, |chunk| {
+                let c_s = cost.collect_seconds(chunk.bytes.len(), speed);
+                collect_serial += c_s;
+                let w = (0..workers)
+                    .min_by(|a, b| worker_free[*a].total_cmp(&worker_free[*b]))
+                    .expect("at least one worker");
+                worker_free[w] += c_s;
+                let done_collect = worker_free[w];
+                // Nap to this chunk's modeled encode-completion before
+                // handing it to the wire, so the link model (which
+                // serialises frames per sender) observes the overlapped
+                // schedule rather than an instantaneous burst.
+                let target = t0 + scale.real(done_collect);
+                let now = Instant::now();
+                if target > now {
+                    std::thread::sleep(target - now);
+                }
+                let env = Envelope {
+                    src: rank,
+                    tag: TAG_CTRL,
+                    msg: cell.tracer().next_msg_id(),
+                    payload: Payload::ExeMemStateChunk {
+                        seq: chunk.seq,
+                        checksum: chunk.checksum,
+                        bytes: Bytes::from(chunk.bytes.clone()),
+                    },
+                };
+                let nbytes = env.wire_bytes();
+                let tx_s = link.transfer_seconds(nbytes);
+                tx_serial += tx_s;
+                wire_free = done_collect.max(wire_free) + tx_s;
+                let r_s = cost.restore_seconds(chunk.bytes.len(), dest_speed);
+                restore_serial += r_s;
+                restore_free = wire_free.max(restore_free) + r_s;
+                state_tx
+                    .send(Incoming::Data(env), nbytes)
+                    .map_err(|_| ProtoError::Env(EnvError::InboxClosed))?;
+                cell.trace(EventKind::StateChunkSent {
+                    seq: chunk.seq,
+                    bytes: chunk.bytes.len(),
+                });
+                Ok::<(), ProtoError>(())
+            })?;
+
+            // Close the stream: the digest frame the destination must
+            // reproduce before committing to the restored state.
+            let env = Envelope {
+                src: rank,
+                tag: TAG_CTRL,
+                msg: cell.tracer().next_msg_id(),
+                payload: Payload::ExeMemStateDigest {
+                    digest: summary.digest,
+                    chunks: summary.chunks,
+                    total_bytes: summary.total_bytes as u64,
+                },
+            };
+            let nbytes = env.wire_bytes();
+            let digest_tx_s = link.transfer_seconds(nbytes);
+            tx_serial += digest_tx_s;
+            wire_free += digest_tx_s;
+            state_tx
+                .send(Incoming::Data(env), nbytes)
+                .map_err(|_| ProtoError::Env(EnvError::InboxClosed))?;
+
+            timings.state_bytes = summary.total_bytes;
+            timings.collect_modeled_s = collect_serial;
+            timings.tx_modeled_s = tx_serial;
+            timings.restore_modeled_s = restore_serial;
+            timings.pipelined_modeled_s = wire_free.max(restore_free);
+            timings.chunks = summary.chunks as usize;
+            timings.workers = cfg.workers;
+            self.trace_mig(EventKind::StateCollected {
+                bytes: summary.total_bytes,
+            });
+            self.trace_mig(EventKind::StateTransmitted {
+                bytes: summary.total_bytes,
+            });
+        }
 
         // Line 11: terminate — the caller returns from the app function;
         // the spawn wrapper unregisters us and notifies the daemon.
@@ -256,9 +390,7 @@ impl SnowProcess {
                         // the destination host left mid-migration.
                         retries += 1;
                         if retries > 2000 {
-                            return Err(ProtoError::Watchdog(
-                                "state-transfer connect retries",
-                            ));
+                            return Err(ProtoError::Watchdog("state-transfer connect retries"));
                         }
                         std::thread::sleep(std::time::Duration::from_millis(1));
                         break;
@@ -276,6 +408,12 @@ impl SnowProcess {
 /// RML and the exe+mem state, completes the scheduler handshake, and
 /// restores the state.
 ///
+/// The state arrives either as one monolithic `ExeMemState` frame
+/// (restored after the commit handshake, as in the paper) or as a
+/// pipelined `ExeMemStateChunk` stream, where each chunk is verified and
+/// decoded as it arrives — restore overlaps the remaining transmission —
+/// and the closing digest frame must match before the state is trusted.
+///
 /// Returns the resumed [`SnowProcess`] (with the merged RML and the
 /// authoritative PL table), the restored [`ProcessState`], and the
 /// restore timing for Table 2.
@@ -283,19 +421,58 @@ pub fn initialize(
     cell: ProcessCell,
     rank: Rank,
     cost: StateCostModel,
+    pipeline: PipelineConfig,
 ) -> Result<(SnowProcess, ProcessState, f64), ProtoError> {
     let mut p = SnowProcess::fresh(cell, rank, cost);
+    p.pipeline = pipeline;
+    let speed = p.cell.host_spec().map(|h| h.speed).unwrap_or(1.0);
     // Line 1: all conn_req accepted from here on — `classify` grants by
     // default.
     let mut forwarded_rml: Option<Vec<Envelope>> = None;
-    let mut state_bytes: Option<Bytes> = None;
+    let mut mono_bytes: Option<Bytes> = None;
+    let mut restorer: Option<ChunkedRestorer> = None;
+    let mut restored: Option<(ProcessState, usize)> = None;
+    let mut restore_modeled_s = 0.0f64;
     // Lines 2–4: receive the RML, buffering and granting meanwhile, then
     // the exe+mem state (FIFO on the transfer channel guarantees the RML
-    // arrives first).
-    while state_bytes.is_none() {
+    // arrives first, and that chunks arrive in sequence).
+    while mono_bytes.is_none() && restored.is_none() {
         match p.wait_event("initialize")? {
             Event::StateBatch(batch) => forwarded_rml = Some(batch),
-            Event::State(bytes) => state_bytes = Some(bytes),
+            Event::State(bytes) => mono_bytes = Some(bytes),
+            Event::StateChunk {
+                seq,
+                checksum,
+                bytes,
+            } => {
+                let r = restorer.get_or_insert_with(ChunkedRestorer::new);
+                r.push(seq, checksum, &bytes)?;
+                // Incremental restore: nap this chunk's modeled decode
+                // cost now, overlapping the rest of the transmission.
+                let nap_s = cost.restore_seconds(bytes.len(), speed);
+                restore_modeled_s += nap_s;
+                let nap = p.cell.time_scale().real(nap_s);
+                if !nap.is_zero() {
+                    std::thread::sleep(nap);
+                }
+                p.cell.trace(EventKind::StateChunkRestored {
+                    seq,
+                    bytes: bytes.len(),
+                });
+            }
+            Event::StateDigest {
+                digest,
+                chunks,
+                total_bytes,
+            } => {
+                let r = restorer
+                    .take()
+                    .ok_or(ProtoError::State(StateError::StreamIncomplete(
+                        "digest frame with no chunks",
+                    )))?;
+                let total = total_bytes as usize;
+                restored = Some((r.finish(digest, chunks, total_bytes)?, total));
+            }
             _ => continue,
         }
     }
@@ -315,7 +492,10 @@ pub fn initialize(
     // Line 6: wait for the PL table and old vmid.
     loop {
         match p.wait_event("PL table handshake")? {
-            Event::Sched(SchedReply::PlTable { entries, old_vmid: _ }) => {
+            Event::Sched(SchedReply::PlTable {
+                entries,
+                old_vmid: _,
+            }) => {
                 for (r, v) in entries {
                     // Our own row still names the initialized process's
                     // predecessor until commit; we are authoritative for
@@ -337,14 +517,21 @@ pub fn initialize(
     p.cell.sched_send(SchedRequest::MigrationCommit { rank })?;
 
     // Line 8: restore the process state (cost modeled by host speed).
-    let bytes = state_bytes.expect("loop exits only with state");
-    let state = ProcessState::restore(&bytes)?;
-    let speed = p.cell.host_spec().map(|h| h.speed).unwrap_or(1.0);
-    let restore_modeled_s = cost.restore_seconds(bytes.len(), speed);
-    let nap = p.cell.time_scale().real(restore_modeled_s);
-    if !nap.is_zero() {
-        std::thread::sleep(nap);
-    }
-    p.cell.trace(EventKind::StateRestored { bytes: bytes.len() });
+    // The chunked path already decoded and napped incrementally while
+    // the stream was in flight; the monolithic path restores here.
+    let (state, state_len) = match (mono_bytes, restored) {
+        (Some(bytes), _) => {
+            let state = ProcessState::restore(&bytes)?;
+            restore_modeled_s = cost.restore_seconds(bytes.len(), speed);
+            let nap = p.cell.time_scale().real(restore_modeled_s);
+            if !nap.is_zero() {
+                std::thread::sleep(nap);
+            }
+            (state, bytes.len())
+        }
+        (None, Some((state, len))) => (state, len),
+        (None, None) => unreachable!("loop exits only with state"),
+    };
+    p.cell.trace(EventKind::StateRestored { bytes: state_len });
     Ok((p, state, restore_modeled_s))
 }

@@ -10,7 +10,7 @@
 use crate::error::ProtoError;
 use crate::rml::Rml;
 use bytes::Bytes;
-use snow_state::StateCostModel;
+use snow_state::{PipelineConfig, StateCostModel};
 use snow_trace::EventKind;
 use snow_vm::process::EnvError;
 use snow_vm::wire::{ConnReqMsg, Ctrl, ExeStatus, SchedReply, SchedRequest};
@@ -62,8 +62,29 @@ pub(crate) enum Event {
     EndOfMessages(Rank),
     /// The forwarded received-message-list (initialization only).
     StateBatch(Vec<Envelope>),
-    /// The canonical exe+mem state (initialization only).
+    /// The canonical exe+mem state as one monolithic frame
+    /// (initialization only).
     State(Bytes),
+    /// One chunk of a pipelined exe+mem state stream (initialization
+    /// only).
+    StateChunk {
+        /// Position in the stream (0 = header chunk).
+        seq: u32,
+        /// FNV-1a of `bytes`.
+        checksum: u64,
+        /// The chunk's slice of the canonical state body.
+        bytes: Bytes,
+    },
+    /// The digest frame closing a pipelined state stream
+    /// (initialization only).
+    StateDigest {
+        /// Whole-body FNV-1a.
+        digest: u64,
+        /// Chunk count the source sent.
+        chunks: u32,
+        /// Total body bytes the source sent.
+        total_bytes: u64,
+    },
 }
 
 /// A SNOW application process: the paper's protocol endpoint.
@@ -84,6 +105,8 @@ pub struct SnowProcess {
     pub(crate) migrating: bool,
     /// State collect/restore cost model.
     pub(crate) cost: StateCostModel,
+    /// Chunked state-transfer knobs used by `migrate()`.
+    pub(crate) pipeline: PipelineConfig,
 }
 
 impl SnowProcess {
@@ -101,7 +124,14 @@ impl SnowProcess {
             migrate_pending: false,
             migrating: false,
             cost,
+            pipeline: PipelineConfig::default(),
         }
+    }
+
+    /// Override the chunked state-transfer configuration this process
+    /// will use when it migrates.
+    pub fn set_pipeline(&mut self, cfg: PipelineConfig) {
+        self.pipeline = cfg;
     }
 
     /// Install PL-table rows (rank → vmid). §2.1: "the PL table is
@@ -163,10 +193,7 @@ impl SnowProcess {
     /// Returns `Ok(None)` on a tick timeout so callers can run liveness
     /// checks; errors with [`ProtoError::Watchdog`] via
     /// [`Self::wait_event`].
-    pub(crate) fn next_event(
-        &mut self,
-        timeout: Duration,
-    ) -> Result<Option<Event>, ProtoError> {
+    pub(crate) fn next_event(&mut self, timeout: Duration) -> Result<Option<Event>, ProtoError> {
         let inc = match self.cell.recv_incoming_timeout(timeout) {
             Ok(Some(inc)) => inc,
             Ok(None) => return Ok(None),
@@ -200,6 +227,24 @@ impl SnowProcess {
                 }
                 Payload::RmlBatch(batch) => Event::StateBatch(batch),
                 Payload::ExeMemState(bytes) => Event::State(bytes),
+                Payload::ExeMemStateChunk {
+                    seq,
+                    checksum,
+                    bytes,
+                } => Event::StateChunk {
+                    seq,
+                    checksum,
+                    bytes,
+                },
+                Payload::ExeMemStateDigest {
+                    digest,
+                    chunks,
+                    total_bytes,
+                } => Event::StateDigest {
+                    digest,
+                    chunks,
+                    total_bytes,
+                },
             },
             Incoming::Ctrl(ctrl) => match ctrl {
                 Ctrl::ConnReq(req) => {
@@ -227,9 +272,7 @@ impl SnowProcess {
                     self.pl.insert(peer_rank, peer_vmid);
                     // Crossing-request dedup: the first established
                     // channel wins so each direction stays on one wire.
-                    if let std::collections::hash_map::Entry::Vacant(e) =
-                        self.cc.entry(peer_rank)
-                    {
+                    if let std::collections::hash_map::Entry::Vacant(e) = self.cc.entry(peer_rank) {
                         e.insert(data_to_granter);
                         self.trace(EventKind::ChannelOpen { peer: peer_rank });
                     }
@@ -589,6 +632,8 @@ impl SnowProcess {
     /// Graceful termination: tells the scheduler this rank is done
     /// (peers that later try to reach it get "destination terminated").
     pub fn finish(self) {
-        let _ = self.cell.sched_send(SchedRequest::Terminated { rank: self.rank });
+        let _ = self
+            .cell
+            .sched_send(SchedRequest::Terminated { rank: self.rank });
     }
 }

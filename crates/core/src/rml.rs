@@ -46,9 +46,10 @@ impl Rml {
     /// a wildcard) and remove it (Fig 4 lines 2–3). Matching is
     /// first-match-in-order, which preserves per-source FIFO.
     pub fn take_match(&mut self, src: Option<Rank>, tag: Option<Tag>) -> Option<Envelope> {
-        let pos = self.list.iter().position(|e| {
-            src.is_none_or(|s| e.src == s) && tag.is_none_or(|t| e.tag == t)
-        })?;
+        let pos = self
+            .list
+            .iter()
+            .position(|e| src.is_none_or(|s| e.src == s) && tag.is_none_or(|t| e.tag == t))?;
         self.list.remove(pos)
     }
 
@@ -169,6 +170,9 @@ mod tests {
         let mut rml = Rml::new();
         rml.append(env(0, 0, 1));
         rml.append(env(0, 0, 2));
-        assert_eq!(rml.total_bytes(), 2 * (1 + snow_vm::wire::ENVELOPE_OVERHEAD_BYTES));
+        assert_eq!(
+            rml.total_bytes(),
+            2 * (1 + snow_vm::wire::ENVELOPE_OVERHEAD_BYTES)
+        );
     }
 }

@@ -16,7 +16,10 @@ fn probe_does_not_consume() {
             // poll until the message shows up.
             let deadline = std::time::Instant::now() + Duration::from_secs(5);
             while !p.probe(Some(1), Some(7)).unwrap() {
-                assert!(std::time::Instant::now() < deadline, "message never arrived");
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "message never arrived"
+                );
                 std::thread::sleep(Duration::from_millis(1));
             }
             assert!(p.probe(Some(1), Some(7)).unwrap(), "probe must not consume");
@@ -166,8 +169,10 @@ fn interleaved_tag_streams_stay_fifo_per_tag() {
         }
         1 => {
             for i in 0..N {
-                p.send(0, 1, Bytes::copy_from_slice(&i.to_be_bytes())).unwrap();
-                p.send(0, 2, Bytes::copy_from_slice(&i.to_be_bytes())).unwrap();
+                p.send(0, 1, Bytes::copy_from_slice(&i.to_be_bytes()))
+                    .unwrap();
+                p.send(0, 2, Bytes::copy_from_slice(&i.to_be_bytes()))
+                    .unwrap();
             }
             p.finish();
         }

@@ -95,39 +95,37 @@ fn sender_migrates_mid_stream() {
     let comp = Computation::builder().hosts(HostSpec::ideal(), 3).build();
     let spare = comp.hosts()[2];
 
-    let handles = comp.launch(2, move |mut p, start| {
-        match (p.rank(), start) {
-            (0, Start::Fresh) => {
-                for i in 0..ROUNDS {
-                    let (_s, _t, body) = p.recv(Some(1), None).unwrap();
-                    let got = u64::from_be_bytes(body[..8].try_into().unwrap());
-                    assert_eq!(got, i, "sender migration broke ordering");
-                }
-                p.finish();
+    let handles = comp.launch(2, move |mut p, start| match (p.rank(), start) {
+        (0, Start::Fresh) => {
+            for i in 0..ROUNDS {
+                let (_s, _t, body) = p.recv(Some(1), None).unwrap();
+                let got = u64::from_be_bytes(body[..8].try_into().unwrap());
+                assert_eq!(got, i, "sender migration broke ordering");
             }
-            (1, Start::Fresh) => {
-                for i in 0..MIGRATE_AT {
-                    p.send(0, 1, Bytes::copy_from_slice(&i.to_be_bytes()))
-                        .unwrap();
-                }
-                await_migration(&mut p);
-                let state = ProcessState::new(
-                    ExecState::at_entry().with_local("i", Value::U64(MIGRATE_AT)),
-                    MemoryGraph::new(),
-                );
-                p.migrate(&state).unwrap();
-            }
-            (1, Start::Resumed(state)) => {
-                let from = state.exec.local("i").and_then(Value::as_u64).unwrap();
-                assert_eq!(from, MIGRATE_AT);
-                for i in from..ROUNDS {
-                    p.send(0, 1, Bytes::copy_from_slice(&i.to_be_bytes()))
-                        .unwrap();
-                }
-                p.finish();
-            }
-            _ => unreachable!(),
+            p.finish();
         }
+        (1, Start::Fresh) => {
+            for i in 0..MIGRATE_AT {
+                p.send(0, 1, Bytes::copy_from_slice(&i.to_be_bytes()))
+                    .unwrap();
+            }
+            await_migration(&mut p);
+            let state = ProcessState::new(
+                ExecState::at_entry().with_local("i", Value::U64(MIGRATE_AT)),
+                MemoryGraph::new(),
+            );
+            p.migrate(&state).unwrap();
+        }
+        (1, Start::Resumed(state)) => {
+            let from = state.exec.local("i").and_then(Value::as_u64).unwrap();
+            assert_eq!(from, MIGRATE_AT);
+            for i in from..ROUNDS {
+                p.send(0, 1, Bytes::copy_from_slice(&i.to_be_bytes()))
+                    .unwrap();
+            }
+            p.finish();
+        }
+        _ => unreachable!(),
     });
 
     comp.migrate(1, spare).expect("migration commits");

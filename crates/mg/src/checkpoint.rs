@@ -68,7 +68,10 @@ impl MgCheckpoint {
             })
             .ok_or("missing MG state root node")?;
         let u_node = state.memory.follow(root, 0).ok_or("missing slab edge")?;
-        let res_node = state.memory.follow(root, 1).ok_or("missing residual edge")?;
+        let res_node = state
+            .memory
+            .follow(root, 1)
+            .ok_or("missing residual edge")?;
         let u_raw = match state.memory.payload(u_node) {
             Some(Value::F64Array(a)) => a.clone(),
             other => return Err(format!("bad slab payload: {other:?}")),

@@ -141,10 +141,7 @@ impl Comm for SnowComm {
 
     fn recv_any_f64(&mut self, tag: i32) -> Result<(usize, Vec<f64>), String> {
         let t0 = Instant::now();
-        let (src, _tag, body) = self
-            .p
-            .recv(None, Some(tag))
-            .map_err(|e| e.to_string())?;
+        let (src, _tag, body) = self.p.recv(None, Some(tag)).map_err(|e| e.to_string())?;
         let out = bytes_to_f64s(&body)?;
         self.stats.add_recv(t0.elapsed());
         Ok((src, out))

@@ -37,4 +37,6 @@ pub mod workloads;
 pub use checkpoint::MgCheckpoint;
 pub use comm::{Comm, CommStats, RawComm, RawNetwork, SnowComm};
 pub use grid::Slab;
-pub use vcycle::{mg_app, mg_app_instrumented, plane_bytes, run_mg, MgConfig, MgOutcome, MgResult, MgResults};
+pub use vcycle::{
+    mg_app, mg_app_instrumented, plane_bytes, run_mg, MgConfig, MgOutcome, MgResult, MgResults,
+};

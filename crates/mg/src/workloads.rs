@@ -317,7 +317,10 @@ mod tests {
                 }
             }));
         }
-        let results: Vec<_> = handles.into_iter().filter_map(|h| h.join().unwrap()).collect();
+        let results: Vec<_> = handles
+            .into_iter()
+            .filter_map(|h| h.join().unwrap())
+            .collect();
         assert_eq!(results[0].len(), 5);
     }
 

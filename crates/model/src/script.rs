@@ -81,7 +81,11 @@ pub fn ring_programs(n: usize, k: usize) -> Vec<Program> {
         .map(|r| {
             let mut p = Program::new();
             for _ in 0..k {
-                p = p.send((r + 1) % n, 7).poll().recv(Some((r + n - 1) % n), Some(7)).poll();
+                p = p
+                    .send((r + 1) % n, 7)
+                    .poll()
+                    .recv(Some((r + n - 1) % n), Some(7))
+                    .poll();
             }
             p
         })

@@ -268,9 +268,10 @@ impl World {
     }
 
     fn rml_take(&mut self, i: Inc, from: Option<usize>, tag: Option<i32>) -> Option<Msg> {
-        let pos = self.procs[i].rml.iter().position(|m| {
-            from.is_none_or(|f| m.src_rank == f) && tag.is_none_or(|t| m.tag == t)
-        })?;
+        let pos = self.procs[i]
+            .rml
+            .iter()
+            .position(|m| from.is_none_or(|f| m.src_rank == f) && tag.is_none_or(|t| m.tag == t))?;
         self.procs[i].rml.remove(pos)
     }
 
@@ -331,11 +332,7 @@ impl World {
             }
             // Drain that peer's channel into the RML until its marker.
             loop {
-                let Some(msg) = self
-                    .queues
-                    .get_mut(&(m, i))
-                    .and_then(VecDeque::pop_front)
-                else {
+                let Some(msg) = self.queues.get_mut(&(m, i)).and_then(VecDeque::pop_front) else {
                     return Err(self.err(format!(
                         "disconnection handler of rank {} starved waiting for {m}'s marker",
                         self.procs[i].rank
@@ -358,8 +355,7 @@ impl World {
         let my_rank = self.procs[i].rank;
         // migration_start handshake: from now on lookups redirect.
         self.location[my_rank] = new_inc;
-        let channels: Vec<(usize, Inc)> = self
-            .procs[i]
+        let channels: Vec<(usize, Inc)> = self.procs[i]
             .channels
             .iter()
             .map(|(r, inc)| (*r, *inc))
@@ -527,9 +523,9 @@ impl World {
                             // scope, needed for quiescence). The PL never
                             // flipped, so nothing was redirected there.
                             if !self.procs[new_inc].rml.is_empty() {
-                                return Err(self.err(
-                                    "aborted initialized process had buffered messages",
-                                ));
+                                return Err(
+                                    self.err("aborted initialized process had buffered messages")
+                                );
                             }
                             self.procs[new_inc].status = Status::Dead;
                         }
@@ -562,8 +558,10 @@ impl World {
                     .and_then(VecDeque::pop_front)
                     .ok_or_else(|| self.err("empty queue chosen"))?;
                 self.classify(i, msg)?;
-                if let Some(Op::Recv { from, tag }) =
-                    self.programs[self.procs[i].rank].ops.get(self.procs[i].pc).copied()
+                if let Some(Op::Recv { from, tag }) = self.programs[self.procs[i].rank]
+                    .ops
+                    .get(self.procs[i].pc)
+                    .copied()
                 {
                     if let Some(m) = self.rml_take(i, from, tag) {
                         self.consume(i, &m)?;

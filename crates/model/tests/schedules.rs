@@ -20,7 +20,10 @@ fn sweep_canonical_shapes() {
         let r = explore(&programs, &migs, 400, 0xfeed).unwrap();
         total_steps += r.steps;
     }
-    assert!(total_steps > 10_000, "exploration actually ran: {total_steps}");
+    assert!(
+        total_steps > 10_000,
+        "exploration actually ran: {total_steps}"
+    );
 }
 
 /// Generate balanced random programs: a random multiset of (src → dst,
@@ -43,8 +46,9 @@ fn arb_balanced_programs(n: usize) -> impl Strategy<Value = Vec<Program>> {
             for (s, &k) in per_src.iter().enumerate() {
                 for _ in 0..k {
                     let tag = (s * n + d) as i32;
-                    programs[d] =
-                        std::mem::take(&mut programs[d]).recv(Some(s), Some(tag)).poll();
+                    programs[d] = std::mem::take(&mut programs[d])
+                        .recv(Some(s), Some(tag))
+                        .poll();
                 }
             }
         }

@@ -174,9 +174,7 @@ impl<T> Duplex<T> {
                 None => match self.rx.recv_deadline(deadline) {
                     Ok(f) => f,
                     Err(RecvTimeoutError::Timeout) => return Err(RecvTimeout::Timeout),
-                    Err(RecvTimeoutError::Disconnected) => {
-                        return Err(RecvTimeout::Disconnected)
-                    }
+                    Err(RecvTimeoutError::Disconnected) => return Err(RecvTimeout::Disconnected),
                 },
             }
         };
@@ -300,14 +298,18 @@ mod tests {
         assert!(t0.elapsed() < Duration::from_millis(2));
         assert_eq!(b.recv().unwrap(), 1);
         // Receiver saw ~modeled * scale delay:
-        assert!(t0.elapsed() >= Duration::from_millis(4), "{:?}", t0.elapsed());
+        assert!(
+            t0.elapsed() >= Duration::from_millis(4),
+            "{:?}",
+            t0.elapsed()
+        );
     }
 
     #[test]
     fn undeliverable_frame_parked_not_lost() {
         let (a, b) = Duplex::<u32>::pair(LinkModel::ETHERNET_10M, TimeScale::MILLI);
         a.send(1, 5_000_000).unwrap(); // ~5ms modeled delivery
-        // A zero timeout cannot deliver it, but it must not be dropped.
+                                       // A zero timeout cannot deliver it, but it must not be dropped.
         assert_eq!(b.recv_timeout(Duration::ZERO), Err(RecvTimeout::Timeout));
         assert_eq!(b.recv().unwrap(), 1);
     }

@@ -27,8 +27,7 @@ pub struct SchedClient {
 impl SchedClient {
     /// Create a client against a running environment.
     pub fn new(vm: &VirtualMachine) -> Self {
-        let (reply_tx, post) =
-            Post::channel(LinkModel::INSTANT, vm.shared().time_scale());
+        let (reply_tx, post) = Post::channel(LinkModel::INSTANT, vm.shared().time_scale());
         SchedClient {
             shared: Arc::clone(vm.shared()),
             reply_tx,
@@ -88,9 +87,11 @@ impl SchedClient {
         })?;
         loop {
             match self.recv_reply()? {
-                SchedReply::Location { about, status, vmid } if about == rank => {
-                    return Ok((status, vmid))
-                }
+                SchedReply::Location {
+                    about,
+                    status,
+                    vmid,
+                } if about == rank => return Ok((status, vmid)),
                 SchedReply::Error { reason } => return Err(reason),
                 _ => continue,
             }
@@ -150,7 +151,15 @@ mod tests {
     fn client_without_scheduler_errors() {
         let vm = VirtualMachine::ideal();
         let client = SchedClient::new(&vm);
-        assert!(client.register(0, Vmid { host: HostId(0), pid: 0 }).is_err());
+        assert!(client
+            .register(
+                0,
+                Vmid {
+                    host: HostId(0),
+                    pid: 0
+                }
+            )
+            .is_err());
     }
 
     #[test]

@@ -117,11 +117,7 @@ impl Directory for TwoLevelDirectory {
     }
 
     fn entries(&self) -> Vec<(Rank, PlEntry)> {
-        let mut all: Vec<(Rank, PlEntry)> = self
-            .domains
-            .iter()
-            .flat_map(|d| d.entries())
-            .collect();
+        let mut all: Vec<(Rank, PlEntry)> = self.domains.iter().flat_map(|d| d.entries()).collect();
         all.sort_by_key(|(r, _)| *r);
         all
     }

@@ -33,7 +33,9 @@ pub mod records;
 pub mod scheduler;
 
 pub use client::SchedClient;
+pub use directory::TwoLevelDirectory;
 pub use directory::{CentralTable, Directory, PlEntry};
 pub use records::{MigrationPhase, MigrationRecord};
-pub use directory::TwoLevelDirectory;
-pub use scheduler::{spawn_scheduler, spawn_scheduler_with_directory, ProcessImage, SchedulerHandle};
+pub use scheduler::{
+    spawn_scheduler, spawn_scheduler_with_directory, ProcessImage, SchedulerHandle,
+};

@@ -96,7 +96,14 @@ impl SchedState {
                     ),
                     None => (ExeStatus::Terminated, None),
                 };
-                self.reply(&reply, SchedReply::Location { about, status, vmid });
+                self.reply(
+                    &reply,
+                    SchedReply::Location {
+                        about,
+                        status,
+                        vmid,
+                    },
+                );
             }
             SchedRequest::Migrate {
                 rank,
@@ -282,11 +289,7 @@ impl SchedState {
 
 /// Spawn the scheduler on `host` and install it in the environment,
 /// using the default centralized PL table.
-pub fn spawn_scheduler(
-    vm: &VirtualMachine,
-    host: HostId,
-    image: ProcessImage,
-) -> SchedulerHandle {
+pub fn spawn_scheduler(vm: &VirtualMachine, host: HostId, image: ProcessImage) -> SchedulerHandle {
     spawn_scheduler_with_directory(vm, host, image, Box::new(CentralTable::new()))
 }
 
@@ -447,7 +450,8 @@ mod tests {
                 }
                 other => panic!("expected PL table, got {other:?}"),
             }
-            cell.sched_send(SchedRequest::MigrationCommit { rank }).unwrap();
+            cell.sched_send(SchedRequest::MigrationCommit { rank })
+                .unwrap();
         });
         let sched = spawn_scheduler(&vm, h0, image);
         let client = SchedClient::new(&vm);
@@ -508,6 +512,9 @@ mod tests {
         // Give the scheduler a beat to open the in-flight entry.
         std::thread::sleep(std::time::Duration::from_millis(50));
         let err = client.migrate(0, h).unwrap_err();
-        assert!(err.contains("migrating") || err.contains("not running"), "{err}");
+        assert!(
+            err.contains("migrating") || err.contains("not running"),
+            "{err}"
+        );
     }
 }

@@ -55,7 +55,9 @@ pub use snow_vm as vm;
 
 /// The common imports for applications.
 pub mod prelude {
-    pub use snow_core::{Computation, ProtoError, SnowProcess, Start};
+    pub use snow_core::{
+        Computation, MigrationTimings, PipelineConfig, ProtoError, SnowProcess, Start,
+    };
     pub use snow_net::{LinkModel, TimeScale};
     pub use snow_state::{ExecState, MemoryGraph, ProcessState, StateCostModel};
     pub use snow_trace::{SpaceTime, Tracer};

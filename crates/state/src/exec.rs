@@ -66,10 +66,7 @@ impl ExecState {
                 ),
             ),
             ("poll_point".to_string(), Value::U64(self.poll_point as u64)),
-            (
-                "locals".to_string(),
-                Value::Record(self.locals.clone()),
-            ),
+            ("locals".to_string(), Value::Record(self.locals.clone())),
         ])
     }
 

@@ -22,15 +22,23 @@
 //! * [`cost`] — the collect/transfer/restore cost model calibrated from
 //!   Tables 1–2 of the paper (Ultra 5 collects ~7.5 MB in 0.73 s, the
 //!   DEC 5000/120 in 5.209 s).
+//! * [`pipeline`] — chunked, worker-pool state collection and
+//!   incremental restore, so collect/transmit/restore overlap instead of
+//!   running strictly serially.
 
 #![warn(missing_docs)]
 
 pub mod cost;
 pub mod exec;
 pub mod memory;
+pub mod pipeline;
 pub mod snapshot;
 
 pub use cost::StateCostModel;
 pub use exec::ExecState;
 pub use memory::{MemoryGraph, NodeId};
-pub use snapshot::{ProcessState, StateError};
+pub use pipeline::{
+    collect_chunks, pipelined_makespan, stream_chunks, ChunkStreamSummary, ChunkedRestorer,
+    PipelineConfig, StateChunk,
+};
+pub use snapshot::{fnv1a, fnv1a_with_seed, ProcessState, StateError, FNV_OFFSET};

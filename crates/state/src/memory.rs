@@ -99,23 +99,55 @@ impl MemoryGraph {
     /// are compacted to dense indices in id order (relocation step).
     pub fn encode(&self) -> Vec<u8> {
         let mut w = WireWriter::with_capacity(self.payload_bytes() + 16 * self.len() + 8);
-        // Dense relocation map: position in id order.
-        let index: BTreeMap<NodeId, u64> = self
-            .nodes
+        self.encode_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// Encode into an existing writer — same canonical bytes as
+    /// [`MemoryGraph::encode`].
+    pub fn encode_into(&self, w: &mut WireWriter) {
+        let index = self.relocation_index();
+        w.put_uvarint(self.nodes.len() as u64);
+        self.encode_node_range(&index, 0..self.nodes.len(), w);
+    }
+
+    /// Dense relocation map: each node's position in id order. Shared by
+    /// the chunked encoder so every worker relocates pointers
+    /// identically.
+    pub(crate) fn relocation_index(&self) -> BTreeMap<NodeId, u64> {
+        self.nodes
             .keys()
             .enumerate()
             .map(|(i, id)| (*id, i as u64))
-            .collect();
-        w.put_uvarint(self.nodes.len() as u64);
-        for node in self.nodes.values() {
-            node.payload.encode_into(&mut w);
+            .collect()
+    }
+
+    /// Estimated encoded size of each node in id order (payload hint plus
+    /// edge framing) — the chunk partitioner's input.
+    pub(crate) fn node_size_hints(&self) -> Vec<usize> {
+        self.nodes
+            .values()
+            .map(|n| n.payload.encoded_size_hint() + 2 + 12 * n.edges.len())
+            .collect()
+    }
+
+    /// Encode nodes `range` (positions in id order) into `w`. The
+    /// concatenation of consecutive ranges covering `0..len` reproduces
+    /// the node section of [`MemoryGraph::encode`] byte for byte.
+    pub(crate) fn encode_node_range(
+        &self,
+        index: &BTreeMap<NodeId, u64>,
+        range: std::ops::Range<usize>,
+        w: &mut WireWriter,
+    ) {
+        for node in self.nodes.values().skip(range.start).take(range.len()) {
+            node.payload.encode_into(w);
             w.put_uvarint(node.edges.len() as u64);
             for (slot, target) in &node.edges {
                 w.put_uvarint(*slot as u64);
                 w.put_uvarint(index[target]);
             }
         }
-        w.into_bytes()
     }
 
     /// Decode canonical bytes. The rebuilt graph is isomorphic to the
@@ -179,9 +211,10 @@ impl MemoryGraph {
         self.nodes.values().zip(other.nodes.values()).all(|(a, b)| {
             a.payload == b.payload
                 && a.edges.len() == b.edges.len()
-                && a.edges.iter().zip(b.edges.iter()).all(
-                    |((sa, ta), (sb, tb))| sa == sb && ia[ta] == ib[tb],
-                )
+                && a.edges
+                    .iter()
+                    .zip(b.edges.iter())
+                    .all(|((sa, ta), (sb, tb))| sa == sb && ia[ta] == ib[tb])
         })
     }
 }
@@ -206,9 +239,7 @@ mod tests {
     #[test]
     fn linked_list_roundtrip() {
         let mut g = MemoryGraph::new();
-        let ids: Vec<NodeId> = (0..10)
-            .map(|i| g.add_node(Value::I64(i)))
-            .collect();
+        let ids: Vec<NodeId> = (0..10).map(|i| g.add_node(Value::I64(i))).collect();
         for w in ids.windows(2) {
             g.add_edge(w[0], 0, w[1]);
         }

@@ -17,6 +17,24 @@ pub enum StateError {
         /// Checksum recomputed from the payload.
         actual: u64,
     },
+    /// A state chunk arrived out of sequence (frames are FIFO per
+    /// channel, so this means chunks were dropped or duplicated).
+    ChunkSequence {
+        /// Sequence number the restorer expected next.
+        expected: u32,
+        /// Sequence number that actually arrived.
+        got: u32,
+    },
+    /// The digest frame closing a chunked stream disagreed with the
+    /// received chunks (whole-state digest, chunk count or byte total).
+    DigestMismatch {
+        /// Value carried in the digest frame.
+        expected: u64,
+        /// Value recomputed from the received chunks.
+        actual: u64,
+    },
+    /// A chunked stream ended while the state was still incomplete.
+    StreamIncomplete(&'static str),
 }
 
 impl std::fmt::Display for StateError {
@@ -27,6 +45,17 @@ impl std::fmt::Display for StateError {
                 f,
                 "state checksum mismatch: expected {expected:#x}, got {actual:#x}"
             ),
+            StateError::ChunkSequence { expected, got } => write!(
+                f,
+                "state chunk out of sequence: expected #{expected}, got #{got}"
+            ),
+            StateError::DigestMismatch { expected, actual } => write!(
+                f,
+                "state stream digest mismatch: expected {expected:#x}, got {actual:#x}"
+            ),
+            StateError::StreamIncomplete(what) => {
+                write!(f, "state stream ended early: {what}")
+            }
         }
     }
 }
@@ -39,12 +68,41 @@ impl From<CodecError> for StateError {
     }
 }
 
-/// FNV-1a, enough to catch transport corruption (not adversarial).
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in bytes {
-        h ^= *b as u64;
-        h = h.wrapping_mul(0x1000_0000_01b3);
+/// FNV-1a offset basis (the seed of a fresh digest).
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// FNV-1a over `bytes` — enough to catch transport corruption (not
+/// adversarial). Identical output to the textbook byte-at-a-time loop;
+/// see [`fnv1a_with_seed`] for the implementation notes.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_with_seed(FNV_OFFSET, bytes)
+}
+
+/// Continue an FNV-1a digest from `seed` over `bytes`. Folding a byte
+/// stream in arbitrary splits gives the same digest as hashing it whole
+/// — the chunked state transfer uses this to verify the reassembled
+/// stream against the monolithic checksum.
+///
+/// The body loads eight bytes per iteration and unrolls the fold, which
+/// removes per-byte bounds checks on the multi-megabyte snapshots the
+/// migration path hashes; the digest is bit-identical to the plain loop.
+pub fn fnv1a_with_seed(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    let mut words = bytes.chunks_exact(8);
+    for w in words.by_ref() {
+        let x = u64::from_le_bytes(w.try_into().unwrap());
+        h = (h ^ (x & 0xff)).wrapping_mul(FNV_PRIME);
+        h = (h ^ ((x >> 8) & 0xff)).wrapping_mul(FNV_PRIME);
+        h = (h ^ ((x >> 16) & 0xff)).wrapping_mul(FNV_PRIME);
+        h = (h ^ ((x >> 24) & 0xff)).wrapping_mul(FNV_PRIME);
+        h = (h ^ ((x >> 32) & 0xff)).wrapping_mul(FNV_PRIME);
+        h = (h ^ ((x >> 40) & 0xff)).wrapping_mul(FNV_PRIME);
+        h = (h ^ ((x >> 48) & 0xff)).wrapping_mul(FNV_PRIME);
+        h = (h ^ (x >> 56)).wrapping_mul(FNV_PRIME);
+    }
+    for &b in words.remainder() {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
     }
     h
 }
@@ -73,19 +131,42 @@ impl ProcessState {
         }
     }
 
-    /// *Collect* the state into canonical bytes (the source half of the
-    /// heterogeneous transfer). Layout: checksum ‖ exec ‖ memory.
-    pub fn collect(&self) -> Vec<u8> {
+    /// Canonical *body* bytes, without the leading checksum. Layout:
+    /// `uvarint(len(exec)) ‖ exec ‖ memory`, where the memory section
+    /// runs to the end of the body with no length prefix — so it can be
+    /// produced and consumed as a stream of node chunks (see
+    /// [`crate::pipeline`]) without knowing its total size up front.
+    pub fn collect_body(&self) -> Vec<u8> {
         let exec = self.exec.encode();
-        let mem = self.memory.encode();
-        let mut body = WireWriter::with_capacity(exec.len() + mem.len() + 24);
-        body.put_bytes(&exec);
-        body.put_bytes(&mem);
-        let body = body.into_bytes();
+        let mut w = WireWriter::with_capacity(
+            exec.len() + self.memory.payload_bytes() + 16 * self.memory.len() + 24,
+        );
+        w.put_bytes(&exec);
+        self.memory.encode_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// *Collect* the state into canonical bytes (the source half of the
+    /// heterogeneous transfer). Layout: checksum ‖ body (see
+    /// [`ProcessState::collect_body`]).
+    pub fn collect(&self) -> Vec<u8> {
+        let body = self.collect_body();
         let mut w = WireWriter::with_capacity(body.len() + 8);
         w.put_u64(fnv1a(&body));
         w.put_raw(&body);
         w.into_bytes()
+    }
+
+    /// Decode canonical *body* bytes (no checksum prefix) — the inverse
+    /// of [`ProcessState::collect_body`].
+    pub fn restore_body(body: &[u8]) -> Result<Self, StateError> {
+        let mut br = WireReader::new(body);
+        let exec_bytes = br.get_bytes()?;
+        let mem_bytes = br.get_raw(br.remaining())?;
+        Ok(ProcessState {
+            exec: ExecState::decode(exec_bytes)?,
+            memory: MemoryGraph::decode(mem_bytes)?,
+        })
     }
 
     /// *Restore* the state from canonical bytes (the destination half).
@@ -97,14 +178,7 @@ impl ProcessState {
         if actual != expected {
             return Err(StateError::ChecksumMismatch { expected, actual });
         }
-        let mut br = WireReader::new(body);
-        let exec_bytes = br.get_bytes()?;
-        let mem_bytes = br.get_bytes()?;
-        br.finish()?;
-        Ok(ProcessState {
-            exec: ExecState::decode(exec_bytes)?,
-            memory: MemoryGraph::decode(mem_bytes)?,
-        })
+        Self::restore_body(body)
     }
 
     /// Pad the heap with an opaque block so the collected size reaches at
@@ -115,8 +189,15 @@ impl ProcessState {
         if current < target_bytes {
             // A Bytes block encodes with a handful of framing bytes; add
             // a small safety margin so we land at or just above target.
-            let deficit = target_bytes - current + 16;
-            self.memory.add_node(Value::Bytes(vec![0xa5; deficit]));
+            // Padding is split into 64 KiB blocks — real heaps are many
+            // objects, and whole-node chunking can then fragment them.
+            const BLOCK: usize = 64 * 1024;
+            let mut deficit = target_bytes - current + 16;
+            while deficit > 0 {
+                let n = deficit.min(BLOCK);
+                self.memory.add_node(Value::Bytes(vec![0xa5; n]));
+                deficit -= n;
+            }
         }
     }
 
@@ -141,6 +222,38 @@ mod tests {
         let hdr = mem.add_node(Value::Str("grid".into()));
         mem.add_edge(hdr, 0, grid);
         ProcessState::new(exec, mem)
+    }
+
+    #[test]
+    fn fnv1a_matches_published_vectors() {
+        // Official FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn fnv1a_unrolled_matches_plain_loop() {
+        // Lengths around the 8-byte unroll boundary, bytes with all
+        // values represented.
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 255, 256, 1031] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+            let mut plain: u64 = FNV_OFFSET;
+            for &b in &data {
+                plain = (plain ^ b as u64).wrapping_mul(0x100_0000_01b3);
+            }
+            assert_eq!(fnv1a(&data), plain, "len {len}");
+        }
+    }
+
+    #[test]
+    fn fnv1a_seeded_fold_equals_whole() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let whole = fnv1a(&data);
+        for split in [0usize, 1, 7, 8, 100, 999, 1000] {
+            let partial = fnv1a_with_seed(fnv1a(&data[..split]), &data[split..]);
+            assert_eq!(partial, whole, "split {split}");
+        }
     }
 
     #[test]

@@ -133,6 +133,23 @@ pub enum EventKind {
         /// Their total payload bytes.
         bytes: usize,
     },
+    /// One chunk of the pipelined state stream left the source — the
+    /// chunked refinement of Fig 5 lines 9–10, where collection of the
+    /// next chunk overlaps transmission of this one.
+    StateChunkSent {
+        /// Position in the stream (0 = header chunk).
+        seq: u32,
+        /// Chunk payload bytes.
+        bytes: usize,
+    },
+    /// One chunk of the pipelined state stream was verified and decoded
+    /// at the destination — restore overlapping transmission.
+    StateChunkRestored {
+        /// Position in the stream.
+        seq: u32,
+        /// Chunk payload bytes.
+        bytes: usize,
+    },
     /// Execution + memory state collection finished (Fig 5 line 9).
     StateCollected {
         /// Canonical state size in bytes.
@@ -188,6 +205,8 @@ impl EventKind {
             EventKind::PeerMigratingSeen { .. } => 'p',
             EventKind::EndOfMessages { .. } => 'e',
             EventKind::RmlForwarded { .. } => 'F',
+            EventKind::StateChunkSent { .. } => 'k',
+            EventKind::StateChunkRestored { .. } => 'v',
             EventKind::StateCollected { .. } => 'K',
             EventKind::StateTransmitted { .. } => 'T',
             EventKind::StateRestored { .. } => 'V',

@@ -23,7 +23,10 @@ impl Breakdown {
 
     /// Record one sample (in seconds) for `phase`.
     pub fn add(&mut self, phase: &str, seconds: f64) {
-        self.phases.entry(phase.to_string()).or_default().push(seconds);
+        self.phases
+            .entry(phase.to_string())
+            .or_default()
+            .push(seconds);
     }
 
     /// Record a [`Duration`] sample.
@@ -69,8 +72,18 @@ impl Breakdown {
     pub fn to_table(&self, title: &str) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "{title}");
-        let w = self.phases.keys().map(|k| k.len()).max().unwrap_or(5).max(5);
-        let _ = writeln!(out, "{:>w$}  {:>10}  {:>10}  {:>10}  {:>4}", "phase", "mean(s)", "min(s)", "max(s)", "n");
+        let w = self
+            .phases
+            .keys()
+            .map(|k| k.len())
+            .max()
+            .unwrap_or(5)
+            .max(5);
+        let _ = writeln!(
+            out,
+            "{:>w$}  {:>10}  {:>10}  {:>10}  {:>4}",
+            "phase", "mean(s)", "min(s)", "max(s)", "n"
+        );
         for k in self.phases.keys() {
             let mean = self.mean(k).unwrap_or(f64::NAN);
             let (lo, hi) = self.min_max(k).unwrap_or((f64::NAN, f64::NAN));
@@ -91,7 +104,10 @@ impl Breakdown {
             obj.push((
                 k.clone(),
                 JsonValue::Object(vec![
-                    ("mean".into(), JsonValue::Num(self.mean(k).unwrap_or(f64::NAN))),
+                    (
+                        "mean".into(),
+                        JsonValue::Num(self.mean(k).unwrap_or(f64::NAN)),
+                    ),
                     ("min".into(), JsonValue::Num(lo)),
                     ("max".into(), JsonValue::Num(hi)),
                     ("n".into(), JsonValue::Num(self.count(k) as f64)),
@@ -129,7 +145,6 @@ impl std::fmt::Display for JsonValue {
 }
 
 impl JsonValue {
-
     fn write(&self, out: &mut String) {
         match self {
             JsonValue::Null => out.push_str("null"),

@@ -82,12 +82,7 @@ impl SpaceTime {
             }
         }
         for e in &events {
-            if let EventKind::RecvDone {
-                msg,
-                from_rml,
-                ..
-            } = &e.kind
-            {
+            if let EventKind::RecvDone { msg, from_rml, .. } = &e.kind {
                 if let Some(line) = sends.get_mut(msg) {
                     // First receive wins; duplicates would be a protocol
                     // bug surfaced by `duplicate_receives`.
@@ -192,13 +187,7 @@ impl SpaceTime {
     pub fn render(&self, width: usize) -> String {
         let width = width.max(10);
         let t_max = self.events.last().map(|e| e.t_ns).unwrap_or(0).max(1);
-        let label_w = self
-            .lanes
-            .iter()
-            .map(|l| l.len())
-            .max()
-            .unwrap_or(4)
-            .max(4);
+        let label_w = self.lanes.iter().map(|l| l.len()).max().unwrap_or(4).max(4);
 
         let mut out = String::new();
         let _ = writeln!(
@@ -215,11 +204,7 @@ impl SpaceTime {
                 let idx = ((e.t_ns as u128 * (width as u128 - 1)) / t_max as u128) as usize;
                 row[idx] = e.kind.glyph();
             }
-            let _ = writeln!(
-                out,
-                "{lane:>label_w$} |{}|",
-                row.iter().collect::<String>()
-            );
+            let _ = writeln!(out, "{lane:>label_w$} |{}|", row.iter().collect::<String>());
         }
         let _ = writeln!(
             out,
@@ -271,10 +256,7 @@ mod tests {
 
     #[test]
     fn matches_send_to_recv() {
-        let st = SpaceTime::build(vec![
-            send(10, "p0", 1, 1),
-            recv(50, "p1", 0, 1, false),
-        ]);
+        let st = SpaceTime::build(vec![send(10, "p0", 1, 1), recv(50, "p1", 0, 1, false)]);
         assert_eq!(st.lines().len(), 1);
         let l = &st.lines()[0];
         assert_eq!(l.from, "p0");

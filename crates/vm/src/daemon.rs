@@ -85,12 +85,8 @@ impl DaemonState {
     }
 
     fn nack(&self, req: &ConnReqMsg) {
-        self.tracer.record(
-            &self.label(),
-            EventKind::ConnNack {
-                to: req.from_rank,
-            },
-        );
+        self.tracer
+            .record(&self.label(), EventKind::ConnNack { to: req.from_rank });
         // Ignore failure: the requester itself may be gone.
         let _ = req.reply.send(
             Incoming::Ctrl(Ctrl::ConnNack {
@@ -208,10 +204,7 @@ mod tests {
     use snow_net::{LinkModel, TimeScale};
     use std::time::Duration;
 
-    fn mk_req(
-        req_id: u64,
-        target: Vmid,
-    ) -> (ConnReqMsg, Post<Incoming>) {
+    fn mk_req(req_id: u64, target: Vmid) -> (ConnReqMsg, Post<Incoming>) {
         let (reply, post) = Post::channel(LinkModel::INSTANT, TimeScale::ZERO);
         let req = ConnReqMsg {
             req_id,
@@ -321,19 +314,13 @@ mod tests {
         d.send(DaemonMsg::RouteConnReq(req));
         d.send(DaemonMsg::ConnReply {
             req_id: 11,
-            ctrl: Ctrl::ConnNack {
-                req_id: 11,
-                target,
-            },
+            ctrl: Ctrl::ConnNack { req_id: 11, target },
         });
         expect_nack(&reply_post, 11);
         // Second reply for the same id is dropped (record deleted).
         d.send(DaemonMsg::ConnReply {
             req_id: 11,
-            ctrl: Ctrl::ConnNack {
-                req_id: 11,
-                target,
-            },
+            ctrl: Ctrl::ConnNack { req_id: 11, target },
         });
         assert!(reply_post
             .recv_timeout(Duration::from_millis(50))

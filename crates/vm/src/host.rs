@@ -71,10 +71,7 @@ mod tests {
         let fast = HostSpec::ultra5();
         let slow = HostSpec::dec5000();
         assert!(fast.speed > slow.speed * 5.0);
-        assert!(
-            slow.uplink.transfer_seconds(1_000_000)
-                > fast.uplink.transfer_seconds(1_000_000)
-        );
+        assert!(slow.uplink.transfer_seconds(1_000_000) > fast.uplink.transfer_seconds(1_000_000));
     }
 
     #[test]

@@ -13,14 +13,19 @@
 //! [`LinkModel`]; delivery is delayed on the receive side so senders stay
 //! non-blocking (buffered-mode send semantics, §2.3).
 //!
-//! Modeled-delay caveat: the mailbox pops frames in arrival order, so a
-//! frame with a later modeled delivery time can momentarily head-of-line
-//! block one from a faster sender. Per-sender ordering — the property the
-//! protocol relies on — is unaffected.
+//! The receive side orders deliverable frames by modeled delivery time
+//! (earliest `deliver_at` first, arrival order breaking ties), so a slow
+//! sender's large frame never head-of-line blocks a small frame from a
+//! faster link. Per-sender FIFO — the property the protocol relies on —
+//! is preserved: each sender's wire serialises its frames, so its
+//! delivery times are non-decreasing, and ties fall back to arrival
+//! order, which the underlying queue keeps FIFO per sender.
 
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::Mutex;
 use snow_net::{LinkModel, TimeScale};
-use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -112,13 +117,79 @@ impl<T> PostSender<T> {
             .send(Timed { deliver_at, msg })
             .map_err(|_| InboxClosed)
     }
+}
 
+/// A frame staged on the receive side, ordered by modeled delivery time
+/// with arrival order breaking ties.
+struct Staged<T> {
+    deliver_at: Instant,
+    /// Arrival position at the inbox (assigned when the frame is pulled
+    /// off the queue). The queue is FIFO per sender, and each sender's
+    /// delivery times are non-decreasing, so this tie-break preserves
+    /// per-sender order.
+    arrival: u64,
+    msg: T,
+}
+
+impl<T> PartialEq for Staged<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.arrival == other.arrival
+    }
+}
+impl<T> Eq for Staged<T> {}
+impl<T> PartialOrd for Staged<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Staged<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deliver_at, self.arrival).cmp(&(other.deliver_at, other.arrival))
+    }
+}
+
+struct Stage<T> {
+    heap: BinaryHeap<Reverse<Staged<T>>>,
+    next_arrival: u64,
+}
+
+impl<T> Stage<T> {
+    fn push(&mut self, f: Timed<T>) {
+        let arrival = self.next_arrival;
+        self.next_arrival += 1;
+        self.heap.push(Reverse(Staged {
+            deliver_at: f.deliver_at,
+            arrival,
+            msg: f.msg,
+        }));
+    }
+
+    /// Pull everything already queued into the stage so the earliest
+    /// deliverable frame becomes visible. Returns `true` when every
+    /// sender is gone.
+    fn drain(&mut self, rx: &Receiver<Timed<T>>) -> bool {
+        loop {
+            match rx.try_recv() {
+                Ok(f) => self.push(f),
+                Err(TryRecvError::Empty) => return false,
+                Err(TryRecvError::Disconnected) => return true,
+            }
+        }
+    }
+
+    fn min_deliver_at(&self) -> Option<Instant> {
+        self.heap.peek().map(|Reverse(f)| f.deliver_at)
+    }
+
+    fn pop(&mut self) -> Option<T> {
+        self.heap.pop().map(|Reverse(f)| f.msg)
+    }
 }
 
 /// Receiving half: the process's inbox.
 pub struct Post<T> {
     rx: Receiver<Timed<T>>,
-    pending: Mutex<Option<Timed<T>>>,
+    stage: Mutex<Stage<T>>,
 }
 
 impl<T> std::fmt::Debug for Post<T> {
@@ -142,74 +213,122 @@ impl<T> Post<T> {
             },
             Post {
                 rx,
-                pending: Mutex::new(None),
+                stage: Mutex::new(Stage {
+                    heap: BinaryHeap::new(),
+                    next_arrival: 0,
+                }),
             },
         )
     }
 
-    fn deliver(&self, frame: Timed<T>) -> T {
-        let now = Instant::now();
-        if frame.deliver_at > now {
-            std::thread::sleep(frame.deliver_at - now);
-        }
-        frame.msg
-    }
-
-    /// Blocking receive.
+    /// Blocking receive: the staged frame with the earliest modeled
+    /// delivery time, waiting out its remaining delay. A frame arriving
+    /// meanwhile with an even earlier delivery time (a fast link
+    /// overtaking a slow one in the model) is delivered first.
     pub fn recv(&self) -> Result<T, InboxClosed> {
-        if let Some(f) = self.pending.lock().take() {
-            return Ok(self.deliver(f));
-        }
-        match self.rx.recv() {
-            Ok(f) => Ok(self.deliver(f)),
-            Err(_) => Err(InboxClosed),
+        loop {
+            let mut stage = self.stage.lock();
+            let disconnected = stage.drain(&self.rx);
+            match stage.min_deliver_at() {
+                None => {
+                    if disconnected {
+                        return Err(InboxClosed);
+                    }
+                    drop(stage);
+                    match self.rx.recv() {
+                        Ok(f) => self.stage.lock().push(f),
+                        Err(_) => return Err(InboxClosed),
+                    }
+                }
+                Some(at) => {
+                    if at <= Instant::now() {
+                        return Ok(stage.pop().expect("peeked frame"));
+                    }
+                    drop(stage);
+                    match self.rx.recv_deadline(at) {
+                        // A new frame may deliver earlier: re-evaluate.
+                        Ok(f) => self.stage.lock().push(f),
+                        // The staged minimum is now deliverable.
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => {
+                            // No further arrivals can overtake; wait out
+                            // the remaining modeled delay.
+                            let now = Instant::now();
+                            if at > now {
+                                std::thread::sleep(at - now);
+                            }
+                        }
+                    }
+                }
+            }
         }
     }
 
     /// Receive with a real-time deadline. A frame whose modeled delivery
-    /// time lies beyond the deadline is parked, preserving order.
+    /// time lies beyond the deadline is left staged, preserving order.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<T>, InboxClosed> {
         let deadline = Instant::now() + timeout;
-        let frame = {
-            let mut pending = self.pending.lock();
-            match pending.take() {
-                Some(f) => f,
-                None => match self.rx.recv_deadline(deadline) {
-                    Ok(f) => f,
-                    Err(RecvTimeoutError::Timeout) => return Ok(None),
-                    Err(RecvTimeoutError::Disconnected) => return Err(InboxClosed),
-                },
+        loop {
+            let mut stage = self.stage.lock();
+            let disconnected = stage.drain(&self.rx);
+            match stage.min_deliver_at() {
+                None => {
+                    if disconnected {
+                        return Err(InboxClosed);
+                    }
+                    drop(stage);
+                    match self.rx.recv_deadline(deadline) {
+                        Ok(f) => self.stage.lock().push(f),
+                        Err(RecvTimeoutError::Timeout) => return Ok(None),
+                        Err(RecvTimeoutError::Disconnected) => return Err(InboxClosed),
+                    }
+                }
+                Some(at) => {
+                    if at > deadline {
+                        // Undeliverable within the deadline: park it.
+                        return Ok(None);
+                    }
+                    let now = Instant::now();
+                    if at <= now {
+                        return Ok(Some(stage.pop().expect("peeked frame")));
+                    }
+                    drop(stage);
+                    match self.rx.recv_deadline(at) {
+                        Ok(f) => self.stage.lock().push(f),
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => {
+                            let now = Instant::now();
+                            if at > now {
+                                std::thread::sleep(at - now);
+                            }
+                        }
+                    }
+                }
             }
-        };
-        if frame.deliver_at > deadline {
-            *self.pending.lock() = Some(frame);
-            return Ok(None);
         }
-        Ok(Some(self.deliver(frame)))
     }
 
     /// Non-blocking receive of an already-deliverable frame.
     pub fn try_recv(&self) -> Result<Option<T>, InboxClosed> {
-        let mut pending = self.pending.lock();
-        let frame = match pending.take() {
-            Some(f) => f,
-            None => match self.rx.try_recv() {
-                Ok(f) => f,
-                Err(TryRecvError::Empty) => return Ok(None),
-                Err(TryRecvError::Disconnected) => return Err(InboxClosed),
-            },
-        };
-        if frame.deliver_at > Instant::now() {
-            *pending = Some(frame);
-            return Ok(None);
+        let mut stage = self.stage.lock();
+        let disconnected = stage.drain(&self.rx);
+        match stage.min_deliver_at() {
+            None if disconnected => Err(InboxClosed),
+            None => Ok(None),
+            Some(at) => {
+                if at <= Instant::now() {
+                    Ok(Some(stage.pop().expect("peeked frame")))
+                } else {
+                    Ok(None)
+                }
+            }
         }
-        drop(pending);
-        Ok(Some(self.deliver(frame)))
     }
 
-    /// Frames queued (including a parked one).
+    /// Frames queued (including staged ones awaiting their modeled
+    /// delivery time).
     pub fn backlog(&self) -> usize {
-        self.rx.len() + usize::from(self.pending.lock().is_some())
+        self.rx.len() + self.stage.lock().heap.len()
     }
 }
 
@@ -277,7 +396,11 @@ mod tests {
         }
         // Five 1 MB frames serialised over one wire at milli scale
         // (1 MB over 8 Mb/s = 1 modeled second = 1 ms real each).
-        assert!(t0.elapsed() >= Duration::from_millis(4), "{:?}", t0.elapsed());
+        assert!(
+            t0.elapsed() >= Duration::from_millis(4),
+            "{:?}",
+            t0.elapsed()
+        );
     }
 
     #[test]
@@ -299,6 +422,44 @@ mod tests {
         got.sort_unstable();
         got.dedup();
         assert_eq!(got.len(), 400);
+    }
+
+    #[test]
+    fn fast_frame_overtakes_slow_senders_frame() {
+        let (proto, rx) = Post::<u32>::channel(LinkModel::INSTANT, TimeScale::MILLI);
+        let slow = proto.with_link(LinkModel::ETHERNET_10M, TimeScale::MILLI);
+        let fast = proto.with_link(LinkModel::ETHERNET_100M, TimeScale::MILLI);
+        // The slow sender's 5 MB frame arrives at the inbox first but
+        // models ~4 s (→ 4 ms real) of transfer; the fast sender's tiny
+        // frame models well under a millisecond. Delivery must follow
+        // modeled time, not arrival order.
+        slow.send(1, 5_000_000).unwrap();
+        fast.send(2, 1_000).unwrap();
+        assert_eq!(rx.recv().unwrap(), 2, "fast link overtakes slow frame");
+        assert_eq!(rx.recv().unwrap(), 1);
+    }
+
+    #[test]
+    fn overtaking_preserves_per_sender_order() {
+        let (proto, rx) = Post::<u32>::channel(LinkModel::INSTANT, TimeScale::MILLI);
+        let slow = proto.with_link(LinkModel::ETHERNET_10M, TimeScale::MILLI);
+        let fast = proto.with_link(LinkModel::ETHERNET_100M, TimeScale::MILLI);
+        slow.send(10, 2_000_000).unwrap();
+        slow.send(11, 2_000_000).unwrap();
+        fast.send(20, 1_000).unwrap();
+        fast.send(21, 1_000).unwrap();
+        let got: Vec<u32> = (0..4).map(|_| rx.recv().unwrap()).collect();
+        let slow_pos: Vec<usize> = [10, 11]
+            .iter()
+            .map(|v| got.iter().position(|g| g == v).unwrap())
+            .collect();
+        let fast_pos: Vec<usize> = [20, 21]
+            .iter()
+            .map(|v| got.iter().position(|g| g == v).unwrap())
+            .collect();
+        assert!(slow_pos[0] < slow_pos[1], "{got:?}");
+        assert!(fast_pos[0] < fast_pos[1], "{got:?}");
+        assert_eq!(got[0], 20, "fast frames deliver first: {got:?}");
     }
 
     #[test]

@@ -117,7 +117,9 @@ impl ProcessCell {
 
     /// Blocking receive of the next data/control message.
     pub fn recv_incoming(&self) -> Result<Incoming, EnvError> {
-        self.inbox.recv().map_err(|InboxClosed| EnvError::InboxClosed)
+        self.inbox
+            .recv()
+            .map_err(|InboxClosed| EnvError::InboxClosed)
     }
 
     /// Timed receive.
@@ -210,10 +212,7 @@ impl ProcessCell {
 
     /// Fire-and-forget request to the scheduler.
     pub fn sched_send(&self, req: SchedRequest) -> Result<(), EnvError> {
-        let sched = self
-            .shared
-            .scheduler_vmid()
-            .ok_or(EnvError::NoScheduler)?;
+        let sched = self.shared.scheduler_vmid().ok_or(EnvError::NoScheduler)?;
         let addr = self
             .shared
             .registry()
@@ -265,10 +264,8 @@ mod tests {
         let h = vm.add_host(HostSpec::ideal());
         let (_v, handle) = vm
             .spawn(h, "p", move |cell| {
-                let (reply, _post) = crate::post::Post::channel(
-                    snow_net::LinkModel::INSTANT,
-                    TimeScale::ZERO,
-                );
+                let (reply, _post) =
+                    crate::post::Post::channel(snow_net::LinkModel::INSTANT, TimeScale::ZERO);
                 let bad_host = HostId(55);
                 let req = ConnReqMsg {
                     req_id: cell.next_req_id(),
@@ -281,10 +278,7 @@ mod tests {
                     reply: reply.clone(),
                     data_to_requester: reply,
                 };
-                assert_eq!(
-                    cell.route_conn_req(req),
-                    Err(EnvError::HostGone(bad_host))
-                );
+                assert_eq!(cell.route_conn_req(req), Err(EnvError::HostGone(bad_host)));
             })
             .unwrap();
         handle.join().unwrap();

@@ -248,8 +248,7 @@ impl VirtualMachine {
         F: FnOnce(ProcessCell) + Send + 'static,
     {
         let vmid = self.allocate_vmid(host)?;
-        let (inbox_tx, inbox) =
-            Post::<Incoming>::channel(LinkModel::INSTANT, self.shared.scale);
+        let (inbox_tx, inbox) = Post::<Incoming>::channel(LinkModel::INSTANT, self.shared.scale);
         let (sig_tx, sig_rx) = channel::unbounded();
         self.shared.registry.register(
             vmid,
@@ -266,7 +265,8 @@ impl VirtualMachine {
         let handle = std::thread::Builder::new()
             .name(format!("snow-{thread_label}"))
             .spawn(move || {
-                let cell = ProcessCell::new(vmid, label.clone(), inbox, inbox_tx, sig_rx, shared.clone());
+                let cell =
+                    ProcessCell::new(vmid, label.clone(), inbox, inbox_tx, sig_rx, shared.clone());
                 body(cell);
                 // Termination: unregister, then tell the local daemon so
                 // pending conn_reqs are nacked.
@@ -347,15 +347,9 @@ mod tests {
         let fast = vm.add_host(HostSpec::ultra5());
         let slow = vm.add_host(HostSpec::dec5000());
         let p = vm.shared().path(fast, slow);
-        assert_eq!(
-            p.bandwidth_bps,
-            HostSpec::dec5000().uplink.bandwidth_bps
-        );
+        assert_eq!(p.bandwidth_bps, HostSpec::dec5000().uplink.bandwidth_bps);
         // Unknown host → INSTANT fallback.
-        assert_eq!(
-            vm.shared().path(fast, HostId(77)),
-            LinkModel::INSTANT
-        );
+        assert_eq!(vm.shared().path(fast, HostId(77)), LinkModel::INSTANT);
     }
 
     #[test]

@@ -30,8 +30,30 @@ pub enum Payload {
     /// The migrating process's received-message-list, forwarded to the
     /// initialized process (Fig 5 line 8 / Fig 7 lines 2–3).
     RmlBatch(Vec<Envelope>),
-    /// Canonical execution + memory state (Fig 5 line 10 / Fig 7 line 4).
+    /// Canonical execution + memory state as a single frame
+    /// (Fig 5 line 10 / Fig 7 line 4) — the monolithic transfer path.
     ExeMemState(Bytes),
+    /// One chunk of the canonical exe+mem state stream — the pipelined
+    /// transfer path. Chunks are FIFO on the transfer channel; `seq`
+    /// guards against logic errors, `checksum` against corruption.
+    ExeMemStateChunk {
+        /// Position in the stream (0 = header chunk).
+        seq: u32,
+        /// FNV-1a of `bytes`.
+        checksum: u64,
+        /// This chunk's slice of the canonical state body.
+        bytes: Bytes,
+    },
+    /// Closes a chunked state stream: whole-state digest plus totals the
+    /// destination must reproduce before restoring.
+    ExeMemStateDigest {
+        /// FNV-1a over the whole reassembled body.
+        digest: u64,
+        /// Number of chunks sent.
+        chunks: u32,
+        /// Total body bytes sent.
+        total_bytes: u64,
+    },
 }
 
 impl Payload {
@@ -42,6 +64,10 @@ impl Payload {
             Payload::PeerMigrating | Payload::EndOfMessages => 0,
             Payload::RmlBatch(list) => list.iter().map(Envelope::wire_bytes).sum(),
             Payload::ExeMemState(b) => b.len(),
+            Payload::ExeMemStateChunk { bytes, .. } => bytes.len(),
+            // Header-only frame: seq/digest metadata rides in the
+            // envelope overhead, like the protocol markers.
+            Payload::ExeMemStateDigest { .. } => 0,
         }
     }
 }

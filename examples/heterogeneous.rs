@@ -67,8 +67,14 @@ fn main() {
 
     println!("state transferred: {:.2} MB\n", t.state_bytes as f64 / 1e6);
     println!("{:<12} {:>10} {:>10}", "operation", "model(s)", "paper(s)");
-    println!("{:<12} {:>10.3} {:>10}", "Coordinate", t.coordinate_real_s, "0.125");
-    println!("{:<12} {:>10.3} {:>10}", "Collect", t.collect_modeled_s, "5.209");
+    println!(
+        "{:<12} {:>10.3} {:>10}",
+        "Coordinate", t.coordinate_real_s, "0.125"
+    );
+    println!(
+        "{:<12} {:>10.3} {:>10}",
+        "Collect", t.collect_modeled_s, "5.209"
+    );
     println!("{:<12} {:>10.3} {:>10}", "Tx", t.tx_modeled_s, "8.591");
     println!("{:<12} {:>10.3} {:>10}", "Restore", restore, "0.696");
     println!(

@@ -60,8 +60,7 @@ fn main() {
 
     println!("residual history (no migration): {:?}", base[&0].residuals);
     println!("residual history (migration):    {:?}", migr[&0].residuals);
-    let identical = (0..cfg.nprocs)
-        .all(|r| base[&r].slab.as_slice() == migr[&r].slab.as_slice());
+    let identical = (0..cfg.nprocs).all(|r| base[&r].slab.as_slice() == migr[&r].slab.as_slice());
     println!(
         "\noutputs with and without migration identical: {identical} (paper §6.3: \"identical\")"
     );

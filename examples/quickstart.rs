@@ -38,7 +38,10 @@ fn main() {
                     .with_local("next", snow::codec::Value::U64(5)),
                 MemoryGraph::new(),
             );
-            println!("[rank 0] migrating with {} B of state …", state.collected_bytes());
+            println!(
+                "[rank 0] migrating with {} B of state …",
+                state.collected_bytes()
+            );
             p.migrate(&state).unwrap();
             // The migrating process terminates here (Fig 5 line 11).
         }
@@ -81,5 +84,8 @@ fn main() {
     let st = SpaceTime::build(tracer.snapshot());
     println!("\n{}", st.render(100));
     assert!(st.undelivered().is_empty(), "Theorem 2 violated?!");
-    println!("all {} messages delivered exactly once, in order", st.lines().len());
+    println!(
+        "all {} messages delivered exactly once, in order",
+        st.lines().len()
+    );
 }

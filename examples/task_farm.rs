@@ -42,7 +42,9 @@ fn main() {
             *results_w.lock().unwrap() = r;
             comm.into_process().finish();
         } else {
-            match task_farm_worker(&mut comm, from, std::time::Duration::from_millis(2)).expect("worker runs") {
+            match task_farm_worker(&mut comm, from, std::time::Duration::from_millis(2))
+                .expect("worker runs")
+            {
                 WorkerOutcome::Done { completed } => {
                     println!("[worker {rank}] done: {completed} tasks (incl. pre-migration work)");
                     comm.into_process().finish();

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-812d02eb7f19a8b9.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-812d02eb7f19a8b9: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

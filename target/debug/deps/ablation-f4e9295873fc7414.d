@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-f4e9295873fc7414.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-f4e9295873fc7414: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

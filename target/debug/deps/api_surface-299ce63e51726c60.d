@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/api_surface-299ce63e51726c60.d: crates/core/tests/api_surface.rs
+
+/root/repo/target/debug/deps/api_surface-299ce63e51726c60: crates/core/tests/api_surface.rs
+
+crates/core/tests/api_surface.rs:

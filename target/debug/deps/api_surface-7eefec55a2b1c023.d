@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/api_surface-7eefec55a2b1c023.d: crates/core/tests/api_surface.rs
+
+/root/repo/target/debug/deps/api_surface-7eefec55a2b1c023: crates/core/tests/api_surface.rs
+
+crates/core/tests/api_surface.rs:

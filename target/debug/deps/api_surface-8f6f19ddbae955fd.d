@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/api_surface-8f6f19ddbae955fd.d: crates/core/tests/api_surface.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapi_surface-8f6f19ddbae955fd.rmeta: crates/core/tests/api_surface.rs Cargo.toml
+
+crates/core/tests/api_surface.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

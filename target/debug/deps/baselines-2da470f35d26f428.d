@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baselines-2da470f35d26f428.d: crates/bench/benches/baselines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines-2da470f35d26f428.rmeta: crates/bench/benches/baselines.rs Cargo.toml
+
+crates/bench/benches/baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

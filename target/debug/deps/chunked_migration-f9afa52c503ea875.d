@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chunked_migration-f9afa52c503ea875.d: crates/snow/../../tests/chunked_migration.rs
+
+/root/repo/target/debug/deps/chunked_migration-f9afa52c503ea875: crates/snow/../../tests/chunked_migration.rs
+
+crates/snow/../../tests/chunked_migration.rs:

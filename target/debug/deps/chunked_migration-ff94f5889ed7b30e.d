@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chunked_migration-ff94f5889ed7b30e.d: crates/snow/../../tests/chunked_migration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchunked_migration-ff94f5889ed7b30e.rmeta: crates/snow/../../tests/chunked_migration.rs Cargo.toml
+
+crates/snow/../../tests/chunked_migration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

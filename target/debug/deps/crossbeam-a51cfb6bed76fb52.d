@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/crossbeam-a51cfb6bed76fb52.d: vendor/crossbeam/src/lib.rs vendor/crossbeam/src/channel.rs
+
+/root/repo/target/debug/deps/libcrossbeam-a51cfb6bed76fb52.rlib: vendor/crossbeam/src/lib.rs vendor/crossbeam/src/channel.rs
+
+/root/repo/target/debug/deps/libcrossbeam-a51cfb6bed76fb52.rmeta: vendor/crossbeam/src/lib.rs vendor/crossbeam/src/channel.rs
+
+vendor/crossbeam/src/lib.rs:
+vendor/crossbeam/src/channel.rs:

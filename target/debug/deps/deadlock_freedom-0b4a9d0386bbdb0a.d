@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deadlock_freedom-0b4a9d0386bbdb0a.d: crates/snow/../../tests/deadlock_freedom.rs
+
+/root/repo/target/debug/deps/deadlock_freedom-0b4a9d0386bbdb0a: crates/snow/../../tests/deadlock_freedom.rs
+
+crates/snow/../../tests/deadlock_freedom.rs:

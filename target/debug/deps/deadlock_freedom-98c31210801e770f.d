@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deadlock_freedom-98c31210801e770f.d: crates/snow/../../tests/deadlock_freedom.rs
+
+/root/repo/target/debug/deps/deadlock_freedom-98c31210801e770f: crates/snow/../../tests/deadlock_freedom.rs
+
+crates/snow/../../tests/deadlock_freedom.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/deadlock_freedom-dd231329e6142e31.d: crates/snow/../../tests/deadlock_freedom.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeadlock_freedom-dd231329e6142e31.rmeta: crates/snow/../../tests/deadlock_freedom.rs Cargo.toml
+
+crates/snow/../../tests/deadlock_freedom.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

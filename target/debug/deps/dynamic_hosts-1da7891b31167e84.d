@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dynamic_hosts-1da7891b31167e84.d: crates/snow/../../tests/dynamic_hosts.rs
+
+/root/repo/target/debug/deps/dynamic_hosts-1da7891b31167e84: crates/snow/../../tests/dynamic_hosts.rs
+
+crates/snow/../../tests/dynamic_hosts.rs:

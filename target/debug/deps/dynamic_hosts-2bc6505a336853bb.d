@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dynamic_hosts-2bc6505a336853bb.d: crates/snow/../../tests/dynamic_hosts.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynamic_hosts-2bc6505a336853bb.rmeta: crates/snow/../../tests/dynamic_hosts.rs Cargo.toml
+
+crates/snow/../../tests/dynamic_hosts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dynamic_hosts-71aee02d2b421c99.d: crates/snow/../../tests/dynamic_hosts.rs
+
+/root/repo/target/debug/deps/dynamic_hosts-71aee02d2b421c99: crates/snow/../../tests/dynamic_hosts.rs
+
+crates/snow/../../tests/dynamic_hosts.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-27ffa2f2a49592a5.d: crates/snow/../../tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-27ffa2f2a49592a5: crates/snow/../../tests/failure_injection.rs
+
+crates/snow/../../tests/failure_injection.rs:

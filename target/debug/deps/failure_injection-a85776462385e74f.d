@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-a85776462385e74f.d: crates/snow/../../tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-a85776462385e74f: crates/snow/../../tests/failure_injection.rs
+
+crates/snow/../../tests/failure_injection.rs:

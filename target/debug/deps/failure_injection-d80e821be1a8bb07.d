@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failure_injection-d80e821be1a8bb07.d: crates/snow/../../tests/failure_injection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailure_injection-d80e821be1a8bb07.rmeta: crates/snow/../../tests/failure_injection.rs Cargo.toml
+
+crates/snow/../../tests/failure_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

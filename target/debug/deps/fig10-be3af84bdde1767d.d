@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-be3af84bdde1767d.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-be3af84bdde1767d: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

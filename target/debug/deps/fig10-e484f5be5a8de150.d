@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-e484f5be5a8de150.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-e484f5be5a8de150: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

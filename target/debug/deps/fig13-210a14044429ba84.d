@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-210a14044429ba84.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-210a14044429ba84: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

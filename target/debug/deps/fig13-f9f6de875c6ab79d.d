@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-f9f6de875c6ab79d.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-f9f6de875c6ab79d: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

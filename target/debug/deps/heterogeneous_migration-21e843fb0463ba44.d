@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/heterogeneous_migration-21e843fb0463ba44.d: crates/snow/../../tests/heterogeneous_migration.rs
+
+/root/repo/target/debug/deps/heterogeneous_migration-21e843fb0463ba44: crates/snow/../../tests/heterogeneous_migration.rs
+
+crates/snow/../../tests/heterogeneous_migration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/heterogeneous_migration-3ae9a310fad3b570.d: crates/snow/../../tests/heterogeneous_migration.rs
+
+/root/repo/target/debug/deps/heterogeneous_migration-3ae9a310fad3b570: crates/snow/../../tests/heterogeneous_migration.rs
+
+crates/snow/../../tests/heterogeneous_migration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/heterogeneous_migration-75361d0e0e6db407.d: crates/snow/../../tests/heterogeneous_migration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libheterogeneous_migration-75361d0e0e6db407.rmeta: crates/snow/../../tests/heterogeneous_migration.rs Cargo.toml
+
+crates/snow/../../tests/heterogeneous_migration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

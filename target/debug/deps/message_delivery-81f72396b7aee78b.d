@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/message_delivery-81f72396b7aee78b.d: crates/snow/../../tests/message_delivery.rs
+
+/root/repo/target/debug/deps/message_delivery-81f72396b7aee78b: crates/snow/../../tests/message_delivery.rs
+
+crates/snow/../../tests/message_delivery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/message_delivery-b3a13c95ec7d438e.d: crates/snow/../../tests/message_delivery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmessage_delivery-b3a13c95ec7d438e.rmeta: crates/snow/../../tests/message_delivery.rs Cargo.toml
+
+crates/snow/../../tests/message_delivery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

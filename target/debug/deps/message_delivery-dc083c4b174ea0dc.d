@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/message_delivery-dc083c4b174ea0dc.d: crates/snow/../../tests/message_delivery.rs
+
+/root/repo/target/debug/deps/message_delivery-dc083c4b174ea0dc: crates/snow/../../tests/message_delivery.rs
+
+crates/snow/../../tests/message_delivery.rs:

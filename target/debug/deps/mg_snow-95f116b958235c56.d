@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mg_snow-95f116b958235c56.d: crates/mg/tests/mg_snow.rs
+
+/root/repo/target/debug/deps/mg_snow-95f116b958235c56: crates/mg/tests/mg_snow.rs
+
+crates/mg/tests/mg_snow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mg_snow-e9fe7ed3c385bcf6.d: crates/mg/tests/mg_snow.rs
+
+/root/repo/target/debug/deps/mg_snow-e9fe7ed3c385bcf6: crates/mg/tests/mg_snow.rs
+
+crates/mg/tests/mg_snow.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mg_snow-eab98139bef98467.d: crates/mg/tests/mg_snow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmg_snow-eab98139bef98467.rmeta: crates/mg/tests/mg_snow.rs Cargo.toml
+
+crates/mg/tests/mg_snow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

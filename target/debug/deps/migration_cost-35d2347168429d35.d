@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/migration_cost-35d2347168429d35.d: crates/bench/benches/migration_cost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmigration_cost-35d2347168429d35.rmeta: crates/bench/benches/migration_cost.rs Cargo.toml
+
+crates/bench/benches/migration_cost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

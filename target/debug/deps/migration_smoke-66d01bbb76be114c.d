@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/migration_smoke-66d01bbb76be114c.d: crates/core/tests/migration_smoke.rs
+
+/root/repo/target/debug/deps/migration_smoke-66d01bbb76be114c: crates/core/tests/migration_smoke.rs
+
+crates/core/tests/migration_smoke.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/migration_smoke-9ffba5ca64fbceaa.d: crates/core/tests/migration_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmigration_smoke-9ffba5ca64fbceaa.rmeta: crates/core/tests/migration_smoke.rs Cargo.toml
+
+crates/core/tests/migration_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

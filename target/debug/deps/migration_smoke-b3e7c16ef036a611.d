@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/migration_smoke-b3e7c16ef036a611.d: crates/core/tests/migration_smoke.rs
+
+/root/repo/target/debug/deps/migration_smoke-b3e7c16ef036a611: crates/core/tests/migration_smoke.rs
+
+crates/core/tests/migration_smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ordering-b3b116478051c99d.d: crates/snow/../../tests/ordering.rs
+
+/root/repo/target/debug/deps/ordering-b3b116478051c99d: crates/snow/../../tests/ordering.rs
+
+crates/snow/../../tests/ordering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ordering-c63a61bd9fcd91db.d: crates/snow/../../tests/ordering.rs
+
+/root/repo/target/debug/deps/ordering-c63a61bd9fcd91db: crates/snow/../../tests/ordering.rs
+
+crates/snow/../../tests/ordering.rs:

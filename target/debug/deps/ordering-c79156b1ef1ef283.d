@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ordering-c79156b1ef1ef283.d: crates/snow/../../tests/ordering.rs Cargo.toml
+
+/root/repo/target/debug/deps/libordering-c79156b1ef1ef283.rmeta: crates/snow/../../tests/ordering.rs Cargo.toml
+
+crates/snow/../../tests/ordering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/overhead-4434dfa200cee4ac.d: crates/bench/benches/overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboverhead-4434dfa200cee4ac.rmeta: crates/bench/benches/overhead.rs Cargo.toml
+
+crates/bench/benches/overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

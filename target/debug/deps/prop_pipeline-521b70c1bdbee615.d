@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_pipeline-521b70c1bdbee615.d: crates/state/tests/prop_pipeline.rs
+
+/root/repo/target/debug/deps/prop_pipeline-521b70c1bdbee615: crates/state/tests/prop_pipeline.rs
+
+crates/state/tests/prop_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_pipeline-9e359ce46bb25ea1.d: crates/state/tests/prop_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_pipeline-9e359ce46bb25ea1.rmeta: crates/state/tests/prop_pipeline.rs Cargo.toml
+
+crates/state/tests/prop_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

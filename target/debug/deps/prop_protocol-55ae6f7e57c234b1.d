@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_protocol-55ae6f7e57c234b1.d: crates/snow/../../tests/prop_protocol.rs
+
+/root/repo/target/debug/deps/prop_protocol-55ae6f7e57c234b1: crates/snow/../../tests/prop_protocol.rs
+
+crates/snow/../../tests/prop_protocol.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_protocol-cc4e9d38a582d49b.d: crates/snow/../../tests/prop_protocol.rs
+
+/root/repo/target/debug/deps/prop_protocol-cc4e9d38a582d49b: crates/snow/../../tests/prop_protocol.rs
+
+crates/snow/../../tests/prop_protocol.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_protocol-de790f1b7bf9f0a1.d: crates/snow/../../tests/prop_protocol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_protocol-de790f1b7bf9f0a1.rmeta: crates/snow/../../tests/prop_protocol.rs Cargo.toml
+
+crates/snow/../../tests/prop_protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

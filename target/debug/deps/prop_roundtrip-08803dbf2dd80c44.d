@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_roundtrip-08803dbf2dd80c44.d: crates/codec/tests/prop_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_roundtrip-08803dbf2dd80c44.rmeta: crates/codec/tests/prop_roundtrip.rs Cargo.toml
+
+crates/codec/tests/prop_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_roundtrip-796ffa092b59a150.d: crates/codec/tests/prop_roundtrip.rs
+
+/root/repo/target/debug/deps/prop_roundtrip-796ffa092b59a150: crates/codec/tests/prop_roundtrip.rs
+
+crates/codec/tests/prop_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_state-025e5166d7ba11a8.d: crates/state/tests/prop_state.rs
+
+/root/repo/target/debug/deps/prop_state-025e5166d7ba11a8: crates/state/tests/prop_state.rs
+
+crates/state/tests/prop_state.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_state-87928c69de8ab277.d: crates/state/tests/prop_state.rs
+
+/root/repo/target/debug/deps/prop_state-87928c69de8ab277: crates/state/tests/prop_state.rs
+
+crates/state/tests/prop_state.rs:

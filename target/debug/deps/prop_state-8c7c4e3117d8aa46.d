@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_state-8c7c4e3117d8aa46.d: crates/state/tests/prop_state.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_state-8c7c4e3117d8aa46.rmeta: crates/state/tests/prop_state.rs Cargo.toml
+
+crates/state/tests/prop_state.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

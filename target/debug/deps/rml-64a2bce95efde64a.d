@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rml-64a2bce95efde64a.d: crates/bench/benches/rml.rs Cargo.toml
+
+/root/repo/target/debug/deps/librml-64a2bce95efde64a.rmeta: crates/bench/benches/rml.rs Cargo.toml
+
+crates/bench/benches/rml.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scale-33736388a0fa44a1.d: crates/snow/../../tests/scale.rs
+
+/root/repo/target/debug/deps/scale-33736388a0fa44a1: crates/snow/../../tests/scale.rs
+
+crates/snow/../../tests/scale.rs:

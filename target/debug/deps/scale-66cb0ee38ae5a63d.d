@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scale-66cb0ee38ae5a63d.d: crates/snow/../../tests/scale.rs
+
+/root/repo/target/debug/deps/scale-66cb0ee38ae5a63d: crates/snow/../../tests/scale.rs
+
+crates/snow/../../tests/scale.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scale-9f3271551a24d277.d: crates/snow/../../tests/scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscale-9f3271551a24d277.rmeta: crates/snow/../../tests/scale.rs Cargo.toml
+
+crates/snow/../../tests/scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/schedules-44db3e73739cfc63.d: crates/model/tests/schedules.rs
+
+/root/repo/target/debug/deps/schedules-44db3e73739cfc63: crates/model/tests/schedules.rs
+
+crates/model/tests/schedules.rs:

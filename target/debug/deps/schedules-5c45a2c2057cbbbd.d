@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/schedules-5c45a2c2057cbbbd.d: crates/model/tests/schedules.rs Cargo.toml
+
+/root/repo/target/debug/deps/libschedules-5c45a2c2057cbbbd.rmeta: crates/model/tests/schedules.rs Cargo.toml
+
+crates/model/tests/schedules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simultaneous_migration-2a7394543c849186.d: crates/snow/../../tests/simultaneous_migration.rs
+
+/root/repo/target/debug/deps/simultaneous_migration-2a7394543c849186: crates/snow/../../tests/simultaneous_migration.rs
+
+crates/snow/../../tests/simultaneous_migration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simultaneous_migration-5e6b44c09001feb0.d: crates/snow/../../tests/simultaneous_migration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimultaneous_migration-5e6b44c09001feb0.rmeta: crates/snow/../../tests/simultaneous_migration.rs Cargo.toml
+
+crates/snow/../../tests/simultaneous_migration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simultaneous_migration-83e9e83f3eaf4bd7.d: crates/snow/../../tests/simultaneous_migration.rs
+
+/root/repo/target/debug/deps/simultaneous_migration-83e9e83f3eaf4bd7: crates/snow/../../tests/simultaneous_migration.rs
+
+crates/snow/../../tests/simultaneous_migration.rs:

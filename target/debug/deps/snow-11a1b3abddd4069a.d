@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/snow-11a1b3abddd4069a.d: crates/snow/src/lib.rs
+
+/root/repo/target/debug/deps/snow-11a1b3abddd4069a: crates/snow/src/lib.rs
+
+crates/snow/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/snow-1bf7017eb4c9c158.d: crates/snow/src/lib.rs
+
+/root/repo/target/debug/deps/libsnow-1bf7017eb4c9c158.rlib: crates/snow/src/lib.rs
+
+/root/repo/target/debug/deps/libsnow-1bf7017eb4c9c158.rmeta: crates/snow/src/lib.rs
+
+crates/snow/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/snow-2686a470de43d80b.d: crates/snow/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsnow-2686a470de43d80b.rmeta: crates/snow/src/lib.rs Cargo.toml
+
+crates/snow/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

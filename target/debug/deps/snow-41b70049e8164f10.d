@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/snow-41b70049e8164f10.d: crates/snow/src/lib.rs
+
+/root/repo/target/debug/deps/snow-41b70049e8164f10: crates/snow/src/lib.rs
+
+crates/snow/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/snow-42ea3235beb18af3.d: crates/snow/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsnow-42ea3235beb18af3.rmeta: crates/snow/src/lib.rs Cargo.toml
+
+crates/snow/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

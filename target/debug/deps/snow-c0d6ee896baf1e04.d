@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/snow-c0d6ee896baf1e04.d: crates/snow/src/lib.rs
+
+/root/repo/target/debug/deps/libsnow-c0d6ee896baf1e04.rlib: crates/snow/src/lib.rs
+
+/root/repo/target/debug/deps/libsnow-c0d6ee896baf1e04.rmeta: crates/snow/src/lib.rs
+
+crates/snow/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/snow_baselines-82275d43d98de427.d: crates/baselines/src/lib.rs crates/baselines/src/broadcast.rs crates/baselines/src/cocheck.rs crates/baselines/src/forwarding.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsnow_baselines-82275d43d98de427.rmeta: crates/baselines/src/lib.rs crates/baselines/src/broadcast.rs crates/baselines/src/cocheck.rs crates/baselines/src/forwarding.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/broadcast.rs:
+crates/baselines/src/cocheck.rs:
+crates/baselines/src/forwarding.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

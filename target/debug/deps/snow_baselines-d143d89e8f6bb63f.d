@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/snow_baselines-d143d89e8f6bb63f.d: crates/baselines/src/lib.rs crates/baselines/src/broadcast.rs crates/baselines/src/cocheck.rs crates/baselines/src/forwarding.rs
+
+/root/repo/target/debug/deps/snow_baselines-d143d89e8f6bb63f: crates/baselines/src/lib.rs crates/baselines/src/broadcast.rs crates/baselines/src/cocheck.rs crates/baselines/src/forwarding.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/broadcast.rs:
+crates/baselines/src/cocheck.rs:
+crates/baselines/src/forwarding.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/snow_baselines-e5be1ff97459cf38.d: crates/baselines/src/lib.rs crates/baselines/src/broadcast.rs crates/baselines/src/cocheck.rs crates/baselines/src/forwarding.rs
+
+/root/repo/target/debug/deps/libsnow_baselines-e5be1ff97459cf38.rlib: crates/baselines/src/lib.rs crates/baselines/src/broadcast.rs crates/baselines/src/cocheck.rs crates/baselines/src/forwarding.rs
+
+/root/repo/target/debug/deps/libsnow_baselines-e5be1ff97459cf38.rmeta: crates/baselines/src/lib.rs crates/baselines/src/broadcast.rs crates/baselines/src/cocheck.rs crates/baselines/src/forwarding.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/broadcast.rs:
+crates/baselines/src/cocheck.rs:
+crates/baselines/src/forwarding.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/snow_bench-94f8d764e3ddce33.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsnow_bench-94f8d764e3ddce33.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsnow_bench-94f8d764e3ddce33.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/snow_bench-c4e49a034c6c93ff.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/snow_bench-c4e49a034c6c93ff: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/snow_codec-2a1f79b5d6938516.d: crates/codec/src/lib.rs crates/codec/src/error.rs crates/codec/src/host.rs crates/codec/src/value.rs crates/codec/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsnow_codec-2a1f79b5d6938516.rmeta: crates/codec/src/lib.rs crates/codec/src/error.rs crates/codec/src/host.rs crates/codec/src/value.rs crates/codec/src/wire.rs Cargo.toml
+
+crates/codec/src/lib.rs:
+crates/codec/src/error.rs:
+crates/codec/src/host.rs:
+crates/codec/src/value.rs:
+crates/codec/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

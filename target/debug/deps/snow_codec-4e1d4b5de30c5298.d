@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/snow_codec-4e1d4b5de30c5298.d: crates/codec/src/lib.rs crates/codec/src/error.rs crates/codec/src/host.rs crates/codec/src/value.rs crates/codec/src/wire.rs
+
+/root/repo/target/debug/deps/libsnow_codec-4e1d4b5de30c5298.rlib: crates/codec/src/lib.rs crates/codec/src/error.rs crates/codec/src/host.rs crates/codec/src/value.rs crates/codec/src/wire.rs
+
+/root/repo/target/debug/deps/libsnow_codec-4e1d4b5de30c5298.rmeta: crates/codec/src/lib.rs crates/codec/src/error.rs crates/codec/src/host.rs crates/codec/src/value.rs crates/codec/src/wire.rs
+
+crates/codec/src/lib.rs:
+crates/codec/src/error.rs:
+crates/codec/src/host.rs:
+crates/codec/src/value.rs:
+crates/codec/src/wire.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/snow_codec-dd09a847cbd3c9fe.d: crates/codec/src/lib.rs crates/codec/src/error.rs crates/codec/src/host.rs crates/codec/src/value.rs crates/codec/src/wire.rs
+
+/root/repo/target/debug/deps/snow_codec-dd09a847cbd3c9fe: crates/codec/src/lib.rs crates/codec/src/error.rs crates/codec/src/host.rs crates/codec/src/value.rs crates/codec/src/wire.rs
+
+crates/codec/src/lib.rs:
+crates/codec/src/error.rs:
+crates/codec/src/host.rs:
+crates/codec/src/value.rs:
+crates/codec/src/wire.rs:

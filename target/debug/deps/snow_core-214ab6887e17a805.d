@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/snow_core-214ab6887e17a805.d: crates/core/src/lib.rs crates/core/src/compat.rs crates/core/src/computation.rs crates/core/src/error.rs crates/core/src/migrate.rs crates/core/src/process.rs crates/core/src/rml.rs
+
+/root/repo/target/debug/deps/libsnow_core-214ab6887e17a805.rlib: crates/core/src/lib.rs crates/core/src/compat.rs crates/core/src/computation.rs crates/core/src/error.rs crates/core/src/migrate.rs crates/core/src/process.rs crates/core/src/rml.rs
+
+/root/repo/target/debug/deps/libsnow_core-214ab6887e17a805.rmeta: crates/core/src/lib.rs crates/core/src/compat.rs crates/core/src/computation.rs crates/core/src/error.rs crates/core/src/migrate.rs crates/core/src/process.rs crates/core/src/rml.rs
+
+crates/core/src/lib.rs:
+crates/core/src/compat.rs:
+crates/core/src/computation.rs:
+crates/core/src/error.rs:
+crates/core/src/migrate.rs:
+crates/core/src/process.rs:
+crates/core/src/rml.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/snow_core-79f5fd772dfa557a.d: crates/core/src/lib.rs crates/core/src/compat.rs crates/core/src/computation.rs crates/core/src/error.rs crates/core/src/migrate.rs crates/core/src/process.rs crates/core/src/rml.rs
+
+/root/repo/target/debug/deps/libsnow_core-79f5fd772dfa557a.rlib: crates/core/src/lib.rs crates/core/src/compat.rs crates/core/src/computation.rs crates/core/src/error.rs crates/core/src/migrate.rs crates/core/src/process.rs crates/core/src/rml.rs
+
+/root/repo/target/debug/deps/libsnow_core-79f5fd772dfa557a.rmeta: crates/core/src/lib.rs crates/core/src/compat.rs crates/core/src/computation.rs crates/core/src/error.rs crates/core/src/migrate.rs crates/core/src/process.rs crates/core/src/rml.rs
+
+crates/core/src/lib.rs:
+crates/core/src/compat.rs:
+crates/core/src/computation.rs:
+crates/core/src/error.rs:
+crates/core/src/migrate.rs:
+crates/core/src/process.rs:
+crates/core/src/rml.rs:

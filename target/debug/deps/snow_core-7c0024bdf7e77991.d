@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/snow_core-7c0024bdf7e77991.d: crates/core/src/lib.rs crates/core/src/compat.rs crates/core/src/computation.rs crates/core/src/error.rs crates/core/src/migrate.rs crates/core/src/process.rs crates/core/src/rml.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsnow_core-7c0024bdf7e77991.rmeta: crates/core/src/lib.rs crates/core/src/compat.rs crates/core/src/computation.rs crates/core/src/error.rs crates/core/src/migrate.rs crates/core/src/process.rs crates/core/src/rml.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/compat.rs:
+crates/core/src/computation.rs:
+crates/core/src/error.rs:
+crates/core/src/migrate.rs:
+crates/core/src/process.rs:
+crates/core/src/rml.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/snow_core-b44407d7cb351293.d: crates/core/src/lib.rs crates/core/src/compat.rs crates/core/src/computation.rs crates/core/src/error.rs crates/core/src/migrate.rs crates/core/src/process.rs crates/core/src/rml.rs
+
+/root/repo/target/debug/deps/snow_core-b44407d7cb351293: crates/core/src/lib.rs crates/core/src/compat.rs crates/core/src/computation.rs crates/core/src/error.rs crates/core/src/migrate.rs crates/core/src/process.rs crates/core/src/rml.rs
+
+crates/core/src/lib.rs:
+crates/core/src/compat.rs:
+crates/core/src/computation.rs:
+crates/core/src/error.rs:
+crates/core/src/migrate.rs:
+crates/core/src/process.rs:
+crates/core/src/rml.rs:

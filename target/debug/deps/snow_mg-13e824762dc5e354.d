@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/snow_mg-13e824762dc5e354.d: crates/mg/src/lib.rs crates/mg/src/checkpoint.rs crates/mg/src/comm.rs crates/mg/src/grid.rs crates/mg/src/stencil.rs crates/mg/src/vcycle.rs crates/mg/src/workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsnow_mg-13e824762dc5e354.rmeta: crates/mg/src/lib.rs crates/mg/src/checkpoint.rs crates/mg/src/comm.rs crates/mg/src/grid.rs crates/mg/src/stencil.rs crates/mg/src/vcycle.rs crates/mg/src/workloads.rs Cargo.toml
+
+crates/mg/src/lib.rs:
+crates/mg/src/checkpoint.rs:
+crates/mg/src/comm.rs:
+crates/mg/src/grid.rs:
+crates/mg/src/stencil.rs:
+crates/mg/src/vcycle.rs:
+crates/mg/src/workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/snow_mg-2d38ab02df6303dc.d: crates/mg/src/lib.rs crates/mg/src/checkpoint.rs crates/mg/src/comm.rs crates/mg/src/grid.rs crates/mg/src/stencil.rs crates/mg/src/vcycle.rs crates/mg/src/workloads.rs
+
+/root/repo/target/debug/deps/libsnow_mg-2d38ab02df6303dc.rlib: crates/mg/src/lib.rs crates/mg/src/checkpoint.rs crates/mg/src/comm.rs crates/mg/src/grid.rs crates/mg/src/stencil.rs crates/mg/src/vcycle.rs crates/mg/src/workloads.rs
+
+/root/repo/target/debug/deps/libsnow_mg-2d38ab02df6303dc.rmeta: crates/mg/src/lib.rs crates/mg/src/checkpoint.rs crates/mg/src/comm.rs crates/mg/src/grid.rs crates/mg/src/stencil.rs crates/mg/src/vcycle.rs crates/mg/src/workloads.rs
+
+crates/mg/src/lib.rs:
+crates/mg/src/checkpoint.rs:
+crates/mg/src/comm.rs:
+crates/mg/src/grid.rs:
+crates/mg/src/stencil.rs:
+crates/mg/src/vcycle.rs:
+crates/mg/src/workloads.rs:

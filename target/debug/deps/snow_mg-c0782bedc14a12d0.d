@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/snow_mg-c0782bedc14a12d0.d: crates/mg/src/lib.rs crates/mg/src/checkpoint.rs crates/mg/src/comm.rs crates/mg/src/grid.rs crates/mg/src/stencil.rs crates/mg/src/vcycle.rs crates/mg/src/workloads.rs
+
+/root/repo/target/debug/deps/snow_mg-c0782bedc14a12d0: crates/mg/src/lib.rs crates/mg/src/checkpoint.rs crates/mg/src/comm.rs crates/mg/src/grid.rs crates/mg/src/stencil.rs crates/mg/src/vcycle.rs crates/mg/src/workloads.rs
+
+crates/mg/src/lib.rs:
+crates/mg/src/checkpoint.rs:
+crates/mg/src/comm.rs:
+crates/mg/src/grid.rs:
+crates/mg/src/stencil.rs:
+crates/mg/src/vcycle.rs:
+crates/mg/src/workloads.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/snow_mg-c5165ccb6316c5e1.d: crates/mg/src/lib.rs crates/mg/src/checkpoint.rs crates/mg/src/comm.rs crates/mg/src/grid.rs crates/mg/src/stencil.rs crates/mg/src/vcycle.rs crates/mg/src/workloads.rs
+
+/root/repo/target/debug/deps/libsnow_mg-c5165ccb6316c5e1.rlib: crates/mg/src/lib.rs crates/mg/src/checkpoint.rs crates/mg/src/comm.rs crates/mg/src/grid.rs crates/mg/src/stencil.rs crates/mg/src/vcycle.rs crates/mg/src/workloads.rs
+
+/root/repo/target/debug/deps/libsnow_mg-c5165ccb6316c5e1.rmeta: crates/mg/src/lib.rs crates/mg/src/checkpoint.rs crates/mg/src/comm.rs crates/mg/src/grid.rs crates/mg/src/stencil.rs crates/mg/src/vcycle.rs crates/mg/src/workloads.rs
+
+crates/mg/src/lib.rs:
+crates/mg/src/checkpoint.rs:
+crates/mg/src/comm.rs:
+crates/mg/src/grid.rs:
+crates/mg/src/stencil.rs:
+crates/mg/src/vcycle.rs:
+crates/mg/src/workloads.rs:

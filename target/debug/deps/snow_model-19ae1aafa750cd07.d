@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/snow_model-19ae1aafa750cd07.d: crates/model/src/lib.rs crates/model/src/script.rs crates/model/src/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsnow_model-19ae1aafa750cd07.rmeta: crates/model/src/lib.rs crates/model/src/script.rs crates/model/src/world.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/script.rs:
+crates/model/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/snow_model-3b2a2d914a4fde9b.d: crates/model/src/lib.rs crates/model/src/script.rs crates/model/src/world.rs
+
+/root/repo/target/debug/deps/libsnow_model-3b2a2d914a4fde9b.rlib: crates/model/src/lib.rs crates/model/src/script.rs crates/model/src/world.rs
+
+/root/repo/target/debug/deps/libsnow_model-3b2a2d914a4fde9b.rmeta: crates/model/src/lib.rs crates/model/src/script.rs crates/model/src/world.rs
+
+crates/model/src/lib.rs:
+crates/model/src/script.rs:
+crates/model/src/world.rs:

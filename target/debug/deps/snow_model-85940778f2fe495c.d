@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/snow_model-85940778f2fe495c.d: crates/model/src/lib.rs crates/model/src/script.rs crates/model/src/world.rs
+
+/root/repo/target/debug/deps/snow_model-85940778f2fe495c: crates/model/src/lib.rs crates/model/src/script.rs crates/model/src/world.rs
+
+crates/model/src/lib.rs:
+crates/model/src/script.rs:
+crates/model/src/world.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/snow_net-5d064d8b9903b672.d: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/datagram.rs crates/net/src/link.rs
+
+/root/repo/target/debug/deps/libsnow_net-5d064d8b9903b672.rlib: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/datagram.rs crates/net/src/link.rs
+
+/root/repo/target/debug/deps/libsnow_net-5d064d8b9903b672.rmeta: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/datagram.rs crates/net/src/link.rs
+
+crates/net/src/lib.rs:
+crates/net/src/channel.rs:
+crates/net/src/datagram.rs:
+crates/net/src/link.rs:

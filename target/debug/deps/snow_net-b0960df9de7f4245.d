@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/snow_net-b0960df9de7f4245.d: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/datagram.rs crates/net/src/link.rs
+
+/root/repo/target/debug/deps/snow_net-b0960df9de7f4245: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/datagram.rs crates/net/src/link.rs
+
+crates/net/src/lib.rs:
+crates/net/src/channel.rs:
+crates/net/src/datagram.rs:
+crates/net/src/link.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/snow_net-d356517510f610a6.d: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/datagram.rs crates/net/src/link.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsnow_net-d356517510f610a6.rmeta: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/datagram.rs crates/net/src/link.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/channel.rs:
+crates/net/src/datagram.rs:
+crates/net/src/link.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

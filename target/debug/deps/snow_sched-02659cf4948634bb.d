@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/snow_sched-02659cf4948634bb.d: crates/sched/src/lib.rs crates/sched/src/client.rs crates/sched/src/directory.rs crates/sched/src/records.rs crates/sched/src/scheduler.rs
+
+/root/repo/target/debug/deps/libsnow_sched-02659cf4948634bb.rlib: crates/sched/src/lib.rs crates/sched/src/client.rs crates/sched/src/directory.rs crates/sched/src/records.rs crates/sched/src/scheduler.rs
+
+/root/repo/target/debug/deps/libsnow_sched-02659cf4948634bb.rmeta: crates/sched/src/lib.rs crates/sched/src/client.rs crates/sched/src/directory.rs crates/sched/src/records.rs crates/sched/src/scheduler.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/client.rs:
+crates/sched/src/directory.rs:
+crates/sched/src/records.rs:
+crates/sched/src/scheduler.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/snow_sched-4645532f7d32e539.d: crates/sched/src/lib.rs crates/sched/src/client.rs crates/sched/src/directory.rs crates/sched/src/records.rs crates/sched/src/scheduler.rs
+
+/root/repo/target/debug/deps/snow_sched-4645532f7d32e539: crates/sched/src/lib.rs crates/sched/src/client.rs crates/sched/src/directory.rs crates/sched/src/records.rs crates/sched/src/scheduler.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/client.rs:
+crates/sched/src/directory.rs:
+crates/sched/src/records.rs:
+crates/sched/src/scheduler.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/snow_sched-9e4d4742ea5e2616.d: crates/sched/src/lib.rs crates/sched/src/client.rs crates/sched/src/directory.rs crates/sched/src/records.rs crates/sched/src/scheduler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsnow_sched-9e4d4742ea5e2616.rmeta: crates/sched/src/lib.rs crates/sched/src/client.rs crates/sched/src/directory.rs crates/sched/src/records.rs crates/sched/src/scheduler.rs Cargo.toml
+
+crates/sched/src/lib.rs:
+crates/sched/src/client.rs:
+crates/sched/src/directory.rs:
+crates/sched/src/records.rs:
+crates/sched/src/scheduler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

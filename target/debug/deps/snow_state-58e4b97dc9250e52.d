@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/snow_state-58e4b97dc9250e52.d: crates/state/src/lib.rs crates/state/src/cost.rs crates/state/src/exec.rs crates/state/src/memory.rs crates/state/src/pipeline.rs crates/state/src/snapshot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsnow_state-58e4b97dc9250e52.rmeta: crates/state/src/lib.rs crates/state/src/cost.rs crates/state/src/exec.rs crates/state/src/memory.rs crates/state/src/pipeline.rs crates/state/src/snapshot.rs Cargo.toml
+
+crates/state/src/lib.rs:
+crates/state/src/cost.rs:
+crates/state/src/exec.rs:
+crates/state/src/memory.rs:
+crates/state/src/pipeline.rs:
+crates/state/src/snapshot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/snow_state-75520d177f8ea8bc.d: crates/state/src/lib.rs crates/state/src/cost.rs crates/state/src/exec.rs crates/state/src/memory.rs crates/state/src/snapshot.rs
+
+/root/repo/target/debug/deps/snow_state-75520d177f8ea8bc: crates/state/src/lib.rs crates/state/src/cost.rs crates/state/src/exec.rs crates/state/src/memory.rs crates/state/src/snapshot.rs
+
+crates/state/src/lib.rs:
+crates/state/src/cost.rs:
+crates/state/src/exec.rs:
+crates/state/src/memory.rs:
+crates/state/src/snapshot.rs:

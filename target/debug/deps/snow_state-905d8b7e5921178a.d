@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/snow_state-905d8b7e5921178a.d: crates/state/src/lib.rs crates/state/src/cost.rs crates/state/src/exec.rs crates/state/src/memory.rs crates/state/src/pipeline.rs crates/state/src/snapshot.rs
+
+/root/repo/target/debug/deps/libsnow_state-905d8b7e5921178a.rlib: crates/state/src/lib.rs crates/state/src/cost.rs crates/state/src/exec.rs crates/state/src/memory.rs crates/state/src/pipeline.rs crates/state/src/snapshot.rs
+
+/root/repo/target/debug/deps/libsnow_state-905d8b7e5921178a.rmeta: crates/state/src/lib.rs crates/state/src/cost.rs crates/state/src/exec.rs crates/state/src/memory.rs crates/state/src/pipeline.rs crates/state/src/snapshot.rs
+
+crates/state/src/lib.rs:
+crates/state/src/cost.rs:
+crates/state/src/exec.rs:
+crates/state/src/memory.rs:
+crates/state/src/pipeline.rs:
+crates/state/src/snapshot.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/snow_state-a75917004eaf7b99.d: crates/state/src/lib.rs crates/state/src/cost.rs crates/state/src/exec.rs crates/state/src/memory.rs crates/state/src/pipeline.rs crates/state/src/snapshot.rs
+
+/root/repo/target/debug/deps/snow_state-a75917004eaf7b99: crates/state/src/lib.rs crates/state/src/cost.rs crates/state/src/exec.rs crates/state/src/memory.rs crates/state/src/pipeline.rs crates/state/src/snapshot.rs
+
+crates/state/src/lib.rs:
+crates/state/src/cost.rs:
+crates/state/src/exec.rs:
+crates/state/src/memory.rs:
+crates/state/src/pipeline.rs:
+crates/state/src/snapshot.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/snow_state-d6f4e2bcbe160d26.d: crates/state/src/lib.rs crates/state/src/cost.rs crates/state/src/exec.rs crates/state/src/memory.rs crates/state/src/snapshot.rs
+
+/root/repo/target/debug/deps/libsnow_state-d6f4e2bcbe160d26.rlib: crates/state/src/lib.rs crates/state/src/cost.rs crates/state/src/exec.rs crates/state/src/memory.rs crates/state/src/snapshot.rs
+
+/root/repo/target/debug/deps/libsnow_state-d6f4e2bcbe160d26.rmeta: crates/state/src/lib.rs crates/state/src/cost.rs crates/state/src/exec.rs crates/state/src/memory.rs crates/state/src/snapshot.rs
+
+crates/state/src/lib.rs:
+crates/state/src/cost.rs:
+crates/state/src/exec.rs:
+crates/state/src/memory.rs:
+crates/state/src/snapshot.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/snow_trace-35b1a32005dec0f3.d: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/event.rs crates/trace/src/report.rs crates/trace/src/spacetime.rs crates/trace/src/tracer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsnow_trace-35b1a32005dec0f3.rmeta: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/event.rs crates/trace/src/report.rs crates/trace/src/spacetime.rs crates/trace/src/tracer.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/analysis.rs:
+crates/trace/src/event.rs:
+crates/trace/src/report.rs:
+crates/trace/src/spacetime.rs:
+crates/trace/src/tracer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

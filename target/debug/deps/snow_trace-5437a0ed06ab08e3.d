@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/snow_trace-5437a0ed06ab08e3.d: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/event.rs crates/trace/src/report.rs crates/trace/src/spacetime.rs crates/trace/src/tracer.rs
+
+/root/repo/target/debug/deps/snow_trace-5437a0ed06ab08e3: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/event.rs crates/trace/src/report.rs crates/trace/src/spacetime.rs crates/trace/src/tracer.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/analysis.rs:
+crates/trace/src/event.rs:
+crates/trace/src/report.rs:
+crates/trace/src/spacetime.rs:
+crates/trace/src/tracer.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/snow_trace-aa10c523a7f90a48.d: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/event.rs crates/trace/src/report.rs crates/trace/src/spacetime.rs crates/trace/src/tracer.rs
+
+/root/repo/target/debug/deps/libsnow_trace-aa10c523a7f90a48.rlib: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/event.rs crates/trace/src/report.rs crates/trace/src/spacetime.rs crates/trace/src/tracer.rs
+
+/root/repo/target/debug/deps/libsnow_trace-aa10c523a7f90a48.rmeta: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/event.rs crates/trace/src/report.rs crates/trace/src/spacetime.rs crates/trace/src/tracer.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/analysis.rs:
+crates/trace/src/event.rs:
+crates/trace/src/report.rs:
+crates/trace/src/spacetime.rs:
+crates/trace/src/tracer.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/snow_vm-7d9b2c14fee63916.d: crates/vm/src/lib.rs crates/vm/src/daemon.rs crates/vm/src/host.rs crates/vm/src/ids.rs crates/vm/src/post.rs crates/vm/src/process.rs crates/vm/src/vm.rs crates/vm/src/wire.rs
+
+/root/repo/target/debug/deps/snow_vm-7d9b2c14fee63916: crates/vm/src/lib.rs crates/vm/src/daemon.rs crates/vm/src/host.rs crates/vm/src/ids.rs crates/vm/src/post.rs crates/vm/src/process.rs crates/vm/src/vm.rs crates/vm/src/wire.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/daemon.rs:
+crates/vm/src/host.rs:
+crates/vm/src/ids.rs:
+crates/vm/src/post.rs:
+crates/vm/src/process.rs:
+crates/vm/src/vm.rs:
+crates/vm/src/wire.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/snow_vm-fc44af5d9fb9c225.d: crates/vm/src/lib.rs crates/vm/src/daemon.rs crates/vm/src/host.rs crates/vm/src/ids.rs crates/vm/src/post.rs crates/vm/src/process.rs crates/vm/src/vm.rs crates/vm/src/wire.rs
+
+/root/repo/target/debug/deps/libsnow_vm-fc44af5d9fb9c225.rlib: crates/vm/src/lib.rs crates/vm/src/daemon.rs crates/vm/src/host.rs crates/vm/src/ids.rs crates/vm/src/post.rs crates/vm/src/process.rs crates/vm/src/vm.rs crates/vm/src/wire.rs
+
+/root/repo/target/debug/deps/libsnow_vm-fc44af5d9fb9c225.rmeta: crates/vm/src/lib.rs crates/vm/src/daemon.rs crates/vm/src/host.rs crates/vm/src/ids.rs crates/vm/src/post.rs crates/vm/src/process.rs crates/vm/src/vm.rs crates/vm/src/wire.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/daemon.rs:
+crates/vm/src/host.rs:
+crates/vm/src/ids.rs:
+crates/vm/src/post.rs:
+crates/vm/src/process.rs:
+crates/vm/src/vm.rs:
+crates/vm/src/wire.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/snow_vm-feb767e2268f5bab.d: crates/vm/src/lib.rs crates/vm/src/daemon.rs crates/vm/src/host.rs crates/vm/src/ids.rs crates/vm/src/post.rs crates/vm/src/process.rs crates/vm/src/vm.rs crates/vm/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsnow_vm-feb767e2268f5bab.rmeta: crates/vm/src/lib.rs crates/vm/src/daemon.rs crates/vm/src/host.rs crates/vm/src/ids.rs crates/vm/src/post.rs crates/vm/src/process.rs crates/vm/src/vm.rs crates/vm/src/wire.rs Cargo.toml
+
+crates/vm/src/lib.rs:
+crates/vm/src/daemon.rs:
+crates/vm/src/host.rs:
+crates/vm/src/ids.rs:
+crates/vm/src/post.rs:
+crates/vm/src/process.rs:
+crates/vm/src/vm.rs:
+crates/vm/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

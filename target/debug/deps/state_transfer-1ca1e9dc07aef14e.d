@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/state_transfer-1ca1e9dc07aef14e.d: crates/bench/benches/state_transfer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstate_transfer-1ca1e9dc07aef14e.rmeta: crates/bench/benches/state_transfer.rs Cargo.toml
+
+crates/bench/benches/state_transfer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

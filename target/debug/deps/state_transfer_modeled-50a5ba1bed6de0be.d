@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/state_transfer_modeled-50a5ba1bed6de0be.d: crates/bench/benches/state_transfer.rs
+
+/root/repo/target/debug/deps/state_transfer_modeled-50a5ba1bed6de0be: crates/bench/benches/state_transfer.rs
+
+crates/bench/benches/state_transfer.rs:

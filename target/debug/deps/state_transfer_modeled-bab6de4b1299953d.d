@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/state_transfer_modeled-bab6de4b1299953d.d: crates/bench/benches/state_transfer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstate_transfer_modeled-bab6de4b1299953d.rmeta: crates/bench/benches/state_transfer.rs Cargo.toml
+
+crates/bench/benches/state_transfer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-2d040f132dbb4a0e.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-2d040f132dbb4a0e: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

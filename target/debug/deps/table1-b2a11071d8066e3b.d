@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-b2a11071d8066e3b.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-b2a11071d8066e3b: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

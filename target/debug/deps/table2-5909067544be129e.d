@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-5909067544be129e.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-5909067544be129e: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

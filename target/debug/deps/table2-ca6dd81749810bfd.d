@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-ca6dd81749810bfd.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-ca6dd81749810bfd: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

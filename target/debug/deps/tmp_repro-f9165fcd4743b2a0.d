@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tmp_repro-f9165fcd4743b2a0.d: crates/core/tests/tmp_repro.rs
+
+/root/repo/target/debug/deps/tmp_repro-f9165fcd4743b2a0: crates/core/tests/tmp_repro.rs
+
+crates/core/tests/tmp_repro.rs:

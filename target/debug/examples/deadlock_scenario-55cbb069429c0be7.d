@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/deadlock_scenario-55cbb069429c0be7.d: crates/snow/../../examples/deadlock_scenario.rs
+
+/root/repo/target/debug/examples/deadlock_scenario-55cbb069429c0be7: crates/snow/../../examples/deadlock_scenario.rs
+
+crates/snow/../../examples/deadlock_scenario.rs:

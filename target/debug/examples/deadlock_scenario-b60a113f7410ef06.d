@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/deadlock_scenario-b60a113f7410ef06.d: crates/snow/../../examples/deadlock_scenario.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdeadlock_scenario-b60a113f7410ef06.rmeta: crates/snow/../../examples/deadlock_scenario.rs Cargo.toml
+
+crates/snow/../../examples/deadlock_scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/deadlock_scenario-c3f32ae7fcaae9d2.d: crates/snow/../../examples/deadlock_scenario.rs
+
+/root/repo/target/debug/examples/deadlock_scenario-c3f32ae7fcaae9d2: crates/snow/../../examples/deadlock_scenario.rs
+
+crates/snow/../../examples/deadlock_scenario.rs:

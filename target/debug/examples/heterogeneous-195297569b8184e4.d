@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/heterogeneous-195297569b8184e4.d: crates/snow/../../examples/heterogeneous.rs Cargo.toml
+
+/root/repo/target/debug/examples/libheterogeneous-195297569b8184e4.rmeta: crates/snow/../../examples/heterogeneous.rs Cargo.toml
+
+crates/snow/../../examples/heterogeneous.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

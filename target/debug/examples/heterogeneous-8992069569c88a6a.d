@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/heterogeneous-8992069569c88a6a.d: crates/snow/../../examples/heterogeneous.rs
+
+/root/repo/target/debug/examples/heterogeneous-8992069569c88a6a: crates/snow/../../examples/heterogeneous.rs
+
+crates/snow/../../examples/heterogeneous.rs:

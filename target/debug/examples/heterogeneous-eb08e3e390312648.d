@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/heterogeneous-eb08e3e390312648.d: crates/snow/../../examples/heterogeneous.rs
+
+/root/repo/target/debug/examples/heterogeneous-eb08e3e390312648: crates/snow/../../examples/heterogeneous.rs
+
+crates/snow/../../examples/heterogeneous.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mg_migration-5fafe4e537d4c53d.d: crates/snow/../../examples/mg_migration.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmg_migration-5fafe4e537d4c53d.rmeta: crates/snow/../../examples/mg_migration.rs Cargo.toml
+
+crates/snow/../../examples/mg_migration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mg_migration-9c1b337948a2330c.d: crates/snow/../../examples/mg_migration.rs
+
+/root/repo/target/debug/examples/mg_migration-9c1b337948a2330c: crates/snow/../../examples/mg_migration.rs
+
+crates/snow/../../examples/mg_migration.rs:

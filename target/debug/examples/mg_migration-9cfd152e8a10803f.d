@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mg_migration-9cfd152e8a10803f.d: crates/snow/../../examples/mg_migration.rs
+
+/root/repo/target/debug/examples/mg_migration-9cfd152e8a10803f: crates/snow/../../examples/mg_migration.rs
+
+crates/snow/../../examples/mg_migration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-217651375aee7e1a.d: crates/snow/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-217651375aee7e1a: crates/snow/../../examples/quickstart.rs
+
+crates/snow/../../examples/quickstart.rs:

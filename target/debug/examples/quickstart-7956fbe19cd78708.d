@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7956fbe19cd78708.d: crates/snow/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-7956fbe19cd78708: crates/snow/../../examples/quickstart.rs
+
+crates/snow/../../examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-b1031bba4b2738c2.d: crates/snow/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-b1031bba4b2738c2.rmeta: crates/snow/../../examples/quickstart.rs Cargo.toml
+
+crates/snow/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ring_mobility-49d951ada66c2416.d: crates/snow/../../examples/ring_mobility.rs
+
+/root/repo/target/debug/examples/ring_mobility-49d951ada66c2416: crates/snow/../../examples/ring_mobility.rs
+
+crates/snow/../../examples/ring_mobility.rs:

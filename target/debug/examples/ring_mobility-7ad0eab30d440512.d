@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ring_mobility-7ad0eab30d440512.d: crates/snow/../../examples/ring_mobility.rs
+
+/root/repo/target/debug/examples/ring_mobility-7ad0eab30d440512: crates/snow/../../examples/ring_mobility.rs
+
+crates/snow/../../examples/ring_mobility.rs:

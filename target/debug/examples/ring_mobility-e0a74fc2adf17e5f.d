@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ring_mobility-e0a74fc2adf17e5f.d: crates/snow/../../examples/ring_mobility.rs Cargo.toml
+
+/root/repo/target/debug/examples/libring_mobility-e0a74fc2adf17e5f.rmeta: crates/snow/../../examples/ring_mobility.rs Cargo.toml
+
+crates/snow/../../examples/ring_mobility.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

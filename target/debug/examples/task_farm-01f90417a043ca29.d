@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/task_farm-01f90417a043ca29.d: crates/snow/../../examples/task_farm.rs
+
+/root/repo/target/debug/examples/task_farm-01f90417a043ca29: crates/snow/../../examples/task_farm.rs
+
+crates/snow/../../examples/task_farm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/task_farm-0f532ac02fca0437.d: crates/snow/../../examples/task_farm.rs
+
+/root/repo/target/debug/examples/task_farm-0f532ac02fca0437: crates/snow/../../examples/task_farm.rs
+
+crates/snow/../../examples/task_farm.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/task_farm-fdca348ed6d786b8.d: crates/snow/../../examples/task_farm.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtask_farm-fdca348ed6d786b8.rmeta: crates/snow/../../examples/task_farm.rs Cargo.toml
+
+crates/snow/../../examples/task_farm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

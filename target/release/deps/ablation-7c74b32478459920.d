@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-7c74b32478459920.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-7c74b32478459920: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-8b30b4acbae9694e.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-8b30b4acbae9694e: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-e0f4815500d28ff5.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-e0f4815500d28ff5.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-e0f4815500d28ff5.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

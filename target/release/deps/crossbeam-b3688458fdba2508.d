@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/crossbeam-b3688458fdba2508.d: vendor/crossbeam/src/lib.rs vendor/crossbeam/src/channel.rs
+
+/root/repo/target/release/deps/libcrossbeam-b3688458fdba2508.rlib: vendor/crossbeam/src/lib.rs vendor/crossbeam/src/channel.rs
+
+/root/repo/target/release/deps/libcrossbeam-b3688458fdba2508.rmeta: vendor/crossbeam/src/lib.rs vendor/crossbeam/src/channel.rs
+
+vendor/crossbeam/src/lib.rs:
+vendor/crossbeam/src/channel.rs:

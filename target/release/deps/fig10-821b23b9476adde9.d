@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-821b23b9476adde9.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-821b23b9476adde9: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-c7075099e7793826.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-c7075099e7793826: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

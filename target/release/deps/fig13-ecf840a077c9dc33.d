@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-ecf840a077c9dc33.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-ecf840a077c9dc33: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

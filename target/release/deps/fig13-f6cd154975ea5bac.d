@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-f6cd154975ea5bac.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-f6cd154975ea5bac: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-7331c96af3bf579c.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-7331c96af3bf579c.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-7331c96af3bf579c.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

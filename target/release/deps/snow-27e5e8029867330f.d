@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/snow-27e5e8029867330f.d: crates/snow/src/lib.rs
+
+/root/repo/target/release/deps/libsnow-27e5e8029867330f.rlib: crates/snow/src/lib.rs
+
+/root/repo/target/release/deps/libsnow-27e5e8029867330f.rmeta: crates/snow/src/lib.rs
+
+crates/snow/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/snow-fa0c4f30aba15f3a.d: crates/snow/src/lib.rs
+
+/root/repo/target/release/deps/libsnow-fa0c4f30aba15f3a.rlib: crates/snow/src/lib.rs
+
+/root/repo/target/release/deps/libsnow-fa0c4f30aba15f3a.rmeta: crates/snow/src/lib.rs
+
+crates/snow/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/snow_baselines-e709a81441b3e88c.d: crates/baselines/src/lib.rs crates/baselines/src/broadcast.rs crates/baselines/src/cocheck.rs crates/baselines/src/forwarding.rs
+
+/root/repo/target/release/deps/libsnow_baselines-e709a81441b3e88c.rlib: crates/baselines/src/lib.rs crates/baselines/src/broadcast.rs crates/baselines/src/cocheck.rs crates/baselines/src/forwarding.rs
+
+/root/repo/target/release/deps/libsnow_baselines-e709a81441b3e88c.rmeta: crates/baselines/src/lib.rs crates/baselines/src/broadcast.rs crates/baselines/src/cocheck.rs crates/baselines/src/forwarding.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/broadcast.rs:
+crates/baselines/src/cocheck.rs:
+crates/baselines/src/forwarding.rs:

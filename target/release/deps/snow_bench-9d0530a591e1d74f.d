@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/snow_bench-9d0530a591e1d74f.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsnow_bench-9d0530a591e1d74f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsnow_bench-9d0530a591e1d74f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/snow_bench-cdcdfa4f485973cf.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsnow_bench-cdcdfa4f485973cf.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsnow_bench-cdcdfa4f485973cf.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

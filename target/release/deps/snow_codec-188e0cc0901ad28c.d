@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/snow_codec-188e0cc0901ad28c.d: crates/codec/src/lib.rs crates/codec/src/error.rs crates/codec/src/host.rs crates/codec/src/value.rs crates/codec/src/wire.rs
+
+/root/repo/target/release/deps/libsnow_codec-188e0cc0901ad28c.rlib: crates/codec/src/lib.rs crates/codec/src/error.rs crates/codec/src/host.rs crates/codec/src/value.rs crates/codec/src/wire.rs
+
+/root/repo/target/release/deps/libsnow_codec-188e0cc0901ad28c.rmeta: crates/codec/src/lib.rs crates/codec/src/error.rs crates/codec/src/host.rs crates/codec/src/value.rs crates/codec/src/wire.rs
+
+crates/codec/src/lib.rs:
+crates/codec/src/error.rs:
+crates/codec/src/host.rs:
+crates/codec/src/value.rs:
+crates/codec/src/wire.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/snow_core-01ab1cc6e1830c92.d: crates/core/src/lib.rs crates/core/src/compat.rs crates/core/src/computation.rs crates/core/src/error.rs crates/core/src/migrate.rs crates/core/src/process.rs crates/core/src/rml.rs
+
+/root/repo/target/release/deps/libsnow_core-01ab1cc6e1830c92.rlib: crates/core/src/lib.rs crates/core/src/compat.rs crates/core/src/computation.rs crates/core/src/error.rs crates/core/src/migrate.rs crates/core/src/process.rs crates/core/src/rml.rs
+
+/root/repo/target/release/deps/libsnow_core-01ab1cc6e1830c92.rmeta: crates/core/src/lib.rs crates/core/src/compat.rs crates/core/src/computation.rs crates/core/src/error.rs crates/core/src/migrate.rs crates/core/src/process.rs crates/core/src/rml.rs
+
+crates/core/src/lib.rs:
+crates/core/src/compat.rs:
+crates/core/src/computation.rs:
+crates/core/src/error.rs:
+crates/core/src/migrate.rs:
+crates/core/src/process.rs:
+crates/core/src/rml.rs:

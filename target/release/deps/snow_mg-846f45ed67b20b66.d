@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/snow_mg-846f45ed67b20b66.d: crates/mg/src/lib.rs crates/mg/src/checkpoint.rs crates/mg/src/comm.rs crates/mg/src/grid.rs crates/mg/src/stencil.rs crates/mg/src/vcycle.rs crates/mg/src/workloads.rs
+
+/root/repo/target/release/deps/libsnow_mg-846f45ed67b20b66.rlib: crates/mg/src/lib.rs crates/mg/src/checkpoint.rs crates/mg/src/comm.rs crates/mg/src/grid.rs crates/mg/src/stencil.rs crates/mg/src/vcycle.rs crates/mg/src/workloads.rs
+
+/root/repo/target/release/deps/libsnow_mg-846f45ed67b20b66.rmeta: crates/mg/src/lib.rs crates/mg/src/checkpoint.rs crates/mg/src/comm.rs crates/mg/src/grid.rs crates/mg/src/stencil.rs crates/mg/src/vcycle.rs crates/mg/src/workloads.rs
+
+crates/mg/src/lib.rs:
+crates/mg/src/checkpoint.rs:
+crates/mg/src/comm.rs:
+crates/mg/src/grid.rs:
+crates/mg/src/stencil.rs:
+crates/mg/src/vcycle.rs:
+crates/mg/src/workloads.rs:

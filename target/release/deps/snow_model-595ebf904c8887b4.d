@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/snow_model-595ebf904c8887b4.d: crates/model/src/lib.rs crates/model/src/script.rs crates/model/src/world.rs
+
+/root/repo/target/release/deps/libsnow_model-595ebf904c8887b4.rlib: crates/model/src/lib.rs crates/model/src/script.rs crates/model/src/world.rs
+
+/root/repo/target/release/deps/libsnow_model-595ebf904c8887b4.rmeta: crates/model/src/lib.rs crates/model/src/script.rs crates/model/src/world.rs
+
+crates/model/src/lib.rs:
+crates/model/src/script.rs:
+crates/model/src/world.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/snow_net-428653a72549096d.d: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/datagram.rs crates/net/src/link.rs
+
+/root/repo/target/release/deps/libsnow_net-428653a72549096d.rlib: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/datagram.rs crates/net/src/link.rs
+
+/root/repo/target/release/deps/libsnow_net-428653a72549096d.rmeta: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/datagram.rs crates/net/src/link.rs
+
+crates/net/src/lib.rs:
+crates/net/src/channel.rs:
+crates/net/src/datagram.rs:
+crates/net/src/link.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/snow_sched-10762decb653897a.d: crates/sched/src/lib.rs crates/sched/src/client.rs crates/sched/src/directory.rs crates/sched/src/records.rs crates/sched/src/scheduler.rs
+
+/root/repo/target/release/deps/libsnow_sched-10762decb653897a.rlib: crates/sched/src/lib.rs crates/sched/src/client.rs crates/sched/src/directory.rs crates/sched/src/records.rs crates/sched/src/scheduler.rs
+
+/root/repo/target/release/deps/libsnow_sched-10762decb653897a.rmeta: crates/sched/src/lib.rs crates/sched/src/client.rs crates/sched/src/directory.rs crates/sched/src/records.rs crates/sched/src/scheduler.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/client.rs:
+crates/sched/src/directory.rs:
+crates/sched/src/records.rs:
+crates/sched/src/scheduler.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/snow_state-172ed4a8af1e85e9.d: crates/state/src/lib.rs crates/state/src/cost.rs crates/state/src/exec.rs crates/state/src/memory.rs crates/state/src/pipeline.rs crates/state/src/snapshot.rs
+
+/root/repo/target/release/deps/libsnow_state-172ed4a8af1e85e9.rlib: crates/state/src/lib.rs crates/state/src/cost.rs crates/state/src/exec.rs crates/state/src/memory.rs crates/state/src/pipeline.rs crates/state/src/snapshot.rs
+
+/root/repo/target/release/deps/libsnow_state-172ed4a8af1e85e9.rmeta: crates/state/src/lib.rs crates/state/src/cost.rs crates/state/src/exec.rs crates/state/src/memory.rs crates/state/src/pipeline.rs crates/state/src/snapshot.rs
+
+crates/state/src/lib.rs:
+crates/state/src/cost.rs:
+crates/state/src/exec.rs:
+crates/state/src/memory.rs:
+crates/state/src/pipeline.rs:
+crates/state/src/snapshot.rs:

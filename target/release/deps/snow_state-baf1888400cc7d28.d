@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/snow_state-baf1888400cc7d28.d: crates/state/src/lib.rs crates/state/src/cost.rs crates/state/src/exec.rs crates/state/src/memory.rs crates/state/src/snapshot.rs
+
+/root/repo/target/release/deps/libsnow_state-baf1888400cc7d28.rlib: crates/state/src/lib.rs crates/state/src/cost.rs crates/state/src/exec.rs crates/state/src/memory.rs crates/state/src/snapshot.rs
+
+/root/repo/target/release/deps/libsnow_state-baf1888400cc7d28.rmeta: crates/state/src/lib.rs crates/state/src/cost.rs crates/state/src/exec.rs crates/state/src/memory.rs crates/state/src/snapshot.rs
+
+crates/state/src/lib.rs:
+crates/state/src/cost.rs:
+crates/state/src/exec.rs:
+crates/state/src/memory.rs:
+crates/state/src/snapshot.rs:

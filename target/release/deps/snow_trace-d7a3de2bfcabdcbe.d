@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/snow_trace-d7a3de2bfcabdcbe.d: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/event.rs crates/trace/src/report.rs crates/trace/src/spacetime.rs crates/trace/src/tracer.rs
+
+/root/repo/target/release/deps/libsnow_trace-d7a3de2bfcabdcbe.rlib: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/event.rs crates/trace/src/report.rs crates/trace/src/spacetime.rs crates/trace/src/tracer.rs
+
+/root/repo/target/release/deps/libsnow_trace-d7a3de2bfcabdcbe.rmeta: crates/trace/src/lib.rs crates/trace/src/analysis.rs crates/trace/src/event.rs crates/trace/src/report.rs crates/trace/src/spacetime.rs crates/trace/src/tracer.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/analysis.rs:
+crates/trace/src/event.rs:
+crates/trace/src/report.rs:
+crates/trace/src/spacetime.rs:
+crates/trace/src/tracer.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/snow_vm-cb3976cd957a624c.d: crates/vm/src/lib.rs crates/vm/src/daemon.rs crates/vm/src/host.rs crates/vm/src/ids.rs crates/vm/src/post.rs crates/vm/src/process.rs crates/vm/src/vm.rs crates/vm/src/wire.rs
+
+/root/repo/target/release/deps/libsnow_vm-cb3976cd957a624c.rlib: crates/vm/src/lib.rs crates/vm/src/daemon.rs crates/vm/src/host.rs crates/vm/src/ids.rs crates/vm/src/post.rs crates/vm/src/process.rs crates/vm/src/vm.rs crates/vm/src/wire.rs
+
+/root/repo/target/release/deps/libsnow_vm-cb3976cd957a624c.rmeta: crates/vm/src/lib.rs crates/vm/src/daemon.rs crates/vm/src/host.rs crates/vm/src/ids.rs crates/vm/src/post.rs crates/vm/src/process.rs crates/vm/src/vm.rs crates/vm/src/wire.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/daemon.rs:
+crates/vm/src/host.rs:
+crates/vm/src/ids.rs:
+crates/vm/src/post.rs:
+crates/vm/src/process.rs:
+crates/vm/src/vm.rs:
+crates/vm/src/wire.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/state_transfer-5edc21aec63e87dc.d: crates/bench/benches/state_transfer.rs
+
+/root/repo/target/release/deps/state_transfer-5edc21aec63e87dc: crates/bench/benches/state_transfer.rs
+
+crates/bench/benches/state_transfer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-01fdf9d8988ced9a.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-01fdf9d8988ced9a: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

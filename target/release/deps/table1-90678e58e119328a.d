@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-90678e58e119328a.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-90678e58e119328a: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-33d20ac308673b77.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-33d20ac308673b77: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

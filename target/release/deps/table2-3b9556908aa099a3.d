@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-3b9556908aa099a3.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-3b9556908aa099a3: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

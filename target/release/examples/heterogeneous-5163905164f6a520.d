@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/heterogeneous-5163905164f6a520.d: crates/snow/../../examples/heterogeneous.rs
+
+/root/repo/target/release/examples/heterogeneous-5163905164f6a520: crates/snow/../../examples/heterogeneous.rs
+
+crates/snow/../../examples/heterogeneous.rs:

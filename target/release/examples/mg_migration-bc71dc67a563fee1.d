@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/mg_migration-bc71dc67a563fee1.d: crates/snow/../../examples/mg_migration.rs
+
+/root/repo/target/release/examples/mg_migration-bc71dc67a563fee1: crates/snow/../../examples/mg_migration.rs
+
+crates/snow/../../examples/mg_migration.rs:

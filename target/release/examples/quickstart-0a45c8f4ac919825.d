@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-0a45c8f4ac919825.d: crates/snow/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-0a45c8f4ac919825: crates/snow/../../examples/quickstart.rs
+
+crates/snow/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/ring_mobility-68493c40ee696f44.d: crates/snow/../../examples/ring_mobility.rs
+
+/root/repo/target/release/examples/ring_mobility-68493c40ee696f44: crates/snow/../../examples/ring_mobility.rs
+
+crates/snow/../../examples/ring_mobility.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libsnow_model.rlib: /root/repo/crates/model/src/lib.rs /root/repo/crates/model/src/script.rs /root/repo/crates/model/src/world.rs /root/repo/vendor/rand/src/lib.rs

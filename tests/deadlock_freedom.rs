@@ -107,7 +107,9 @@ fn fig8_unconnected_sender_redirected() {
 fn all_pairs_flood_during_migration() {
     const N: usize = 4;
     const MSGS: usize = 25;
-    let comp = Computation::builder().hosts(HostSpec::ideal(), N + 1).build();
+    let comp = Computation::builder()
+        .hosts(HostSpec::ideal(), N + 1)
+        .build();
     let spare = comp.hosts()[N];
 
     let handles = comp.launch(N, move |mut p, start| {
@@ -123,10 +125,8 @@ fn all_pairs_flood_during_migration() {
                 if p.poll_point().unwrap() {
                     // Record progress so the resumed process continues.
                     let state = ProcessState::new(
-                        ExecState::at_entry().with_local(
-                            "k",
-                            snow::codec::Value::U64(k as u64 + 1),
-                        ),
+                        ExecState::at_entry()
+                            .with_local("k", snow::codec::Value::U64(k as u64 + 1)),
                         MemoryGraph::new(),
                     );
                     p.migrate(&state).unwrap();

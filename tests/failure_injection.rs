@@ -43,7 +43,8 @@ fn peer_dies_mid_coordination() {
         _ => unreachable!(),
     });
 
-    comp.migrate(0, spare).expect("migration completes despite the dead peer");
+    comp.migrate(0, spare)
+        .expect("migration completes despite the dead peer");
     for h in handles {
         h.join().unwrap();
     }
@@ -101,7 +102,9 @@ fn destination_vanishes_mid_migration() {
 #[test]
 fn host_leave_waves() {
     const WAVES: usize = 3;
-    let comp = Computation::builder().hosts(HostSpec::ideal(), WAVES + 3).build();
+    let comp = Computation::builder()
+        .hosts(HostSpec::ideal(), WAVES + 3)
+        .build();
     // rank 0 hops: hosts[1] → hosts[2] → ... ; rank 1 stays on the last
     // host and keeps sending.
     let sender_host = comp.hosts()[WAVES + 2];

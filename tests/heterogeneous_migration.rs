@@ -40,8 +40,7 @@ fn dec_to_ultra_migration_preserves_state() {
         ByteOrder::Big
     );
 
-    let timings: Arc<Mutex<Option<snow::core::MigrationTimings>>> =
-        Arc::new(Mutex::new(None));
+    let timings: Arc<Mutex<Option<snow::core::MigrationTimings>>> = Arc::new(Mutex::new(None));
     let timings_w = Arc::clone(&timings);
 
     let placement = vec![dec, comp.hosts()[0]];
@@ -69,7 +68,10 @@ fn dec_to_ultra_migration_preserves_state() {
             }
             (0, Start::Resumed(state)) => {
                 assert_eq!(
-                    state.exec.local("magic").and_then(snow::codec::Value::as_u64),
+                    state
+                        .exec
+                        .local("magic")
+                        .and_then(snow::codec::Value::as_u64),
                     Some(0x0102_0304_0506_0708),
                     "integer scrambled crossing byte orders"
                 );
@@ -190,9 +192,8 @@ fn slow_host_captures_early_messages() {
 
     let st = SpaceTime::build(tracer.snapshot());
     assert!(st.undelivered().is_empty());
-    let forwarded = st
-        .events()
-        .iter()
-        .any(|e| matches!(e.kind, snow::trace::EventKind::RmlForwarded { count, .. } if count >= 2));
+    let forwarded = st.events().iter().any(
+        |e| matches!(e.kind, snow::trace::EventKind::RmlForwarded { count, .. } if count >= 2),
+    );
     assert!(forwarded, "trace must show the Fig 13 capture+forward");
 }

@@ -37,8 +37,7 @@ fn exactly_once_delivery_across_migration() {
                 await_migration(&mut p);
                 let done = SENDERS as u64 * MSGS / 3;
                 let state = ProcessState::new(
-                    ExecState::at_entry()
-                        .with_local("done", snow::codec::Value::U64(done)),
+                    ExecState::at_entry().with_local("done", snow::codec::Value::U64(done)),
                     MemoryGraph::new(),
                 );
                 p.migrate(&state).unwrap();

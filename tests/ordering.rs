@@ -71,7 +71,11 @@ fn list_a_read_before_list_b() {
     }
     comp.join_init_processes();
     let st = SpaceTime::build(tracer.snapshot());
-    assert!(st.fifo_violations().is_empty(), "{:?}", st.fifo_violations());
+    assert!(
+        st.fifo_violations().is_empty(),
+        "{:?}",
+        st.fifo_violations()
+    );
     assert!(st.undelivered().is_empty());
 }
 
@@ -199,8 +203,16 @@ fn per_sender_fifo_with_two_senders() {
         }
         (0, Start::Resumed(state)) => {
             let mut next = [0u64; 3];
-            next[1] = state.exec.local("n1").and_then(snow::codec::Value::as_u64).unwrap();
-            next[2] = state.exec.local("n2").and_then(snow::codec::Value::as_u64).unwrap();
+            next[1] = state
+                .exec
+                .local("n1")
+                .and_then(snow::codec::Value::as_u64)
+                .unwrap();
+            next[2] = state
+                .exec
+                .local("n2")
+                .and_then(snow::codec::Value::as_u64)
+                .unwrap();
             while next[1] + next[2] < 2 * MSGS {
                 let (s, _t, b) = p.recv(None, Some(5)).unwrap();
                 assert_eq!(seq_of(&b), next[s], "sender {s} out of order");

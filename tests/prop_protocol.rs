@@ -31,10 +31,7 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
         .prop_flat_map(|n| {
             (
                 Just(n),
-                proptest::collection::vec(
-                    proptest::collection::vec(0u8..8, n..=n),
-                    n..=n,
-                ),
+                proptest::collection::vec(proptest::collection::vec(0u8..8, n..=n), n..=n),
                 0..n,
                 0u8..=100,
                 1u8..64,
@@ -94,10 +91,8 @@ fn run_scenario(sc: &Scenario) -> Result<(), TestCaseError> {
                     await_migration(&mut p);
                     let mut exec = ExecState::at_entry();
                     for (s, nx) in next.iter().enumerate() {
-                        exec = exec.with_local(
-                            &format!("n{s}"),
-                            snow::codec::Value::U64(*nx as u64),
-                        );
+                        exec =
+                            exec.with_local(&format!("n{s}"), snow::codec::Value::U64(*nx as u64));
                     }
                     p.migrate(&ProcessState::new(exec, MemoryGraph::new()))
                         .unwrap();
@@ -131,6 +126,9 @@ fn run_scenario(sc: &Scenario) -> Result<(), TestCaseError> {
         h.join()
             .map_err(|_| TestCaseError::fail("rank panicked (loss/reorder)"))?;
     }
+    // The migrated rank finishes on a scheduler-owned thread; its
+    // post-restore receives must land before the trace is read.
+    comp.join_init_processes();
 
     let st = SpaceTime::build(tracer.snapshot());
     prop_assert!(
@@ -180,10 +178,8 @@ fn run_scenario_dual(sc: &Scenario) -> Result<(), TestCaseError> {
                     await_migration(&mut p);
                     let mut exec = ExecState::at_entry();
                     for (s, nx) in next.iter().enumerate() {
-                        exec = exec.with_local(
-                            &format!("n{s}"),
-                            snow::codec::Value::U64(*nx as u64),
-                        );
+                        exec =
+                            exec.with_local(&format!("n{s}"), snow::codec::Value::U64(*nx as u64));
                     }
                     p.migrate(&ProcessState::new(exec, MemoryGraph::new()))
                         .unwrap();
@@ -233,7 +229,6 @@ proptest! {
     #![proptest_config(ProptestConfig {
         cases: 12,
         max_shrink_iters: 20,
-        .. ProptestConfig::default()
     })]
 
     #[test]
@@ -246,7 +241,6 @@ proptest! {
     #![proptest_config(ProptestConfig {
         cases: 8,
         max_shrink_iters: 20,
-        .. ProptestConfig::default()
     })]
 
     #[test]

@@ -50,13 +50,26 @@ fn sparse_ring_migration_disturbs_only_neighbours() {
             if me == MIGRANT && round == 1 {
                 await_migration(&mut p);
                 let state = ProcessState::new(
-                    ExecState::at_entry()
-                        .with_local("round", snow::codec::Value::U64(round + 1)),
+                    ExecState::at_entry().with_local("round", snow::codec::Value::U64(round + 1)),
                     MemoryGraph::new(),
                 );
                 p.migrate(&state).unwrap();
                 return;
             }
+        }
+        // Closing token barrier, seeded by the (resumed) migrant: ranks
+        // far upstream of the migrant never stall on it during the data
+        // rounds, so without this they can terminate before the
+        // coordination marker reaches them and the neighbour assertion
+        // below would race. The token leaves the migrant only after
+        // restore, by which time the marker is already queued at every
+        // neighbour; draining the inbox for the token classifies it.
+        if me == MIGRANT {
+            p.send(right, 2, seq_payload(0)).unwrap();
+            let _ = p.recv(Some(left), Some(2)).unwrap();
+        } else {
+            let _ = p.recv(Some(left), Some(2)).unwrap();
+            p.send(right, 2, seq_payload(0)).unwrap();
         }
         p.finish();
     });
@@ -124,7 +137,7 @@ fn third_of_the_world_migrates() {
         }
         // Movers resume here with their RML intact; everyone collects
         // N-1 messages.
-        let mut seen = vec![false; N];
+        let mut seen = [false; N];
         for _ in 0..N - 1 {
             let (s, _t, b) = p.recv(None, Some(3)).unwrap();
             assert_eq!(u64::from_be_bytes(b[..8].try_into().unwrap()), s as u64);

@@ -1,0 +1,264 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the macro/builder surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, benchmark groups, throughput
+//! annotations) over a simple wall-clock measurement loop: warm up
+//! once, then run enough iterations to cover a few milliseconds and
+//! report mean ns/iter (plus MB/s when a byte throughput is set).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter, rendered `name/param`.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{name}/{param}"),
+        }
+    }
+
+    /// A parameter-only id.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{param}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.into() }
+    }
+}
+
+/// Per-iteration measurement driver handed to bench closures.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measure `routine`: one warm-up call, then timed batches until a
+    /// few milliseconds of samples accumulate.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+        let budget = Duration::from_millis(20);
+        let mut iters = 0u64;
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= budget {
+                break;
+            }
+        }
+        self.total = start.elapsed();
+        self.iters = iters;
+    }
+
+    /// Measure with a caller-timed routine: `routine` receives an
+    /// iteration count and returns the total elapsed time for exactly
+    /// that many runs. Used when setup must be excluded from timing.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut routine: F) {
+        let _ = black_box(routine(1));
+        let iters = 3u64;
+        self.total = routine(iters);
+        self.iters = iters;
+    }
+
+    /// Measure `routine` over fresh inputs from `setup`, timing only
+    /// the routine (setup cost excluded from the sample).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let budget = Duration::from_millis(20);
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < budget {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.total = total;
+        self.iters = iters;
+    }
+}
+
+/// Input-recreation policy for [`Bencher::iter_batched`] (accepted for
+/// API compatibility; the shim always recreates per iteration).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small inputs: criterion batches many per allocation.
+    SmallInput,
+    /// Large inputs: one per batch.
+    LargeInput,
+    /// Recreate the input every iteration.
+    PerIteration,
+}
+
+/// The top-level harness object.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            _c: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Set the throughput annotation for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a closure with no external input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.name), self.throughput, f);
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id.name),
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut b = Bencher {
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("  {label}: no measurement (closure never called iter)");
+        return;
+    }
+    let ns = b.total.as_nanos() as f64 / b.iters as f64;
+    match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let mbps = (n as f64 / 1e6) / (ns / 1e9);
+            println!("  {label}: {ns:.0} ns/iter, {mbps:.1} MB/s");
+        }
+        Some(Throughput::Elements(n)) => {
+            let eps = n as f64 / (ns / 1e9);
+            println!("  {label}: {ns:.0} ns/iter, {eps:.0} elem/s");
+        }
+        None => println!("  {label}: {ns:.0} ns/iter"),
+    }
+}
+
+/// Group benchmark functions under one runner, as criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("t");
+        g.sample_size(5);
+        g.throughput(Throughput::Bytes(8));
+        g.bench_with_input(BenchmarkId::new("sum", 8), &[1u64; 8][..], |b, xs| {
+            b.iter(|| xs.iter().sum::<u64>());
+        });
+        g.finish();
+        c.bench_function("free", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+    }
+}

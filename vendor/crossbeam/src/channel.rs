@@ -1,0 +1,439 @@
+//! MPMC channels, API-compatible with `crossbeam::channel` for the
+//! subset this workspace uses.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::send`] when all receivers are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and
+/// all senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "receiving on an empty, disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::recv_timeout`] / [`Receiver::recv_deadline`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The deadline passed with no message available.
+    Timeout,
+    /// The channel is empty and all senders are gone.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message currently available.
+    Empty,
+    /// The channel is empty and all senders are gone.
+    Disconnected,
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    cap: Option<usize>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    recv_ready: Condvar,
+    send_ready: Condvar,
+}
+
+/// Create an unbounded MPMC channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_cap(None)
+}
+
+/// Create a bounded MPMC channel; sends block while `cap` messages are
+/// queued.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    with_cap(Some(cap))
+}
+
+fn with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            cap,
+            senders: 1,
+            receivers: 1,
+        }),
+        recv_ready: Condvar::new(),
+        send_ready: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+/// The sending half of a channel.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Send a message, blocking while a bounded channel is full.
+    /// Returns the message if every receiver has been dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut st = self.shared.state.lock().unwrap();
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            match st.cap {
+                Some(cap) if st.queue.len() >= cap => {
+                    st = self.shared.send_ready.wait(st).unwrap();
+                }
+                _ => break,
+            }
+        }
+        st.queue.push_back(msg);
+        drop(st);
+        self.shared.recv_ready.notify_one();
+        Ok(())
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.state.lock().unwrap().queue.len()
+    }
+
+    /// True when no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().unwrap().senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().unwrap();
+        st.senders -= 1;
+        if st.senders == 0 {
+            drop(st);
+            self.shared.recv_ready.notify_all();
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sender").finish_non_exhaustive()
+    }
+}
+
+/// The receiving half of a channel.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Receiver<T> {
+    fn pop(&self, st: &mut State<T>) -> Option<T> {
+        let v = st.queue.pop_front();
+        if v.is_some() {
+            self.shared.send_ready.notify_one();
+        }
+        v
+    }
+
+    /// Block until a message arrives or all senders are dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.shared.state.lock().unwrap();
+        loop {
+            if let Some(v) = self.pop(&mut st) {
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self.shared.recv_ready.wait(st).unwrap();
+        }
+    }
+
+    /// Block until a message arrives, the timeout elapses, or all
+    /// senders are dropped.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.recv_deadline(Instant::now() + timeout)
+    }
+
+    /// Like [`Receiver::recv_timeout`] with an absolute deadline.
+    pub fn recv_deadline(&self, deadline: Instant) -> Result<T, RecvTimeoutError> {
+        let mut st = self.shared.state.lock().unwrap();
+        loop {
+            if let Some(v) = self.pop(&mut st) {
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _timeout) = self
+                .shared
+                .recv_ready
+                .wait_timeout(st, deadline - now)
+                .unwrap();
+            st = guard;
+        }
+    }
+
+    /// Pop an already-queued message without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.shared.state.lock().unwrap();
+        if let Some(v) = self.pop(&mut st) {
+            return Ok(v);
+        }
+        if st.senders == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.state.lock().unwrap().queue.len()
+    }
+
+    /// True when no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drain already-queued messages without blocking.
+    pub fn try_iter(&self) -> TryIter<'_, T> {
+        TryIter { rx: self }
+    }
+
+    /// True when `recv` would return without blocking (a message is
+    /// queued, or the channel is disconnected). Support for `select!`.
+    #[doc(hidden)]
+    pub fn __select_ready(&self) -> bool {
+        let st = self.shared.state.lock().unwrap();
+        !st.queue.is_empty() || st.senders == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().unwrap().receivers += 1;
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().unwrap();
+        st.receivers -= 1;
+        if st.receivers == 0 {
+            drop(st);
+            self.shared.send_ready.notify_all();
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Receiver").finish_non_exhaustive()
+    }
+}
+
+/// Iterator over already-queued messages; see [`Receiver::try_iter`].
+pub struct TryIter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for TryIter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Polling stand-in for `crossbeam::channel::select!` covering the
+/// `recv($rx) -> $pat => $body` arm form.
+#[macro_export]
+macro_rules! select {
+    ($(recv($rx:expr) -> $pat:pat => $body:expr),+ $(,)?) => {{
+        // Phase 1: poll until some arm is ready. Phase 2: dispatch to
+        // that arm with the body in tail position, so diverging bodies
+        // (`return ...`) compile without unreachable-code noise, as
+        // with the real macro. Assumes this thread is the only
+        // consumer of the polled receivers (true in this workspace):
+        // readiness seen in phase 1 then holds through the `recv`.
+        let __idx: usize;
+        '__probe: loop {
+            let mut __i = 0usize;
+            $(
+                if $rx.__select_ready() {
+                    __idx = __i;
+                    break '__probe;
+                }
+                __i += 1;
+            )+
+            let _ = __i;
+            ::std::thread::sleep(::std::time::Duration::from_micros(50));
+        }
+        let mut __i = 0usize;
+        let __out = $(
+            if __idx == {
+                let __cur = __i;
+                __i += 1;
+                __cur
+            } {
+                let $pat = $rx.recv();
+                $body
+            } else
+        )+ {
+            unreachable!("select! dispatched past its last arm")
+        };
+        let _ = __i;
+        __out
+    }};
+}
+
+pub use crate::select;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn unbounded_fifo_and_disconnect() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.len(), 10);
+        for i in 0..10 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn bounded_blocks_until_drained() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let t = thread::spawn(move || {
+            tx.send(3).unwrap(); // blocks until a pop
+            tx.send(4).unwrap();
+        });
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+        assert_eq!(rx.recv(), Ok(4));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn timeout_and_try_recv() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(7).unwrap();
+        assert_eq!(rx.try_recv(), Ok(7));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn mpmc_delivery_complete() {
+        let (tx, rx) = unbounded::<u32>();
+        let mut senders = Vec::new();
+        for s in 0..4u32 {
+            let tx = tx.clone();
+            senders.push(thread::spawn(move || {
+                for i in 0..50 {
+                    tx.send(s * 100 + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let rx2 = rx.clone();
+        let consumer = thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Ok(v) = rx2.recv() {
+                got.push(v);
+            }
+            got
+        });
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        for s in senders {
+            s.join().unwrap();
+        }
+        got.extend(consumer.join().unwrap());
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(got.len(), 200);
+    }
+
+    #[test]
+    fn select_picks_ready_arm() {
+        let (tx_a, rx_a) = unbounded::<u32>();
+        let (_tx_b, rx_b) = unbounded::<u32>();
+        tx_a.send(9).unwrap();
+        let got = select! {
+            recv(rx_a) -> msg => msg.unwrap(),
+            recv(rx_b) -> _msg => unreachable!(),
+        };
+        assert_eq!(got, 9);
+    }
+
+    #[test]
+    fn select_sees_disconnect() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(tx);
+        let got = select! {
+            recv(rx) -> msg => msg.is_err(),
+        };
+        assert!(got);
+    }
+}

@@ -1,0 +1,8 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides the `crossbeam::channel` API subset the workspace uses —
+//! MPMC `unbounded`/`bounded` channels with `recv_timeout`,
+//! `recv_deadline`, `try_recv`, `len`, `try_iter`, and a polling
+//! `select!` — implemented on `std::sync::{Mutex, Condvar}`.
+
+pub mod channel;

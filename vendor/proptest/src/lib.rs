@@ -1,0 +1,136 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of proptest this workspace uses: the
+//! [`Strategy`] combinators (`prop_map`, `prop_flat_map`,
+//! `prop_recursive`, `boxed`), range / tuple / `&str`-regex / vec
+//! strategies, `any::<T>()`, and the `proptest!` / `prop_assert!` /
+//! `prop_oneof!` macros — driven by a deterministic splitmix64 runner
+//! seeded from the test name, so failures reproduce across runs.
+//!
+//! Deliberately omitted relative to the real crate: shrinking
+//! (`max_shrink_iters` is accepted and ignored; a failing case reports
+//! its inputs' seed instead), persistence files, and the full regex
+//! grammar (only `[class]{m,n}` token sequences are supported, which
+//! covers every pattern in this repository).
+
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The glob-import surface the workspace's tests rely on.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from
+/// strategies; each runs `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::test_runner::run_cases(
+                    &__config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |__rng| {
+                        $(
+                            let $arg =
+                                $crate::strategy::Strategy::generate(&($strat), __rng);
+                        )+
+                        let __out: ::std::result::Result<
+                            (),
+                            $crate::test_runner::TestCaseError,
+                        > = (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                        __out
+                    },
+                );
+            }
+        )+
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )+
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )+
+        }
+    };
+}
+
+/// Assert inside a `proptest!` body; failure aborts the case with a
+/// `TestCaseError` instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{}` != `{}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __l,
+                    __r
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)+),
+                    __l,
+                    __r
+                ),
+            ));
+        }
+    }};
+}
+
+/// Uniformly choose among several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

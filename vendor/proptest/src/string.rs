@@ -1,0 +1,146 @@
+//! Tiny regex-subset generator backing `&str` strategies.
+//!
+//! Supports concatenations of `[class]` atoms with optional `{m}` or
+//! `{m,n}` quantifiers, where a class is literal characters and `a-z`
+//! style ranges — e.g. `"[a-zA-Z_][a-zA-Z0-9_]{0,10}"`. Anything else
+//! panics loudly so an unsupported pattern is caught at the test site
+//! rather than silently generating wrong inputs.
+
+use crate::test_runner::TestRng;
+
+struct Atom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize, // inclusive
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let mut it = pattern.chars().peekable();
+    while let Some(c) = it.next() {
+        if c != '[' {
+            panic!("unsupported regex pattern {pattern:?}: expected '[', found {c:?}");
+        }
+        let mut chars = Vec::new();
+        loop {
+            let c = it
+                .next()
+                .unwrap_or_else(|| panic!("unterminated class in regex pattern {pattern:?}"));
+            if c == ']' {
+                break;
+            }
+            if it.peek() == Some(&'-') {
+                let mut probe = it.clone();
+                probe.next(); // consume '-'
+                match probe.peek() {
+                    Some(&end) if end != ']' => {
+                        it = probe;
+                        let end = it.next().unwrap();
+                        assert!(
+                            c <= end,
+                            "descending class range {c}-{end} in regex pattern {pattern:?}"
+                        );
+                        chars.extend(c..=end);
+                        continue;
+                    }
+                    _ => {} // trailing '-' is a literal
+                }
+            }
+            chars.push(c);
+        }
+        assert!(
+            !chars.is_empty(),
+            "empty class in regex pattern {pattern:?}"
+        );
+        let (min, max) = if it.peek() == Some(&'{') {
+            it.next();
+            let mut spec = String::new();
+            loop {
+                let c = it.next().unwrap_or_else(|| {
+                    panic!("unterminated quantifier in regex pattern {pattern:?}")
+                });
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            let parse_n = |s: &str| {
+                s.trim().parse::<usize>().unwrap_or_else(|_| {
+                    panic!("bad quantifier {{{spec}}} in regex pattern {pattern:?}")
+                })
+            };
+            match spec.split_once(',') {
+                Some((m, n)) => (parse_n(m), parse_n(n)),
+                None => {
+                    let n = parse_n(&spec);
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(
+            min <= max,
+            "descending quantifier in regex pattern {pattern:?}"
+        );
+        atoms.push(Atom { chars, min, max });
+    }
+    atoms
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for atom in parse(pattern) {
+        let count = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+        for _ in 0..count {
+            out.push(atom.chars[rng.usize_in(0, atom.chars.len())]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ident_pattern() {
+        let mut rng = TestRng::new(21);
+        for _ in 0..200 {
+            let s = generate_matching("[a-zA-Z_][a-zA-Z0-9_]{0,10}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 11, "{s:?}");
+            let mut cs = s.chars();
+            let first = cs.next().unwrap();
+            assert!(first.is_ascii_alphabetic() || first == '_', "{s:?}");
+            assert!(cs.all(|c| c.is_ascii_alphanumeric() || c == '_'), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn class_with_space() {
+        let mut rng = TestRng::new(22);
+        for _ in 0..100 {
+            let s = generate_matching("[a-zA-Z0-9 ]{0,24}", &mut rng);
+            assert!(s.len() <= 24);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == ' '));
+        }
+    }
+
+    #[test]
+    fn bounded_lengths_hit_extremes() {
+        let mut rng = TestRng::new(23);
+        let mut lens = std::collections::BTreeSet::new();
+        for _ in 0..300 {
+            lens.insert(generate_matching("[a-z]{1,8}", &mut rng).len());
+        }
+        assert!(lens.contains(&1) && lens.contains(&8), "{lens:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex")]
+    fn unsupported_pattern_panics() {
+        let mut rng = TestRng::new(24);
+        generate_matching("abc+", &mut rng);
+    }
+}

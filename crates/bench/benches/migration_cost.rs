@@ -26,7 +26,9 @@ fn migrate_once(peers: usize) -> Duration {
             while !p.poll_point().unwrap() {
                 std::thread::yield_now();
             }
-            p.migrate(&ProcessState::empty()).unwrap();
+            p.migrate(&ProcessState::empty())
+                .unwrap()
+                .expect_completed();
         }
         (0, Start::Resumed(_)) => {
             // Confirm liveness to every peer.

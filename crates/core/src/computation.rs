@@ -11,7 +11,10 @@
 use crate::migrate::initialize;
 use crate::process::SnowProcess;
 use snow_net::TimeScale;
-use snow_sched::{spawn_scheduler, MigrationRecord, SchedClient, SchedulerHandle};
+use snow_sched::{
+    spawn_scheduler_with_config, CentralTable, MigrationRecord, RetryPolicy, SchedClient,
+    SchedulerConfig, SchedulerHandle,
+};
 use snow_state::{PipelineConfig, ProcessState, StateCostModel};
 use snow_trace::Tracer;
 use snow_vm::{HostId, HostSpec, Rank, VirtualMachine, Vmid};
@@ -34,6 +37,7 @@ pub struct ComputationBuilder {
     cost: StateCostModel,
     pipeline: PipelineConfig,
     host_specs: Vec<HostSpec>,
+    sched_config: SchedulerConfig,
 }
 
 impl Default for ComputationBuilder {
@@ -44,6 +48,7 @@ impl Default for ComputationBuilder {
             cost: StateCostModel::PAPER,
             pipeline: PipelineConfig::default(),
             host_specs: Vec::new(),
+            sched_config: SchedulerConfig::default(),
         }
     }
 }
@@ -87,6 +92,22 @@ impl ComputationBuilder {
         self
     }
 
+    /// Install a migration retry policy: a failed transfer is re-targeted
+    /// at alternate live hosts up to `policy.max_attempts` total
+    /// attempts before the migration finally aborts.
+    pub fn migration_retry(mut self, policy: RetryPolicy) -> Self {
+        self.sched_config.retry = Some(policy);
+        self
+    }
+
+    /// Override the scheduler's in-flight migration deadline (`None`
+    /// disables the sweep). Migrations that neither commit nor report
+    /// failure within the window are aborted server-side.
+    pub fn migration_deadline(mut self, deadline: Option<std::time::Duration>) -> Self {
+        self.sched_config.deadline = deadline;
+        self
+    }
+
     /// Build the environment. At least one host is required (it carries
     /// the scheduler).
     pub fn build(self) -> Computation {
@@ -106,6 +127,7 @@ impl ComputationBuilder {
             tracer: self.tracer,
             cost: self.cost,
             pipeline: self.pipeline,
+            sched_config: self.sched_config,
             sched: Mutex::new(None),
             client: Mutex::new(None),
         }
@@ -119,6 +141,7 @@ pub struct Computation {
     tracer: Arc<Tracer>,
     cost: StateCostModel,
     pipeline: PipelineConfig,
+    sched_config: SchedulerConfig,
     sched: Mutex<Option<SchedulerHandle>>,
     client: Mutex<Option<SchedClient>>,
 }
@@ -172,15 +195,29 @@ impl Computation {
         let image_app = Arc::clone(&app);
         let image_pipeline = pipeline.clone();
         let image: snow_sched::ProcessImage = Arc::new(move |cell, rank| {
-            match initialize(cell, rank, cost, image_pipeline.clone()) {
-                Ok((proc_, state, _restore_s)) => image_app(proc_, Start::Resumed(state)),
-                Err(e) => panic!("initialize() failed for rank {rank}: {e}"),
+            // Every initialization failure is part of the abort
+            // protocol: the reap order, a rejected transfer
+            // (checksum/digest/protocol violation — the negative ack
+            // already went to the source), or the environment vanishing
+            // underneath (destination host removed). The source and the
+            // scheduler carry the outcome; a half-initialized process
+            // just stands down.
+            if let Ok((proc_, state, _restore_s)) =
+                initialize(cell, rank, cost, image_pipeline.clone())
+            {
+                image_app(proc_, Start::Resumed(state));
             }
         });
         {
             let mut slot = self.sched.lock().unwrap();
             assert!(slot.is_none(), "launch may only be called once");
-            *slot = Some(spawn_scheduler(&self.vm, self.hosts[0], image));
+            *slot = Some(spawn_scheduler_with_config(
+                &self.vm,
+                self.hosts[0],
+                image,
+                Box::new(CentralTable::new()),
+                self.sched_config.clone(),
+            ));
         }
         let client = SchedClient::new(&self.vm);
 

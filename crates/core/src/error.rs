@@ -21,6 +21,14 @@ pub enum ProtoError {
     /// indicates a peer died without coordination (outside the paper's
     /// failure model, reported rather than hanging).
     Watchdog(&'static str),
+    /// A peer violated the transfer protocol: malformed connection
+    /// grant, duplicate RML batch, or a monolithic state frame after a
+    /// chunk stream.
+    Protocol(&'static str),
+    /// The migration this process was the destination of was aborted by
+    /// the source or the scheduler before commit; the initialized
+    /// process must stand down quietly.
+    MigrationAborted,
 }
 
 impl std::fmt::Display for ProtoError {
@@ -33,6 +41,10 @@ impl std::fmt::Display for ProtoError {
             ProtoError::Scheduler(s) => write!(f, "scheduler error: {s}"),
             ProtoError::State(e) => write!(f, "state transfer error: {e}"),
             ProtoError::Watchdog(what) => write!(f, "protocol watchdog expired in {what}"),
+            ProtoError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            ProtoError::MigrationAborted => {
+                write!(f, "migration aborted before commit")
+            }
         }
     }
 }
@@ -64,6 +76,10 @@ mod tests {
             .to_string()
             .contains("boom"));
         assert!(ProtoError::Watchdog("drain").to_string().contains("drain"));
+        assert!(ProtoError::Protocol("duplicate RML batch")
+            .to_string()
+            .contains("duplicate RML batch"));
+        assert!(ProtoError::MigrationAborted.to_string().contains("aborted"));
     }
 
     #[test]

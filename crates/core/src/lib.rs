@@ -61,7 +61,8 @@ pub mod rml;
 pub use compat::{snow_recv, snow_send, ANY_SOURCE, ANY_TAG};
 pub use computation::{Computation, ComputationBuilder, Start};
 pub use error::ProtoError;
-pub use migrate::{initialize, MigrationTimings};
+pub use migrate::{initialize, AbortedMigration, MigrationOutcome, MigrationTimings};
 pub use process::SnowProcess;
 pub use rml::Rml;
+pub use snow_sched::{RetryPolicy, SchedulerConfig};
 pub use snow_state::PipelineConfig;

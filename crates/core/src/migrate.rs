@@ -8,17 +8,34 @@
 //! \[28\], in-transit messages are captured in the received-message-list
 //! and forwarded, and the exe+mem state follows on the same FIFO
 //! channel.
+//!
+//! # Abortable migration
+//!
+//! The paper assumes the destination survives the transfer. This
+//! reproduction treats phase 1 (everything before `migration_commit`)
+//! as an abortable transaction instead: the destination acknowledges
+//! the verified state with a [`snow_vm::Payload::StateAck`] before the
+//! commit handshake, and on any phase-1 failure — destination host
+//! gone, transfer channel dead, checksum/digest rejection, ack
+//! watchdog — the source reports [`SchedRequest::MigrationAbort`]. The
+//! scheduler reaps the half-initialized destination and either
+//! re-targets the migration at an alternate live host (retry policy) or
+//! rolls the directory back, at which point the source restores its
+//! drained RML (zero message loss), re-opens its gates, re-announces to
+//! the peers it had coordinated away, and resumes in place with
+//! [`MigrationOutcome::Aborted`].
 
 use crate::error::ProtoError;
-use crate::process::{Event, SnowProcess, TAG_CTRL, TICK, WATCHDOG};
+use crate::process::{scaled_watchdog, Event, SnowProcess, TAG_CTRL, TICK};
 use bytes::Bytes;
-use snow_state::{ChunkedRestorer, PipelineConfig, ProcessState, StateCostModel, StateError};
+use snow_state::{
+    ChunkedRestorer, PipelineConfig, ProcessState, RestoreTeardown, StateCostModel, StateError,
+};
 use snow_trace::EventKind;
-use snow_vm::process::EnvError;
 use snow_vm::wire::{ConnReqMsg, SchedReply, SchedRequest};
-use snow_vm::{Envelope, Incoming, Payload, ProcessCell, Rank, Signal, Vmid};
+use snow_vm::{Envelope, Incoming, Payload, PostSender, ProcessCell, Rank, Signal, Vmid};
 use std::collections::HashSet;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Timing breakdown of one migration, as measured by the two protocol
 /// halves. "Modeled" components come from the calibrated cost models
@@ -69,14 +86,97 @@ impl MigrationTimings {
     pub fn pipelined_total_s(&self) -> f64 {
         self.coordinate_real_s + self.pipelined_modeled_s
     }
+
+    /// Clear the per-attempt transfer fields. Coordination cost and the
+    /// forwarded-RML count are shared across retry attempts and survive.
+    fn reset_attempt(&mut self) {
+        self.collect_modeled_s = 0.0;
+        self.tx_modeled_s = 0.0;
+        self.restore_modeled_s = 0.0;
+        self.pipelined_modeled_s = 0.0;
+        self.chunks = 0;
+        self.workers = 0;
+        self.state_bytes = 0;
+    }
+}
+
+/// What [`SnowProcess::migrate`] resolved to.
+#[must_use = "an aborted migration hands the process back; dropping the outcome loses the rank"]
+pub enum MigrationOutcome {
+    /// The destination acknowledged the state: execution resumes there
+    /// and the caller must return from its entry function (Fig 5
+    /// line 11).
+    Completed(MigrationTimings),
+    /// The migration was rolled back: the caller owns the process again
+    /// — same vmid, restored RML, gates re-opened — and must keep
+    /// running in place. Boxed: the handed-back process dwarfs the
+    /// timings of the common completed case.
+    Aborted(Box<AbortedMigration>),
+}
+
+impl MigrationOutcome {
+    /// The timings of a migration that must have completed. Panics with
+    /// the abort reason otherwise — the assertion style tests use when
+    /// an abort would itself be a failure.
+    #[track_caller]
+    pub fn expect_completed(self) -> MigrationTimings {
+        match self {
+            MigrationOutcome::Completed(t) => t,
+            MigrationOutcome::Aborted(a) => panic!(
+                "migration aborted after {} attempt(s): {}",
+                a.attempts, a.reason
+            ),
+        }
+    }
+
+    /// Did the migration roll back?
+    pub fn is_aborted(&self) -> bool {
+        matches!(self, MigrationOutcome::Aborted(_))
+    }
+}
+
+/// A rolled-back migration: everything the caller needs to resume.
+pub struct AbortedMigration {
+    /// The process, live again at its pre-migration vmid.
+    pub process: SnowProcess,
+    /// The failure that triggered the (final) abort.
+    pub reason: String,
+    /// Transfer attempts made before giving up (1 = no retry policy or
+    /// first attempt already unrecoverable).
+    pub attempts: u32,
+    /// Messages restored to the received-message-list: the drained RML
+    /// plus any deposits the reaped destination returned. The zero-loss
+    /// guarantee is that nothing drained for the transfer is dropped.
+    pub rml_restored: usize,
+}
+
+/// The scheduler's ruling on a [`SchedRequest::MigrationAbort`].
+enum AbortDecision {
+    /// Retry the transfer against a freshly initialized process.
+    Retry {
+        new_vmid: Vmid,
+        attempt: u32,
+        backoff_ms: u64,
+    },
+    /// Rolled back: the directory points at the source again.
+    Aborted,
+    /// The destination committed before the abort landed: the migration
+    /// stands and the source must terminate as on success.
+    Denied,
 }
 
 impl SnowProcess {
-    /// The migrate() algorithm (Fig 5). Consumes the process — after
-    /// this returns the application must return from its entry function,
-    /// terminating the migrating process (Fig 5 line 11). Execution
-    /// resumes inside the initialized process on the destination host.
-    pub fn migrate(mut self, state: &ProcessState) -> Result<MigrationTimings, ProtoError> {
+    /// The migrate() algorithm (Fig 5), as a two-phase transaction.
+    /// Consumes the process; the outcome decides who owns the rank:
+    ///
+    /// * [`MigrationOutcome::Completed`] — the application must return
+    ///   from its entry function, terminating the migrating process
+    ///   (Fig 5 line 11). Execution resumes inside the initialized
+    ///   process on the destination host.
+    /// * [`MigrationOutcome::Aborted`] — the transfer failed before
+    ///   commit and was rolled back; the process is handed back and the
+    ///   application must resume in place.
+    pub fn migrate(mut self, state: &ProcessState) -> Result<MigrationOutcome, ProtoError> {
         let mut timings = MigrationTimings::default();
         self.trace_mig(EventKind::MigrationStart);
 
@@ -103,7 +203,81 @@ impl SnowProcess {
         self.migrating = true;
         self.cell.set_reject_all(true);
 
-        // Lines 5–7: coordinate connected peers.
+        // Lines 5–7: coordinate connected peers. A failure here (a live
+        // peer that never produced its marker) aborts the migration
+        // instead of wedging the process; channels are force-closed
+        // either way so the abort rolls back from a consistent state.
+        let mut coordinated: Vec<Rank> = Vec::new();
+        let mut failure = self.coordinate_peers(&mut timings, &mut coordinated).err();
+
+        // The RML drained for forwarding is *retained* by the source
+        // until the destination acknowledges the state: re-forwarded on
+        // retry, restored verbatim on abort.
+        let mut batch = self.rml.drain_all();
+        timings.rml_forwarded = batch.len();
+
+        let mut attempts: u32 = 1;
+        let mut target = new_vmid;
+        loop {
+            if failure.is_none() {
+                match self.transfer_to(target, &batch, state, &mut timings) {
+                    // Line 11: terminate — the caller returns from the
+                    // app function; the spawn wrapper unregisters us and
+                    // notifies the daemon.
+                    Ok(()) => return Ok(MigrationOutcome::Completed(timings)),
+                    Err(cause) => failure = Some(cause),
+                }
+            }
+            let cause = failure.take().expect("loop iterates with a failure");
+
+            // Deposits a failed destination returned before standing
+            // down ride behind the original batch: per-peer FIFO holds
+            // because everything there arrived after our drain.
+            batch.extend(self.rml.drain_all());
+
+            match self.request_abort(&cause)? {
+                AbortDecision::Retry {
+                    new_vmid,
+                    attempt,
+                    backoff_ms,
+                } => {
+                    self.trace_mig(EventKind::MigrationRetried { attempt });
+                    attempts = attempt;
+                    target = new_vmid;
+                    if backoff_ms > 0 {
+                        std::thread::sleep(Duration::from_millis(backoff_ms));
+                    }
+                }
+                AbortDecision::Denied => {
+                    return Ok(MigrationOutcome::Completed(timings));
+                }
+                AbortDecision::Aborted => {
+                    return Ok(MigrationOutcome::Aborted(Box::new(self.roll_back(
+                        batch,
+                        &coordinated,
+                        cause,
+                        attempts,
+                    ))));
+                }
+            }
+        }
+    }
+
+    fn trace_mig(&self, kind: EventKind) {
+        self.cell.trace(kind);
+    }
+
+    /// Fig 5 lines 5–7: send `peer_migrating` markers plus disconnection
+    /// signals, drain every coordinated channel into the RML, absorb
+    /// stragglers, close everything. Peers whose marker was delivered
+    /// are appended to `coordinated` (the abort path re-announces to
+    /// exactly those). Errors carry the abort cause; channels are closed
+    /// and the coordinate timing stamped even on failure.
+    fn coordinate_peers(
+        &mut self,
+        timings: &mut MigrationTimings,
+        coordinated: &mut Vec<Rank>,
+    ) -> Result<(), String> {
         let t0 = Instant::now();
         let mut awaiting: HashSet<Rank> = self.cc.keys().copied().collect();
         let peers: Vec<Rank> = awaiting.iter().copied().collect();
@@ -126,6 +300,7 @@ impl SnowProcess {
                 awaiting.remove(&peer);
                 continue;
             }
+            coordinated.push(peer);
             // The disconnection signal interrupts the peer if it is
             // computing (Fig 6); if it is in recv, the marker alone
             // suffices (Fig 4 lines 12–14).
@@ -137,15 +312,22 @@ impl SnowProcess {
 
         // Line 6: receive into the RML until end_of_messages (peer not
         // migrating) or peer_migrating (peer migrating simultaneously)
-        // arrives from every connected peer.
-        let deadline = Instant::now() + WATCHDOG;
+        // arrives from every connected peer. The deadline honours the
+        // environment's time scale: a slowed modeled host legitimately
+        // drains slowly.
+        let deadline = Instant::now() + scaled_watchdog(self.cell.time_scale());
+        let mut failure: Option<String> = None;
         while !awaiting.is_empty() {
-            match self.next_event(TICK)? {
-                Some(Event::EndOfMessages(p)) | Some(Event::PeerMigrated(p)) => {
+            match self.next_event(TICK) {
+                Err(e) => {
+                    failure = Some(format!("environment failed during drain: {e}"));
+                    break;
+                }
+                Ok(Some(Event::EndOfMessages(p) | Event::PeerMigrated(p))) => {
                     awaiting.remove(&p);
                 }
-                Some(_) => {}
-                None => {
+                Ok(Some(_)) => {}
+                Ok(None) => {
                     // Liveness check: a peer that died uncoordinated
                     // cannot ever send its marker.
                     awaiting.retain(|p| match self.pl.get(p) {
@@ -153,7 +335,11 @@ impl SnowProcess {
                         None => false,
                     });
                     if Instant::now() >= deadline {
-                        return Err(ProtoError::Watchdog("migration drain"));
+                        failure = Some(format!(
+                            "drain watchdog expired awaiting markers from {} peer(s)",
+                            awaiting.len()
+                        ));
+                        break;
                     }
                 }
             }
@@ -164,24 +350,41 @@ impl SnowProcess {
         // their data before end_of_messages); this catches messages from
         // peers that terminated after sending, which can never produce a
         // marker.
-        while self.next_event(std::time::Duration::ZERO)?.is_some() {}
+        while let Ok(Some(_)) = self.next_event(Duration::ZERO) {}
 
-        // Line 7: close all existing connections.
+        // Line 7: close all existing connections. Peers that coordinated
+        // were closed by the marker handling; anything left (e.g.
+        // simultaneous migration races, or a failed drain) closes here.
         let still_open: Vec<Rank> = self.cc.keys().copied().collect();
         for peer in still_open {
-            // Peers that coordinated were closed by the marker handling;
-            // anything left (e.g. simultaneous migration races) closes
-            // here.
             self.close_channel_to(peer);
         }
         timings.coordinate_real_s = t0.elapsed().as_secs_f64();
+        match failure {
+            Some(f) => Err(f),
+            None => Ok(()),
+        }
+    }
 
-        // Line 8: send the received-message-list to the new process over
-        // a direct channel (the initialized process accepts all
-        // connection requests, Fig 7 line 1).
-        let state_tx = self.connect_to_vmid(new_vmid)?;
-        let batch = self.rml.drain_all();
-        timings.rml_forwarded = batch.len();
+    /// One transfer attempt against `target`: connect, forward the RML
+    /// batch, stream the state, wait for the destination's verdict.
+    /// Errors are abort causes, not hard failures — the caller asks the
+    /// scheduler what to do next.
+    fn transfer_to(
+        &mut self,
+        target: Vmid,
+        batch: &[Envelope],
+        state: &ProcessState,
+        timings: &mut MigrationTimings,
+    ) -> Result<(), String> {
+        timings.reset_attempt();
+
+        // Line 8: a direct channel to the initialized process (it
+        // accepts all connection requests, Fig 7 line 1).
+        let state_tx = self
+            .connect_to_vmid(target)
+            .map_err(|e| format!("state-transfer connect failed: {e}"))?;
+
         self.trace_mig(EventKind::RmlForwarded {
             count: batch.len(),
             bytes: batch.iter().map(Envelope::wire_bytes).sum(),
@@ -190,12 +393,12 @@ impl SnowProcess {
             src: self.rank,
             tag: TAG_CTRL,
             msg: self.cell.tracer().next_msg_id(),
-            payload: Payload::RmlBatch(batch),
+            payload: Payload::RmlBatch(batch.to_vec()),
         };
         let nbytes = env.wire_bytes();
         state_tx
             .send(Incoming::Data(env), nbytes)
-            .map_err(|_| ProtoError::Env(EnvError::InboxClosed))?;
+            .map_err(|_| "transfer channel closed before the RML batch".to_string())?;
 
         // Lines 9–10: collect and send the execution and memory state
         // (cost modeled by host speed and link bandwidth).
@@ -203,19 +406,23 @@ impl SnowProcess {
         let dest_speed = self
             .cell
             .shared()
-            .host_spec(new_vmid.host)
+            .host_spec(target.host)
             .map(|h| h.speed)
             .unwrap_or(1.0);
-        let link = self
-            .cell
-            .shared()
-            .path(self.cell.vmid().host, new_vmid.host);
+        let link = self.cell.shared().path(self.cell.vmid().host, target.host);
 
         if self.pipeline.is_monolithic() {
             // Serial path: collect everything, then ship one frame —
             // each stage strictly after the previous, as the paper
             // measures it.
-            let bytes = state.collect();
+            let mut bytes = state.collect();
+            if self.corrupt_chunk.take().is_some() {
+                // Failure injection: flip one body byte so the
+                // destination's checksum verification rejects the image.
+                if let Some(b) = bytes.last_mut() {
+                    *b ^= 0xff;
+                }
+            }
             timings.state_bytes = bytes.len();
             timings.collect_modeled_s = self.cost.collect_seconds(bytes.len(), speed);
             let nap = self.cell.time_scale().real(timings.collect_modeled_s);
@@ -238,7 +445,7 @@ impl SnowProcess {
             let nbytes = env.wire_bytes();
             state_tx
                 .send(Incoming::Data(env), nbytes)
-                .map_err(|_| ProtoError::Env(EnvError::InboxClosed))?;
+                .map_err(|_| "transfer channel closed sending the state frame".to_string())?;
             self.trace_mig(EventKind::StateTransmitted {
                 bytes: timings.state_bytes,
             });
@@ -253,6 +460,7 @@ impl SnowProcess {
             // (Table 2) stage costs.
             let cfg = self.pipeline.clone();
             let workers = cfg.workers.max(1);
+            let mut corrupt = self.corrupt_chunk.take();
             let cell = &self.cell;
             let cost = self.cost;
             let rank = self.rank;
@@ -281,13 +489,20 @@ impl SnowProcess {
                 if target > now {
                     std::thread::sleep(target - now);
                 }
+                // Failure injection: misdeclare one chunk's checksum so
+                // the destination's per-chunk verification rejects it.
+                let mut checksum = chunk.checksum;
+                if corrupt == Some(chunk.seq) {
+                    corrupt = None;
+                    checksum ^= 1;
+                }
                 let env = Envelope {
                     src: rank,
                     tag: TAG_CTRL,
                     msg: cell.tracer().next_msg_id(),
                     payload: Payload::ExeMemStateChunk {
                         seq: chunk.seq,
-                        checksum: chunk.checksum,
+                        checksum,
                         bytes: Bytes::from(chunk.bytes.clone()),
                     },
                 };
@@ -300,12 +515,12 @@ impl SnowProcess {
                 restore_free = wire_free.max(restore_free) + r_s;
                 state_tx
                     .send(Incoming::Data(env), nbytes)
-                    .map_err(|_| ProtoError::Env(EnvError::InboxClosed))?;
+                    .map_err(|_| "transfer channel closed mid chunk stream".to_string())?;
                 cell.trace(EventKind::StateChunkSent {
                     seq: chunk.seq,
                     bytes: chunk.bytes.len(),
                 });
-                Ok::<(), ProtoError>(())
+                Ok::<(), String>(())
             })?;
 
             // Close the stream: the digest frame the destination must
@@ -326,7 +541,7 @@ impl SnowProcess {
             wire_free += digest_tx_s;
             state_tx
                 .send(Incoming::Data(env), nbytes)
-                .map_err(|_| ProtoError::Env(EnvError::InboxClosed))?;
+                .map_err(|_| "transfer channel closed sending the digest frame".to_string())?;
 
             timings.state_bytes = summary.total_bytes;
             timings.collect_modeled_s = collect_serial;
@@ -343,24 +558,166 @@ impl SnowProcess {
             });
         }
 
-        // Line 11: terminate — the caller returns from the app function;
-        // the spawn wrapper unregisters us and notifies the daemon.
-        Ok(timings)
+        // Phase-1 close: the destination verifies before we are allowed
+        // to disappear.
+        self.wait_state_ack(target)
     }
 
-    fn trace_mig(&self, kind: EventKind) {
-        self.cell.trace(kind);
+    /// Wait for the destination's [`Event::StateAck`], with per-tick
+    /// liveness probes (a vanished destination can never answer) and a
+    /// time-scaled watchdog. Acks from earlier, already-reaped attempts
+    /// are discarded by vmid.
+    fn wait_state_ack(&mut self, target: Vmid) -> Result<(), String> {
+        let deadline = Instant::now() + scaled_watchdog(self.cell.time_scale());
+        loop {
+            match self.next_event(TICK) {
+                Err(e) => return Err(format!("environment failed awaiting state ack: {e}")),
+                Ok(Some(Event::StateAck { ok, from, detail })) => {
+                    if from != target {
+                        continue; // stale ack from an aborted attempt
+                    }
+                    if ok {
+                        return Ok(());
+                    }
+                    return Err(format!("destination rejected the state: {detail}"));
+                }
+                Ok(Some(Event::StateBatch(returned))) => {
+                    // A dying destination returned peer deposits; hold
+                    // them in the RML for the retry/abort path.
+                    for env in returned {
+                        self.rml.append(env);
+                    }
+                }
+                Ok(Some(_)) => {}
+                Ok(None) => {
+                    if self.cell.shared().registry().addr_of(target).is_none() {
+                        return Err("destination vanished awaiting state ack".to_string());
+                    }
+                    if Instant::now() >= deadline {
+                        return Err("state ack watchdog expired".to_string());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Report the failed transfer and wait for the scheduler's ruling:
+    /// retry against a replacement destination, final abort, or denial
+    /// because the destination already committed.
+    fn request_abort(&mut self, cause: &str) -> Result<AbortDecision, ProtoError> {
+        self.cell.sched_send(SchedRequest::MigrationAbort {
+            rank: self.rank,
+            reason: cause.to_string(),
+            reply: self.cell.reply_sender(),
+        })?;
+        loop {
+            match self.wait_event("migration abort handshake")? {
+                Event::Sched(SchedReply::MigrationRetry {
+                    new_vmid,
+                    attempt,
+                    backoff_ms,
+                }) => {
+                    return Ok(AbortDecision::Retry {
+                        new_vmid,
+                        attempt,
+                        backoff_ms,
+                    })
+                }
+                Event::Sched(SchedReply::MigrationAborted { rank }) if rank == self.rank => {
+                    return Ok(AbortDecision::Aborted)
+                }
+                Event::Sched(SchedReply::MigrationAbortDenied { rank }) if rank == self.rank => {
+                    return Ok(AbortDecision::Denied)
+                }
+                Event::Sched(SchedReply::Error { reason }) => {
+                    return Err(ProtoError::Scheduler(reason))
+                }
+                Event::StateBatch(returned) => {
+                    for env in returned {
+                        self.rml.append(env);
+                    }
+                }
+                _ => continue,
+            }
+        }
+    }
+
+    /// Roll the process back to a running state after a final abort: the
+    /// scheduler has already restored the directory. Restores the
+    /// retained RML in front of anything received since (zero loss),
+    /// re-opens the connection gates, and re-announces to the peers that
+    /// were coordinated away with a [`Payload::MigrationAborted`] marker
+    /// (best effort — a peer that migrated or terminated meanwhile is
+    /// skipped; it re-locates us on demand through the directory).
+    fn roll_back(
+        mut self,
+        mut batch: Vec<Envelope>,
+        coordinated: &[Rank],
+        reason: String,
+        attempts: u32,
+    ) -> AbortedMigration {
+        // Sweep any already-delivered deposit return from the reaped
+        // destination before restoring the batch.
+        while let Ok(Some(ev)) = self.next_event(Duration::ZERO) {
+            if let Event::StateBatch(returned) = ev {
+                for env in returned {
+                    self.rml.append(env);
+                }
+            }
+        }
+        batch.extend(self.rml.drain_all());
+        let rml_restored = batch.len();
+        self.rml.prepend_batch(batch);
+        // Reopen the gates only after the RML is back in place: nothing
+        // new can be accepted while `migrating` still nacks for us.
+        self.migrating = false;
+        self.migrate_pending = false;
+        self.cell.set_reject_all(false);
+        self.trace_mig(EventKind::MigrationAborted { attempt: attempts });
+        for &peer in coordinated {
+            if self.connect(peer).is_err() {
+                continue;
+            }
+            if let Some(tx) = self.cc.get(&peer) {
+                let env = Envelope {
+                    src: self.rank,
+                    tag: TAG_CTRL,
+                    msg: self.cell.tracer().next_msg_id(),
+                    payload: Payload::MigrationAborted,
+                };
+                let nbytes = env.wire_bytes();
+                let _ = tx.send(Incoming::Data(env), nbytes);
+            }
+        }
+        AbortedMigration {
+            process: self,
+            reason,
+            attempts,
+            rml_restored,
+        }
     }
 
     /// Establish a channel to an explicit vmid (the initialized
     /// process). Same machinery as `connect()` but addressed by vmid,
-    /// since the PL table still maps our rank to ourselves.
-    fn connect_to_vmid(
-        &mut self,
-        target: Vmid,
-    ) -> Result<snow_vm::PostSender<Incoming>, ProtoError> {
-        let mut retries = 0u32;
+    /// since the PL table still maps our rank to ourselves. Nacks are
+    /// retried with exponential backoff under a time-scaled watchdog
+    /// deadline; a departed destination host fails fast.
+    fn connect_to_vmid(&mut self, target: Vmid) -> Result<PostSender<Incoming>, ProtoError> {
+        let deadline = Instant::now() + scaled_watchdog(self.cell.time_scale());
+        let mut backoff = Duration::from_millis(1);
+        const BACKOFF_CAP: Duration = Duration::from_millis(64);
+        // A grant from an earlier, reaped attempt may have parked a
+        // stale transfer channel under our rank; clear it so the next
+        // grant records cleanly.
+        self.cc.remove(&self.rank);
         loop {
+            // A destination host that left the environment can never
+            // grant: fail fast instead of burning the whole deadline.
+            if self.cell.shared().host_spec(target.host).is_none() {
+                return Err(ProtoError::Env(snow_vm::process::EnvError::HostGone(
+                    target.host,
+                )));
+            }
             let req_id = self.cell.next_req_id();
             let req = ConnReqMsg {
                 req_id,
@@ -379,27 +736,104 @@ impl SnowProcess {
                         // a dedicated sender from the grant.
                         // `classify` stored it in cc under our own rank
                         // (peer_rank == self.rank); pull it back out.
-                        if let Some(tx) = self.cc.remove(&self.rank) {
-                            return Ok(tx);
-                        }
-                        unreachable!("grant recorded under own rank");
+                        return match self.cc.remove(&self.rank) {
+                            Some(tx) => Ok(tx),
+                            None => Err(ProtoError::Protocol(
+                                "transfer-channel grant carried no channel",
+                            )),
+                        };
                     }
                     Event::Nacked { req_id: r } if r == req_id => {
-                        // Initialized process not ready yet (spawn race):
-                        // retry, but give up if it never appears — e.g.
-                        // the destination host left mid-migration.
-                        retries += 1;
-                        if retries > 2000 {
-                            return Err(ProtoError::Watchdog("state-transfer connect retries"));
+                        // Initialized process not ready yet (spawn
+                        // race): back off and retry until the scaled
+                        // watchdog gives up.
+                        if Instant::now() >= deadline {
+                            return Err(ProtoError::Watchdog("state-transfer connect"));
                         }
-                        std::thread::sleep(std::time::Duration::from_millis(1));
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(BACKOFF_CAP);
                         break;
+                    }
+                    Event::Granted { peer, .. } if peer == self.rank => {
+                        // Stale grant from a reaped earlier attempt:
+                        // drop the channel it parked so the grant we
+                        // are waiting for records cleanly.
+                        self.cc.remove(&self.rank);
+                    }
+                    Event::StateBatch(returned) => {
+                        // Deposit return from the previous, reaped
+                        // attempt arriving while we connect to the
+                        // replacement.
+                        for env in returned {
+                            self.rml.append(env);
+                        }
                     }
                     _ => continue,
                 }
             }
         }
     }
+}
+
+/// Send the destination's verdict on the transferred state back to the
+/// source over the transfer back-channel (recorded in `cc` under the
+/// migrating rank when the source's `conn_req` was granted).
+fn send_state_ack(p: &mut SnowProcess, rank: Rank, ok: bool, detail: &str) {
+    if let Some(tx) = p.cc.get(&rank) {
+        let env = Envelope {
+            src: rank,
+            tag: TAG_CTRL,
+            msg: p.cell.tracer().next_msg_id(),
+            payload: Payload::StateAck {
+                ok,
+                from: p.cell.vmid(),
+                detail: detail.to_string(),
+            },
+        };
+        let nbytes = env.wire_bytes();
+        let _ = tx.send(Incoming::Data(env), nbytes);
+    }
+}
+
+/// Return every message peers deposited at this half-initialized
+/// destination to the source (ahead of the verdict on the same FIFO
+/// channel), so an abort loses nothing: the source folds them behind its
+/// retained RML batch.
+fn return_deposits(p: &mut SnowProcess, rank: Rank) {
+    let deposits = p.rml.drain_all();
+    if deposits.is_empty() {
+        return;
+    }
+    if let Some(tx) = p.cc.get(&rank) {
+        let env = Envelope {
+            src: rank,
+            tag: TAG_CTRL,
+            msg: p.cell.tracer().next_msg_id(),
+            payload: Payload::RmlBatch(deposits),
+        };
+        let nbytes = env.wire_bytes();
+        let _ = tx.send(Incoming::Data(env), nbytes);
+    }
+}
+
+/// Tear down a failing initialization: trace the discarded partial
+/// restore, return peer deposits, send the negative verdict, and hand
+/// the caller the error to die with.
+fn abort_initialize(
+    mut p: SnowProcess,
+    rank: Rank,
+    teardown: Option<RestoreTeardown>,
+    detail: String,
+    err: ProtoError,
+) -> ProtoError {
+    let (chunks, bytes) = teardown
+        .map(|t| (t.chunks_received, t.bytes_received))
+        .unwrap_or((0, 0));
+    p.cell
+        .trace(EventKind::StateRestoreAborted { chunks, bytes });
+    return_deposits(&mut p, rank);
+    send_state_ack(&mut p, rank, false, &detail);
+    err
 }
 
 /// The initialize() algorithm (Fig 7): the body of the process the
@@ -413,6 +847,13 @@ impl SnowProcess {
 /// pipelined `ExeMemStateChunk` stream, where each chunk is verified and
 /// decoded as it arrives — restore overlaps the remaining transmission —
 /// and the closing digest frame must match before the state is trusted.
+/// Either way the image is verified *before* the commit handshake and
+/// acknowledged to the source with a [`Payload::StateAck`]; a rejected
+/// image (or a protocol violation: duplicate RML batch, monolithic
+/// frame after a chunk stream) sends a negative ack, returns any peer
+/// deposits to the source, and errors out. A
+/// [`SchedReply::MigrationAborted`] reap order from the scheduler makes
+/// the process stand down with [`ProtoError::MigrationAborted`].
 ///
 /// Returns the resumed [`SnowProcess`] (with the merged RML and the
 /// authoritative PL table), the restored [`ProcessState`], and the
@@ -438,15 +879,62 @@ pub fn initialize(
     // arrives first, and that chunks arrive in sequence).
     while mono_bytes.is_none() && restored.is_none() {
         match p.wait_event("initialize")? {
-            Event::StateBatch(batch) => forwarded_rml = Some(batch),
-            Event::State(bytes) => mono_bytes = Some(bytes),
+            Event::StateBatch(batch) => {
+                if forwarded_rml.is_some() {
+                    let t = restorer.take().map(ChunkedRestorer::abort);
+                    return Err(abort_initialize(
+                        p,
+                        rank,
+                        t,
+                        "duplicate RML batch".to_string(),
+                        ProtoError::Protocol("duplicate RML batch"),
+                    ));
+                }
+                forwarded_rml = Some(batch);
+            }
+            Event::State(bytes) => {
+                if restorer.is_some() {
+                    let t = restorer.take().map(ChunkedRestorer::abort);
+                    return Err(abort_initialize(
+                        p,
+                        rank,
+                        t,
+                        "monolithic state frame after a chunk stream".to_string(),
+                        ProtoError::Protocol("monolithic state frame after a chunk stream"),
+                    ));
+                }
+                // Verify before the commit handshake: a corrupted image
+                // must abort the migration, not commit it. (The actual
+                // decode still runs after commit, as the paper orders
+                // it.)
+                if let Err(e) = ProcessState::verify(&bytes) {
+                    let detail = format!("monolithic state rejected: {e}");
+                    return Err(abort_initialize(
+                        p,
+                        rank,
+                        None,
+                        detail,
+                        ProtoError::State(e),
+                    ));
+                }
+                mono_bytes = Some(bytes);
+            }
             Event::StateChunk {
                 seq,
                 checksum,
                 bytes,
             } => {
-                let r = restorer.get_or_insert_with(ChunkedRestorer::new);
-                r.push(seq, checksum, &bytes)?;
+                match restorer
+                    .get_or_insert_with(ChunkedRestorer::new)
+                    .push(seq, checksum, &bytes)
+                {
+                    Ok(()) => {}
+                    Err(e) => {
+                        let t = restorer.take().map(ChunkedRestorer::abort);
+                        let detail = format!("chunk {seq} rejected: {e}");
+                        return Err(abort_initialize(p, rank, t, detail, ProtoError::State(e)));
+                    }
+                }
                 // Incremental restore: nap this chunk's modeled decode
                 // cost now, overlapping the rest of the transmission.
                 let nap_s = cost.restore_seconds(bytes.len(), speed);
@@ -465,13 +953,49 @@ pub fn initialize(
                 chunks,
                 total_bytes,
             } => {
-                let r = restorer
-                    .take()
-                    .ok_or(ProtoError::State(StateError::StreamIncomplete(
-                        "digest frame with no chunks",
-                    )))?;
-                let total = total_bytes as usize;
-                restored = Some((r.finish(digest, chunks, total_bytes)?, total));
+                let Some(r) = restorer.take() else {
+                    return Err(abort_initialize(
+                        p,
+                        rank,
+                        None,
+                        "digest frame with no chunks".to_string(),
+                        ProtoError::State(StateError::StreamIncomplete(
+                            "digest frame with no chunks",
+                        )),
+                    ));
+                };
+                let t = RestoreTeardown {
+                    chunks_received: r.chunks_received(),
+                    bytes_received: r.bytes_received(),
+                    nodes_decoded: r.nodes_decoded(),
+                };
+                match r.finish(digest, chunks, total_bytes) {
+                    Ok(state) => restored = Some((state, total_bytes as usize)),
+                    Err(e) => {
+                        let detail = format!("state digest rejected: {e}");
+                        return Err(abort_initialize(
+                            p,
+                            rank,
+                            Some(t),
+                            detail,
+                            ProtoError::State(e),
+                        ));
+                    }
+                }
+            }
+            Event::Sched(SchedReply::MigrationAborted { rank: r }) if r == rank => {
+                // Reap order: the source aborted (or the scheduler's
+                // deadline expired). Return whatever peers deposited
+                // here and stand down.
+                let t = restorer.take().map(ChunkedRestorer::abort);
+                if let Some(t) = t {
+                    p.cell.trace(EventKind::StateRestoreAborted {
+                        chunks: t.chunks_received,
+                        bytes: t.bytes_received,
+                    });
+                }
+                return_deposits(&mut p, rank);
+                return Err(ProtoError::MigrationAborted);
             }
             _ => continue,
         }
@@ -479,6 +1003,9 @@ pub fn initialize(
     // Line 3: insert the forwarded list *in front of* locally received
     // messages.
     p.rml.prepend_batch(forwarded_rml.unwrap_or_default());
+    // The image survived verification: the positive ack releases the
+    // source (Fig 5 line 11) while we complete the commit handshake.
+    send_state_ack(&mut p, rank, true, "");
     // The transfer channel was recorded under our own rank; it is not an
     // application connection.
     p.cc.remove(&rank);
@@ -506,6 +1033,9 @@ pub fn initialize(
                 }
                 p.pl.insert(rank, p.cell.vmid());
                 break;
+            }
+            Event::Sched(SchedReply::MigrationAborted { rank: r }) if r == rank => {
+                return Err(ProtoError::MigrationAborted);
             }
             Event::Sched(SchedReply::Error { reason }) => {
                 return Err(ProtoError::Scheduler(reason))

@@ -31,6 +31,14 @@ pub(crate) const WATCHDOG: Duration = Duration::from_secs(60);
 /// checks.
 pub(crate) const TICK: Duration = Duration::from_millis(25);
 
+/// The watchdog window stretched for slowed modeled hosts: a
+/// `time_scale` that makes modeled seconds real must also stretch the
+/// deadline, or a legitimately slow drain/transfer trips the watchdog
+/// spuriously.
+pub(crate) fn scaled_watchdog(scale: snow_net::TimeScale) -> Duration {
+    WATCHDOG.max(scale.real(WATCHDOG.as_secs_f64()))
+}
+
 /// Events surfaced by the shared inbox-processing loop. Everything not
 /// listed here (data buffering, inbound connection grants) is fully
 /// handled internally.
@@ -85,6 +93,21 @@ pub(crate) enum Event {
         /// Total body bytes the source sent.
         total_bytes: u64,
     },
+    /// The destination's verdict on a transferred state image
+    /// (migration source only).
+    StateAck {
+        /// Whether the destination restored the state successfully.
+        ok: bool,
+        /// The destination's vmid — lets the source discard acks from an
+        /// earlier, already-aborted attempt.
+        from: Vmid,
+        /// Failure detail when `ok` is false.
+        detail: String,
+    },
+    /// A peer's migration was aborted; it resumed at its pre-migration
+    /// vmid and re-announced itself (the peer rank is recorded in the
+    /// trace as [`EventKind::MigrationAbortSeen`]).
+    PeerMigrationAborted,
 }
 
 /// A SNOW application process: the paper's protocol endpoint.
@@ -107,6 +130,9 @@ pub struct SnowProcess {
     pub(crate) cost: StateCostModel,
     /// Chunked state-transfer knobs used by `migrate()`.
     pub(crate) pipeline: PipelineConfig,
+    /// Failure-injection hook: corrupt this chunk seq on the *next*
+    /// migration attempt (one-shot; cleared when consumed).
+    pub(crate) corrupt_chunk: Option<u32>,
 }
 
 impl SnowProcess {
@@ -125,6 +151,7 @@ impl SnowProcess {
             migrating: false,
             cost,
             pipeline: PipelineConfig::default(),
+            corrupt_chunk: None,
         }
     }
 
@@ -132,6 +159,15 @@ impl SnowProcess {
     /// will use when it migrates.
     pub fn set_pipeline(&mut self, cfg: PipelineConfig) {
         self.pipeline = cfg;
+    }
+
+    /// Failure injection for tests: flip one bit in chunk `seq` of the
+    /// next migration's state stream, forcing the destination's checksum
+    /// check to fail and the migration to abort (or retry, under a
+    /// scheduler retry policy). One-shot: a retried attempt transmits
+    /// clean.
+    pub fn inject_chunk_corruption(&mut self, seq: u32) {
+        self.corrupt_chunk = Some(seq);
     }
 
     /// Install PL-table rows (rank → vmid). §2.1: "the PL table is
@@ -245,6 +281,11 @@ impl SnowProcess {
                     chunks,
                     total_bytes,
                 },
+                Payload::StateAck { ok, from, detail } => Event::StateAck { ok, from, detail },
+                Payload::MigrationAborted => {
+                    self.trace(EventKind::MigrationAbortSeen { peer: env.src });
+                    Event::PeerMigrationAborted
+                }
             },
             Incoming::Ctrl(ctrl) => match ctrl {
                 Ctrl::ConnReq(req) => {

@@ -48,7 +48,7 @@ fn receiver_migrates_mid_stream() {
                         .with_local("next", Value::U64(MIGRATE_AT)),
                     MemoryGraph::new(),
                 );
-                let t = p.migrate(&state).unwrap();
+                let t = p.migrate(&state).unwrap().expect_completed();
                 assert!(t.total_s() >= 0.0);
                 // Fig 5 line 11: the migrating process terminates.
             }
@@ -114,7 +114,7 @@ fn sender_migrates_mid_stream() {
                 ExecState::at_entry().with_local("i", Value::U64(MIGRATE_AT)),
                 MemoryGraph::new(),
             );
-            p.migrate(&state).unwrap();
+            p.migrate(&state).unwrap().expect_completed();
         }
         (1, Start::Resumed(state)) => {
             let from = state.exec.local("i").and_then(Value::as_u64).unwrap();
@@ -150,7 +150,10 @@ fn rml_contents_forwarded_on_migration() {
             assert_eq!(t, 9);
             assert!(p.rml_len() >= 3, "tag-7 messages should be buffered");
             await_migration(&mut p);
-            let timings = p.migrate(&ProcessState::empty()).unwrap();
+            let timings = p
+                .migrate(&ProcessState::empty())
+                .unwrap()
+                .expect_completed();
             assert!(timings.rml_forwarded >= 3, "RML must be forwarded");
         }
         (0, Start::Resumed(_)) => {

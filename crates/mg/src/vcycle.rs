@@ -325,7 +325,8 @@ pub fn mg_app_instrumented(
                 let t = comm
                     .into_process()
                     .migrate(&state)
-                    .expect("migration succeeds");
+                    .expect("migration succeeds")
+                    .expect_completed();
                 timings.lock().unwrap().push(t);
                 // Fig 5 line 11: the migrating process terminates here;
                 // execution continues in the initialized process.

@@ -22,6 +22,10 @@ pub struct SchedClient {
     /// Completions that arrived while waiting for a different rank
     /// (several migrations may be in flight through one client).
     done: parking_lot::Mutex<std::collections::HashMap<Rank, Vmid>>,
+    /// Failure verdicts buffered the same way: with several migrations
+    /// in flight, one rank's abort must not be claimed by another
+    /// rank's waiter.
+    failed: parking_lot::Mutex<std::collections::HashMap<Rank, String>>,
 }
 
 impl SchedClient {
@@ -33,6 +37,7 @@ impl SchedClient {
             reply_tx,
             post,
             done: parking_lot::Mutex::new(std::collections::HashMap::new()),
+            failed: parking_lot::Mutex::new(std::collections::HashMap::new()),
         }
     }
 
@@ -92,6 +97,14 @@ impl SchedClient {
                     status,
                     vmid,
                 } if about == rank => return Ok((status, vmid)),
+                // Migration verdicts crossing a lookup belong to their
+                // own waiters; park them instead of dropping them.
+                SchedReply::MigrationDone { rank: r, new_vmid } => {
+                    self.done.lock().insert(r, new_vmid);
+                }
+                SchedReply::MigrationFailed { rank: r, reason } => {
+                    self.failed.lock().insert(r, reason);
+                }
                 SchedReply::Error { reason } => return Err(reason),
                 _ => continue,
             }
@@ -115,11 +128,14 @@ impl SchedClient {
     }
 
     /// Wait for a previously requested migration of `rank` to commit.
-    /// Completions for other in-flight ranks observed meanwhile are
-    /// buffered for their own waiters.
+    /// Completions and failures for other in-flight ranks observed
+    /// meanwhile are buffered for their own waiters.
     pub fn wait_migration_done(&self, rank: Rank) -> Result<Vmid, String> {
         if let Some(v) = self.done.lock().remove(&rank) {
             return Ok(v);
+        }
+        if let Some(e) = self.failed.lock().remove(&rank) {
+            return Err(e);
         }
         loop {
             match self.recv_reply()? {
@@ -128,6 +144,12 @@ impl SchedClient {
                         return Ok(new_vmid);
                     }
                     self.done.lock().insert(r, new_vmid);
+                }
+                SchedReply::MigrationFailed { rank: r, reason } => {
+                    if r == rank {
+                        return Err(reason);
+                    }
+                    self.failed.lock().insert(r, reason);
                 }
                 SchedReply::Error { reason } => return Err(reason),
                 _ => continue,

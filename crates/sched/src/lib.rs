@@ -37,5 +37,6 @@ pub use directory::TwoLevelDirectory;
 pub use directory::{CentralTable, Directory, PlEntry};
 pub use records::{MigrationPhase, MigrationRecord};
 pub use scheduler::{
-    spawn_scheduler, spawn_scheduler_with_directory, ProcessImage, SchedulerHandle,
+    spawn_scheduler, spawn_scheduler_with_config, spawn_scheduler_with_directory, ProcessImage,
+    RetryPolicy, SchedulerConfig, SchedulerHandle,
 };

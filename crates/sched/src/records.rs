@@ -17,6 +17,12 @@ pub enum MigrationPhase {
     Restored,
     /// `migration_commit` received; migration finished.
     Committed,
+    /// The transfer failed and the migration was re-targeted at an
+    /// alternate host (one stamp per retry).
+    Retried,
+    /// The migration was abandoned; the directory rolled back to the
+    /// still-running source.
+    Aborted,
 }
 
 /// The scheduler's record of one migration.
@@ -26,8 +32,11 @@ pub struct MigrationRecord {
     pub rank: Rank,
     /// Location before migration.
     pub old_vmid: Vmid,
-    /// Location after migration (the initialized process).
+    /// Location after migration (the initialized process; the *latest*
+    /// target when the migration was re-targeted by the retry policy).
     pub new_vmid: Vmid,
+    /// Transfer attempts made so far (1 = no retries).
+    pub attempts: u32,
     /// Wall-clock timestamps per completed phase.
     pub phases: Vec<(MigrationPhase, Instant)>,
 }
@@ -74,6 +83,7 @@ impl RecordStore {
             rank,
             old_vmid,
             new_vmid,
+            attempts: 1,
             phases: vec![(MigrationPhase::Requested, Instant::now())],
         });
         v.len() - 1
@@ -86,9 +96,28 @@ impl RecordStore {
         }
     }
 
+    /// Point record `idx` at a replacement destination (retry policy)
+    /// and count the new attempt.
+    pub fn retarget(&self, idx: usize, new_vmid: Vmid) {
+        if let Some(r) = self.inner.lock().get_mut(idx) {
+            r.new_vmid = new_vmid;
+            r.attempts += 1;
+        }
+    }
+
     /// Copy out all records.
     pub fn all(&self) -> Vec<MigrationRecord> {
         self.inner.lock().clone()
+    }
+
+    /// The most recently opened record for `rank`, if any.
+    pub fn last_for(&self, rank: Rank) -> Option<MigrationRecord> {
+        self.inner
+            .lock()
+            .iter()
+            .rev()
+            .find(|r| r.rank == rank)
+            .cloned()
     }
 }
 
@@ -134,5 +163,31 @@ mod tests {
         let store = RecordStore::new();
         store.stamp(5, MigrationPhase::Committed);
         assert!(store.all().is_empty());
+    }
+
+    #[test]
+    fn retarget_counts_attempts_and_moves_destination() {
+        let store = RecordStore::new();
+        let idx = store.open(1, vmid(0, 0), vmid(1, 0));
+        store.stamp(idx, MigrationPhase::Started);
+        store.retarget(idx, vmid(2, 0));
+        store.stamp(idx, MigrationPhase::Retried);
+        let r = &store.all()[idx];
+        assert_eq!(r.attempts, 2);
+        assert_eq!(r.new_vmid, vmid(2, 0));
+        assert!(r.reached(MigrationPhase::Retried));
+        assert!(!r.reached(MigrationPhase::Aborted));
+    }
+
+    #[test]
+    fn last_for_returns_newest_record_of_rank() {
+        let store = RecordStore::new();
+        store.open(1, vmid(0, 0), vmid(1, 0));
+        let idx = store.open(1, vmid(1, 0), vmid(2, 0));
+        store.stamp(idx, MigrationPhase::Aborted);
+        assert!(store.last_for(0).is_none());
+        let r = store.last_for(1).unwrap();
+        assert_eq!(r.old_vmid, vmid(1, 0));
+        assert!(r.reached(MigrationPhase::Aborted));
     }
 }

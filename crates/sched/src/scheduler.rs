@@ -8,6 +8,7 @@ use snow_vm::{HostId, PostSender, ProcessCell, Rank, Signal, VirtualMachine, Vmi
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// The migration-enabled executable image (§2.2): what the scheduler
 /// remotely invokes on a destination host to create an *initialized
@@ -15,6 +16,45 @@ use std::thread::JoinHandle;
 /// [`ProcessCell`] and the migrating rank; it is expected to run the
 /// `initialize()` protocol and then resume the application.
 pub type ProcessImage = Arc<dyn Fn(ProcessCell, Rank) + Send + Sync>;
+
+/// How the scheduler re-targets a failed migration before giving up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total transfer attempts allowed (1 = no retries).
+    pub max_attempts: u32,
+    /// Source-side pause before each retry.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Scheduler tuning knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// Re-target failed migrations at alternate live hosts before
+    /// abandoning them. `None` aborts on the first failure.
+    pub retry: Option<RetryPolicy>,
+    /// How long one transfer attempt may stay in flight before the
+    /// scheduler reaps it server-side. Generous by default so slow
+    /// modeled transfers are never cut short; `None` disables the sweep.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            retry: None,
+            deadline: Some(Duration::from_secs(300)),
+        }
+    }
+}
 
 /// Handle returned by [`spawn_scheduler`].
 pub struct SchedulerHandle {
@@ -53,6 +93,9 @@ struct InFlight {
     old_vmid: Vmid,
     new_vmid: Vmid,
     requester: Option<PostSender<Incoming>>,
+    attempts: u32,
+    deadline: Option<Instant>,
+    failed_hosts: Vec<HostId>,
 }
 
 struct SchedState {
@@ -62,6 +105,7 @@ struct SchedState {
     vm: VirtualMachine,
     image: ProcessImage,
     init_joins: Arc<parking_lot::Mutex<Vec<JoinHandle<()>>>>,
+    config: SchedulerConfig,
 }
 
 impl SchedState {
@@ -185,6 +229,28 @@ impl SchedState {
                     }
                 }
             }
+            SchedRequest::MigrationAbort {
+                rank,
+                reason,
+                reply,
+            } => match self.in_flight.remove(&rank) {
+                Some(mig) => self.abort_or_retry(cell, rank, mig, &reason, Some(&reply)),
+                None => {
+                    // Either the destination committed before the abort
+                    // request arrived (the migration actually succeeded)
+                    // or the deadline sweep already reaped it.
+                    let committed = self
+                        .records
+                        .last_for(rank)
+                        .map(|r| r.reached(MigrationPhase::Committed))
+                        .unwrap_or(false);
+                    if committed {
+                        self.reply(&reply, SchedReply::MigrationAbortDenied { rank });
+                    } else {
+                        self.reply(&reply, SchedReply::MigrationAborted { rank });
+                    }
+                }
+            },
             SchedRequest::Terminated { rank } => {
                 if let Some(e) = self.dir.lookup(rank) {
                     self.dir.insert(
@@ -213,7 +279,8 @@ impl SchedState {
             Some(e) => {
                 return self.reply(
                     &reply,
-                    SchedReply::Error {
+                    SchedReply::MigrationFailed {
+                        rank,
                         reason: format!("rank {rank} not running ({:?})", e.status),
                     },
                 )
@@ -221,7 +288,8 @@ impl SchedState {
             None => {
                 return self.reply(
                     &reply,
-                    SchedReply::Error {
+                    SchedReply::MigrationFailed {
+                        rank,
                         reason: format!("unknown rank {rank}"),
                     },
                 )
@@ -230,7 +298,8 @@ impl SchedState {
         if self.in_flight.contains_key(&rank) {
             return self.reply(
                 &reply,
-                SchedReply::Error {
+                SchedReply::MigrationFailed {
+                    rank,
                     reason: format!("rank {rank} already migrating"),
                 },
             );
@@ -247,7 +316,8 @@ impl SchedState {
         let Some((new_vmid, init_join)) = spawned else {
             return self.reply(
                 &reply,
-                SchedReply::Error {
+                SchedReply::MigrationFailed {
+                    rank,
                     reason: format!("host {to_host} is not a member"),
                 },
             );
@@ -264,6 +334,9 @@ impl SchedState {
                 old_vmid: entry.vmid,
                 new_vmid,
                 requester: Some(reply.clone()),
+                attempts: 1,
+                deadline: self.config.deadline.map(|d| Instant::now() + d),
+                failed_hosts: Vec::new(),
             },
         );
         // Send the migration signal (SIGUSR1 in the prototype).
@@ -279,10 +352,142 @@ impl SchedState {
             );
             self.reply(
                 &reply,
-                SchedReply::Error {
+                SchedReply::MigrationFailed {
+                    rank,
                     reason: format!("rank {rank} terminated before migration"),
                 },
             );
+        }
+    }
+
+    /// A transfer attempt failed (source-reported or deadline-swept).
+    /// Reap the half-initialized destination, then either re-target the
+    /// migration under the retry policy or abandon it: roll the
+    /// directory back to the still-running source and tell everyone.
+    fn abort_or_retry(
+        &mut self,
+        cell: &ProcessCell,
+        rank: Rank,
+        mut mig: InFlight,
+        reason: &str,
+        source: Option<&PostSender<Incoming>>,
+    ) {
+        self.reap_init(rank, mig.new_vmid);
+        mig.failed_hosts.push(mig.new_vmid.host);
+        if let Some(policy) = self.config.retry.clone() {
+            if mig.attempts < policy.max_attempts {
+                if let Some(new_vmid) = self.respawn_init(rank, &mig) {
+                    let attempt = mig.attempts + 1;
+                    self.records.retarget(mig.record, new_vmid);
+                    self.records.stamp(mig.record, MigrationPhase::Retried);
+                    // The source is still rejecting connections, so
+                    // lookups must keep redirecting — now at the
+                    // replacement destination.
+                    self.dir.insert(
+                        rank,
+                        PlEntry {
+                            vmid: new_vmid,
+                            status: ExeStatus::Migrated,
+                        },
+                    );
+                    mig.new_vmid = new_vmid;
+                    mig.attempts = attempt;
+                    mig.deadline = self.config.deadline.map(|d| Instant::now() + d);
+                    cell.trace(EventKind::MigrationRetried { attempt });
+                    if let Some(src) = source {
+                        self.reply(
+                            src,
+                            SchedReply::MigrationRetry {
+                                new_vmid,
+                                attempt,
+                                backoff_ms: policy.backoff.as_millis() as u64,
+                            },
+                        );
+                    }
+                    self.in_flight.insert(rank, mig);
+                    return;
+                }
+            }
+        }
+        // Final abort: the source resumes at its old location.
+        self.records.stamp(mig.record, MigrationPhase::Aborted);
+        self.dir.insert(
+            rank,
+            PlEntry {
+                vmid: mig.old_vmid,
+                status: ExeStatus::Running,
+            },
+        );
+        cell.trace(EventKind::MigrationAborted {
+            attempt: mig.attempts,
+        });
+        if let Some(src) = source {
+            self.reply(src, SchedReply::MigrationAborted { rank });
+        }
+        if let Some(requester) = &mig.requester {
+            self.reply(
+                requester,
+                SchedReply::MigrationFailed {
+                    rank,
+                    reason: format!(
+                        "migration of rank {rank} aborted after {} attempt(s): {reason}",
+                        mig.attempts
+                    ),
+                },
+            );
+        }
+    }
+
+    /// Order a half-initialized destination process to stand down. The
+    /// init is blocked inside `initialize()`'s receive loops, so the
+    /// reap order goes straight into its inbox; if its host already
+    /// left, the registry entry is gone and there is nothing to do (the
+    /// orphaned thread unblocks at its own watchdog).
+    fn reap_init(&self, rank: Rank, init: Vmid) {
+        if let Some(addr) = self.vm.shared().registry().addr_of(init) {
+            let _ = addr.inbox.send(
+                Incoming::Ctrl(Ctrl::Sched(SchedReply::MigrationAborted { rank })),
+                snow_vm::wire::ENVELOPE_OVERHEAD_BYTES,
+            );
+        }
+    }
+
+    /// Spawn a replacement initialized process on an alternate live
+    /// host: lowest host id that is neither the source's host nor one
+    /// that already failed this migration.
+    fn respawn_init(&mut self, rank: Rank, mig: &InFlight) -> Option<Vmid> {
+        for h in self.vm.host_ids() {
+            if h == mig.old_vmid.host || mig.failed_hosts.contains(&h) {
+                continue;
+            }
+            let image = Arc::clone(&self.image);
+            if let Some((new_vmid, join)) =
+                self.vm.spawn(h, &format!("init:{rank}"), move |init_cell| {
+                    image(init_cell, rank)
+                })
+            {
+                self.init_joins.lock().push(join);
+                return Some(new_vmid);
+            }
+        }
+        None
+    }
+
+    /// Abort every in-flight migration whose deadline has passed — the
+    /// server-side half of abortability, covering sources that died
+    /// without ever reporting failure.
+    fn sweep_deadlines(&mut self, cell: &ProcessCell) {
+        let now = Instant::now();
+        let expired: Vec<Rank> = self
+            .in_flight
+            .iter()
+            .filter(|(_, m)| m.deadline.is_some_and(|d| now >= d))
+            .map(|(r, _)| *r)
+            .collect();
+        for rank in expired {
+            if let Some(mig) = self.in_flight.remove(&rank) {
+                self.abort_or_retry(cell, rank, mig, "migration deadline expired", None);
+            }
         }
     }
 }
@@ -302,6 +507,22 @@ pub fn spawn_scheduler_with_directory(
     image: ProcessImage,
     dir: Box<dyn Directory>,
 ) -> SchedulerHandle {
+    spawn_scheduler_with_config(vm, host, image, dir, SchedulerConfig::default())
+}
+
+/// How often the scheduler wakes from its inbox wait to sweep in-flight
+/// migration deadlines.
+const SWEEP_TICK: Duration = Duration::from_millis(50);
+
+/// Spawn the scheduler with a custom directory and explicit
+/// [`SchedulerConfig`] (retry policy + in-flight deadline).
+pub fn spawn_scheduler_with_config(
+    vm: &VirtualMachine,
+    host: HostId,
+    image: ProcessImage,
+    dir: Box<dyn Directory>,
+    config: SchedulerConfig,
+) -> SchedulerHandle {
     let records = RecordStore::new();
     let init_joins = Arc::new(parking_lot::Mutex::new(Vec::new()));
     let mut state = SchedState {
@@ -311,16 +532,17 @@ pub fn spawn_scheduler_with_directory(
         vm: vm.clone(),
         image,
         init_joins: Arc::clone(&init_joins),
+        config,
     };
     let (vmid, join) = vm
         .spawn(host, "scheduler", move |cell| loop {
-            match cell.recv_incoming() {
-                Ok(Incoming::Ctrl(Ctrl::SchedRequest(req))) => {
+            match cell.recv_incoming_timeout(SWEEP_TICK) {
+                Ok(Some(Incoming::Ctrl(Ctrl::SchedRequest(req)))) => {
                     if !state.handle(&cell, req) {
                         return;
                     }
                 }
-                Ok(Incoming::Ctrl(Ctrl::ConnReq(req))) => {
+                Ok(Some(Incoming::Ctrl(Ctrl::ConnReq(req)))) => {
                     // Nobody establishes data connections with the
                     // scheduler; reject through the daemon so its pending
                     // record is cleaned up.
@@ -328,7 +550,8 @@ pub fn spawn_scheduler_with_directory(
                     let req_id = req.req_id;
                     cell.answer_conn_req(req_id, Ctrl::ConnNack { req_id, target });
                 }
-                Ok(_) => {}
+                Ok(Some(_)) => {}
+                Ok(None) => state.sweep_deadlines(&cell),
                 Err(_) => return,
             }
         })
@@ -491,6 +714,207 @@ mod tests {
         assert_eq!(recs.len(), 1);
         assert!(recs[0].reached(MigrationPhase::Committed));
         assert!(recs[0].total_seconds().unwrap() >= 0.0);
+    }
+
+    /// A stub image that stands by until the scheduler reaps it (how a
+    /// blocked `initialize()` perceives an abort).
+    fn reapable_image() -> ProcessImage {
+        Arc::new(|cell: ProcessCell, rank: Rank| loop {
+            match cell.recv_incoming() {
+                Ok(Incoming::Ctrl(Ctrl::Sched(SchedReply::MigrationAborted { rank: r }))) => {
+                    assert_eq!(r, rank);
+                    return;
+                }
+                Ok(_) => {}
+                Err(_) => return,
+            }
+        })
+    }
+
+    #[test]
+    fn abort_rolls_back_directory_and_errors_requester() {
+        let vm = VirtualMachine::ideal();
+        let h0 = vm.add_host(HostSpec::ideal());
+        let h1 = vm.add_host(HostSpec::ideal());
+        let sched = spawn_scheduler(&vm, h0, reapable_image());
+        let client = SchedClient::new(&vm);
+        let (pv, pjoin) = vm
+            .spawn(h0, "p0", move |cell| {
+                assert_eq!(
+                    cell.wait_signal(std::time::Duration::from_secs(5)),
+                    Some(Signal::Migrate)
+                );
+                cell.sched_send(SchedRequest::MigrationStart {
+                    rank: 0,
+                    reply: cell.reply_sender(),
+                })
+                .unwrap();
+                match cell.recv_incoming().unwrap() {
+                    Incoming::Ctrl(Ctrl::Sched(SchedReply::NewVmid { .. })) => {}
+                    other => panic!("expected NewVmid, got {other:?}"),
+                }
+                cell.sched_send(SchedRequest::MigrationAbort {
+                    rank: 0,
+                    reason: "transfer channel died".into(),
+                    reply: cell.reply_sender(),
+                })
+                .unwrap();
+                match cell.recv_incoming().unwrap() {
+                    Incoming::Ctrl(Ctrl::Sched(SchedReply::MigrationAborted { rank: 0 })) => {}
+                    other => panic!("expected MigrationAborted, got {other:?}"),
+                }
+            })
+            .unwrap();
+        client.register(0, pv).unwrap();
+        let err = client.migrate(0, h1).unwrap_err();
+        assert!(err.contains("aborted"), "{err}");
+        pjoin.join().unwrap();
+        // Directory rolled back: rank 0 Running at the old vmid.
+        let (status, vmid) = client.lookup(0).unwrap();
+        assert_eq!(status, ExeStatus::Running);
+        assert_eq!(vmid, Some(pv));
+        let recs = sched.records();
+        assert_eq!(recs.len(), 1);
+        assert!(recs[0].reached(MigrationPhase::Aborted));
+        assert!(!recs[0].reached(MigrationPhase::Committed));
+        // The reaped init unblocked promptly.
+        for j in sched.take_init_joins() {
+            j.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn retry_policy_respawns_on_alternate_host() {
+        let vm = VirtualMachine::ideal();
+        let h0 = vm.add_host(HostSpec::ideal());
+        let h1 = vm.add_host(HostSpec::ideal());
+        let h2 = vm.add_host(HostSpec::ideal());
+        // First init (h1) waits for its reap order; the replacement
+        // (h2) runs the restore choreography to completion.
+        let image: ProcessImage = Arc::new(move |cell: ProcessCell, rank: Rank| {
+            if cell.host() != h2 {
+                (reapable_image())(cell, rank);
+                return;
+            }
+            cell.sched_send(SchedRequest::RestoreComplete {
+                rank,
+                new_vmid: cell.vmid(),
+                reply: cell.reply_sender(),
+            })
+            .unwrap();
+            match cell.recv_incoming().unwrap() {
+                Incoming::Ctrl(Ctrl::Sched(SchedReply::PlTable { .. })) => {}
+                other => panic!("expected PL table, got {other:?}"),
+            }
+            cell.sched_send(SchedRequest::MigrationCommit { rank })
+                .unwrap();
+        });
+        let sched = spawn_scheduler_with_config(
+            &vm,
+            h0,
+            image,
+            Box::new(CentralTable::new()),
+            SchedulerConfig {
+                retry: Some(RetryPolicy {
+                    max_attempts: 3,
+                    backoff: Duration::from_millis(1),
+                }),
+                ..SchedulerConfig::default()
+            },
+        );
+        let client = SchedClient::new(&vm);
+        let (pv, pjoin) = vm
+            .spawn(h0, "p0", move |cell| {
+                assert_eq!(
+                    cell.wait_signal(std::time::Duration::from_secs(5)),
+                    Some(Signal::Migrate)
+                );
+                cell.sched_send(SchedRequest::MigrationStart {
+                    rank: 0,
+                    reply: cell.reply_sender(),
+                })
+                .unwrap();
+                match cell.recv_incoming().unwrap() {
+                    Incoming::Ctrl(Ctrl::Sched(SchedReply::NewVmid { new_vmid })) => {
+                        assert_eq!(new_vmid.host, h1);
+                    }
+                    other => panic!("expected NewVmid, got {other:?}"),
+                }
+                cell.sched_send(SchedRequest::MigrationAbort {
+                    rank: 0,
+                    reason: "checksum mismatch".into(),
+                    reply: cell.reply_sender(),
+                })
+                .unwrap();
+                match cell.recv_incoming().unwrap() {
+                    Incoming::Ctrl(Ctrl::Sched(SchedReply::MigrationRetry {
+                        new_vmid,
+                        attempt,
+                        ..
+                    })) => {
+                        assert_eq!(new_vmid.host, h2);
+                        assert_eq!(attempt, 2);
+                    }
+                    other => panic!("expected MigrationRetry, got {other:?}"),
+                }
+                // Second transfer "succeeds": the h2 init commits on its
+                // own; the source terminates as in Fig 5 line 11.
+            })
+            .unwrap();
+        client.register(0, pv).unwrap();
+        let new_vmid = client.migrate(0, h1).unwrap();
+        assert_eq!(new_vmid.host, h2, "must have re-targeted off h1");
+        pjoin.join().unwrap();
+        for j in sched.take_init_joins() {
+            j.join().unwrap();
+        }
+        let recs = sched.records();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].attempts, 2);
+        assert!(recs[0].reached(MigrationPhase::Retried));
+        assert!(recs[0].reached(MigrationPhase::Committed));
+        assert_eq!(recs[0].new_vmid, new_vmid);
+    }
+
+    #[test]
+    fn deadline_sweep_reaps_stalled_migration() {
+        let vm = VirtualMachine::ideal();
+        let h0 = vm.add_host(HostSpec::ideal());
+        let h1 = vm.add_host(HostSpec::ideal());
+        let sched = spawn_scheduler_with_config(
+            &vm,
+            h0,
+            reapable_image(),
+            Box::new(CentralTable::new()),
+            SchedulerConfig {
+                retry: None,
+                deadline: Some(Duration::from_millis(100)),
+            },
+        );
+        let client = SchedClient::new(&vm);
+        // A source that accepts the signal but never transfers.
+        let (pv, pjoin) = vm
+            .spawn(h0, "p0", move |cell| {
+                assert_eq!(
+                    cell.wait_signal(std::time::Duration::from_secs(5)),
+                    Some(Signal::Migrate)
+                );
+                std::thread::sleep(Duration::from_millis(400));
+            })
+            .unwrap();
+        client.register(0, pv).unwrap();
+        let err = client.migrate(0, h1).unwrap_err();
+        assert!(err.contains("deadline"), "{err}");
+        pjoin.join().unwrap();
+        for j in sched.take_init_joins() {
+            j.join().unwrap();
+        }
+        let recs = sched.records();
+        assert!(recs[0].reached(MigrationPhase::Aborted));
+        // Directory rolled back to the (stalled but live) source.
+        let (status, vmid) = client.lookup(0).unwrap();
+        assert_eq!(status, ExeStatus::Running);
+        assert_eq!(vmid, Some(pv));
     }
 
     #[test]

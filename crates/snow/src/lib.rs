@@ -56,7 +56,8 @@ pub use snow_vm as vm;
 /// The common imports for applications.
 pub mod prelude {
     pub use snow_core::{
-        Computation, MigrationTimings, PipelineConfig, ProtoError, SnowProcess, Start,
+        Computation, MigrationOutcome, MigrationTimings, PipelineConfig, ProtoError, RetryPolicy,
+        SnowProcess, Start,
     };
     pub use snow_net::{LinkModel, TimeScale};
     pub use snow_state::{ExecState, MemoryGraph, ProcessState, StateCostModel};

@@ -25,7 +25,7 @@ fn dbg_sim() {
         }
     };
     let handles = comp.launch(2, move |mut p, start| match start {
-        Start::Fresh => { phase(&mut p, 0, HALF); await_migration(&mut p); p.migrate(&ProcessState::empty()).unwrap(); }
+        Start::Fresh => { phase(&mut p, 0, HALF); await_migration(&mut p); p.migrate(&ProcessState::empty()).unwrap().expect_completed(); }
         Start::Resumed(_) => { phase(&mut p, HALF, 2 * HALF); p.finish(); }
     });
     comp.migrate_async(0, d0).unwrap();

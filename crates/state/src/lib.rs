@@ -39,6 +39,6 @@ pub use exec::ExecState;
 pub use memory::{MemoryGraph, NodeId};
 pub use pipeline::{
     collect_chunks, pipelined_makespan, stream_chunks, ChunkStreamSummary, ChunkedRestorer,
-    PipelineConfig, StateChunk,
+    PipelineConfig, RestoreTeardown, StateChunk,
 };
 pub use snapshot::{fnv1a, fnv1a_with_seed, ProcessState, StateError, FNV_OFFSET};

@@ -474,6 +474,30 @@ impl ChunkedRestorer {
             .ok_or(StateError::StreamIncomplete("no header chunk"))?;
         Ok(ProcessState::new(exec, self.graph))
     }
+
+    /// Abandon the stream, surfacing how far it got. Dropping the
+    /// restorer frees the partial graph either way; this makes the
+    /// teardown explicit so an aborted migration can trace what it
+    /// discarded.
+    pub fn abort(self) -> RestoreTeardown {
+        RestoreTeardown {
+            chunks_received: self.next_seq,
+            bytes_received: self.total_bytes,
+            nodes_decoded: self.ids.len(),
+        }
+    }
+}
+
+/// What a torn-down restorer had accepted before an abort discarded the
+/// partial restore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestoreTeardown {
+    /// Chunks accepted before the abort.
+    pub chunks_received: u32,
+    /// Body bytes accepted before the abort.
+    pub bytes_received: usize,
+    /// Memory nodes already decoded.
+    pub nodes_decoded: usize,
 }
 
 /// Modeled makespan of the overlapped pipeline, in seconds. Per-chunk

@@ -169,8 +169,11 @@ impl ProcessState {
         })
     }
 
-    /// *Restore* the state from canonical bytes (the destination half).
-    pub fn restore(bytes: &[u8]) -> Result<Self, StateError> {
+    /// Check the integrity checksum of collected bytes without decoding
+    /// the body. The destination of a monolithic transfer acks on this
+    /// before the commit handshake; the full decode still happens after
+    /// commit, as in the paper.
+    pub fn verify(bytes: &[u8]) -> Result<(), StateError> {
         let mut r = WireReader::new(bytes);
         let expected = r.get_u64()?;
         let body = r.get_raw(r.remaining())?;
@@ -178,6 +181,15 @@ impl ProcessState {
         if actual != expected {
             return Err(StateError::ChecksumMismatch { expected, actual });
         }
+        Ok(())
+    }
+
+    /// *Restore* the state from canonical bytes (the destination half).
+    pub fn restore(bytes: &[u8]) -> Result<Self, StateError> {
+        Self::verify(bytes)?;
+        let mut r = WireReader::new(bytes);
+        let _checksum = r.get_u64()?;
+        let body = r.get_raw(r.remaining())?;
         Self::restore_body(body)
     }
 

@@ -167,6 +167,33 @@ pub enum EventKind {
     },
     /// Scheduler recorded `migration_commit` (Fig 7 line 7).
     MigrationCommit,
+    /// A failed migration was rolled back: the source resumed in place
+    /// (source-side) or the scheduler abandoned it (scheduler-side).
+    MigrationAborted {
+        /// How many transfer attempts were made before giving up.
+        attempt: u32,
+    },
+    /// The scheduler re-targeted a failed migration at an alternate
+    /// host under its retry policy.
+    MigrationRetried {
+        /// The attempt number about to run (2 = first retry).
+        attempt: u32,
+    },
+    /// A peer observed a `migration_aborted` marker: the migration it
+    /// had coordinated channels away for was rolled back, and the old
+    /// endpoint is live again.
+    MigrationAbortSeen {
+        /// The rank whose migration aborted.
+        peer: usize,
+    },
+    /// A partially restored chunk stream was torn down because the
+    /// migration aborted or the stream violated the protocol.
+    StateRestoreAborted {
+        /// Chunks that had been accepted.
+        chunks: u32,
+        /// Body bytes that had been accepted.
+        bytes: usize,
+    },
 
     // -- environment -----------------------------------------------------
     /// A signal was delivered to a process's handler.
@@ -211,6 +238,10 @@ impl EventKind {
             EventKind::StateTransmitted { .. } => 'T',
             EventKind::StateRestored { .. } => 'V',
             EventKind::MigrationCommit => 'X',
+            EventKind::MigrationAborted { .. } => 'A',
+            EventKind::MigrationRetried { .. } => 'Z',
+            EventKind::MigrationAbortSeen { .. } => 'b',
+            EventKind::StateRestoreAborted { .. } => 'x',
             EventKind::SignalDelivered { .. } => '!',
             EventKind::Compute { .. } => '=',
             EventKind::Phase { .. } => '|',
@@ -240,6 +271,13 @@ mod tests {
             },
             EventKind::MigrationStart,
             EventKind::MigrationCommit,
+            EventKind::MigrationAborted { attempt: 1 },
+            EventKind::MigrationRetried { attempt: 2 },
+            EventKind::MigrationAbortSeen { peer: 0 },
+            EventKind::StateRestoreAborted {
+                chunks: 0,
+                bytes: 0,
+            },
             EventKind::StateCollected { bytes: 0 },
             EventKind::StateTransmitted { bytes: 0 },
             EventKind::StateRestored { bytes: 0 },

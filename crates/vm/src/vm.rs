@@ -224,6 +224,14 @@ impl VirtualMachine {
         self.shared.hosts.read().contains_key(&host)
     }
 
+    /// The current member hosts, sorted by id (deterministic order for
+    /// retry-policy re-targeting).
+    pub fn host_ids(&self) -> Vec<HostId> {
+        let mut ids: Vec<HostId> = self.shared.hosts.read().keys().copied().collect();
+        ids.sort_unstable_by_key(|h| h.0);
+        ids
+    }
+
     /// Install the scheduler's address so processes can consult it.
     pub fn set_scheduler(&self, vmid: Vmid) {
         *self.shared.scheduler.write() = Some(vmid);

@@ -54,6 +54,24 @@ pub enum Payload {
         /// Total body bytes sent.
         total_bytes: u64,
     },
+    /// A process that had announced a migration rolled it back: sent to
+    /// every peer it had coordinated away so they treat the old endpoint
+    /// as live again (the scheduler has already rolled the PL table
+    /// back).
+    MigrationAborted,
+    /// The destination's verdict on a received state transfer, sent back
+    /// to the source over the transfer channel before the commit
+    /// handshake. A negative ack (or none at all) sends the source down
+    /// the abort path.
+    StateAck {
+        /// True when the state arrived intact: the source may terminate.
+        ok: bool,
+        /// The acking initialized process — lets the source discard
+        /// stale acks from an earlier, already-aborted attempt.
+        from: Vmid,
+        /// Failure description when `ok` is false.
+        detail: String,
+    },
 }
 
 impl Payload {
@@ -65,9 +83,10 @@ impl Payload {
             Payload::RmlBatch(list) => list.iter().map(Envelope::wire_bytes).sum(),
             Payload::ExeMemState(b) => b.len(),
             Payload::ExeMemStateChunk { bytes, .. } => bytes.len(),
-            // Header-only frame: seq/digest metadata rides in the
+            // Header-only frames: seq/digest/ack metadata rides in the
             // envelope overhead, like the protocol markers.
             Payload::ExeMemStateDigest { .. } => 0,
+            Payload::MigrationAborted | Payload::StateAck { .. } => 0,
         }
     }
 }
@@ -220,6 +239,21 @@ pub enum SchedRequest {
         /// The migrated rank.
         rank: Rank,
     },
+    /// The migrating process reports that the transfer to its initialized
+    /// process failed (destination gone, transfer channel dead, restore
+    /// rejected). The scheduler reaps the half-initialized destination
+    /// and either re-targets the migration (retry policy) or rolls the
+    /// directory back to the still-running source. Reply:
+    /// [`SchedReply::MigrationRetry`], [`SchedReply::MigrationAborted`]
+    /// or [`SchedReply::MigrationAbortDenied`].
+    MigrationAbort {
+        /// The migrating rank.
+        rank: Rank,
+        /// Why the transfer failed (bookkeeping + requester's error).
+        reason: String,
+        /// The migrating process's inbox for the decision.
+        reply: PostSender<Incoming>,
+    },
     /// A process announces its termination so lookups report
     /// [`ExeStatus::Terminated`].
     Terminated {
@@ -269,6 +303,43 @@ pub enum SchedReply {
         rank: Rank,
         /// Its new vmid.
         new_vmid: Vmid,
+    },
+    /// A failed migration was re-targeted at an alternate host
+    /// ([`SchedRequest::MigrationAbort`] under a retry policy): the
+    /// source should retry the transfer against `new_vmid` after
+    /// `backoff_ms`.
+    MigrationRetry {
+        /// The freshly initialized process to transfer to.
+        new_vmid: Vmid,
+        /// The attempt number about to run (2 = first retry).
+        attempt: u32,
+        /// Source-side pause before retrying, from the retry policy.
+        backoff_ms: u64,
+    },
+    /// A migration was abandoned: the directory was rolled back to the
+    /// old vmid and the source must resume in place. Also delivered to a
+    /// half-initialized destination process as its reap order.
+    MigrationAborted {
+        /// The rank whose migration aborted.
+        rank: Rank,
+    },
+    /// An abort request arrived after the destination had already
+    /// committed: the migration stands and the source must terminate as
+    /// if the transfer had been acknowledged.
+    MigrationAbortDenied {
+        /// The rank whose abort was denied.
+        rank: Rank,
+    },
+    /// A migration requested via [`SchedRequest::Migrate`] failed for
+    /// good: it never started, or it finally aborted. Rank-tagged so a
+    /// requester waiting on one of several in-flight migrations can
+    /// route the verdict (an untagged [`SchedReply::Error`] would be
+    /// claimed by whichever waiter reads it first).
+    MigrationFailed {
+        /// The rank whose migration failed.
+        rank: Rank,
+        /// Human-readable cause.
+        reason: String,
     },
     /// The scheduler could not satisfy a request (unknown rank, no such
     /// host, migration already in flight).

@@ -32,7 +32,9 @@ fn main() {
                 std::thread::sleep(Duration::from_millis(1));
             }
             println!("[P3] migrating (peers are mid-send!)");
-            p.migrate(&ProcessState::empty()).unwrap();
+            p.migrate(&ProcessState::empty())
+                .unwrap()
+                .expect_completed();
         }
         (2, Start::Resumed(_)) => {
             let (_s, _t, m3) = p.recv(Some(1), Some(3)).unwrap();

@@ -47,7 +47,7 @@ fn main() {
             while !p.poll_point().unwrap() {
                 std::thread::sleep(Duration::from_millis(1));
             }
-            let t = p.migrate(&state).unwrap();
+            let t = p.migrate(&state).unwrap().expect_completed();
             *t_w.lock().unwrap() = Some(t);
         }
         Start::Resumed(state) => {

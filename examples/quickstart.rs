@@ -42,7 +42,7 @@ fn main() {
                 "[rank 0] migrating with {} B of state …",
                 state.collected_bytes()
             );
-            p.migrate(&state).unwrap();
+            p.migrate(&state).unwrap().expect_completed();
             // The migrating process terminates here (Fig 5 line 11).
         }
         (0, Start::Resumed(state)) => {

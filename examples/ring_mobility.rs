@@ -61,7 +61,7 @@ fn main() {
                     MemoryGraph::new(),
                 );
                 println!("  [rank {me} @ {}] migrating after lap {lap}", p.vmid());
-                p.migrate(&state).unwrap();
+                p.migrate(&state).unwrap().expect_completed();
                 return;
             }
         }

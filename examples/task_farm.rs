@@ -57,7 +57,10 @@ fn main() {
                             .with_local("completed", snow::codec::Value::U64(completed as u64)),
                         MemoryGraph::new(),
                     );
-                    comm.into_process().migrate(&state).unwrap();
+                    comm.into_process()
+                        .migrate(&state)
+                        .unwrap()
+                        .expect_completed();
                 }
             }
         }

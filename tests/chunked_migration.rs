@@ -65,7 +65,10 @@ fn in_transit_messages_survive_fragmented_migration() {
                 let _ = p.recv(Some(1), Some(0)).unwrap();
                 let _ = p.recv(Some(2), Some(0)).unwrap();
                 await_migration(&mut p);
-                let t = p.migrate(&padded_state(130_000)).unwrap();
+                let t = p
+                    .migrate(&padded_state(130_000))
+                    .unwrap()
+                    .expect_completed();
                 *timings_w.lock().unwrap() = Some(t);
             }
             (0, Start::Resumed(state)) => {
@@ -167,7 +170,10 @@ fn pipelined_total_beats_serial_sum_end_to_end() {
     let handles = comp.launch_placed(&placement, move |mut p, start| match (p.rank(), start) {
         (0, Start::Fresh) => {
             await_migration(&mut p);
-            let t = p.migrate(&padded_state(500_000)).unwrap();
+            let t = p
+                .migrate(&padded_state(500_000))
+                .unwrap()
+                .expect_completed();
             *timings_w.lock().unwrap() = Some(t);
         }
         (0, Start::Resumed(state)) => {

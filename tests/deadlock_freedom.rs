@@ -32,7 +32,9 @@ fn fig8_connected_sender_does_not_block() {
             let _ = p.recv(Some(0), Some(1)).unwrap();
             let _ = p.recv(Some(1), Some(1)).unwrap();
             await_migration(&mut p);
-            p.migrate(&ProcessState::empty()).unwrap();
+            p.migrate(&ProcessState::empty())
+                .unwrap()
+                .expect_completed();
         }
         (2, Start::Resumed(_)) => {
             // The sends fired during migration must all arrive.
@@ -76,7 +78,9 @@ fn fig8_unconnected_sender_redirected() {
         (0, Start::Fresh) => {
             // Never communicates before migrating: no connections exist.
             await_migration(&mut p);
-            p.migrate(&ProcessState::empty()).unwrap();
+            p.migrate(&ProcessState::empty())
+                .unwrap()
+                .expect_completed();
         }
         (0, Start::Resumed(_)) => {
             let (_s, _t, body) = p.recv(Some(1), None).unwrap();
@@ -129,7 +133,7 @@ fn all_pairs_flood_during_migration() {
                             .with_local("k", snow::codec::Value::U64(k as u64 + 1)),
                         MemoryGraph::new(),
                     );
-                    p.migrate(&state).unwrap();
+                    p.migrate(&state).unwrap().expect_completed();
                     return;
                 }
             }
@@ -141,7 +145,9 @@ fn all_pairs_flood_during_migration() {
                 }
             }
             await_migration(&mut p);
-            p.migrate(&ProcessState::empty()).unwrap();
+            p.migrate(&ProcessState::empty())
+                .unwrap()
+                .expect_completed();
         } else if me == 0 {
             let state = match start {
                 Start::Resumed(s) => s,

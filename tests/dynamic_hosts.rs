@@ -29,7 +29,9 @@ fn source_host_can_leave_after_migration() {
         match (p.rank(), start) {
             (0, Start::Fresh) => {
                 await_migration(&mut p);
-                p.migrate(&ProcessState::empty()).unwrap();
+                p.migrate(&ProcessState::empty())
+                    .unwrap()
+                    .expect_completed();
             }
             (0, Start::Resumed(_)) => {
                 let (_s, _t, b) = p.recv(Some(1), None).unwrap();
@@ -66,7 +68,9 @@ fn late_joining_host_receives_migrant() {
     let handles = comp.launch(2, move |mut p, start| match (p.rank(), start) {
         (0, Start::Fresh) => {
             await_migration(&mut p);
-            p.migrate(&ProcessState::empty()).unwrap();
+            p.migrate(&ProcessState::empty())
+                .unwrap()
+                .expect_completed();
         }
         (0, Start::Resumed(_)) => {
             let (_s, _t, b) = p.recv(Some(1), None).unwrap();

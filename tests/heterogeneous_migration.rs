@@ -63,7 +63,7 @@ fn dec_to_ultra_migration_preserves_state() {
                 let mut state = ProcessState::new(exec, mem);
                 state.pad_to(500_000);
                 await_migration(&mut p);
-                let t = p.migrate(&state).unwrap();
+                let t = p.migrate(&state).unwrap().expect_completed();
                 *timings_w.lock().unwrap() = Some(t);
             }
             (0, Start::Resumed(state)) => {
@@ -157,7 +157,10 @@ fn slow_host_captures_early_messages() {
                 // coordinate.
                 let _ = p.recv(Some(1), Some(0)).unwrap();
                 await_migration(&mut p);
-                let t = p.migrate(&ProcessState::empty()).unwrap();
+                let t = p
+                    .migrate(&ProcessState::empty())
+                    .unwrap()
+                    .expect_completed();
                 assert!(
                     t.rml_forwarded >= 2,
                     "messages in transit must be captured and forwarded, got {}",

@@ -40,7 +40,7 @@ fn exactly_once_delivery_across_migration() {
                     ExecState::at_entry().with_local("done", snow::codec::Value::U64(done)),
                     MemoryGraph::new(),
                 );
-                p.migrate(&state).unwrap();
+                p.migrate(&state).unwrap().expect_completed();
             }
             (0, Start::Resumed(state)) => {
                 let done = state
@@ -110,7 +110,9 @@ fn unconsumed_rml_messages_survive() {
             let _ = p.recv(Some(1), Some(99)).unwrap();
             assert!(p.rml_len() >= 10);
             await_migration(&mut p);
-            p.migrate(&ProcessState::empty()).unwrap();
+            p.migrate(&ProcessState::empty())
+                .unwrap()
+                .expect_completed();
         }
         (0, Start::Resumed(_)) => {
             for i in 0u8..10 {

@@ -40,7 +40,10 @@ fn list_a_read_before_list_b() {
             // the RML (ListA) during coordination.
             let _ = p.recv(Some(1), Some(0)).unwrap(); // handshake
             await_migration(&mut p);
-            let t = p.migrate(&ProcessState::empty()).unwrap();
+            let t = p
+                .migrate(&ProcessState::empty())
+                .unwrap()
+                .expect_completed();
             assert!(t.rml_forwarded >= 1, "m1 must ride ListA");
         }
         (0, Start::Resumed(_)) => {
@@ -105,7 +108,7 @@ fn numbered_stream_strictly_ordered() {
                 ExecState::at_entry().with_local("next", snow::codec::Value::U64(next)),
                 MemoryGraph::new(),
             );
-            p.migrate(&state).unwrap();
+            p.migrate(&state).unwrap().expect_completed();
         }
         (0, Start::Resumed(state)) => {
             let mut next = state
@@ -160,7 +163,9 @@ fn sender_migration_preserves_order() {
         (1, Start::Fresh) => {
             p.send(0, 5, seq_payload(1)).unwrap();
             await_migration(&mut p);
-            p.migrate(&ProcessState::empty()).unwrap();
+            p.migrate(&ProcessState::empty())
+                .unwrap()
+                .expect_completed();
         }
         (1, Start::Resumed(_)) => {
             p.send(0, 5, seq_payload(2)).unwrap();
@@ -199,7 +204,7 @@ fn per_sender_fifo_with_two_senders() {
                     .with_local("n2", snow::codec::Value::U64(next[2])),
                 MemoryGraph::new(),
             );
-            p.migrate(&state).unwrap();
+            p.migrate(&state).unwrap().expect_completed();
         }
         (0, Start::Resumed(state)) => {
             let mut next = [0u64; 3];

@@ -95,7 +95,8 @@ fn run_scenario(sc: &Scenario) -> Result<(), TestCaseError> {
                             exec.with_local(&format!("n{s}"), snow::codec::Value::U64(*nx as u64));
                     }
                     p.migrate(&ProcessState::new(exec, MemoryGraph::new()))
-                        .unwrap();
+                        .unwrap()
+                        .expect_completed();
                 } else {
                     recv_n(&mut p, &mut next, inbound);
                     p.finish();
@@ -182,7 +183,8 @@ fn run_scenario_dual(sc: &Scenario) -> Result<(), TestCaseError> {
                             exec.with_local(&format!("n{s}"), snow::codec::Value::U64(*nx as u64));
                     }
                     p.migrate(&ProcessState::new(exec, MemoryGraph::new()))
-                        .unwrap();
+                        .unwrap()
+                        .expect_completed();
                 } else {
                     for _ in 0..inbound {
                         let (s, _t, b) = p.recv(None, None).unwrap();

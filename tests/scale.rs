@@ -53,7 +53,7 @@ fn sparse_ring_migration_disturbs_only_neighbours() {
                     ExecState::at_entry().with_local("round", snow::codec::Value::U64(round + 1)),
                     MemoryGraph::new(),
                 );
-                p.migrate(&state).unwrap();
+                p.migrate(&state).unwrap().expect_completed();
                 return;
             }
         }
@@ -131,7 +131,9 @@ fn third_of_the_world_migrates() {
             }
             if me < MOVERS {
                 await_migration(&mut p);
-                p.migrate(&ProcessState::empty()).unwrap();
+                p.migrate(&ProcessState::empty())
+                    .unwrap()
+                    .expect_completed();
                 return;
             }
         }

@@ -50,7 +50,10 @@ fn both_ends_migrate_simultaneously() {
         Start::Fresh => {
             phase(&mut p, 0, HALF);
             await_migration(&mut p);
-            let t = p.migrate(&ProcessState::empty()).unwrap();
+            let t = p
+                .migrate(&ProcessState::empty())
+                .unwrap()
+                .expect_completed();
             assert!(t.total_s() >= 0.0);
         }
         Start::Resumed(_) => {
@@ -96,7 +99,7 @@ fn repeated_migration_of_one_rank() {
                 ExecState::at_entry().with_local("leg", snow::codec::Value::U64(1)),
                 MemoryGraph::new(),
             );
-            p.migrate(&state).unwrap();
+            p.migrate(&state).unwrap().expect_completed();
         }
         (0, Start::Resumed(state)) => {
             let leg = state
@@ -115,7 +118,7 @@ fn repeated_migration_of_one_rank() {
                     ExecState::at_entry().with_local("leg", snow::codec::Value::U64(2)),
                     MemoryGraph::new(),
                 );
-                p.migrate(&state).unwrap();
+                p.migrate(&state).unwrap().expect_completed();
             } else {
                 p.finish();
             }
@@ -172,7 +175,9 @@ fn migration_storm() {
                 if me < 3 {
                     // The migrating ranks wait for their request here.
                     await_migration(&mut p);
-                    p.migrate(&ProcessState::empty()).unwrap();
+                    p.migrate(&ProcessState::empty())
+                        .unwrap()
+                        .expect_completed();
                 } else {
                     do_phase(&mut p, MSGS / 2, MSGS);
                     p.finish();

@@ -43,10 +43,10 @@ fn main() {
     println!("{}", st.render(120));
 
     let mig_start = st
-        .first_when(|e| matches!(e.kind, EventKind::MigrationStart))
+        .first_when(|e| matches!(e.kind, EventKind::MigrationStart { .. }))
         .expect("migration ran");
     let commit = st
-        .first_when(|e| matches!(e.kind, EventKind::MigrationCommit))
+        .first_when(|e| matches!(e.kind, EventKind::MigrationCommit { .. }))
         .expect("migration committed");
     let restored = st
         .first_when(|e| matches!(e.kind, EventKind::StateRestored { .. }))

@@ -11,6 +11,7 @@
 //! | `cargo run -p snow-bench --release --bin fig10` | Figs 10–12: homogeneous migration space-time diagram + A–D checks |
 //! | `cargo run -p snow-bench --release --bin fig13` | Fig 13: heterogeneous migration, captured+forwarded messages |
 //! | `cargo run -p snow-bench --release --bin ablation` | §7 comparison table (SNOW vs forwarding vs broadcast vs CoCheck) |
+//! | `cargo run -p snow-bench --bin audit -- --dir target/audit-logs` | offline §4-guarantee audit of exported event logs |
 //! | `cargo bench -p snow-bench` | overhead (A3), state transfer (A4), migration cost vs peers (A2), baseline costs (A1) |
 
 use snow_core::{Computation, MigrationTimings};

@@ -31,7 +31,7 @@ use bytes::Bytes;
 use snow_state::{
     ChunkedRestorer, PipelineConfig, ProcessState, RestoreTeardown, StateCostModel, StateError,
 };
-use snow_trace::EventKind;
+use snow_trace::{metrics::MigrationMetrics, metrics::MigrationVerdict, EventKind};
 use snow_vm::wire::{ConnReqMsg, SchedReply, SchedRequest};
 use snow_vm::{Envelope, Incoming, Payload, PostSender, ProcessCell, Rank, Signal, Vmid};
 use std::collections::HashSet;
@@ -177,8 +177,10 @@ impl SnowProcess {
     ///   commit and was rolled back; the process is handed back and the
     ///   application must resume in place.
     pub fn migrate(mut self, state: &ProcessState) -> Result<MigrationOutcome, ProtoError> {
+        let wall0 = Instant::now();
         let mut timings = MigrationTimings::default();
-        self.trace_mig(EventKind::MigrationStart);
+        let mut retry_causes: Vec<String> = Vec::new();
+        self.trace_mig(EventKind::MigrationStart { rank: self.rank });
 
         // Lines 2–3: inform the scheduler, learn the initialized
         // process's vmid.
@@ -224,7 +226,18 @@ impl SnowProcess {
                     // Line 11: terminate — the caller returns from the
                     // app function; the spawn wrapper unregisters us and
                     // notifies the daemon.
-                    Ok(()) => return Ok(MigrationOutcome::Completed(timings)),
+                    Ok(()) => {
+                        self.record_migration_metrics(
+                            MigrationVerdict::Committed,
+                            attempts,
+                            &timings,
+                            wall0,
+                            0,
+                            retry_causes,
+                            None,
+                        );
+                        return Ok(MigrationOutcome::Completed(timings));
+                    }
                     Err(cause) => failure = Some(cause),
                 }
             }
@@ -242,6 +255,7 @@ impl SnowProcess {
                     backoff_ms,
                 } => {
                     self.trace_mig(EventKind::MigrationRetried { attempt });
+                    retry_causes.push(cause);
                     attempts = attempt;
                     target = new_vmid;
                     if backoff_ms > 0 {
@@ -249,18 +263,69 @@ impl SnowProcess {
                     }
                 }
                 AbortDecision::Denied => {
+                    self.record_migration_metrics(
+                        MigrationVerdict::Committed,
+                        attempts,
+                        &timings,
+                        wall0,
+                        0,
+                        retry_causes,
+                        None,
+                    );
                     return Ok(MigrationOutcome::Completed(timings));
                 }
                 AbortDecision::Aborted => {
-                    return Ok(MigrationOutcome::Aborted(Box::new(self.roll_back(
-                        batch,
-                        &coordinated,
-                        cause,
+                    let aborted = self.roll_back(batch, &coordinated, cause, attempts);
+                    aborted.process.record_migration_metrics(
+                        MigrationVerdict::Aborted,
                         attempts,
-                    ))));
+                        &timings,
+                        wall0,
+                        aborted.rml_restored,
+                        retry_causes,
+                        Some(aborted.reason.clone()),
+                    );
+                    return Ok(MigrationOutcome::Aborted(Box::new(aborted)));
                 }
             }
         }
+    }
+
+    /// Deposit this migration's measurements into the shared metrics
+    /// registry. Skipped entirely when tracing is disabled so the
+    /// Table 1 overhead experiment stays unpolluted.
+    #[allow(clippy::too_many_arguments)]
+    fn record_migration_metrics(
+        &self,
+        verdict: MigrationVerdict,
+        attempts: u32,
+        timings: &MigrationTimings,
+        wall0: Instant,
+        rml_restored: usize,
+        retry_causes: Vec<String>,
+        abort_cause: Option<String>,
+    ) {
+        let tracer = self.cell.tracer();
+        if !tracer.is_enabled() {
+            return;
+        }
+        tracer.metrics().record_migration(MigrationMetrics {
+            rank: self.rank,
+            verdict,
+            attempts,
+            coordinate_s: timings.coordinate_real_s,
+            collect_s: timings.collect_modeled_s,
+            tx_s: timings.tx_modeled_s,
+            restore_s: timings.restore_modeled_s,
+            pipelined_s: timings.pipelined_modeled_s,
+            wall_s: wall0.elapsed().as_secs_f64(),
+            state_bytes: timings.state_bytes,
+            chunks: timings.chunks,
+            rml_forwarded: timings.rml_forwarded,
+            rml_restored,
+            retry_causes,
+            abort_cause,
+        });
     }
 
     fn trace_mig(&self, kind: EventKind) {
@@ -328,6 +393,7 @@ impl SnowProcess {
                 }
                 Ok(Some(_)) => {}
                 Ok(None) => {
+                    self.sample_drain_depth();
                     // Liveness check: a peer that died uncoordinated
                     // cannot ever send its marker.
                     awaiting.retain(|p| match self.pl.get(p) {
@@ -360,9 +426,33 @@ impl SnowProcess {
             self.close_channel_to(peer);
         }
         timings.coordinate_real_s = t0.elapsed().as_secs_f64();
+        // Close the drain with a peak-depth sample so the registry sees
+        // the link's high-water mark even if every tick caught it empty.
+        let tracer = self.cell.tracer();
+        if tracer.is_enabled() {
+            tracer.metrics().sample_queue_depth(
+                &format!("{}:staged-peak", self.cell.label()),
+                tracer.now_ns(),
+                self.cell.inbox_staged_high_water(),
+            );
+        }
         match failure {
             Some(f) => Err(f),
             None => Ok(()),
+        }
+    }
+
+    /// One queue-depth sample of this process's inbox, taken on each
+    /// quiet tick of the drain loop. Feeds the per-link queue-depth
+    /// series in the metrics registry.
+    fn sample_drain_depth(&self) {
+        let tracer = self.cell.tracer();
+        if tracer.is_enabled() {
+            tracer.metrics().sample_queue_depth(
+                self.cell.label(),
+                tracer.now_ns(),
+                self.cell.inbox_backlog(),
+            );
         }
     }
 
@@ -673,7 +763,10 @@ impl SnowProcess {
         self.migrating = false;
         self.migrate_pending = false;
         self.cell.set_reject_all(false);
-        self.trace_mig(EventKind::MigrationAborted { attempt: attempts });
+        self.trace_mig(EventKind::MigrationAborted {
+            rank: self.rank,
+            attempt: attempts,
+        });
         for &peer in coordinated {
             if self.connect(peer).is_err() {
                 continue;

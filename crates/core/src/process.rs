@@ -527,11 +527,16 @@ impl SnowProcess {
                 bytes: payload.len(),
                 msg: env.msg,
             };
-            // Fig 2 line 4.
+            // Fig 2 line 4. The timestamp is captured before the post:
+            // the receiver can consume (and trace) the message the
+            // instant it lands, and its RecvDone must sort after our
+            // Send for the log to stay causal. Recording still happens
+            // only on success, so a dead-inbox retry leaves no event.
+            let t_send = self.cell.tracer().now_ns();
             let tx = self.cc.get(&dest).expect("connected after connect()");
             match tx.send(Incoming::Data(env), bytes) {
                 Ok(()) => {
-                    self.trace(trace_ev);
+                    self.cell.trace_at(t_send, trace_ev);
                     return Ok(());
                 }
                 Err(_) => {

@@ -2,7 +2,7 @@
 
 use crate::directory::{CentralTable, Directory, PlEntry};
 use crate::records::{MigrationPhase, MigrationRecord, RecordStore};
-use snow_trace::EventKind;
+use snow_trace::{metrics::SchedulerRuling, EventKind};
 use snow_vm::wire::{Ctrl, ExeStatus, Incoming, SchedReply, SchedRequest};
 use snow_vm::{HostId, PostSender, ProcessCell, Rank, Signal, VirtualMachine, Vmid};
 use std::collections::HashMap;
@@ -217,7 +217,8 @@ impl SchedState {
                             status: ExeStatus::Running,
                         },
                     );
-                    cell.trace(EventKind::MigrationCommit);
+                    cell.trace(EventKind::MigrationCommit { rank });
+                    record_ruling(cell, rank, "commit", mig.attempts, None);
                     if let Some(requester) = mig.requester {
                         self.reply(
                             &requester,
@@ -394,6 +395,7 @@ impl SchedState {
                     mig.attempts = attempt;
                     mig.deadline = self.config.deadline.map(|d| Instant::now() + d);
                     cell.trace(EventKind::MigrationRetried { attempt });
+                    record_ruling(cell, rank, "retry", attempt, Some(reason));
                     if let Some(src) = source {
                         self.reply(
                             src,
@@ -419,8 +421,10 @@ impl SchedState {
             },
         );
         cell.trace(EventKind::MigrationAborted {
+            rank,
             attempt: mig.attempts,
         });
+        record_ruling(cell, rank, "abort", mig.attempts, Some(reason));
         if let Some(src) = source {
             self.reply(src, SchedReply::MigrationAborted { rank });
         }
@@ -489,6 +493,22 @@ impl SchedState {
                 self.abort_or_retry(cell, rank, mig, "migration deadline expired", None);
             }
         }
+    }
+}
+
+/// Deposit one scheduler ruling (commit / retry / abort of an in-flight
+/// migration) into the shared metrics registry. Free function so both
+/// the request handlers and the deadline sweep can call it without
+/// fighting the borrow on `self.in_flight`.
+fn record_ruling(cell: &ProcessCell, rank: Rank, action: &str, attempts: u32, cause: Option<&str>) {
+    let tracer = cell.tracer();
+    if tracer.is_enabled() {
+        tracer.metrics().record_ruling(SchedulerRuling {
+            rank,
+            action: action.to_string(),
+            attempts,
+            cause: cause.map(str::to_string),
+        });
     }
 }
 

@@ -86,6 +86,7 @@ pub fn events_to_json(events: &[Event]) -> JsonValue {
             .map(|e| {
                 JsonValue::Object(vec![
                     ("t_ns".into(), JsonValue::Num(e.t_ns as f64)),
+                    ("seq".into(), JsonValue::Num(e.seq as f64)),
                     ("who".into(), JsonValue::Str(e.who.clone())),
                     ("kind".into(), JsonValue::Str(format!("{:?}", e.kind))),
                 ])
@@ -129,6 +130,7 @@ mod tests {
     fn ev(t: u64, who: &str, kind: EventKind) -> Event {
         Event {
             t_ns: t,
+            seq: t,
             who: who.into(),
             kind,
         }

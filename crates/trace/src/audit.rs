@@ -1,0 +1,715 @@
+//! Online protocol-invariant auditor.
+//!
+//! The paper proves four guarantees about migration (§4): no deadlock
+//! (Theorem 1), migration termination (Lemma 1), no message loss
+//! (Theorem 2), and preserved point-to-point FIFO (Theorem 3). This
+//! module turns each into a machine-checkable property of the ordered
+//! event log:
+//!
+//! * **Zero loss** — send/deliver multiset equality: every traced
+//!   [`EventKind::Send`] is matched by exactly one
+//!   [`EventKind::RecvDone`] with the same [`MsgId`]; a delivery with no
+//!   send is a ghost, a second delivery a duplicate.
+//! * **Per-sender FIFO across migration epochs** — within one logical
+//!   stream (sender rank → receiver rank, the sender's `p{r}` and
+//!   `init:{r}` lanes unified), deliveries occur in send order.
+//! * **No cyclic wait among drained processes** — lanes left blocked in
+//!   `recv` at the end of the log must not form a waiting cycle.
+//! * **Bounded migration completion** — every
+//!   [`EventKind::MigrationStart`] is closed by a
+//!   [`EventKind::MigrationCommit`] or [`EventKind::MigrationAborted`]
+//!   for the same rank, optionally within a configured time bound.
+//!
+//! The checker is streaming: feed events in snapshot order with
+//! [`Auditor::observe`], then [`Auditor::finish`]. [`audit`] wraps both
+//! for a complete log, and `snow-bench audit` replays JSONL logs through
+//! it offline.
+
+use crate::event::{Event, EventKind, MsgId};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// A sender identity that survives migration: the rank when the lane
+/// label parses as `p{r}` / `init:{r}`, the raw label otherwise.
+fn sender_key(lane: &str) -> String {
+    match lane_rank(lane) {
+        Some(r) => format!("r{r}"),
+        None => lane.to_string(),
+    }
+}
+
+/// Rank of an application lane label (`"p3"` / `"init:3"` → 3).
+fn lane_rank(lane: &str) -> Option<usize> {
+    lane.strip_prefix("init:")
+        .or_else(|| lane.strip_prefix('p'))
+        .and_then(|s| s.parse().ok())
+}
+
+/// One property violation found by the auditor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// A sent message was never delivered (Theorem 2 broken).
+    MessageLost {
+        /// The lost message.
+        msg: MsgId,
+        /// Sender lane label.
+        from: String,
+        /// Destination rank.
+        to: usize,
+    },
+    /// A delivery with no matching send in the log.
+    GhostDelivery {
+        /// The unmatched message id.
+        msg: MsgId,
+        /// Receiving lane label.
+        who: String,
+    },
+    /// A message delivered more than once.
+    DuplicateDelivery {
+        /// The re-delivered message id.
+        msg: MsgId,
+        /// Number of deliveries observed.
+        times: usize,
+    },
+    /// Two messages of one stream delivered out of send order
+    /// (Theorem 3 broken).
+    FifoViolation {
+        /// Sender identity (rank-normalised).
+        sender: String,
+        /// Receiver rank.
+        to: usize,
+        /// The earlier-sent message (delivered later).
+        earlier: MsgId,
+        /// The later-sent message (delivered first).
+        later: MsgId,
+    },
+    /// Blocked receivers form a waiting cycle (Theorem 1 broken).
+    DeadlockedDrain {
+        /// The ranks on the cycle, in wait order.
+        cycle: Vec<usize>,
+    },
+    /// A migration started but never committed or aborted (Lemma 1
+    /// broken).
+    UnterminatedMigration {
+        /// The rank left migrating.
+        rank: usize,
+    },
+    /// A migration terminated, but outside the configured time bound.
+    MigrationOverBound {
+        /// The migrating rank.
+        rank: usize,
+        /// Observed start→terminal nanoseconds.
+        took_ns: u64,
+        /// The configured bound.
+        bound_ns: u64,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::MessageLost { msg, from, to } => {
+                write!(f, "message {} from {from} to rank {to} was lost", msg.0)
+            }
+            Violation::GhostDelivery { msg, who } => {
+                write!(f, "{who} delivered message {} that was never sent", msg.0)
+            }
+            Violation::DuplicateDelivery { msg, times } => {
+                write!(f, "message {} delivered {times} times", msg.0)
+            }
+            Violation::FifoViolation {
+                sender,
+                to,
+                earlier,
+                later,
+            } => write!(
+                f,
+                "stream {sender}→{to}: message {} overtook earlier message {}",
+                later.0, earlier.0
+            ),
+            Violation::DeadlockedDrain { cycle } => {
+                write!(f, "cyclic wait among blocked ranks {cycle:?}")
+            }
+            Violation::UnterminatedMigration { rank } => {
+                write!(f, "rank {rank}'s migration never committed or aborted")
+            }
+            Violation::MigrationOverBound {
+                rank,
+                took_ns,
+                bound_ns,
+            } => write!(
+                f,
+                "rank {rank}'s migration took {took_ns} ns (bound {bound_ns} ns)"
+            ),
+        }
+    }
+}
+
+/// Counters describing what the auditor saw.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AuditStats {
+    /// Events observed.
+    pub events: usize,
+    /// Data messages sent.
+    pub sends: usize,
+    /// Data messages delivered.
+    pub deliveries: usize,
+    /// Migrations started.
+    pub migrations_started: usize,
+    /// Migrations committed.
+    pub migrations_committed: usize,
+    /// Migrations aborted.
+    pub migrations_aborted: usize,
+}
+
+/// Outcome of one audit pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditReport {
+    /// Everything found, in detection order.
+    pub violations: Vec<Violation>,
+    /// What the log contained.
+    pub stats: AuditStats,
+}
+
+impl AuditReport {
+    /// Did every property hold?
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Human-readable rendering of the report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "audit: {} event(s), {} send(s), {} delivery(ies), \
+             {} migration(s) ({} committed, {} aborted)",
+            self.stats.events,
+            self.stats.sends,
+            self.stats.deliveries,
+            self.stats.migrations_started,
+            self.stats.migrations_committed,
+            self.stats.migrations_aborted,
+        );
+        if self.violations.is_empty() {
+            let _ = writeln!(out, "all four protocol guarantees hold");
+        } else {
+            let _ = writeln!(out, "{} violation(s):", self.violations.len());
+            for v in &self.violations {
+                let _ = writeln!(out, "  - {v}");
+            }
+        }
+        out
+    }
+}
+
+#[derive(Debug, Clone)]
+struct SendInfo {
+    stream: (String, usize),
+    index: u64,
+    from: String,
+    to: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingMigration {
+    start_ns: u64,
+}
+
+/// Streaming checker over an ordered event log. Feed events in snapshot
+/// order; terminal-state properties (loss, deadlock, termination) are
+/// judged at [`Auditor::finish`], ordering properties as events stream.
+#[derive(Debug, Default)]
+pub struct Auditor {
+    bound_ns: Option<u64>,
+    stats: AuditStats,
+    violations: Vec<Violation>,
+    sends: HashMap<MsgId, SendInfo>,
+    delivered: HashMap<MsgId, usize>,
+    stream_next: HashMap<(String, usize), u64>,
+    stream_last_delivered: HashMap<(String, usize), (u64, MsgId)>,
+    /// lane → the source filter of its outstanding `recv`, if blocked.
+    waiting: HashMap<String, Option<usize>>,
+    pending_migrations: HashMap<usize, PendingMigration>,
+}
+
+impl Auditor {
+    /// An auditor with no migration time bound.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Additionally require every migration to terminate within
+    /// `bound_ns` nanoseconds of its start.
+    pub fn with_completion_bound_ns(mut self, bound_ns: u64) -> Self {
+        self.bound_ns = Some(bound_ns);
+        self
+    }
+
+    /// Observe the next event of the ordered log.
+    pub fn observe(&mut self, e: &Event) {
+        self.stats.events += 1;
+        match &e.kind {
+            EventKind::Send { to, msg, .. } => {
+                self.stats.sends += 1;
+                let stream = (sender_key(&e.who), *to);
+                let index = {
+                    let n = self.stream_next.entry(stream.clone()).or_insert(0);
+                    let i = *n;
+                    *n += 1;
+                    i
+                };
+                self.sends.insert(
+                    *msg,
+                    SendInfo {
+                        stream,
+                        index,
+                        from: e.who.clone(),
+                        to: *to,
+                    },
+                );
+            }
+            EventKind::RecvStart { from, .. } => {
+                self.waiting.insert(e.who.clone(), *from);
+            }
+            EventKind::RecvDone { msg, .. } => {
+                self.stats.deliveries += 1;
+                self.waiting.remove(&e.who);
+                let times = self.delivered.entry(*msg).or_insert(0);
+                *times += 1;
+                if *times > 1 {
+                    // Count every delivery but report the duplicate once,
+                    // updated in place with the final count at finish.
+                    return;
+                }
+                let Some(info) = self.sends.get(msg) else {
+                    self.violations.push(Violation::GhostDelivery {
+                        msg: *msg,
+                        who: e.who.clone(),
+                    });
+                    return;
+                };
+                match self.stream_last_delivered.get(&info.stream) {
+                    Some((last_index, last_msg)) if *last_index > info.index => {
+                        self.violations.push(Violation::FifoViolation {
+                            sender: info.stream.0.clone(),
+                            to: info.stream.1,
+                            earlier: *msg,
+                            later: *last_msg,
+                        });
+                    }
+                    _ => {
+                        self.stream_last_delivered
+                            .insert(info.stream.clone(), (info.index, *msg));
+                    }
+                }
+            }
+            EventKind::MigrationStart { rank } => {
+                self.stats.migrations_started += 1;
+                self.pending_migrations
+                    .insert(*rank, PendingMigration { start_ns: e.t_ns });
+            }
+            EventKind::MigrationCommit { rank } => {
+                // The scheduler and the destination may both record the
+                // terminal event; only the first closes the migration.
+                if let Some(p) = self.pending_migrations.remove(rank) {
+                    self.stats.migrations_committed += 1;
+                    self.check_bound(*rank, p, e.t_ns);
+                }
+            }
+            EventKind::MigrationAborted { rank, .. } => {
+                if let Some(p) = self.pending_migrations.remove(rank) {
+                    self.stats.migrations_aborted += 1;
+                    self.check_bound(*rank, p, e.t_ns);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn check_bound(&mut self, rank: usize, p: PendingMigration, end_ns: u64) {
+        if let Some(bound) = self.bound_ns {
+            let took = end_ns.saturating_sub(p.start_ns);
+            if took > bound {
+                self.violations.push(Violation::MigrationOverBound {
+                    rank,
+                    took_ns: took,
+                    bound_ns: bound,
+                });
+            }
+        }
+    }
+
+    /// Judge the terminal-state properties and produce the report.
+    pub fn finish(mut self) -> AuditReport {
+        // Theorem 2: multiset equality. Undelivered sends are losses;
+        // multiply-delivered messages are duplicates.
+        let mut lost: Vec<(MsgId, &SendInfo)> = self
+            .sends
+            .iter()
+            .filter(|(msg, _)| !self.delivered.contains_key(*msg))
+            .map(|(m, i)| (*m, i))
+            .collect();
+        lost.sort_unstable_by_key(|(m, _)| m.0);
+        for (msg, info) in lost {
+            self.violations.push(Violation::MessageLost {
+                msg,
+                from: info.from.clone(),
+                to: info.to,
+            });
+        }
+        let mut dups: Vec<(MsgId, usize)> = self
+            .delivered
+            .iter()
+            .filter(|(_, n)| **n > 1)
+            .map(|(m, n)| (*m, *n))
+            .collect();
+        dups.sort_unstable_by_key(|(m, _)| m.0);
+        for (msg, times) in dups {
+            self.violations
+                .push(Violation::DuplicateDelivery { msg, times });
+        }
+
+        // Theorem 1: lanes still blocked in `recv` at the end of the log
+        // must not form a waiting cycle. Edges go from the blocked
+        // lane's rank to the specific rank it waits on; wildcard waits
+        // cannot deadlock under the protocol's forwarding rules and add
+        // no edge.
+        let mut wait_edge: HashMap<usize, usize> = HashMap::new();
+        for (lane, from) in &self.waiting {
+            if let (Some(rank), Some(from)) = (lane_rank(lane), from) {
+                wait_edge.insert(rank, *from);
+            }
+        }
+        let mut on_cycle: Vec<Vec<usize>> = Vec::new();
+        let mut cleared: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        let mut ranks: Vec<usize> = wait_edge.keys().copied().collect();
+        ranks.sort_unstable();
+        for start in ranks {
+            if cleared.contains(&start) {
+                continue;
+            }
+            let mut path = vec![start];
+            let mut cur = start;
+            while let Some(&next) = wait_edge.get(&cur) {
+                if let Some(pos) = path.iter().position(|&r| r == next) {
+                    let cycle: Vec<usize> = path[pos..].to_vec();
+                    if !on_cycle
+                        .iter()
+                        .any(|c| c.len() == cycle.len() && cycle.iter().all(|r| c.contains(r)))
+                    {
+                        on_cycle.push(cycle);
+                    }
+                    break;
+                }
+                path.push(next);
+                cur = next;
+            }
+            cleared.extend(path);
+        }
+        for cycle in on_cycle {
+            self.violations.push(Violation::DeadlockedDrain { cycle });
+        }
+
+        // Lemma 1: no migration may be left open.
+        let mut open: Vec<usize> = self.pending_migrations.keys().copied().collect();
+        open.sort_unstable();
+        for rank in open {
+            self.violations
+                .push(Violation::UnterminatedMigration { rank });
+        }
+
+        AuditReport {
+            violations: self.violations,
+            stats: self.stats,
+        }
+    }
+}
+
+/// Audit a complete ordered log (a [`crate::Tracer::snapshot`]).
+pub fn audit(events: &[Event]) -> AuditReport {
+    let mut a = Auditor::new();
+    for e in events {
+        a.observe(e);
+    }
+    a.finish()
+}
+
+/// Audit a log and panic with the rendered report on any violation — the
+/// post-run assertion integration suites use.
+#[track_caller]
+pub fn assert_clean(events: &[Event]) {
+    let report = audit(events);
+    assert!(report.is_clean(), "\n{}", report.render());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, who: &str, kind: EventKind) -> Event {
+        Event {
+            t_ns: t,
+            seq: t,
+            who: who.into(),
+            kind,
+        }
+    }
+
+    fn send(t: u64, who: &str, to: usize, id: u64) -> Event {
+        ev(
+            t,
+            who,
+            EventKind::Send {
+                to,
+                tag: 5,
+                bytes: 8,
+                msg: MsgId(id),
+            },
+        )
+    }
+
+    fn recv(t: u64, who: &str, from: usize, id: u64) -> Event {
+        ev(
+            t,
+            who,
+            EventKind::RecvDone {
+                from,
+                tag: 5,
+                bytes: 8,
+                msg: MsgId(id),
+                from_rml: false,
+            },
+        )
+    }
+
+    fn recv_start(t: u64, who: &str, from: Option<usize>) -> Event {
+        ev(t, who, EventKind::RecvStart { from, tag: None })
+    }
+
+    #[test]
+    fn clean_log_passes() {
+        let report = audit(&[
+            send(10, "p0", 1, 1),
+            send(20, "p0", 1, 2),
+            recv_start(25, "p1", Some(0)),
+            recv(30, "p1", 0, 1),
+            recv_start(35, "p1", Some(0)),
+            recv(40, "p1", 0, 2),
+        ]);
+        assert!(report.is_clean(), "{}", report.render());
+        assert_eq!(report.stats.sends, 2);
+        assert_eq!(report.stats.deliveries, 2);
+    }
+
+    #[test]
+    fn detects_dropped_message() {
+        let report = audit(&[
+            send(10, "p0", 1, 1),
+            send(20, "p0", 1, 2),
+            recv(30, "p1", 0, 1),
+        ]);
+        assert_eq!(
+            report.violations,
+            vec![Violation::MessageLost {
+                msg: MsgId(2),
+                from: "p0".into(),
+                to: 1,
+            }]
+        );
+        assert!(report.render().contains("was lost"));
+    }
+
+    #[test]
+    fn detects_fifo_swap() {
+        let report = audit(&[
+            send(10, "p0", 1, 1),
+            send(20, "p0", 1, 2),
+            recv(30, "p1", 0, 2),
+            recv(40, "p1", 0, 1),
+        ]);
+        assert_eq!(
+            report.violations,
+            vec![Violation::FifoViolation {
+                sender: "r0".into(),
+                to: 1,
+                earlier: MsgId(1),
+                later: MsgId(2),
+            }]
+        );
+    }
+
+    #[test]
+    fn detects_deadlocked_drain() {
+        // p0 blocks on p1, p1 blocks on p2, p2 blocks on p0 — a cycle of
+        // three drained processes, none of which can ever progress.
+        let report = audit(&[
+            recv_start(10, "p0", Some(1)),
+            recv_start(20, "p1", Some(2)),
+            recv_start(30, "p2", Some(0)),
+        ]);
+        assert_eq!(report.violations.len(), 1, "{}", report.render());
+        match &report.violations[0] {
+            Violation::DeadlockedDrain { cycle } => {
+                assert_eq!(cycle.len(), 3);
+                for r in [0, 1, 2] {
+                    assert!(cycle.contains(&r), "{cycle:?}");
+                }
+            }
+            other => panic!("expected DeadlockedDrain, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn blocked_chain_without_cycle_is_fine() {
+        // p0 waits on p1, p1 waits on p2, p2 is not blocked: a chain,
+        // not a cycle — progress is still possible.
+        let report = audit(&[recv_start(10, "p0", Some(1)), recv_start(20, "p1", Some(2))]);
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn wildcard_wait_is_not_a_deadlock_edge() {
+        let report = audit(&[recv_start(10, "p0", None), recv_start(20, "p1", Some(0))]);
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn satisfied_recv_clears_the_wait() {
+        let report = audit(&[
+            recv_start(10, "p0", Some(1)),
+            send(15, "p1", 0, 1),
+            recv(20, "p0", 1, 1),
+            recv_start(25, "p1", Some(0)),
+            send(30, "p0", 1, 2),
+            recv(35, "p1", 0, 2),
+        ]);
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn detects_ghost_and_duplicate_delivery() {
+        let report = audit(&[
+            send(10, "p0", 1, 1),
+            recv(20, "p1", 0, 1),
+            recv(30, "p1", 0, 1),
+            recv(40, "p1", 0, 9),
+        ]);
+        assert!(report.violations.contains(&Violation::GhostDelivery {
+            msg: MsgId(9),
+            who: "p1".into()
+        }));
+        assert!(report.violations.contains(&Violation::DuplicateDelivery {
+            msg: MsgId(1),
+            times: 2
+        }));
+    }
+
+    #[test]
+    fn fifo_spans_the_migration_epoch() {
+        // m1 sent by p1, delivered to the pre-migration lane p0; m2
+        // delivered to the post-migration lane init:0. Same stream, in
+        // order — clean. Deliveries swapped — violation.
+        let ordered = audit(&[
+            send(10, "p1", 0, 1),
+            send(20, "p1", 0, 2),
+            recv(30, "p0", 1, 1),
+            recv(40, "init:0", 1, 2),
+        ]);
+        assert!(ordered.is_clean(), "{}", ordered.render());
+
+        let swapped = audit(&[
+            send(10, "p1", 0, 1),
+            send(20, "p1", 0, 2),
+            recv(30, "p0", 1, 2),
+            recv(40, "init:0", 1, 1),
+        ]);
+        assert_eq!(swapped.violations.len(), 1);
+    }
+
+    #[test]
+    fn sender_migration_unifies_the_stream() {
+        // Lemma 2: sender migrates between m1 and m2; its p1 and init:1
+        // lanes are one sender identity.
+        let swapped = audit(&[
+            send(10, "p1", 0, 1),
+            send(50, "init:1", 0, 2),
+            recv(60, "p0", 1, 2),
+            recv(70, "p0", 1, 1),
+        ]);
+        assert_eq!(
+            swapped.violations,
+            vec![Violation::FifoViolation {
+                sender: "r1".into(),
+                to: 0,
+                earlier: MsgId(1),
+                later: MsgId(2),
+            }]
+        );
+    }
+
+    #[test]
+    fn detects_unterminated_migration() {
+        let report = audit(&[ev(10, "p0", EventKind::MigrationStart { rank: 0 })]);
+        assert_eq!(
+            report.violations,
+            vec![Violation::UnterminatedMigration { rank: 0 }]
+        );
+    }
+
+    #[test]
+    fn commit_and_abort_close_migrations() {
+        let report = audit(&[
+            ev(10, "p0", EventKind::MigrationStart { rank: 0 }),
+            ev(20, "p1", EventKind::MigrationStart { rank: 1 }),
+            ev(30, "scheduler", EventKind::MigrationCommit { rank: 0 }),
+            ev(
+                40,
+                "p1",
+                EventKind::MigrationAborted {
+                    rank: 1,
+                    attempt: 1,
+                },
+            ),
+            // The scheduler lane double-records the abort; tolerated.
+            ev(
+                41,
+                "scheduler",
+                EventKind::MigrationAborted {
+                    rank: 1,
+                    attempt: 1,
+                },
+            ),
+        ]);
+        assert!(report.is_clean(), "{}", report.render());
+        assert_eq!(report.stats.migrations_started, 2);
+        assert_eq!(report.stats.migrations_committed, 1);
+        assert_eq!(report.stats.migrations_aborted, 1);
+    }
+
+    #[test]
+    fn completion_bound_fires_when_exceeded() {
+        let mut a = Auditor::new().with_completion_bound_ns(100);
+        a.observe(&ev(10, "p0", EventKind::MigrationStart { rank: 0 }));
+        a.observe(&ev(
+            500,
+            "scheduler",
+            EventKind::MigrationCommit { rank: 0 },
+        ));
+        let report = a.finish();
+        assert_eq!(
+            report.violations,
+            vec![Violation::MigrationOverBound {
+                rank: 0,
+                took_ns: 490,
+                bound_ns: 100,
+            }]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "was lost")]
+    fn assert_clean_panics_with_report() {
+        assert_clean(&[send(10, "p0", 1, 1)]);
+    }
+}

@@ -15,6 +15,10 @@ pub struct MsgId(pub u64);
 pub struct Event {
     /// Nanoseconds since the tracer was created.
     pub t_ns: u64,
+    /// Monotonic record-order sequence number, stamped under the tracer
+    /// lock. Breaks `t_ns` ties so equal-nanosecond events keep their
+    /// recording order in [`crate::Tracer::snapshot`].
+    pub seq: u64,
     /// Label of the acting process ("p0", "scheduler", "init",
     /// "daemon:h2", …).
     pub who: String,
@@ -106,7 +110,10 @@ pub enum EventKind {
     // -- migration (Figs 5–7) -------------------------------------------
     /// The migrating process intercepted `migration_request`
     /// (Fig 5 line 1).
-    MigrationStart,
+    MigrationStart {
+        /// The migrating rank.
+        rank: usize,
+    },
     /// Disconnection signal + `peer_migrating` pushed to a peer
     /// (Fig 5 line 5).
     PeerMigratingSent {
@@ -166,10 +173,15 @@ pub enum EventKind {
         bytes: usize,
     },
     /// Scheduler recorded `migration_commit` (Fig 7 line 7).
-    MigrationCommit,
+    MigrationCommit {
+        /// The migrated rank.
+        rank: usize,
+    },
     /// A failed migration was rolled back: the source resumed in place
     /// (source-side) or the scheduler abandoned it (scheduler-side).
     MigrationAborted {
+        /// The rank whose migration was abandoned.
+        rank: usize,
         /// How many transfer attempts were made before giving up.
         attempt: u32,
     },
@@ -227,7 +239,7 @@ impl EventKind {
             EventKind::SchedulerConsult { .. } => '?',
             EventKind::ChannelOpen { .. } => '(',
             EventKind::ChannelClose { .. } => ')',
-            EventKind::MigrationStart => 'M',
+            EventKind::MigrationStart { .. } => 'M',
             EventKind::PeerMigratingSent { .. } => 'm',
             EventKind::PeerMigratingSeen { .. } => 'p',
             EventKind::EndOfMessages { .. } => 'e',
@@ -237,7 +249,7 @@ impl EventKind {
             EventKind::StateCollected { .. } => 'K',
             EventKind::StateTransmitted { .. } => 'T',
             EventKind::StateRestored { .. } => 'V',
-            EventKind::MigrationCommit => 'X',
+            EventKind::MigrationCommit { .. } => 'X',
             EventKind::MigrationAborted { .. } => 'A',
             EventKind::MigrationRetried { .. } => 'Z',
             EventKind::MigrationAbortSeen { .. } => 'b',
@@ -269,9 +281,12 @@ mod tests {
                 msg: MsgId(0),
                 from_rml: false,
             },
-            EventKind::MigrationStart,
-            EventKind::MigrationCommit,
-            EventKind::MigrationAborted { attempt: 1 },
+            EventKind::MigrationStart { rank: 0 },
+            EventKind::MigrationCommit { rank: 0 },
+            EventKind::MigrationAborted {
+                rank: 0,
+                attempt: 1,
+            },
             EventKind::MigrationRetried { attempt: 2 },
             EventKind::MigrationAbortSeen { peer: 0 },
             EventKind::StateRestoreAborted {

@@ -14,7 +14,16 @@
 //!   XPVM figures.
 //! * [`report`] — timing-breakdown accumulators for the tables
 //!   (coordinate / collect / tx / restore / total) and a dependency-free
-//!   JSON emitter so harnesses can dump machine-readable results.
+//!   JSON emitter/parser so harnesses can dump and reload
+//!   machine-readable results.
+//! * [`metrics`] — a per-migration metrics registry (phase latencies,
+//!   bytes moved, chunk counts, retry/abort causes, queue depths) hung
+//!   off the shared [`Tracer`], exported as JSONL plus a human summary.
+//! * [`audit`] — an online protocol-invariant auditor that checks the
+//!   paper's four guarantees (§4) against the ordered event log, both
+//!   in-process at test time and offline via `snow-bench audit`.
+//! * [`serial`] — typed JSONL (de)serialization of event logs for the
+//!   offline audit path.
 //!
 //! Tracing is optional everywhere: a disabled tracer records nothing and
 //! costs one relaxed atomic load per call site, so the Table 1 overhead
@@ -23,13 +32,19 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod audit;
 pub mod event;
+pub mod metrics;
 pub mod report;
+pub mod serial;
 pub mod spacetime;
 pub mod tracer;
 
 pub use analysis::{events_to_json, lane_stats, lane_table, LaneStats};
+pub use audit::{assert_clean, audit, AuditReport, Auditor, Violation};
 pub use event::{Event, EventKind, MsgId};
+pub use metrics::{MetricsRegistry, MigrationMetrics, MigrationVerdict, SchedulerRuling};
 pub use report::{Breakdown, JsonValue};
+pub use serial::{event_from_json, event_to_json, events_from_jsonl, events_to_jsonl};
 pub use spacetime::{MessageLine, SpaceTime};
 pub use tracer::Tracer;

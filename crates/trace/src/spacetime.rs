@@ -222,6 +222,7 @@ mod tests {
     fn ev(t: u64, who: &str, kind: EventKind) -> Event {
         Event {
             t_ns: t,
+            seq: t,
             who: who.into(),
             kind,
         }
@@ -318,7 +319,7 @@ mod tests {
         let st = SpaceTime::build(vec![
             send(10, "p0", 1, 1),
             recv(20, "p1", 0, 1, false),
-            ev(30, "p1", EventKind::MigrationStart),
+            ev(30, "p1", EventKind::MigrationStart { rank: 1 }),
         ]);
         let s = st.render(40);
         assert!(s.contains("p0"), "{s}");
@@ -338,14 +339,14 @@ mod tests {
     fn first_when_finds_event() {
         let st = SpaceTime::build(vec![
             send(10, "p0", 1, 1),
-            ev(42, "p0", EventKind::MigrationStart),
+            ev(42, "p0", EventKind::MigrationStart { rank: 0 }),
         ]);
         assert_eq!(
-            st.first_when(|e| matches!(e.kind, EventKind::MigrationStart)),
+            st.first_when(|e| matches!(e.kind, EventKind::MigrationStart { .. })),
             Some(42)
         );
         assert_eq!(
-            st.first_when(|e| matches!(e.kind, EventKind::MigrationCommit)),
+            st.first_when(|e| matches!(e.kind, EventKind::MigrationCommit { .. })),
             None
         );
     }

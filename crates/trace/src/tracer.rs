@@ -1,6 +1,7 @@
 //! Thread-safe event collector.
 
 use crate::event::{Event, EventKind, MsgId};
+use crate::metrics::MetricsRegistry;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -19,6 +20,7 @@ pub struct Tracer {
     enabled: AtomicBool,
     next_msg: AtomicU64,
     events: Mutex<Vec<Event>>,
+    metrics: MetricsRegistry,
 }
 
 impl Tracer {
@@ -29,6 +31,7 @@ impl Tracer {
             enabled: AtomicBool::new(true),
             next_msg: AtomicU64::new(1),
             events: Mutex::new(Vec::new()),
+            metrics: MetricsRegistry::new(),
         })
     }
 
@@ -61,17 +64,51 @@ impl Tracer {
         MsgId(self.next_msg.fetch_add(1, Ordering::Relaxed))
     }
 
+    /// The per-migration metrics registry shared by every component that
+    /// holds this tracer (migrating processes, the scheduler, the post
+    /// office).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
     /// Record an event performed by the process labelled `who`.
     pub fn record(&self, who: &str, kind: EventKind) {
         if !self.is_enabled() {
             return;
         }
-        let ev = Event {
-            t_ns: self.now_ns(),
-            who: who.to_string(),
+        let t_ns = self.now_ns();
+        let who = who.to_string();
+        // The sequence number is allocated under the event lock so that
+        // `seq` order and vector order agree exactly.
+        let mut evs = self.events.lock();
+        let seq = evs.len() as u64;
+        evs.push(Event {
+            t_ns,
+            seq,
+            who,
             kind,
-        };
-        self.events.lock().push(ev);
+        });
+    }
+
+    /// Record an event with a caller-captured timestamp (from
+    /// [`Self::now_ns`]). Use when the traced action races another
+    /// thread's reaction to it — e.g. a message post that the receiver
+    /// may observe (and trace) before the sender gets to its own
+    /// `record` call. Capturing the timestamp *before* the action keeps
+    /// cause before effect in the sorted log.
+    pub fn record_at(&self, t_ns: u64, who: &str, kind: EventKind) {
+        if !self.is_enabled() {
+            return;
+        }
+        let who = who.to_string();
+        let mut evs = self.events.lock();
+        let seq = evs.len() as u64;
+        evs.push(Event {
+            t_ns,
+            seq,
+            who,
+            kind,
+        });
     }
 
     /// Copy out every event recorded so far, ordered by record time.
@@ -79,7 +116,10 @@ impl Tracer {
         let mut evs = self.events.lock().clone();
         // Recording order can deviate slightly from timestamp order under
         // lock contention; sort so analyses see a consistent timeline.
-        evs.sort_by_key(|e| e.t_ns);
+        // `seq` breaks equal-nanosecond ties in recording order — without
+        // it, same-timestamp events could swap and break per-process
+        // causal order.
+        evs.sort_by_key(|e| (e.t_ns, e.seq));
         evs
     }
 
@@ -107,8 +147,8 @@ mod tests {
     #[test]
     fn records_and_snapshots() {
         let t = Tracer::new();
-        t.record("p0", EventKind::MigrationStart);
-        t.record("p1", EventKind::MigrationCommit);
+        t.record("p0", EventKind::MigrationStart { rank: 0 });
+        t.record("p1", EventKind::MigrationCommit { rank: 0 });
         let evs = t.snapshot();
         assert_eq!(evs.len(), 2);
         assert_eq!(evs[0].who, "p0");
@@ -118,10 +158,10 @@ mod tests {
     #[test]
     fn disabled_tracer_records_nothing() {
         let t = Tracer::disabled();
-        t.record("p0", EventKind::MigrationStart);
+        t.record("p0", EventKind::MigrationStart { rank: 0 });
         assert!(t.is_empty());
         t.set_enabled(true);
-        t.record("p0", EventKind::MigrationStart);
+        t.record("p0", EventKind::MigrationStart { rank: 0 });
         assert_eq!(t.len(), 1);
     }
 
@@ -168,11 +208,63 @@ mod tests {
     #[test]
     fn clear_resets_events_not_ids() {
         let t = Tracer::new();
-        t.record("p0", EventKind::MigrationStart);
+        t.record("p0", EventKind::MigrationStart { rank: 0 });
         let id1 = t.next_msg_id();
         t.clear();
         assert!(t.is_empty());
         let id2 = t.next_msg_id();
         assert!(id2 > id1, "ids keep advancing across clears");
+    }
+
+    #[test]
+    fn equal_timestamps_keep_recording_order() {
+        // Force every event to the same nanosecond: recording order is
+        // the only thing that can keep the timeline causal, and the
+        // (t_ns, seq) sort must preserve it exactly.
+        let t = Tracer::new();
+        for i in 0..64usize {
+            t.record(
+                &format!("p{}", i % 4),
+                EventKind::Compute { work: i as u64 },
+            );
+        }
+        {
+            let mut evs = t.events.lock();
+            for e in evs.iter_mut() {
+                e.t_ns = 1_000;
+            }
+            // Scramble vector order to model snapshot observing a clone
+            // whose sort must fall back to `seq`, not insertion order.
+            evs.reverse();
+        }
+        let evs = t.snapshot();
+        assert!(evs.windows(2).all(|w| w[0].seq < w[1].seq));
+        for (i, e) in evs.iter().enumerate() {
+            assert_eq!(
+                e.kind,
+                EventKind::Compute { work: i as u64 },
+                "event {i} swapped despite equal timestamps"
+            );
+        }
+    }
+
+    #[test]
+    fn seq_is_unique_and_dense_across_threads() {
+        let t = Tracer::new();
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let t = Arc::clone(&t);
+            handles.push(thread::spawn(move || {
+                for _ in 0..50 {
+                    t.record(&format!("p{i}"), EventKind::Compute { work: 0 });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut seqs: Vec<u64> = t.snapshot().iter().map(|e| e.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..200).collect::<Vec<u64>>());
     }
 }

@@ -205,7 +205,7 @@ mod tests {
     use std::time::Duration;
 
     fn mk_req(req_id: u64, target: Vmid) -> (ConnReqMsg, Post<Incoming>) {
-        let (reply, post) = Post::channel(LinkModel::INSTANT, TimeScale::ZERO);
+        let (reply, post) = Post::channel(LinkModel::INSTANT, SCALE);
         let req = ConnReqMsg {
             req_id,
             from_rank: 1,
@@ -221,7 +221,7 @@ mod tests {
     }
 
     fn target_addr(registry: &Registry, vmid: Vmid) -> Post<Incoming> {
-        let (tx, post) = Post::channel(LinkModel::INSTANT, TimeScale::ZERO);
+        let (tx, post) = Post::channel(LinkModel::INSTANT, SCALE);
         let (sig_tx, _sig_rx) = channel::unbounded();
         registry.register(
             vmid,
@@ -235,15 +235,39 @@ mod tests {
         post
     }
 
-    fn expect_nack(post: &Post<Incoming>, req_id: u64) {
-        match post.recv_timeout(Duration::from_secs(2)).unwrap() {
-            Some(Incoming::Ctrl(Ctrl::ConnNack { req_id: r, .. })) => assert_eq!(r, req_id),
-            other => panic!("expected nack, got {other:?}"),
+    /// The scale these tests run the modeled clock at. ZERO keeps them
+    /// instant; bump it when debugging to watch the daemon in slow
+    /// motion — the settle windows stretch to match.
+    const SCALE: TimeScale = TimeScale::ZERO;
+
+    /// How long to let the daemon thread drain its mailbox before the
+    /// next assertion. The base covers raw thread scheduling on a ZERO
+    /// scale; slower modeled clocks widen the window proportionally so
+    /// a scaled run doesn't race the daemon.
+    fn settle() {
+        std::thread::sleep(Duration::from_millis(20) + SCALE.real(1.0));
+    }
+
+    /// Timed receive that surfaces failures as errors instead of
+    /// panicking inside the helper, so a wedged daemon reports *which*
+    /// wait failed rather than a bare unwrap backtrace.
+    fn recv_within(post: &Post<Incoming>, d: Duration) -> Result<Option<Incoming>, String> {
+        post.recv_timeout(d)
+            .map_err(|e| format!("inbox closed while waiting for the daemon: {e:?}"))
+    }
+
+    fn expect_nack(post: &Post<Incoming>, req_id: u64) -> Result<(), String> {
+        match recv_within(post, Duration::from_secs(2))? {
+            Some(Incoming::Ctrl(Ctrl::ConnNack { req_id: r, .. })) if r == req_id => Ok(()),
+            Some(Incoming::Ctrl(Ctrl::ConnNack { req_id: r, .. })) => {
+                Err(format!("nack for req {r}, expected req {req_id}"))
+            }
+            other => Err(format!("expected nack for req {req_id}, got {other:?}")),
         }
     }
 
     #[test]
-    fn routes_to_registered_process() {
+    fn routes_to_registered_process() -> Result<(), String> {
         let registry = Registry::new();
         let tracer = Tracer::disabled();
         let host = HostId(0);
@@ -252,14 +276,15 @@ mod tests {
         let target_post = target_addr(&registry, target);
         let (req, _reply_post) = mk_req(1, target);
         assert!(d.send(DaemonMsg::RouteConnReq(req)));
-        match target_post.recv_timeout(Duration::from_secs(2)).unwrap() {
+        match recv_within(&target_post, Duration::from_secs(2))? {
             Some(Incoming::Ctrl(Ctrl::ConnReq(r))) => assert_eq!(r.req_id, 1),
-            other => panic!("expected forwarded req, got {other:?}"),
+            other => return Err(format!("expected forwarded req, got {other:?}")),
         }
+        Ok(())
     }
 
     #[test]
-    fn nacks_missing_process() {
+    fn nacks_missing_process() -> Result<(), String> {
         let registry = Registry::new();
         let d = spawn_daemon(HostId(0), registry, Tracer::disabled());
         let target = Vmid {
@@ -268,11 +293,11 @@ mod tests {
         };
         let (req, reply_post) = mk_req(7, target);
         d.send(DaemonMsg::RouteConnReq(req));
-        expect_nack(&reply_post, 7);
+        expect_nack(&reply_post, 7)
     }
 
     #[test]
-    fn reject_flag_nacks_immediately() {
+    fn reject_flag_nacks_immediately() -> Result<(), String> {
         let registry = Registry::new();
         let d = spawn_daemon(HostId(0), registry.clone(), Tracer::disabled());
         let target = Vmid {
@@ -286,7 +311,7 @@ mod tests {
         });
         let (req, reply_post) = mk_req(3, target);
         d.send(DaemonMsg::RouteConnReq(req));
-        expect_nack(&reply_post, 3);
+        expect_nack(&reply_post, 3)?;
         // Clearing the flag lets requests through again.
         d.send(DaemonMsg::SetReject {
             vmid: target,
@@ -295,14 +320,12 @@ mod tests {
         let (req, reply_post2) = mk_req(4, target);
         d.send(DaemonMsg::RouteConnReq(req));
         // No nack this time: it was forwarded.
-        assert!(reply_post2
-            .recv_timeout(Duration::from_millis(100))
-            .unwrap()
-            .is_none());
+        assert!(recv_within(&reply_post2, Duration::from_millis(100))?.is_none());
+        Ok(())
     }
 
     #[test]
-    fn reply_forwarded_and_record_deleted() {
+    fn reply_forwarded_and_record_deleted() -> Result<(), String> {
         let registry = Registry::new();
         let d = spawn_daemon(HostId(0), registry.clone(), Tracer::disabled());
         let target = Vmid {
@@ -316,20 +339,18 @@ mod tests {
             req_id: 11,
             ctrl: Ctrl::ConnNack { req_id: 11, target },
         });
-        expect_nack(&reply_post, 11);
+        expect_nack(&reply_post, 11)?;
         // Second reply for the same id is dropped (record deleted).
         d.send(DaemonMsg::ConnReply {
             req_id: 11,
             ctrl: Ctrl::ConnNack { req_id: 11, target },
         });
-        assert!(reply_post
-            .recv_timeout(Duration::from_millis(50))
-            .unwrap()
-            .is_none());
+        assert!(recv_within(&reply_post, Duration::from_millis(50))?.is_none());
+        Ok(())
     }
 
     #[test]
-    fn process_exit_nacks_pending() {
+    fn process_exit_nacks_pending() -> Result<(), String> {
         let registry = Registry::new();
         let d = spawn_daemon(HostId(0), registry.clone(), Tracer::disabled());
         let target = Vmid {
@@ -340,13 +361,13 @@ mod tests {
         let (req, reply_post) = mk_req(21, target);
         d.send(DaemonMsg::RouteConnReq(req));
         // Give the daemon time to record the pending entry.
-        std::thread::sleep(Duration::from_millis(20));
+        settle();
         d.send(DaemonMsg::ProcessExited(target));
-        expect_nack(&reply_post, 21);
+        expect_nack(&reply_post, 21)
     }
 
     #[test]
-    fn shutdown_nacks_everything() {
+    fn shutdown_nacks_everything() -> Result<(), String> {
         let registry = Registry::new();
         let d = spawn_daemon(HostId(0), registry.clone(), Tracer::disabled());
         let target = Vmid {
@@ -356,12 +377,13 @@ mod tests {
         let _tp = target_addr(&registry, target);
         let (req, reply_post) = mk_req(31, target);
         d.send(DaemonMsg::RouteConnReq(req));
-        std::thread::sleep(Duration::from_millis(20));
+        settle();
         d.send(DaemonMsg::Shutdown);
-        expect_nack(&reply_post, 31);
+        expect_nack(&reply_post, 31)?;
         // Daemon is gone: further sends fail eventually.
-        std::thread::sleep(Duration::from_millis(20));
+        settle();
         let (req2, _rp) = mk_req(32, target);
         let _ = d.send(DaemonMsg::RouteConnReq(req2));
+        Ok(())
     }
 }

@@ -148,9 +148,16 @@ impl<T> Ord for Staged<T> {
     }
 }
 
+/// Upper bound on one blind nap while waiting out a staged frame's
+/// modeled delay with no live sender left to interrupt the wait. Bounding
+/// the nap keeps the receive loops re-checking the stage instead of
+/// sleeping uninterruptibly until the original `deliver_at` estimate.
+const NAP_SLICE: Duration = Duration::from_millis(5);
+
 struct Stage<T> {
     heap: BinaryHeap<Reverse<Staged<T>>>,
     next_arrival: u64,
+    high_water: usize,
 }
 
 impl<T> Stage<T> {
@@ -162,6 +169,7 @@ impl<T> Stage<T> {
             arrival,
             msg: f.msg,
         }));
+        self.high_water = self.high_water.max(self.heap.len());
     }
 
     /// Pull everything already queued into the stage so the earliest
@@ -216,6 +224,7 @@ impl<T> Post<T> {
                 stage: Mutex::new(Stage {
                     heap: BinaryHeap::new(),
                     next_arrival: 0,
+                    high_water: 0,
                 }),
             },
         )
@@ -251,11 +260,13 @@ impl<T> Post<T> {
                         // The staged minimum is now deliverable.
                         Err(RecvTimeoutError::Timeout) => {}
                         Err(RecvTimeoutError::Disconnected) => {
-                            // No further arrivals can overtake; wait out
-                            // the remaining modeled delay.
+                            // No live sender remains to wake us; nap in
+                            // bounded slices and loop so the stage is
+                            // re-checked instead of sleeping blind until
+                            // the original estimate.
                             let now = Instant::now();
                             if at > now {
-                                std::thread::sleep(at - now);
+                                std::thread::sleep((at - now).min(NAP_SLICE));
                             }
                         }
                     }
@@ -299,7 +310,7 @@ impl<T> Post<T> {
                         Err(RecvTimeoutError::Disconnected) => {
                             let now = Instant::now();
                             if at > now {
-                                std::thread::sleep(at - now);
+                                std::thread::sleep((at - now).min(NAP_SLICE));
                             }
                         }
                     }
@@ -329,6 +340,13 @@ impl<T> Post<T> {
     /// delivery time).
     pub fn backlog(&self) -> usize {
         self.rx.len() + self.stage.lock().heap.len()
+    }
+
+    /// High-water mark of the staged queue: the deepest the modeled-
+    /// delivery backlog has ever been. Feeds the per-link queue-depth
+    /// metrics.
+    pub fn staged_high_water(&self) -> usize {
+        self.stage.lock().high_water
     }
 }
 
@@ -460,6 +478,70 @@ mod tests {
         assert!(slow_pos[0] < slow_pos[1], "{got:?}");
         assert!(fast_pos[0] < fast_pos[1], "{got:?}");
         assert_eq!(got[0], 20, "fast frames deliver first: {got:?}");
+    }
+
+    #[test]
+    fn late_fast_frame_preempts_a_long_nap() {
+        // The receiver blocks on a frame whose modeled delivery is far
+        // out (~50 modeled s → 50 ms real); while it naps, a fast-link
+        // frame with a near-immediate deadline is posted. The nap must be
+        // preempted and the short-latency frame delivered first — the
+        // receive loop may not wait out the long frame's full delay.
+        let (proto, rx) = Post::<u32>::channel(LinkModel::INSTANT, TimeScale::MILLI);
+        let slow = proto.with_link(
+            LinkModel {
+                bandwidth_bps: 8_000_000.0,
+                latency_s: 50.0,
+            },
+            TimeScale::MILLI,
+        );
+        let fast = proto.with_link(LinkModel::ETHERNET_100M, TimeScale::MILLI);
+        slow.send(1, 8).unwrap();
+        let poster = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(10));
+            fast.send(2, 8).unwrap();
+        });
+        let t0 = Instant::now();
+        assert_eq!(rx.recv().unwrap(), 2, "late fast frame must preempt");
+        assert!(
+            t0.elapsed() < Duration::from_millis(40),
+            "nap was not preempted: {:?}",
+            t0.elapsed()
+        );
+        poster.join().unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+    }
+
+    #[test]
+    fn disconnected_nap_is_bounded_not_blind() {
+        // All senders gone with one staged frame still in modeled
+        // flight: the receiver must still deliver it (in bounded naps),
+        // and recv_timeout must honour its own deadline meanwhile.
+        let (proto, rx) = Post::<u32>::channel(LinkModel::INSTANT, TimeScale::MILLI);
+        let slow = proto.with_link(LinkModel::ETHERNET_10M, TimeScale::MILLI);
+        slow.send(7, 20_000_000).unwrap(); // ~16 modeled s → 16 ms real
+        drop(slow);
+        drop(proto);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)).unwrap(), None);
+        assert_eq!(rx.recv().unwrap(), 7);
+        assert_eq!(rx.recv(), Err(InboxClosed));
+    }
+
+    #[test]
+    fn staged_high_water_tracks_peak_depth() {
+        let (tx, rx) = Post::<u32>::channel(LinkModel::ETHERNET_10M, TimeScale::MILLI);
+        assert_eq!(rx.staged_high_water(), 0);
+        for i in 0..6 {
+            tx.send(i, 1_000_000).unwrap();
+        }
+        // Stage everything (frames still in modeled flight stay parked).
+        let _ = rx.recv_timeout(Duration::ZERO).unwrap();
+        assert_eq!(rx.staged_high_water(), 6);
+        for i in 0..6 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+        // Draining does not lower the high-water mark.
+        assert_eq!(rx.staged_high_water(), 6);
     }
 
     #[test]

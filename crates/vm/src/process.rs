@@ -136,6 +136,18 @@ impl ProcessCell {
             .map_err(|InboxClosed| EnvError::InboxClosed)
     }
 
+    /// Frames currently staged in the inbox (posted but not yet past
+    /// their modeled delivery time). Observability hook for the
+    /// per-migration queue-depth metrics.
+    pub fn inbox_backlog(&self) -> usize {
+        self.inbox.backlog()
+    }
+
+    /// Peak staged depth the inbox has ever reached.
+    pub fn inbox_staged_high_water(&self) -> usize {
+        self.inbox.staged_high_water()
+    }
+
     /// A control-grade sender into this process's own inbox (reply
     /// address for scheduler/daemon handshakes).
     pub fn reply_sender(&self) -> PostSender<Incoming> {
@@ -229,6 +241,14 @@ impl ProcessCell {
     /// Trace-record an event attributed to this process.
     pub fn trace(&self, kind: snow_trace::EventKind) {
         self.tracer().record(&self.label, kind);
+    }
+
+    /// Trace with a timestamp captured *before* the traced action (via
+    /// `tracer().now_ns()`). Keeps cause before effect in the sorted
+    /// log when another thread can react to the action — and trace its
+    /// reaction — before we reach our own record call.
+    pub fn trace_at(&self, t_ns: u64, kind: snow_trace::EventKind) {
+        self.tracer().record_at(t_ns, &self.label, kind);
     }
 
     /// Convenience: rank-labelled tracing for application processes.

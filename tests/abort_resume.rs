@@ -4,6 +4,8 @@
 //! message lost, FIFO intact — or, under a retry policy, re-target an
 //! alternate live host and still commit.
 
+mod support;
+
 use bytes::Bytes;
 use snow::prelude::*;
 use snow::sched::MigrationPhase;
@@ -30,7 +32,11 @@ fn spin_until(flag: &AtomicBool) {
 /// order, and the resumed source still exchanges traffic both ways.
 #[test]
 fn destination_vanishes_source_resumes_without_loss() {
-    let comp = Computation::builder().hosts(HostSpec::ideal(), 4).build();
+    let tracer = Tracer::new();
+    let comp = Computation::builder()
+        .hosts(HostSpec::ideal(), 4)
+        .tracer(tracer.clone())
+        .build();
     let doomed = comp.hosts()[3];
     let ready = Arc::new(AtomicBool::new(false));
     let go = Arc::new(AtomicBool::new(false));
@@ -105,6 +111,7 @@ fn destination_vanishes_source_resumes_without_loss() {
     // Deliberately NOT joining init processes: the destination process
     // was orphaned on the removed host and only unblocks at its
     // watchdog (a workstation that lost its network, not its power).
+    support::audit_and_export(&tracer, "abort_destination_vanishes");
 }
 
 /// A corrupted chunk makes the destination reject the transfer; with a
@@ -112,8 +119,10 @@ fn destination_vanishes_source_resumes_without_loss() {
 /// host and the second attempt commits there.
 #[test]
 fn corrupted_chunk_retries_on_alternate_host() {
+    let tracer = Tracer::new();
     let comp = Computation::builder()
         .hosts(HostSpec::ideal(), 4)
+        .tracer(tracer.clone())
         .pipeline(PipelineConfig {
             chunk_bytes: 4096,
             workers: 2,
@@ -165,6 +174,12 @@ fn corrupted_chunk_retries_on_alternate_host() {
         h.join().unwrap();
     }
     comp.join_init_processes();
+    support::audit_and_export(&tracer, "abort_corrupted_chunk_retry");
+    // The retry must surface in the metrics registry with its cause.
+    let migs = tracer.metrics().migrations();
+    let m = migs.iter().find(|m| m.rank == 0).expect("metrics recorded");
+    assert_eq!(m.attempts, 2);
+    assert_eq!(m.retry_causes.len(), 1, "one failed attempt: {m:?}");
 }
 
 /// Two ranks migrate simultaneously; rank 0's transfer is corrupted
@@ -174,8 +189,10 @@ fn corrupted_chunk_retries_on_alternate_host() {
 /// and the post-commit PL updates compose.
 #[test]
 fn simultaneous_migration_one_side_aborts() {
+    let tracer = Tracer::new();
     let comp = Computation::builder()
         .hosts(HostSpec::ideal(), 4)
+        .tracer(tracer.clone())
         .pipeline(PipelineConfig {
             chunk_bytes: 4096,
             workers: 2,
@@ -240,4 +257,9 @@ fn simultaneous_migration_one_side_aborts() {
         h.join().unwrap();
     }
     comp.join_init_processes();
+    support::audit_and_export(&tracer, "abort_simultaneous_one_aborts");
+    // One aborted, one committed migration in the registry.
+    let migs = tracer.metrics().migrations();
+    assert!(migs.iter().any(|m| m.rank == 0 && m.abort_cause.is_some()));
+    assert!(migs.iter().any(|m| m.rank == 1 && m.abort_cause.is_none()));
 }

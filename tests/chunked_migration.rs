@@ -5,6 +5,8 @@
 //! pipelined schedule must beat the serial Table 2 sum on a
 //! bandwidth-limited link.
 
+mod support;
+
 use bytes::Bytes;
 use snow::prelude::*;
 use std::sync::{Arc, Mutex};
@@ -143,6 +145,14 @@ fn in_transit_messages_survive_fragmented_migration() {
         chunk_frames, restored_frames,
         "every chunk sent must be restored on the destination"
     );
+    support::audit_and_export(&tracer, "chunked_fragmented_migration");
+    // The migration shows up in the metrics registry with its chunk
+    // count and payload size.
+    let migs = tracer.metrics().migrations();
+    let m = migs.iter().find(|m| m.rank == 0).expect("metrics recorded");
+    assert!(m.chunks >= 32);
+    assert!(m.state_bytes >= 130_000);
+    assert!(m.abort_cause.is_none());
 }
 
 /// End-to-end acceptance: with >= 4 workers on the paper's
@@ -150,11 +160,13 @@ fn in_transit_messages_survive_fragmented_migration() {
 /// the serial Table 2 sum, because collect/tx/restore overlap.
 #[test]
 fn pipelined_total_beats_serial_sum_end_to_end() {
+    let tracer = Tracer::new();
     let comp = Computation::builder()
         .host(HostSpec::ultra5())
         .host(HostSpec::dec5000())
         .host(HostSpec::ultra5())
         .time_scale(TimeScale::MILLI)
+        .tracer(tracer.clone())
         .pipeline(PipelineConfig {
             chunk_bytes: 32 * 1024,
             workers: 4,
@@ -207,4 +219,10 @@ fn pipelined_total_beats_serial_sum_end_to_end() {
         pipelined_stages < 0.8 * serial_stages,
         "overlap too small: {pipelined_stages} vs serial {serial_stages}"
     );
+    support::audit_and_export(&tracer, "chunked_pipelined_beats_serial");
+    // The registry mirrors the timings handed back to the app.
+    let migs = tracer.metrics().migrations();
+    let m = migs.iter().find(|m| m.rank == 0).expect("metrics recorded");
+    assert!((m.pipelined_s - t.pipelined_modeled_s).abs() < 1e-9);
+    assert_eq!(m.attempts, 1);
 }

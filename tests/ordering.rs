@@ -3,6 +3,8 @@
 //! of the receiver (ListA before ListB before new messages) and of the
 //! sender.
 
+mod support;
+
 use bytes::Bytes;
 use snow::prelude::*;
 use std::time::Duration;
@@ -80,6 +82,7 @@ fn list_a_read_before_list_b() {
         st.fifo_violations()
     );
     assert!(st.undelivered().is_empty());
+    support::audit_and_export(&tracer, "ordering_list_a_before_list_b");
 }
 
 /// A long numbered stream spanning the migration arrives strictly in
@@ -143,13 +146,18 @@ fn numbered_stream_strictly_ordered() {
     let st = SpaceTime::build(tracer.snapshot());
     assert!(st.fifo_violations().is_empty());
     assert!(st.undelivered().is_empty());
+    support::audit_and_export(&tracer, "ordering_numbered_stream");
 }
 
 /// Lemma 2: the *sender* migrates between m1 and m2; the stationary
 /// receiver still sees them in order.
 #[test]
 fn sender_migration_preserves_order() {
-    let comp = Computation::builder().hosts(HostSpec::ideal(), 3).build();
+    let tracer = Tracer::new();
+    let comp = Computation::builder()
+        .hosts(HostSpec::ideal(), 3)
+        .tracer(tracer.clone())
+        .build();
     let spare = comp.hosts()[2];
 
     let handles = comp.launch(2, move |mut p, start| match (p.rank(), start) {
@@ -179,6 +187,7 @@ fn sender_migration_preserves_order() {
         h.join().unwrap();
     }
     comp.join_init_processes();
+    support::audit_and_export(&tracer, "ordering_sender_migration");
 }
 
 /// Two independent senders to a migrating receiver: per-sender order
@@ -186,7 +195,11 @@ fn sender_migration_preserves_order() {
 #[test]
 fn per_sender_fifo_with_two_senders() {
     const MSGS: u64 = 40;
-    let comp = Computation::builder().hosts(HostSpec::ideal(), 4).build();
+    let tracer = Tracer::new();
+    let comp = Computation::builder()
+        .hosts(HostSpec::ideal(), 4)
+        .tracer(tracer.clone())
+        .build();
     let spare = comp.hosts()[3];
 
     let handles = comp.launch(3, move |mut p, start| match (p.rank(), start) {
@@ -243,4 +256,5 @@ fn per_sender_fifo_with_two_senders() {
         h.join().unwrap();
     }
     comp.join_init_processes();
+    support::audit_and_export(&tracer, "ordering_two_senders");
 }

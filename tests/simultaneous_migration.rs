@@ -4,6 +4,8 @@
 //! channel close. Also exercises repeated migrations of the same rank
 //! (the mobility the title promises).
 
+mod support;
+
 use bytes::Bytes;
 use snow::prelude::*;
 use std::time::Duration;
@@ -78,6 +80,7 @@ fn both_ends_migrate_simultaneously() {
     assert!(st.undelivered().is_empty(), "{:?}", st.undelivered());
     assert!(st.duplicate_receives().is_empty());
     assert!(st.fifo_violations().is_empty());
+    support::audit_and_export(&tracer, "simultaneous_both_ends");
 }
 
 /// A rank migrates twice in a row (old hosts differ each time); peers
@@ -85,7 +88,11 @@ fn both_ends_migrate_simultaneously() {
 #[test]
 fn repeated_migration_of_one_rank() {
     const LEG: u64 = 8;
-    let comp = Computation::builder().hosts(HostSpec::ideal(), 4).build();
+    let tracer = Tracer::new();
+    let comp = Computation::builder()
+        .hosts(HostSpec::ideal(), 4)
+        .tracer(tracer.clone())
+        .build();
     let (d1, d2) = (comp.hosts()[2], comp.hosts()[3]);
 
     let handles = comp.launch(2, move |mut p, start| match (p.rank(), start) {
@@ -139,6 +146,7 @@ fn repeated_migration_of_one_rank() {
         h.join().unwrap();
     }
     comp.join_init_processes();
+    support::audit_and_export(&tracer, "simultaneous_repeated_rank");
 }
 
 /// Several ranks of a larger computation migrate concurrently while the
@@ -203,4 +211,5 @@ fn migration_storm() {
     let st = SpaceTime::build(tracer.snapshot());
     assert!(st.undelivered().is_empty(), "{:?}", st.undelivered());
     assert!(st.fifo_violations().is_empty());
+    support::audit_and_export(&tracer, "simultaneous_storm");
 }

@@ -1,0 +1,49 @@
+//! Shared observability harness for the integration suites.
+//!
+//! Every traced suite funnels its run through [`audit_and_export`]:
+//! the event log is checked online against the paper's §4 guarantees
+//! (per-sender FIFO, zero message loss, no cyclic wait among drained
+//! processes, terminated migrations) and both the event log and any
+//! per-migration metrics are exported as JSONL under
+//! `target/audit-logs/`, where `snow-bench audit --dir` and CI pick
+//! them up for the offline pass.
+
+#![allow(dead_code)]
+
+use snow::trace::serial::events_to_jsonl;
+use snow::trace::Tracer;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Where the suites drop their JSONL exports. Shared with the
+/// `snow-bench audit` subcommand and the CI audit step.
+pub fn export_dir() -> PathBuf {
+    let dir = PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../target/audit-logs"
+    ));
+    std::fs::create_dir_all(&dir).expect("create target/audit-logs");
+    dir
+}
+
+/// Export the tracer's event log (and metrics, if any migrations were
+/// recorded) as JSONL, then run the online auditor over the snapshot.
+/// Panics with the rendered report if any §4 guarantee is violated.
+pub fn audit_and_export(tracer: &Arc<Tracer>, name: &str) {
+    let events = tracer.snapshot();
+    let dir = export_dir();
+    std::fs::write(
+        dir.join(format!("{name}.events.jsonl")),
+        events_to_jsonl(&events),
+    )
+    .expect("write event log JSONL");
+    let metrics = tracer.metrics();
+    if !metrics.is_empty() {
+        std::fs::write(
+            dir.join(format!("{name}.metrics.jsonl")),
+            metrics.to_jsonl(),
+        )
+        .expect("write metrics JSONL");
+    }
+    snow::trace::assert_clean(&events);
+}

@@ -1,0 +1,119 @@
+//! `snow-bench chaos` — seeded chaos harness over the §4 guarantees.
+//!
+//! Each seed expands to a full scenario (traffic matrix, migrant,
+//! deterministic fault plan), runs end-to-end, and is audited online.
+//! On a violation the seed and its JSONL event log are dumped so the
+//! failure replays exactly; `--dir` also exports *passing* logs for the
+//! offline `audit` pass CI runs over the same directory.
+//!
+//! Usage:
+//!   cargo run -p snow-bench --bin chaos -- --seed 7
+//!   cargo run -p snow-bench --bin chaos -- --seeds 0..32 --dir target/audit-logs
+//!   cargo run -p snow-bench --bin chaos -- --seed 7 --twice   # digest reproducibility
+
+use snow_bench::chaos::{run_scenario, Scenario};
+use snow_trace::audit::audit;
+use snow_trace::serial::events_to_jsonl;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: chaos [--seed N | --seeds A..B] [--dir DIR] [--twice]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut seeds: Vec<u64> = Vec::new();
+    let mut dir: Option<PathBuf> = None;
+    let mut twice = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => seeds.push(n),
+                None => usage(),
+            },
+            "--seeds" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                let (a, b) = spec.split_once("..").unwrap_or_else(|| usage());
+                match (a.parse::<u64>(), b.parse::<u64>()) {
+                    (Ok(a), Ok(b)) if a < b => seeds.extend(a..b),
+                    _ => usage(),
+                }
+            }
+            "--dir" => dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--twice" => twice = true,
+            _ => usage(),
+        }
+    }
+    if seeds.is_empty() {
+        seeds.extend(0..8);
+    }
+    if let Some(d) = &dir {
+        if let Err(e) = std::fs::create_dir_all(d) {
+            eprintln!("chaos: cannot create {}: {e}", d.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut failures = 0usize;
+    for seed in seeds {
+        let sc = Scenario::generate(seed);
+        let run = run_scenario(&sc);
+        let report = audit(&run.events);
+        let faults: String = run
+            .fault_counts
+            .iter()
+            .map(|(k, v)| format!(" {k}={v}"))
+            .collect();
+        println!(
+            "seed {seed:>4}  digest {:016x}  ranks {}  migration {}  faults:{}",
+            run.digest,
+            sc.ranks,
+            run.migration,
+            if faults.is_empty() { " none" } else { &faults }
+        );
+
+        let dump = |name: &str| {
+            if let Some(d) = &dir {
+                let path = d.join(name);
+                if let Err(e) = std::fs::write(&path, events_to_jsonl(&run.events)) {
+                    eprintln!("chaos: cannot write {}: {e}", path.display());
+                }
+            }
+        };
+        if report.is_clean() {
+            dump(&format!("chaos-seed-{seed}.events.jsonl"));
+        } else {
+            failures += 1;
+            // Keep failing logs apart so CI uploads them as artifacts.
+            dump(&format!("FAILED-chaos-seed-{seed}.events.jsonl"));
+            eprintln!("seed {seed}: AUDIT VIOLATIONS\n{}", report.render());
+            eprintln!("reproduce with: cargo run -p snow-bench --bin chaos -- --seed {seed}");
+        }
+
+        if twice {
+            let again = run_scenario(&Scenario::generate(seed));
+            if again.digest != run.digest {
+                failures += 1;
+                eprintln!(
+                    "seed {seed}: DIGEST DIVERGENCE {:016x} vs {:016x}",
+                    run.digest, again.digest
+                );
+            } else {
+                println!(
+                    "seed {seed:>4}  digest {:016x}  (rerun: identical)",
+                    again.digest
+                );
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("chaos: {failures} failing run(s)");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -14,6 +14,8 @@
 //! | `cargo run -p snow-bench --bin audit -- --dir target/audit-logs` | offline §4-guarantee audit of exported event logs |
 //! | `cargo bench -p snow-bench` | overhead (A3), state transfer (A4), migration cost vs peers (A2), baseline costs (A1) |
 
+pub mod chaos;
+
 use snow_core::{Computation, MigrationTimings};
 use snow_mg::{mg_app_instrumented, MgConfig, MgResult, RawNetwork};
 use snow_net::TimeScale;

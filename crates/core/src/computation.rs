@@ -38,6 +38,7 @@ pub struct ComputationBuilder {
     pipeline: PipelineConfig,
     host_specs: Vec<HostSpec>,
     sched_config: SchedulerConfig,
+    fault_plan: Option<snow_net::FaultPlan>,
 }
 
 impl Default for ComputationBuilder {
@@ -49,6 +50,7 @@ impl Default for ComputationBuilder {
             pipeline: PipelineConfig::default(),
             host_specs: Vec::new(),
             sched_config: SchedulerConfig::default(),
+            fault_plan: None,
         }
     }
 }
@@ -108,6 +110,15 @@ impl ComputationBuilder {
         self
     }
 
+    /// Arm deterministic fault injection: every logical connection and
+    /// daemon-routed control datagram of the built environment is
+    /// subject to `plan` (seeded, reproducible — see
+    /// [`snow_net::fault`]).
+    pub fn fault_plan(mut self, plan: snow_net::FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Build the environment. At least one host is required (it carries
     /// the scheduler).
     pub fn build(self) -> Computation {
@@ -116,6 +127,11 @@ impl ComputationBuilder {
             "a computation needs at least one host"
         );
         let vm = VirtualMachine::new(Arc::clone(&self.tracer), self.scale);
+        // Arm faults before the first daemon spawns so the plan covers
+        // every host's datagram service from the start.
+        if let Some(plan) = self.fault_plan {
+            vm.set_fault_plan(plan);
+        }
         let hosts: Vec<HostId> = self
             .host_specs
             .iter()

@@ -26,8 +26,9 @@
 //! [`MigrationOutcome::Aborted`].
 
 use crate::error::ProtoError;
-use crate::process::{scaled_watchdog, Event, SnowProcess, TAG_CTRL, TICK};
+use crate::process::{scaled_watchdog, Event, SnowProcess, CONN_RESEND, TAG_CTRL, TICK};
 use bytes::Bytes;
+use snow_net::FrameClass;
 use snow_state::{
     ChunkedRestorer, PipelineConfig, ProcessState, RestoreTeardown, StateCostModel, StateError,
 };
@@ -415,8 +416,17 @@ impl SnowProcess {
         // Live peers are fully drained by the marker protocol (FIFO puts
         // their data before end_of_messages); this catches messages from
         // peers that terminated after sending, which can never produce a
-        // marker.
-        while let Ok(Some(_)) = self.next_event(Duration::ZERO) {}
+        // marker. Such frames may still sit *staged* behind a modeled
+        // wire delay (e.g. injected jitter on the last message of a peer
+        // that finished right after sending): wait the backlog out, or
+        // those in-flight frames would be dropped with the channels.
+        loop {
+            while let Ok(Some(_)) = self.next_event(Duration::ZERO) {}
+            if self.cell.inbox_backlog() == 0 || Instant::now() >= deadline {
+                break;
+            }
+            let _ = self.next_event(TICK);
+        }
 
         // Line 7: close all existing connections. Peers that coordinated
         // were closed by the marker handling; anything left (e.g.
@@ -487,7 +497,7 @@ impl SnowProcess {
         };
         let nbytes = env.wire_bytes();
         state_tx
-            .send(Incoming::Data(env), nbytes)
+            .send_classed(Incoming::Data(env), nbytes, FrameClass::Data)
             .map_err(|_| "transfer channel closed before the RML batch".to_string())?;
 
         // Lines 9–10: collect and send the execution and memory state
@@ -534,7 +544,7 @@ impl SnowProcess {
             };
             let nbytes = env.wire_bytes();
             state_tx
-                .send(Incoming::Data(env), nbytes)
+                .send_classed(Incoming::Data(env), nbytes, FrameClass::Data)
                 .map_err(|_| "transfer channel closed sending the state frame".to_string())?;
             self.trace_mig(EventKind::StateTransmitted {
                 bytes: timings.state_bytes,
@@ -604,7 +614,7 @@ impl SnowProcess {
                 restore_serial += r_s;
                 restore_free = wire_free.max(restore_free) + r_s;
                 state_tx
-                    .send(Incoming::Data(env), nbytes)
+                    .send_classed(Incoming::Data(env), nbytes, FrameClass::Data)
                     .map_err(|_| "transfer channel closed mid chunk stream".to_string())?;
                 cell.trace(EventKind::StateChunkSent {
                     seq: chunk.seq,
@@ -630,7 +640,7 @@ impl SnowProcess {
             tx_serial += digest_tx_s;
             wire_free += digest_tx_s;
             state_tx
-                .send(Incoming::Data(env), nbytes)
+                .send_classed(Incoming::Data(env), nbytes, FrameClass::Data)
                 .map_err(|_| "transfer channel closed sending the digest frame".to_string())?;
 
             timings.state_bytes = summary.total_bytes;
@@ -821,8 +831,34 @@ impl SnowProcess {
                 data_to_requester: self.cell.data_sender_to_me(target.host),
             };
             self.cell.route_conn_req(req)?;
+            // The request and its reply are datagrams: either may be
+            // dropped by an armed fault plan, so re-send under the same
+            // req_id until the destination answers.
+            let mut next_resend = Instant::now() + CONN_RESEND;
             loop {
-                match self.wait_event("state-transfer connect")? {
+                let ev = match self.next_event(TICK)? {
+                    Some(ev) => ev,
+                    None => {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            return Err(ProtoError::Watchdog("state-transfer connect"));
+                        }
+                        if now >= next_resend {
+                            next_resend = now + CONN_RESEND;
+                            let again = ConnReqMsg {
+                                req_id,
+                                from_rank: self.rank,
+                                from_vmid: self.cell.vmid(),
+                                target,
+                                reply: self.cell.reply_sender(),
+                                data_to_requester: self.cell.data_sender_to_me(target.host),
+                            };
+                            self.cell.route_conn_req(again)?;
+                        }
+                        continue;
+                    }
+                };
+                match ev {
                     Event::Granted { req_id: r, .. } if r == req_id => {
                         // Do not record this in cc: it is the transfer
                         // channel, not an application connection. Build

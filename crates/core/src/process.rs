@@ -10,6 +10,7 @@
 use crate::error::ProtoError;
 use crate::rml::Rml;
 use bytes::Bytes;
+use snow_net::FrameClass;
 use snow_state::{PipelineConfig, StateCostModel};
 use snow_trace::EventKind;
 use snow_vm::process::EnvError;
@@ -30,6 +31,13 @@ pub(crate) const WATCHDOG: Duration = Duration::from_secs(60);
 /// Granularity at which blocked protocol loops wake to run liveness
 /// checks.
 pub(crate) const TICK: Duration = Duration::from_millis(25);
+
+/// How long `connect` waits for a grant/nack before re-sending the
+/// `conn_req` under the same request id. The request and its reply ride
+/// the connectionless datagram service (§2.3), so either leg may be
+/// lost; re-sending is the requester's recovery, and the daemon/target
+/// dedup duplicate requests.
+pub(crate) const CONN_RESEND: Duration = Duration::from_millis(110);
 
 /// The watchdog window stretched for slowed modeled hosts: a
 /// `time_scale` that makes modeled seconds real must also stretch the
@@ -459,9 +467,40 @@ impl SnowProcess {
                 continue;
             }
             // Fig 3 lines 3–15: wait for ack/nack, servicing other
-            // traffic meanwhile.
+            // traffic meanwhile. The request or its reply may have been
+            // lost in the datagram service, so re-send periodically
+            // under the same req_id until something comes back.
+            let deadline = Instant::now() + WATCHDOG;
+            let mut next_resend = Instant::now() + CONN_RESEND;
             'wait: loop {
-                match self.wait_event("connect")? {
+                let ev = match self.next_event(TICK)? {
+                    Some(ev) => ev,
+                    None => {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            return Err(ProtoError::Watchdog("connect"));
+                        }
+                        if now >= next_resend {
+                            next_resend = now + CONN_RESEND;
+                            let again = ConnReqMsg {
+                                req_id,
+                                from_rank: self.rank,
+                                from_vmid: self.cell.vmid(),
+                                target,
+                                reply: self.cell.reply_sender(),
+                                data_to_requester: self.cell.data_sender_to_me(target.host),
+                            };
+                            self.trace(EventKind::ConnReq { to: dest });
+                            if self.cell.route_conn_req(again).is_err() {
+                                // Host left while we waited: fall out to
+                                // the re-locate path of the outer loop.
+                                break 'wait;
+                            }
+                        }
+                        continue;
+                    }
+                };
+                match ev {
                     Event::Granted { req_id: r, peer } => {
                         if r == req_id || peer == dest {
                             break 'wait;
@@ -534,7 +573,7 @@ impl SnowProcess {
             // only on success, so a dead-inbox retry leaves no event.
             let t_send = self.cell.tracer().now_ns();
             let tx = self.cc.get(&dest).expect("connected after connect()");
-            match tx.send(Incoming::Data(env), bytes) {
+            match tx.send_classed(Incoming::Data(env), bytes, FrameClass::Data) {
                 Ok(()) => {
                     self.cell.trace_at(t_send, trace_ev);
                     return Ok(());
@@ -616,22 +655,52 @@ impl SnowProcess {
     /// discipline of §5.2.
     pub fn poll_point(&mut self) -> Result<bool, ProtoError> {
         while let Some(sig) = self.cell.poll_signal() {
-            match sig {
-                Signal::Migrate => {
-                    self.cell.trace(EventKind::SignalDelivered {
-                        signal: "SIGMIGRATE",
-                    });
-                    self.migrate_pending = true;
-                }
-                Signal::Disconnect { from } => {
-                    self.cell.trace(EventKind::SignalDelivered {
-                        signal: "SIGDISCONNECT",
-                    });
-                    self.disconnection_handler(from)?;
-                }
-            }
+            self.handle_signal(sig)?;
         }
         Ok(self.migrate_pending)
+    }
+
+    /// React to one delivered signal (shared by [`Self::poll_point`] and
+    /// [`Self::await_migration_request`]).
+    fn handle_signal(&mut self, sig: Signal) -> Result<(), ProtoError> {
+        match sig {
+            Signal::Migrate => {
+                self.cell.trace(EventKind::SignalDelivered {
+                    signal: "SIGMIGRATE",
+                });
+                self.migrate_pending = true;
+            }
+            Signal::Disconnect { from } => {
+                self.cell.trace(EventKind::SignalDelivered {
+                    signal: "SIGDISCONNECT",
+                });
+                self.disconnection_handler(from)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Block until a `migration_request` signal is intercepted or
+    /// `timeout` elapses, servicing other signals meanwhile. Returns
+    /// whether migration is now pending. This is the event-driven
+    /// equivalent of spinning on [`Self::poll_point`] with sleeps: it
+    /// parks on the signal queue, so tests and drivers that wait for a
+    /// scheduler-initiated migration wake the instant the signal lands.
+    pub fn await_migration_request(&mut self, timeout: Duration) -> Result<bool, ProtoError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.migrate_pending {
+                return Ok(true);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(false);
+            }
+            match self.cell.wait_signal(deadline - now) {
+                Some(sig) => self.handle_signal(sig)?,
+                None => return Ok(self.migrate_pending),
+            }
+        }
     }
 
     /// Has a migration request been intercepted (without polling again)?

@@ -9,6 +9,7 @@
 //! wire serialisation (back-to-back frames queue behind each other like
 //! packets on an Ethernet segment).
 
+use crate::fault::{FaultInjector, FrameClass};
 use crate::link::{LinkModel, TimeScale};
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::Mutex;
@@ -63,6 +64,8 @@ pub struct Duplex<T> {
     out_wire: Arc<Wire>,
     link: LinkModel,
     scale: TimeScale,
+    /// Fault injector governing frames sent *from* this end.
+    fault: Option<Arc<FaultInjector>>,
 }
 
 impl<T> std::fmt::Debug for Duplex<T> {
@@ -93,6 +96,7 @@ impl<T> Duplex<T> {
             out_wire: wire_ab,
             link,
             scale,
+            fault: None,
         };
         let b = Duplex {
             tx: b_tx,
@@ -101,6 +105,7 @@ impl<T> Duplex<T> {
             out_wire: wire_ba,
             link,
             scale,
+            fault: None,
         };
         (a, b)
     }
@@ -113,6 +118,17 @@ impl<T> Duplex<T> {
     /// The link model attached to this channel.
     pub fn link(&self) -> LinkModel {
         self.link
+    }
+
+    /// Attach a fault injector to this end's *outbound* direction.
+    pub fn set_fault(&mut self, fault: Option<Arc<FaultInjector>>) {
+        self.fault = fault;
+    }
+
+    /// Builder form of [`Duplex::set_fault`].
+    pub fn with_fault(mut self, fault: Arc<FaultInjector>) -> Self {
+        self.fault = Some(fault);
+        self
     }
 
     /// Modeled seconds to move `bytes` over this channel (for reports).
@@ -128,13 +144,38 @@ impl<T> Duplex<T> {
     /// The modeled wire delay is charged to *delivery*, not to the
     /// sender.
     pub fn send(&self, msg: T, bytes: usize) -> Result<(), ChannelError> {
+        self.send_classed(msg, bytes, FrameClass::Data)
+    }
+
+    /// [`Duplex::send`] with an explicit frame class. Control frames are
+    /// immune to injected resets (the §2.3 signaling plane stays
+    /// reliable); data frames on a reset wire fail with
+    /// [`ChannelError::Disconnected`], exactly as if the peer vanished.
+    pub fn send_classed(
+        &self,
+        msg: T,
+        bytes: usize,
+        class: FrameClass,
+    ) -> Result<(), ChannelError> {
+        let mut extra_s = 0.0;
+        if let Some(inj) = &self.fault {
+            let verdict = inj.on_frame(class);
+            if verdict.reset {
+                return Err(ChannelError::Disconnected);
+            }
+            extra_s = verdict.extra_delay_s;
+        }
         let now = Instant::now();
         let deliver_at = if self.scale.0 > 0.0 {
             let ser = self.scale.real(self.link.serialize_seconds(bytes));
             let lat = self.scale.real(self.link.latency_s);
+            // Injected delay extends the wire-busy window like extra
+            // serialization, so later frames queue behind it and the
+            // per-direction FIFO delivery order is preserved.
+            let extra = self.scale.real(extra_s);
             let mut next_free = self.out_wire.next_free.lock();
             let start = (*next_free).max(now);
-            *next_free = start + ser;
+            *next_free = start + ser + extra;
             *next_free + lat
         } else {
             now
@@ -325,6 +366,71 @@ mod tests {
         assert_eq!(b.recv().unwrap(), 2);
         let t2 = t0.elapsed();
         assert!(t2 > t1, "second frame queues behind the first");
+    }
+
+    #[test]
+    fn injected_reset_fails_data_but_not_control() {
+        use crate::fault::FaultSpec;
+        let (mut a, b) = Duplex::<u32>::ideal();
+        a.set_fault(Some(Arc::new(FaultInjector::new(
+            5,
+            FaultSpec::none().resets(1.0, 0),
+        ))));
+        assert_eq!(a.send(1, 4), Err(ChannelError::Disconnected));
+        // Control markers still cross the dead wire …
+        assert!(a.send_classed(2, 4, FrameClass::Control).is_ok());
+        // … and later data frames keep failing.
+        assert_eq!(a.send(3, 4), Err(ChannelError::Disconnected));
+        assert_eq!(b.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn injected_delay_preserves_fifo_and_slows_delivery() {
+        use crate::fault::FaultSpec;
+        let (mut a, b) = Duplex::<u32>::pair(LinkModel::ETHERNET_10M, TimeScale::MILLI);
+        // Every frame gets up to 2 modeled seconds (≈2 ms real) extra.
+        a.set_fault(Some(Arc::new(FaultInjector::new(
+            11,
+            FaultSpec::none().jitter(1.0, 2.0),
+        ))));
+        let t0 = Instant::now();
+        for i in 0..10 {
+            a.send(i, 100_000).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(b.recv().unwrap(), i, "FIFO preserved under jitter");
+        }
+        // 10 × ~0.08 modeled s serialization alone ≈ 0.8 ms; the jitter
+        // adds a detectable multiple of that.
+        assert!(
+            t0.elapsed() > Duration::from_millis(2),
+            "{:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn injected_partition_holds_then_heals_in_order() {
+        use crate::fault::FaultSpec;
+        let (mut a, b) = Duplex::<u32>::pair(LinkModel::ETHERNET_100M, TimeScale::MILLI);
+        // Third frame hits a 5-modeled-second (≈5 ms real) partition.
+        a.set_fault(Some(Arc::new(FaultInjector::new(
+            3,
+            FaultSpec::none().partition(2, 5.0),
+        ))));
+        let t0 = Instant::now();
+        for i in 0..5 {
+            a.send(i, 64).unwrap();
+        }
+        assert_eq!(b.recv().unwrap(), 0);
+        assert_eq!(b.recv().unwrap(), 1);
+        let before_hold = t0.elapsed();
+        for i in 2..5 {
+            assert_eq!(b.recv().unwrap(), i);
+        }
+        let after_hold = t0.elapsed();
+        assert!(before_hold < Duration::from_millis(4), "{before_hold:?}");
+        assert!(after_hold >= Duration::from_millis(5), "{after_hold:?}");
     }
 
     #[test]

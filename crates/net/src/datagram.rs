@@ -11,6 +11,7 @@
 //! when the target endpoint does not exist, which is exactly the signal
 //! the daemons turn into a `conn_nack`.
 
+use crate::fault::{DatagramVerdict, FaultInjector};
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -43,6 +44,9 @@ impl std::error::Error for RouteError {}
 struct RouterInner<T> {
     table: RwLock<HashMap<EndpointId, Sender<T>>>,
     next_id: AtomicU64,
+    /// Fault injector over routed datagrams (best-effort service: drops
+    /// and duplicates are legal here, unlike on channels).
+    fault: RwLock<Option<Arc<FaultInjector>>>,
 }
 
 /// A shared datagram router.
@@ -71,6 +75,7 @@ impl<T> Router<T> {
             inner: Arc::new(RouterInner {
                 table: RwLock::new(HashMap::new()),
                 next_id: AtomicU64::new(1),
+                fault: RwLock::new(None),
             }),
         }
     }
@@ -93,12 +98,48 @@ impl<T> Router<T> {
         self.inner.table.write().remove(&id);
     }
 
-    /// Deliver a datagram to `to`.
-    pub fn send(&self, to: EndpointId, msg: T) -> Result<(), RouteError> {
+    /// Attach a fault injector to this router. Routed datagrams may then
+    /// be silently dropped or duplicated (the connectionless service is
+    /// best-effort, §2.3); a missing endpoint is still reported, because
+    /// that signal is what daemons turn into a `conn_nack`.
+    pub fn set_fault(&self, fault: Option<Arc<FaultInjector>>) {
+        *self.inner.fault.write() = fault;
+    }
+
+    /// Deliver a datagram to `to`, drawing the fault verdict on the
+    /// default lane (`to.0`). Use [`Router::send_laned`] when concurrent
+    /// senders need interleaving-independent verdict sequences.
+    pub fn send(&self, to: EndpointId, msg: T) -> Result<(), RouteError>
+    where
+        T: Clone,
+    {
+        self.send_laned(to, msg, to.0)
+    }
+
+    /// Deliver a datagram to `to`, drawing the fault verdict from the
+    /// per-`lane` counter (one lane per logical sender keeps verdicts
+    /// independent of how concurrent senders interleave).
+    pub fn send_laned(&self, to: EndpointId, msg: T, lane: u64) -> Result<(), RouteError>
+    where
+        T: Clone,
+    {
         let table = self.inner.table.read();
-        match table.get(&to) {
-            Some(tx) => tx.send(msg).map_err(|_| RouteError::NoSuchEndpoint(to)),
-            None => Err(RouteError::NoSuchEndpoint(to)),
+        let tx = match table.get(&to) {
+            Some(tx) => tx,
+            None => return Err(RouteError::NoSuchEndpoint(to)),
+        };
+        let verdict = match self.inner.fault.read().as_ref() {
+            Some(inj) => inj.on_datagram(lane),
+            None => DatagramVerdict::Deliver,
+        };
+        match verdict {
+            DatagramVerdict::Drop => Ok(()),
+            DatagramVerdict::Duplicate => {
+                tx.send(msg.clone())
+                    .map_err(|_| RouteError::NoSuchEndpoint(to))?;
+                tx.send(msg).map_err(|_| RouteError::NoSuchEndpoint(to))
+            }
+            DatagramVerdict::Deliver => tx.send(msg).map_err(|_| RouteError::NoSuchEndpoint(to)),
         }
     }
 
@@ -238,6 +279,79 @@ mod tests {
         router.send(bid, "hello".to_string()).unwrap();
         assert_eq!(a.recv().unwrap(), "re: hello");
         t.join().unwrap();
+    }
+
+    #[test]
+    fn faulted_router_drops_silently_but_still_nacks_missing_endpoints() {
+        use crate::fault::{FaultInjector, FaultSpec};
+        let router: Router<u32> = Router::new();
+        let mb = router.register();
+        router.set_fault(Some(Arc::new(FaultInjector::new(
+            1,
+            FaultSpec::none().drops(1.0),
+        ))));
+        // Every datagram is eaten, but the send itself "succeeds" —
+        // that is what best-effort means.
+        for i in 0..10 {
+            router.send(mb.id(), i).unwrap();
+        }
+        assert_eq!(mb.backlog(), 0);
+        // A missing endpoint is a routing fact, not a fault: still an
+        // error even under 100% drops.
+        assert!(router.send(EndpointId(999), 1).is_err());
+    }
+
+    #[test]
+    fn faulted_router_duplicates() {
+        use crate::fault::{FaultInjector, FaultSpec};
+        let router: Router<u32> = Router::new();
+        let mb = router.register();
+        router.set_fault(Some(Arc::new(FaultInjector::new(
+            2,
+            FaultSpec::none().duplicates(1.0),
+        ))));
+        router.send(mb.id(), 7).unwrap();
+        assert_eq!(mb.recv(), Some(7));
+        assert_eq!(mb.recv(), Some(7));
+        assert_eq!(mb.backlog(), 0);
+    }
+
+    #[test]
+    fn fault_verdicts_follow_lanes_not_interleaving() {
+        use crate::fault::{FaultInjector, FaultSpec};
+        // Two routers with the same injector seed must eat the same
+        // per-lane datagram indices regardless of global send order.
+        let mk = || {
+            let router: Router<(u64, u32)> = Router::new();
+            router.set_fault(Some(Arc::new(FaultInjector::new(
+                77,
+                FaultSpec::none().drops(0.5),
+            ))));
+            router
+        };
+        let (ra, rb) = (mk(), mk());
+        let ma = ra.register();
+        let mb = rb.register();
+        // Router A: lane-major order; router B: round-robin order.
+        for lane in 0..4u64 {
+            for i in 0..16u32 {
+                ra.send_laned(ma.id(), (lane, i), lane).unwrap();
+            }
+        }
+        for i in 0..16u32 {
+            for lane in 0..4u64 {
+                rb.send_laned(mb.id(), (lane, i), lane).unwrap();
+            }
+        }
+        let drain = |m: &Mailbox<(u64, u32)>| {
+            let mut got: Vec<(u64, u32)> = Vec::new();
+            while let Some(x) = m.try_recv() {
+                got.push(x);
+            }
+            got.sort_unstable();
+            got
+        };
+        assert_eq!(drain(&ma), drain(&mb));
     }
 
     #[test]

@@ -18,13 +18,21 @@
 //! [`link::LinkModel`] that (a) accounts *modeled* seconds for the tables
 //! and (b) optionally applies a scaled-down real delay so interleavings
 //! (Fig 13's early-arriving messages) actually happen.
+//!
+//! An adversarial network is modeled by [`fault`]: a seeded, per-link
+//! [`fault::FaultPlan`] injects extra delay, transient partitions and
+//! connection resets on the connection-oriented service and drop/
+//! duplication on the connectionless one — deterministically, so any
+//! failing interleaving replays from its seed.
 
 #![warn(missing_docs)]
 
 pub mod channel;
 pub mod datagram;
+pub mod fault;
 pub mod link;
 
 pub use channel::{ChannelError, Duplex, RecvTimeout};
 pub use datagram::{EndpointId, Mailbox, Router};
+pub use fault::{DatagramVerdict, FaultInjector, FaultPlan, FaultSpec, FrameClass, LinkSel};
 pub use link::{LinkModel, TimeScale};

@@ -59,7 +59,7 @@ pub mod prelude {
         Computation, MigrationOutcome, MigrationTimings, PipelineConfig, ProtoError, RetryPolicy,
         SnowProcess, Start,
     };
-    pub use snow_net::{LinkModel, TimeScale};
+    pub use snow_net::{FaultPlan, FaultSpec, FrameClass, LinkModel, LinkSel, TimeScale};
     pub use snow_state::{ExecState, MemoryGraph, ProcessState, StateCostModel};
     pub use snow_trace::{SpaceTime, Tracer};
     pub use snow_vm::{HostId, HostSpec, Rank, Tag, Vmid};

@@ -207,6 +207,26 @@ pub enum EventKind {
         bytes: usize,
     },
 
+    // -- injected faults (chaos harness) ---------------------------------
+    /// The fault layer charged extra wire delay to an outbound frame.
+    FaultDelay {
+        /// Extra modeled delay in nanoseconds.
+        extra_ns: u64,
+    },
+    /// The fault layer reset a connection under the sender; the frame
+    /// was not delivered and recovery (reconnect / abort-retry) runs.
+    FaultReset,
+    /// The fault layer silently discarded a routed datagram.
+    FaultDropped {
+        /// What kind of datagram was eaten ("conn_req", "conn_reply").
+        what: String,
+    },
+    /// The fault layer delivered a routed datagram twice.
+    FaultDuplicated {
+        /// What kind of datagram was doubled ("conn_req", "conn_reply").
+        what: String,
+    },
+
     // -- environment -----------------------------------------------------
     /// A signal was delivered to a process's handler.
     SignalDelivered {
@@ -254,6 +274,10 @@ impl EventKind {
             EventKind::MigrationRetried { .. } => 'Z',
             EventKind::MigrationAbortSeen { .. } => 'b',
             EventKind::StateRestoreAborted { .. } => 'x',
+            EventKind::FaultDelay { .. } => 'j',
+            EventKind::FaultReset => 'f',
+            EventKind::FaultDropped { .. } => 'd',
+            EventKind::FaultDuplicated { .. } => 'u',
             EventKind::SignalDelivered { .. } => '!',
             EventKind::Compute { .. } => '=',
             EventKind::Phase { .. } => '|',
@@ -296,6 +320,14 @@ mod tests {
             EventKind::StateCollected { bytes: 0 },
             EventKind::StateTransmitted { bytes: 0 },
             EventKind::StateRestored { bytes: 0 },
+            EventKind::FaultDelay { extra_ns: 0 },
+            EventKind::FaultReset,
+            EventKind::FaultDropped {
+                what: String::new(),
+            },
+            EventKind::FaultDuplicated {
+                what: String::new(),
+            },
         ];
         let mut glyphs: Vec<char> = kinds.iter().map(|k| k.glyph()).collect();
         glyphs.sort_unstable();

@@ -11,6 +11,7 @@
 
 use crate::report::JsonValue;
 use parking_lot::Mutex;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// How one migration resolved.
@@ -175,6 +176,9 @@ pub struct MetricsRegistry {
     migrations: Mutex<Vec<MigrationMetrics>>,
     rulings: Mutex<Vec<SchedulerRuling>>,
     queues: Mutex<Vec<QueueDepthSample>>,
+    /// Injected-fault counters, keyed by fault class ("delay", "reset",
+    /// "drop:conn_req", …). Ordered so exports are deterministic.
+    faults: Mutex<BTreeMap<String, u64>>,
 }
 
 impl MetricsRegistry {
@@ -202,6 +206,27 @@ impl MetricsRegistry {
         });
     }
 
+    /// Count one injected fault of `class` ("delay", "reset",
+    /// "drop:conn_req", "dup:conn_reply", …), so audits can correlate
+    /// injected faults with observed retries and aborts.
+    pub fn record_fault(&self, class: &str) {
+        *self.faults.lock().entry(class.to_string()).or_insert(0) += 1;
+    }
+
+    /// Copy out the injected-fault counters, sorted by class.
+    pub fn fault_counts(&self) -> Vec<(String, u64)> {
+        self.faults
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Total injected faults across every class.
+    pub fn total_faults(&self) -> u64 {
+        self.faults.lock().values().sum()
+    }
+
     /// Copy out the migration records.
     pub fn migrations(&self) -> Vec<MigrationMetrics> {
         self.migrations.lock().clone()
@@ -222,6 +247,7 @@ impl MetricsRegistry {
         self.migrations.lock().is_empty()
             && self.rulings.lock().is_empty()
             && self.queues.lock().is_empty()
+            && self.faults.lock().is_empty()
     }
 
     /// Export every record as JSONL: one JSON object per line, each with
@@ -236,6 +262,14 @@ impl MetricsRegistry {
         }
         for q in self.queues.lock().iter() {
             let _ = writeln!(out, "{}", q.to_json());
+        }
+        for (class, count) in self.faults.lock().iter() {
+            let record = JsonValue::Object(vec![
+                ("record".into(), JsonValue::Str("fault".into())),
+                ("class".into(), JsonValue::Str(class.clone())),
+                ("count".into(), JsonValue::Num(*count as f64)),
+            ]);
+            let _ = writeln!(out, "{record}");
         }
         out
     }
@@ -314,6 +348,11 @@ impl MetricsRegistry {
             let peak = queues.iter().map(|q| q.depth).max().unwrap_or(0);
             let _ = writeln!(out, "  queue depth peak: {peak} frame(s)");
         }
+        let faults = self.faults.lock();
+        if !faults.is_empty() {
+            let classes: Vec<String> = faults.iter().map(|(c, n)| format!("{c}={n}")).collect();
+            let _ = writeln!(out, "  injected faults: {}", classes.join(" "));
+        }
         out
     }
 }
@@ -391,6 +430,35 @@ mod tests {
         assert!(s.contains("destination vanished"), "{s}");
         assert!(s.contains("chunk 0 rejected"), "{s}");
         assert!(s.contains("peak: 9"), "{s}");
+    }
+
+    #[test]
+    fn fault_counters_aggregate_and_export() {
+        let reg = MetricsRegistry::new();
+        assert_eq!(reg.total_faults(), 0);
+        reg.record_fault("delay");
+        reg.record_fault("delay");
+        reg.record_fault("drop:conn_req");
+        assert!(!reg.is_empty());
+        assert_eq!(reg.total_faults(), 3);
+        assert_eq!(
+            reg.fault_counts(),
+            vec![("delay".to_string(), 2), ("drop:conn_req".to_string(), 1)]
+        );
+        let jsonl = reg.to_jsonl();
+        let fault_lines: Vec<&str> = jsonl
+            .lines()
+            .filter(|l| l.contains("\"record\":\"fault\""))
+            .collect();
+        assert_eq!(fault_lines.len(), 2);
+        let v = JsonValue::parse(fault_lines[0]).unwrap();
+        assert_eq!(v.get("class").unwrap().as_str(), Some("delay"));
+        assert_eq!(v.get("count").unwrap().as_u64(), Some(2));
+        assert!(
+            reg.summary().contains("injected faults: delay=2"),
+            "{}",
+            reg.summary()
+        );
     }
 
     #[test]

@@ -152,6 +152,7 @@ impl JsonValue {
         let mut p = Parser {
             bytes: s.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -261,9 +262,15 @@ impl JsonValue {
     }
 }
 
+/// Maximum container nesting the parser accepts. Our own emitter never
+/// nests past a handful of levels; the cap turns adversarial inputs like
+/// `[[[[…` into a parse error instead of a stack overflow.
+const MAX_DEPTH: usize = 256;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -375,12 +382,26 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            Err(format!(
+                "nesting deeper than {MAX_DEPTH} at byte {}",
+                self.pos
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
     fn array(&mut self) -> Result<JsonValue, String> {
         self.eat(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Array(items));
         }
         loop {
@@ -390,6 +411,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Array(items));
                 }
                 _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
@@ -399,10 +421,12 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<JsonValue, String> {
         self.eat(b'{')?;
+        self.enter()?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Object(fields));
         }
         loop {
@@ -416,6 +440,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Object(fields));
                 }
                 _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
@@ -535,6 +560,90 @@ mod tests {
         assert!(JsonValue::parse("[1,2").is_err());
         assert!(JsonValue::parse("1 2").is_err());
         assert!(JsonValue::parse("").is_err());
+    }
+
+    // -- fuzz-style hardening: the parser normally only sees logs our
+    // own serializer wrote; these feed it the inputs it never sees. ----
+
+    #[test]
+    fn parse_survives_every_truncation_of_a_real_log_line() {
+        let line = r#"{"t_ns":120,"seq":4,"who":"p0","kind":{"type":"Send","to":1,"tag":-3,"bytes":64,"msg":9,"arr":[1,true,null,"é\nA"]}}"#;
+        // Every char-boundary prefix must parse or error — never panic.
+        for (i, _) in line.char_indices() {
+            let _ = JsonValue::parse(&line[..i]);
+        }
+        assert!(JsonValue::parse(line).is_ok());
+        // And every strict prefix is an error (no silent truncation).
+        assert!(JsonValue::parse(&line[..line.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_pathological_nesting_without_overflowing() {
+        let deep_arrays = "[".repeat(100_000);
+        let err = JsonValue::parse(&deep_arrays).unwrap_err();
+        assert!(err.contains("nesting"), "{err}");
+        let deep_objects = "{\"k\":".repeat(100_000);
+        let err = JsonValue::parse(&deep_objects).unwrap_err();
+        assert!(err.contains("nesting"), "{err}");
+        // Just under the cap still works.
+        let n = 200;
+        let ok = format!("{}{}", "[".repeat(n), "]".repeat(n));
+        assert!(JsonValue::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn parse_rejects_invalid_escapes() {
+        assert!(JsonValue::parse(r#""\x41""#).is_err());
+        assert!(JsonValue::parse(r#""\u12""#).is_err(), "truncated \\u");
+        assert!(JsonValue::parse(r#""\uZZZZ""#).is_err(), "non-hex \\u");
+        assert!(JsonValue::parse("\"\\").is_err(), "escape at EOF");
+        assert!(JsonValue::parse("\"abc").is_err(), "unterminated string");
+        // A lone surrogate is not a scalar value: replaced, not panicked.
+        let v = JsonValue::parse(r#""\ud800""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{fffd}"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_numbers() {
+        for bad in ["-", "1e", "1.2.3", "--4", "1e+", "0x10"] {
+            assert!(JsonValue::parse(bad).is_err(), "{bad}");
+        }
+        assert_eq!(JsonValue::parse("-0.5e2").unwrap().as_f64(), Some(-50.0));
+    }
+
+    #[test]
+    fn duplicate_keys_keep_first_for_lookup() {
+        // The object model preserves insertion order; `get` finds the
+        // first occurrence, so a duplicated key cannot shadow what our
+        // serializer wrote earlier in the line.
+        let v = JsonValue::parse(r#"{"a":1,"a":2}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_u64(), Some(1));
+        match &v {
+            JsonValue::Object(fields) => assert_eq!(fields.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_never_panics_on_seeded_random_bytes() {
+        // Deterministic xorshift fuzz over JSON-ish bytes: the parser
+        // must return Ok or Err on every input, never panic or hang.
+        let charset: &[u8] = b"{}[]\",:0123456789.eE+-\\utrfalsenu \t\n\x7f";
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..2000 {
+            let len = (next() % 64) as usize;
+            let bytes: Vec<u8> = (0..len)
+                .map(|_| charset[(next() % charset.len() as u64) as usize])
+                .collect();
+            let s = String::from_utf8(bytes).unwrap();
+            let _ = JsonValue::parse(&s);
+        }
     }
 
     #[test]

@@ -121,6 +121,19 @@ pub fn kind_to_json(kind: &EventKind) -> JsonValue {
                 ("bytes".into(), unum(*bytes)),
             ],
         ),
+        FaultDelay { extra_ns } => obj(
+            "FaultDelay",
+            vec![("extra_ns".into(), num(*extra_ns as f64))],
+        ),
+        FaultReset => obj("FaultReset", vec![]),
+        FaultDropped { what } => obj(
+            "FaultDropped",
+            vec![("what".into(), JsonValue::Str(what.clone()))],
+        ),
+        FaultDuplicated { what } => obj(
+            "FaultDuplicated",
+            vec![("what".into(), JsonValue::Str(what.clone()))],
+        ),
         SignalDelivered { signal } => obj(
             "SignalDelivered",
             vec![("signal".into(), JsonValue::Str((*signal).to_string()))],
@@ -263,6 +276,27 @@ pub fn kind_from_json(v: &JsonValue) -> Result<EventKind, String> {
         "StateRestoreAborted" => EventKind::StateRestoreAborted {
             chunks: get_u32(v, "chunks")?,
             bytes: get_usize(v, "bytes")?,
+        },
+        "FaultDelay" => EventKind::FaultDelay {
+            extra_ns: v
+                .get("extra_ns")
+                .and_then(JsonValue::as_u64)
+                .ok_or("missing 'extra_ns'")?,
+        },
+        "FaultReset" => EventKind::FaultReset,
+        "FaultDropped" => EventKind::FaultDropped {
+            what: v
+                .get("what")
+                .and_then(JsonValue::as_str)
+                .ok_or("missing 'what'")?
+                .to_string(),
+        },
+        "FaultDuplicated" => EventKind::FaultDuplicated {
+            what: v
+                .get("what")
+                .and_then(JsonValue::as_str)
+                .ok_or("missing 'what'")?
+                .to_string(),
         },
         "SignalDelivered" => {
             let name = v
@@ -419,6 +453,14 @@ mod tests {
             StateRestoreAborted {
                 chunks: 1,
                 bytes: 4096,
+            },
+            FaultDelay { extra_ns: 2_500 },
+            FaultReset,
+            FaultDropped {
+                what: "conn_req".into(),
+            },
+            FaultDuplicated {
+                what: "conn_reply".into(),
             },
             SignalDelivered {
                 signal: "SIGMIGRATE",

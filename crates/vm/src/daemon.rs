@@ -14,10 +14,12 @@
 //!   *reject-all* flag (a migrating process does this at Fig 5 line 4);
 //! * on host leave, nack everything outstanding and exit.
 
+use crate::faults::FaultLayer;
 use crate::ids::{HostId, Vmid};
 use crate::vm::Registry;
 use crate::wire::{ConnReqMsg, Ctrl, Incoming};
 use crossbeam::channel::{self, Receiver, Sender};
+use snow_net::fault::DatagramVerdict;
 use snow_trace::{EventKind, Tracer};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -72,6 +74,10 @@ struct DaemonState {
     host: HostId,
     registry: Registry,
     tracer: Arc<Tracer>,
+    /// Environment fault layer: daemon-routed control datagrams are the
+    /// connectionless service of §2.3, so they may be dropped or
+    /// duplicated by an armed plan.
+    faults: Arc<FaultLayer>,
     /// req_id → the original request (holding the requester's reply
     /// sender and target vmid).
     pending: HashMap<u64, ConnReqMsg>,
@@ -97,6 +103,28 @@ impl DaemonState {
         );
     }
 
+    /// Draw the fault verdict for one daemon-routed datagram, recording
+    /// drops and duplicates in the trace and metrics.
+    fn datagram_verdict(&self, lane: u64, what: &str) -> DatagramVerdict {
+        let v = self.faults.daemon_verdict(self.host, lane);
+        match v {
+            DatagramVerdict::Drop => {
+                self.tracer
+                    .record(&self.label(), EventKind::FaultDropped { what: what.into() });
+                self.tracer.metrics().record_fault(&format!("drop:{what}"));
+            }
+            DatagramVerdict::Duplicate => {
+                self.tracer.record(
+                    &self.label(),
+                    EventKind::FaultDuplicated { what: what.into() },
+                );
+                self.tracer.metrics().record_fault(&format!("dup:{what}"));
+            }
+            DatagramVerdict::Deliver => {}
+        }
+        v
+    }
+
     fn route(&mut self, req: ConnReqMsg) {
         debug_assert_eq!(req.target.host, self.host, "misrouted conn_req");
         if self.rejecting.contains(&req.target) {
@@ -107,12 +135,27 @@ impl DaemonState {
         }
         match self.registry.addr_of(req.target) {
             Some(addr) => {
-                let fwd = Incoming::Ctrl(Ctrl::ConnReq(req.clone()));
-                if addr
-                    .inbox
-                    .send(fwd, crate::wire::ENVELOPE_OVERHEAD_BYTES)
-                    .is_ok()
-                {
+                // conn_req rides the connectionless datagram service
+                // (§2.3): the fault plan may eat it (the requester must
+                // re-send) or duplicate it (the target must dedup).
+                let verdict = self.datagram_verdict(req.from_rank as u64, "conn_req");
+                if verdict == DatagramVerdict::Drop {
+                    return;
+                }
+                let copies = if verdict == DatagramVerdict::Duplicate {
+                    2
+                } else {
+                    1
+                };
+                let mut delivered = false;
+                for _ in 0..copies {
+                    let fwd = Incoming::Ctrl(Ctrl::ConnReq(req.clone()));
+                    delivered |= addr
+                        .inbox
+                        .send(fwd, crate::wire::ENVELOPE_OVERHEAD_BYTES)
+                        .is_ok();
+                }
+                if delivered {
                     self.pending.insert(req.req_id, req);
                 } else {
                     // Raced with termination.
@@ -125,9 +168,25 @@ impl DaemonState {
 
     fn reply(&mut self, req_id: u64, ctrl: Ctrl) {
         if let Some(req) = self.pending.remove(&req_id) {
-            let _ = req
-                .reply
-                .send(Incoming::Ctrl(ctrl), crate::wire::ENVELOPE_OVERHEAD_BYTES);
+            // conn_grant / conn_nack replies are datagrams too. A
+            // dropped reply leaves the requester waiting; its re-sent
+            // conn_req recreates the pending record and is answered
+            // afresh by the target.
+            let verdict = self.datagram_verdict(req.from_rank as u64, "conn_reply");
+            if verdict == DatagramVerdict::Drop {
+                return;
+            }
+            let copies = if verdict == DatagramVerdict::Duplicate {
+                2
+            } else {
+                1
+            };
+            for _ in 0..copies {
+                let _ = req.reply.send(
+                    Incoming::Ctrl(ctrl.clone()),
+                    crate::wire::ENVELOPE_OVERHEAD_BYTES,
+                );
+            }
         }
         // Unknown req_id: the record was already cleared (e.g. the
         // requester was nacked when the target exited). Drop silently.
@@ -159,12 +218,18 @@ impl DaemonState {
 }
 
 /// Spawn the daemon thread for `host`.
-pub fn spawn_daemon(host: HostId, registry: Registry, tracer: Arc<Tracer>) -> DaemonHandle {
+pub fn spawn_daemon(
+    host: HostId,
+    registry: Registry,
+    tracer: Arc<Tracer>,
+    faults: Arc<FaultLayer>,
+) -> DaemonHandle {
     let (tx, rx): (Sender<DaemonMsg>, Receiver<DaemonMsg>) = channel::unbounded();
     let mut state = DaemonState {
         host,
         registry,
         tracer,
+        faults,
         pending: HashMap::new(),
         rejecting: HashSet::new(),
     };
@@ -256,6 +321,16 @@ mod tests {
             .map_err(|e| format!("inbox closed while waiting for the daemon: {e:?}"))
     }
 
+    /// Assert that nothing reaches `post` within `d`. A closed inbox
+    /// also counts: when the daemon drops the only request holding the
+    /// reply sender, the requester sees disconnect rather than data.
+    fn expect_silence(post: &Post<Incoming>, d: Duration) -> Result<(), String> {
+        match post.recv_timeout(d) {
+            Ok(None) | Err(_) => Ok(()),
+            Ok(Some(m)) => Err(format!("unexpected delivery: {m:?}")),
+        }
+    }
+
     fn expect_nack(post: &Post<Incoming>, req_id: u64) -> Result<(), String> {
         match recv_within(post, Duration::from_secs(2))? {
             Some(Incoming::Ctrl(Ctrl::ConnNack { req_id: r, .. })) if r == req_id => Ok(()),
@@ -271,7 +346,7 @@ mod tests {
         let registry = Registry::new();
         let tracer = Tracer::disabled();
         let host = HostId(0);
-        let d = spawn_daemon(host, registry.clone(), tracer);
+        let d = spawn_daemon(host, registry.clone(), tracer, Arc::new(FaultLayer::new()));
         let target = Vmid { host, pid: 1 };
         let target_post = target_addr(&registry, target);
         let (req, _reply_post) = mk_req(1, target);
@@ -286,7 +361,12 @@ mod tests {
     #[test]
     fn nacks_missing_process() -> Result<(), String> {
         let registry = Registry::new();
-        let d = spawn_daemon(HostId(0), registry, Tracer::disabled());
+        let d = spawn_daemon(
+            HostId(0),
+            registry,
+            Tracer::disabled(),
+            Arc::new(FaultLayer::new()),
+        );
         let target = Vmid {
             host: HostId(0),
             pid: 42,
@@ -299,7 +379,12 @@ mod tests {
     #[test]
     fn reject_flag_nacks_immediately() -> Result<(), String> {
         let registry = Registry::new();
-        let d = spawn_daemon(HostId(0), registry.clone(), Tracer::disabled());
+        let d = spawn_daemon(
+            HostId(0),
+            registry.clone(),
+            Tracer::disabled(),
+            Arc::new(FaultLayer::new()),
+        );
         let target = Vmid {
             host: HostId(0),
             pid: 1,
@@ -327,7 +412,12 @@ mod tests {
     #[test]
     fn reply_forwarded_and_record_deleted() -> Result<(), String> {
         let registry = Registry::new();
-        let d = spawn_daemon(HostId(0), registry.clone(), Tracer::disabled());
+        let d = spawn_daemon(
+            HostId(0),
+            registry.clone(),
+            Tracer::disabled(),
+            Arc::new(FaultLayer::new()),
+        );
         let target = Vmid {
             host: HostId(0),
             pid: 1,
@@ -352,7 +442,12 @@ mod tests {
     #[test]
     fn process_exit_nacks_pending() -> Result<(), String> {
         let registry = Registry::new();
-        let d = spawn_daemon(HostId(0), registry.clone(), Tracer::disabled());
+        let d = spawn_daemon(
+            HostId(0),
+            registry.clone(),
+            Tracer::disabled(),
+            Arc::new(FaultLayer::new()),
+        );
         let target = Vmid {
             host: HostId(0),
             pid: 1,
@@ -369,7 +464,12 @@ mod tests {
     #[test]
     fn shutdown_nacks_everything() -> Result<(), String> {
         let registry = Registry::new();
-        let d = spawn_daemon(HostId(0), registry.clone(), Tracer::disabled());
+        let d = spawn_daemon(
+            HostId(0),
+            registry.clone(),
+            Tracer::disabled(),
+            Arc::new(FaultLayer::new()),
+        );
         let target = Vmid {
             host: HostId(0),
             pid: 1,
@@ -384,6 +484,73 @@ mod tests {
         settle();
         let (req2, _rp) = mk_req(32, target);
         let _ = d.send(DaemonMsg::RouteConnReq(req2));
+        Ok(())
+    }
+
+    #[test]
+    fn armed_layer_drops_conn_req_silently() -> Result<(), String> {
+        use snow_net::fault::{FaultPlan, FaultSpec, LinkSel};
+        let registry = Registry::new();
+        let faults = Arc::new(FaultLayer::new());
+        faults.install(FaultPlan::new(5).rule(LinkSel::Any, FaultSpec::none().drops(1.0)));
+        let tracer = Tracer::new();
+        let d = spawn_daemon(HostId(0), registry.clone(), Arc::clone(&tracer), faults);
+        let target = Vmid {
+            host: HostId(0),
+            pid: 1,
+        };
+        let target_post = target_addr(&registry, target);
+        let (req, reply_post) = mk_req(41, target);
+        d.send(DaemonMsg::RouteConnReq(req));
+        settle();
+        // Dropped: neither forwarded nor nacked — the requester must
+        // re-send, exactly like a lost datagram.
+        expect_silence(&target_post, Duration::from_millis(50))?;
+        expect_silence(&reply_post, Duration::from_millis(50))?;
+        assert!(tracer
+            .snapshot()
+            .iter()
+            .any(|e| matches!(&e.kind, EventKind::FaultDropped { what } if what == "conn_req")));
+        Ok(())
+    }
+
+    #[test]
+    fn armed_layer_duplicates_conn_req_but_keeps_one_record() -> Result<(), String> {
+        use snow_net::fault::{FaultPlan, FaultSpec, LinkSel};
+        let registry = Registry::new();
+        let faults = Arc::new(FaultLayer::new());
+        faults.install(FaultPlan::new(5).rule(LinkSel::Any, FaultSpec::none().duplicates(1.0)));
+        let tracer = Tracer::new();
+        let d = spawn_daemon(HostId(0), registry.clone(), Arc::clone(&tracer), faults);
+        let target = Vmid {
+            host: HostId(0),
+            pid: 1,
+        };
+        let target_post = target_addr(&registry, target);
+        let (req, reply_post) = mk_req(43, target);
+        d.send(DaemonMsg::RouteConnReq(req));
+        // The target sees the request twice …
+        for _ in 0..2 {
+            match recv_within(&target_post, Duration::from_secs(2))? {
+                Some(Incoming::Ctrl(Ctrl::ConnReq(r))) => assert_eq!(r.req_id, 43),
+                other => return Err(format!("expected duplicated req, got {other:?}")),
+            }
+        }
+        // … but a single pending record remains. The reply rides the
+        // same duplicating datagram service, so the requester sees two
+        // copies of the one forwarded reply …
+        d.send(DaemonMsg::ConnReply {
+            req_id: 43,
+            ctrl: Ctrl::ConnNack { req_id: 43, target },
+        });
+        expect_nack(&reply_post, 43)?;
+        expect_nack(&reply_post, 43)?;
+        // … and a second ConnReply for the id finds no record at all.
+        d.send(DaemonMsg::ConnReply {
+            req_id: 43,
+            ctrl: Ctrl::ConnNack { req_id: 43, target },
+        });
+        expect_silence(&reply_post, Duration::from_millis(50))?;
         Ok(())
     }
 }

@@ -1,0 +1,246 @@
+//! Fault-plan plumbing between the deterministic injectors of
+//! [`snow_net::fault`] and the places this crate moves bytes.
+//!
+//! One [`FaultLayer`] lives in the shared environment. Installing a
+//! [`FaultPlan`] arms it; every *subsequently created* logical data
+//! connection ([`crate::process::ProcessCell::data_sender_to_me`])
+//! gets a [`FaultHook`] for its direction, and every daemon queries its
+//! datagram injector lazily per routed message — so a plan installed
+//! before any traffic flows governs the whole run, and hosts added
+//! later are covered too.
+//!
+//! The layer also assigns *incarnation numbers*: each new logical
+//! connection over the same `(src, dst)` host pair draws an independent
+//! fault sequence, so an injected reset does not deterministically
+//! re-fire on the reconnect that recovers from it.
+
+use crate::ids::HostId;
+use parking_lot::{Mutex, RwLock};
+use snow_net::fault::{DatagramVerdict, FaultInjector, FaultPlan, FrameClass, StreamVerdict};
+use snow_trace::{EventKind, Tracer};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Per-environment fault state: the installed plan plus the bookkeeping
+/// that hands out injectors deterministically.
+#[derive(Default)]
+pub struct FaultLayer {
+    plan: RwLock<Option<Arc<FaultPlan>>>,
+    /// Next incarnation per directed host pair.
+    incarnations: Mutex<HashMap<(u32, u32), u64>>,
+    /// Cached per-host daemon injectors (one counter stream per daemon
+    /// for the lifetime of a plan).
+    daemons: Mutex<HashMap<u32, Arc<FaultInjector>>>,
+}
+
+impl std::fmt::Debug for FaultLayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultLayer")
+            .field("active", &self.is_active())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FaultLayer {
+    /// A disarmed layer (no faults anywhere).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install (or replace) the fault plan. Resets incarnation counters
+    /// and daemon injectors so the new plan starts from frame zero.
+    pub fn install(&self, plan: FaultPlan) {
+        *self.plan.write() = Some(Arc::new(plan));
+        self.incarnations.lock().clear();
+        self.daemons.lock().clear();
+    }
+
+    /// Disarm the layer.
+    pub fn clear(&self) {
+        *self.plan.write() = None;
+        self.incarnations.lock().clear();
+        self.daemons.lock().clear();
+    }
+
+    /// Is a plan installed?
+    pub fn is_active(&self) -> bool {
+        self.plan.read().is_some()
+    }
+
+    /// The installed plan, if any.
+    pub fn plan(&self) -> Option<Arc<FaultPlan>> {
+        self.plan.read().clone()
+    }
+
+    /// Fault hook for a *new* logical stream carrying frames `src → dst`
+    /// (attach to the [`crate::post::PostSender`] the `src`-side peer
+    /// will hold). Draws the next incarnation for the pair; `None` when
+    /// no plan is installed or no rule covers the link.
+    pub fn stream_hook(
+        &self,
+        src: HostId,
+        dst: HostId,
+        tracer: &Arc<Tracer>,
+    ) -> Option<Arc<FaultHook>> {
+        let plan = self.plan.read().clone()?;
+        let incarnation = {
+            let mut inc = self.incarnations.lock();
+            let n = inc.entry((src.0, dst.0)).or_insert(0);
+            let i = *n;
+            *n += 1;
+            i
+        };
+        plan.stream_injector(src.0, dst.0, incarnation).map(|inj| {
+            Arc::new(FaultHook {
+                injector: inj,
+                tracer: Arc::clone(tracer),
+                who: format!("link:{src}->{dst}"),
+            })
+        })
+    }
+
+    /// The datagram verdict for one message routed through `host`'s
+    /// daemon on `lane` (one lane per requester rank).
+    pub fn daemon_verdict(&self, host: HostId, lane: u64) -> DatagramVerdict {
+        match self.daemon_injector(host) {
+            Some(inj) => inj.on_datagram(lane),
+            None => DatagramVerdict::Deliver,
+        }
+    }
+
+    fn daemon_injector(&self, host: HostId) -> Option<Arc<FaultInjector>> {
+        if let Some(inj) = self.daemons.lock().get(&host.0) {
+            return Some(Arc::clone(inj));
+        }
+        let plan = self.plan.read().clone()?;
+        let inj = Arc::new(plan.datagram_injector(host.0)?);
+        self.daemons
+            .lock()
+            .entry(host.0)
+            .or_insert(inj)
+            .clone()
+            .into()
+    }
+}
+
+/// A per-connection fault decision point that also records what it did:
+/// every injected delay/reset lands in the trace (glyphs `j`/`f`) and
+/// the metrics fault counters, so audits can correlate injected faults
+/// with observed retries and aborts.
+pub struct FaultHook {
+    injector: FaultInjector,
+    tracer: Arc<Tracer>,
+    who: String,
+}
+
+impl std::fmt::Debug for FaultHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultHook")
+            .field("who", &self.who)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FaultHook {
+    /// Build a hook around an injector (tests / custom wiring).
+    pub fn new(injector: FaultInjector, tracer: Arc<Tracer>, who: String) -> Self {
+        FaultHook {
+            injector,
+            tracer,
+            who,
+        }
+    }
+
+    /// Verdict for the next outbound frame, recorded as it is drawn.
+    pub fn on_frame(&self, class: FrameClass) -> StreamVerdict {
+        let v = self.injector.on_frame(class);
+        if v.reset {
+            self.tracer.record(&self.who, EventKind::FaultReset);
+            self.tracer.metrics().record_fault("reset");
+        } else if v.extra_delay_s > 0.0 {
+            self.tracer.record(
+                &self.who,
+                EventKind::FaultDelay {
+                    extra_ns: (v.extra_delay_s * 1e9) as u64,
+                },
+            );
+            self.tracer.metrics().record_fault("delay");
+        }
+        v
+    }
+
+    /// Has this hook's connection been reset?
+    pub fn is_dead(&self) -> bool {
+        self.injector.is_dead()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snow_net::fault::{FaultSpec, LinkSel};
+
+    fn plan() -> FaultPlan {
+        FaultPlan::new(42).rule(
+            LinkSel::Any,
+            FaultSpec::none().jitter(1.0, 1.0).resets(1.0, 0).drops(1.0),
+        )
+    }
+
+    #[test]
+    fn disarmed_layer_hands_out_nothing() {
+        let layer = FaultLayer::new();
+        let tracer = Tracer::disabled();
+        assert!(!layer.is_active());
+        assert!(layer.stream_hook(HostId(0), HostId(1), &tracer).is_none());
+        assert_eq!(layer.daemon_verdict(HostId(0), 0), DatagramVerdict::Deliver);
+    }
+
+    #[test]
+    fn incarnations_advance_per_directed_pair() {
+        let layer = FaultLayer::new();
+        layer.install(FaultPlan::new(7).rule(LinkSel::Any, FaultSpec::none().jitter(0.5, 1.0)));
+        let tracer = Tracer::disabled();
+        let seq = |hook: &Arc<FaultHook>| {
+            (0..16)
+                .map(|_| hook.on_frame(FrameClass::Data).extra_delay_s)
+                .collect::<Vec<_>>()
+        };
+        let a = layer.stream_hook(HostId(0), HostId(1), &tracer).unwrap();
+        let b = layer.stream_hook(HostId(0), HostId(1), &tracer).unwrap();
+        let (sa, sb) = (seq(&a), seq(&b));
+        assert_ne!(sa, sb, "each connection draws independently");
+        // Re-installing the plan resets the incarnation counters: the
+        // first connection repeats its sequence.
+        layer.install(FaultPlan::new(7).rule(LinkSel::Any, FaultSpec::none().jitter(0.5, 1.0)));
+        let a2 = layer.stream_hook(HostId(0), HostId(1), &tracer).unwrap();
+        assert_eq!(sa, seq(&a2));
+    }
+
+    #[test]
+    fn hook_records_trace_events_and_metrics() {
+        let layer = FaultLayer::new();
+        layer.install(plan());
+        let tracer = Tracer::new();
+        let hook = layer.stream_hook(HostId(0), HostId(1), &tracer).unwrap();
+        let v = hook.on_frame(FrameClass::Data);
+        assert!(v.reset, "reset_prob 1.0 fires immediately");
+        assert!(hook.is_dead());
+        let snap = tracer.snapshot();
+        assert!(snap
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::FaultReset) && e.who.contains("link:h0->h1")));
+        assert_eq!(tracer.metrics().fault_counts(), vec![("reset".into(), 1)]);
+    }
+
+    #[test]
+    fn daemon_injectors_are_cached_until_reinstall() {
+        let layer = FaultLayer::new();
+        layer.install(plan());
+        // Same per-lane counter across calls: drop_prob 1.0 always drops.
+        assert_eq!(layer.daemon_verdict(HostId(3), 0), DatagramVerdict::Drop);
+        assert_eq!(layer.daemon_verdict(HostId(3), 0), DatagramVerdict::Drop);
+        layer.clear();
+        assert_eq!(layer.daemon_verdict(HostId(3), 0), DatagramVerdict::Deliver);
+    }
+}

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod daemon;
+pub mod faults;
 pub mod host;
 pub mod ids;
 pub mod post;
@@ -45,6 +46,7 @@ pub mod process;
 pub mod vm;
 pub mod wire;
 
+pub use faults::{FaultHook, FaultLayer};
 pub use host::HostSpec;
 pub use ids::{HostId, Rank, Tag, Vmid};
 pub use post::{Post, PostSender};

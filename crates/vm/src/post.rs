@@ -21,9 +21,10 @@
 //! delivery times are non-decreasing, and ties fall back to arrival
 //! order, which the underlying queue keeps FIFO per sender.
 
+use crate::faults::FaultHook;
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::Mutex;
-use snow_net::{LinkModel, TimeScale};
+use snow_net::{FrameClass, LinkModel, TimeScale};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -52,16 +53,21 @@ pub struct PostSender<T> {
     wire_free_at: Arc<Mutex<Instant>>,
     link: LinkModel,
     scale: TimeScale,
+    /// Fault decision point for this logical connection, if the
+    /// environment armed one.
+    fault: Option<Arc<FaultHook>>,
 }
 
 impl<T> Clone for PostSender<T> {
     fn clone(&self) -> Self {
-        // A clone shares the wire: it is the same logical connection.
+        // A clone shares the wire (and its fault state): it is the same
+        // logical connection.
         PostSender {
             tx: self.tx.clone(),
             wire_free_at: Arc::clone(&self.wire_free_at),
             link: self.link,
             scale: self.scale,
+            fault: self.fault.clone(),
         }
     }
 }
@@ -85,7 +91,17 @@ impl<T> PostSender<T> {
             wire_free_at: Arc::new(Mutex::new(Instant::now())),
             link,
             scale,
+            // A fresh logical connection does not inherit the old wire's
+            // fault state; the environment attaches a new hook if the
+            // link is covered by the plan.
+            fault: None,
         }
+    }
+
+    /// Attach a fault hook to this logical connection.
+    pub fn with_fault(mut self, hook: Arc<FaultHook>) -> PostSender<T> {
+        self.fault = Some(hook);
+        self
     }
 
     /// The link model of this logical connection.
@@ -102,13 +118,38 @@ impl<T> PostSender<T> {
     /// transfer time (buffered-mode semantics); returns `Err` if the
     /// owner terminated.
     pub fn send(&self, msg: T, bytes: usize) -> Result<(), InboxClosed> {
+        // Control class by default: handshakes, protocol markers and
+        // scheduler traffic ride the reliable signaling plane (§2.3) and
+        // are never reset away. Data envelopes and state-transfer frames
+        // go through [`PostSender::send_classed`] with
+        // [`FrameClass::Data`].
+        self.send_classed(msg, bytes, FrameClass::Control)
+    }
+
+    /// [`PostSender::send`] with an explicit frame class. Data frames on
+    /// a connection the fault plan reset fail with [`InboxClosed`] —
+    /// indistinguishable from the owner terminating, which is exactly
+    /// the failure the protocol's recovery machinery handles.
+    pub fn send_classed(&self, msg: T, bytes: usize, class: FrameClass) -> Result<(), InboxClosed> {
+        let mut extra_s = 0.0;
+        if let Some(hook) = &self.fault {
+            let verdict = hook.on_frame(class);
+            if verdict.reset {
+                return Err(InboxClosed);
+            }
+            extra_s = verdict.extra_delay_s;
+        }
         let now = Instant::now();
         let deliver_at = if self.scale.0 > 0.0 {
             let ser = self.scale.real(self.link.serialize_seconds(bytes));
             let lat = self.scale.real(self.link.latency_s);
+            // Injected delay extends the wire-busy window like extra
+            // serialization: later frames queue behind it, keeping
+            // per-sender delivery times non-decreasing (FIFO holds).
+            let extra = self.scale.real(extra_s);
             let mut free = self.wire_free_at.lock();
             let start = (*free).max(now);
-            *free = start + ser;
+            *free = start + ser + extra;
             *free + lat
         } else {
             now
@@ -218,6 +259,7 @@ impl<T> Post<T> {
                 wire_free_at: Arc::new(Mutex::new(Instant::now())),
                 link,
                 scale,
+                fault: None,
             },
             Post {
                 rx,
@@ -542,6 +584,58 @@ mod tests {
         }
         // Draining does not lower the high-water mark.
         assert_eq!(rx.staged_high_water(), 6);
+    }
+
+    #[test]
+    fn faulted_sender_resets_data_not_control() {
+        use snow_net::fault::{FaultInjector, FaultSpec};
+        use snow_trace::Tracer;
+        let (proto, rx) = Post::<u32>::channel(LinkModel::INSTANT, TimeScale::ZERO);
+        let hook = Arc::new(crate::faults::FaultHook::new(
+            FaultInjector::new(1, FaultSpec::none().resets(1.0, 0)),
+            Tracer::disabled(),
+            "link:test".into(),
+        ));
+        let tx = proto
+            .with_link(LinkModel::INSTANT, TimeScale::ZERO)
+            .with_fault(hook);
+        assert_eq!(tx.send_classed(1, 4, FrameClass::Data), Err(InboxClosed));
+        // Control frames (the default class) still flow on the dead wire.
+        assert_eq!(tx.send(2, 4), Ok(()));
+        assert_eq!(rx.recv().unwrap(), 2);
+        // Clones share the dead wire …
+        assert_eq!(
+            tx.clone().send_classed(3, 4, FrameClass::Data),
+            Err(InboxClosed)
+        );
+        // … but a fresh logical connection does not inherit the hook.
+        assert_eq!(
+            tx.with_link(LinkModel::INSTANT, TimeScale::ZERO)
+                .send_classed(4, 4, FrameClass::Data),
+            Ok(())
+        );
+        assert_eq!(rx.recv().unwrap(), 4);
+    }
+
+    #[test]
+    fn faulted_sender_jitter_keeps_fifo() {
+        use snow_net::fault::{FaultInjector, FaultSpec};
+        use snow_trace::Tracer;
+        let (proto, rx) = Post::<u32>::channel(LinkModel::INSTANT, TimeScale::MILLI);
+        let hook = Arc::new(crate::faults::FaultHook::new(
+            FaultInjector::new(3, FaultSpec::none().jitter(1.0, 1.0)),
+            Tracer::disabled(),
+            "link:test".into(),
+        ));
+        let tx = proto
+            .with_link(LinkModel::ETHERNET_100M, TimeScale::MILLI)
+            .with_fault(hook);
+        for i in 0..10 {
+            tx.send_classed(i, 1_000, FrameClass::Data).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(rx.recv().unwrap(), i, "per-sender FIFO under jitter");
+        }
     }
 
     #[test]

@@ -156,10 +156,20 @@ impl ProcessCell {
 
     /// A *data* sender into this process's own inbox, provisioned with
     /// the path model from `peer_host`. Handed to peers during
-    /// connection establishment.
+    /// connection establishment. If the environment's fault plan covers
+    /// the `peer_host → here` direction, the sender carries a fault hook
+    /// for a fresh incarnation of that link.
     pub fn data_sender_to_me(&self, peer_host: HostId) -> PostSender<Incoming> {
         let link = self.shared.path(peer_host, self.vmid.host);
-        self.inbox_proto.with_link(link, self.shared.time_scale())
+        let sender = self.inbox_proto.with_link(link, self.shared.time_scale());
+        match self
+            .shared
+            .faults()
+            .stream_hook(peer_host, self.vmid.host, self.shared.tracer())
+        {
+            Some(hook) => sender.with_fault(hook),
+            None => sender,
+        }
     }
 
     // --- signals ----------------------------------------------------------

@@ -1,6 +1,7 @@
 //! The virtual machine: membership, registries, spawning, signals.
 
 use crate::daemon::{spawn_daemon, DaemonHandle, DaemonMsg};
+use crate::faults::FaultLayer;
 use crate::host::HostSpec;
 use crate::ids::{HostId, Vmid};
 use crate::post::{Post, PostSender};
@@ -96,6 +97,9 @@ pub struct VmShared {
     next_host: AtomicU32,
     /// Serialises host membership changes.
     membership: Mutex<()>,
+    /// Deterministic fault injection (disarmed unless a plan is
+    /// installed via [`VirtualMachine::set_fault_plan`]).
+    faults: Arc<FaultLayer>,
 }
 
 impl VmShared {
@@ -112,6 +116,11 @@ impl VmShared {
     /// The configured modeled-time scale.
     pub fn time_scale(&self) -> TimeScale {
         self.scale
+    }
+
+    /// The environment's fault layer.
+    pub fn faults(&self) -> &Arc<FaultLayer> {
+        &self.faults
     }
 
     /// Spec of a live host.
@@ -167,6 +176,7 @@ impl VirtualMachine {
                 scale,
                 next_host: AtomicU32::new(0),
                 membership: Mutex::new(()),
+                faults: Arc::new(FaultLayer::new()),
             }),
         }
     }
@@ -190,6 +200,7 @@ impl VirtualMachine {
             id,
             self.shared.registry.clone(),
             Arc::clone(&self.shared.tracer),
+            Arc::clone(&self.shared.faults),
         );
         self.shared.hosts.write().insert(
             id,
@@ -235,6 +246,19 @@ impl VirtualMachine {
     /// Install the scheduler's address so processes can consult it.
     pub fn set_scheduler(&self, vmid: Vmid) {
         *self.shared.scheduler.write() = Some(vmid);
+    }
+
+    /// Arm deterministic fault injection with `plan`. Governs every
+    /// logical connection created afterwards and every daemon-routed
+    /// control datagram (install before traffic flows for full
+    /// coverage). Replacing a plan restarts its counters.
+    pub fn set_fault_plan(&self, plan: snow_net::fault::FaultPlan) {
+        self.shared.faults.install(plan);
+    }
+
+    /// Disarm fault injection.
+    pub fn clear_fault_plan(&self) {
+        self.shared.faults.clear();
     }
 
     /// Allocate a vmid on a host without spawning (used by tests).

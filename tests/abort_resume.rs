@@ -13,11 +13,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-fn await_migration(p: &mut SnowProcess) {
-    while !p.poll_point().unwrap() {
-        std::thread::sleep(Duration::from_millis(1));
-    }
-}
+use support::await_migration;
 
 fn spin_until(flag: &AtomicBool) {
     while !flag.load(Ordering::Acquire) {

@@ -12,11 +12,7 @@ use snow::prelude::*;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-fn await_migration(p: &mut SnowProcess) {
-    while !p.poll_point().unwrap() {
-        std::thread::sleep(Duration::from_millis(1));
-    }
-}
+use support::await_migration;
 
 /// Build a state big enough that a small `chunk_bytes` fragments it
 /// into dozens of frames.

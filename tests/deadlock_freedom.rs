@@ -12,11 +12,8 @@ use bytes::Bytes;
 use snow::prelude::*;
 use std::time::Duration;
 
-fn await_migration(p: &mut SnowProcess) {
-    while !p.poll_point().unwrap() {
-        std::thread::sleep(Duration::from_millis(1));
-    }
-}
+mod support;
+use support::await_migration;
 
 /// Fig 8 with the "P1 already connected to P3" variant: m3 is drained
 /// into the migrating process's RML, so nobody blocks.
@@ -139,32 +136,43 @@ fn all_pairs_flood_during_migration() {
             }
             // Migration never fired mid-send-loop: receive, then drain
             // the pending request so the harness's migrate() completes.
+            // The carried state must say *everything* is done, or the
+            // resumed process would re-receive consumed messages and
+            // wedge on its watchdog.
             for k in 0..MSGS {
                 for other in 1..N {
                     let _ = p.recv(Some(other), Some(k as i32)).unwrap();
                 }
             }
             await_migration(&mut p);
-            p.migrate(&ProcessState::empty())
-                .unwrap()
-                .expect_completed();
+            let state = ProcessState::new(
+                ExecState::at_entry()
+                    .with_local("k", snow::codec::Value::U64(MSGS as u64))
+                    .with_local("recvd", snow::codec::Value::U64(MSGS as u64)),
+                MemoryGraph::new(),
+            );
+            p.migrate(&state).unwrap().expect_completed();
         } else if me == 0 {
             let state = match start {
                 Start::Resumed(s) => s,
                 Start::Fresh => unreachable!(),
             };
-            let k0 = state
-                .exec
-                .local("k")
-                .and_then(snow::codec::Value::as_u64)
-                .unwrap_or(MSGS as u64) as usize;
+            let local = |name: &str| {
+                state
+                    .exec
+                    .local(name)
+                    .and_then(snow::codec::Value::as_u64)
+                    .unwrap_or(0) as usize
+            };
+            let k0 = local("k");
+            let recvd = local("recvd");
             for k in k0..MSGS {
                 for other in 1..N {
                     p.send(other, k as i32, Bytes::from(vec![me as u8; 16]))
                         .unwrap();
                 }
             }
-            for k in 0..MSGS {
+            for k in recvd..MSGS {
                 for other in 1..N {
                     let _ = p.recv(Some(other), Some(k as i32)).unwrap();
                 }

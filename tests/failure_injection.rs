@@ -8,11 +8,8 @@ use snow::prelude::*;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-fn await_migration(p: &mut SnowProcess) {
-    while !p.poll_point().unwrap() {
-        std::thread::sleep(Duration::from_millis(1));
-    }
-}
+mod support;
+use support::await_migration;
 
 /// A connected peer dies (thread exits without coordination) while we
 /// migrate: the liveness pruning in the drain loop notices the dead

@@ -8,11 +8,8 @@ use proptest::prelude::*;
 use snow::prelude::*;
 use std::time::Duration;
 
-fn await_migration(p: &mut SnowProcess) {
-    while !p.poll_point().unwrap() {
-        std::thread::sleep(Duration::from_millis(1));
-    }
-}
+mod support;
+use support::await_migration;
 
 /// One randomized scenario: `n` ranks, `msgs[s][d]` messages from s to
 /// d; rank `migrant` migrates after consuming `consume_before` of its
@@ -227,6 +224,177 @@ fn run_scenario_dual(sc: &Scenario) -> Result<(), TestCaseError> {
     Ok(())
 }
 
+/// A random fault spec drawn from the recoverable fault classes: delay,
+/// datagram drop/duplication, transient partition. Connection resets
+/// are excluded here — on an application data link a reset is not
+/// transparently recoverable by `send()` (that mode gets its own
+/// pinned coverage in `tests/chaos.rs`, where the retry policy absorbs
+/// it on the transfer link).
+fn arb_fault_spec() -> impl Strategy<Value = FaultSpec> {
+    // Drawn as integer per-mille / milliseconds (the vendored proptest
+    // has no float-range strategies). Values below the armed threshold
+    // mean "this class is off", so the strategy also explores plans
+    // with only a subset of classes armed.
+    (
+        (0u32..500, 100u32..1500),
+        0u32..300,
+        0u32..300,
+        (2u64..16, 0u32..2000),
+    )
+        .prop_map(|((jp, jmax), drops, dups, (pat, phold))| {
+            let permille = |v: u32| f64::from(v) / 1000.0;
+            let mut s = FaultSpec::none();
+            if jp >= 50 {
+                s = s.jitter(permille(jp), permille(jmax));
+            }
+            if drops >= 50 {
+                s = s.drops(permille(drops));
+            }
+            if dups >= 50 {
+                s = s.duplicates(permille(dups));
+            }
+            if phold >= 200 {
+                s = s.partition(pat, permille(phold));
+            }
+            s
+        })
+}
+
+fn arb_fault_plan() -> impl Strategy<Value = FaultPlan> {
+    (any::<u64>(), arb_fault_spec())
+        .prop_map(|(seed, spec)| FaultPlan::new(seed).rule(LinkSel::Any, spec))
+}
+
+/// Scenario runner with an armed fault plan: the migration may commit
+/// *or* abort (a partitioned transfer burning the retry budget is
+/// legal), but either way every message still arrives exactly once in
+/// order and the audit log stays clean — and the watchdogs bound the
+/// run, so an injected fault can never hang it.
+fn run_scenario_faulted(sc: &Scenario, plan: &FaultPlan) -> Result<(), TestCaseError> {
+    let tracer = Tracer::new();
+    let comp = Computation::builder()
+        .hosts(HostSpec::ideal(), sc.n + 1)
+        .tracer(tracer.clone())
+        .time_scale(TimeScale::MILLI)
+        .migration_retry(RetryPolicy {
+            max_attempts: 3,
+            backoff: Duration::from_millis(10),
+        })
+        .fault_plan(plan.clone())
+        .build();
+    let spare = comp.hosts()[sc.n];
+    let sc2 = sc.clone();
+
+    let handles = comp.launch(sc.n, move |mut p, start| {
+        let me = p.rank();
+        let sc = &sc2;
+        let inbound: u64 = (0..sc.n)
+            .filter(|s| *s != me)
+            .map(|s| sc.msgs[s][me] as u64)
+            .sum();
+        let send_all = |p: &mut SnowProcess| {
+            for d in 0..sc.n {
+                if d == me {
+                    continue;
+                }
+                for i in 0..sc.msgs[me][d] {
+                    let mut body = vec![0u8; 1 + (sc.payload as usize)];
+                    body[0] = i;
+                    p.send(d, me as i32, Bytes::from(body)).unwrap();
+                }
+            }
+        };
+        let recv_n = |p: &mut SnowProcess, next: &mut Vec<u8>, k: u64| {
+            for _ in 0..k {
+                let (s, _t, b) = p.recv(None, None).unwrap();
+                assert_eq!(b[0], next[s], "rank {me}: reorder from {s}");
+                next[s] += 1;
+            }
+        };
+        match start {
+            Start::Fresh => {
+                send_all(&mut p);
+                let mut next = vec![0u8; sc.n];
+                if me == sc.migrant {
+                    let before = inbound * sc.consume_frac as u64 / 100;
+                    recv_n(&mut p, &mut next, before);
+                    await_migration(&mut p);
+                    let mut exec = ExecState::at_entry();
+                    for (s, nx) in next.iter().enumerate() {
+                        exec =
+                            exec.with_local(&format!("n{s}"), snow::codec::Value::U64(*nx as u64));
+                    }
+                    match p
+                        .migrate(&ProcessState::new(exec, MemoryGraph::new()))
+                        .unwrap()
+                    {
+                        MigrationOutcome::Completed(_) => {}
+                        MigrationOutcome::Aborted(a) => {
+                            // Rolled back in place: the tail is ours.
+                            let mut p = a.process;
+                            recv_n(&mut p, &mut next, inbound - before);
+                            p.finish();
+                        }
+                    }
+                } else {
+                    recv_n(&mut p, &mut next, inbound);
+                    p.finish();
+                }
+            }
+            Start::Resumed(state) => {
+                let mut next = vec![0u8; sc.n];
+                let mut done = 0u64;
+                for (s, nx) in next.iter_mut().enumerate() {
+                    let v = state
+                        .exec
+                        .local(&format!("n{s}"))
+                        .and_then(snow::codec::Value::as_u64)
+                        .unwrap();
+                    *nx = v as u8;
+                    done += v;
+                }
+                recv_n(&mut p, &mut next, inbound - done);
+                p.finish();
+            }
+        }
+    });
+
+    // Completed or aborted are both legal endings under injected
+    // faults; hangs and dirty logs are not.
+    let _ = comp.migrate(sc.migrant, spare);
+    for h in handles {
+        h.join()
+            .map_err(|_| TestCaseError::fail("rank panicked (loss/reorder under faults)"))?;
+    }
+    comp.join_init_processes();
+
+    let events = tracer.snapshot();
+    let report = snow::trace::audit::audit(&events);
+    if !report.is_clean() {
+        // Dump the log + generating inputs next to the suite exports so
+        // a CI failure ships the exact replay (CI uploads FAILED-*).
+        let dir = support::export_dir();
+        let _ = std::fs::write(
+            dir.join("FAILED-prop-faulted.events.jsonl"),
+            snow::trace::serial::events_to_jsonl(&events),
+        );
+        let _ = std::fs::write(
+            dir.join("FAILED-prop-faulted.scenario.txt"),
+            format!("{sc:?}\n{plan:?}\n"),
+        );
+    }
+    prop_assert!(
+        report.is_clean(),
+        "dirty audit under faults:\n{}",
+        report.render()
+    );
+    let st = SpaceTime::build(events);
+    prop_assert!(st.undelivered().is_empty(), "lost under faults");
+    prop_assert!(st.duplicate_receives().is_empty());
+    prop_assert!(st.fifo_violations().is_empty());
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 12,
@@ -236,6 +404,21 @@ proptest! {
     #[test]
     fn random_traffic_with_migration(sc in arb_scenario()) {
         run_scenario(&sc)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 10,
+        max_shrink_iters: 20,
+    })]
+
+    #[test]
+    fn random_traffic_under_random_faults(
+        sc in arb_scenario(),
+        plan in arb_fault_plan(),
+    ) {
+        run_scenario_faulted(&sc, &plan)?;
     }
 }
 

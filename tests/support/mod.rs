@@ -47,3 +47,18 @@ pub fn audit_and_export(tracer: &Arc<Tracer>, name: &str) {
     }
     snow::trace::assert_clean(&events);
 }
+
+/// Block until the scheduler names this process for migration.
+///
+/// Event-driven replacement for the old `poll_point()` + 1 ms sleep
+/// loops the suites used to carry: this parks on the signal queue via
+/// [`SnowProcess::await_migration_request`], so the process wakes the
+/// instant the migration signal lands instead of on the next poll
+/// tick. The generous outer loop only guards against a scheduler that
+/// never fires (which the per-suite watchdogs then surface).
+pub fn await_migration(p: &mut snow::prelude::SnowProcess) {
+    while !p
+        .await_migration_request(std::time::Duration::from_secs(5))
+        .unwrap()
+    {}
+}

@@ -6,26 +6,43 @@
 //! failure replays exactly; `--dir` also exports *passing* logs for the
 //! offline `audit` pass CI runs over the same directory.
 //!
+//! `--drain-seed` / `--drain-seeds` run host-evacuation scenarios
+//! instead: a gang of co-located ranks drained through a bounded worker
+//! pool, with some seeds killing a destination host mid-gang.
+//!
 //! Usage:
 //!   cargo run -p snow-bench --bin chaos -- --seed 7
 //!   cargo run -p snow-bench --bin chaos -- --seeds 0..32 --dir target/audit-logs
 //!   cargo run -p snow-bench --bin chaos -- --seed 7 --twice   # digest reproducibility
+//!   cargo run -p snow-bench --bin chaos -- --drain-seeds 0..8 --dir target/audit-logs
 
-use snow_bench::chaos::{run_scenario, Scenario};
+use snow_bench::chaos::{run_drain_scenario, run_scenario, DrainScenario, Scenario};
 use snow_trace::audit::audit;
 use snow_trace::serial::events_to_jsonl;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ! {
-    eprintln!("usage: chaos [--seed N | --seeds A..B] [--dir DIR] [--twice]");
+    eprintln!(
+        "usage: chaos [--seed N | --seeds A..B] [--drain-seed N | --drain-seeds A..B] \
+         [--dir DIR] [--twice]"
+    );
     std::process::exit(2);
 }
 
 fn main() -> ExitCode {
     let mut seeds: Vec<u64> = Vec::new();
+    let mut drain_seeds: Vec<u64> = Vec::new();
     let mut dir: Option<PathBuf> = None;
     let mut twice = false;
+
+    let parse_range = |spec: String| -> Vec<u64> {
+        let (a, b) = spec.split_once("..").unwrap_or_else(|| usage());
+        match (a.parse::<u64>(), b.parse::<u64>()) {
+            (Ok(a), Ok(b)) if a < b => (a..b).collect(),
+            _ => usage(),
+        }
+    };
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -34,20 +51,20 @@ fn main() -> ExitCode {
                 Some(n) => seeds.push(n),
                 None => usage(),
             },
-            "--seeds" => {
-                let spec = args.next().unwrap_or_else(|| usage());
-                let (a, b) = spec.split_once("..").unwrap_or_else(|| usage());
-                match (a.parse::<u64>(), b.parse::<u64>()) {
-                    (Ok(a), Ok(b)) if a < b => seeds.extend(a..b),
-                    _ => usage(),
-                }
+            "--seeds" => seeds.extend(parse_range(args.next().unwrap_or_else(|| usage()))),
+            "--drain-seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => drain_seeds.push(n),
+                None => usage(),
+            },
+            "--drain-seeds" => {
+                drain_seeds.extend(parse_range(args.next().unwrap_or_else(|| usage())))
             }
             "--dir" => dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
             "--twice" => twice = true,
             _ => usage(),
         }
     }
-    if seeds.is_empty() {
+    if seeds.is_empty() && drain_seeds.is_empty() {
         seeds.extend(0..8);
     }
     if let Some(d) = &dir {
@@ -56,6 +73,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+
+    let dump = |dir: &Option<PathBuf>, name: &str, events: &[snow_trace::Event]| {
+        if let Some(d) = dir {
+            let path = d.join(name);
+            if let Err(e) = std::fs::write(&path, events_to_jsonl(events)) {
+                eprintln!("chaos: cannot write {}: {e}", path.display());
+            }
+        }
+    };
 
     let mut failures = 0usize;
     for seed in seeds {
@@ -75,20 +101,20 @@ fn main() -> ExitCode {
             if faults.is_empty() { " none" } else { &faults }
         );
 
-        let dump = |name: &str| {
-            if let Some(d) = &dir {
-                let path = d.join(name);
-                if let Err(e) = std::fs::write(&path, events_to_jsonl(&run.events)) {
-                    eprintln!("chaos: cannot write {}: {e}", path.display());
-                }
-            }
-        };
         if report.is_clean() {
-            dump(&format!("chaos-seed-{seed}.events.jsonl"));
+            dump(
+                &dir,
+                &format!("chaos-seed-{seed}.events.jsonl"),
+                &run.events,
+            );
         } else {
             failures += 1;
             // Keep failing logs apart so CI uploads them as artifacts.
-            dump(&format!("FAILED-chaos-seed-{seed}.events.jsonl"));
+            dump(
+                &dir,
+                &format!("FAILED-chaos-seed-{seed}.events.jsonl"),
+                &run.events,
+            );
             eprintln!("seed {seed}: AUDIT VIOLATIONS\n{}", report.render());
             eprintln!("reproduce with: cargo run -p snow-bench --bin chaos -- --seed {seed}");
         }
@@ -107,6 +133,67 @@ fn main() -> ExitCode {
                     again.digest
                 );
             }
+        }
+    }
+
+    for seed in drain_seeds {
+        let sc = DrainScenario::generate(seed);
+        let run = run_drain_scenario(&sc);
+        let report = audit(&run.events);
+        let faults: String = run
+            .fault_counts
+            .iter()
+            .map(|(k, v)| format!(" {k}={v}"))
+            .collect();
+        println!(
+            "drain {seed:>4}  digest {:016x}  ranks {}  pool {}  kill {}  {}  faults:{}",
+            run.digest,
+            sc.ranks,
+            sc.max_workers,
+            sc.kill_dest,
+            run.verdict,
+            if faults.is_empty() { " none" } else { &faults }
+        );
+
+        // A drain must reach a terminal verdict, account for the whole
+        // gang, and deposit exactly one metrics record — over and above
+        // the §4 audit.
+        let mut dirty = !report.is_clean();
+        if !report.is_clean() {
+            eprintln!("drain seed {seed}: AUDIT VIOLATIONS\n{}", report.render());
+        }
+        if run.verdict.starts_with("drain failed") {
+            dirty = true;
+            eprintln!("drain seed {seed}: no terminal verdict: {}", run.verdict);
+        }
+        if run.completed + run.aborted != sc.ranks {
+            dirty = true;
+            eprintln!(
+                "drain seed {seed}: gang accounting broken: {} completed + {} aborted != {} ranks",
+                run.completed, run.aborted, sc.ranks
+            );
+        }
+        if run.drain_records != 1 {
+            dirty = true;
+            eprintln!(
+                "drain seed {seed}: {} drain metrics record(s), expected exactly 1",
+                run.drain_records
+            );
+        }
+        if dirty {
+            failures += 1;
+            dump(
+                &dir,
+                &format!("FAILED-drain-seed-{seed}.events.jsonl"),
+                &run.events,
+            );
+            eprintln!("reproduce with: cargo run -p snow-bench --bin chaos -- --drain-seed {seed}");
+        } else {
+            dump(
+                &dir,
+                &format!("drain-seed-{seed}.events.jsonl"),
+                &run.events,
+            );
         }
     }
 

@@ -25,6 +25,7 @@ use snow_state::{ExecState, MemoryGraph, ProcessState};
 use snow_trace::{Event, EventKind, Tracer};
 use snow_vm::HostSpec;
 use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -129,6 +130,11 @@ fn body_len(s: usize, d: usize, i: u8) -> usize {
 /// *rank* (labels `p3` and `init:3` hash alike), so the digest is
 /// invariant to whether the migration committed or aborted mid-tail.
 pub fn run_digest(sc: &Scenario, events: &[Event]) -> u64 {
+    lanes_digest(&sc.canonical(), events)
+}
+
+/// Hash `canonical` plus the per-`(receiver, sender)` delivery lanes.
+fn lanes_digest(canonical: &str, events: &[Event]) -> u64 {
     let mut lanes: BTreeMap<(String, String), Vec<(i64, u64)>> = BTreeMap::new();
     for e in events {
         if let EventKind::RecvDone {
@@ -147,7 +153,7 @@ pub fn run_digest(sc: &Scenario, events: &[Event]) -> u64 {
         }
     }
     let mut h = 0xcbf2_9ce4_8422_2325u64;
-    fnv(&mut h, sc.canonical().as_bytes());
+    fnv(&mut h, canonical.as_bytes());
     for ((recv, from), seq) in &lanes {
         fnv(&mut h, recv.as_bytes());
         fnv(&mut h, from.as_bytes());
@@ -174,6 +180,8 @@ pub fn run_scenario(sc: &Scenario) -> ChaosRun {
         .migration_retry(RetryPolicy {
             max_attempts: 3,
             backoff: Duration::from_millis(10),
+            jitter: Duration::from_millis(5),
+            seed: sc.seed,
         })
         .fault_plan(sc.plan.clone())
         .build();
@@ -280,6 +288,288 @@ pub fn run_scenario(sc: &Scenario) -> ChaosRun {
     }
 }
 
+/// One generated host-evacuation scenario (a pure function of `seed`):
+/// a gang of co-located ranks with cross traffic, drained through a
+/// bounded worker pool — optionally while a destination host is killed
+/// mid-drain.
+#[derive(Debug, Clone)]
+pub struct DrainScenario {
+    /// The generating seed.
+    pub seed: u64,
+    /// Co-located evacuees, all placed on the drained host.
+    pub ranks: usize,
+    /// Destination hosts besides the scheduler's (which also accepts
+    /// migrants).
+    pub dests: usize,
+    /// `msgs[s][d]` messages from rank `s` to rank `d`.
+    pub msgs: Vec<Vec<u8>>,
+    /// Percent of its inbound traffic each rank consumes before parking
+    /// at its migration point (the rest crosses the drain via RMLs).
+    pub consume_frac: u8,
+    /// Worker-pool width for the drain.
+    pub max_workers: usize,
+    /// Remove the first dedicated destination host mid-drain.
+    pub kill_dest: bool,
+    /// The deterministic fault plan the environment runs under.
+    pub plan: FaultPlan,
+}
+
+impl DrainScenario {
+    /// Generate the drain scenario for `seed`.
+    pub fn generate(seed: u64) -> DrainScenario {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xd5a1_4bad);
+        let ranks = rng.gen_range(8usize..=10);
+        let dests = rng.gen_range(2usize..=3);
+        let msgs: Vec<Vec<u8>> = (0..ranks)
+            .map(|_| (0..ranks).map(|_| rng.gen_range(0u8..4)).collect())
+            .collect();
+        let consume_frac = rng.gen_range(0u8..=100);
+        let max_workers = rng.gen_range(2usize..=4);
+        let kill_dest = rng.gen_range(0.0..1.0) < 0.5;
+        // Moderate faults: evacuation must terminate, not starve.
+        let mut spec = FaultSpec::none();
+        if rng.gen_range(0.0..1.0) < 0.5 {
+            spec = spec.jitter(rng.gen_range(0.1..0.4), rng.gen_range(0.2..1.0));
+        }
+        if rng.gen_range(0.0..1.0) < 0.4 {
+            spec = spec.drops(rng.gen_range(0.05..0.25));
+        }
+        if rng.gen_range(0.0..1.0) < 0.3 {
+            spec = spec.duplicates(rng.gen_range(0.05..0.25));
+        }
+        if rng.gen_range(0.0..1.0) < 0.25 {
+            spec = spec.partition(rng.gen_range(2u64..10), rng.gen_range(0.5..2.0));
+        }
+        let plan = FaultPlan::new(seed).rule(LinkSel::Any, spec);
+        DrainScenario {
+            seed,
+            ranks,
+            dests,
+            msgs,
+            consume_frac,
+            max_workers,
+            kill_dest,
+            plan,
+        }
+    }
+
+    /// Stable serialization of the generation parameters (hashed into
+    /// the run digest).
+    pub fn canonical(&self) -> String {
+        format!(
+            "drain seed={} ranks={} dests={} msgs={:?} frac={} workers={} kill={} plan={:?}",
+            self.seed,
+            self.ranks,
+            self.dests,
+            self.msgs,
+            self.consume_frac,
+            self.max_workers,
+            self.kill_dest,
+            self.plan
+        )
+    }
+}
+
+/// Result of one host-evacuation chaos run.
+pub struct DrainChaosRun {
+    /// The scenario that ran.
+    pub scenario: DrainScenario,
+    /// Digest over scenario + canonical delivery lanes. Lanes are a
+    /// function of the traffic alone (§4), so the digest is stable even
+    /// though which migrants retried or aborted may race the host kill.
+    pub digest: u64,
+    /// Terminal verdict line: `evacuated …` or `partial …`.
+    pub verdict: String,
+    /// Migrants that committed off the host.
+    pub completed: usize,
+    /// Migrants whose migration finally aborted (resumed in place).
+    pub aborted: usize,
+    /// Retry rulings issued across the gang.
+    pub retried: usize,
+    /// Injected-fault counters from the metrics registry.
+    pub fault_counts: Vec<(String, u64)>,
+    /// Full event log (export on failure; feed to the auditor).
+    pub events: Vec<Event>,
+    /// `"record":"drain"` metrics deposited by the scheduler (exactly
+    /// one per drain).
+    pub drain_records: usize,
+}
+
+/// Run one host-evacuation scenario end-to-end: all ranks co-located on
+/// one host, cross traffic in flight, then a `HostDrain` through the
+/// bounded pool — with the first dedicated destination host optionally
+/// ripped out mid-gang. Never asserts; callers audit `events`.
+pub fn run_drain_scenario(sc: &DrainScenario) -> DrainChaosRun {
+    use snow_core::{DrainOutcome, DrainPoolConfig};
+
+    let tracer = Tracer::new();
+    let comp = Computation::builder()
+        .hosts(HostSpec::ideal(), 2 + sc.dests)
+        .tracer(Arc::clone(&tracer))
+        .time_scale(TimeScale::MILLI)
+        .migration_retry(RetryPolicy {
+            max_attempts: 4,
+            backoff: Duration::from_millis(10),
+            jitter: Duration::from_millis(8),
+            seed: sc.seed,
+        })
+        .fault_plan(sc.plan.clone())
+        .build();
+    let src_host = comp.hosts()[1];
+    let victim = comp.hosts()[2];
+    let sc2 = sc.clone();
+
+    // The drain is held back until every rank has finished sending and
+    // consumed its pre-migration share: post-rendezvous traffic is
+    // recv-only (tails ride the RMLs), so no rank ever needs a *new*
+    // channel to a gang-mate that landed on the soon-to-die host.
+    //
+    // The rendezvous spins on `probe` rather than parking in a barrier:
+    // a parked rank stops granting conn_reqs, and under datagram drops
+    // a straggler whose first conn_req (or its reply) was eaten would
+    // resend into a gang of non-polling peers forever.
+    let ready = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let gate = Arc::clone(&ready);
+
+    let placement = vec![src_host; sc.ranks];
+    let handles = comp.launch_placed(&placement, move |mut p, start| {
+        let me = p.rank();
+        let sc = &sc2;
+        let inbound: u64 = (0..sc.ranks)
+            .filter(|s| *s != me)
+            .map(|s| sc.msgs[s][me] as u64)
+            .sum();
+        let recv_n = |p: &mut SnowProcess, next: &mut [u8], k: u64| {
+            for _ in 0..k {
+                let (s, _t, b) = p.recv(None, None).unwrap();
+                assert_eq!(b[0], next[s], "rank {me}: reorder from {s}");
+                next[s] += 1;
+            }
+        };
+        match start {
+            Start::Fresh => {
+                for d in 0..sc.ranks {
+                    if d == me {
+                        continue;
+                    }
+                    for i in 0..sc.msgs[me][d] {
+                        let mut body = vec![0u8; body_len(me, d, i)];
+                        body[0] = i;
+                        p.send(d, me as i32, Bytes::from(body)).unwrap();
+                    }
+                }
+                let mut next = vec![0u8; sc.ranks];
+                let before = inbound * sc.consume_frac as u64 / 100;
+                recv_n(&mut p, &mut next, before);
+                gate.fetch_add(1, Ordering::SeqCst);
+                while gate.load(Ordering::SeqCst) < sc.ranks {
+                    // Keep servicing inbound conn_reqs for gang-mates
+                    // still sending; `probe` drains without consuming.
+                    p.probe(None, None).unwrap();
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                // Park at the migration point. Disconnect signals from
+                // gang-mates draining first are serviced in here, so
+                // waiting one's turn never wedges a neighbour.
+                while !p.await_migration_request(Duration::from_secs(5)).unwrap() {}
+                let mut exec = ExecState::at_entry();
+                for (s, nx) in next.iter().enumerate() {
+                    exec = exec.with_local(&format!("n{s}"), snow_codec::Value::U64(*nx as u64));
+                }
+                match p
+                    .migrate(&ProcessState::new(exec, MemoryGraph::new()))
+                    .unwrap()
+                {
+                    MigrationOutcome::Completed(_) => {
+                        // The resumed half finishes the tail elsewhere.
+                    }
+                    MigrationOutcome::Aborted(a) => {
+                        // Rolled back in place: still owns its tail.
+                        let mut p = a.process;
+                        recv_n(&mut p, &mut next, inbound - before);
+                        p.finish();
+                    }
+                }
+            }
+            Start::Resumed(state) => {
+                let mut next = vec![0u8; sc.ranks];
+                let mut done = 0u64;
+                for (s, nx) in next.iter_mut().enumerate() {
+                    let v = state
+                        .exec
+                        .local(&format!("n{s}"))
+                        .and_then(snow_codec::Value::as_u64)
+                        .unwrap();
+                    *nx = v as u8;
+                    done += v;
+                }
+                recv_n(&mut p, &mut next, inbound - done);
+                p.finish();
+            }
+        }
+    });
+
+    while ready.load(Ordering::SeqCst) < sc.ranks {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    comp.drain_host_async(
+        src_host,
+        DrainPoolConfig {
+            max_workers: sc.max_workers,
+            job_queue_size: 64,
+            res_queue_size: 64,
+            progress_log_period: Duration::from_millis(20),
+        },
+    )
+    .expect("scheduler is running");
+    if sc.kill_dest {
+        // Long enough for the first wave of transfers to be in flight,
+        // short enough that the gang is still mid-drain.
+        std::thread::sleep(Duration::from_millis(25));
+        comp.vm().remove_host(victim);
+    }
+    let (verdict, completed, aborted, retried) = match comp.wait_drain_done(src_host) {
+        Ok(report) => match report.outcome {
+            DrainOutcome::Evacuated { completed, retried } => (
+                format!("evacuated completed={completed} retried={retried}"),
+                completed,
+                0,
+                retried,
+            ),
+            DrainOutcome::PartiallyEvacuated {
+                completed,
+                aborted,
+                retried,
+            } => (
+                format!("partial completed={completed} aborted={aborted} retried={retried}"),
+                completed,
+                aborted,
+                retried,
+            ),
+        },
+        Err(cause) => (format!("drain failed: {cause}"), 0, 0, 0),
+    };
+    for h in handles {
+        h.join().expect("rank thread survives evacuation");
+    }
+    comp.join_init_processes();
+    comp.shutdown();
+
+    let events = tracer.snapshot();
+    let digest = lanes_digest(&sc.canonical(), &events);
+    DrainChaosRun {
+        scenario: sc.clone(),
+        digest,
+        verdict,
+        completed,
+        aborted,
+        retried,
+        fault_counts: tracer.metrics().fault_counts(),
+        events,
+        drain_records: tracer.metrics().drains().len(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -294,6 +584,20 @@ mod tests {
         assert_ne!(
             Scenario::generate(1).canonical(),
             Scenario::generate(2).canonical()
+        );
+    }
+
+    #[test]
+    fn drain_scenarios_are_pure_functions_of_the_seed() {
+        for seed in [0u64, 7, 42, 0xfeed_f00d] {
+            let a = DrainScenario::generate(seed);
+            let b = DrainScenario::generate(seed);
+            assert_eq!(a.canonical(), b.canonical());
+            assert!(a.ranks >= 8, "gang must be ≥ 8 co-located ranks");
+        }
+        assert_ne!(
+            DrainScenario::generate(1).canonical(),
+            DrainScenario::generate(2).canonical()
         );
     }
 

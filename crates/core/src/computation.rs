@@ -297,6 +297,34 @@ impl Computation {
         self.with_client(|c| c.lookup(rank))
     }
 
+    /// Evacuate every running rank off `host` through the scheduler's
+    /// bounded worker pool, blocking until each migrant reaches a
+    /// terminal disposition.
+    pub fn drain_host(
+        &self,
+        host: HostId,
+        pool: snow_vm::wire::DrainPoolConfig,
+    ) -> Result<snow_sched::DrainReport, snow_vm::wire::FailCause> {
+        self.with_client(|c| c.drain_host(host, pool))
+    }
+
+    /// Fire a host-drain request without waiting for its verdict.
+    pub fn drain_host_async(
+        &self,
+        host: HostId,
+        pool: snow_vm::wire::DrainPoolConfig,
+    ) -> Result<(), String> {
+        self.with_client(|c| c.drain_host_async(host, pool))
+    }
+
+    /// Wait for a previously requested drain of `host` to terminate.
+    pub fn wait_drain_done(
+        &self,
+        host: HostId,
+    ) -> Result<snow_sched::DrainReport, snow_vm::wire::FailCause> {
+        self.with_client(|c| c.wait_drain_done(host))
+    }
+
     /// Wait for every *initialized* (post-migration) process spawned so
     /// far to finish. Migrated ranks continue on threads owned by the
     /// scheduler; harnesses must join them — after joining the original

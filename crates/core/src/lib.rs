@@ -64,5 +64,6 @@ pub use error::ProtoError;
 pub use migrate::{initialize, AbortedMigration, MigrationOutcome, MigrationTimings};
 pub use process::SnowProcess;
 pub use rml::Rml;
-pub use snow_sched::{RetryPolicy, SchedulerConfig};
+pub use snow_sched::{DrainReport, RetryPolicy, SchedulerConfig};
 pub use snow_state::PipelineConfig;
+pub use snow_vm::wire::{DrainOutcome, DrainPoolConfig, DrainRankResult, FailCause};

@@ -6,13 +6,27 @@
 //! private mailbox for the replies.
 
 use snow_net::LinkModel;
-use snow_vm::wire::{Ctrl, ExeStatus, Incoming, SchedReply, SchedRequest};
+use snow_vm::wire::{
+    Ctrl, DrainOutcome, DrainPoolConfig, DrainRankResult, ExeStatus, FailCause, Incoming,
+    SchedReply, SchedRequest,
+};
 use snow_vm::{HostId, Post, PostSender, Rank, VirtualMachine, Vmid};
 use std::sync::Arc;
 use std::time::Duration;
 
 /// Default patience for scheduler replies.
 const REPLY_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Terminal verdict of one host drain, as seen by the requester.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrainReport {
+    /// The host that was evacuated.
+    pub host: HostId,
+    /// Aggregate verdict.
+    pub outcome: DrainOutcome,
+    /// Per-rank dispositions, in completion order.
+    pub per_rank: Vec<(Rank, DrainRankResult)>,
+}
 
 /// A blocking client for the scheduler.
 pub struct SchedClient {
@@ -25,7 +39,10 @@ pub struct SchedClient {
     /// Failure verdicts buffered the same way: with several migrations
     /// in flight, one rank's abort must not be claimed by another
     /// rank's waiter.
-    failed: parking_lot::Mutex<std::collections::HashMap<Rank, String>>,
+    failed: parking_lot::Mutex<std::collections::HashMap<Rank, FailCause>>,
+    /// Drain verdicts buffered per host while a waiter is blocked on a
+    /// different host (or on an individual migration).
+    drained: parking_lot::Mutex<std::collections::HashMap<HostId, Result<DrainReport, FailCause>>>,
 }
 
 impl SchedClient {
@@ -38,6 +55,42 @@ impl SchedClient {
             post,
             done: parking_lot::Mutex::new(std::collections::HashMap::new()),
             failed: parking_lot::Mutex::new(std::collections::HashMap::new()),
+            drained: parking_lot::Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+
+    /// Buffer a stray reply for the waiter it belongs to. Returns the
+    /// reply back if it is not a parkable verdict.
+    fn park(&self, reply: SchedReply) -> Option<SchedReply> {
+        match reply {
+            SchedReply::MigrationDone { rank, new_vmid } => {
+                self.done.lock().insert(rank, new_vmid);
+                None
+            }
+            SchedReply::MigrationFailed { rank, cause } => {
+                self.failed.lock().insert(rank, cause);
+                None
+            }
+            SchedReply::DrainDone {
+                host,
+                outcome,
+                per_rank,
+            } => {
+                self.drained.lock().insert(
+                    host,
+                    Ok(DrainReport {
+                        host,
+                        outcome,
+                        per_rank,
+                    }),
+                );
+                None
+            }
+            SchedReply::DrainFailed { host, cause } => {
+                self.drained.lock().insert(host, Err(cause));
+                None
+            }
+            other => Some(other),
         }
     }
 
@@ -91,21 +144,15 @@ impl SchedClient {
             reply: self.reply_tx.clone(),
         })?;
         loop {
-            match self.recv_reply()? {
-                SchedReply::Location {
+            // Migration and drain verdicts crossing a lookup belong to
+            // their own waiters; park them instead of dropping them.
+            match self.park(self.recv_reply()?) {
+                Some(SchedReply::Location {
                     about,
                     status,
                     vmid,
-                } if about == rank => return Ok((status, vmid)),
-                // Migration verdicts crossing a lookup belong to their
-                // own waiters; park them instead of dropping them.
-                SchedReply::MigrationDone { rank: r, new_vmid } => {
-                    self.done.lock().insert(r, new_vmid);
-                }
-                SchedReply::MigrationFailed { rank: r, reason } => {
-                    self.failed.lock().insert(r, reason);
-                }
-                SchedReply::Error { reason } => return Err(reason),
+                }) if about == rank => return Ok((status, vmid)),
+                Some(SchedReply::Error { reason }) => return Err(reason),
                 _ => continue,
             }
         }
@@ -131,6 +178,13 @@ impl SchedClient {
     /// Completions and failures for other in-flight ranks observed
     /// meanwhile are buffered for their own waiters.
     pub fn wait_migration_done(&self, rank: Rank) -> Result<Vmid, String> {
+        self.wait_migration_result(rank).map_err(|e| e.to_string())
+    }
+
+    /// Typed variant of [`wait_migration_done`](Self::wait_migration_done):
+    /// a failed migration yields the scheduler's [`FailCause`] verdict
+    /// instead of its rendering.
+    pub fn wait_migration_result(&self, rank: Rank) -> Result<Vmid, FailCause> {
         if let Some(v) = self.done.lock().remove(&rank) {
             return Ok(v);
         }
@@ -138,23 +192,77 @@ impl SchedClient {
             return Err(e);
         }
         loop {
-            match self.recv_reply()? {
-                SchedReply::MigrationDone { rank: r, new_vmid } => {
-                    if r == rank {
-                        return Ok(new_vmid);
-                    }
-                    self.done.lock().insert(r, new_vmid);
+            match self.recv_reply().map_err(|e| FailCause::Aborted {
+                attempts: 0,
+                reason: e,
+            })? {
+                SchedReply::MigrationDone { rank: r, new_vmid } if r == rank => {
+                    return Ok(new_vmid);
                 }
-                SchedReply::MigrationFailed { rank: r, reason } => {
-                    if r == rank {
-                        return Err(reason);
-                    }
-                    self.failed.lock().insert(r, reason);
+                SchedReply::MigrationFailed { rank: r, cause } if r == rank => {
+                    return Err(cause);
                 }
-                SchedReply::Error { reason } => return Err(reason),
-                _ => continue,
+                other => {
+                    self.park(other);
+                }
             }
         }
+    }
+
+    /// Ask the scheduler to evacuate every running rank off `host`
+    /// through its bounded worker pool, without waiting for the verdict.
+    pub fn drain_host_async(&self, host: HostId, pool: DrainPoolConfig) -> Result<(), String> {
+        self.send(SchedRequest::HostDrain {
+            host,
+            pool,
+            reply: self.reply_tx.clone(),
+        })
+    }
+
+    /// Wait for a previously requested drain of `host` to reach its
+    /// terminal verdict. Individual migration verdicts observed
+    /// meanwhile are buffered for their own waiters.
+    pub fn wait_drain_done(&self, host: HostId) -> Result<DrainReport, FailCause> {
+        if let Some(r) = self.drained.lock().remove(&host) {
+            return r;
+        }
+        loop {
+            match self.recv_reply().map_err(|e| FailCause::Aborted {
+                attempts: 0,
+                reason: e,
+            })? {
+                SchedReply::DrainDone {
+                    host: h,
+                    outcome,
+                    per_rank,
+                } if h == host => {
+                    return Ok(DrainReport {
+                        host,
+                        outcome,
+                        per_rank,
+                    });
+                }
+                SchedReply::DrainFailed { host: h, cause } if h == host => return Err(cause),
+                other => {
+                    self.park(other);
+                }
+            }
+        }
+    }
+
+    /// Request a drain of `host` and block until every migrant reaches a
+    /// terminal disposition.
+    pub fn drain_host(
+        &self,
+        host: HostId,
+        pool: DrainPoolConfig,
+    ) -> Result<DrainReport, FailCause> {
+        self.drain_host_async(host, pool)
+            .map_err(|e| FailCause::Aborted {
+                attempts: 0,
+                reason: e,
+            })?;
+        self.wait_drain_done(host)
     }
 
     /// Ask the scheduler to stop (environment teardown).

@@ -32,7 +32,7 @@ pub mod directory;
 pub mod records;
 pub mod scheduler;
 
-pub use client::SchedClient;
+pub use client::{DrainReport, SchedClient};
 pub use directory::TwoLevelDirectory;
 pub use directory::{CentralTable, Directory, PlEntry};
 pub use records::{MigrationPhase, MigrationRecord};

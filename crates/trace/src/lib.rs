@@ -43,7 +43,9 @@ pub mod tracer;
 pub use analysis::{events_to_json, lane_stats, lane_table, LaneStats};
 pub use audit::{assert_clean, audit, AuditReport, Auditor, Violation};
 pub use event::{Event, EventKind, MsgId};
-pub use metrics::{MetricsRegistry, MigrationMetrics, MigrationVerdict, SchedulerRuling};
+pub use metrics::{
+    DrainMetrics, MetricsRegistry, MigrationMetrics, MigrationVerdict, SchedulerRuling,
+};
 pub use report::{Breakdown, JsonValue};
 pub use serial::{event_from_json, event_to_json, events_from_jsonl, events_to_jsonl};
 pub use spacetime::{MessageLine, SpaceTime};

@@ -148,6 +148,55 @@ impl SchedulerRuling {
     }
 }
 
+/// Aggregate metrics of one host drain (gang migration through the
+/// scheduler's bounded worker pool). The scheduler deposits exactly one
+/// record per drain, at the drain's terminal verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrainMetrics {
+    /// The evacuated host's id.
+    pub host: usize,
+    /// Gang size at admission.
+    pub ranks: usize,
+    /// Migrants that committed off the host.
+    pub completed: usize,
+    /// Migrants whose migration finally aborted (resumed in place).
+    pub aborted: usize,
+    /// Retry rulings issued across the gang (re-targets after
+    /// destination deaths).
+    pub retried: usize,
+    /// Real seconds from admission to the terminal verdict.
+    pub makespan_s: f64,
+    /// Configured pool width.
+    pub max_workers: usize,
+    /// Highest concurrent job count observed.
+    pub peak_active: usize,
+    /// "evacuated" or "partial".
+    pub outcome: String,
+}
+
+impl DrainMetrics {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("record".into(), JsonValue::Str("drain".into())),
+            ("host".into(), JsonValue::Num(self.host as f64)),
+            ("ranks".into(), JsonValue::Num(self.ranks as f64)),
+            ("completed".into(), JsonValue::Num(self.completed as f64)),
+            ("aborted".into(), JsonValue::Num(self.aborted as f64)),
+            ("retried".into(), JsonValue::Num(self.retried as f64)),
+            ("makespan_s".into(), JsonValue::Num(self.makespan_s)),
+            (
+                "max_workers".into(),
+                JsonValue::Num(self.max_workers as f64),
+            ),
+            (
+                "peak_active".into(),
+                JsonValue::Num(self.peak_active as f64),
+            ),
+            ("outcome".into(), JsonValue::Str(self.outcome.clone())),
+        ])
+    }
+}
+
 /// A point sample of one inbox/link queue depth.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueueDepthSample {
@@ -175,6 +224,7 @@ impl QueueDepthSample {
 pub struct MetricsRegistry {
     migrations: Mutex<Vec<MigrationMetrics>>,
     rulings: Mutex<Vec<SchedulerRuling>>,
+    drains: Mutex<Vec<DrainMetrics>>,
     queues: Mutex<Vec<QueueDepthSample>>,
     /// Injected-fault counters, keyed by fault class ("delay", "reset",
     /// "drop:conn_req", …). Ordered so exports are deterministic.
@@ -195,6 +245,12 @@ impl MetricsRegistry {
     /// Record one scheduler ruling on an in-flight migration.
     pub fn record_ruling(&self, r: SchedulerRuling) {
         self.rulings.lock().push(r);
+    }
+
+    /// Record one terminal host-drain verdict. The scheduler calls this
+    /// exactly once per drain.
+    pub fn record_drain(&self, d: DrainMetrics) {
+        self.drains.lock().push(d);
     }
 
     /// Record one queue-depth sample.
@@ -237,6 +293,11 @@ impl MetricsRegistry {
         self.rulings.lock().clone()
     }
 
+    /// Copy out the host-drain records.
+    pub fn drains(&self) -> Vec<DrainMetrics> {
+        self.drains.lock().clone()
+    }
+
     /// Copy out the queue-depth samples.
     pub fn queue_samples(&self) -> Vec<QueueDepthSample> {
         self.queues.lock().clone()
@@ -246,6 +307,7 @@ impl MetricsRegistry {
     pub fn is_empty(&self) -> bool {
         self.migrations.lock().is_empty()
             && self.rulings.lock().is_empty()
+            && self.drains.lock().is_empty()
             && self.queues.lock().is_empty()
             && self.faults.lock().is_empty()
     }
@@ -259,6 +321,9 @@ impl MetricsRegistry {
         }
         for r in self.rulings.lock().iter() {
             let _ = writeln!(out, "{}", r.to_json());
+        }
+        for d in self.drains.lock().iter() {
+            let _ = writeln!(out, "{}", d.to_json());
         }
         for q in self.queues.lock().iter() {
             let _ = writeln!(out, "{}", q.to_json());
@@ -342,6 +407,22 @@ impl MetricsRegistry {
                     .as_ref()
                     .map(|c| format!(" — {c}"))
                     .unwrap_or_default()
+            );
+        }
+        for d in self.drains.lock().iter() {
+            let _ = writeln!(
+                out,
+                "  drain host {}: {} ({} rank(s), {} completed, {} aborted, {} retried, \
+                 peak {} of {} worker(s), {:.4}s)",
+                d.host,
+                d.outcome,
+                d.ranks,
+                d.completed,
+                d.aborted,
+                d.retried,
+                d.peak_active,
+                d.max_workers,
+                d.makespan_s
             );
         }
         if !queues.is_empty() {
@@ -459,6 +540,41 @@ mod tests {
             "{}",
             reg.summary()
         );
+    }
+
+    #[test]
+    fn drain_record_exports_and_summarizes() {
+        let reg = MetricsRegistry::new();
+        reg.record_drain(DrainMetrics {
+            host: 1,
+            ranks: 8,
+            completed: 7,
+            aborted: 1,
+            retried: 3,
+            makespan_s: 0.25,
+            max_workers: 4,
+            peak_active: 4,
+            outcome: "partial".into(),
+        });
+        assert!(!reg.is_empty());
+        assert_eq!(reg.drains().len(), 1);
+        let jsonl = reg.to_jsonl();
+        let drain_lines: Vec<&str> = jsonl
+            .lines()
+            .filter(|l| l.contains("\"record\":\"drain\""))
+            .collect();
+        assert_eq!(drain_lines.len(), 1);
+        let v = JsonValue::parse(drain_lines[0]).unwrap();
+        assert_eq!(v.get("host").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("ranks").unwrap().as_u64(), Some(8));
+        assert_eq!(v.get("completed").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("aborted").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("retried").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("peak_active").unwrap().as_u64(), Some(4));
+        assert_eq!(v.get("outcome").unwrap().as_str(), Some("partial"));
+        let s = reg.summary();
+        assert!(s.contains("drain host 1: partial"), "{s}");
+        assert!(s.contains("peak 4 of 4 worker(s)"), "{s}");
     }
 
     #[test]

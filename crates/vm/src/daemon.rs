@@ -48,6 +48,17 @@ pub enum DaemonMsg {
         /// New flag value.
         on: bool,
     },
+    /// Set/clear the host-wide draining flag. While draining, conn_reqs
+    /// addressed to pids at or above `from_pid` — processes placed
+    /// *after* the evacuation began, which admission control should
+    /// have prevented — are nacked instead of routed. Processes already
+    /// on the host keep accepting connections so the gang's RML drains
+    /// stay live.
+    SetDraining {
+        /// `Some(pid)`: drain mode, rejecting targets with `pid >=`
+        /// this allocation watermark. `None`: clear the flag.
+        from_pid: Option<u32>,
+    },
     /// A local process terminated: nack everything pending for it.
     ProcessExited(Vmid),
     /// Host leave: nack everything and stop.
@@ -83,6 +94,9 @@ struct DaemonState {
     pending: HashMap<u64, ConnReqMsg>,
     /// Local processes currently refusing connections.
     rejecting: HashSet<Vmid>,
+    /// Drain watermark: while `Some(p)`, targets with `pid >= p` are
+    /// nacked (the host is being evacuated; nothing may be placed on it).
+    draining_from: Option<u32>,
 }
 
 impl DaemonState {
@@ -127,6 +141,12 @@ impl DaemonState {
 
     fn route(&mut self, req: ConnReqMsg) {
         debug_assert_eq!(req.target.host, self.host, "misrouted conn_req");
+        if self.draining_from.is_some_and(|p| req.target.pid >= p) {
+            // The host is draining and the target was (or would be)
+            // placed after the evacuation began: refuse it outright.
+            self.nack(&req);
+            return;
+        }
         if self.rejecting.contains(&req.target) {
             // The migrating process told us to reject all future
             // requests (Fig 5 line 4).
@@ -232,6 +252,7 @@ pub fn spawn_daemon(
         faults,
         pending: HashMap::new(),
         rejecting: HashSet::new(),
+        draining_from: None,
     };
     thread::Builder::new()
         .name(format!("snow-daemon-{}", host.0))
@@ -247,6 +268,7 @@ pub fn spawn_daemon(
                             state.rejecting.remove(&vmid);
                         }
                     }
+                    DaemonMsg::SetDraining { from_pid } => state.draining_from = from_pid,
                     DaemonMsg::ProcessExited(vmid) => state.process_exited(vmid),
                     DaemonMsg::Shutdown => {
                         state.shutdown();

@@ -12,7 +12,7 @@ use parking_lot::{Mutex, RwLock};
 use snow_net::{LinkModel, TimeScale};
 use snow_trace::Tracer;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -85,6 +85,9 @@ struct HostEntry {
     spec: HostSpec,
     daemon: DaemonHandle,
     next_pid: AtomicU32,
+    /// Set while the host is being evacuated: no new vmids may be
+    /// allocated on it (admission control for the drain engine).
+    draining: AtomicBool,
 }
 
 /// Environment state shared by every process, daemon and the scheduler.
@@ -156,6 +159,32 @@ impl VmShared {
             None => false,
         }
     }
+
+    /// Mark `host` as draining (or clear the mark). While draining no
+    /// new vmid can be allocated on the host — placements and inbound
+    /// migrations are refused — and the host's daemon nacks connection
+    /// requests addressed to processes placed after the mark was set
+    /// (there should be none; the daemon flag is the backstop). Returns
+    /// `false` when the host is not a member.
+    pub fn set_host_draining(&self, host: HostId, on: bool) -> bool {
+        let entry = match self.hosts.read().get(&host) {
+            Some(e) => Arc::clone(e),
+            None => return false,
+        };
+        entry.draining.store(on, Ordering::SeqCst);
+        entry.daemon.send(DaemonMsg::SetDraining {
+            from_pid: on.then(|| entry.next_pid.load(Ordering::SeqCst)),
+        });
+        true
+    }
+
+    /// Is `host` currently being evacuated?
+    pub fn host_is_draining(&self, host: HostId) -> bool {
+        self.hosts
+            .read()
+            .get(&host)
+            .is_some_and(|e| e.draining.load(Ordering::SeqCst))
+    }
 }
 
 /// A running virtual machine environment.
@@ -208,6 +237,7 @@ impl VirtualMachine {
                 spec,
                 daemon,
                 next_pid: AtomicU32::new(0),
+                draining: AtomicBool::new(false),
             }),
         );
         id
@@ -261,10 +291,25 @@ impl VirtualMachine {
         self.shared.faults.clear();
     }
 
+    /// Mark `host` as draining (or clear the mark); see
+    /// [`VmShared::set_host_draining`].
+    pub fn set_host_draining(&self, host: HostId, on: bool) -> bool {
+        self.shared.set_host_draining(host, on)
+    }
+
+    /// Is `host` currently being evacuated?
+    pub fn host_is_draining(&self, host: HostId) -> bool {
+        self.shared.host_is_draining(host)
+    }
+
     /// Allocate a vmid on a host without spawning (used by tests).
+    /// Refused (like [`VirtualMachine::spawn`]) while the host drains.
     pub fn allocate_vmid(&self, host: HostId) -> Option<Vmid> {
         let hosts = self.shared.hosts.read();
         let entry = hosts.get(&host)?;
+        if entry.draining.load(Ordering::SeqCst) {
+            return None;
+        }
         Some(Vmid {
             host,
             pid: entry.next_pid.fetch_add(1, Ordering::Relaxed),

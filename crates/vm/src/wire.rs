@@ -194,6 +194,130 @@ pub enum ExeStatus {
     Terminated,
 }
 
+/// Why a migration could not be started or could not be completed.
+///
+/// Typed so the drain engine and tests branch on causes structurally;
+/// the [`std::fmt::Display`] form preserves the historical phrasing
+/// harnesses grep for ("unknown rank", "not a member", "aborted", …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailCause {
+    /// The rank was never registered.
+    UnknownRank,
+    /// The rank exists but is not [`ExeStatus::Running`].
+    NotRunning(ExeStatus),
+    /// A migration of the rank is already in flight.
+    AlreadyMigrating,
+    /// The requested destination host is not a member.
+    HostNotMember(crate::ids::HostId),
+    /// The requested destination host is being evacuated; admission
+    /// control refuses new migrations onto it.
+    HostDraining(crate::ids::HostId),
+    /// The source process terminated before the migration signal landed.
+    SourceTerminated,
+    /// A host drain was asked to move more ranks than its worker pool
+    /// plus job queue can hold.
+    DrainOverflow {
+        /// Ranks the drain would have to move.
+        ranks: usize,
+        /// `max_workers + job_queue_size` of the rejected request.
+        capacity: usize,
+    },
+    /// No live, non-draining destination host exists for the migrant.
+    NoDestination,
+    /// Every transfer attempt failed; the migration rolled back.
+    Aborted {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The last attempt's failure description.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for FailCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailCause::UnknownRank => write!(f, "unknown rank"),
+            FailCause::NotRunning(status) => write!(f, "not running ({status:?})"),
+            FailCause::AlreadyMigrating => write!(f, "already migrating"),
+            FailCause::HostNotMember(h) => write!(f, "host {h} is not a member"),
+            FailCause::HostDraining(h) => write!(f, "host {h} is draining"),
+            FailCause::SourceTerminated => write!(f, "terminated before migration"),
+            FailCause::DrainOverflow { ranks, capacity } => {
+                write!(
+                    f,
+                    "drain of {ranks} rank(s) exceeds pool capacity {capacity}"
+                )
+            }
+            FailCause::NoDestination => write!(f, "no live destination host"),
+            FailCause::Aborted { attempts, reason } => {
+                write!(f, "aborted after {attempts} attempt(s): {reason}")
+            }
+        }
+    }
+}
+
+/// Worker-pool shape of a host drain ([`SchedRequest::HostDrain`]): at
+/// most `max_workers` migrations run concurrently, the rest wait in a
+/// bounded job queue, and per-rank verdicts accumulate in a bounded
+/// result queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrainPoolConfig {
+    /// Concurrent migration jobs (pool width).
+    pub max_workers: usize,
+    /// Ranks that may wait behind the pool; a drain needing more than
+    /// `max_workers + job_queue_size` slots is rejected up front.
+    pub job_queue_size: usize,
+    /// Per-rank verdicts retained in the terminal report; beyond this
+    /// the report only counts them.
+    pub res_queue_size: usize,
+    /// Emit a progress trace event and a pool-occupancy sample every
+    /// period while the drain runs. Zero disables progress logging.
+    pub progress_log_period: std::time::Duration,
+}
+
+impl Default for DrainPoolConfig {
+    fn default() -> Self {
+        DrainPoolConfig {
+            max_workers: 4,
+            job_queue_size: 64,
+            res_queue_size: 64,
+            progress_log_period: std::time::Duration::ZERO,
+        }
+    }
+}
+
+/// Terminal verdict of a host drain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DrainOutcome {
+    /// Every co-located rank migrated off the host.
+    Evacuated {
+        /// Ranks moved.
+        completed: usize,
+        /// Retry rulings issued across the gang (re-targets after a
+        /// destination death).
+        retried: usize,
+    },
+    /// The drain terminated, but some migrants rolled back in place.
+    PartiallyEvacuated {
+        /// Ranks moved.
+        completed: usize,
+        /// Ranks whose migration finally aborted (they resume on the
+        /// draining host).
+        aborted: usize,
+        /// Retry rulings issued across the gang.
+        retried: usize,
+    },
+}
+
+/// How one migrant of a drain gang ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DrainRankResult {
+    /// Migrated off the host; now lives at the reported vmid.
+    Completed(Vmid),
+    /// Rolled back in place for the reported cause.
+    Aborted(FailCause),
+}
+
 /// Requests processes send to the scheduler.
 #[derive(Debug, Clone)]
 pub enum SchedRequest {
@@ -252,6 +376,19 @@ pub enum SchedRequest {
         /// Why the transfer failed (bookkeeping + requester's error).
         reason: String,
         /// The migrating process's inbox for the decision.
+        reply: PostSender<Incoming>,
+    },
+    /// Evacuate every running rank co-located on `host`: the scheduler
+    /// expands the request into a gang of per-rank migration jobs fed
+    /// through a bounded worker pool, and drives the drain to a
+    /// terminal [`SchedReply::DrainDone`] (or rejects it up front with
+    /// [`SchedReply::DrainFailed`]).
+    HostDrain {
+        /// The host being evacuated.
+        host: crate::ids::HostId,
+        /// Worker-pool shape for the gang.
+        pool: DrainPoolConfig,
+        /// Requester's inbox for the terminal verdict.
         reply: PostSender<Incoming>,
     },
     /// A process announces its termination so lookups report
@@ -338,8 +475,27 @@ pub enum SchedReply {
     MigrationFailed {
         /// The rank whose migration failed.
         rank: Rank,
-        /// Human-readable cause.
-        reason: String,
+        /// Typed cause (render with `Display` for the historical
+        /// human-readable phrasing).
+        cause: FailCause,
+    },
+    /// Terminal verdict of a [`SchedRequest::HostDrain`]: the gang ran
+    /// to completion (possibly with per-rank aborts).
+    DrainDone {
+        /// The drained host.
+        host: crate::ids::HostId,
+        /// Aggregate verdict.
+        outcome: DrainOutcome,
+        /// Per-rank verdicts, capped at the request's `res_queue_size`
+        /// (the outcome's counters always cover the whole gang).
+        per_rank: Vec<(Rank, DrainRankResult)>,
+    },
+    /// A [`SchedRequest::HostDrain`] was rejected before any job ran.
+    DrainFailed {
+        /// The host the rejected request named.
+        host: crate::ids::HostId,
+        /// Why the drain was refused.
+        cause: FailCause,
     },
     /// The scheduler could not satisfy a request (unknown rank, no such
     /// host, migration already in flight).

@@ -127,6 +127,7 @@ fn corrupted_chunk_retries_on_alternate_host() {
         .migration_retry(RetryPolicy {
             max_attempts: 3,
             backoff: Duration::from_millis(2),
+            ..RetryPolicy::default()
         })
         .build();
     let target = comp.hosts()[2];

@@ -1,0 +1,281 @@
+//! Host evacuation end-to-end: a gang of co-located ranks is drained
+//! through the bounded worker pool, under quiet skies and under a
+//! destination-host kill mid-gang. Every run is audited against the §4
+//! guarantees and its logs exported for the offline CI audit pass.
+
+use bytes::Bytes;
+use snow_bench::chaos::{run_drain_scenario, DrainScenario};
+use snow_core::{
+    Computation, DrainOutcome, DrainPoolConfig, DrainRankResult, MigrationOutcome, RetryPolicy,
+    Start,
+};
+use snow_net::{FaultPlan, FaultSpec, LinkSel, TimeScale};
+use snow_state::{ExecState, MemoryGraph, ProcessState};
+use snow_trace::serial::events_to_jsonl;
+use snow_trace::Tracer;
+use snow_vm::HostSpec;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Export the event log (and metrics) under `target/audit-logs/` where
+/// `snow-bench audit --dir` and CI pick them up, then assert the online
+/// §4 audit is clean.
+fn audit_and_export(tracer: &Arc<Tracer>, name: &str) {
+    let dir = std::path::PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../target/audit-logs"
+    ));
+    std::fs::create_dir_all(&dir).expect("create target/audit-logs");
+    let events = tracer.snapshot();
+    std::fs::write(
+        dir.join(format!("{name}.events.jsonl")),
+        events_to_jsonl(&events),
+    )
+    .expect("write event log JSONL");
+    let metrics = tracer.metrics();
+    if !metrics.is_empty() {
+        std::fs::write(
+            dir.join(format!("{name}.metrics.jsonl")),
+            metrics.to_jsonl(),
+        )
+        .expect("write metrics JSONL");
+    }
+    let report = snow_trace::audit::audit(&events);
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+/// A quiet evacuation: 8 co-located ranks with ring traffic drain
+/// through a 3-wide pool, every migrant commits off the host, and the
+/// scheduler deposits exactly one terminal `"record":"drain"` metrics
+/// record for the whole gang.
+#[test]
+fn evacuation_commits_whole_gang_and_exports_one_drain_record() {
+    const RANKS: usize = 8;
+    let tracer = Tracer::new();
+    let comp = Computation::builder()
+        .hosts(HostSpec::ideal(), 4)
+        .tracer(Arc::clone(&tracer))
+        .build();
+    let src_host = comp.hosts()[1];
+
+    // Ranks rendezvous by spinning on `probe` (which keeps granting
+    // gang-mates' conn_reqs) rather than parking, so nobody wedges a
+    // straggler's connection handshake.
+    let ready = Arc::new(AtomicUsize::new(0));
+    let gate = Arc::clone(&ready);
+    let placement = vec![src_host; RANKS];
+    let handles = comp.launch_placed(&placement, move |mut p, start| {
+        let me = p.rank();
+        match start {
+            Start::Fresh => {
+                // Ring traffic: one message on to the right, one in from
+                // the left; the tail crosses the migration via the RML.
+                p.send((me + 1) % RANKS, 1, Bytes::from_static(b"pre"))
+                    .unwrap();
+                p.send((me + 1) % RANKS, 2, Bytes::from_static(b"tail"))
+                    .unwrap();
+                let (_s, t, _b) = p.recv(None, Some(1)).unwrap();
+                assert_eq!(t, 1);
+                gate.fetch_add(1, Ordering::SeqCst);
+                while gate.load(Ordering::SeqCst) < RANKS {
+                    p.probe(None, None).unwrap();
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                while !p.await_migration_request(Duration::from_secs(5)).unwrap() {}
+                match p
+                    .migrate(&ProcessState::new(
+                        ExecState::at_entry(),
+                        MemoryGraph::new(),
+                    ))
+                    .unwrap()
+                {
+                    MigrationOutcome::Completed(_) => {}
+                    MigrationOutcome::Aborted(_) => {
+                        panic!("rank {me}: no faults, the migration must commit")
+                    }
+                }
+            }
+            Start::Resumed(_) => {
+                let (_s, t, _b) = p.recv(None, Some(2)).unwrap();
+                assert_eq!(t, 2);
+                p.finish();
+            }
+        }
+    });
+
+    while ready.load(Ordering::SeqCst) < RANKS {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let report = comp
+        .drain_host(
+            src_host,
+            DrainPoolConfig {
+                max_workers: 3,
+                job_queue_size: 16,
+                res_queue_size: 16,
+                progress_log_period: Duration::from_millis(20),
+            },
+        )
+        .expect("the drain reaches a terminal outcome");
+    assert_eq!(
+        report.outcome,
+        DrainOutcome::Evacuated {
+            completed: RANKS,
+            retried: 0
+        }
+    );
+    assert_eq!(report.per_rank.len(), RANKS);
+    for (rank, res) in &report.per_rank {
+        match res {
+            DrainRankResult::Completed(v) => {
+                assert_ne!(v.host, src_host, "rank {rank} still on the drained host")
+            }
+            other => panic!("rank {rank}: expected Completed, got {other:?}"),
+        }
+    }
+
+    for h in handles {
+        h.join().unwrap();
+    }
+    comp.join_init_processes();
+    comp.shutdown();
+    audit_and_export(&tracer, "host_drain_quiet");
+
+    // Satellite guarantee: one drain, exactly one terminal record.
+    let drains = tracer.metrics().drains();
+    assert_eq!(drains.len(), 1, "one terminal record per drain: {drains:?}");
+    assert_eq!(drains[0].ranks, RANKS);
+    assert_eq!(drains[0].completed, RANKS);
+    assert_eq!(drains[0].outcome, "evacuated");
+    let jsonl = tracer.metrics().to_jsonl();
+    assert_eq!(
+        jsonl
+            .lines()
+            .filter(|l| l.contains("\"record\":\"drain\""))
+            .count(),
+        1,
+        "exactly one drain line in the JSONL export"
+    );
+}
+
+/// The acceptance scenario: 9 co-located ranks with all-pairs traffic
+/// are evacuated through a bounded pool while the first destination
+/// host is ripped out mid-gang, under datagram drops and link jitter.
+/// The drain still terminates with a verdict, every migrant either
+/// commits (possibly re-targeted onto a surviving host) or aborts
+/// cleanly back onto the source, and the §4 audit stays clean.
+#[test]
+fn evacuation_survives_destination_kill_mid_gang() {
+    const RANKS: usize = 9;
+    let sc = DrainScenario {
+        seed: 42,
+        ranks: RANKS,
+        dests: 3,
+        msgs: (0..RANKS)
+            .map(|s| (0..RANKS).map(|d| ((s + 2 * d) % 4) as u8).collect())
+            .collect(),
+        consume_frac: 60,
+        max_workers: 3,
+        kill_dest: true,
+        plan: FaultPlan::new(42).rule(LinkSel::Any, FaultSpec::none().jitter(0.2, 0.5).drops(0.15)),
+    };
+    let run = run_drain_scenario(&sc);
+
+    let report = snow_trace::audit::audit(&run.events);
+    assert!(report.is_clean(), "{}", report.render());
+    assert!(
+        !run.verdict.starts_with("drain failed"),
+        "no terminal verdict: {}",
+        run.verdict
+    );
+    assert_eq!(
+        run.completed + run.aborted,
+        RANKS,
+        "gang accounting broken: {} completed + {} aborted != {RANKS} ranks",
+        run.completed,
+        run.aborted
+    );
+    assert_eq!(run.drain_records, 1, "one terminal record per drain");
+
+    // The log feeds the same offline audit CI runs over the directory.
+    let dir = std::path::PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../target/audit-logs"
+    ));
+    std::fs::create_dir_all(&dir).expect("create target/audit-logs");
+    std::fs::write(
+        dir.join("host_drain_chaos.events.jsonl"),
+        events_to_jsonl(&run.events),
+    )
+    .expect("write event log JSONL");
+}
+
+/// Even with a pool narrower than the gang, a retry policy, and the
+/// kill landing between waves, the digest (canonical delivery lanes) is
+/// a pure function of the scenario: §4's zero-loss + FIFO guarantees
+/// pin what every receiver consumed regardless of which migrants
+/// retried.
+#[test]
+fn drain_chaos_digest_is_reproducible() {
+    let sc = DrainScenario::generate(3);
+    let a = run_drain_scenario(&sc);
+    let b = run_drain_scenario(&sc);
+    assert_eq!(a.digest, b.digest, "delivery lanes diverged across reruns");
+}
+
+/// The quiet-sky evacuation above leaves no retry policy installed; the
+/// chaos runs install one. Either way the scheduler's gang accounting
+/// must match the per-rank results it reports.
+#[test]
+fn drain_report_accounting_matches_outcome() {
+    let tracer = Tracer::new();
+    let comp = Computation::builder()
+        .hosts(HostSpec::ideal(), 3)
+        .tracer(Arc::clone(&tracer))
+        .time_scale(TimeScale::ZERO)
+        .migration_retry(RetryPolicy {
+            max_attempts: 2,
+            backoff: Duration::from_millis(1),
+            ..RetryPolicy::default()
+        })
+        .build();
+    let src_host = comp.hosts()[1];
+    let handles = comp.launch_placed(&[src_host, src_host], move |mut p, start| match start {
+        Start::Fresh => {
+            while !p.await_migration_request(Duration::from_secs(5)).unwrap() {}
+            let _ = p.migrate(&ProcessState::empty()).unwrap();
+        }
+        Start::Resumed(_) => p.finish(),
+    });
+    let report = comp
+        .drain_host(
+            src_host,
+            DrainPoolConfig {
+                max_workers: 2,
+                job_queue_size: 4,
+                res_queue_size: 4,
+                progress_log_period: Duration::from_millis(20),
+            },
+        )
+        .expect("terminal outcome");
+    let (completed, aborted) = match report.outcome {
+        DrainOutcome::Evacuated { completed, .. } => (completed, 0),
+        DrainOutcome::PartiallyEvacuated {
+            completed, aborted, ..
+        } => (completed, aborted),
+    };
+    let done = report
+        .per_rank
+        .iter()
+        .filter(|(_, r)| matches!(r, DrainRankResult::Completed(_)))
+        .count();
+    assert_eq!(done, completed);
+    assert_eq!(report.per_rank.len() - done, aborted);
+    for h in handles {
+        h.join().unwrap();
+    }
+    comp.join_init_processes();
+    comp.shutdown();
+    audit_and_export(&tracer, "host_drain_accounting");
+}

@@ -279,6 +279,7 @@ fn run_scenario_faulted(sc: &Scenario, plan: &FaultPlan) -> Result<(), TestCaseE
         .migration_retry(RetryPolicy {
             max_attempts: 3,
             backoff: Duration::from_millis(10),
+            ..RetryPolicy::default()
         })
         .fault_plan(plan.clone())
         .build();

@@ -1,0 +1,140 @@
+//! `snow-bench scale` — run the delivery-substrate scale suite and emit
+//! the schema'd `BENCH_scale.json` baseline.
+//!
+//! Both scenarios (all-pairs flood, migration-under-load) run at every
+//! requested rank count; see `snow_bench::scale` for what each
+//! measures. `--smoke` shrinks the budgets for CI; `--validate FILE`
+//! skips the runs and only schema-checks an existing document (the CI
+//! `bench-smoke` gate).
+//!
+//! Usage:
+//!   cargo run -p snow-bench --release --bin scale
+//!   cargo run -p snow-bench --release --bin scale -- --ranks 256 --smoke
+//!   cargo run -p snow-bench --release --bin scale -- --ranks 256,1000,5000 --out BENCH_scale.json
+//!   cargo run -p snow-bench --bin scale -- --validate BENCH_scale.json
+
+use snow_bench::scale::{
+    emit_document, run_flood, run_migration_under_load, validate_document, FloodConfig,
+    MigrationLoadConfig, ScaleRecord,
+};
+use snow_trace::report::JsonValue;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: scale [--ranks N[,N...]] [--smoke] [--out FILE] [--validate FILE]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut ranks: Vec<usize> = Vec::new();
+    let mut smoke = false;
+    let mut out = PathBuf::from("BENCH_scale.json");
+    let mut validate: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--ranks" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                for part in spec.split(',') {
+                    match part.trim().parse::<usize>() {
+                        Ok(n) if n >= 4 => ranks.push(n),
+                        _ => usage(),
+                    }
+                }
+            }
+            "--smoke" => smoke = true,
+            "--out" => out = PathBuf::from(args.next().unwrap_or_else(|| usage())),
+            "--validate" => validate = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            _ => usage(),
+        }
+    }
+
+    if let Some(path) = validate {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("scale: cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let doc = match JsonValue::parse(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("scale: {} is not JSON: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        return match validate_document(&doc) {
+            Ok(()) => {
+                println!("{}: valid snow-bench-scale document", path.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("scale: {} fails schema: {e}", path.display());
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if ranks.is_empty() {
+        ranks = vec![256, 1000, 5000];
+    }
+
+    let mut records: Vec<ScaleRecord> = Vec::new();
+    for &n in &ranks {
+        let cfg = if smoke {
+            FloodConfig::smoke(n)
+        } else {
+            FloodConfig::standard(n)
+        };
+        eprintln!(
+            "scale: flood ranks={n} fanout={} msgs={}",
+            cfg.fanout(),
+            n as u64 * cfg.fanout() as u64 * cfg.msgs_per_pair()
+        );
+        let rec = run_flood(&cfg);
+        eprintln!(
+            "scale:   {:.0} msgs/s  p50 {:.1} us  p99 {:.1} us  wall {:.2} s",
+            rec.msgs_per_sec, rec.p50_latency_us, rec.p99_latency_us, rec.wall_s
+        );
+        records.push(rec);
+
+        let cfg = if smoke {
+            MigrationLoadConfig::smoke(n)
+        } else {
+            MigrationLoadConfig::standard(n)
+        };
+        eprintln!(
+            "scale: migration-under-load ranks={n} rounds={} traced={}",
+            cfg.rounds, cfg.trace
+        );
+        let rec = run_migration_under_load(&cfg);
+        eprintln!(
+            "scale:   {:.0} msgs/s  pause {:.1} ms (trace {})  audit {}",
+            rec.msgs_per_sec,
+            rec.pause_ms.unwrap_or(0.0),
+            rec.pause_trace_ms
+                .map_or("n/a".into(), |p| format!("{p:.1} ms")),
+            rec.audit_clean.map_or("n/a".into(), |c| c.to_string()),
+        );
+        if rec.audit_clean == Some(false) {
+            eprintln!("scale: §4 AUDIT VIOLATION at {n} ranks — not emitting a dirty baseline");
+            return ExitCode::FAILURE;
+        }
+        records.push(rec);
+    }
+
+    let doc = emit_document(&records, smoke);
+    if let Err(e) = validate_document(&doc) {
+        eprintln!("scale: emitted document fails its own schema: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&out, format!("{doc}\n")) {
+        eprintln!("scale: cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("{}: {} records", out.display(), records.len());
+    ExitCode::SUCCESS
+}

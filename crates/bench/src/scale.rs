@@ -1,0 +1,837 @@
+//! `snow-bench scale` — the delivery-substrate scale suite.
+//!
+//! Two scenarios, each run at a sweep of rank counts (256 / 1k / 5k by
+//! default), emitting one schema'd record apiece into
+//! `BENCH_scale.json` (`snow-bench-scale/v1`) so the perf trajectory
+//! of the substrate is tracked from this PR forward:
+//!
+//! * **all-pairs flood** — drives the post office, the sharded
+//!   registry and the O(1) rank directory directly (no application
+//!   protocol): every rank sends to a stride-sampled set of peers
+//!   (all pairs when the budget allows), worker threads doing the
+//!   directory lookup → registry borrow → `send` per message while
+//!   receiver threads drain the inboxes. Messages carry an
+//!   epoch-relative nanosecond stamp, so delivery latency is measured
+//!   end to end through the real lookup+delivery path.
+//! * **migration-under-load** — a real [`Computation`] ring (rank r →
+//!   r+1) with co-located ranks on a fixed host pool; one mid-ring
+//!   rank migrates to a spare host mid-run. Records steady-state
+//!   throughput/latency plus the migration pause (wall time of the
+//!   blocking migrate call, and the trace-derived start→commit
+//!   interval when tracing is on). At ≤ 1k ranks the run is traced and
+//!   audited against the §4 guarantees.
+//!
+//! Latency quantiles come from a log-bucketed histogram
+//! ([`LatencyHistogram`]) so the 5k-rank flood never holds millions of
+//! raw samples.
+
+use bytes::Bytes;
+use snow_core::{Computation, SnowProcess, Start};
+use snow_net::{FrameClass, LinkModel, TimeScale};
+use snow_sched::{Directory, IndexedDirectory, PlEntry};
+use snow_state::{ExecState, MemoryGraph, ProcessState};
+use snow_trace::report::JsonValue;
+use snow_trace::{audit, EventKind, Tracer};
+use snow_vm::vm::{ProcAddr, Registry};
+use snow_vm::wire::{Envelope, ExeStatus, Incoming, Payload, ENVELOPE_OVERHEAD_BYTES};
+use snow_vm::{HostId, HostSpec, Post, Vmid};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Schema tag stamped into every emitted document.
+pub const SCHEMA: &str = "snow-bench-scale/v1";
+
+// ---------------------------------------------------------------------
+// latency histogram
+// ---------------------------------------------------------------------
+
+/// Log-bucketed latency histogram: bucket `i` holds samples whose
+/// nanosecond value has its highest set bit at position `i-1` (bucket 0
+/// is exactly zero). Quantiles interpolate linearly inside a bucket —
+/// a few percent of error at worst, which is far below run-to-run
+/// noise, for O(1) memory at any message count.
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; 65],
+    count: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: [0; 65],
+            count: 0,
+        }
+    }
+
+    /// Record one sample (nanoseconds).
+    pub fn record(&mut self, ns: u64) {
+        let idx = 64 - ns.leading_zeros() as usize;
+        self.buckets[idx] += 1;
+        self.count += 1;
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The `q`-quantile (0..=1) in nanoseconds, interpolated inside the
+    /// winning bucket. Zero when empty.
+    pub fn quantile_ns(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= target {
+                if i == 0 {
+                    return 0.0;
+                }
+                let lo = (1u128 << (i - 1)) as f64;
+                let hi = (1u128 << i) as f64;
+                let frac = (target - seen) as f64 / n as f64;
+                return lo + frac * (hi - lo);
+            }
+            seen += n;
+        }
+        (1u128 << 64) as f64
+    }
+}
+
+// ---------------------------------------------------------------------
+// records
+// ---------------------------------------------------------------------
+
+/// One scenario measurement, serialised as one element of the
+/// `records` array in `BENCH_scale.json`.
+#[derive(Debug, Clone)]
+pub struct ScaleRecord {
+    /// `"all_pairs_flood"` or `"migration_under_load"`.
+    pub scenario: &'static str,
+    /// Rank count the scenario ran at.
+    pub ranks: usize,
+    /// Messages delivered.
+    pub msgs: u64,
+    /// Wire bytes moved (payload + envelope overhead per message).
+    pub bytes_moved: u64,
+    /// Wall-clock seconds of the measured window.
+    pub wall_s: f64,
+    /// Delivered messages per wall second.
+    pub msgs_per_sec: f64,
+    /// Median delivery latency, microseconds.
+    pub p50_latency_us: f64,
+    /// 99th-percentile delivery latency, microseconds.
+    pub p99_latency_us: f64,
+    /// Aggregate staged high-water mark over every inbox (satellite:
+    /// the PR 3 queue-depth accounting, summed across the sharded
+    /// post office).
+    pub staged_high_water: u64,
+    /// Destinations each rank flooded (flood only; `ranks - 1` means
+    /// true all-pairs).
+    pub fanout: Option<usize>,
+    /// Ring rounds (migration scenario only).
+    pub rounds: Option<u64>,
+    /// Wall milliseconds the blocking migrate call took (migration
+    /// scenario only): request → transfer → commit.
+    pub pause_ms: Option<f64>,
+    /// Trace-derived MigrationStart → MigrationCommit interval in
+    /// milliseconds (traced migration runs only).
+    pub pause_trace_ms: Option<f64>,
+    /// §4 audit verdict (traced migration runs only).
+    pub audit_clean: Option<bool>,
+}
+
+impl ScaleRecord {
+    /// This record as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        let opt_num = |v: Option<f64>| v.map_or(JsonValue::Null, JsonValue::Num);
+        JsonValue::Object(vec![
+            ("scenario".into(), JsonValue::Str(self.scenario.into())),
+            ("ranks".into(), JsonValue::Num(self.ranks as f64)),
+            ("msgs".into(), JsonValue::Num(self.msgs as f64)),
+            (
+                "bytes_moved".into(),
+                JsonValue::Num(self.bytes_moved as f64),
+            ),
+            ("wall_s".into(), JsonValue::Num(self.wall_s)),
+            ("msgs_per_sec".into(), JsonValue::Num(self.msgs_per_sec)),
+            ("p50_latency_us".into(), JsonValue::Num(self.p50_latency_us)),
+            ("p99_latency_us".into(), JsonValue::Num(self.p99_latency_us)),
+            (
+                "staged_high_water".into(),
+                JsonValue::Num(self.staged_high_water as f64),
+            ),
+            (
+                "fanout".into(),
+                self.fanout
+                    .map_or(JsonValue::Null, |f| JsonValue::Num(f as f64)),
+            ),
+            (
+                "rounds".into(),
+                self.rounds
+                    .map_or(JsonValue::Null, |r| JsonValue::Num(r as f64)),
+            ),
+            ("pause_ms".into(), opt_num(self.pause_ms)),
+            ("pause_trace_ms".into(), opt_num(self.pause_trace_ms)),
+            (
+                "audit_clean".into(),
+                self.audit_clean.map_or(JsonValue::Null, JsonValue::Bool),
+            ),
+        ])
+    }
+}
+
+/// Wrap records into the full `snow-bench-scale/v1` document.
+pub fn emit_document(records: &[ScaleRecord], smoke: bool) -> JsonValue {
+    let created = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    JsonValue::Object(vec![
+        ("schema".into(), JsonValue::Str(SCHEMA.into())),
+        ("created_unix".into(), JsonValue::Num(created as f64)),
+        ("smoke".into(), JsonValue::Bool(smoke)),
+        (
+            "records".into(),
+            JsonValue::Array(records.iter().map(ScaleRecord::to_json).collect()),
+        ),
+    ])
+}
+
+/// Validate a parsed `BENCH_scale.json` document against the
+/// `snow-bench-scale/v1` schema: the CI `bench-smoke` gate. Checks the
+/// schema tag, that at least one record of *each* scenario is present,
+/// and that every record carries the required numeric fields
+/// (throughput, both latency quantiles, bytes moved — and a pause for
+/// migration records).
+pub fn validate_document(doc: &JsonValue) -> Result<(), String> {
+    let schema = doc
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing schema tag")?;
+    if schema != SCHEMA {
+        return Err(format!("schema {schema:?}, expected {SCHEMA:?}"));
+    }
+    let records = doc
+        .get("records")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing records array")?;
+    if records.is_empty() {
+        return Err("records array is empty".into());
+    }
+    let mut seen_flood = false;
+    let mut seen_migration = false;
+    for (i, rec) in records.iter().enumerate() {
+        let ctx = |field: &str| format!("record {i}: bad or missing {field}");
+        let scenario = rec
+            .get("scenario")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| ctx("scenario"))?;
+        match scenario {
+            "all_pairs_flood" => seen_flood = true,
+            "migration_under_load" => seen_migration = true,
+            other => return Err(format!("record {i}: unknown scenario {other:?}")),
+        }
+        let num = |field: &str| -> Result<f64, String> {
+            rec.get(field)
+                .and_then(JsonValue::as_f64)
+                .filter(|v| v.is_finite() && *v >= 0.0)
+                .ok_or_else(|| ctx(field))
+        };
+        if num("ranks")? < 1.0 {
+            return Err(ctx("ranks"));
+        }
+        if num("msgs")? < 1.0 {
+            return Err(ctx("msgs"));
+        }
+        if num("msgs_per_sec")? <= 0.0 {
+            return Err(ctx("msgs_per_sec"));
+        }
+        num("bytes_moved")?;
+        num("wall_s")?;
+        num("p50_latency_us")?;
+        num("p99_latency_us")?;
+        num("staged_high_water")?;
+        if scenario == "migration_under_load" && num("pause_ms").is_err() {
+            return Err(format!("record {i}: migration record without pause_ms"));
+        }
+    }
+    if !seen_flood {
+        return Err("no all_pairs_flood record".into());
+    }
+    if !seen_migration {
+        return Err("no migration_under_load record".into());
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// scenario 1: all-pairs flood
+// ---------------------------------------------------------------------
+
+/// Parameters of one flood run.
+#[derive(Debug, Clone, Copy)]
+pub struct FloodConfig {
+    /// Rank count.
+    pub ranks: usize,
+    /// Total message budget; fanout and per-pair counts derive from it.
+    pub budget_msgs: u64,
+    /// Payload bytes per message (≥ 8 for the timestamp).
+    pub payload_bytes: usize,
+    /// Sender/receiver worker threads per side.
+    pub workers: usize,
+}
+
+impl FloodConfig {
+    /// The standard sweep entry for `ranks` (2M-message budget, 64 B
+    /// payloads, worker count matched to the machine).
+    pub fn standard(ranks: usize) -> Self {
+        FloodConfig {
+            ranks,
+            budget_msgs: 2_000_000,
+            payload_bytes: 64,
+            workers: default_workers(),
+        }
+    }
+
+    /// CI smoke variant: same shape, 1/20 the budget.
+    pub fn smoke(ranks: usize) -> Self {
+        FloodConfig {
+            budget_msgs: 100_000,
+            ..Self::standard(ranks)
+        }
+    }
+
+    /// Destinations per source rank: all pairs when the budget covers
+    /// them, stride-sampled otherwise.
+    pub fn fanout(&self) -> usize {
+        let per_rank = (self.budget_msgs / self.ranks as u64).max(1) as usize;
+        per_rank.min(self.ranks - 1)
+    }
+
+    /// Messages per (source, destination) pair.
+    pub fn msgs_per_pair(&self) -> u64 {
+        (self.budget_msgs / (self.ranks as u64 * self.fanout() as u64)).max(1)
+    }
+}
+
+fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get() / 2)
+        .unwrap_or(4)
+        .clamp(2, 8)
+}
+
+/// Cap on in-flight messages: senders stall (spin-yield) while this
+/// many posts are undelivered, bounding flood memory to tens of MB
+/// instead of the whole budget.
+const FLOOD_WINDOW: i64 = 200_000;
+
+/// Hosts the flood spreads its vmids across (shard-spread only — no
+/// daemons are involved in the direct substrate drive).
+const FLOOD_HOSTS: u32 = 64;
+
+/// Run the all-pairs flood: N inboxes behind the sharded registry, the
+/// O(1) rank directory in front, sender workers flooding and receiver
+/// workers draining concurrently.
+pub fn run_flood(cfg: &FloodConfig) -> ScaleRecord {
+    assert!(cfg.ranks >= 2, "flood needs at least two ranks");
+    assert!(cfg.payload_bytes >= 8, "payload must hold the timestamp");
+    let ranks = cfg.ranks;
+    let fanout = cfg.fanout();
+    let msgs_per_pair = cfg.msgs_per_pair();
+    let total: u64 = ranks as u64 * fanout as u64 * msgs_per_pair;
+
+    // Build the routing plane: rank → vmid directory, vmid → inbox
+    // registry — exactly the two lookups every protocol-level send pays.
+    let registry = Registry::new();
+    let mut dir = IndexedDirectory::with_capacity(ranks);
+    let mut posts: Vec<Post<Incoming>> = Vec::with_capacity(ranks);
+    for rank in 0..ranks {
+        let (tx, post) = Post::channel(LinkModel::INSTANT, TimeScale::ZERO);
+        let (sig_tx, _sig_rx) = crossbeam::channel::unbounded();
+        let vmid = Vmid {
+            host: HostId(rank as u32 % FLOOD_HOSTS),
+            pid: (rank as u32) / FLOOD_HOSTS,
+        };
+        registry.register(
+            vmid,
+            ProcAddr {
+                inbox: tx,
+                signals: sig_tx,
+                host: vmid.host,
+                label: format!("p{rank}"),
+            },
+        );
+        dir.insert(
+            rank,
+            PlEntry {
+                vmid,
+                status: ExeStatus::Running,
+            },
+        );
+        posts.push(post);
+    }
+    let dir = Arc::new(dir);
+    let tracer = Tracer::disabled();
+    let epoch = Instant::now();
+    let outstanding = Arc::new(AtomicI64::new(0));
+    let delivered = Arc::new(AtomicU64::new(0));
+
+    // Receivers: each drains a contiguous slice of inboxes until the
+    // whole budget has landed, then reports its histogram and the
+    // staged high-water sum of its slice.
+    let workers = cfg.workers.max(1);
+    let chunk = ranks.div_ceil(workers);
+    let mut rx_handles = Vec::new();
+    let mut slices: Vec<Vec<Post<Incoming>>> = Vec::new();
+    while !posts.is_empty() {
+        let rest = posts.split_off(posts.len().min(chunk));
+        slices.push(std::mem::replace(&mut posts, rest));
+    }
+    for slice in slices {
+        let outstanding = Arc::clone(&outstanding);
+        let delivered = Arc::clone(&delivered);
+        rx_handles.push(std::thread::spawn(move || {
+            let mut hist = LatencyHistogram::new();
+            loop {
+                let mut drained = 0u64;
+                for post in &slice {
+                    while let Ok(Some(Incoming::Data(env))) = post.try_recv() {
+                        if let Payload::Data(b) = &env.payload {
+                            let sent = u64::from_le_bytes(b[..8].try_into().unwrap());
+                            let now = epoch.elapsed().as_nanos() as u64;
+                            hist.record(now.saturating_sub(sent));
+                        }
+                        drained += 1;
+                    }
+                }
+                if drained > 0 {
+                    outstanding.fetch_sub(drained as i64, Ordering::Relaxed);
+                    delivered.fetch_add(drained, Ordering::Relaxed);
+                } else if delivered.load(Ordering::Relaxed) >= total {
+                    break;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            let staged: u64 = slice.iter().map(|p| p.staged_high_water() as u64).sum();
+            (hist, staged)
+        }));
+    }
+
+    // Senders: partition the source ranks; destinations are stride-
+    // sampled so a capped fanout still spreads over the whole rank
+    // space (and covers all pairs when fanout == ranks - 1).
+    let stride = ((ranks - 1) / fanout).max(1);
+    let t0 = Instant::now();
+    let mut tx_handles = Vec::new();
+    for w in 0..workers {
+        let registry = registry.clone();
+        let dir = Arc::clone(&dir);
+        let tracer = Arc::clone(&tracer);
+        let outstanding = Arc::clone(&outstanding);
+        let payload_bytes = cfg.payload_bytes;
+        tx_handles.push(std::thread::spawn(move || {
+            for src in (w..ranks).step_by(workers) {
+                for k in 0..fanout {
+                    let dest = (src + 1 + k * stride) % ranks;
+                    for _ in 0..msgs_per_pair {
+                        while outstanding.load(Ordering::Relaxed) >= FLOOD_WINDOW {
+                            std::thread::yield_now();
+                        }
+                        let mut buf = vec![0u8; payload_bytes];
+                        let now = epoch.elapsed().as_nanos() as u64;
+                        buf[..8].copy_from_slice(&now.to_le_bytes());
+                        let env = Envelope {
+                            src,
+                            tag: 7,
+                            msg: tracer.next_msg_id(),
+                            payload: Payload::Data(Bytes::from(buf)),
+                        };
+                        let bytes = env.wire_bytes();
+                        let vmid = dir.lookup(dest).expect("dense directory").vmid;
+                        outstanding.fetch_add(1, Ordering::Relaxed);
+                        registry
+                            .with_addr(vmid, |addr| {
+                                addr.inbox.send_classed(
+                                    Incoming::Data(env),
+                                    bytes,
+                                    FrameClass::Data,
+                                )
+                            })
+                            .expect("flood inboxes stay registered")
+                            .expect("flood inboxes stay open");
+                    }
+                }
+            }
+        }));
+    }
+    for h in tx_handles {
+        h.join().unwrap();
+    }
+    let mut hist = LatencyHistogram::new();
+    let mut staged_total = 0u64;
+    for h in rx_handles {
+        let (h_part, staged) = h.join().unwrap();
+        hist.merge(&h_part);
+        staged_total += staged;
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    assert_eq!(hist.count(), total, "every flooded message is delivered");
+    ScaleRecord {
+        scenario: "all_pairs_flood",
+        ranks,
+        msgs: total,
+        bytes_moved: total * (cfg.payload_bytes as u64 + ENVELOPE_OVERHEAD_BYTES as u64),
+        wall_s,
+        msgs_per_sec: total as f64 / wall_s,
+        p50_latency_us: hist.quantile_ns(0.50) / 1_000.0,
+        p99_latency_us: hist.quantile_ns(0.99) / 1_000.0,
+        staged_high_water: staged_total,
+        fanout: Some(fanout),
+        rounds: None,
+        pause_ms: None,
+        pause_trace_ms: None,
+        audit_clean: None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// scenario 2: migration under load
+// ---------------------------------------------------------------------
+
+/// Parameters of one migration-under-load run.
+#[derive(Debug, Clone, Copy)]
+pub struct MigrationLoadConfig {
+    /// Rank count (ring of this size, co-located on [`Self::hosts`]).
+    pub ranks: usize,
+    /// Data rounds each rank drives through the ring.
+    pub rounds: u64,
+    /// Host pool size (plus one spare migration target).
+    pub hosts: usize,
+    /// Payload bytes per ring message (≥ 8 for the timestamp).
+    pub payload_bytes: usize,
+    /// Trace the run and audit it against §4. Adds per-event cost, so
+    /// the 5k sweep entry turns it off; ≤ 1k keeps it on (the
+    /// acceptance gate).
+    pub trace: bool,
+}
+
+impl MigrationLoadConfig {
+    /// The standard sweep entry for `ranks`: rounds scale inversely
+    /// with the ring size, tracing on through 1k ranks.
+    pub fn standard(ranks: usize) -> Self {
+        MigrationLoadConfig {
+            ranks,
+            rounds: (20_000 / ranks as u64).clamp(4, 64),
+            hosts: 16.min(ranks),
+            payload_bytes: 64,
+            trace: ranks <= 1024,
+        }
+    }
+
+    /// CI smoke variant: a short traced ring.
+    pub fn smoke(ranks: usize) -> Self {
+        MigrationLoadConfig {
+            rounds: 6,
+            ..Self::standard(ranks)
+        }
+    }
+}
+
+/// Block until the scheduler's migration request reaches this process,
+/// then return with the request pending (same contract as the
+/// integration suites' `support::await_migration`).
+fn await_migration(p: &mut SnowProcess) {
+    while !p.poll_point().unwrap() {
+        p.await_migration_request(Duration::from_secs(10)).unwrap();
+    }
+}
+
+/// Run the migration-under-load ring at `cfg.ranks`.
+pub fn run_migration_under_load(cfg: &MigrationLoadConfig) -> ScaleRecord {
+    assert!(cfg.ranks >= 4, "ring needs at least four ranks");
+    assert!(cfg.payload_bytes >= 8, "payload must hold the timestamp");
+    let n = cfg.ranks;
+    let rounds = cfg.rounds;
+    let migrant = n / 2;
+    // Migrate once the ring is in steady state, with rounds left after.
+    let trigger = (rounds / 3).max(1);
+    let payload_bytes = cfg.payload_bytes;
+
+    let tracer = if cfg.trace {
+        Tracer::new()
+    } else {
+        Tracer::disabled()
+    };
+    let comp = Computation::builder()
+        .hosts(HostSpec::ideal(), cfg.hosts + 1)
+        .tracer(Arc::clone(&tracer))
+        .build();
+    let spare = comp.hosts()[cfg.hosts];
+    let placement: Vec<HostId> = (0..n).map(|r| comp.hosts()[r % cfg.hosts]).collect();
+
+    let epoch = Instant::now();
+    let hist = Arc::new(Mutex::new(LatencyHistogram::new()));
+    let staged = Arc::new(AtomicU64::new(0));
+    // Ranks completing their first round — the migration request only
+    // fires once the whole ring is connected and in steady state, so
+    // the pause measures the protocol, not the connection storm (at 5k
+    // ranks the storm alone can swamp a single-core scheduler).
+    let ready = Arc::new(AtomicU64::new(0));
+
+    let app_hist = Arc::clone(&hist);
+    let app_staged = Arc::clone(&staged);
+    let app_ready = Arc::clone(&ready);
+    let t0 = Instant::now();
+    let handles = comp.launch_placed(&placement, move |mut p, start| {
+        let me = p.rank();
+        let right = (me + 1) % n;
+        let left = (me + n - 1) % n;
+        let from = match &start {
+            Start::Fresh => 0u64,
+            Start::Resumed(s) => s
+                .exec
+                .local("round")
+                .and_then(snow_codec::Value::as_u64)
+                .unwrap_or(0),
+        };
+        let mut local = LatencyHistogram::new();
+        for round in from..rounds {
+            let mut buf = vec![0u8; payload_bytes];
+            buf[..8].copy_from_slice(&(epoch.elapsed().as_nanos() as u64).to_le_bytes());
+            p.send(right, 1, Bytes::from(buf)).unwrap();
+            let (_s, _t, b) = p.recv(Some(left), Some(1)).unwrap();
+            let sent = u64::from_le_bytes(b[..8].try_into().unwrap());
+            local.record((epoch.elapsed().as_nanos() as u64).saturating_sub(sent));
+            if round == 0 {
+                app_ready.fetch_add(1, Ordering::Relaxed);
+            }
+            if me == migrant && round == trigger && matches!(start, Start::Fresh) {
+                await_migration(&mut p);
+                let state = ProcessState::new(
+                    ExecState::at_entry().with_local("round", snow_codec::Value::U64(round + 1)),
+                    MemoryGraph::new(),
+                );
+                app_hist.lock().unwrap().merge(&local);
+                p.migrate(&state).unwrap().expect_completed();
+                return;
+            }
+        }
+        app_staged.fetch_add(p.cell().inbox_staged_high_water() as u64, Ordering::Relaxed);
+        app_hist.lock().unwrap().merge(&local);
+        p.finish();
+    });
+
+    while ready.load(Ordering::Relaxed) < n as u64 {
+        std::thread::yield_now();
+    }
+    let t_pause = Instant::now();
+    comp.migrate(migrant, spare).expect("migration commits");
+    let pause_ms = t_pause.elapsed().as_secs_f64() * 1_000.0;
+    for h in handles {
+        h.join().unwrap();
+    }
+    comp.join_init_processes();
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let hist = hist.lock().unwrap().clone();
+    let msgs = hist.count();
+    let (pause_trace_ms, audit_clean) = if cfg.trace {
+        let events = tracer.snapshot();
+        let start_ns = events.iter().find_map(|e| match e.kind {
+            EventKind::MigrationStart { rank } if rank == migrant => Some(e.t_ns),
+            _ => None,
+        });
+        let commit_ns = events.iter().find_map(|e| match e.kind {
+            EventKind::MigrationCommit { rank } if rank == migrant => Some(e.t_ns),
+            _ => None,
+        });
+        let pause = match (start_ns, commit_ns) {
+            (Some(s), Some(c)) if c > s => Some((c - s) as f64 / 1_000_000.0),
+            _ => None,
+        };
+        let report = audit::audit(&events);
+        (pause, Some(report.is_clean()))
+    } else {
+        (None, None)
+    };
+
+    ScaleRecord {
+        scenario: "migration_under_load",
+        ranks: n,
+        msgs,
+        bytes_moved: msgs * (payload_bytes as u64 + ENVELOPE_OVERHEAD_BYTES as u64),
+        wall_s,
+        msgs_per_sec: msgs as f64 / wall_s,
+        p50_latency_us: hist.quantile_ns(0.50) / 1_000.0,
+        p99_latency_us: hist.quantile_ns(0.99) / 1_000.0,
+        staged_high_water: staged.load(Ordering::Relaxed),
+        fanout: None,
+        rounds: Some(rounds),
+        pause_ms: Some(pause_ms),
+        pause_trace_ms,
+        audit_clean,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let mut h = LatencyHistogram::new();
+        for ns in [
+            100u64, 200, 400, 800, 1600, 3200, 6400, 12_800, 25_600, 1_000_000,
+        ] {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), 10);
+        let p50 = h.quantile_ns(0.50);
+        assert!((64.0..=3200.0).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile_ns(0.99);
+        assert!(p99 >= 524_288.0, "p99 = {p99} must land in the top bucket");
+        assert!(p99 <= 1_048_576.0, "p99 = {p99}");
+        // Zero-latency samples stay representable.
+        let mut z = LatencyHistogram::new();
+        z.record(0);
+        assert_eq!(z.quantile_ns(0.99), 0.0);
+    }
+
+    #[test]
+    fn histogram_merge_is_additive() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for i in 1..100u64 {
+            a.record(i * 1000);
+            b.record(i * 7);
+        }
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.count(), a.count() + b.count());
+        assert!(m.quantile_ns(1.0) >= a.quantile_ns(1.0));
+    }
+
+    #[test]
+    fn small_flood_delivers_budget_without_staging() {
+        let cfg = FloodConfig {
+            ranks: 64,
+            budget_msgs: 20_000,
+            payload_bytes: 32,
+            workers: 4,
+        };
+        let rec = run_flood(&cfg);
+        assert_eq!(rec.scenario, "all_pairs_flood");
+        assert_eq!(rec.ranks, 64);
+        assert_eq!(
+            rec.msgs,
+            64 * rec.fanout.unwrap() as u64 * cfg.msgs_per_pair()
+        );
+        assert!(rec.msgs_per_sec > 0.0);
+        assert!(rec.p50_latency_us >= 0.0);
+        assert!(rec.p99_latency_us >= rec.p50_latency_us);
+        // ZERO-scale frames ride the immediate fast path end to end:
+        // the staged accounting must stay empty in aggregate.
+        assert_eq!(rec.staged_high_water, 0, "flood frames must not stage");
+    }
+
+    #[test]
+    fn small_migration_ring_audits_clean() {
+        let cfg = MigrationLoadConfig {
+            ranks: 8,
+            rounds: 6,
+            hosts: 4,
+            payload_bytes: 32,
+            trace: true,
+        };
+        let rec = run_migration_under_load(&cfg);
+        assert_eq!(rec.scenario, "migration_under_load");
+        assert!(rec.pause_ms.unwrap() > 0.0);
+        assert_eq!(rec.audit_clean, Some(true), "§4 audit must stay clean");
+        assert!(rec.msgs >= 8 * 5, "most ring rounds complete: {}", rec.msgs);
+    }
+
+    #[test]
+    fn document_roundtrip_validates() {
+        let flood = ScaleRecord {
+            scenario: "all_pairs_flood",
+            ranks: 256,
+            msgs: 1000,
+            bytes_moved: 128_000,
+            wall_s: 0.5,
+            msgs_per_sec: 2000.0,
+            p50_latency_us: 10.0,
+            p99_latency_us: 90.0,
+            staged_high_water: 0,
+            fanout: Some(255),
+            rounds: None,
+            pause_ms: None,
+            pause_trace_ms: None,
+            audit_clean: None,
+        };
+        let migration = ScaleRecord {
+            scenario: "migration_under_load",
+            ranks: 256,
+            msgs: 5000,
+            bytes_moved: 640_000,
+            wall_s: 1.0,
+            msgs_per_sec: 5000.0,
+            p50_latency_us: 15.0,
+            p99_latency_us: 120.0,
+            staged_high_water: 0,
+            fanout: None,
+            rounds: Some(20),
+            pause_ms: Some(12.0),
+            pause_trace_ms: Some(9.5),
+            audit_clean: Some(true),
+        };
+        let doc = emit_document(&[flood.clone(), migration.clone()], true);
+        let parsed = JsonValue::parse(&doc.to_string()).unwrap();
+        validate_document(&parsed).unwrap();
+
+        // Schema violations are caught.
+        let missing_migration = emit_document(&[flood], true);
+        assert!(validate_document(&missing_migration).is_err());
+        let mut broken = migration;
+        broken.pause_ms = None;
+        let doc = emit_document(
+            &[
+                ScaleRecord {
+                    scenario: "all_pairs_flood",
+                    ..broken.clone()
+                },
+                broken,
+            ],
+            true,
+        );
+        assert!(
+            validate_document(&doc).is_err(),
+            "pause-less migration record"
+        );
+        assert!(validate_document(&JsonValue::parse("{}").unwrap()).is_err());
+    }
+}

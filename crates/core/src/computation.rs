@@ -12,7 +12,7 @@ use crate::migrate::initialize;
 use crate::process::SnowProcess;
 use snow_net::TimeScale;
 use snow_sched::{
-    spawn_scheduler_with_config, CentralTable, MigrationRecord, RetryPolicy, SchedClient,
+    spawn_scheduler_with_config, IndexedDirectory, MigrationRecord, RetryPolicy, SchedClient,
     SchedulerConfig, SchedulerHandle,
 };
 use snow_state::{PipelineConfig, ProcessState, StateCostModel};
@@ -231,7 +231,7 @@ impl Computation {
                 &self.vm,
                 self.hosts[0],
                 image,
-                Box::new(CentralTable::new()),
+                Box::new(IndexedDirectory::with_capacity(placement.len())),
                 self.sched_config.clone(),
             ));
         }

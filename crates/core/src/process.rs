@@ -560,22 +560,33 @@ impl SnowProcess {
                 payload: Payload::Data(payload.clone()),
             };
             let bytes = env.wire_bytes();
-            let trace_ev = EventKind::Send {
-                to: dest,
-                tag,
-                bytes: payload.len(),
-                msg: env.msg,
-            };
             // Fig 2 line 4. The timestamp is captured before the post:
             // the receiver can consume (and trace) the message the
             // instant it lands, and its RecvDone must sort after our
             // Send for the log to stay causal. Recording still happens
             // only on success, so a dead-inbox retry leaves no event.
-            let t_send = self.cell.tracer().now_ns();
+            // With tracing off the hot path pays neither the clock read
+            // nor the event construction.
+            let msg = env.msg;
+            let t_send = if self.cell.tracer().is_enabled() {
+                Some(self.cell.tracer().now_ns())
+            } else {
+                None
+            };
             let tx = self.cc.get(&dest).expect("connected after connect()");
             match tx.send_classed(Incoming::Data(env), bytes, FrameClass::Data) {
                 Ok(()) => {
-                    self.cell.trace_at(t_send, trace_ev);
+                    if let Some(t_send) = t_send {
+                        self.cell.trace_at(
+                            t_send,
+                            EventKind::Send {
+                                to: dest,
+                                tag,
+                                bytes: payload.len(),
+                                msg,
+                            },
+                        );
+                    }
                     return Ok(());
                 }
                 Err(_) => {

@@ -6,7 +6,8 @@
 //! computers. The paper uses a centralized scheduler "for the sake of
 //! simplicity" and notes any directory meeting the requirements works;
 //! we mirror that: the [`directory::Directory`] trait abstracts the PL
-//! store, with [`directory::CentralTable`] as the default backend.
+//! store, with [`directory::IndexedDirectory`] (dense O(1) rank-indexed
+//! PL table) as the default backend.
 //!
 //! The migration choreography (§2.2, §3.2.2):
 //!
@@ -34,7 +35,7 @@ pub mod scheduler;
 
 pub use client::{DrainReport, SchedClient};
 pub use directory::TwoLevelDirectory;
-pub use directory::{CentralTable, Directory, PlEntry};
+pub use directory::{CentralTable, Directory, IndexedDirectory, PlEntry};
 pub use records::{MigrationPhase, MigrationRecord};
 pub use scheduler::{
     spawn_scheduler, spawn_scheduler_with_config, spawn_scheduler_with_directory, ProcessImage,

@@ -1,6 +1,6 @@
 //! The scheduler process: lookup service + migration choreography.
 
-use crate::directory::{CentralTable, Directory, PlEntry};
+use crate::directory::{Directory, IndexedDirectory, PlEntry};
 use crate::records::{MigrationPhase, MigrationRecord, RecordStore};
 use snow_trace::{
     metrics::{DrainMetrics, SchedulerRuling},
@@ -860,9 +860,10 @@ fn record_ruling(cell: &ProcessCell, rank: Rank, action: &str, attempts: u32, ca
 }
 
 /// Spawn the scheduler on `host` and install it in the environment,
-/// using the default centralized PL table.
+/// using the default centralized PL table (dense rank-indexed, O(1)
+/// per consult — see [`IndexedDirectory`]).
 pub fn spawn_scheduler(vm: &VirtualMachine, host: HostId, image: ProcessImage) -> SchedulerHandle {
-    spawn_scheduler_with_directory(vm, host, image, Box::new(CentralTable::new()))
+    spawn_scheduler_with_directory(vm, host, image, Box::new(IndexedDirectory::new()))
 }
 
 /// Spawn the scheduler with a custom [`Directory`] backend (§2: any
@@ -1184,7 +1185,7 @@ mod tests {
             &vm,
             h0,
             image,
-            Box::new(CentralTable::new()),
+            Box::new(IndexedDirectory::new()),
             SchedulerConfig {
                 retry: Some(RetryPolicy {
                     max_attempts: 3,
@@ -1257,7 +1258,7 @@ mod tests {
             &vm,
             h0,
             reapable_image(),
-            Box::new(CentralTable::new()),
+            Box::new(IndexedDirectory::new()),
             SchedulerConfig {
                 retry: None,
                 deadline: Some(Duration::from_millis(100)),
@@ -1387,7 +1388,7 @@ mod tests {
             &vm,
             h0,
             image,
-            Box::new(CentralTable::new()),
+            Box::new(IndexedDirectory::new()),
             SchedulerConfig {
                 retry: None,
                 deadline: Some(Duration::from_millis(200)),
@@ -1531,7 +1532,7 @@ mod tests {
             &vm,
             h0,
             reapable_image(),
-            Box::new(CentralTable::new()),
+            Box::new(IndexedDirectory::new()),
             SchedulerConfig {
                 retry: None,
                 deadline: Some(Duration::from_millis(300)),

@@ -3,23 +3,43 @@
 use crate::event::{Event, EventKind, MsgId};
 use crate::metrics::MetricsRegistry;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Number of independently locked event buffers. Each recording thread
+/// is pinned to one shard (round-robin at first record), so threads
+/// only contend when they share a shard — 1/N of the time instead of
+/// always, which matters once hundreds of ranks trace concurrently.
+const EVENT_SHARDS: usize = 8;
+
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+/// The shard this thread appends to. Thread affinity keeps one
+/// thread's events in vector order within its shard; the global `seq`
+/// gives the cross-shard total order back at snapshot time.
+fn shard_index() -> usize {
+    thread_local! {
+        static SHARD: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % EVENT_SHARDS;
+    }
+    SHARD.with(|s| *s)
+}
 
 /// A process-wide trace collector.
 ///
 /// One `Tracer` is shared (via `Arc`) by every process thread, daemon and
-/// the scheduler of a virtual machine. Recording appends to a mutex-
-/// protected vector; the lock is uncontended in practice because events
-/// are rare relative to computation, and a disabled tracer short-circuits
-/// on a relaxed atomic load.
+/// the scheduler of a virtual machine. Recording appends to one of
+/// [`EVENT_SHARDS`] mutex-protected vectors (chosen per thread), with a
+/// global atomic sequence number preserving a dense total recording
+/// order; a disabled tracer short-circuits on a relaxed atomic load
+/// before touching the clock, the sequence or any lock.
 #[derive(Debug)]
 pub struct Tracer {
     start: Instant,
     enabled: AtomicBool,
     next_msg: AtomicU64,
-    events: Mutex<Vec<Event>>,
+    next_seq: AtomicU64,
+    events: [Mutex<Vec<Event>>; EVENT_SHARDS],
     metrics: MetricsRegistry,
 }
 
@@ -30,7 +50,8 @@ impl Tracer {
             start: Instant::now(),
             enabled: AtomicBool::new(true),
             next_msg: AtomicU64::new(1),
-            events: Mutex::new(Vec::new()),
+            next_seq: AtomicU64::new(0),
+            events: std::array::from_fn(|_| Mutex::new(Vec::new())),
             metrics: MetricsRegistry::new(),
         })
     }
@@ -71,23 +92,26 @@ impl Tracer {
         &self.metrics
     }
 
+    fn push(&self, t_ns: u64, who: &str, kind: EventKind) {
+        // The sequence is a global atomic, so `seq` order is a dense
+        // total order across shards; the string allocation happens
+        // outside any lock.
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let ev = Event {
+            t_ns,
+            seq,
+            who: who.to_string(),
+            kind,
+        };
+        self.events[shard_index()].lock().push(ev);
+    }
+
     /// Record an event performed by the process labelled `who`.
     pub fn record(&self, who: &str, kind: EventKind) {
         if !self.is_enabled() {
             return;
         }
-        let t_ns = self.now_ns();
-        let who = who.to_string();
-        // The sequence number is allocated under the event lock so that
-        // `seq` order and vector order agree exactly.
-        let mut evs = self.events.lock();
-        let seq = evs.len() as u64;
-        evs.push(Event {
-            t_ns,
-            seq,
-            who,
-            kind,
-        });
+        self.push(self.now_ns(), who, kind);
     }
 
     /// Record an event with a caller-captured timestamp (from
@@ -100,42 +124,41 @@ impl Tracer {
         if !self.is_enabled() {
             return;
         }
-        let who = who.to_string();
-        let mut evs = self.events.lock();
-        let seq = evs.len() as u64;
-        evs.push(Event {
-            t_ns,
-            seq,
-            who,
-            kind,
-        });
+        self.push(t_ns, who, kind);
     }
 
     /// Copy out every event recorded so far, ordered by record time.
     pub fn snapshot(&self) -> Vec<Event> {
-        let mut evs = self.events.lock().clone();
-        // Recording order can deviate slightly from timestamp order under
-        // lock contention; sort so analyses see a consistent timeline.
-        // `seq` breaks equal-nanosecond ties in recording order — without
-        // it, same-timestamp events could swap and break per-process
-        // causal order.
+        let mut evs: Vec<Event> = Vec::with_capacity(self.len());
+        for shard in &self.events {
+            evs.extend(shard.lock().iter().cloned());
+        }
+        // Shards interleave arbitrarily and recording order can deviate
+        // slightly from timestamp order; sort so analyses see a
+        // consistent timeline. `seq` breaks equal-nanosecond ties in
+        // recording order — without it, same-timestamp events could
+        // swap and break per-process causal order.
         evs.sort_by_key(|e| (e.t_ns, e.seq));
         evs
     }
 
     /// Number of events recorded.
     pub fn len(&self) -> usize {
-        self.events.lock().len()
+        self.events.iter().map(|s| s.lock().len()).sum()
     }
 
     /// True if no events have been recorded.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.events.iter().all(|s| s.lock().is_empty())
     }
 
-    /// Drop all recorded events (between benchmark repetitions).
+    /// Drop all recorded events (between benchmark repetitions). The
+    /// sequence counter restarts; message ids keep advancing.
     pub fn clear(&self) {
-        self.events.lock().clear();
+        for shard in &self.events {
+            shard.lock().clear();
+        }
+        self.next_seq.store(0, Ordering::Relaxed);
     }
 }
 
@@ -214,6 +237,9 @@ mod tests {
         assert!(t.is_empty());
         let id2 = t.next_msg_id();
         assert!(id2 > id1, "ids keep advancing across clears");
+        // Sequence numbers restart so post-clear logs stay dense.
+        t.record("p0", EventKind::MigrationStart { rank: 0 });
+        assert_eq!(t.snapshot()[0].seq, 0);
     }
 
     #[test]
@@ -228,13 +254,14 @@ mod tests {
                 EventKind::Compute { work: i as u64 },
             );
         }
-        {
-            let mut evs = t.events.lock();
+        // Flatten timestamps and scramble each shard's vector order to
+        // model snapshot observing buffers whose sort must fall back to
+        // `seq`, not insertion order.
+        for shard in t.events.iter() {
+            let mut evs = shard.lock();
             for e in evs.iter_mut() {
                 e.t_ns = 1_000;
             }
-            // Scramble vector order to model snapshot observing a clone
-            // whose sort must fall back to `seq`, not insertion order.
             evs.reverse();
         }
         let evs = t.snapshot();
@@ -266,5 +293,43 @@ mod tests {
         let mut seqs: Vec<u64> = t.snapshot().iter().map(|e| e.seq).collect();
         seqs.sort_unstable();
         assert_eq!(seqs, (0..200).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn sharded_store_interleaves_into_one_timeline() {
+        // More recording threads than shards: every shard sees traffic,
+        // and the merged snapshot must still be one totally ordered,
+        // dense timeline.
+        let t = Tracer::new();
+        let mut handles = Vec::new();
+        for i in 0..(EVENT_SHARDS * 2) {
+            let t = Arc::clone(&t);
+            handles.push(thread::spawn(move || {
+                for w in 0..25u64 {
+                    t.record(&format!("p{i}"), EventKind::Compute { work: w });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let evs = t.snapshot();
+        assert_eq!(evs.len(), EVENT_SHARDS * 2 * 25);
+        assert!(evs
+            .windows(2)
+            .all(|w| (w[0].t_ns, w[0].seq) <= (w[1].t_ns, w[1].seq)));
+        // Per-thread order must survive the shard merge.
+        for i in 0..(EVENT_SHARDS * 2) {
+            let who = format!("p{i}");
+            let works: Vec<u64> = evs
+                .iter()
+                .filter(|e| e.who == who)
+                .map(|e| match e.kind {
+                    EventKind::Compute { work } => work,
+                    _ => unreachable!(),
+                })
+                .collect();
+            assert_eq!(works, (0..25).collect::<Vec<u64>>(), "thread {i}");
+        }
     }
 }

@@ -83,6 +83,9 @@ impl DaemonHandle {
 
 struct DaemonState {
     host: HostId,
+    /// Trace label, formatted once at spawn — `route` stamps it on
+    /// every nack/fault verdict and must not pay a `format!` each time.
+    label: String,
     registry: Registry,
     tracer: Arc<Tracer>,
     /// Environment fault layer: daemon-routed control datagrams are the
@@ -100,13 +103,13 @@ struct DaemonState {
 }
 
 impl DaemonState {
-    fn label(&self) -> String {
-        format!("daemon:{}", self.host)
+    fn label(&self) -> &str {
+        &self.label
     }
 
     fn nack(&self, req: &ConnReqMsg) {
         self.tracer
-            .record(&self.label(), EventKind::ConnNack { to: req.from_rank });
+            .record(self.label(), EventKind::ConnNack { to: req.from_rank });
         // Ignore failure: the requester itself may be gone.
         let _ = req.reply.send(
             Incoming::Ctrl(Ctrl::ConnNack {
@@ -124,12 +127,12 @@ impl DaemonState {
         match v {
             DatagramVerdict::Drop => {
                 self.tracer
-                    .record(&self.label(), EventKind::FaultDropped { what: what.into() });
+                    .record(self.label(), EventKind::FaultDropped { what: what.into() });
                 self.tracer.metrics().record_fault(&format!("drop:{what}"));
             }
             DatagramVerdict::Duplicate => {
                 self.tracer.record(
-                    &self.label(),
+                    self.label(),
                     EventKind::FaultDuplicated { what: what.into() },
                 );
                 self.tracer.metrics().record_fault(&format!("dup:{what}"));
@@ -153,36 +156,41 @@ impl DaemonState {
             self.nack(&req);
             return;
         }
-        match self.registry.addr_of(req.target) {
-            Some(addr) => {
-                // conn_req rides the connectionless datagram service
-                // (§2.3): the fault plan may eat it (the requester must
-                // re-send) or duplicate it (the target must dedup).
-                let verdict = self.datagram_verdict(req.from_rank as u64, "conn_req");
-                if verdict == DatagramVerdict::Drop {
-                    return;
-                }
-                let copies = if verdict == DatagramVerdict::Duplicate {
-                    2
-                } else {
-                    1
-                };
-                let mut delivered = false;
-                for _ in 0..copies {
-                    let fwd = Incoming::Ctrl(Ctrl::ConnReq(req.clone()));
-                    delivered |= addr
-                        .inbox
-                        .send(fwd, crate::wire::ENVELOPE_OVERHEAD_BYTES)
-                        .is_ok();
-                }
-                if delivered {
-                    self.pending.insert(req.req_id, req);
-                } else {
-                    // Raced with termination.
-                    self.nack(&req);
-                }
+        // Borrow the target's address in place (no ProcAddr clone per
+        // routed request); the pending-table update happens after the
+        // shard lock is released.
+        let state = &*self;
+        let outcome = self.registry.with_addr(req.target, |addr| {
+            // conn_req rides the connectionless datagram service
+            // (§2.3): the fault plan may eat it (the requester must
+            // re-send) or duplicate it (the target must dedup).
+            let verdict = state.datagram_verdict(req.from_rank as u64, "conn_req");
+            if verdict == DatagramVerdict::Drop {
+                return None;
             }
-            None => self.nack(&req),
+            let copies = if verdict == DatagramVerdict::Duplicate {
+                2
+            } else {
+                1
+            };
+            let mut delivered = false;
+            for _ in 0..copies {
+                let fwd = Incoming::Ctrl(Ctrl::ConnReq(req.clone()));
+                delivered |= addr
+                    .inbox
+                    .send(fwd, crate::wire::ENVELOPE_OVERHEAD_BYTES)
+                    .is_ok();
+            }
+            Some(delivered)
+        });
+        match outcome {
+            Some(Some(true)) => {
+                self.pending.insert(req.req_id, req);
+            }
+            // Unknown target, or the send raced with termination.
+            None | Some(Some(false)) => self.nack(&req),
+            // Dropped by the fault plan: the requester re-sends.
+            Some(None) => {}
         }
     }
 
@@ -247,6 +255,7 @@ pub fn spawn_daemon(
     let (tx, rx): (Sender<DaemonMsg>, Receiver<DaemonMsg>) = channel::unbounded();
     let mut state = DaemonState {
         host,
+        label: format!("daemon:{}", host),
         registry,
         tracer,
         faults,

@@ -43,6 +43,7 @@ pub mod host;
 pub mod ids;
 pub mod post;
 pub mod process;
+pub mod shard;
 pub mod vm;
 pub mod wire;
 

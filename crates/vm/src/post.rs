@@ -43,7 +43,11 @@ impl std::fmt::Display for InboxClosed {
 impl std::error::Error for InboxClosed {}
 
 struct Timed<T> {
-    deliver_at: Instant,
+    /// Modeled delivery time; `None` marks an *immediate* frame (no
+    /// modeled delay — `TimeScale::ZERO`), which skips both the
+    /// `Instant::now()` stamp on the send side and the staging heap on
+    /// the receive side when nothing is staged ahead of it.
+    deliver_at: Option<Instant>,
     msg: T,
 }
 
@@ -139,8 +143,8 @@ impl<T> PostSender<T> {
             }
             extra_s = verdict.extra_delay_s;
         }
-        let now = Instant::now();
         let deliver_at = if self.scale.0 > 0.0 {
+            let now = Instant::now();
             let ser = self.scale.real(self.link.serialize_seconds(bytes));
             let lat = self.scale.real(self.link.latency_s);
             // Injected delay extends the wire-busy window like extra
@@ -150,9 +154,12 @@ impl<T> PostSender<T> {
             let mut free = self.wire_free_at.lock();
             let start = (*free).max(now);
             *free = start + ser + extra;
-            *free + lat
+            Some(*free + lat)
         } else {
-            now
+            // Unmodeled wire: the frame is deliverable the moment it is
+            // queued. No clock read, no wire-state lock — this is the
+            // scale-bench hot path.
+            None
         };
         self.tx
             .send(Timed { deliver_at, msg })
@@ -206,7 +213,10 @@ impl<T> Stage<T> {
         let arrival = self.next_arrival;
         self.next_arrival += 1;
         self.heap.push(Reverse(Staged {
-            deliver_at: f.deliver_at,
+            // An immediate frame staged behind modeled traffic is
+            // deliverable right now; stamping it on entry keeps the heap
+            // total-ordered without the send side paying for the clock.
+            deliver_at: f.deliver_at.unwrap_or_else(Instant::now),
             arrival,
             msg: f.msg,
         }));
@@ -279,6 +289,21 @@ impl<T> Post<T> {
     pub fn recv(&self) -> Result<T, InboxClosed> {
         loop {
             let mut stage = self.stage.lock();
+            // Fast path: nothing staged and the queue head is an
+            // immediate frame — deliver it without a heap round-trip or
+            // a clock read. The head is the earliest-arriving frame and
+            // immediate frames are deliverable on arrival, so this is
+            // the same frame the heap would have popped.
+            if stage.heap.is_empty() {
+                match self.rx.try_recv() {
+                    Ok(f) => match f.deliver_at {
+                        None => return Ok(f.msg),
+                        Some(_) => stage.push(f),
+                    },
+                    Err(TryRecvError::Empty) => {}
+                    Err(TryRecvError::Disconnected) => return Err(InboxClosed),
+                }
+            }
             let disconnected = stage.drain(&self.rx);
             match stage.min_deliver_at() {
                 None => {
@@ -287,7 +312,13 @@ impl<T> Post<T> {
                     }
                     drop(stage);
                     match self.rx.recv() {
-                        Ok(f) => self.stage.lock().push(f),
+                        Ok(f) => {
+                            let mut stage = self.stage.lock();
+                            if f.deliver_at.is_none() && stage.heap.is_empty() {
+                                return Ok(f.msg);
+                            }
+                            stage.push(f);
+                        }
                         Err(_) => return Err(InboxClosed),
                     }
                 }
@@ -323,6 +354,17 @@ impl<T> Post<T> {
         let deadline = Instant::now() + timeout;
         loop {
             let mut stage = self.stage.lock();
+            // Same immediate-frame fast path as [`Post::recv`].
+            if stage.heap.is_empty() {
+                match self.rx.try_recv() {
+                    Ok(f) => match f.deliver_at {
+                        None => return Ok(Some(f.msg)),
+                        Some(_) => stage.push(f),
+                    },
+                    Err(TryRecvError::Empty) => {}
+                    Err(TryRecvError::Disconnected) => return Err(InboxClosed),
+                }
+            }
             let disconnected = stage.drain(&self.rx);
             match stage.min_deliver_at() {
                 None => {
@@ -331,7 +373,13 @@ impl<T> Post<T> {
                     }
                     drop(stage);
                     match self.rx.recv_deadline(deadline) {
-                        Ok(f) => self.stage.lock().push(f),
+                        Ok(f) => {
+                            let mut stage = self.stage.lock();
+                            if f.deliver_at.is_none() && stage.heap.is_empty() {
+                                return Ok(Some(f.msg));
+                            }
+                            stage.push(f);
+                        }
                         Err(RecvTimeoutError::Timeout) => return Ok(None),
                         Err(RecvTimeoutError::Disconnected) => return Err(InboxClosed),
                     }
@@ -364,6 +412,17 @@ impl<T> Post<T> {
     /// Non-blocking receive of an already-deliverable frame.
     pub fn try_recv(&self) -> Result<Option<T>, InboxClosed> {
         let mut stage = self.stage.lock();
+        // Same immediate-frame fast path as [`Post::recv`].
+        if stage.heap.is_empty() {
+            match self.rx.try_recv() {
+                Ok(f) => match f.deliver_at {
+                    None => return Ok(Some(f.msg)),
+                    Some(_) => stage.push(f),
+                },
+                Err(TryRecvError::Empty) => return Ok(None),
+                Err(TryRecvError::Disconnected) => return Err(InboxClosed),
+            }
+        }
         let disconnected = stage.drain(&self.rx);
         match stage.min_deliver_at() {
             None if disconnected => Err(InboxClosed),
@@ -584,6 +643,47 @@ mod tests {
         }
         // Draining does not lower the high-water mark.
         assert_eq!(rx.staged_high_water(), 6);
+    }
+
+    #[test]
+    fn immediate_traffic_never_stages() {
+        // Unmodeled frames ride the fast path: they are counted in the
+        // backlog while queued but never touch the staging heap, so the
+        // staged high-water mark stays zero — the PR 3 queue-depth
+        // metric measures *modeled-delivery* backlog only.
+        let (tx, rx) = Post::<u32>::channel(LinkModel::INSTANT, TimeScale::ZERO);
+        for i in 0..50 {
+            tx.send(i, 4).unwrap();
+        }
+        assert_eq!(rx.backlog(), 50);
+        for i in 0..50 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+        assert_eq!(rx.staged_high_water(), 0, "fast path must bypass the stage");
+        assert_eq!(rx.backlog(), 0);
+    }
+
+    #[test]
+    fn immediate_frame_stages_behind_modeled_traffic() {
+        // A mixed inbox (one modeled connection, one unmodeled) must
+        // still deliver everything and keep per-sender FIFO; the
+        // immediate frame arriving while modeled frames are staged goes
+        // through the heap (stamped on entry) instead of overtaking
+        // arbitrarily.
+        let (proto, rx) = Post::<u32>::channel(LinkModel::INSTANT, TimeScale::MILLI);
+        let modeled = proto.with_link(LinkModel::ETHERNET_10M, TimeScale::MILLI);
+        let instant = proto.with_link(LinkModel::INSTANT, TimeScale::ZERO);
+        modeled.send(1, 2_000_000).unwrap(); // ~1.6 modeled s → 1.6 ms real
+        modeled.send(2, 2_000_000).unwrap();
+        // Park the modeled frames in the stage first.
+        let _ = rx.recv_timeout(Duration::ZERO).unwrap();
+        instant.send(10, 4).unwrap();
+        instant.send(11, 4).unwrap();
+        let got: Vec<u32> = (0..4).map(|_| rx.recv().unwrap()).collect();
+        let pos = |v: u32| got.iter().position(|g| *g == v).unwrap();
+        assert!(pos(1) < pos(2), "modeled sender FIFO: {got:?}");
+        assert!(pos(10) < pos(11), "immediate sender FIFO: {got:?}");
+        assert!(rx.staged_high_water() >= 2);
     }
 
     #[test]

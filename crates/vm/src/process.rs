@@ -235,16 +235,17 @@ impl ProcessCell {
     /// Fire-and-forget request to the scheduler.
     pub fn sched_send(&self, req: SchedRequest) -> Result<(), EnvError> {
         let sched = self.shared.scheduler_vmid().ok_or(EnvError::NoScheduler)?;
-        let addr = self
-            .shared
+        // Borrow the address in place (no ProcAddr/label clone): this
+        // runs on every scheduler consult and every migration phase.
+        self.shared
             .registry()
-            .addr_of(sched)
-            .ok_or(EnvError::SchedulerGone)?;
-        addr.inbox
-            .send(
-                Incoming::Ctrl(Ctrl::SchedRequest(req)),
-                ENVELOPE_OVERHEAD_BYTES,
-            )
+            .with_addr(sched, |addr| {
+                addr.inbox.send(
+                    Incoming::Ctrl(Ctrl::SchedRequest(req)),
+                    ENVELOPE_OVERHEAD_BYTES,
+                )
+            })
+            .ok_or(EnvError::SchedulerGone)?
             .map_err(|_| EnvError::SchedulerGone)
     }
 

@@ -1,0 +1,221 @@
+//! N-way sharded concurrent maps for the hot routing paths.
+//!
+//! The registry (vmid → address) and the daemon routing tables sit on
+//! every message send, route and signal. A single `RwLock<HashMap>`
+//! serialises all of them behind one cache line once a few hundred
+//! ranks are live; sharding the table N ways makes lookups on distinct
+//! keys proceed in parallel and confines writer stalls to 1/N of the
+//! key space.
+//!
+//! Shard choice is a pure function of the key's hash, so a given key
+//! always lands in the same shard — per-key linearizability is exactly
+//! what a single-lock map gave us, and cross-key ordering was never
+//! promised by the old table either (readers raced writers for the one
+//! lock). Per-sender FIFO of the post office is untouched: sharding
+//! only covers *address lookup*; delivery order is owned by
+//! [`crate::post`].
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+
+/// Default shard count for the routing tables. Enough to spread a few
+/// thousand ranks over independent locks without bloating tiny
+/// environments; must be a power of two (shard index is a mask).
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// A hash map split across `N` independently locked shards.
+///
+/// Each key maps to exactly one shard (stable hash → mask), so all
+/// operations on one key serialise through one `RwLock` exactly as in
+/// the single-lock design, while operations on different keys contend
+/// only 1/N of the time.
+#[derive(Debug)]
+pub struct ShardedMap<K, V> {
+    shards: Box<[RwLock<HashMap<K, V>>]>,
+    mask: usize,
+}
+
+impl<K: Hash + Eq, V> Default for ShardedMap<K, V> {
+    fn default() -> Self {
+        Self::new(DEFAULT_SHARDS)
+    }
+}
+
+impl<K: Hash + Eq, V> ShardedMap<K, V> {
+    /// A map with `shards` shards (rounded up to a power of two).
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        ShardedMap {
+            shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
+            mask: n - 1,
+        }
+    }
+
+    fn shard(&self, key: &K) -> &RwLock<HashMap<K, V>> {
+        // DefaultHasher::new() uses fixed keys, so the shard choice is
+        // stable for a key across calls and threads.
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) & self.mask]
+    }
+
+    /// Insert or replace; returns the previous value if any.
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        self.shard(&key).write().insert(key, value)
+    }
+
+    /// Remove a key; returns the value if it was present.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        self.shard(key).write().remove(key)
+    }
+
+    /// Clone the value under `key` (read lock on one shard only).
+    pub fn get_cloned(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.shard(key).read().get(key).cloned()
+    }
+
+    /// Run `f` over a borrowed value without cloning it. Holds one
+    /// shard's read lock only for the duration of `f` — the zero-copy
+    /// lookup for hot routing paths.
+    pub fn with<R>(&self, key: &K, f: impl FnOnce(&V) -> R) -> Option<R> {
+        self.shard(key).read().get(key).map(f)
+    }
+
+    /// Is `key` present?
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.shard(key).read().contains_key(key)
+    }
+
+    /// Remove every entry matching `pred`; returns the removed keys.
+    /// Locks shards one at a time (no global freeze), which is fine for
+    /// the membership paths that use it: they already serialise behind
+    /// the membership mutex.
+    pub fn remove_if(&self, mut pred: impl FnMut(&K, &V) -> bool) -> Vec<K>
+    where
+        K: Clone,
+    {
+        let mut removed = Vec::new();
+        for shard in &self.shards {
+            let mut table = shard.write();
+            let doomed: Vec<K> = table
+                .iter()
+                .filter(|(k, v)| pred(k, v))
+                .map(|(k, _)| k.clone())
+                .collect();
+            for k in &doomed {
+                table.remove(k);
+            }
+            removed.extend(doomed);
+        }
+        removed
+    }
+
+    /// Visit every entry (shard by shard, read locks).
+    pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        for shard in &self.shards {
+            for (k, v) in shard.read().iter() {
+                f(k, v);
+            }
+        }
+    }
+
+    /// Total entries across all shards. Not a snapshot — concurrent
+    /// writers may move the true count while the shards are summed.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// True when every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+
+    /// Number of shards (diagnostics).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn shard_counts_round_to_powers_of_two() {
+        assert_eq!(ShardedMap::<u32, u32>::new(0).shard_count(), 1);
+        assert_eq!(ShardedMap::<u32, u32>::new(1).shard_count(), 1);
+        assert_eq!(ShardedMap::<u32, u32>::new(9).shard_count(), 16);
+        assert_eq!(
+            ShardedMap::<u32, u32>::default().shard_count(),
+            DEFAULT_SHARDS
+        );
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let m = ShardedMap::default();
+        assert!(m.is_empty());
+        for i in 0..1000u32 {
+            assert_eq!(m.insert(i, i * 2), None);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get_cloned(&7), Some(14));
+        assert_eq!(m.with(&7, |v| *v + 1), Some(15));
+        assert!(m.contains_key(&999));
+        assert_eq!(m.remove(&7), Some(14));
+        assert_eq!(m.get_cloned(&7), None);
+        assert_eq!(m.len(), 999);
+    }
+
+    #[test]
+    fn remove_if_returns_matching_keys() {
+        let m = ShardedMap::new(4);
+        for i in 0..100u32 {
+            m.insert(i, i % 3);
+        }
+        let mut gone = m.remove_if(|_, v| *v == 0);
+        gone.sort_unstable();
+        assert_eq!(gone.len(), 34); // 0, 3, 6, … 99
+        assert!(gone.iter().all(|k| k % 3 == 0));
+        assert_eq!(m.len(), 66);
+        m.for_each(|k, _| assert!(k % 3 != 0));
+    }
+
+    #[test]
+    fn concurrent_writers_on_distinct_keys() {
+        let m = Arc::new(ShardedMap::new(8));
+        let handles: Vec<_> = (0..8u32)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                thread::spawn(move || {
+                    for i in 0..500u32 {
+                        let k = t * 1000 + i;
+                        m.insert(k, k);
+                        assert_eq!(m.get_cloned(&k), Some(k));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.len(), 4000);
+    }
+
+    #[test]
+    fn same_key_always_same_shard() {
+        // Stability check: with() after insert() must find the value —
+        // i.e. the shard function is a pure function of the key.
+        let m = ShardedMap::new(16);
+        for i in 0..10_000u64 {
+            m.insert(i, ());
+            assert!(m.contains_key(&i), "key {i} landed in a different shard");
+        }
+    }
+}

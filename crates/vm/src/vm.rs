@@ -6,6 +6,7 @@ use crate::host::HostSpec;
 use crate::ids::{HostId, Vmid};
 use crate::post::{Post, PostSender};
 use crate::process::ProcessCell;
+use crate::shard::ShardedMap;
 use crate::wire::{Incoming, Signal};
 use crossbeam::channel::{self, Sender};
 use parking_lot::{Mutex, RwLock};
@@ -29,10 +30,12 @@ pub struct ProcAddr {
     pub label: String,
 }
 
-/// Shared vmid → address table (process registry).
+/// Shared vmid → address table (process registry), sharded N ways so
+/// concurrent routing lookups on distinct vmids never contend for one
+/// global lock (see [`crate::shard`]).
 #[derive(Debug, Clone, Default)]
 pub struct Registry {
-    procs: Arc<RwLock<HashMap<Vmid, ProcAddr>>>,
+    procs: Arc<ShardedMap<Vmid, ProcAddr>>,
 }
 
 impl Registry {
@@ -43,41 +46,42 @@ impl Registry {
 
     /// Register a process address.
     pub fn register(&self, vmid: Vmid, addr: ProcAddr) {
-        self.procs.write().insert(vmid, addr);
+        self.procs.insert(vmid, addr);
     }
 
     /// Remove a process (termination / migration completion).
     pub fn unregister(&self, vmid: Vmid) {
-        self.procs.write().remove(&vmid);
+        self.procs.remove(&vmid);
     }
 
-    /// Look up an address.
+    /// Look up an address. Clones the record (including its label
+    /// string); hot paths that only need one field should use
+    /// [`Registry::with_addr`] instead.
     pub fn addr_of(&self, vmid: Vmid) -> Option<ProcAddr> {
-        self.procs.read().get(&vmid).cloned()
+        self.procs.get_cloned(&vmid)
+    }
+
+    /// Run `f` over the borrowed address record without cloning it —
+    /// the zero-copy lookup for the send/route/signal hot paths. Holds
+    /// one shard's read lock for the duration of `f`; do not block
+    /// inside `f`.
+    pub fn with_addr<R>(&self, vmid: Vmid, f: impl FnOnce(&ProcAddr) -> R) -> Option<R> {
+        self.procs.with(&vmid, f)
     }
 
     /// Remove every process living on `host`; returns the removed vmids.
     pub fn remove_host(&self, host: HostId) -> Vec<Vmid> {
-        let mut table = self.procs.write();
-        let doomed: Vec<Vmid> = table
-            .iter()
-            .filter(|(v, _)| v.host == host)
-            .map(|(v, _)| *v)
-            .collect();
-        for v in &doomed {
-            table.remove(v);
-        }
-        doomed
+        self.procs.remove_if(|v, _| v.host == host)
     }
 
     /// Number of live processes.
     pub fn len(&self) -> usize {
-        self.procs.read().len()
+        self.procs.len()
     }
 
     /// True when no process is registered.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.procs.is_empty()
     }
 }
 
@@ -154,10 +158,9 @@ impl VmShared {
     /// Deliver a signal to a process's ordered signal queue. Returns
     /// `false` when the process is unknown or has terminated.
     pub fn signal(&self, vmid: Vmid, sig: Signal) -> bool {
-        match self.registry.addr_of(vmid) {
-            Some(addr) => addr.signals.send(sig).is_ok(),
-            None => false,
-        }
+        self.registry
+            .with_addr(vmid, |addr| addr.signals.send(sig).is_ok())
+            .unwrap_or(false)
     }
 
     /// Mark `host` as draining (or clear the mark). While draining no

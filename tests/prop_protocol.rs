@@ -435,6 +435,158 @@ proptest! {
     }
 }
 
+/// Substrate-level FIFO property for the sharded post office: many
+/// concurrent senders race the receiver's registry binding being
+/// swapped mid-stream (the post-office view of a migration — the
+/// rank's vmid moves to a new host and inbox while traffic flows).
+/// Each sender's stream must land as a clean prefix in the old inbox
+/// and the remaining suffix in the new one, in sequence order — the
+/// §2.3 per-sender FIFO guarantee the N-way shard split must not
+/// break.
+fn run_sharded_handover(senders: usize, msgs: u32, swap_at_frac: u8) -> Result<(), TestCaseError> {
+    use snow::net::{FrameClass, LinkModel, TimeScale};
+    use snow::sched::{Directory, IndexedDirectory, PlEntry};
+    use snow::vm::vm::{ProcAddr, Registry};
+    use snow::vm::wire::{Envelope, ExeStatus, Incoming, Payload};
+    use snow::vm::{HostId, Post, Vmid};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, RwLock};
+
+    let registry = Registry::new();
+    let tracer = Tracer::disabled();
+    let mk_addr = |host: u32, inbox| ProcAddr {
+        inbox,
+        signals: crossbeam::channel::unbounded().0,
+        host: HostId(host),
+        label: "p0".into(),
+    };
+    let vmid_a = Vmid {
+        host: HostId(0),
+        pid: 0,
+    };
+    let vmid_b = Vmid {
+        host: HostId(1),
+        pid: 0,
+    };
+    let (tx_a, post_a) = Post::channel(LinkModel::INSTANT, TimeScale::ZERO);
+    let (tx_b, post_b) = Post::channel(LinkModel::INSTANT, TimeScale::ZERO);
+    registry.register(vmid_a, mk_addr(0, tx_a));
+    let dir = Arc::new(RwLock::new(IndexedDirectory::with_capacity(1)));
+    dir.write().unwrap().insert(
+        0,
+        PlEntry {
+            vmid: vmid_a,
+            status: ExeStatus::Running,
+        },
+    );
+
+    let sent = Arc::new(AtomicU64::new(0));
+    let total = senders as u64 * msgs as u64;
+    let swap_at = total * swap_at_frac as u64 / 100;
+    let handles: Vec<_> = (0..senders)
+        .map(|s| {
+            let registry = registry.clone();
+            let dir = Arc::clone(&dir);
+            let tracer = Arc::clone(&tracer);
+            let sent = Arc::clone(&sent);
+            std::thread::spawn(move || {
+                for seq in 0..msgs {
+                    let env = Envelope {
+                        src: s,
+                        tag: 1,
+                        msg: tracer.next_msg_id(),
+                        payload: Payload::Data(Bytes::copy_from_slice(&seq.to_le_bytes())),
+                    };
+                    let bytes = env.wire_bytes();
+                    // Lookup → borrow → post, retrying the window where
+                    // the binding moves between directory and registry
+                    // updates (the protocol layer's nack-and-retry).
+                    let mut env = Some(env);
+                    loop {
+                        let vmid = dir.read().unwrap().lookup(0).unwrap().vmid;
+                        let taken = env.take().unwrap();
+                        match registry.with_addr(vmid, |addr| {
+                            addr.inbox
+                                .send_classed(Incoming::Data(taken), bytes, FrameClass::Data)
+                        }) {
+                            Some(Ok(())) => break,
+                            Some(Err(_)) | None => {
+                                env = Some(Envelope {
+                                    src: s,
+                                    tag: 1,
+                                    msg: tracer.next_msg_id(),
+                                    payload: Payload::Data(Bytes::copy_from_slice(
+                                        &seq.to_le_bytes(),
+                                    )),
+                                });
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    sent.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+
+    // Mid-stream handover, ordered so no message is ever unroutable:
+    // new binding registered, directory repointed, old binding retired.
+    while sent.load(Ordering::Relaxed) < swap_at {
+        std::thread::yield_now();
+    }
+    registry.register(vmid_b, mk_addr(1, tx_b));
+    dir.write().unwrap().insert(
+        0,
+        PlEntry {
+            vmid: vmid_b,
+            status: ExeStatus::Running,
+        },
+    );
+    registry.unregister(vmid_a);
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Per sender: old-inbox messages then new-inbox messages must read
+    // as exactly 0..msgs in order.
+    let mut streams: Vec<Vec<u32>> = vec![Vec::new(); senders];
+    for post in [&post_a, &post_b] {
+        while let Ok(Some(Incoming::Data(env))) = post.try_recv() {
+            if let Payload::Data(b) = &env.payload {
+                streams[env.src].push(u32::from_le_bytes(b[..4].try_into().unwrap()));
+            }
+        }
+    }
+    for (s, stream) in streams.iter().enumerate() {
+        prop_assert_eq!(stream.len() as u32, msgs, "sender {} lost messages", s);
+        for (expect, got) in stream.iter().enumerate() {
+            prop_assert_eq!(
+                *got,
+                expect as u32,
+                "sender {} reordered across the handover",
+                s
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 10,
+        max_shrink_iters: 20,
+    })]
+
+    #[test]
+    fn sharded_post_office_keeps_per_sender_fifo_across_handover(
+        senders in 2usize..12,
+        msgs in 20u32..120,
+        swap_at_frac in 10u8..90,
+    ) {
+        run_sharded_handover(senders, msgs, swap_at_frac)?;
+    }
+}
+
 /// A pinned regression scenario (dense traffic, migrant consumes
 /// nothing before migrating) that once stressed the drain path.
 #[test]

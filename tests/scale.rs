@@ -4,13 +4,9 @@
 
 use bytes::Bytes;
 use snow::prelude::*;
-use std::time::Duration;
 
-fn await_migration(p: &mut SnowProcess) {
-    while !p.poll_point().unwrap() {
-        std::thread::sleep(Duration::from_millis(1));
-    }
-}
+mod support;
+use support::await_migration;
 
 fn seq_payload(i: u64) -> Bytes {
     Bytes::copy_from_slice(&i.to_be_bytes())

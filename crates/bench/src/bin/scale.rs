@@ -3,27 +3,41 @@
 //!
 //! Both scenarios (all-pairs flood, migration-under-load) run at every
 //! requested rank count; see `snow_bench::scale` for what each
-//! measures. `--smoke` shrinks the budgets for CI; `--validate FILE`
-//! skips the runs and only schema-checks an existing document (the CI
-//! `bench-smoke` gate).
+//! measures. `--smoke` shrinks the budgets for CI; `--transport tcp`
+//! drives the framed localhost-socket backend instead of the in-process
+//! substrate; `--validate FILE` skips the runs and only schema-checks an
+//! existing document; `--gate FILE --baseline FILE` regression-gates a
+//! fresh run against the committed baseline (the CI `bench-smoke` gate).
 //!
 //! Usage:
 //!   cargo run -p snow-bench --release --bin scale
 //!   cargo run -p snow-bench --release --bin scale -- --ranks 256 --smoke
+//!   cargo run -p snow-bench --release --bin scale -- --ranks 64 --smoke --transport tcp
 //!   cargo run -p snow-bench --release --bin scale -- --ranks 256,1000,5000 --out BENCH_scale.json
 //!   cargo run -p snow-bench --bin scale -- --validate BENCH_scale.json
+//!   cargo run -p snow-bench --bin scale -- --gate BENCH_run.json --baseline BENCH_scale.json
 
 use snow_bench::scale::{
-    emit_document, run_flood, run_migration_under_load, validate_document, FloodConfig,
-    MigrationLoadConfig, ScaleRecord,
+    emit_document, gate_document, run_flood, run_migration_under_load, validate_document,
+    FloodConfig, GateTolerances, MigrationLoadConfig, ScaleRecord, TransportKind,
 };
 use snow_trace::report::JsonValue;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ! {
-    eprintln!("usage: scale [--ranks N[,N...]] [--smoke] [--out FILE] [--validate FILE]");
+    eprintln!(
+        "usage: scale [--ranks N[,N...]] [--smoke] [--transport inproc|tcp] [--out FILE]\n\
+         \x20      [--validate FILE]\n\
+         \x20      [--gate FILE --baseline FILE [--min-throughput-ratio R] [--max-latency-ratio R]]"
+    );
     std::process::exit(2);
+}
+
+fn read_doc(path: &PathBuf) -> Result<JsonValue, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    JsonValue::parse(&text).map_err(|e| format!("{} is not JSON: {e}", path.display()))
 }
 
 fn main() -> ExitCode {
@@ -31,6 +45,10 @@ fn main() -> ExitCode {
     let mut smoke = false;
     let mut out = PathBuf::from("BENCH_scale.json");
     let mut validate: Option<PathBuf> = None;
+    let mut gate: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut tol = GateTolerances::default();
+    let mut transport = TransportKind::InProc;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -45,24 +63,35 @@ fn main() -> ExitCode {
                 }
             }
             "--smoke" => smoke = true,
+            "--transport" => {
+                transport = TransportKind::parse(&args.next().unwrap_or_else(|| usage()))
+                    .unwrap_or_else(|| usage());
+            }
             "--out" => out = PathBuf::from(args.next().unwrap_or_else(|| usage())),
             "--validate" => validate = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--gate" => gate = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--baseline" => baseline = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--min-throughput-ratio" => {
+                tol.min_throughput_ratio = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--max-latency-ratio" => {
+                tol.max_latency_ratio = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
             _ => usage(),
         }
     }
 
     if let Some(path) = validate {
-        let text = match std::fs::read_to_string(&path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("scale: cannot read {}: {e}", path.display());
-                return ExitCode::FAILURE;
-            }
-        };
-        let doc = match JsonValue::parse(&text) {
+        let doc = match read_doc(&path) {
             Ok(d) => d,
             Err(e) => {
-                eprintln!("scale: {} is not JSON: {e}", path.display());
+                eprintln!("scale: {e}");
                 return ExitCode::FAILURE;
             }
         };
@@ -78,19 +107,56 @@ fn main() -> ExitCode {
         };
     }
 
+    if let Some(current_path) = gate {
+        let Some(baseline_path) = baseline else {
+            eprintln!("scale: --gate requires --baseline FILE");
+            return ExitCode::FAILURE;
+        };
+        let (current, base) = match (read_doc(&current_path), read_doc(&baseline_path)) {
+            (Ok(c), Ok(b)) => (c, b),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("scale: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = validate_document(&current) {
+            eprintln!("scale: {} fails schema: {e}", current_path.display());
+            return ExitCode::FAILURE;
+        }
+        return match gate_document(&current, &base, tol) {
+            Ok(()) => {
+                println!(
+                    "{}: within tolerance of {}",
+                    current_path.display(),
+                    baseline_path.display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(violations) => {
+                for v in &violations {
+                    eprintln!("scale: GATE {v}");
+                }
+                eprintln!("scale: {} regression(s) against baseline", violations.len());
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     if ranks.is_empty() {
         ranks = vec![256, 1000, 5000];
     }
 
     let mut records: Vec<ScaleRecord> = Vec::new();
     for &n in &ranks {
-        let cfg = if smoke {
+        let mut cfg = if smoke {
             FloodConfig::smoke(n)
         } else {
             FloodConfig::standard(n)
         };
+        cfg.transport = transport;
         eprintln!(
-            "scale: flood ranks={n} fanout={} msgs={}",
+            "scale: flood ranks={n} transport={} fanout={} msgs={}",
+            transport.as_str(),
             cfg.fanout(),
             n as u64 * cfg.fanout() as u64 * cfg.msgs_per_pair()
         );
@@ -101,14 +167,17 @@ fn main() -> ExitCode {
         );
         records.push(rec);
 
-        let cfg = if smoke {
+        let mut cfg = if smoke {
             MigrationLoadConfig::smoke(n)
         } else {
             MigrationLoadConfig::standard(n)
         };
+        cfg.transport = transport;
         eprintln!(
-            "scale: migration-under-load ranks={n} rounds={} traced={}",
-            cfg.rounds, cfg.trace
+            "scale: migration-under-load ranks={n} transport={} rounds={} traced={}",
+            transport.as_str(),
+            cfg.rounds,
+            cfg.trace
         );
         let rec = run_migration_under_load(&cfg);
         eprintln!(
@@ -122,6 +191,9 @@ fn main() -> ExitCode {
         if rec.audit_clean == Some(false) {
             eprintln!("scale: §4 AUDIT VIOLATION at {n} ranks — not emitting a dirty baseline");
             return ExitCode::FAILURE;
+        }
+        if rec.migration_aborted == Some(true) {
+            eprintln!("scale: migration at {n} ranks aborted even after the retry");
         }
         records.push(rec);
     }

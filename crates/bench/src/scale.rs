@@ -26,7 +26,7 @@
 //! raw samples.
 
 use bytes::Bytes;
-use snow_core::{Computation, SnowProcess, Start};
+use snow_core::{Computation, MigrationOutcome, SnowProcess, Start};
 use snow_net::{FrameClass, LinkModel, TimeScale};
 use snow_sched::{Directory, IndexedDirectory, PlEntry};
 use snow_state::{ExecState, MemoryGraph, ProcessState};
@@ -34,13 +34,41 @@ use snow_trace::report::JsonValue;
 use snow_trace::{audit, EventKind, Tracer};
 use snow_vm::vm::{ProcAddr, Registry};
 use snow_vm::wire::{Envelope, ExeStatus, Incoming, Payload, ENVELOPE_OVERHEAD_BYTES};
-use snow_vm::{HostId, HostSpec, Post, Vmid};
+use snow_vm::{HostId, HostSpec, NodeId, Post, TcpTransport, Transport, Vmid};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Schema tag stamped into every emitted document.
 pub const SCHEMA: &str = "snow-bench-scale/v1";
+
+/// Which [`snow_vm::Transport`] backend a scenario drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// The default in-process substrate (direct registry delivery).
+    InProc,
+    /// Framed localhost-TCP sockets ([`snow_vm::TcpTransport`]).
+    Tcp,
+}
+
+impl TransportKind {
+    /// The name stamped into records and accepted by `--transport`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TransportKind::InProc => "inproc",
+            TransportKind::Tcp => "tcp",
+        }
+    }
+
+    /// Parse a `--transport` argument.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "inproc" => Some(TransportKind::InProc),
+            "tcp" => Some(TransportKind::Tcp),
+            _ => None,
+        }
+    }
+}
 
 // ---------------------------------------------------------------------
 // latency histogram
@@ -129,6 +157,8 @@ impl LatencyHistogram {
 pub struct ScaleRecord {
     /// `"all_pairs_flood"` or `"migration_under_load"`.
     pub scenario: &'static str,
+    /// Transport backend the scenario ran on (`"inproc"` or `"tcp"`).
+    pub transport: &'static str,
     /// Rank count the scenario ran at.
     pub ranks: usize,
     /// Messages delivered.
@@ -160,6 +190,11 @@ pub struct ScaleRecord {
     pub pause_trace_ms: Option<f64>,
     /// §4 audit verdict (traced migration runs only).
     pub audit_clean: Option<bool>,
+    /// Whether the mid-run migration finally aborted after the
+    /// harness's retry (migration scenario only). `Some(false)` is the
+    /// healthy verdict; `Some(true)` is reported instead of panicking
+    /// the bench.
+    pub migration_aborted: Option<bool>,
 }
 
 impl ScaleRecord {
@@ -168,6 +203,7 @@ impl ScaleRecord {
         let opt_num = |v: Option<f64>| v.map_or(JsonValue::Null, JsonValue::Num);
         JsonValue::Object(vec![
             ("scenario".into(), JsonValue::Str(self.scenario.into())),
+            ("transport".into(), JsonValue::Str(self.transport.into())),
             ("ranks".into(), JsonValue::Num(self.ranks as f64)),
             ("msgs".into(), JsonValue::Num(self.msgs as f64)),
             (
@@ -197,6 +233,11 @@ impl ScaleRecord {
             (
                 "audit_clean".into(),
                 self.audit_clean.map_or(JsonValue::Null, JsonValue::Bool),
+            ),
+            (
+                "migration_aborted".into(),
+                self.migration_aborted
+                    .map_or(JsonValue::Null, JsonValue::Bool),
             ),
         ])
     }
@@ -287,6 +328,119 @@ pub fn validate_document(doc: &JsonValue) -> Result<(), String> {
 }
 
 // ---------------------------------------------------------------------
+// regression gate
+// ---------------------------------------------------------------------
+
+/// Tolerances for [`gate_document`]. Ratios are against the committed
+/// baseline: generous by default because the CI runners' absolute
+/// numbers swing hard with machine load — the gate exists to catch
+/// order-of-magnitude regressions, not single-digit noise.
+#[derive(Debug, Clone, Copy)]
+pub struct GateTolerances {
+    /// Minimum fraction of baseline throughput a record must keep.
+    pub min_throughput_ratio: f64,
+    /// Maximum multiple of baseline p50/p99 latency a record may show.
+    pub max_latency_ratio: f64,
+}
+
+impl Default for GateTolerances {
+    fn default() -> Self {
+        GateTolerances {
+            min_throughput_ratio: 0.2,
+            max_latency_ratio: 5.0,
+        }
+    }
+}
+
+/// Latencies below this floor (microseconds) are never gated: at
+/// single-digit-µs baselines a ratio check only measures scheduler
+/// jitter.
+const GATE_LATENCY_FLOOR_US: f64 = 50.0;
+
+fn gate_key(rec: &JsonValue) -> Option<(String, String, u64)> {
+    let scenario = rec.get("scenario")?.as_str()?.to_string();
+    // Baselines written before the transport field default to inproc.
+    let transport = rec
+        .get("transport")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("inproc")
+        .to_string();
+    let ranks = rec.get("ranks")?.as_f64()? as u64;
+    Some((scenario, transport, ranks))
+}
+
+/// Gate a fresh `BENCH_scale.json` run against the committed baseline:
+/// for every `(scenario, transport, ranks)` pair present in *both*
+/// documents, throughput must not collapse below
+/// `min_throughput_ratio × baseline` and the latency quantiles must not
+/// balloon past `max_latency_ratio × baseline` (sub-50 µs baselines are
+/// exempt from the latency check). At least one common pair is
+/// required. Returns every violation, not just the first.
+pub fn gate_document(
+    current: &JsonValue,
+    baseline: &JsonValue,
+    tol: GateTolerances,
+) -> Result<(), Vec<String>> {
+    let records = |doc: &JsonValue| -> Vec<JsonValue> {
+        doc.get("records")
+            .and_then(JsonValue::as_array)
+            .map(|a| a.to_vec())
+            .unwrap_or_default()
+    };
+    let base_recs = records(baseline);
+    let cur_recs = records(current);
+    let mut compared = 0usize;
+    let mut violations = Vec::new();
+    for cur in &cur_recs {
+        let Some(key) = gate_key(cur) else { continue };
+        let Some(base) = base_recs
+            .iter()
+            .find(|b| gate_key(b).as_ref() == Some(&key))
+        else {
+            continue;
+        };
+        compared += 1;
+        let tag = format!("{}/{}@{}", key.0, key.1, key.2);
+        let num = |rec: &JsonValue, field: &str| rec.get(field).and_then(JsonValue::as_f64);
+        if let (Some(c), Some(b)) = (num(cur, "msgs_per_sec"), num(base, "msgs_per_sec")) {
+            let floor = b * tol.min_throughput_ratio;
+            if c < floor {
+                violations.push(format!(
+                    "{tag}: throughput {c:.0} msgs/s below gate {floor:.0} \
+                     (baseline {b:.0} × {:.2})",
+                    tol.min_throughput_ratio
+                ));
+            }
+        }
+        for q in ["p50_latency_us", "p99_latency_us"] {
+            if let (Some(c), Some(b)) = (num(cur, q), num(base, q)) {
+                let ceil = (b * tol.max_latency_ratio).max(GATE_LATENCY_FLOOR_US);
+                if c > ceil {
+                    violations.push(format!(
+                        "{tag}: {q} {c:.1} above gate {ceil:.1} (baseline {b:.1} × {:.2})",
+                        tol.max_latency_ratio
+                    ));
+                }
+            }
+        }
+        if cur.get("migration_aborted").and_then(JsonValue::as_bool) == Some(true) {
+            violations.push(format!("{tag}: migration aborted after retry"));
+        }
+        if cur.get("audit_clean").and_then(JsonValue::as_bool) == Some(false) {
+            violations.push(format!("{tag}: §4 audit violation"));
+        }
+    }
+    if compared == 0 {
+        violations.push("no (scenario, transport, ranks) pair is common to both documents".into());
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+// ---------------------------------------------------------------------
 // scenario 1: all-pairs flood
 // ---------------------------------------------------------------------
 
@@ -301,6 +455,8 @@ pub struct FloodConfig {
     pub payload_bytes: usize,
     /// Sender/receiver worker threads per side.
     pub workers: usize,
+    /// Backend the flood drives.
+    pub transport: TransportKind,
 }
 
 impl FloodConfig {
@@ -312,6 +468,7 @@ impl FloodConfig {
             budget_msgs: 2_000_000,
             payload_bytes: 64,
             workers: default_workers(),
+            transport: TransportKind::InProc,
         }
     }
 
@@ -394,6 +551,22 @@ pub fn run_flood(cfg: &FloodConfig) -> ScaleRecord {
         posts.push(post);
     }
     let dir = Arc::new(dir);
+    // `--transport tcp` routes every flood message through the framed
+    // socket backend: same registry behind the scenes, but each send
+    // crosses a localhost TCP stream (encode → frame → decode) before
+    // the receiver-side delivery. The in-process run keeps the direct
+    // registry drive so the baseline still measures the bare substrate.
+    let tcp: Option<Arc<TcpTransport>> = match cfg.transport {
+        TransportKind::InProc => None,
+        TransportKind::Tcp => {
+            let t = Arc::new(TcpTransport::new());
+            t.attach(registry.clone());
+            for h in 0..(ranks as u32).min(FLOOD_HOSTS) {
+                t.host_joined(NodeId(h), None);
+            }
+            Some(t)
+        }
+    };
     let tracer = Tracer::disabled();
     let epoch = Instant::now();
     let outstanding = Arc::new(AtomicI64::new(0));
@@ -453,6 +626,7 @@ pub fn run_flood(cfg: &FloodConfig) -> ScaleRecord {
         let tracer = Arc::clone(&tracer);
         let outstanding = Arc::clone(&outstanding);
         let payload_bytes = cfg.payload_bytes;
+        let tcp = tcp.clone();
         tx_handles.push(std::thread::spawn(move || {
             for src in (w..ranks).step_by(workers) {
                 for k in 0..fanout {
@@ -473,16 +647,27 @@ pub fn run_flood(cfg: &FloodConfig) -> ScaleRecord {
                         let bytes = env.wire_bytes();
                         let vmid = dir.lookup(dest).expect("dense directory").vmid;
                         outstanding.fetch_add(1, Ordering::Relaxed);
-                        registry
-                            .with_addr(vmid, |addr| {
-                                addr.inbox.send_classed(
+                        match &tcp {
+                            Some(t) => t
+                                .send_to(
+                                    NodeId(src as u32 % FLOOD_HOSTS),
+                                    vmid,
                                     Incoming::Data(env),
                                     bytes,
                                     FrameClass::Data,
                                 )
-                            })
-                            .expect("flood inboxes stay registered")
-                            .expect("flood inboxes stay open");
+                                .expect("flood nodes stay routable"),
+                            None => registry
+                                .with_addr(vmid, |addr| {
+                                    addr.inbox.send_classed(
+                                        Incoming::Data(env),
+                                        bytes,
+                                        FrameClass::Data,
+                                    )
+                                })
+                                .expect("flood inboxes stay registered")
+                                .expect("flood inboxes stay open"),
+                        }
                     }
                 }
             }
@@ -499,10 +684,14 @@ pub fn run_flood(cfg: &FloodConfig) -> ScaleRecord {
         staged_total += staged;
     }
     let wall_s = t0.elapsed().as_secs_f64();
+    if let Some(t) = &tcp {
+        t.shutdown();
+    }
 
     assert_eq!(hist.count(), total, "every flooded message is delivered");
     ScaleRecord {
         scenario: "all_pairs_flood",
+        transport: cfg.transport.as_str(),
         ranks,
         msgs: total,
         bytes_moved: total * (cfg.payload_bytes as u64 + ENVELOPE_OVERHEAD_BYTES as u64),
@@ -516,6 +705,7 @@ pub fn run_flood(cfg: &FloodConfig) -> ScaleRecord {
         pause_ms: None,
         pause_trace_ms: None,
         audit_clean: None,
+        migration_aborted: None,
     }
 }
 
@@ -538,6 +728,8 @@ pub struct MigrationLoadConfig {
     /// the 5k sweep entry turns it off; ≤ 1k keeps it on (the
     /// acceptance gate).
     pub trace: bool,
+    /// Backend the ring's environment is built on.
+    pub transport: TransportKind,
 }
 
 impl MigrationLoadConfig {
@@ -550,6 +742,7 @@ impl MigrationLoadConfig {
             hosts: 16.min(ranks),
             payload_bytes: 64,
             trace: ranks <= 1024,
+            transport: TransportKind::InProc,
         }
     }
 
@@ -587,10 +780,13 @@ pub fn run_migration_under_load(cfg: &MigrationLoadConfig) -> ScaleRecord {
     } else {
         Tracer::disabled()
     };
-    let comp = Computation::builder()
+    let mut builder = Computation::builder()
         .hosts(HostSpec::ideal(), cfg.hosts + 1)
-        .tracer(Arc::clone(&tracer))
-        .build();
+        .tracer(Arc::clone(&tracer));
+    if cfg.transport == TransportKind::Tcp {
+        builder = builder.transport(Arc::new(TcpTransport::new()));
+    }
+    let comp = builder.build();
     let spare = comp.hosts()[cfg.hosts];
     let placement: Vec<HostId> = (0..n).map(|r| comp.hosts()[r % cfg.hosts]).collect();
 
@@ -631,14 +827,34 @@ pub fn run_migration_under_load(cfg: &MigrationLoadConfig) -> ScaleRecord {
                 app_ready.fetch_add(1, Ordering::Relaxed);
             }
             if me == migrant && round == trigger && matches!(start, Start::Fresh) {
-                await_migration(&mut p);
-                let state = ProcessState::new(
-                    ExecState::at_entry().with_local("round", snow_codec::Value::U64(round + 1)),
-                    MemoryGraph::new(),
-                );
-                app_hist.lock().unwrap().merge(&local);
-                p.migrate(&state).unwrap().expect_completed();
-                return;
+                // The harness requests one migration and retries once
+                // after an abort, so up to two requests can reach this
+                // process. A rolled-back migration hands the process
+                // back (same vmid, RML restored); after the final abort
+                // the rank keeps the ring alive in place instead of
+                // panicking the whole bench.
+                let mut attempts = 0u32;
+                loop {
+                    await_migration(&mut p);
+                    let state = ProcessState::new(
+                        ExecState::at_entry()
+                            .with_local("round", snow_codec::Value::U64(round + 1)),
+                        MemoryGraph::new(),
+                    );
+                    match p.migrate(&state).unwrap() {
+                        MigrationOutcome::Completed(_) => {
+                            app_hist.lock().unwrap().merge(&local);
+                            return;
+                        }
+                        MigrationOutcome::Aborted(a) => {
+                            p = a.process;
+                            attempts += 1;
+                            if attempts >= 2 {
+                                break;
+                            }
+                        }
+                    }
+                }
             }
         }
         app_staged.fetch_add(p.cell().inbox_staged_high_water() as u64, Ordering::Relaxed);
@@ -650,7 +866,14 @@ pub fn run_migration_under_load(cfg: &MigrationLoadConfig) -> ScaleRecord {
         std::thread::yield_now();
     }
     let t_pause = Instant::now();
-    comp.migrate(migrant, spare).expect("migration commits");
+    // A scheduler-side abort (destination init failure, deadline sweep)
+    // is a legitimate outcome under load: retry once against the same
+    // spare, and report a second abort in the record instead of
+    // panicking the bench run.
+    let migration_aborted = match comp.migrate(migrant, spare) {
+        Ok(_) => false,
+        Err(_) => comp.migrate(migrant, spare).is_err(),
+    };
     let pause_ms = t_pause.elapsed().as_secs_f64() * 1_000.0;
     for h in handles {
         h.join().unwrap();
@@ -682,6 +905,7 @@ pub fn run_migration_under_load(cfg: &MigrationLoadConfig) -> ScaleRecord {
 
     ScaleRecord {
         scenario: "migration_under_load",
+        transport: cfg.transport.as_str(),
         ranks: n,
         msgs,
         bytes_moved: msgs * (payload_bytes as u64 + ENVELOPE_OVERHEAD_BYTES as u64),
@@ -695,6 +919,7 @@ pub fn run_migration_under_load(cfg: &MigrationLoadConfig) -> ScaleRecord {
         pause_ms: Some(pause_ms),
         pause_trace_ms,
         audit_clean,
+        migration_aborted: Some(migration_aborted),
     }
 }
 
@@ -743,6 +968,7 @@ mod tests {
             budget_msgs: 20_000,
             payload_bytes: 32,
             workers: 4,
+            transport: TransportKind::InProc,
         };
         let rec = run_flood(&cfg);
         assert_eq!(rec.scenario, "all_pairs_flood");
@@ -767,18 +993,38 @@ mod tests {
             hosts: 4,
             payload_bytes: 32,
             trace: true,
+            transport: TransportKind::InProc,
         };
         let rec = run_migration_under_load(&cfg);
         assert_eq!(rec.scenario, "migration_under_load");
         assert!(rec.pause_ms.unwrap() > 0.0);
         assert_eq!(rec.audit_clean, Some(true), "§4 audit must stay clean");
+        assert_eq!(rec.migration_aborted, Some(false));
         assert!(rec.msgs >= 8 * 5, "most ring rounds complete: {}", rec.msgs);
+    }
+
+    #[test]
+    fn small_flood_crosses_tcp_sockets() {
+        let cfg = FloodConfig {
+            ranks: 16,
+            budget_msgs: 2_000,
+            payload_bytes: 32,
+            workers: 2,
+            transport: TransportKind::Tcp,
+        };
+        let rec = run_flood(&cfg);
+        assert_eq!(rec.transport, "tcp");
+        assert_eq!(
+            rec.msgs,
+            16 * rec.fanout.unwrap() as u64 * cfg.msgs_per_pair()
+        );
     }
 
     #[test]
     fn document_roundtrip_validates() {
         let flood = ScaleRecord {
             scenario: "all_pairs_flood",
+            transport: "inproc",
             ranks: 256,
             msgs: 1000,
             bytes_moved: 128_000,
@@ -792,9 +1038,11 @@ mod tests {
             pause_ms: None,
             pause_trace_ms: None,
             audit_clean: None,
+            migration_aborted: None,
         };
         let migration = ScaleRecord {
             scenario: "migration_under_load",
+            transport: "inproc",
             ranks: 256,
             msgs: 5000,
             bytes_moved: 640_000,
@@ -808,6 +1056,7 @@ mod tests {
             pause_ms: Some(12.0),
             pause_trace_ms: Some(9.5),
             audit_clean: Some(true),
+            migration_aborted: Some(false),
         };
         let doc = emit_document(&[flood.clone(), migration.clone()], true);
         let parsed = JsonValue::parse(&doc.to_string()).unwrap();
@@ -833,5 +1082,87 @@ mod tests {
             "pause-less migration record"
         );
         assert!(validate_document(&JsonValue::parse("{}").unwrap()).is_err());
+    }
+
+    fn gate_fixture(msgs_per_sec: f64, p99_us: f64, aborted: Option<bool>) -> JsonValue {
+        let rec = ScaleRecord {
+            scenario: "all_pairs_flood",
+            transport: "inproc",
+            ranks: 256,
+            msgs: 1000,
+            bytes_moved: 128_000,
+            wall_s: 0.5,
+            msgs_per_sec,
+            p50_latency_us: p99_us / 2.0,
+            p99_latency_us: p99_us,
+            staged_high_water: 0,
+            fanout: Some(255),
+            rounds: None,
+            pause_ms: None,
+            pause_trace_ms: None,
+            audit_clean: None,
+            migration_aborted: aborted,
+        };
+        emit_document(&[rec], true)
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_on_collapse() {
+        let baseline = gate_fixture(100_000.0, 500.0, None);
+        let tol = GateTolerances::default();
+        // Half the throughput, slightly worse tail: inside tolerance.
+        assert!(gate_document(&gate_fixture(50_000.0, 800.0, None), &baseline, tol).is_ok());
+        // Throughput collapse: gated.
+        let errs = gate_document(&gate_fixture(1_000.0, 500.0, None), &baseline, tol).unwrap_err();
+        assert!(errs[0].contains("throughput"), "{errs:?}");
+        // Latency blow-up: gated.
+        let errs =
+            gate_document(&gate_fixture(100_000.0, 50_000.0, None), &baseline, tol).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("p99")), "{errs:?}");
+        // A reported migration abort is gated even with healthy numbers.
+        let errs =
+            gate_document(&gate_fixture(100_000.0, 500.0, Some(true)), &baseline, tol).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("aborted")), "{errs:?}");
+    }
+
+    #[test]
+    fn gate_requires_a_common_record() {
+        let baseline = gate_fixture(100_000.0, 500.0, None);
+        let mut other = ScaleRecord {
+            scenario: "migration_under_load",
+            transport: "tcp",
+            ranks: 64,
+            msgs: 100,
+            bytes_moved: 12_800,
+            wall_s: 0.1,
+            msgs_per_sec: 1_000.0,
+            p50_latency_us: 10.0,
+            p99_latency_us: 20.0,
+            staged_high_water: 0,
+            fanout: None,
+            rounds: Some(6),
+            pause_ms: Some(5.0),
+            pause_trace_ms: None,
+            audit_clean: Some(true),
+            migration_aborted: Some(false),
+        };
+        let current = emit_document(std::slice::from_ref(&other), true);
+        assert!(gate_document(&current, &baseline, GateTolerances::default()).is_err());
+        // A baseline predating the transport field still matches an
+        // inproc record: the key defaults missing transports.
+        other.scenario = "all_pairs_flood";
+        other.transport = "inproc";
+        other.ranks = 256;
+        other.msgs_per_sec = 90_000.0;
+        let current = emit_document(&[other], true);
+        let stripped = baseline
+            .to_string()
+            .replace("\"transport\":\"inproc\",", "");
+        assert!(
+            stripped.len() < baseline.to_string().len(),
+            "field stripped"
+        );
+        let baseline_old = JsonValue::parse(&stripped).unwrap();
+        assert!(gate_document(&current, &baseline_old, GateTolerances::default()).is_ok());
     }
 }

@@ -39,6 +39,7 @@ pub struct ComputationBuilder {
     host_specs: Vec<HostSpec>,
     sched_config: SchedulerConfig,
     fault_plan: Option<snow_net::FaultPlan>,
+    transport: Option<Arc<dyn snow_vm::Transport>>,
 }
 
 impl Default for ComputationBuilder {
@@ -51,6 +52,7 @@ impl Default for ComputationBuilder {
             host_specs: Vec::new(),
             sched_config: SchedulerConfig::default(),
             fault_plan: None,
+            transport: None,
         }
     }
 }
@@ -119,6 +121,15 @@ impl ComputationBuilder {
         self
     }
 
+    /// Install a transport backend for the §2.3 services (point-to-point
+    /// channels, daemon datagrams, signals). Defaults to the in-process
+    /// substrate; [`snow_vm::TcpTransport`] routes the same traffic over
+    /// framed localhost sockets.
+    pub fn transport(mut self, t: Arc<dyn snow_vm::Transport>) -> Self {
+        self.transport = Some(t);
+        self
+    }
+
     /// Build the environment. At least one host is required (it carries
     /// the scheduler).
     pub fn build(self) -> Computation {
@@ -126,7 +137,10 @@ impl ComputationBuilder {
             !self.host_specs.is_empty(),
             "a computation needs at least one host"
         );
-        let vm = VirtualMachine::new(Arc::clone(&self.tracer), self.scale);
+        let vm = match self.transport {
+            Some(t) => VirtualMachine::with_transport(Arc::clone(&self.tracer), self.scale, t),
+            None => VirtualMachine::new(Arc::clone(&self.tracer), self.scale),
+        };
         // Arm faults before the first daemon spawns so the plan covers
         // every host's datagram service from the start.
         if let Some(plan) = self.fault_plan {
@@ -370,6 +384,9 @@ impl Computation {
             }
             sched.join();
         }
+        // Release any backend resources (listener/reader threads for the
+        // socket transport; a no-op for the in-process substrate).
+        self.vm.shared().transport().shutdown();
     }
 }
 

@@ -30,9 +30,11 @@
 pub mod channel;
 pub mod datagram;
 pub mod fault;
+pub mod frame;
 pub mod link;
 
 pub use channel::{ChannelError, Duplex, RecvTimeout};
 pub use datagram::{EndpointId, Mailbox, Router};
 pub use fault::{DatagramVerdict, FaultInjector, FaultPlan, FaultSpec, FrameClass, LinkSel};
+pub use frame::{encode_frame, read_frame, write_frame, FrameKind, FRAME_VERSION, MAX_FRAME_BYTES};
 pub use link::{LinkModel, TimeScale};

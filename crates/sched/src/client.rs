@@ -10,7 +10,7 @@ use snow_vm::wire::{
     Ctrl, DrainOutcome, DrainPoolConfig, DrainRankResult, ExeStatus, FailCause, Incoming,
     SchedReply, SchedRequest,
 };
-use snow_vm::{HostId, Post, PostSender, Rank, VirtualMachine, Vmid};
+use snow_vm::{HostId, NodeId, Post, PostSender, Rank, VirtualMachine, Vmid};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -99,15 +99,14 @@ impl SchedClient {
             .shared
             .scheduler_vmid()
             .ok_or_else(|| "no scheduler installed".to_string())?;
-        let addr = self
-            .shared
-            .registry()
-            .addr_of(sched)
-            .ok_or_else(|| "scheduler terminated".to_string())?;
-        addr.inbox
-            .send(
+        self.shared
+            .transport()
+            .send_to(
+                NodeId::CLIENT,
+                sched,
                 Incoming::Ctrl(Ctrl::SchedRequest(req)),
                 snow_vm::wire::ENVELOPE_OVERHEAD_BYTES,
+                snow_net::FrameClass::Control,
             )
             .map_err(|_| "scheduler terminated".to_string())
     }

@@ -544,12 +544,19 @@ impl SchedState {
     /// left, the registry entry is gone and there is nothing to do (the
     /// orphaned thread unblocks at its own watchdog).
     fn reap_init(&self, rank: Rank, init: Vmid) {
-        if let Some(addr) = self.vm.shared().registry().addr_of(init) {
-            let _ = addr.inbox.send(
-                Incoming::Ctrl(Ctrl::Sched(SchedReply::MigrationAborted { rank })),
-                snow_vm::wire::ENVELOPE_OVERHEAD_BYTES,
-            );
-        }
+        let from = self
+            .vm
+            .shared()
+            .scheduler_vmid()
+            .map(|v| v.host.into())
+            .unwrap_or(snow_vm::NodeId::CLIENT);
+        let _ = self.vm.shared().transport().send_to(
+            from,
+            init,
+            Incoming::Ctrl(Ctrl::Sched(SchedReply::MigrationAborted { rank })),
+            snow_vm::wire::ENVELOPE_OVERHEAD_BYTES,
+            snow_net::FrameClass::Control,
+        );
     }
 
     /// Spawn a replacement initialized process on an alternate live

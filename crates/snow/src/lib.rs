@@ -62,5 +62,7 @@ pub mod prelude {
     pub use snow_net::{FaultPlan, FaultSpec, FrameClass, LinkModel, LinkSel, TimeScale};
     pub use snow_state::{ExecState, MemoryGraph, ProcessState, StateCostModel};
     pub use snow_trace::{SpaceTime, Tracer};
-    pub use snow_vm::{HostId, HostSpec, Rank, Tag, Vmid};
+    pub use snow_vm::{
+        HostId, HostSpec, InProcTransport, NodeId, Rank, Tag, TcpTransport, Transport, Vmid,
+    };
 }

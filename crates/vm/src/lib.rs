@@ -31,6 +31,9 @@
 //!   access, tracing).
 //! * [`vm`] — [`vm::VirtualMachine`]: membership, process spawning,
 //!   vmid allocation, the signal service.
+//! * [`transport`] — the pluggable backend seam for the §2.3 services:
+//!   the default in-process substrate and a framed localhost-TCP
+//!   backend, both behind [`transport::Transport`].
 //!
 //! The protocol algorithms themselves (send/recv/connect/migrate/
 //! initialize) live in `snow-core`; the scheduler logic in `snow-sched`.
@@ -44,13 +47,15 @@ pub mod ids;
 pub mod post;
 pub mod process;
 pub mod shard;
+pub mod transport;
 pub mod vm;
 pub mod wire;
 
 pub use faults::{FaultHook, FaultLayer};
 pub use host::HostSpec;
 pub use ids::{HostId, Rank, Tag, Vmid};
-pub use post::{Post, PostSender};
+pub use post::{Post, PostSender, RemoteTx};
 pub use process::ProcessCell;
+pub use transport::{InProcTransport, NodeId, SendError, TcpTransport, Transport};
 pub use vm::VirtualMachine;
 pub use wire::{Ctrl, Envelope, Incoming, Payload, SchedReply, SchedRequest, Signal};

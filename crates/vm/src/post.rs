@@ -51,9 +51,40 @@ struct Timed<T> {
     msg: T,
 }
 
+/// The remote half of a virtualized sender handle: a [`PostSender`]
+/// whose inbox lives on another node, reached through a transport
+/// backend instead of a process-local queue. The transport owns the
+/// encoding and the socket; this trait is only the seam `post` needs so
+/// it can stay ignorant of frame formats.
+pub trait RemoteTx<T>: Send + Sync {
+    /// Deliver `msg` to the remote inbox. The wire is real, so there is
+    /// no modeled delivery time; errors map to [`InboxClosed`] exactly
+    /// like a local owner terminating.
+    fn send(&self, msg: T, bytes: usize, class: FrameClass) -> Result<(), InboxClosed>;
+
+    /// Stable wire name of the remote inbox: `(home_node, expose_id)`.
+    /// Re-encoding this sender (a handle forwarded inside a message)
+    /// writes this address instead of re-exposing.
+    fn addr(&self) -> (u32, u64);
+}
+
+enum Tx<T> {
+    Local(Sender<Timed<T>>),
+    Remote(Arc<dyn RemoteTx<T>>),
+}
+
+impl<T> Clone for Tx<T> {
+    fn clone(&self) -> Self {
+        match self {
+            Tx::Local(tx) => Tx::Local(tx.clone()),
+            Tx::Remote(r) => Tx::Remote(Arc::clone(r)),
+        }
+    }
+}
+
 /// Sending half of an inbox, bound to one logical connection.
 pub struct PostSender<T> {
-    tx: Sender<Timed<T>>,
+    tx: Tx<T>,
     wire_free_at: Arc<Mutex<Instant>>,
     link: LinkModel,
     scale: TimeScale,
@@ -85,6 +116,28 @@ impl<T> std::fmt::Debug for PostSender<T> {
 }
 
 impl<T> PostSender<T> {
+    /// Wrap a transport-backed remote inbox as a sender handle. The
+    /// wire is real (sockets), so the link is instant and unmodeled;
+    /// the transport accounts for actual transfer time.
+    pub fn remote(remote: Arc<dyn RemoteTx<T>>) -> PostSender<T> {
+        PostSender {
+            tx: Tx::Remote(remote),
+            wire_free_at: Arc::new(Mutex::new(Instant::now())),
+            link: LinkModel::INSTANT,
+            scale: TimeScale::ZERO,
+            fault: None,
+        }
+    }
+
+    /// The `(home_node, expose_id)` wire address if this sender is a
+    /// virtualized remote handle, `None` for a process-local queue.
+    pub fn remote_addr(&self) -> Option<(u32, u64)> {
+        match &self.tx {
+            Tx::Local(_) => None,
+            Tx::Remote(r) => Some(r.addr()),
+        }
+    }
+
     /// Derive a sender to the same inbox over a *different* logical
     /// connection (fresh wire, possibly different link model). Used when
     /// a connection is established between two hosts: the path model is
@@ -143,6 +196,14 @@ impl<T> PostSender<T> {
             }
             extra_s = verdict.extra_delay_s;
         }
+        let tx = match &self.tx {
+            Tx::Local(tx) => tx,
+            // A remote inbox rides a real wire: no modeled delivery
+            // time, and injected jitter has no modeled window to extend
+            // (resets above still apply — they are the fault class the
+            // protocol recovers from).
+            Tx::Remote(r) => return r.send(msg, bytes, class),
+        };
         let deliver_at = if self.scale.0 > 0.0 {
             let now = Instant::now();
             let ser = self.scale.real(self.link.serialize_seconds(bytes));
@@ -161,9 +222,7 @@ impl<T> PostSender<T> {
             // scale-bench hot path.
             None
         };
-        self.tx
-            .send(Timed { deliver_at, msg })
-            .map_err(|_| InboxClosed)
+        tx.send(Timed { deliver_at, msg }).map_err(|_| InboxClosed)
     }
 }
 
@@ -265,7 +324,7 @@ impl<T> Post<T> {
         let (tx, rx) = channel::unbounded();
         (
             PostSender {
-                tx,
+                tx: Tx::Local(tx),
                 wire_free_at: Arc::new(Mutex::new(Instant::now())),
                 link,
                 scale,
@@ -736,6 +795,38 @@ mod tests {
         for i in 0..10 {
             assert_eq!(rx.recv().unwrap(), i, "per-sender FIFO under jitter");
         }
+    }
+
+    #[test]
+    fn remote_sender_routes_through_the_trait() {
+        struct Chan(Sender<u32>);
+        impl RemoteTx<u32> for Chan {
+            fn send(&self, msg: u32, _bytes: usize, _class: FrameClass) -> Result<(), InboxClosed> {
+                self.0.send(msg).map_err(|_| InboxClosed)
+            }
+            fn addr(&self) -> (u32, u64) {
+                (7, 42)
+            }
+        }
+        let (tx, rx) = channel::unbounded();
+        let sender = PostSender::remote(Arc::new(Chan(tx)));
+        assert_eq!(sender.remote_addr(), Some((7, 42)));
+        sender.send(1, 4).unwrap();
+        // Clones and re-linked derivations stay bound to the remote.
+        sender.clone().send(2, 4).unwrap();
+        sender
+            .with_link(LinkModel::ETHERNET_10M, TimeScale::MILLI)
+            .send(3, 4)
+            .unwrap();
+        assert_eq!(
+            (0..3).map(|_| rx.recv().unwrap()).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        drop(rx);
+        assert_eq!(sender.send(4, 4), Err(InboxClosed));
+        // Local senders have no wire address.
+        let (local, _p) = Post::<u32>::channel(LinkModel::INSTANT, TimeScale::ZERO);
+        assert_eq!(local.remote_addr(), None);
     }
 
     #[test]

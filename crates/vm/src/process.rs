@@ -192,22 +192,17 @@ impl ProcessCell {
 
     // --- connectionless service -----------------------------------------
 
-    /// Route a `conn_req` toward `target` through its host's daemon.
-    /// Errors with [`EnvError::HostGone`] when the target daemon no
-    /// longer exists — the paper's "requestor's daemon sends the
-    /// rejection message back" case, which callers treat as a nack.
+    /// Route a `conn_req` toward `target` through the transport's
+    /// connectionless service (the target host's daemon). Errors with
+    /// [`EnvError::HostGone`] when no route exists — the paper's
+    /// "requestor's daemon sends the rejection message back" case,
+    /// which callers treat as a nack.
     pub fn route_conn_req(&self, req: ConnReqMsg) -> Result<(), EnvError> {
         let host = req.target.host;
-        match self.shared.daemon(host) {
-            Some(d) => {
-                if d.send(DaemonMsg::RouteConnReq(req)) {
-                    Ok(())
-                } else {
-                    Err(EnvError::HostGone(host))
-                }
-            }
-            None => Err(EnvError::HostGone(host)),
-        }
+        self.shared
+            .transport()
+            .route_conn_req(self.vmid.host.into(), req)
+            .map_err(|_| EnvError::HostGone(host))
     }
 
     /// Answer a previously received `conn_req` through the local daemon
@@ -232,20 +227,19 @@ impl ProcessCell {
 
     // --- scheduler --------------------------------------------------------
 
-    /// Fire-and-forget request to the scheduler.
+    /// Fire-and-forget request to the scheduler over the
+    /// connection-oriented service.
     pub fn sched_send(&self, req: SchedRequest) -> Result<(), EnvError> {
         let sched = self.shared.scheduler_vmid().ok_or(EnvError::NoScheduler)?;
-        // Borrow the address in place (no ProcAddr/label clone): this
-        // runs on every scheduler consult and every migration phase.
         self.shared
-            .registry()
-            .with_addr(sched, |addr| {
-                addr.inbox.send(
-                    Incoming::Ctrl(Ctrl::SchedRequest(req)),
-                    ENVELOPE_OVERHEAD_BYTES,
-                )
-            })
-            .ok_or(EnvError::SchedulerGone)?
+            .transport()
+            .send_to(
+                self.vmid.host.into(),
+                sched,
+                Incoming::Ctrl(Ctrl::SchedRequest(req)),
+                ENVELOPE_OVERHEAD_BYTES,
+                snow_net::FrameClass::Control,
+            )
             .map_err(|_| EnvError::SchedulerGone)
     }
 

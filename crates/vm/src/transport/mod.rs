@@ -1,0 +1,138 @@
+//! Pluggable transport backends for the §2.3 communication services.
+//!
+//! The SNOW protocol state machines are written against three services
+//! (§2.3): connection-oriented FIFO channels, a connectionless datagram
+//! service between daemons, and an ordered best-effort signaling
+//! service. [`Transport`] is that contract as a trait: everything in
+//! `snow-vm`/`snow-sched` that crosses a host boundary goes through it,
+//! so swapping the backend cannot change protocol behaviour — proving
+//! the §4 guarantees transport-independent is the whole point.
+//!
+//! Two backends ship:
+//!
+//! * [`InProcTransport`] (the default) — crossbeam queues through the
+//!   sharded registry, exactly the substrate every earlier PR ran on.
+//!   Deterministic, fault-injectable, chaos-replayable.
+//! * [`TcpTransport`] — real localhost sockets with the big-endian
+//!   length-prefixed frames of [`snow_net::frame`] and a built-in node
+//!   registry for vmid→socket resolution (no external name service).
+//!
+//! Only *routing* moves behind the trait. Local interactions — a
+//! process answering its own daemon, an established channel's
+//! [`crate::post::PostSender`] — keep their direct paths; over TCP a
+//! channel sender that crossed the wire is already a virtualized
+//! [`crate::post::RemoteTx`] handle, so sends through it hit the socket
+//! without the router's help.
+
+mod codec;
+mod inproc;
+mod tcp;
+
+pub use inproc::InProcTransport;
+pub use tcp::TcpTransport;
+
+use crate::daemon::DaemonHandle;
+use crate::ids::{HostId, Vmid};
+use crate::vm::Registry;
+use crate::wire::{ConnReqMsg, Incoming, Signal};
+use snow_net::FrameClass;
+
+/// A routable endpoint of the transport: one per joined host, plus
+/// out-of-band endpoints like the scheduler client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The harness-side scheduler client: a sender that lives on no
+    /// host. Socket backends give it a real endpoint so replies can
+    /// route back; the in-process backend never needs to.
+    pub const CLIENT: NodeId = NodeId(u32::MAX);
+}
+
+impl From<HostId> for NodeId {
+    fn from(h: HostId) -> NodeId {
+        NodeId(h.0)
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if *self == NodeId::CLIENT {
+            write!(f, "node:client")
+        } else {
+            write!(f, "node:{}", self.0)
+        }
+    }
+}
+
+/// Why a transport send did not reach its destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendError {
+    /// No route: the vmid is not registered, or its node is not (or no
+    /// longer) a member.
+    Unroutable,
+    /// The route exists but the destination inbox has closed (the
+    /// process terminated).
+    Closed,
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendError::Unroutable => write!(f, "no route to destination"),
+            SendError::Closed => write!(f, "destination inbox closed"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// The §2.3 communication services, as one backend-swappable seam.
+///
+/// Implementations must preserve the service guarantees the protocol
+/// state machines assume:
+///
+/// * [`Transport::send_to`] — **connection-oriented**: lossless and
+///   FIFO per sender (per calling thread of one logical flow).
+/// * [`Transport::route_conn_req`] — **connectionless**: delivery to
+///   the target host's daemon; the *daemon* draws any fault verdict
+///   (drop/duplicate), so requesters must be prepared to re-send
+///   regardless of backend.
+/// * [`Transport::signal`] — **signaling**: ordered, best-effort;
+///   `false` means the target is known to be gone (a socket backend may
+///   be optimistic — signals are best-effort by contract).
+pub trait Transport: Send + Sync {
+    /// Short backend name for records and bench output.
+    fn name(&self) -> &'static str;
+
+    /// Bind the environment's process registry. Called once when the
+    /// virtual machine is built, before any host joins.
+    fn attach(&self, registry: Registry);
+
+    /// A node joined: `daemon` is its conn_req router, `None` for
+    /// daemon-less endpoints (bench nodes, the scheduler client).
+    fn host_joined(&self, node: NodeId, daemon: Option<DaemonHandle>);
+
+    /// A node left: all routes to it become [`SendError::Unroutable`].
+    fn host_left(&self, node: NodeId);
+
+    /// Deliver `msg` to the inbox of `to` over the connection-oriented
+    /// service. `bytes` is the modeled wire size for link accounting.
+    fn send_to(
+        &self,
+        from: NodeId,
+        to: Vmid,
+        msg: Incoming,
+        bytes: usize,
+        class: FrameClass,
+    ) -> Result<(), SendError>;
+
+    /// Route a `conn_req` datagram to the daemon of `req.target.host`.
+    fn route_conn_req(&self, from: NodeId, req: ConnReqMsg) -> Result<(), SendError>;
+
+    /// Deliver `sig` to the ordered signal queue of `to`.
+    fn signal(&self, to: Vmid, sig: Signal) -> bool;
+
+    /// Release backend resources (sockets, threads). Idempotent.
+    fn shutdown(&self) {}
+}

@@ -1,0 +1,673 @@
+//! Localhost TCP backend: the same protocol over real sockets.
+//!
+//! Every joined node gets its own `127.0.0.1:0` listener; the
+//! transport's node table — node id → socket address, daemon handle and
+//! expose table — is the built-in *node registry* that resolves
+//! vmid→socket without an external name service (the mesh-lang STF
+//! design: canonical frames, no EPMD). Frames are the big-endian
+//! length-prefixed format of [`snow_net::frame`]; bodies are the
+//! canonical encodings of [`super::codec`].
+//!
+//! Delivery guarantees, by service:
+//!
+//! * **Connection-oriented** ([`Transport::send_to`] and virtualized
+//!   [`RemoteTx`] channel senders): all traffic to one destination node
+//!   shares one pooled socket whose writes are mutex-serialised, so
+//!   call order equals wire order and per-sender FIFO holds end to end.
+//! * **Connectionless** ([`Transport::route_conn_req`]): the frame is
+//!   handed to the destination daemon, which draws the drop/duplicate
+//!   fault verdict exactly as in-process — fault semantics are
+//!   receiver-side and therefore backend-independent.
+//! * **Signaling** ([`Transport::signal`]): best-effort; `true` means
+//!   the target was alive when the frame was written.
+//!
+//! Two deliberate differences from the in-process backend, both within
+//! the §2.3 contract: a send whose frame was written returns `Ok` even
+//! if the destination process dies before the frame lands (a socket
+//! cannot know), and senders parked in an expose table stay alive until
+//! [`Transport::shutdown`] clears them — clean protocol runs terminate
+//! through explicit markers (`PeerMigrating`/`EndOfMessages`), not
+//! sender-drop, so only teardown notices.
+//!
+//! Socket wires carry real delays, so this backend runs at
+//! [`TimeScale::ZERO`]: modeled link delays and socket latency must not
+//! stack.
+
+use super::codec::{
+    decode_conn_req, decode_incoming, decode_signal, encode_conn_req, encode_incoming,
+    encode_signal, SenderVault,
+};
+use super::{NodeId, SendError, Transport};
+use crate::daemon::{DaemonHandle, DaemonMsg};
+use crate::ids::Vmid;
+use crate::post::{InboxClosed, Post, PostSender, RemoteTx};
+use crate::vm::Registry;
+use crate::wire::{ConnReqMsg, Incoming, Signal};
+use parking_lot::{Mutex, RwLock};
+use snow_codec::{WireReader, WireWriter};
+use snow_net::frame::{encode_frame, read_frame, FrameKind};
+use snow_net::{FrameClass, LinkModel, TimeScale};
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct Node {
+    addr: SocketAddr,
+    daemon: Mutex<Option<DaemonHandle>>,
+    /// Sender handles virtualized out of this node: expose_id → the
+    /// live local sender a remote peer's wire name resolves back to.
+    exposed: Mutex<HashMap<u64, PostSender<Incoming>>>,
+}
+
+struct Conn {
+    stream: Mutex<TcpStream>,
+}
+
+struct Inner {
+    registry: RwLock<Option<Registry>>,
+    nodes: RwLock<HashMap<u32, Arc<Node>>>,
+    /// Pooled outbound sockets, one per destination node. Guarded by a
+    /// single lock so concurrent first-dials cannot create two sockets
+    /// to one node — frames of one sender must never split across
+    /// streams, or FIFO dies.
+    conns: Mutex<HashMap<u32, Arc<Conn>>>,
+    next_expose: AtomicU64,
+    down: AtomicBool,
+}
+
+impl Inner {
+    fn with_registry<R>(&self, f: impl FnOnce(&Registry) -> R) -> Option<R> {
+        self.registry.read().as_ref().map(f)
+    }
+
+    /// Create the node (listener + accept thread) if it does not exist;
+    /// install `daemon` either way when one is supplied.
+    fn ensure_node(self: &Arc<Self>, id: u32, daemon: Option<DaemonHandle>) {
+        {
+            let nodes = self.nodes.read();
+            if let Some(node) = nodes.get(&id) {
+                if daemon.is_some() {
+                    *node.daemon.lock() = daemon;
+                }
+                return;
+            }
+        }
+        let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind transport listener");
+        let addr = listener.local_addr().expect("listener addr");
+        let node = Arc::new(Node {
+            addr,
+            daemon: Mutex::new(daemon),
+            exposed: Mutex::new(HashMap::new()),
+        });
+        let mut nodes = self.nodes.write();
+        // Raced with another creator: keep theirs, drop our listener.
+        if let Some(existing) = nodes.get(&id) {
+            if node.daemon.lock().is_some() {
+                *existing.daemon.lock() = node.daemon.lock().clone();
+            }
+            return;
+        }
+        nodes.insert(id, Arc::clone(&node));
+        drop(nodes);
+        let inner = Arc::clone(self);
+        std::thread::Builder::new()
+            .name(format!("snow-tcp-accept-{id}"))
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if inner.down.load(Ordering::SeqCst) || !inner.nodes.read().contains_key(&id) {
+                        return;
+                    }
+                    let Ok(stream) = stream else { return };
+                    let inner = Arc::clone(&inner);
+                    let node = Arc::clone(&node);
+                    std::thread::Builder::new()
+                        .name(format!("snow-tcp-read-{id}"))
+                        .spawn(move || reader_loop(inner, id, node, stream))
+                        .expect("spawn reader thread");
+                }
+            })
+            .expect("spawn accept thread");
+    }
+
+    /// Write one frame to `dst`'s socket, dialing (or re-dialing after
+    /// a write error) as needed.
+    fn send_frame(&self, dst: u32, kind: FrameKind, body: &[u8]) -> Result<(), SendError> {
+        if self.down.load(Ordering::SeqCst) {
+            return Err(SendError::Unroutable);
+        }
+        let addr = self
+            .nodes
+            .read()
+            .get(&dst)
+            .map(|n| n.addr)
+            .ok_or(SendError::Unroutable)?;
+        let frame = encode_frame(kind, body);
+        for attempt in 0..2 {
+            let conn = {
+                let mut conns = self.conns.lock();
+                match conns.get(&dst) {
+                    Some(c) => Arc::clone(c),
+                    None => {
+                        let stream = TcpStream::connect(addr).map_err(|_| SendError::Unroutable)?;
+                        let _ = stream.set_nodelay(true);
+                        let c = Arc::new(Conn {
+                            stream: Mutex::new(stream),
+                        });
+                        conns.insert(dst, Arc::clone(&c));
+                        c
+                    }
+                }
+            };
+            let wrote = conn.stream.lock().write_all(&frame).is_ok();
+            if wrote {
+                return Ok(());
+            }
+            // Dead socket: evict it (only if it is still the pooled one)
+            // and re-dial once.
+            let mut conns = self.conns.lock();
+            if conns.get(&dst).is_some_and(|c| Arc::ptr_eq(c, &conn)) {
+                conns.remove(&dst);
+            }
+            if attempt == 1 {
+                return Err(SendError::Unroutable);
+            }
+        }
+        Err(SendError::Unroutable)
+    }
+}
+
+/// Per-node codec vault: exposes local senders out of `local`'s table,
+/// resolves wire names back to local handles or [`TcpRemoteTx`] stubs.
+struct NodeVault {
+    inner: Arc<Inner>,
+    local: u32,
+}
+
+impl SenderVault for NodeVault {
+    fn expose(&self, s: &PostSender<Incoming>) -> (u32, u64) {
+        // Already virtualized: forward its existing wire name instead of
+        // chaining a second hop through this node.
+        if let Some((home, id)) = s.remote_addr() {
+            return (home, id);
+        }
+        let id = self.inner.next_expose.fetch_add(1, Ordering::Relaxed);
+        if let Some(node) = self.inner.nodes.read().get(&self.local) {
+            node.exposed.lock().insert(id, s.clone());
+        }
+        (self.local, id)
+    }
+
+    fn resolve(&self, home: u32, id: u64) -> PostSender<Incoming> {
+        if home == self.local {
+            // A sender exposed here came back around (same-node
+            // conn_req): hand back the original local handle.
+            if let Some(node) = self.inner.nodes.read().get(&home) {
+                if let Some(s) = node.exposed.lock().get(&id) {
+                    return s.clone();
+                }
+            }
+            // Expose record gone (node left / shutdown): a dead sender,
+            // indistinguishable from the owner terminating.
+            let (tx, _gone) = Post::channel(LinkModel::INSTANT, TimeScale::ZERO);
+            return tx;
+        }
+        PostSender::remote(Arc::new(TcpRemoteTx {
+            inner: Arc::clone(&self.inner),
+            home,
+            id,
+            local: self.local,
+        }))
+    }
+}
+
+/// A virtualized sender living on node `home`: sends encode an `Expose`
+/// frame and ride the pooled socket to the home node, which looks the
+/// id up in its expose table and delivers locally.
+struct TcpRemoteTx {
+    inner: Arc<Inner>,
+    home: u32,
+    id: u64,
+    /// The node this stub was decoded on — senders embedded in messages
+    /// sent *through* this stub are exposed here.
+    local: u32,
+}
+
+impl RemoteTx<Incoming> for TcpRemoteTx {
+    fn send(&self, msg: Incoming, bytes: usize, class: FrameClass) -> Result<(), InboxClosed> {
+        let vault = NodeVault {
+            inner: Arc::clone(&self.inner),
+            local: self.local,
+        };
+        let mut w = WireWriter::new();
+        w.put_u64(self.id);
+        w.put_u64(bytes as u64);
+        w.put_u8(class_byte(class));
+        w.put_bytes(&encode_incoming(&vault, &msg));
+        self.inner
+            .send_frame(self.home, FrameKind::Expose, w.as_slice())
+            .map_err(|_| InboxClosed)
+    }
+
+    fn addr(&self) -> (u32, u64) {
+        (self.home, self.id)
+    }
+}
+
+fn class_byte(class: FrameClass) -> u8 {
+    match class {
+        FrameClass::Control => 0,
+        FrameClass::Data => 1,
+    }
+}
+
+fn byte_class(b: u8) -> FrameClass {
+    if b == 1 {
+        FrameClass::Data
+    } else {
+        FrameClass::Control
+    }
+}
+
+fn reader_loop(inner: Arc<Inner>, node_id: u32, node: Arc<Node>, mut stream: TcpStream) {
+    loop {
+        let (kind, body) = match read_frame(&mut stream) {
+            Ok(Some(f)) => f,
+            // Clean close, torn stream or teardown: either way this
+            // socket is done.
+            Ok(None) | Err(_) => return,
+        };
+        if inner.down.load(Ordering::SeqCst) {
+            return;
+        }
+        let vault = NodeVault {
+            inner: Arc::clone(&inner),
+            local: node_id,
+        };
+        // Dispatch must never block: every sink below is an unbounded
+        // queue, so a slow process cannot back-pressure the socket into
+        // deadlock. Malformed bodies are dropped like corrupt datagrams.
+        match kind {
+            FrameKind::Inbox => {
+                let mut r = WireReader::new(&body);
+                let Ok(to) = read_vmid(&mut r) else { continue };
+                let (Ok(bytes), Ok(class)) = (r.get_u64(), r.get_u8()) else {
+                    continue;
+                };
+                let Ok(raw) = r.get_bytes() else { continue };
+                let Ok(msg) = decode_incoming(&vault, raw) else {
+                    continue;
+                };
+                let _ = inner.with_registry(|reg| {
+                    reg.with_addr(to, |addr| {
+                        addr.inbox
+                            .send_classed(msg, bytes as usize, byte_class(class))
+                    })
+                });
+            }
+            FrameKind::Expose => {
+                let mut r = WireReader::new(&body);
+                let (Ok(id), Ok(bytes), Ok(class)) = (r.get_u64(), r.get_u64(), r.get_u8()) else {
+                    continue;
+                };
+                let Ok(raw) = r.get_bytes() else { continue };
+                let Ok(msg) = decode_incoming(&vault, raw) else {
+                    continue;
+                };
+                let target = node.exposed.lock().get(&id).cloned();
+                if let Some(s) = target {
+                    let _ = s.send_classed(msg, bytes as usize, byte_class(class));
+                }
+            }
+            FrameKind::ConnReq => {
+                let Ok(req) = decode_conn_req(&vault, &body) else {
+                    continue;
+                };
+                if let Some(d) = node.daemon.lock().clone() {
+                    d.send(DaemonMsg::RouteConnReq(req));
+                }
+            }
+            FrameKind::Signal => {
+                let mut r = WireReader::new(&body);
+                let Ok(to) = read_vmid(&mut r) else { continue };
+                let Ok(raw) = r.get_bytes() else { continue };
+                let Ok(sig) = decode_signal(raw) else {
+                    continue;
+                };
+                let _ = inner
+                    .with_registry(|reg| reg.with_addr(to, |addr| addr.signals.send(sig).is_ok()));
+            }
+        }
+    }
+}
+
+fn read_vmid(r: &mut WireReader) -> Result<Vmid, snow_codec::CodecError> {
+    Ok(Vmid {
+        host: crate::ids::HostId(r.get_u32()?),
+        pid: r.get_u32()?,
+    })
+}
+
+fn write_vmid(w: &mut WireWriter, vmid: Vmid) {
+    w.put_u32(vmid.host.0);
+    w.put_u32(vmid.pid);
+}
+
+/// The localhost-sockets backend. See the module docs for guarantees.
+pub struct TcpTransport {
+    inner: Arc<Inner>,
+}
+
+impl Default for TcpTransport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TcpTransport {
+    /// An unattached TCP transport. Nodes (listeners) are created as
+    /// hosts join; the scheduler-client node appears lazily on its
+    /// first send.
+    pub fn new() -> Self {
+        TcpTransport {
+            inner: Arc::new(Inner {
+                registry: RwLock::new(None),
+                nodes: RwLock::new(HashMap::new()),
+                conns: Mutex::new(HashMap::new()),
+                next_expose: AtomicU64::new(1),
+                down: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    fn vault(&self, local: u32) -> NodeVault {
+        // Sends may originate from endpoints that never joined as hosts
+        // (the scheduler client, bench harness threads): give them a
+        // real node on first use so exposed reply handles can route
+        // back.
+        self.inner.ensure_node(local, None);
+        NodeVault {
+            inner: Arc::clone(&self.inner),
+            local,
+        }
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Transport for TcpTransport {
+    fn name(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn attach(&self, registry: Registry) {
+        *self.inner.registry.write() = Some(registry);
+    }
+
+    fn host_joined(&self, node: NodeId, daemon: Option<DaemonHandle>) {
+        self.inner.ensure_node(node.0, daemon);
+    }
+
+    fn host_left(&self, node: NodeId) {
+        let removed = self.inner.nodes.write().remove(&node.0);
+        self.inner.conns.lock().remove(&node.0);
+        if let Some(n) = removed {
+            // Wake the accept loop so it observes the removal and exits.
+            let _ = TcpStream::connect(n.addr);
+            n.exposed.lock().clear();
+        }
+    }
+
+    fn send_to(
+        &self,
+        from: NodeId,
+        to: Vmid,
+        msg: Incoming,
+        bytes: usize,
+        class: FrameClass,
+    ) -> Result<(), SendError> {
+        let vault = self.vault(from.0);
+        let mut w = WireWriter::new();
+        write_vmid(&mut w, to);
+        w.put_u64(bytes as u64);
+        w.put_u8(class_byte(class));
+        w.put_bytes(&encode_incoming(&vault, &msg));
+        self.inner
+            .send_frame(to.host.0, FrameKind::Inbox, w.as_slice())
+    }
+
+    fn route_conn_req(&self, from: NodeId, req: ConnReqMsg) -> Result<(), SendError> {
+        let dst = req.target.host.0;
+        let vault = self.vault(from.0);
+        let body = encode_conn_req(&vault, &req);
+        self.inner.send_frame(dst, FrameKind::ConnReq, &body)
+    }
+
+    fn signal(&self, to: Vmid, sig: Signal) -> bool {
+        // Best-effort with a local liveness answer: the frame rides the
+        // socket, the boolean reflects whether the target was still
+        // registered when it was written.
+        let alive = self
+            .inner
+            .with_registry(|reg| reg.with_addr(to, |_| true).unwrap_or(false))
+            .unwrap_or(false);
+        if !alive {
+            return false;
+        }
+        let mut w = WireWriter::new();
+        write_vmid(&mut w, to);
+        w.put_bytes(&encode_signal(sig));
+        self.inner
+            .send_frame(to.host.0, FrameKind::Signal, w.as_slice())
+            .is_ok()
+    }
+
+    fn shutdown(&self) {
+        if self.inner.down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let nodes: Vec<Arc<Node>> = self.inner.nodes.write().drain().map(|(_, n)| n).collect();
+        // Close pooled sockets (readers on the far end see EOF) …
+        self.inner.conns.lock().clear();
+        for n in &nodes {
+            // … wake each accept loop so it observes `down` and exits …
+            let _ = TcpStream::connect(n.addr);
+            // … and drop parked senders so blocked receivers see
+            // InboxClosed instead of waiting on a handle nobody holds.
+            n.exposed.lock().clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::HostId;
+    use crate::vm::ProcAddr;
+    use crate::wire::{Ctrl, Envelope, Payload};
+    use bytes::Bytes;
+    use snow_trace::MsgId;
+    use std::time::Duration;
+
+    fn register_proc(
+        reg: &Registry,
+        vmid: Vmid,
+    ) -> (Post<Incoming>, crossbeam::channel::Receiver<Signal>) {
+        let (tx, post) = Post::channel(LinkModel::INSTANT, TimeScale::ZERO);
+        let (sig_tx, sig_rx) = crossbeam::channel::unbounded();
+        reg.register(
+            vmid,
+            ProcAddr {
+                inbox: tx,
+                signals: sig_tx,
+                host: vmid.host,
+                label: "t".into(),
+            },
+        );
+        (post, sig_rx)
+    }
+
+    #[test]
+    fn inbox_frames_cross_the_socket_in_order() {
+        let t = TcpTransport::new();
+        let reg = Registry::new();
+        t.attach(reg.clone());
+        t.host_joined(NodeId(0), None);
+        t.host_joined(NodeId(1), None);
+        let dst = Vmid {
+            host: HostId(1),
+            pid: 0,
+        };
+        let (post, _sigs) = register_proc(&reg, dst);
+        for i in 0..200u64 {
+            let msg = Incoming::Data(Envelope {
+                src: 0,
+                tag: 0,
+                msg: MsgId(i),
+                payload: Payload::Data(Bytes::from(i.to_be_bytes().to_vec())),
+            });
+            t.send_to(NodeId(0), dst, msg, 64, FrameClass::Data)
+                .unwrap();
+        }
+        for i in 0..200u64 {
+            match post.recv_timeout(Duration::from_secs(5)).unwrap() {
+                Some(Incoming::Data(e)) => assert_eq!(e.msg, MsgId(i)),
+                other => panic!("expected data, got {other:?}"),
+            }
+        }
+        t.shutdown();
+    }
+
+    #[test]
+    fn unknown_node_is_unroutable() {
+        let t = TcpTransport::new();
+        t.attach(Registry::new());
+        t.host_joined(NodeId(0), None);
+        let dst = Vmid {
+            host: HostId(9),
+            pid: 0,
+        };
+        let msg = Incoming::Ctrl(Ctrl::ConnNack {
+            req_id: 1,
+            target: dst,
+        });
+        assert_eq!(
+            t.send_to(NodeId(0), dst, msg, 64, FrameClass::Control),
+            Err(SendError::Unroutable)
+        );
+    }
+
+    #[test]
+    fn host_left_cuts_the_route() {
+        let t = TcpTransport::new();
+        let reg = Registry::new();
+        t.attach(reg.clone());
+        t.host_joined(NodeId(0), None);
+        t.host_joined(NodeId(1), None);
+        let dst = Vmid {
+            host: HostId(1),
+            pid: 0,
+        };
+        let (_post, _sigs) = register_proc(&reg, dst);
+        let msg = || {
+            Incoming::Ctrl(Ctrl::ConnNack {
+                req_id: 1,
+                target: dst,
+            })
+        };
+        t.send_to(NodeId(0), dst, msg(), 64, FrameClass::Control)
+            .unwrap();
+        t.host_left(NodeId(1));
+        assert_eq!(
+            t.send_to(NodeId(0), dst, msg(), 64, FrameClass::Control),
+            Err(SendError::Unroutable)
+        );
+        t.shutdown();
+    }
+
+    #[test]
+    fn signals_ride_the_socket() {
+        let t = TcpTransport::new();
+        let reg = Registry::new();
+        t.attach(reg.clone());
+        t.host_joined(NodeId(0), None);
+        let dst = Vmid {
+            host: HostId(0),
+            pid: 0,
+        };
+        let (_post, sigs) = register_proc(&reg, dst);
+        assert!(t.signal(dst, Signal::Disconnect { from: 3 }));
+        assert_eq!(
+            sigs.recv_timeout(Duration::from_secs(5)).unwrap(),
+            Signal::Disconnect { from: 3 }
+        );
+        // Unknown process: reported dead without a socket write.
+        assert!(!t.signal(
+            Vmid {
+                host: HostId(0),
+                pid: 99,
+            },
+            Signal::Migrate
+        ));
+        t.shutdown();
+    }
+
+    #[test]
+    fn exposed_sender_routes_back_to_origin_node() {
+        // A reply handle embedded in a message exposed on node 0 must be
+        // usable from node 1 — the virtualized-handle path that makes
+        // conn_req/grant handshakes work over sockets.
+        let t = TcpTransport::new();
+        let reg = Registry::new();
+        t.attach(reg.clone());
+        t.host_joined(NodeId(0), None);
+        t.host_joined(NodeId(1), None);
+        let sched = Vmid {
+            host: HostId(1),
+            pid: 0,
+        };
+        let (sched_post, _sigs) = register_proc(&reg, sched);
+        // "Process" on node 0: a raw post whose sender goes out as a
+        // reply handle inside a Lookup request.
+        let (reply_tx, reply_post) = Post::<Incoming>::channel(LinkModel::INSTANT, TimeScale::ZERO);
+        let req = Incoming::Ctrl(Ctrl::SchedRequest(crate::wire::SchedRequest::Lookup {
+            about: 5,
+            reply: reply_tx,
+        }));
+        t.send_to(NodeId(0), sched, req, 64, FrameClass::Control)
+            .unwrap();
+        let got_reply = match sched_post.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Some(Incoming::Ctrl(Ctrl::SchedRequest(crate::wire::SchedRequest::Lookup {
+                about: 5,
+                reply,
+            }))) => reply,
+            other => panic!("expected lookup, got {other:?}"),
+        };
+        // The decoded handle is remote (it lives on node 0) …
+        assert_eq!(got_reply.remote_addr().map(|(h, _)| h), Some(0));
+        // … and sending through it lands in the original post.
+        got_reply
+            .send(
+                Incoming::Ctrl(Ctrl::Sched(crate::wire::SchedReply::Location {
+                    about: 5,
+                    status: crate::wire::ExeStatus::Running,
+                    vmid: None,
+                })),
+                64,
+            )
+            .unwrap();
+        match reply_post.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Some(Incoming::Ctrl(Ctrl::Sched(crate::wire::SchedReply::Location {
+                about: 5,
+                ..
+            }))) => {}
+            other => panic!("expected location reply, got {other:?}"),
+        }
+        t.shutdown();
+    }
+}

@@ -7,6 +7,7 @@ use crate::ids::{HostId, Vmid};
 use crate::post::{Post, PostSender};
 use crate::process::ProcessCell;
 use crate::shard::ShardedMap;
+use crate::transport::{InProcTransport, Transport};
 use crate::wire::{Incoming, Signal};
 use crossbeam::channel::{self, Sender};
 use parking_lot::{Mutex, RwLock};
@@ -107,6 +108,8 @@ pub struct VmShared {
     /// Deterministic fault injection (disarmed unless a plan is
     /// installed via [`VirtualMachine::set_fault_plan`]).
     faults: Arc<FaultLayer>,
+    /// The backend carrying every cross-host service of §2.3.
+    transport: Arc<dyn Transport>,
 }
 
 impl VmShared {
@@ -128,6 +131,11 @@ impl VmShared {
     /// The environment's fault layer.
     pub fn faults(&self) -> &Arc<FaultLayer> {
         &self.faults
+    }
+
+    /// The transport backend routing cross-host traffic.
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
     }
 
     /// Spec of a live host.
@@ -155,12 +163,11 @@ impl VmShared {
         *self.scheduler.read()
     }
 
-    /// Deliver a signal to a process's ordered signal queue. Returns
-    /// `false` when the process is unknown or has terminated.
+    /// Deliver a signal to a process's ordered signal queue through the
+    /// transport's signaling service. Returns `false` when the process
+    /// is unknown or has terminated.
     pub fn signal(&self, vmid: Vmid, sig: Signal) -> bool {
-        self.registry
-            .with_addr(vmid, |addr| addr.signals.send(sig).is_ok())
-            .unwrap_or(false)
+        self.transport.signal(vmid, sig)
     }
 
     /// Mark `host` as draining (or clear the mark). While draining no
@@ -197,18 +204,32 @@ pub struct VirtualMachine {
 }
 
 impl VirtualMachine {
-    /// Create an empty environment.
+    /// Create an empty environment on the default in-process transport.
     pub fn new(tracer: Arc<Tracer>, scale: TimeScale) -> Self {
+        Self::with_transport(tracer, scale, Arc::new(InProcTransport::new()))
+    }
+
+    /// Create an empty environment on an explicit transport backend.
+    /// Socket-backed transports carry real wire delays and must run at
+    /// [`TimeScale::ZERO`] so modeled link delays do not stack on them.
+    pub fn with_transport(
+        tracer: Arc<Tracer>,
+        scale: TimeScale,
+        transport: Arc<dyn Transport>,
+    ) -> Self {
+        let registry = Registry::new();
+        transport.attach(registry.clone());
         VirtualMachine {
             shared: Arc::new(VmShared {
                 hosts: RwLock::new(HashMap::new()),
-                registry: Registry::new(),
+                registry,
                 scheduler: RwLock::new(None),
                 tracer,
                 scale,
                 next_host: AtomicU32::new(0),
                 membership: Mutex::new(()),
                 faults: Arc::new(FaultLayer::new()),
+                transport,
             }),
         }
     }
@@ -238,11 +259,12 @@ impl VirtualMachine {
             id,
             Arc::new(HostEntry {
                 spec,
-                daemon,
+                daemon: daemon.clone(),
                 next_pid: AtomicU32::new(0),
                 draining: AtomicBool::new(false),
             }),
         );
+        self.shared.transport.host_joined(id.into(), Some(daemon));
         id
     }
 
@@ -257,6 +279,7 @@ impl VirtualMachine {
     pub fn remove_host(&self, host: HostId) {
         let _guard = self.shared.membership.lock();
         let entry = self.shared.hosts.write().remove(&host);
+        self.shared.transport.host_left(host.into());
         if let Some(entry) = entry {
             entry.daemon.send(DaemonMsg::Shutdown);
         }

@@ -1,0 +1,214 @@
+//! `snow-bench pogate` — regression-gate the `post_office` microbenches.
+//!
+//! The vendored criterion shim prints one line per benchmark:
+//!
+//! ```text
+//!   registry_lookup_1k/sharded_borrow: 812 ns/iter, 49261083 elem/s
+//! ```
+//!
+//! CI captures that output (`cargo bench -p snow-bench --bench post_office
+//! | tee pogate.txt`) and this bin parses it, then checks every
+//! sharded-vs-baseline pair: the post-sharding shape must not be slower
+//! than `--max-ratio` (default 1.5) times its pre-sharding counterpart.
+//! The sharded paths win by a wide margin on healthy builds, so the
+//! generous ratio only trips when a change genuinely pessimises the hot
+//! path, not on CI-runner noise.
+//!
+//! Usage:
+//!   cargo bench -p snow-bench --bench post_office | tee pogate.txt
+//!   cargo run -p snow-bench --release --bin pogate -- --input pogate.txt
+//!   cargo run -p snow-bench --release --bin pogate -- --input pogate.txt --max-ratio 2.0
+
+use std::collections::HashMap;
+use std::io::Read;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// The pairs the gate enforces: (group, fast-path label, baseline label).
+///
+/// Each pair contrasts the post-PR shape against the pre-PR shape it
+/// replaced; `post_delivery` contrasts the immediate fast path against
+/// the modeled staging heap, which it must never lose to.
+const PAIRS: &[(&str, &str, &str)] = &[
+    (
+        "registry_lookup_1k",
+        "sharded_borrow",
+        "global_rwlock_clone",
+    ),
+    ("directory_lookup_1k", "indexed", "central_btree"),
+    ("routed_send_1k", "sharded_zero_copy", "global_lock_clone"),
+    ("post_delivery", "immediate_fast_path", "modeled_staged"),
+];
+
+fn usage() -> ! {
+    eprintln!("usage: pogate [--input FILE] [--max-ratio R]   (reads stdin without --input)");
+    std::process::exit(2);
+}
+
+/// Parse the shim's `  {group}/{label}: {ns} ns/iter[, ...]` lines into a
+/// label → ns/iter map. Unrelated lines are ignored; a duplicate label
+/// keeps the last measurement (the shim never emits duplicates).
+fn parse_measurements(text: &str) -> HashMap<String, f64> {
+    let mut out = HashMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        let Some((label, rest)) = line.split_once(": ") else {
+            continue;
+        };
+        let Some(ns_text) = rest
+            .strip_suffix(" ns/iter")
+            .or_else(|| rest.split_once(" ns/iter, ").map(|(ns, _)| ns))
+        else {
+            continue;
+        };
+        if let Ok(ns) = ns_text.trim().parse::<f64>() {
+            if ns.is_finite() && ns > 0.0 && label.contains('/') {
+                out.insert(label.to_string(), ns);
+            }
+        }
+    }
+    out
+}
+
+/// Check every [`PAIRS`] entry against `max_ratio`; returns the list of
+/// violations (missing measurements count as violations — a gate that
+/// silently skips a vanished benchmark is no gate).
+fn gate(measurements: &HashMap<String, f64>, max_ratio: f64) -> Vec<String> {
+    let mut violations = Vec::new();
+    for &(group, fast, base) in PAIRS {
+        let fast_label = format!("{group}/{fast}");
+        let base_label = format!("{group}/{base}");
+        let (Some(&fast_ns), Some(&base_ns)) =
+            (measurements.get(&fast_label), measurements.get(&base_label))
+        else {
+            violations.push(format!(
+                "{group}: missing measurement for {fast_label} and/or {base_label}"
+            ));
+            continue;
+        };
+        let ratio = fast_ns / base_ns;
+        if ratio > max_ratio {
+            violations.push(format!(
+                "{fast_label} at {fast_ns:.0} ns/iter is {ratio:.2}x {base_label} \
+                 ({base_ns:.0} ns/iter); limit {max_ratio:.2}x"
+            ));
+        }
+    }
+    violations
+}
+
+fn main() -> ExitCode {
+    let mut input: Option<PathBuf> = None;
+    let mut max_ratio = 1.5f64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--input" => input = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--max-ratio" => {
+                max_ratio = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|r: &f64| r.is_finite() && *r > 0.0)
+                    .unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+    }
+
+    let text = match &input {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("pogate: cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("pogate: cannot read stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+            buf
+        }
+    };
+
+    let measurements = parse_measurements(&text);
+    let violations = gate(&measurements, max_ratio);
+    if violations.is_empty() {
+        for &(group, fast, base) in PAIRS {
+            let fast_ns = measurements[&format!("{group}/{fast}")];
+            let base_ns = measurements[&format!("{group}/{base}")];
+            println!(
+                "pogate: {group}: {fast} {fast_ns:.0} ns/iter vs {base} {base_ns:.0} ns/iter \
+                 ({:.2}x, limit {max_ratio:.2}x)",
+                fast_ns / base_ns
+            );
+        }
+        println!("pogate: {} pair(s) within tolerance", PAIRS.len());
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("pogate: GATE {v}");
+        }
+        eprintln!("pogate: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+post_office: registry_lookup_1k\n\
+  registry_lookup_1k/sharded_borrow: 800 ns/iter, 50000000 elem/s\n\
+  registry_lookup_1k/global_rwlock_clone: 4000 ns/iter, 10000000 elem/s\n\
+  directory_lookup_1k/indexed: 10 ns/iter, 100000000 elem/s\n\
+  directory_lookup_1k/central_btree: 95 ns/iter, 10526316 elem/s\n\
+  routed_send_1k/sharded_zero_copy: 2000 ns/iter, 20000000 elem/s\n\
+  routed_send_1k/global_lock_clone: 9000 ns/iter, 4444444 elem/s\n\
+  post_delivery/immediate_fast_path: 120 ns/iter\n\
+  post_delivery/modeled_staged: 450 ns/iter\n";
+
+    #[test]
+    fn parses_all_shim_line_shapes() {
+        let m = parse_measurements(SAMPLE);
+        assert_eq!(m.len(), 8);
+        assert_eq!(m["registry_lookup_1k/sharded_borrow"], 800.0);
+        assert_eq!(m["post_delivery/immediate_fast_path"], 120.0);
+        let mbps = parse_measurements("  g/x: 77 ns/iter, 831.1 MB/s\n");
+        assert_eq!(mbps["g/x"], 77.0);
+    }
+
+    #[test]
+    fn ignores_garbage_and_headers() {
+        let m = parse_measurements("warning: unused\nrunning benches\n  g/x: nonsense\n");
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn healthy_pairs_pass() {
+        let m = parse_measurements(SAMPLE);
+        assert!(gate(&m, 1.5).is_empty());
+    }
+
+    #[test]
+    fn regressed_pair_fails() {
+        let mut m = parse_measurements(SAMPLE);
+        m.insert("directory_lookup_1k/indexed".into(), 200.0);
+        let v = gate(&m, 1.5);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("directory_lookup_1k/indexed"), "{}", v[0]);
+    }
+
+    #[test]
+    fn missing_measurement_fails() {
+        let mut m = parse_measurements(SAMPLE);
+        m.remove("routed_send_1k/global_lock_clone");
+        let v = gate(&m, 1.5);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("missing"), "{}", v[0]);
+    }
+}

@@ -2,18 +2,22 @@
 //! the schema'd `BENCH_scale.json` baseline.
 //!
 //! Both scenarios (all-pairs flood, migration-under-load) run at every
-//! requested rank count; see `snow_bench::scale` for what each
-//! measures. `--smoke` shrinks the budgets for CI; `--transport tcp`
-//! drives the framed localhost-socket backend instead of the in-process
-//! substrate; `--validate FILE` skips the runs and only schema-checks an
-//! existing document; `--gate FILE --baseline FILE` regression-gates a
-//! fresh run against the committed baseline (the CI `bench-smoke` gate).
+//! requested rank count (256 / 1k / 5k / 10k by default — the ring is
+//! driven by a bounded worker pool, so 10k ranks never means 10k OS
+//! threads); see `snow_bench::scale` for what each measures.
+//!
+//! `--smoke` shrinks the budgets for CI; `--transport tcp` drives the
+//! framed localhost-socket backend instead of the in-process substrate
+//! (`--transport inproc,tcp` sweeps both into one document);
+//! `--validate FILE` skips the runs and only schema-checks an existing
+//! document; `--gate FILE --baseline FILE` regression-gates a fresh run
+//! against the committed baseline (the CI `bench-smoke` gate).
 //!
 //! Usage:
 //!   cargo run -p snow-bench --release --bin scale
 //!   cargo run -p snow-bench --release --bin scale -- --ranks 256 --smoke
 //!   cargo run -p snow-bench --release --bin scale -- --ranks 64 --smoke --transport tcp
-//!   cargo run -p snow-bench --release --bin scale -- --ranks 256,1000,5000 --out BENCH_scale.json
+//!   cargo run -p snow-bench --release --bin scale -- --transport inproc,tcp --out BENCH_scale.json
 //!   cargo run -p snow-bench --bin scale -- --validate BENCH_scale.json
 //!   cargo run -p snow-bench --bin scale -- --gate BENCH_run.json --baseline BENCH_scale.json
 
@@ -27,7 +31,7 @@ use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: scale [--ranks N[,N...]] [--smoke] [--transport inproc|tcp] [--out FILE]\n\
+        "usage: scale [--ranks N[,N...]] [--smoke] [--transport inproc|tcp[,...]] [--out FILE]\n\
          \x20      [--validate FILE]\n\
          \x20      [--gate FILE --baseline FILE [--min-throughput-ratio R] [--max-latency-ratio R]]"
     );
@@ -48,7 +52,7 @@ fn main() -> ExitCode {
     let mut gate: Option<PathBuf> = None;
     let mut baseline: Option<PathBuf> = None;
     let mut tol = GateTolerances::default();
-    let mut transport = TransportKind::InProc;
+    let mut transports: Vec<TransportKind> = Vec::new();
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -64,8 +68,10 @@ fn main() -> ExitCode {
             }
             "--smoke" => smoke = true,
             "--transport" => {
-                transport = TransportKind::parse(&args.next().unwrap_or_else(|| usage()))
-                    .unwrap_or_else(|| usage());
+                let spec = args.next().unwrap_or_else(|| usage());
+                for part in spec.split(',') {
+                    transports.push(TransportKind::parse(part.trim()).unwrap_or_else(|| usage()));
+                }
             }
             "--out" => out = PathBuf::from(args.next().unwrap_or_else(|| usage())),
             "--validate" => validate = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
@@ -143,11 +149,17 @@ fn main() -> ExitCode {
     }
 
     if ranks.is_empty() {
-        ranks = vec![256, 1000, 5000];
+        ranks = vec![256, 1000, 5000, 10_000];
+    }
+    if transports.is_empty() {
+        transports = vec![TransportKind::InProc];
     }
 
     let mut records: Vec<ScaleRecord> = Vec::new();
-    for &n in &ranks {
+    for (&transport, &n) in transports
+        .iter()
+        .flat_map(|t| ranks.iter().map(move |n| (t, n)))
+    {
         let mut cfg = if smoke {
             FloodConfig::smoke(n)
         } else {
@@ -186,7 +198,11 @@ fn main() -> ExitCode {
             rec.pause_ms.unwrap_or(0.0),
             rec.pause_trace_ms
                 .map_or("n/a".into(), |p| format!("{p:.1} ms")),
-            rec.audit_clean.map_or("n/a".into(), |c| c.to_string()),
+            match (rec.audit_clean, rec.audit_skipped) {
+                (Some(c), _) => c.to_string(),
+                (None, Some(_)) => "skipped".into(),
+                (None, None) => "n/a".into(),
+            },
         );
         if rec.audit_clean == Some(false) {
             eprintln!("scale: §4 AUDIT VIOLATION at {n} ranks — not emitting a dirty baseline");

@@ -1,7 +1,7 @@
 //! `snow-bench scale` — the delivery-substrate scale suite.
 //!
-//! Two scenarios, each run at a sweep of rank counts (256 / 1k / 5k by
-//! default), emitting one schema'd record apiece into
+//! Two scenarios, each run at a sweep of rank counts (256 / 1k / 5k /
+//! 10k by default), emitting one schema'd record apiece into
 //! `BENCH_scale.json` (`snow-bench-scale/v1`) so the perf trajectory
 //! of the substrate is tracked from this PR forward:
 //!
@@ -15,15 +15,19 @@
 //!   end to end through the real lookup+delivery path.
 //! * **migration-under-load** — a real [`Computation`] ring (rank r →
 //!   r+1) with co-located ranks on a fixed host pool; one mid-ring
-//!   rank migrates to a spare host mid-run. Records steady-state
-//!   throughput/latency plus the migration pause (wall time of the
-//!   blocking migrate call, and the trace-derived start→commit
-//!   interval when tracing is on). At ≤ 1k ranks the run is traced and
-//!   audited against the §4 guarantees.
+//!   rank migrates to a spare host mid-run. The ranks are launched
+//!   cooperatively and multiplexed onto a bounded worker pool (the
+//!   non-blocking `try_send`/`try_recv`/`connect_step` API), so the
+//!   10k-rank entry fits on one machine instead of needing 10k OS
+//!   threads. Records steady-state throughput/latency plus the
+//!   migration pause (wall time of the blocking migrate call, and the
+//!   trace-derived start→commit interval when tracing is on). At ≤ 1k
+//!   ranks the run is traced and audited against the §4 guarantees;
+//!   untraced entries stamp `audit_skipped` with the reason.
 //!
 //! Latency quantiles come from a log-bucketed histogram
-//! ([`LatencyHistogram`]) so the 5k-rank flood never holds millions of
-//! raw samples.
+//! ([`LatencyHistogram`]) so the 10k-rank flood never holds millions
+//! of raw samples.
 
 use bytes::Bytes;
 use snow_core::{Computation, MigrationOutcome, SnowProcess, Start};
@@ -37,7 +41,7 @@ use snow_vm::wire::{Envelope, ExeStatus, Incoming, Payload, ENVELOPE_OVERHEAD_BY
 use snow_vm::{HostId, HostSpec, NodeId, Post, TcpTransport, Transport, Vmid};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 /// Schema tag stamped into every emitted document.
 pub const SCHEMA: &str = "snow-bench-scale/v1";
@@ -190,6 +194,11 @@ pub struct ScaleRecord {
     pub pause_trace_ms: Option<f64>,
     /// §4 audit verdict (traced migration runs only).
     pub audit_clean: Option<bool>,
+    /// Why the §4 audit did *not* run (untraced migration runs).
+    /// Exactly one of `audit_clean` / `audit_skipped` is set on a
+    /// migration record, so a null audit is always an explicit,
+    /// explained decision rather than a silently dropped check.
+    pub audit_skipped: Option<&'static str>,
     /// Whether the mid-run migration finally aborted after the
     /// harness's retry (migration scenario only). `Some(false)` is the
     /// healthy verdict; `Some(true)` is reported instead of panicking
@@ -233,6 +242,11 @@ impl ScaleRecord {
             (
                 "audit_clean".into(),
                 self.audit_clean.map_or(JsonValue::Null, JsonValue::Bool),
+            ),
+            (
+                "audit_skipped".into(),
+                self.audit_skipped
+                    .map_or(JsonValue::Null, |r| JsonValue::Str(r.into())),
             ),
             (
                 "migration_aborted".into(),
@@ -314,8 +328,26 @@ pub fn validate_document(doc: &JsonValue) -> Result<(), String> {
         num("p50_latency_us")?;
         num("p99_latency_us")?;
         num("staged_high_water")?;
-        if scenario == "migration_under_load" && num("pause_ms").is_err() {
-            return Err(format!("record {i}: migration record without pause_ms"));
+        if scenario == "migration_under_load" {
+            if num("pause_ms").is_err() {
+                return Err(format!("record {i}: migration record without pause_ms"));
+            }
+            // §4 audit status must be explicit: a verdict, or a stamped
+            // reason the audit was skipped — never both, never neither.
+            let audited = rec
+                .get("audit_clean")
+                .and_then(JsonValue::as_bool)
+                .is_some();
+            let skipped = rec
+                .get("audit_skipped")
+                .and_then(JsonValue::as_str)
+                .is_some_and(|s| !s.is_empty());
+            if audited == skipped {
+                return Err(format!(
+                    "record {i}: migration record needs exactly one of \
+                     audit_clean / audit_skipped"
+                ));
+            }
         }
     }
     if !seen_flood {
@@ -705,6 +737,7 @@ pub fn run_flood(cfg: &FloodConfig) -> ScaleRecord {
         pause_ms: None,
         pause_trace_ms: None,
         audit_clean: None,
+        audit_skipped: None,
         migration_aborted: None,
     }
 }
@@ -725,11 +758,16 @@ pub struct MigrationLoadConfig {
     /// Payload bytes per ring message (≥ 8 for the timestamp).
     pub payload_bytes: usize,
     /// Trace the run and audit it against §4. Adds per-event cost, so
-    /// the 5k sweep entry turns it off; ≤ 1k keeps it on (the
+    /// the ≥ 5k sweep entries turn it off; ≤ 1k keeps it on (the
     /// acceptance gate).
     pub trace: bool,
     /// Backend the ring's environment is built on.
     pub transport: TransportKind,
+    /// Worker threads the ranks are multiplexed onto. The ring is
+    /// driven cooperatively (`try_send`/`try_recv`), so rank count and
+    /// thread count are decoupled: 10k ranks run on a handful of
+    /// workers instead of 10k OS threads.
+    pub workers: usize,
 }
 
 impl MigrationLoadConfig {
@@ -743,6 +781,7 @@ impl MigrationLoadConfig {
             payload_bytes: 64,
             trace: ranks <= 1024,
             transport: TransportKind::InProc,
+            workers: default_workers(),
         }
     }
 
@@ -755,16 +794,58 @@ impl MigrationLoadConfig {
     }
 }
 
-/// Block until the scheduler's migration request reaches this process,
-/// then return with the request pending (same contract as the
-/// integration suites' `support::await_migration`).
-fn await_migration(p: &mut SnowProcess) {
-    while !p.poll_point().unwrap() {
-        p.await_migration_request(Duration::from_secs(10)).unwrap();
-    }
+/// Where a cooperatively driven ring rank stands between worker visits.
+enum RingPhase {
+    /// Trying to post this round's message to the right neighbour.
+    Send,
+    /// Waiting for this round's message from the left neighbour.
+    Recv,
+    /// The migrant, parked at its trigger round: pumping peers while it
+    /// waits for the scheduler's `migration_request` signal.
+    AwaitMigration,
+    /// Finished (ring complete, or migrated away).
+    Done,
+}
+
+/// One ring rank multiplexed onto the worker pool: the per-rank loop of
+/// the old thread-per-rank runner, unrolled into a state machine the
+/// pool advances one non-blocking step at a time.
+struct RingDrive {
+    p: Option<SnowProcess>,
+    rank: usize,
+    round: u64,
+    phase: RingPhase,
+    /// Abort count of the in-place migration attempts (migrant only).
+    attempts: u32,
+    /// The migrant's trigger fires at most once.
+    migration_resolved: bool,
+    local: LatencyHistogram,
+}
+
+/// Shared measurement plumbing the pool workers feed.
+struct RingShared {
+    epoch: Instant,
+    hist: Mutex<LatencyHistogram>,
+    staged: AtomicU64,
+    /// Ranks that completed their first round — the migration request
+    /// only fires once the whole ring is connected and in steady
+    /// state, so the pause measures the protocol, not the connection
+    /// storm (at 5k+ ranks the storm alone can swamp a single-core
+    /// scheduler).
+    ready: AtomicU64,
 }
 
 /// Run the migration-under-load ring at `cfg.ranks`.
+///
+/// Ranks are launched cooperatively ([`Computation::launch_cooperative`])
+/// and multiplexed onto `cfg.workers` pool threads — the 10k-rank sweep
+/// entry would need 10k OS threads (plus their stacks) under the old
+/// thread-per-rank model. Ranks are dealt round-robin over the workers,
+/// which guarantees the migrant and its two ring neighbours sit on
+/// three different workers (for `workers ≥ 2` the neighbours never
+/// share the migrant's worker): while the migrant's worker blocks
+/// inside the drain/transfer, the neighbours keep pumping, which is
+/// exactly what the drain needs to terminate.
 pub fn run_migration_under_load(cfg: &MigrationLoadConfig) -> ScaleRecord {
     assert!(cfg.ranks >= 4, "ring needs at least four ranks");
     assert!(cfg.payload_bytes >= 8, "payload must hold the timestamp");
@@ -790,20 +871,19 @@ pub fn run_migration_under_load(cfg: &MigrationLoadConfig) -> ScaleRecord {
     let spare = comp.hosts()[cfg.hosts];
     let placement: Vec<HostId> = (0..n).map(|r| comp.hosts()[r % cfg.hosts]).collect();
 
-    let epoch = Instant::now();
-    let hist = Arc::new(Mutex::new(LatencyHistogram::new()));
-    let staged = Arc::new(AtomicU64::new(0));
-    // Ranks completing their first round — the migration request only
-    // fires once the whole ring is connected and in steady state, so
-    // the pause measures the protocol, not the connection storm (at 5k
-    // ranks the storm alone can swamp a single-core scheduler).
-    let ready = Arc::new(AtomicU64::new(0));
+    let shared = Arc::new(RingShared {
+        epoch: Instant::now(),
+        hist: Mutex::new(LatencyHistogram::new()),
+        staged: AtomicU64::new(0),
+        ready: AtomicU64::new(0),
+    });
 
-    let app_hist = Arc::clone(&hist);
-    let app_staged = Arc::clone(&staged);
-    let app_ready = Arc::clone(&ready);
+    // The resumed migrant runs on a scheduler-owned thread, so it keeps
+    // the straightforward blocking style: the ring from its restored
+    // round to the end.
+    let app_shared = Arc::clone(&shared);
     let t0 = Instant::now();
-    let handles = comp.launch_placed(&placement, move |mut p, start| {
+    let procs = comp.launch_cooperative(&placement, move |mut p, start| {
         let me = p.rank();
         let right = (me + 1) % n;
         let left = (me + n - 1) % n;
@@ -816,74 +896,100 @@ pub fn run_migration_under_load(cfg: &MigrationLoadConfig) -> ScaleRecord {
                 .unwrap_or(0),
         };
         let mut local = LatencyHistogram::new();
-        for round in from..rounds {
+        for _round in from..rounds {
             let mut buf = vec![0u8; payload_bytes];
-            buf[..8].copy_from_slice(&(epoch.elapsed().as_nanos() as u64).to_le_bytes());
+            buf[..8].copy_from_slice(&(app_shared.epoch.elapsed().as_nanos() as u64).to_le_bytes());
             p.send(right, 1, Bytes::from(buf)).unwrap();
             let (_s, _t, b) = p.recv(Some(left), Some(1)).unwrap();
             let sent = u64::from_le_bytes(b[..8].try_into().unwrap());
-            local.record((epoch.elapsed().as_nanos() as u64).saturating_sub(sent));
-            if round == 0 {
-                app_ready.fetch_add(1, Ordering::Relaxed);
-            }
-            if me == migrant && round == trigger && matches!(start, Start::Fresh) {
-                // The harness requests one migration and retries once
-                // after an abort, so up to two requests can reach this
-                // process. A rolled-back migration hands the process
-                // back (same vmid, RML restored); after the final abort
-                // the rank keeps the ring alive in place instead of
-                // panicking the whole bench.
-                let mut attempts = 0u32;
-                loop {
-                    await_migration(&mut p);
-                    let state = ProcessState::new(
-                        ExecState::at_entry()
-                            .with_local("round", snow_codec::Value::U64(round + 1)),
-                        MemoryGraph::new(),
-                    );
-                    match p.migrate(&state).unwrap() {
-                        MigrationOutcome::Completed(_) => {
-                            app_hist.lock().unwrap().merge(&local);
-                            return;
-                        }
-                        MigrationOutcome::Aborted(a) => {
-                            p = a.process;
-                            attempts += 1;
-                            if attempts >= 2 {
-                                break;
-                            }
-                        }
-                    }
-                }
-            }
+            local.record((app_shared.epoch.elapsed().as_nanos() as u64).saturating_sub(sent));
         }
-        app_staged.fetch_add(p.cell().inbox_staged_high_water() as u64, Ordering::Relaxed);
-        app_hist.lock().unwrap().merge(&local);
+        app_shared
+            .staged
+            .fetch_add(p.cell().inbox_staged_high_water() as u64, Ordering::Relaxed);
+        app_shared.hist.lock().unwrap().merge(&local);
         p.finish();
     });
 
-    while ready.load(Ordering::Relaxed) < n as u64 {
-        std::thread::yield_now();
+    let mut drives: Vec<RingDrive> = procs
+        .into_iter()
+        .enumerate()
+        .map(|(rank, p)| RingDrive {
+            p: Some(p),
+            rank,
+            round: 0,
+            phase: RingPhase::Send,
+            attempts: 0,
+            migration_resolved: false,
+            local: LatencyHistogram::new(),
+        })
+        .collect();
+
+    let workers = cfg.workers.clamp(2, n);
+    let mut partitions: Vec<Vec<RingDrive>> = (0..workers).map(|_| Vec::new()).collect();
+    for d in drives.drain(..).rev() {
+        partitions[d.rank % workers].push(d);
     }
-    let t_pause = Instant::now();
-    // A scheduler-side abort (destination init failure, deadline sweep)
-    // is a legitimate outcome under load: retry once against the same
-    // spare, and report a second abort in the record instead of
-    // panicking the bench run.
-    let migration_aborted = match comp.migrate(migrant, spare) {
-        Ok(_) => false,
-        Err(_) => comp.migrate(migrant, spare).is_err(),
-    };
-    let pause_ms = t_pause.elapsed().as_secs_f64() * 1_000.0;
-    for h in handles {
-        h.join().unwrap();
-    }
+
+    let mut migration_aborted = false;
+    let mut pause_ms = 0.0;
+    std::thread::scope(|s| {
+        for mine in partitions.drain(..) {
+            let shared = Arc::clone(&shared);
+            let vm = comp.vm();
+            s.spawn(move || {
+                let mut mine = mine;
+                loop {
+                    let mut progressed = false;
+                    let mut live = 0usize;
+                    for d in &mut mine {
+                        if matches!(d.phase, RingPhase::Done) {
+                            continue;
+                        }
+                        live += 1;
+                        progressed |= step_ring_rank(
+                            d,
+                            &shared,
+                            vm,
+                            n,
+                            rounds,
+                            trigger,
+                            migrant,
+                            payload_bytes,
+                        );
+                    }
+                    if live == 0 {
+                        break;
+                    }
+                    if !progressed {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+
+        // Main thread, inside the scope: wait for steady state, then
+        // fire the migration while the pool keeps the ring under load.
+        while shared.ready.load(Ordering::Relaxed) < n as u64 {
+            std::thread::yield_now();
+        }
+        let t_pause = Instant::now();
+        // A scheduler-side abort (destination init failure, deadline
+        // sweep) is a legitimate outcome under load: retry once against
+        // the same spare, and report a second abort in the record
+        // instead of panicking the bench run.
+        migration_aborted = match comp.migrate(migrant, spare) {
+            Ok(_) => false,
+            Err(_) => comp.migrate(migrant, spare).is_err(),
+        };
+        pause_ms = t_pause.elapsed().as_secs_f64() * 1_000.0;
+    });
     comp.join_init_processes();
     let wall_s = t0.elapsed().as_secs_f64();
 
-    let hist = hist.lock().unwrap().clone();
+    let hist = shared.hist.lock().unwrap().clone();
     let msgs = hist.count();
-    let (pause_trace_ms, audit_clean) = if cfg.trace {
+    let (pause_trace_ms, audit_clean, audit_skipped) = if cfg.trace {
         let events = tracer.snapshot();
         let start_ns = events.iter().find_map(|e| match e.kind {
             EventKind::MigrationStart { rank } if rank == migrant => Some(e.t_ns),
@@ -898,9 +1004,19 @@ pub fn run_migration_under_load(cfg: &MigrationLoadConfig) -> ScaleRecord {
             _ => None,
         };
         let report = audit::audit(&events);
-        (pause, Some(report.is_clean()))
+        (pause, Some(report.is_clean()), None)
     } else {
-        (None, None)
+        // Satellite: an untraced run used to emit audit_clean: null and
+        // pause_trace_ms: null with no explanation — stamp the reason
+        // and say so on stderr, so a dropped audit is always visible.
+        let reason = "trace disabled at this rank count: per-event tracing cost \
+                      would distort the measurement";
+        eprintln!(
+            "scale: migration_under_load ranks={n} transport={}: \
+             §4 audit skipped ({reason})",
+            cfg.transport.as_str()
+        );
+        (None, None, Some(reason))
     };
 
     ScaleRecord {
@@ -913,13 +1029,146 @@ pub fn run_migration_under_load(cfg: &MigrationLoadConfig) -> ScaleRecord {
         msgs_per_sec: msgs as f64 / wall_s,
         p50_latency_us: hist.quantile_ns(0.50) / 1_000.0,
         p99_latency_us: hist.quantile_ns(0.99) / 1_000.0,
-        staged_high_water: staged.load(Ordering::Relaxed),
+        staged_high_water: shared.staged.load(Ordering::Relaxed),
         fanout: None,
         rounds: Some(rounds),
         pause_ms: Some(pause_ms),
         pause_trace_ms,
         audit_clean,
+        audit_skipped,
         migration_aborted: Some(migration_aborted),
+    }
+}
+
+/// Advance one ring rank by one cooperative step; returns whether any
+/// progress was made. Mirrors one iteration slice of the old blocking
+/// per-rank loop: send right → recv left → (migrant only) migrate at
+/// the trigger round.
+#[allow(clippy::too_many_arguments)]
+fn step_ring_rank(
+    d: &mut RingDrive,
+    shared: &RingShared,
+    vm: &snow_vm::VirtualMachine,
+    n: usize,
+    rounds: u64,
+    trigger: u64,
+    migrant: usize,
+    payload_bytes: usize,
+) -> bool {
+    let me = d.rank;
+    let right = (me + 1) % n;
+    let left = (me + n - 1) % n;
+    match d.phase {
+        RingPhase::Send => {
+            // The migrant parks *before* sending the round after its
+            // trigger, matching the old runner: round `trigger` traffic
+            // completes, then the process waits for the scheduler's
+            // signal so the resumed process restarts at round
+            // `trigger + 1`.
+            if me == migrant && d.round == trigger + 1 && !d.migration_resolved {
+                d.phase = RingPhase::AwaitMigration;
+                return true;
+            }
+            let p = d.p.as_mut().expect("live rank has a process");
+            let mut buf = vec![0u8; payload_bytes];
+            buf[..8].copy_from_slice(&(shared.epoch.elapsed().as_nanos() as u64).to_le_bytes());
+            let sent = p
+                .try_send(right, 1, &Bytes::from(buf))
+                .unwrap_or_else(|e| panic!("rank {me}: ring send failed: {e}"));
+            if sent {
+                d.phase = RingPhase::Recv;
+            }
+            sent
+        }
+        RingPhase::Recv => {
+            let p = d.p.as_mut().expect("live rank has a process");
+            let got = p
+                .try_recv(Some(left), Some(1))
+                .unwrap_or_else(|e| panic!("rank {me}: ring recv failed: {e}"));
+            match got {
+                Some((_s, _t, b)) => {
+                    let sent_ns = u64::from_le_bytes(b[..8].try_into().unwrap());
+                    d.local
+                        .record((shared.epoch.elapsed().as_nanos() as u64).saturating_sub(sent_ns));
+                    if d.round == 0 {
+                        shared.ready.fetch_add(1, Ordering::Relaxed);
+                    }
+                    d.round += 1;
+                    if d.round == rounds {
+                        let p = d.p.take().expect("live rank has a process");
+                        shared.staged.fetch_add(
+                            p.cell().inbox_staged_high_water() as u64,
+                            Ordering::Relaxed,
+                        );
+                        shared.hist.lock().unwrap().merge(&d.local);
+                        let vmid = p.vmid();
+                        p.finish();
+                        // The caller-owned epilogue of a cooperative
+                        // rank (launch_placed's threads run this on
+                        // body return).
+                        vm.retire(vmid);
+                        d.phase = RingPhase::Done;
+                    } else {
+                        d.phase = RingPhase::Send;
+                    }
+                    true
+                }
+                None => false,
+            }
+        }
+        RingPhase::AwaitMigration => {
+            let p = d.p.as_mut().expect("live rank has a process");
+            // Keep draining peer traffic (and granting inbound
+            // connections) while parked, or the ring stalls harder than
+            // the migration pause itself.
+            p.pump()
+                .unwrap_or_else(|e| panic!("rank {me}: pump failed: {e}"));
+            if !p
+                .poll_point()
+                .unwrap_or_else(|e| panic!("rank {me}: poll failed: {e}"))
+            {
+                return false;
+            }
+            // The request is pending: run the blocking migrate on this
+            // worker. Round-robin partitioning keeps both ring
+            // neighbours on other workers, so the drain's
+            // marker/end-of-messages handshake stays live.
+            let p = d.p.take().expect("live rank has a process");
+            let old_vmid = p.vmid();
+            let state = ProcessState::new(
+                ExecState::at_entry().with_local("round", snow_codec::Value::U64(d.round)),
+                MemoryGraph::new(),
+            );
+            match p
+                .migrate(&state)
+                .unwrap_or_else(|e| panic!("rank {me}: migrate failed: {e}"))
+            {
+                MigrationOutcome::Completed(_) => {
+                    shared.hist.lock().unwrap().merge(&d.local);
+                    // The old incarnation is gone: retire its vmid so
+                    // peers' conn_reqs are nacked into re-lookup
+                    // instead of routed to a dead inbox. The resumed
+                    // process (scheduler-owned thread) finishes the
+                    // ring.
+                    vm.retire(old_vmid);
+                    d.phase = RingPhase::Done;
+                }
+                MigrationOutcome::Aborted(a) => {
+                    // Rolled back in place (same vmid, RML restored).
+                    // The harness retries once, so park again for the
+                    // second request; after that, keep the ring alive
+                    // in place instead of panicking the bench.
+                    d.p = Some(a.process);
+                    d.attempts += 1;
+                    if d.attempts >= 2 {
+                        d.migration_resolved = true;
+                        d.phase = RingPhase::Send;
+                    }
+                }
+            }
+            true
+        }
+        RingPhase::Done => false,
     }
 }
 
@@ -994,6 +1243,7 @@ mod tests {
             payload_bytes: 32,
             trace: true,
             transport: TransportKind::InProc,
+            workers: 3,
         };
         let rec = run_migration_under_load(&cfg);
         assert_eq!(rec.scenario, "migration_under_load");
@@ -1038,6 +1288,7 @@ mod tests {
             pause_ms: None,
             pause_trace_ms: None,
             audit_clean: None,
+            audit_skipped: None,
             migration_aborted: None,
         };
         let migration = ScaleRecord {
@@ -1056,6 +1307,7 @@ mod tests {
             pause_ms: Some(12.0),
             pause_trace_ms: Some(9.5),
             audit_clean: Some(true),
+            audit_skipped: None,
             migration_aborted: Some(false),
         };
         let doc = emit_document(&[flood.clone(), migration.clone()], true);
@@ -1101,6 +1353,7 @@ mod tests {
             pause_ms: None,
             pause_trace_ms: None,
             audit_clean: None,
+            audit_skipped: None,
             migration_aborted: aborted,
         };
         emit_document(&[rec], true)
@@ -1144,6 +1397,7 @@ mod tests {
             pause_ms: Some(5.0),
             pause_trace_ms: None,
             audit_clean: Some(true),
+            audit_skipped: None,
             migration_aborted: Some(false),
         };
         let current = emit_document(std::slice::from_ref(&other), true);

@@ -282,6 +282,74 @@ impl Computation {
         handles
     }
 
+    /// Launch one rank per entry of `placement` *without* an OS thread
+    /// per rank: returns the driveable [`SnowProcess`] values so a
+    /// harness can multiplex them onto a bounded worker pool through
+    /// the cooperative API ([`SnowProcess::try_send`],
+    /// [`SnowProcess::try_recv`], [`SnowProcess::poll_point`]).
+    ///
+    /// `app` is installed as the migration-enabled executable image
+    /// (§2.2) only: it runs when a migrated rank resumes, on a
+    /// scheduler-owned thread (join via
+    /// [`Computation::join_init_processes`]). Cooperatively driven
+    /// ranks own their termination epilogue — end each with
+    /// [`SnowProcess::finish`] followed by
+    /// [`snow_vm::VirtualMachine::retire`] of its vmid, the pair the
+    /// per-rank threads of [`Computation::launch_placed`] run
+    /// automatically.
+    pub fn launch_cooperative<F>(&self, placement: &[HostId], app: F) -> Vec<SnowProcess>
+    where
+        F: Fn(SnowProcess, Start) + Send + Sync + 'static,
+    {
+        let cost = self.cost;
+        let pipeline = self.pipeline.clone();
+        let image_pipeline = pipeline.clone();
+        let image: snow_sched::ProcessImage = Arc::new(move |cell, rank| {
+            // Same stand-down contract as `launch_placed`: any
+            // initialization failure is already carried by the abort
+            // protocol.
+            if let Ok((proc_, state, _restore_s)) =
+                initialize(cell, rank, cost, image_pipeline.clone())
+            {
+                app(proc_, Start::Resumed(state));
+            }
+        });
+        {
+            let mut slot = self.sched.lock().unwrap();
+            assert!(slot.is_none(), "launch may only be called once");
+            *slot = Some(spawn_scheduler_with_config(
+                &self.vm,
+                self.hosts[0],
+                image,
+                Box::new(IndexedDirectory::with_capacity(placement.len())),
+                self.sched_config.clone(),
+            ));
+        }
+        let client = SchedClient::new(&self.vm);
+
+        // No barrier gate: nothing runs until the caller starts
+        // stepping, so registration and PL distribution complete
+        // before the first connect can fire.
+        let mut procs = Vec::with_capacity(placement.len());
+        let mut pl_table: Vec<(Rank, Vmid)> = Vec::with_capacity(placement.len());
+        for (rank, host) in placement.iter().enumerate() {
+            let (vmid, cell) = self
+                .vm
+                .spawn_cell(*host, &format!("p{rank}"))
+                .expect("placement host is a member");
+            let mut proc_ = SnowProcess::fresh(cell, rank, cost);
+            proc_.set_pipeline(pipeline.clone());
+            client.register(rank, vmid).expect("scheduler is running");
+            pl_table.push((rank, vmid));
+            procs.push(proc_);
+        }
+        for p in &mut procs {
+            p.install_pl(&pl_table);
+        }
+        *self.client.lock().unwrap() = Some(client);
+        procs
+    }
+
     fn with_client<T>(&self, f: impl FnOnce(&SchedClient) -> T) -> T {
         let guard = self.client.lock().unwrap();
         let client = guard
@@ -460,5 +528,69 @@ mod tests {
     #[should_panic(expected = "at least one host")]
     fn empty_builder_rejected() {
         let _ = Computation::builder().build();
+    }
+
+    /// Two cooperatively driven ranks complete a ping-pong from a
+    /// single driving thread: connection establishment, send and
+    /// receive all advance through the non-blocking API.
+    #[test]
+    fn cooperative_ping_pong_single_thread() {
+        let comp = Computation::builder().hosts(HostSpec::ideal(), 2).build();
+        let placement = [comp.hosts()[0], comp.hosts()[1]];
+        let mut procs = comp.launch_cooperative(&placement, |_p, _s| {});
+        let mut p1 = procs.pop().unwrap();
+        let mut p0 = procs.pop().unwrap();
+        assert_eq!((p0.rank(), p1.rank()), (0, 1));
+
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        let step = |pending: &mut dyn FnMut() -> bool| {
+            while !pending() {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "cooperative ping-pong stalled"
+                );
+                std::thread::yield_now();
+            }
+        };
+
+        // 0 → 1: try_send fires the conn_req; pumping rank 1 grants it.
+        let ping = Bytes::from_static(b"ping");
+        {
+            let (p0, p1) = (&mut p0, &mut p1);
+            step(&mut || {
+                let sent = p0.try_send(1, 1, &ping).unwrap();
+                p1.pump().unwrap();
+                sent
+            });
+            step(&mut || match p1.try_recv(Some(0), Some(1)).unwrap() {
+                Some((src, tag, body)) => {
+                    assert_eq!((src, tag, &body[..]), (0, 1, &b"ping"[..]));
+                    true
+                }
+                None => false,
+            });
+            // 1 → 0 rides the crossing channel already established.
+            let pong = Bytes::from_static(b"pong");
+            step(&mut || {
+                let sent = p1.try_send(0, 2, &pong).unwrap();
+                p0.pump().unwrap();
+                sent
+            });
+            step(&mut || match p0.try_recv(Some(1), Some(2)).unwrap() {
+                Some((src, tag, body)) => {
+                    assert_eq!((src, tag, &body[..]), (1, 2, &b"pong"[..]));
+                    true
+                }
+                None => false,
+            });
+        }
+
+        // The caller-owned epilogue of cooperative ranks.
+        let (v0, v1) = (p0.vmid(), p1.vmid());
+        p0.finish();
+        p1.finish();
+        comp.vm().retire(v0);
+        comp.vm().retire(v1);
+        comp.shutdown();
     }
 }

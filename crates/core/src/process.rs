@@ -118,6 +118,29 @@ pub(crate) enum Event {
     PeerMigrationAborted,
 }
 
+/// Progress of a cooperative (non-blocking) connection establishment
+/// toward one destination rank: Fig 3 driven one message at a time by
+/// [`SnowProcess::connect_step`] instead of a blocked thread.
+#[derive(Debug)]
+enum PendingConn {
+    /// A scheduler lookup for the destination's location is in flight.
+    Lookup {
+        /// When to re-issue the lookup if no reply has landed (either
+        /// leg may ride a lossy datagram link).
+        next_resend: Instant,
+    },
+    /// A `conn_req` is outstanding at `target`.
+    Req {
+        /// The request id we sent (grants/nacks quote it back).
+        req_id: u64,
+        /// The vmid the request was addressed to.
+        target: Vmid,
+        /// When to re-send under the same `req_id` (§2.3: the
+        /// connectionless service may drop either leg).
+        next_resend: Instant,
+    },
+}
+
 /// A SNOW application process: the paper's protocol endpoint.
 pub struct SnowProcess {
     pub(crate) cell: ProcessCell,
@@ -130,6 +153,8 @@ pub struct SnowProcess {
     pub(crate) rml: Rml,
     /// The `Closed_conn` coordination counter (Fig 6).
     pub(crate) closed_conn: u32,
+    /// In-flight cooperative connection attempts (Fig 3, stepwise).
+    pending_conn: HashMap<Rank, PendingConn>,
     /// Set once a `migration_request` signal has been intercepted.
     pub(crate) migrate_pending: bool,
     /// True while running `migrate()`: inbound `conn_req`s are nacked.
@@ -155,6 +180,7 @@ impl SnowProcess {
             cc: HashMap::new(),
             rml: Rml::new(),
             closed_conn: 0,
+            pending_conn: HashMap::new(),
             migrate_pending: false,
             migrating: false,
             cost,
@@ -650,6 +676,254 @@ impl SnowProcess {
                 self.rml.prepend_batch(vec![env]);
             })
             .is_some())
+    }
+
+    // ------------------------------------------------------------------
+    // Cooperative (non-blocking) protocol steps
+    // ------------------------------------------------------------------
+    //
+    // The blocking send/recv/connect above park an OS thread per rank —
+    // fine for apps, ruinous for a 10k-rank harness. These entry points
+    // expose the same Fig 2/3/4 state machines one step at a time, so a
+    // bounded worker pool can multiplex thousands of ranks: a blocked
+    // `connect` would otherwise pin its worker waiting for a grant from
+    // a rank the pool has not scheduled, which deadlocks once every
+    // worker is pinned.
+
+    /// Drain every deliverable inbox message without blocking, running
+    /// the shared classifier on each (data → RML, inbound `conn_req` →
+    /// grant, markers → channel close + `Closed_conn`) and feeding
+    /// grants, nacks and scheduler replies into any in-flight
+    /// [`Self::connect_step`] state.
+    pub fn pump(&mut self) -> Result<(), ProtoError> {
+        while let Some(ev) = self.next_event(Duration::ZERO)? {
+            self.note_event(ev)?;
+        }
+        Ok(())
+    }
+
+    /// Resolve one classified event against the cooperative connect
+    /// state (the stepwise analogue of the match arms inside the
+    /// blocking `connect` wait loop).
+    fn note_event(&mut self, ev: Event) -> Result<(), ProtoError> {
+        match ev {
+            // `classify` already installed pl + cc; the pending attempt
+            // (crossing or our own) is satisfied.
+            Event::Granted { peer, .. } | Event::InboundConn(peer)
+                if self.cc.contains_key(&peer) =>
+            {
+                self.pending_conn.remove(&peer);
+            }
+            // Fig 3 lines 9–14, cooperatively: invalidate the cached
+            // location and *fire* the scheduler lookup instead of
+            // awaiting it. A nack during a peer's migration resolves
+            // once the directory names the committed destination.
+            Event::Nacked { req_id } => {
+                let dest = self.pending_conn.iter().find_map(|(d, pc)| match pc {
+                    PendingConn::Req { req_id: r, .. } if *r == req_id => Some(*d),
+                    _ => None,
+                });
+                if let Some(dest) = dest {
+                    self.trace(EventKind::ConnNack { to: dest });
+                    self.pl.remove(&dest);
+                    self.begin_lookup(dest)?;
+                }
+            }
+            Event::Sched(SchedReply::Location {
+                about,
+                status,
+                vmid,
+            }) => {
+                if matches!(
+                    self.pending_conn.get(&about),
+                    Some(PendingConn::Lookup { .. })
+                ) {
+                    match (status, vmid) {
+                        (ExeStatus::Terminated, _) | (_, None) => {
+                            self.pending_conn.remove(&about);
+                            return Err(ProtoError::DestinationTerminated(about));
+                        }
+                        (_, Some(v)) => {
+                            // Fresh location cached; the next
+                            // `connect_step` sends the conn_req there.
+                            self.pl.insert(about, v);
+                            self.pending_conn.remove(&about);
+                        }
+                    }
+                }
+            }
+            Event::Sched(SchedReply::Error { reason }) => {
+                return Err(ProtoError::Scheduler(reason))
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Fire (not await) a scheduler lookup for `dest` and record it as
+    /// the pending connect state.
+    fn begin_lookup(&mut self, dest: Rank) -> Result<(), ProtoError> {
+        self.trace(EventKind::SchedulerConsult { about: dest });
+        self.cell.sched_send(SchedRequest::Lookup {
+            about: dest,
+            reply: self.cell.reply_sender(),
+        })?;
+        self.pending_conn.insert(
+            dest,
+            PendingConn::Lookup {
+                next_resend: Instant::now() + CONN_RESEND,
+            },
+        );
+        Ok(())
+    }
+
+    /// Address and route one `conn_req` to `target`, recording it as
+    /// pending; a gone host invalidates the location and falls back to
+    /// a lookup (§3.1 requester-side daemon rejection).
+    fn send_conn_req(&mut self, dest: Rank, req_id: u64, target: Vmid) -> Result<(), ProtoError> {
+        let req = ConnReqMsg {
+            req_id,
+            from_rank: self.rank,
+            from_vmid: self.cell.vmid(),
+            target,
+            reply: self.cell.reply_sender(),
+            data_to_requester: self.cell.data_sender_to_me(target.host),
+        };
+        self.trace(EventKind::ConnReq { to: dest });
+        if let Err(EnvError::HostGone(_)) = self.cell.route_conn_req(req) {
+            self.trace(EventKind::ConnNack { to: dest });
+            self.pl.remove(&dest);
+            self.begin_lookup(dest)?;
+        } else {
+            self.pending_conn.insert(
+                dest,
+                PendingConn::Req {
+                    req_id,
+                    target,
+                    next_resend: Instant::now() + CONN_RESEND,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// One non-blocking step of `connect` (Fig 3): returns `true` once
+    /// `dest` is in the `Connected` set. Each call advances the state
+    /// machine by at most one outbound message — the conn_req (or the
+    /// lookup that must precede it), or a re-send of a stalled one past
+    /// its pacing deadline. Grants, nacks and location replies arrive
+    /// through [`Self::pump`]. Unlike the blocking `connect` there is
+    /// no stale-retry cap: a harness stepping many ranks paces the
+    /// retry loop naturally, and nacks during a peer's migration are
+    /// expected to persist until the directory commits.
+    pub fn connect_step(&mut self, dest: Rank) -> Result<bool, ProtoError> {
+        if self.cc.contains_key(&dest) {
+            self.pending_conn.remove(&dest);
+            return Ok(true);
+        }
+        let now = Instant::now();
+        match self.pending_conn.get(&dest) {
+            Some(PendingConn::Lookup { next_resend }) => {
+                if now >= *next_resend {
+                    self.begin_lookup(dest)?;
+                }
+            }
+            Some(PendingConn::Req {
+                req_id,
+                target,
+                next_resend,
+            }) => {
+                if now >= *next_resend {
+                    let (req_id, target) = (*req_id, *target);
+                    self.send_conn_req(dest, req_id, target)?;
+                }
+            }
+            None => match self.pl.get(&dest) {
+                Some(v) => {
+                    let target = *v;
+                    let req_id = self.cell.next_req_id();
+                    self.send_conn_req(dest, req_id, target)?;
+                }
+                None => self.begin_lookup(dest)?,
+            },
+        }
+        Ok(self.cc.contains_key(&dest))
+    }
+
+    /// Non-blocking send (Fig 2): `Ok(true)` when the message was
+    /// posted to the channel, `Ok(false)` when the connection is still
+    /// being established (nothing was sent — call again later). A
+    /// channel that died because the peer migrated away or terminated
+    /// is dropped and re-resolved on the next call, like the blocking
+    /// `send`'s retry loop unrolled one step per call.
+    pub fn try_send(&mut self, dest: Rank, tag: Tag, payload: &Bytes) -> Result<bool, ProtoError> {
+        self.pump()?;
+        if !self.connect_step(dest)? {
+            return Ok(false);
+        }
+        let env = Envelope {
+            src: self.rank,
+            tag,
+            msg: self.cell.tracer().next_msg_id(),
+            payload: Payload::Data(payload.clone()),
+        };
+        let bytes = env.wire_bytes();
+        let msg = env.msg;
+        let t_send = if self.cell.tracer().is_enabled() {
+            Some(self.cell.tracer().now_ns())
+        } else {
+            None
+        };
+        let tx = self.cc.get(&dest).expect("connected after connect_step");
+        match tx.send_classed(Incoming::Data(env), bytes, FrameClass::Data) {
+            Ok(()) => {
+                if let Some(t_send) = t_send {
+                    self.cell.trace_at(
+                        t_send,
+                        EventKind::Send {
+                            to: dest,
+                            tag,
+                            bytes: payload.len(),
+                            msg,
+                        },
+                    );
+                }
+                Ok(true)
+            }
+            Err(_) => {
+                self.cc.remove(&dest);
+                self.pl.remove(&dest);
+                Ok(false)
+            }
+        }
+    }
+
+    /// Non-blocking receive (Fig 4): drain deliverable traffic, then
+    /// take a buffered match from the received-message-list if one
+    /// exists.
+    pub fn try_recv(
+        &mut self,
+        src: Option<Rank>,
+        tag: Option<Tag>,
+    ) -> Result<Option<(Rank, Tag, Bytes)>, ProtoError> {
+        self.pump()?;
+        match self.rml.take_match(src, tag) {
+            Some(env) => {
+                let body = match env.payload {
+                    Payload::Data(b) => b,
+                    _ => unreachable!("only data envelopes enter the RML"),
+                };
+                self.trace(EventKind::RecvDone {
+                    from: env.src,
+                    tag: env.tag,
+                    bytes: body.len(),
+                    msg: env.msg,
+                    from_rml: true,
+                });
+                Ok(Some((env.src, env.tag, body)))
+            }
+            None => Ok(None),
+        }
     }
 
     // ------------------------------------------------------------------

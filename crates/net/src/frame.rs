@@ -21,6 +21,7 @@
 
 use crate::TimeScale;
 use snow_codec::{WireReader, WireWriter};
+use std::fmt;
 use std::io::{self, Read, Write};
 
 /// Frame format version stamped into every header. A reader refusing a
@@ -69,14 +70,50 @@ impl FrameKind {
     }
 }
 
+/// Largest body one frame can carry: the `len` field counts the version
+/// and kind bytes too, so the body gets two bytes less than the cap.
+pub const MAX_BODY_BYTES: usize = MAX_FRAME_BYTES as usize - 2;
+
+/// A frame that cannot be put on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The body exceeds [`MAX_BODY_BYTES`]. Encoding it anyway would
+    /// either wrap the 32-bit length field (desyncing the stream and
+    /// misframing everything after it) or make the receiver kill the
+    /// connection on the length check — so it is rejected at encode
+    /// time instead.
+    BodyTooLarge {
+        /// The offending body's size.
+        len: usize,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::BodyTooLarge { len } => {
+                write!(f, "frame body {len} bytes exceeds {MAX_BODY_BYTES}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
 /// Encode one frame: header plus `body`, ready for a single `write_all`.
-pub fn encode_frame(kind: FrameKind, body: &[u8]) -> Vec<u8> {
+/// Bodies above [`MAX_BODY_BYTES`] are rejected here, before any bytes
+/// touch the stream — a wrapped or oversized length field is not a
+/// recoverable receiver-side condition.
+pub fn encode_frame(kind: FrameKind, body: &[u8]) -> Result<Vec<u8>, FrameError> {
+    if body.len() > MAX_BODY_BYTES {
+        return Err(FrameError::BodyTooLarge { len: body.len() });
+    }
     let mut w = WireWriter::with_capacity(6 + body.len());
     w.put_u32(2 + body.len() as u32);
     w.put_u8(FRAME_VERSION);
     w.put_u8(kind.to_u8());
     w.put_raw(body);
-    w.into_bytes()
+    Ok(w.into_bytes())
 }
 
 /// Read exactly one frame off `r`. Returns `Ok(None)` on a clean EOF at
@@ -132,8 +169,97 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<(FrameKind, Vec<u8>)>>
 /// frame keeps call order equal to wire order, which is what preserves
 /// per-sender FIFO through a shared socket.
 pub fn write_frame(w: &mut impl Write, kind: FrameKind, body: &[u8]) -> io::Result<()> {
-    w.write_all(&encode_frame(kind, body))?;
+    let bytes = encode_frame(kind, body)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+    w.write_all(&bytes)?;
     w.flush()
+}
+
+/// Flush a batch once this many unflushed bytes have accumulated, even
+/// if more frames are queued. Keeps a long burst's first frames from
+/// waiting on the last, and bounds the buffer a stalled peer can pin.
+pub const BATCH_FLUSH_BYTES: usize = 64 * 1024;
+
+/// Coalesces consecutive frames into shared flushes.
+///
+/// Frames are appended to an internal buffer in call order; [`flush`]
+/// pushes the buffer to the underlying stream in one `write_all` +
+/// `flush`. Because the buffer is strictly append-only and drained
+/// front-to-back, wire order always equals append order — batching
+/// changes *when* bytes reach the socket, never their relative order,
+/// so per-sender FIFO survives. The writer auto-flushes when the
+/// pending buffer crosses [`BATCH_FLUSH_BYTES`]; the owner decides the
+/// other flush edge (typically: input queue momentarily empty).
+///
+/// [`flush`]: BatchWriter::flush
+pub struct BatchWriter<W: Write> {
+    out: W,
+    buf: Vec<u8>,
+    /// Frames appended since the last flush.
+    pending: usize,
+}
+
+impl<W: Write> BatchWriter<W> {
+    /// A batch writer over `out` with nothing pending.
+    pub fn new(out: W) -> Self {
+        BatchWriter {
+            out,
+            buf: Vec::with_capacity(BATCH_FLUSH_BYTES),
+            pending: 0,
+        }
+    }
+
+    /// Append one frame to the batch, auto-flushing if the pending
+    /// bytes cross [`BATCH_FLUSH_BYTES`]. Oversized bodies surface the
+    /// same `InvalidInput` error [`write_frame`] reports.
+    pub fn push(&mut self, kind: FrameKind, body: &[u8]) -> io::Result<()> {
+        let bytes = encode_frame(kind, body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        self.buf.extend_from_slice(&bytes);
+        self.pending += 1;
+        if self.buf.len() >= BATCH_FLUSH_BYTES {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Append one already-encoded frame (the bytes [`encode_frame`]
+    /// produced) under the same auto-flush policy as [`push`]. Callers
+    /// that encode up front — to surface [`FrameError`] on the sending
+    /// thread before the frame crosses into a writer queue — hand the
+    /// bytes over here without re-encoding.
+    ///
+    /// [`push`]: BatchWriter::push
+    pub fn push_encoded(&mut self, frame: &[u8]) -> io::Result<()> {
+        self.buf.extend_from_slice(frame);
+        self.pending += 1;
+        if self.buf.len() >= BATCH_FLUSH_BYTES {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Frames appended but not yet on the wire.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Unwrap the underlying stream, discarding any unflushed batch.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+
+    /// Push everything buffered to the stream in one write, then flush
+    /// the stream itself. No-op when nothing is pending.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        self.out.write_all(&self.buf)?;
+        self.buf.clear();
+        self.pending = 0;
+        self.out.flush()
+    }
 }
 
 /// Socket-backed transports carry real wire delays, so the modeled
@@ -148,7 +274,7 @@ mod tests {
     #[test]
     fn frame_roundtrip() {
         let body = b"hello frames".to_vec();
-        let bytes = encode_frame(FrameKind::ConnReq, &body);
+        let bytes = encode_frame(FrameKind::ConnReq, &body).unwrap();
         let mut c = Cursor::new(bytes);
         let (kind, got) = read_frame(&mut c).unwrap().unwrap();
         assert_eq!(kind, FrameKind::ConnReq);
@@ -175,7 +301,7 @@ mod tests {
 
     #[test]
     fn empty_body_is_legal() {
-        let bytes = encode_frame(FrameKind::Signal, &[]);
+        let bytes = encode_frame(FrameKind::Signal, &[]).unwrap();
         let mut c = Cursor::new(bytes);
         let (kind, body) = read_frame(&mut c).unwrap().unwrap();
         assert_eq!(kind, FrameKind::Signal);
@@ -184,14 +310,14 @@ mod tests {
 
     #[test]
     fn bad_version_rejected() {
-        let mut bytes = encode_frame(FrameKind::Inbox, b"x");
+        let mut bytes = encode_frame(FrameKind::Inbox, b"x").unwrap();
         bytes[4] = 9; // version byte
         assert!(read_frame(&mut Cursor::new(bytes)).is_err());
     }
 
     #[test]
     fn bad_kind_rejected() {
-        let mut bytes = encode_frame(FrameKind::Inbox, b"x");
+        let mut bytes = encode_frame(FrameKind::Inbox, b"x").unwrap();
         bytes[5] = 0xee; // kind byte
         assert!(read_frame(&mut Cursor::new(bytes)).is_err());
     }
@@ -207,8 +333,95 @@ mod tests {
 
     #[test]
     fn mid_frame_eof_is_an_error() {
-        let bytes = encode_frame(FrameKind::Expose, b"truncated body");
+        let bytes = encode_frame(FrameKind::Expose, b"truncated body").unwrap();
         let cut = &bytes[..bytes.len() - 3];
         assert!(read_frame(&mut Cursor::new(cut.to_vec())).is_err());
+    }
+
+    #[test]
+    fn oversized_body_rejected_at_encode() {
+        let body = vec![0u8; MAX_BODY_BYTES + 1];
+        assert_eq!(
+            encode_frame(FrameKind::Inbox, &body),
+            Err(FrameError::BodyTooLarge {
+                len: MAX_BODY_BYTES + 1
+            })
+        );
+        // The boundary itself is legal.
+        assert!(encode_frame(FrameKind::Inbox, &vec![0u8; MAX_BODY_BYTES]).is_ok());
+    }
+
+    #[test]
+    fn write_frame_surfaces_oversized_body_as_invalid_input() {
+        let mut sink = Vec::new();
+        let err =
+            write_frame(&mut sink, FrameKind::Inbox, &vec![0u8; MAX_BODY_BYTES + 1]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(sink.is_empty(), "no bytes may reach the stream");
+    }
+
+    /// A `Write` that counts flushes, so tests can observe batching.
+    struct CountingSink {
+        bytes: Vec<u8>,
+        flushes: usize,
+    }
+
+    impl Write for CountingSink {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.bytes.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            self.flushes += 1;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn batch_writer_coalesces_and_preserves_order() {
+        let mut bw = BatchWriter::new(CountingSink {
+            bytes: Vec::new(),
+            flushes: 0,
+        });
+        for seq in 0..50u64 {
+            bw.push(FrameKind::Inbox, &seq.to_le_bytes()).unwrap();
+        }
+        assert_eq!(bw.pending(), 50, "small frames stay buffered");
+        bw.flush().unwrap();
+        let sink = bw.into_inner();
+        assert_eq!(sink.flushes, 1, "one flush for the whole burst");
+        let mut c = Cursor::new(sink.bytes);
+        for seq in 0..50u64 {
+            let (kind, body) = read_frame(&mut c).unwrap().unwrap();
+            assert_eq!(kind, FrameKind::Inbox);
+            assert_eq!(body, seq.to_le_bytes());
+        }
+        assert!(read_frame(&mut c).unwrap().is_none());
+    }
+
+    #[test]
+    fn batch_writer_auto_flushes_at_byte_threshold() {
+        let mut bw = BatchWriter::new(CountingSink {
+            bytes: Vec::new(),
+            flushes: 0,
+        });
+        // Two frames of just over half the threshold each: the second
+        // push crosses BATCH_FLUSH_BYTES and must auto-flush.
+        let body = vec![7u8; BATCH_FLUSH_BYTES / 2 + 8];
+        bw.push(FrameKind::Inbox, &body).unwrap();
+        assert_eq!(bw.pending(), 1);
+        bw.push(FrameKind::Inbox, &body).unwrap();
+        assert_eq!(bw.pending(), 0, "threshold crossing flushed the batch");
+        assert_eq!(bw.into_inner().flushes, 1);
+    }
+
+    #[test]
+    fn batch_writer_flush_is_noop_when_empty() {
+        let mut bw = BatchWriter::new(CountingSink {
+            bytes: Vec::new(),
+            flushes: 0,
+        });
+        bw.flush().unwrap();
+        assert_eq!(bw.into_inner().flushes, 0);
     }
 }

@@ -36,5 +36,8 @@ pub mod link;
 pub use channel::{ChannelError, Duplex, RecvTimeout};
 pub use datagram::{EndpointId, Mailbox, Router};
 pub use fault::{DatagramVerdict, FaultInjector, FaultPlan, FaultSpec, FrameClass, LinkSel};
-pub use frame::{encode_frame, read_frame, write_frame, FrameKind, FRAME_VERSION, MAX_FRAME_BYTES};
+pub use frame::{
+    encode_frame, read_frame, write_frame, BatchWriter, FrameError, FrameKind, FRAME_VERSION,
+    MAX_BODY_BYTES, MAX_FRAME_BYTES,
+};
 pub use link::{LinkModel, TimeScale};

@@ -58,6 +58,12 @@ impl Transport for InProcTransport {
         bytes: usize,
         class: FrameClass,
     ) -> Result<(), SendError> {
+        // Mirror the socket backends' frame cap on the modeled wire
+        // size, so "fits in one frame" is a backend-independent part of
+        // the send contract rather than a TCP quirk.
+        if bytes > snow_net::MAX_BODY_BYTES {
+            return Err(SendError::TooLarge);
+        }
         // Borrow the address in place — no ProcAddr/label clone; this is
         // the scheduler-consult and bench-flood hot path.
         self.with_registry(|r| r.with_addr(to, |addr| addr.inbox.send_classed(msg, bytes, class)))

@@ -74,6 +74,12 @@ pub enum SendError {
     /// The route exists but the destination inbox has closed (the
     /// process terminated).
     Closed,
+    /// The message exceeds what one wire frame can carry
+    /// ([`snow_net::MAX_BODY_BYTES`]). Raised at the sending call on
+    /// every backend — a socket backend must not let an oversized
+    /// length field desync the stream, and the in-process backend
+    /// mirrors the check so protocol code sees one contract.
+    TooLarge,
 }
 
 impl std::fmt::Display for SendError {
@@ -81,6 +87,11 @@ impl std::fmt::Display for SendError {
         match self {
             SendError::Unroutable => write!(f, "no route to destination"),
             SendError::Closed => write!(f, "destination inbox closed"),
+            SendError::TooLarge => write!(
+                f,
+                "message larger than one wire frame ({} bytes)",
+                snow_net::MAX_BODY_BYTES
+            ),
         }
     }
 }

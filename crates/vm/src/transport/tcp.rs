@@ -12,8 +12,16 @@
 //!
 //! * **Connection-oriented** ([`Transport::send_to`] and virtualized
 //!   [`RemoteTx`] channel senders): all traffic to one destination node
-//!   shares one pooled socket whose writes are mutex-serialised, so
-//!   call order equals wire order and per-sender FIFO holds end to end.
+//!   shares one pooled socket fed through a bounded FIFO queue drained
+//!   by a dedicated writer thread, so enqueue order equals wire order
+//!   and per-sender FIFO holds end to end. The writer coalesces bursts
+//!   of queued frames into shared flushes ([`BatchWriter`]): it drains
+//!   until the queue is momentarily empty (or
+//!   [`snow_net::frame::BATCH_FLUSH_BYTES`] accumulate) before
+//!   flushing, so a flood of small `Inbox`/`Signal` frames costs one
+//!   syscall per batch instead of one per frame. The queue bound is the
+//!   backpressure: senders outrunning the socket block in `send` until
+//!   the writer catches up.
 //! * **Connectionless** ([`Transport::route_conn_req`]): the frame is
 //!   handed to the destination daemon, which draws the drop/duplicate
 //!   fault verdict exactly as in-process — fault semantics are
@@ -45,13 +53,14 @@ use crate::vm::Registry;
 use crate::wire::{ConnReqMsg, Incoming, Signal};
 use parking_lot::{Mutex, RwLock};
 use snow_codec::{WireReader, WireWriter};
-use snow_net::frame::{encode_frame, read_frame, FrameKind};
+use snow_net::frame::{encode_frame, read_frame, BatchWriter, FrameKind};
 use snow_net::{FrameClass, LinkModel, TimeScale};
 use std::collections::HashMap;
-use std::io::Write;
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 struct Node {
     addr: SocketAddr,
@@ -61,17 +70,89 @@ struct Node {
     exposed: Mutex<HashMap<u64, PostSender<Incoming>>>,
 }
 
+/// Frames one pooled connection's queue may hold before senders block.
+/// Small enough to bound the memory a stalled peer pins (64 MiB frames
+/// × this cap worst case never materialises: floods queue ~100-byte
+/// frames, state chunks are few), large enough that a flood burst keeps
+/// the writer busy between wakeups.
+const SEND_QUEUE_FRAMES: usize = 1024;
+
+/// A pooled outbound connection: encoded frames go into the bounded
+/// queue in call order; the dedicated writer thread drains it onto the
+/// socket in the same order. The writer owns the stream — when the
+/// queue's senders detect disconnection (writer died on a write error)
+/// the conn is evicted and the next send re-dials.
 struct Conn {
-    stream: Mutex<TcpStream>,
+    tx: crossbeam::channel::Sender<Vec<u8>>,
+}
+
+/// Drain `rx` onto `stream`, coalescing whatever is queued into shared
+/// flushes. Exits when the queue disconnects (conn evicted, node left,
+/// shutdown) — after putting any still-queued frames on the wire — or
+/// when a write fails, which drops the stream and lets queue senders
+/// observe the disconnect on their next send.
+fn writer_loop(rx: crossbeam::channel::Receiver<Vec<u8>>, stream: TcpStream) {
+    let mut out = BatchWriter::new(stream);
+    loop {
+        // Park until there is work (or the conn is torn down).
+        let frame = match rx.recv() {
+            Ok(f) => f,
+            Err(_) => {
+                let _ = out.flush();
+                return;
+            }
+        };
+        if out.push_encoded(&frame).is_err() {
+            return;
+        }
+        // Opportunistic drain: everything queued behind the wakeup
+        // frame joins its batch. Flush on queue-momentarily-empty —
+        // the latency edge of the flush policy (the byte threshold
+        // inside BatchWriter is the other edge).
+        loop {
+            match rx.try_recv() {
+                Ok(f) => {
+                    if out.push_encoded(&f).is_err() {
+                        return;
+                    }
+                }
+                Err(crossbeam::channel::TryRecvError::Empty) => break,
+                Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                    let _ = out.flush();
+                    return;
+                }
+            }
+        }
+        if out.flush().is_err() {
+            return;
+        }
+    }
+}
+
+/// How long the accept loop backs off after `err` before the next
+/// accept. Per-connection failures (the peer gave up mid-handshake —
+/// ECONNABORTED and kin) are normal churn and retry immediately;
+/// anything else — most notably descriptor exhaustion, which surfaces
+/// as an uncategorised error — backs off so the loop does not spin
+/// while the condition persists. No error kind is fatal: the accept
+/// thread exits only on shutdown or node removal.
+fn accept_backoff(err: &io::Error) -> Duration {
+    match err.kind() {
+        io::ErrorKind::ConnectionAborted
+        | io::ErrorKind::ConnectionReset
+        | io::ErrorKind::Interrupted
+        | io::ErrorKind::WouldBlock => Duration::ZERO,
+        _ => Duration::from_millis(10),
+    }
 }
 
 struct Inner {
     registry: RwLock<Option<Registry>>,
     nodes: RwLock<HashMap<u32, Arc<Node>>>,
-    /// Pooled outbound sockets, one per destination node. Guarded by a
-    /// single lock so concurrent first-dials cannot create two sockets
-    /// to one node — frames of one sender must never split across
-    /// streams, or FIFO dies.
+    /// Pooled outbound connections, one per destination node. Dials
+    /// happen outside this lock (see [`Inner::conn_to`]); the map is
+    /// the single point of truth for which connection frames ride, so
+    /// frames of one sender never split across streams — or FIFO dies.
     conns: Mutex<HashMap<u32, Arc<Conn>>>,
     next_expose: AtomicU64,
     down: AtomicBool,
@@ -119,7 +200,18 @@ impl Inner {
                     if inner.down.load(Ordering::SeqCst) || !inner.nodes.read().contains_key(&id) {
                         return;
                     }
-                    let Ok(stream) = stream else { return };
+                    // A failed accept poisons one handshake, not the
+                    // listener: log, back off if it looks like resource
+                    // pressure, and keep accepting. Exiting here would
+                    // silently stop the node taking new connections.
+                    let stream = match stream {
+                        Ok(s) => s,
+                        Err(e) => {
+                            eprintln!("snow-tcp-accept-{id}: accept error (continuing): {e}");
+                            std::thread::sleep(accept_backoff(&e));
+                            continue;
+                        }
+                    };
                     let inner = Arc::clone(&inner);
                     let node = Arc::clone(&node);
                     std::thread::Builder::new()
@@ -131,8 +223,39 @@ impl Inner {
             .expect("spawn accept thread");
     }
 
-    /// Write one frame to `dst`'s socket, dialing (or re-dialing after
-    /// a write error) as needed.
+    /// The pooled connection to `dst`, dialing a new one if none exists.
+    /// The dial happens *outside* the `conns` lock — one unreachable
+    /// destination must not stall senders to every other node for the
+    /// connect timeout — with an insert-or-race afterwards: if another
+    /// sender pooled a connection while we dialed, theirs wins and our
+    /// socket is dropped before any frame touched it (frames to one
+    /// node must never split across streams, or FIFO dies).
+    fn conn_to(&self, dst: u32, addr: SocketAddr) -> Result<Arc<Conn>, SendError> {
+        if let Some(c) = self.conns.lock().get(&dst) {
+            return Ok(Arc::clone(c));
+        }
+        let stream = TcpStream::connect(addr).map_err(|_| SendError::Unroutable)?;
+        let _ = stream.set_nodelay(true);
+        let (tx, rx) = crossbeam::channel::bounded(SEND_QUEUE_FRAMES);
+        let conn = Arc::new(Conn { tx });
+        {
+            let mut conns = self.conns.lock();
+            if let Some(existing) = conns.get(&dst) {
+                return Ok(Arc::clone(existing));
+            }
+            conns.insert(dst, Arc::clone(&conn));
+        }
+        std::thread::Builder::new()
+            .name(format!("snow-tcp-write-{dst}"))
+            .spawn(move || writer_loop(rx, stream))
+            .expect("spawn writer thread");
+        Ok(conn)
+    }
+
+    /// Queue one frame for `dst`'s writer, dialing (or re-dialing after
+    /// the writer died on a broken socket) as needed. Blocks only when
+    /// `dst`'s queue is full — backpressure from that one socket, not a
+    /// global stall.
     fn send_frame(&self, dst: u32, kind: FrameKind, body: &[u8]) -> Result<(), SendError> {
         if self.down.load(Ordering::SeqCst) {
             return Err(SendError::Unroutable);
@@ -143,29 +266,20 @@ impl Inner {
             .get(&dst)
             .map(|n| n.addr)
             .ok_or(SendError::Unroutable)?;
-        let frame = encode_frame(kind, body);
+        // Encode on the sending thread so an oversized body surfaces
+        // here as a typed error instead of desyncing the stream or
+        // killing the connection receiver-side.
+        let frame = encode_frame(kind, body).map_err(|_| SendError::TooLarge)?;
+        let mut frame = Some(frame);
         for attempt in 0..2 {
-            let conn = {
-                let mut conns = self.conns.lock();
-                match conns.get(&dst) {
-                    Some(c) => Arc::clone(c),
-                    None => {
-                        let stream = TcpStream::connect(addr).map_err(|_| SendError::Unroutable)?;
-                        let _ = stream.set_nodelay(true);
-                        let c = Arc::new(Conn {
-                            stream: Mutex::new(stream),
-                        });
-                        conns.insert(dst, Arc::clone(&c));
-                        c
-                    }
-                }
-            };
-            let wrote = conn.stream.lock().write_all(&frame).is_ok();
-            if wrote {
-                return Ok(());
+            let conn = self.conn_to(dst, addr)?;
+            match conn.tx.send(frame.take().expect("frame unconsumed")) {
+                Ok(()) => return Ok(()),
+                // Writer gone (socket died): take the frame back for
+                // the retry, evict the dead conn if it is still the
+                // pooled one, and re-dial once.
+                Err(crossbeam::channel::SendError(f)) => frame = Some(f),
             }
-            // Dead socket: evict it (only if it is still the pooled one)
-            // and re-dial once.
             let mut conns = self.conns.lock();
             if conns.get(&dst).is_some_and(|c| Arc::ptr_eq(c, &conn)) {
                 conns.remove(&dst);
@@ -431,6 +545,12 @@ impl Transport for TcpTransport {
         bytes: usize,
         class: FrameClass,
     ) -> Result<(), SendError> {
+        // The modeled wire size obeys the same frame cap as the real
+        // encoding (checked again in send_frame), keeping the
+        // "fits in one frame" contract backend-independent.
+        if bytes > snow_net::MAX_BODY_BYTES {
+            return Err(SendError::TooLarge);
+        }
         let vault = self.vault(from.0);
         let mut w = WireWriter::new();
         write_vmid(&mut w, to);
@@ -540,6 +660,91 @@ mod tests {
                 other => panic!("expected data, got {other:?}"),
             }
         }
+        t.shutdown();
+    }
+
+    #[test]
+    fn accept_backoff_classifies_churn_vs_pressure() {
+        // Handshake churn retries immediately …
+        for kind in [
+            std::io::ErrorKind::ConnectionAborted,
+            std::io::ErrorKind::ConnectionReset,
+            std::io::ErrorKind::Interrupted,
+            std::io::ErrorKind::WouldBlock,
+        ] {
+            assert_eq!(
+                accept_backoff(&std::io::Error::from(kind)),
+                Duration::ZERO,
+                "{kind:?}"
+            );
+        }
+        // … resource pressure (EMFILE surfaces uncategorised) backs off.
+        let emfile = std::io::Error::from_raw_os_error(24); // EMFILE
+        assert!(accept_backoff(&emfile) > Duration::ZERO);
+    }
+
+    #[test]
+    fn accept_loop_survives_connection_churn() {
+        // Torn handshakes (the churn that produces ECONNABORTED under
+        // load) must not kill the node: after a burst of connect+drop,
+        // real frames still flow.
+        let t = TcpTransport::new();
+        let reg = Registry::new();
+        t.attach(reg.clone());
+        t.host_joined(NodeId(0), None);
+        t.host_joined(NodeId(1), None);
+        let dst = Vmid {
+            host: HostId(1),
+            pid: 0,
+        };
+        let (post, _sigs) = register_proc(&reg, dst);
+        let addr = t.inner.nodes.read().get(&1).unwrap().addr;
+        for _ in 0..50 {
+            drop(std::net::TcpStream::connect(addr).unwrap());
+        }
+        let msg = Incoming::Data(Envelope {
+            src: 0,
+            tag: 0,
+            msg: MsgId(7),
+            payload: Payload::Data(Bytes::from_static(b"alive")),
+        });
+        t.send_to(NodeId(0), dst, msg, 64, FrameClass::Data)
+            .unwrap();
+        match post.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Some(Incoming::Data(e)) => assert_eq!(e.msg, MsgId(7)),
+            other => panic!("node stopped accepting after churn: {other:?}"),
+        }
+        t.shutdown();
+    }
+
+    #[test]
+    fn oversized_modeled_send_is_too_large() {
+        let t = TcpTransport::new();
+        let reg = Registry::new();
+        t.attach(reg.clone());
+        t.host_joined(NodeId(0), None);
+        t.host_joined(NodeId(1), None);
+        let dst = Vmid {
+            host: HostId(1),
+            pid: 0,
+        };
+        let (_post, _sigs) = register_proc(&reg, dst);
+        let msg = Incoming::Data(Envelope {
+            src: 0,
+            tag: 0,
+            msg: MsgId(1),
+            payload: Payload::Data(Bytes::from_static(b"small body, huge claim")),
+        });
+        assert_eq!(
+            t.send_to(
+                NodeId(0),
+                dst,
+                msg,
+                snow_net::MAX_BODY_BYTES + 1,
+                FrameClass::Data
+            ),
+            Err(SendError::TooLarge)
+        );
         t.shutdown();
     }
 

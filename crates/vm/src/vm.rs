@@ -381,6 +381,50 @@ impl VirtualMachine {
             .expect("spawn process thread");
         Some((vmid, handle))
     }
+
+    /// Assemble a process on `host` without dedicating an OS thread to
+    /// it: the caller receives the [`ProcessCell`] and drives it
+    /// cooperatively. Large-scale harnesses multiplex thousands of such
+    /// cells onto a bounded worker pool — a thread per rank stops
+    /// scaling long before the protocol does. The caller owns the
+    /// termination epilogue: when the process is done (or its vmid is
+    /// retired by a completed migration), pass the vmid to
+    /// [`VirtualMachine::retire`], which is exactly what
+    /// [`VirtualMachine::spawn`] does when its body returns.
+    pub fn spawn_cell(&self, host: HostId, label: &str) -> Option<(Vmid, ProcessCell)> {
+        let vmid = self.allocate_vmid(host)?;
+        let (inbox_tx, inbox) = Post::<Incoming>::channel(LinkModel::INSTANT, self.shared.scale);
+        let (sig_tx, sig_rx) = channel::unbounded();
+        self.shared.registry.register(
+            vmid,
+            ProcAddr {
+                inbox: inbox_tx.clone(),
+                signals: sig_tx,
+                host,
+                label: label.to_string(),
+            },
+        );
+        let cell = ProcessCell::new(
+            vmid,
+            label.to_string(),
+            inbox,
+            inbox_tx,
+            sig_rx,
+            Arc::clone(&self.shared),
+        );
+        Some((vmid, cell))
+    }
+
+    /// Termination epilogue for a cooperatively driven process (the
+    /// counterpart of what [`VirtualMachine::spawn`] runs when its body
+    /// returns): unregister, then tell the local daemon so pending
+    /// conn_reqs are nacked.
+    pub fn retire(&self, vmid: Vmid) {
+        self.shared.registry.unregister(vmid);
+        if let Some(d) = self.shared.daemon(vmid.host) {
+            d.send(DaemonMsg::ProcessExited(vmid));
+        }
+    }
 }
 
 #[cfg(test)]

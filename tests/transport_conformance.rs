@@ -103,6 +103,101 @@ fn per_sender_fifo_holds_on_every_backend() {
     });
 }
 
+/// §4 FIFO survives wire batching: a burst interleaving many small
+/// frames with large state-chunk-sized bodies — the shape a migration
+/// under flood load produces — arrives complete and in order. On TCP
+/// the small frames coalesce into shared flushes while the large ones
+/// trip the byte-threshold flush mid-batch; neither path may reorder.
+#[test]
+fn batched_burst_with_large_chunks_keeps_fifo_on_every_backend() {
+    for_each_backend(|name, t| {
+        let registry = Registry::new();
+        t.attach(registry.clone());
+        t.host_joined(NodeId(0), None);
+        t.host_joined(NodeId(1), None);
+        let dst = Vmid {
+            host: HostId(1),
+            pid: 0,
+        };
+        let post = register_inbox(&registry, dst);
+        // 512 KiB dwarfs BATCH_FLUSH_BYTES (64 KiB): every chunk frame
+        // forces at least one threshold flush inside the writer.
+        let chunk = Bytes::from(vec![0xabu8; 512 * 1024]);
+        const N: u64 = 400;
+        for seq in 0..N {
+            let (payload, bytes) = if seq % 50 == 25 {
+                (Payload::Data(chunk.clone()), chunk.len())
+            } else {
+                (
+                    Payload::Data(Bytes::copy_from_slice(&seq.to_le_bytes())),
+                    16,
+                )
+            };
+            let env = Incoming::Data(Envelope {
+                src: 0,
+                tag: 1,
+                msg: MsgId(seq),
+                payload,
+            });
+            t.send_to(NodeId(0), dst, env, bytes, FrameClass::Data)
+                .unwrap_or_else(|e| panic!("{name}: send {seq} failed: {e}"));
+        }
+        for expect in 0..N {
+            match recv_within(&post, Duration::from_secs(10)) {
+                Some(Incoming::Data(env)) => {
+                    assert_eq!(env.msg, MsgId(expect), "{name}: batch reordered the burst");
+                    if expect % 50 == 25 {
+                        match env.payload {
+                            Payload::Data(b) => {
+                                assert_eq!(b.len(), chunk.len(), "{name}: chunk truncated")
+                            }
+                            other => panic!("{name}: chunk payload mangled: {other:?}"),
+                        }
+                    }
+                }
+                other => panic!("{name}: lost message {expect}: {other:?}"),
+            }
+        }
+    });
+}
+
+/// A message claiming more than one frame can carry is rejected with
+/// the typed error at the sending call on every backend — never
+/// truncated, wrapped, or left to kill the connection receiver-side.
+#[test]
+fn oversized_send_is_too_large_on_every_backend() {
+    for_each_backend(|name, t| {
+        let registry = Registry::new();
+        t.attach(registry.clone());
+        t.host_joined(NodeId(0), None);
+        t.host_joined(NodeId(1), None);
+        let dst = Vmid {
+            host: HostId(1),
+            pid: 0,
+        };
+        let _post = register_inbox(&registry, dst);
+        let err = t
+            .send_to(
+                NodeId(0),
+                dst,
+                data_env(0, 1),
+                snow::net::MAX_BODY_BYTES + 1,
+                FrameClass::Data,
+            )
+            .unwrap_err();
+        assert_eq!(err, SendError::TooLarge, "{name}");
+        // The boundary itself still routes.
+        t.send_to(
+            NodeId(0),
+            dst,
+            data_env(0, 2),
+            snow::net::MAX_BODY_BYTES,
+            FrameClass::Data,
+        )
+        .unwrap_or_else(|e| panic!("{name}: boundary send failed: {e}"));
+    });
+}
+
 /// Sends toward a node the transport has never been told about are
 /// rejected, not silently dropped.
 #[test]

@@ -14,9 +14,10 @@
 //! migrant, the mailbox moves, and a second broadcast unfreezes and
 //! flushes. Control-message count is inherently Θ(N) per migration.
 
-use crate::Metrics;
+use crate::{LoadSamples, Metrics, Offered};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::thread;
+use std::time::{Duration, Instant};
 
 /// Control traffic of the migration manager.
 #[derive(Debug)]
@@ -170,6 +171,206 @@ pub fn run_broadcast_demo(n_senders: usize, msgs_per_sender: u64) -> (Metrics, B
     )
 }
 
+/// One open-loop sender under the broadcast scheme: paces its schedule
+/// against the shared epoch (payload = the scheduled nanosecond stamp)
+/// while obeying freeze/update broadcasts. Returns
+/// `(sent, max_buffered)`.
+fn paced_sender(
+    dest: Sender<u64>,
+    ctl: Receiver<Ctl>,
+    ack: Sender<()>,
+    schedule: Vec<Offered>,
+    epoch: Instant,
+) -> (u64, u64) {
+    struct PacedState {
+        dest: Sender<u64>,
+        buffer: Vec<u64>,
+        frozen: bool,
+        sent: u64,
+    }
+    fn service(st: &mut PacedState, ctl: &Receiver<Ctl>, ack: &Sender<()>) {
+        while let Ok(c) = ctl.try_recv() {
+            match c {
+                Ctl::Freeze => {
+                    st.frozen = true;
+                    ack.send(()).unwrap();
+                }
+                Ctl::Update(new_dest) => {
+                    st.dest = new_dest;
+                    for m in st.buffer.drain(..) {
+                        let _ = st.dest.send(m);
+                        st.sent += 1;
+                    }
+                    st.frozen = false;
+                    ack.send(()).unwrap();
+                }
+            }
+        }
+    }
+    let mut st = PacedState {
+        dest,
+        buffer: Vec::new(),
+        frozen: false,
+        sent: 0,
+    };
+    let mut max_buffered = 0u64;
+    for m in &schedule {
+        // Sleep to the scheduled time in control-poll slices, so a
+        // freeze broadcast is acked promptly even mid-gap.
+        loop {
+            service(&mut st, &ctl, &ack);
+            let now = epoch.elapsed().as_nanos() as u64;
+            if now >= m.at_ns {
+                break;
+            }
+            thread::sleep(Duration::from_nanos((m.at_ns - now).min(200_000)));
+        }
+        if st.frozen {
+            st.buffer.push(m.at_ns);
+            max_buffered = max_buffered.max(st.buffer.len() as u64);
+        } else {
+            let _ = st.dest.send(m.at_ns);
+            st.sent += 1;
+        }
+    }
+    // Keep servicing the protocol until the manager hangs up, exactly
+    // like the closed-loop sender: an unflushed buffer would otherwise
+    // race the exit.
+    while let Ok(c) = ctl.recv() {
+        match c {
+            Ctl::Freeze => {
+                st.frozen = true;
+                ack.send(()).unwrap();
+            }
+            Ctl::Update(new_dest) => {
+                st.dest = new_dest;
+                for m in st.buffer.drain(..) {
+                    let _ = st.dest.send(m);
+                    st.sent += 1;
+                }
+                st.frozen = false;
+                ack.send(()).unwrap();
+            }
+        }
+    }
+    (st.sent, max_buffered)
+}
+
+/// Drive one ChaRM-style migration under an open-loop offered load: one
+/// paced sender per entry of `schedules`, a freeze broadcast at
+/// `freeze_at_ns`, the mailbox held down for `transfer` while the state
+/// moves, then the location-update broadcast flushes every buffer.
+/// Returns comparable [`Metrics`] plus phase-sliced service latencies —
+/// the sender-stall window shows up as a post-unfreeze latency spike on
+/// everything buffered, the §7 cost of broadcast+blocking schemes.
+pub fn run_broadcast_load(
+    schedules: &[Vec<Offered>],
+    freeze_at_ns: u64,
+    transfer: Duration,
+    state_bytes: u64,
+) -> (Metrics, LoadSamples) {
+    let n_senders = schedules.len();
+    let expected: u64 = schedules.iter().map(|s| s.len() as u64).sum();
+    let epoch = Instant::now();
+    let (old_tx, old_rx) = unbounded::<u64>();
+    let (ack_tx, ack_rx) = unbounded::<()>();
+    let mut ctls: Vec<Sender<Ctl>> = Vec::new();
+    let mut joins = Vec::new();
+    for sched in schedules {
+        let (ctl_tx, ctl_rx) = unbounded();
+        ctls.push(ctl_tx);
+        let dest = old_tx.clone();
+        let ack = ack_tx.clone();
+        let sched = sched.clone();
+        joins.push(thread::spawn(move || {
+            paced_sender(dest, ctl_rx, ack, sched, epoch)
+        }));
+    }
+    drop(old_tx);
+
+    let mut samples = LoadSamples::default();
+    let mut delivered = 0u64;
+    let mut win = (freeze_at_ns, u64::MAX);
+    let record = |samples: &mut LoadSamples, sched_ns: u64, win: (u64, u64)| {
+        let now = epoch.elapsed().as_nanos() as u64;
+        samples.push_at(now, win.0, win.1, now.saturating_sub(sched_ns));
+    };
+
+    // Steady state: the migrant drains its mailbox until the manager
+    // decides to move it.
+    loop {
+        let now = epoch.elapsed().as_nanos() as u64;
+        if now >= freeze_at_ns {
+            break;
+        }
+        match old_rx.try_recv() {
+            Ok(s) => {
+                record(&mut samples, s, win);
+                delivered += 1;
+            }
+            Err(_) => thread::yield_now(),
+        }
+    }
+
+    let mut control_msgs = 0u64;
+    for c in &ctls {
+        c.send(Ctl::Freeze).unwrap();
+        control_msgs += 1;
+    }
+    for _ in &ctls {
+        ack_rx.recv().unwrap();
+        control_msgs += 1;
+    }
+    // The migrant is down while its state (and mailbox) move.
+    thread::sleep(transfer);
+    let (new_tx, new_rx) = unbounded::<u64>();
+    for c in &ctls {
+        c.send(Ctl::Update(new_tx.clone())).unwrap();
+        control_msgs += 1;
+    }
+    for _ in &ctls {
+        ack_rx.recv().unwrap();
+        control_msgs += 1;
+    }
+    win.1 = epoch.elapsed().as_nanos() as u64;
+    drop(new_tx);
+    drop(ctls);
+
+    // Drain the old mailbox (pre-freeze stragglers travelled with the
+    // checkpoint) and the new one until the whole offered load landed.
+    while delivered < expected {
+        let s = match old_rx.try_recv() {
+            Ok(s) => s,
+            Err(_) => match new_rx.try_recv() {
+                Ok(s) => s,
+                Err(_) => {
+                    thread::yield_now();
+                    continue;
+                }
+            },
+        };
+        record(&mut samples, s, win);
+        delivered += 1;
+    }
+
+    let mut peak = 0u64;
+    for j in joins {
+        let (_sent, buffered) = j.join().unwrap();
+        peak = peak.max(buffered);
+    }
+    (
+        Metrics {
+            coordination_msgs: control_msgs,
+            processes_disturbed: n_senders as u64 + 1,
+            post_migration_extra_hops: 0.0,
+            blocked_messages: peak,
+            residual_dependency: false,
+            state_bytes_moved: state_bytes,
+        },
+        samples,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,5 +406,54 @@ mod tests {
         let (m, out) = run_broadcast_demo(1, 10);
         assert_eq!(m.coordination_msgs, 4);
         assert_eq!(out.delivered, 10);
+    }
+
+    fn uniform(n: u64, span_ns: u64) -> Vec<Offered> {
+        (0..n)
+            .map(|i| Offered {
+                at_ns: i * span_ns / n,
+                bytes: 64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn load_run_coordination_stays_linear_and_stall_shows_in_tail() {
+        // Four paced senders, freeze a third of the way in, 5 ms of
+        // transfer: the buffered stall must surface as a latency spike
+        // after the unfreeze, and control traffic stays exactly 4N no
+        // matter the offered load.
+        let schedules: Vec<Vec<Offered>> = (0..4).map(|_| uniform(120, 30_000_000)).collect();
+        let (m, s) = run_broadcast_load(&schedules, 10_000_000, Duration::from_millis(5), 4096);
+        assert_eq!(
+            m.coordination_msgs,
+            4 * 4,
+            "freeze+ack+update+ack per sender"
+        );
+        assert_eq!(m.processes_disturbed, 5, "every sender plus the migrant");
+        assert!(!m.residual_dependency);
+        assert_eq!(s.total(), 4 * 120, "no loss across the move");
+        assert!(
+            m.blocked_messages > 0,
+            "a 5 ms freeze across a paced load must buffer something"
+        );
+        // The flushed buffer lands late: the post-unfreeze tail must
+        // show the stall (p99 well above the steady-state median).
+        let pre_p50 = LoadSamples::quantile_us(&s.pre, 0.5).expect("pre samples");
+        let post_p99 = LoadSamples::quantile_us(&s.post, 0.99).expect("post samples");
+        assert!(
+            post_p99 > pre_p50 + 2_000.0,
+            "sender stall must dominate the post tail: pre p50 {pre_p50}, post p99 {post_p99}"
+        );
+    }
+
+    #[test]
+    fn load_run_world_size_scales_control_traffic() {
+        let sched =
+            |n: usize| -> Vec<Vec<Offered>> { (0..n).map(|_| uniform(20, 6_000_000)).collect() };
+        let (m2, _) = run_broadcast_load(&sched(2), 2_000_000, Duration::from_millis(1), 0);
+        let (m6, _) = run_broadcast_load(&sched(6), 2_000_000, Duration::from_millis(1), 0);
+        assert_eq!(m2.coordination_msgs, 8);
+        assert_eq!(m6.coordination_msgs, 24, "O(N) broadcast cost");
     }
 }

@@ -12,10 +12,13 @@
 //! records its state; markers flood every channel (N·(N−1) of them);
 //! the migrating process is then restarted from its recorded state.
 
-use crate::Metrics;
+use crate::{LoadSamples, Metrics, Offered};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread;
+use std::time::{Duration, Instant};
 
 /// Traffic on a mesh channel: application payloads or snapshot markers.
 #[derive(Debug, Clone, PartialEq)]
@@ -180,6 +183,157 @@ pub fn run_cocheck_migration(
     }
 }
 
+/// Drive a CoCheck-style migration under an open-loop offered load:
+/// `n = schedules.len()` processes in a ring (proc `r` paces
+/// `schedules[r]` to its right neighbour, payload = the scheduled
+/// nanosecond stamp), a Chandy–Lamport snapshot initiated by proc 0 at
+/// `snapshot_at_ns`, and a `restart` stall while the migrant restores
+/// from its checkpoint. While a process is recording it defers its
+/// application sends — the paper's "blocking off communication among
+/// these processes during checkpointing" — so *every* process's traffic
+/// eats the snapshot window, not just the migrant's. Returns comparable
+/// [`Metrics`] plus phase-sliced service latencies.
+pub fn run_cocheck_load(
+    schedules: &[Vec<Offered>],
+    snapshot_at_ns: u64,
+    restart: Duration,
+    state_bytes: u64,
+) -> (Metrics, LoadSamples) {
+    let n = schedules.len();
+    assert!(n >= 2, "the mesh needs at least two processes");
+    let epoch = Instant::now();
+    // End of the global disturbance window: set once, by the migrant,
+    // after its restart completes. MAX means "still inside".
+    let win_end = Arc::new(AtomicU64::new(u64::MAX));
+
+    let mut txs: Vec<Sender<(usize, Msg)>> = Vec::new();
+    let mut rxs: Vec<Receiver<(usize, Msg)>> = Vec::new();
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let mut joins = Vec::new();
+    for (rank, rx) in rxs.into_iter().enumerate() {
+        let txs = txs.clone();
+        let sched = schedules[rank].clone();
+        let expected = schedules[(rank + n - 1) % n].len() as u64;
+        let win_end = Arc::clone(&win_end);
+        joins.push(thread::spawn(move || {
+            let right = (rank + 1) % n;
+            let mut marker_from = vec![false; n];
+            let mut recording = false;
+            let mut snapshot_done = false;
+            let mut markers_seen = 0u64;
+            let mut deferred = 0u64;
+            let mut next = 0usize;
+            let mut first_deferral_of_next = true;
+            let mut recvd = 0u64;
+            let mut samples = LoadSamples::default();
+            let begin = |marker_from: &mut [bool], txs: &[Sender<(usize, Msg)>]| {
+                marker_from[rank] = true;
+                for (to, tx) in txs.iter().enumerate() {
+                    if to != rank {
+                        let _ = tx.send((rank, Msg::Marker));
+                    }
+                }
+            };
+            while next < sched.len() || recvd < expected || !snapshot_done {
+                let now = epoch.elapsed().as_nanos() as u64;
+                let mut progressed = false;
+                if rank == 0 && !recording && !snapshot_done && now >= snapshot_at_ns {
+                    recording = true;
+                    begin(&mut marker_from, &txs);
+                    progressed = true;
+                }
+                while let Ok((from, msg)) = rx.try_recv() {
+                    progressed = true;
+                    match msg {
+                        Msg::Marker => {
+                            markers_seen += 1;
+                            if !recording && !snapshot_done {
+                                recording = true;
+                                begin(&mut marker_from, &txs);
+                            }
+                            marker_from[from] = true;
+                            if marker_from.iter().all(|&d| d) {
+                                recording = false;
+                                snapshot_done = true;
+                                if rank == 0 {
+                                    // Restart from the checkpoint at the
+                                    // new location: the migrant is down
+                                    // for the restore.
+                                    thread::sleep(restart);
+                                    win_end.store(
+                                        epoch.elapsed().as_nanos() as u64,
+                                        Ordering::Release,
+                                    );
+                                }
+                            }
+                        }
+                        Msg::App(sched_ns) => {
+                            let now = epoch.elapsed().as_nanos() as u64;
+                            samples.push_at(
+                                now,
+                                snapshot_at_ns,
+                                win_end.load(Ordering::Acquire),
+                                now.saturating_sub(sched_ns),
+                            );
+                            recvd += 1;
+                        }
+                    }
+                }
+                if next < sched.len() && now >= sched[next].at_ns {
+                    // Communication is blocked off for the whole
+                    // checkpoint: from this process's recording point
+                    // until the migrant has restarted from the
+                    // consistent cut (win_end set).
+                    let blocked_off =
+                        recording || (snapshot_done && win_end.load(Ordering::Acquire) == u64::MAX);
+                    if blocked_off {
+                        if first_deferral_of_next {
+                            deferred += 1;
+                            first_deferral_of_next = false;
+                        }
+                    } else {
+                        let _ = txs[right].send((rank, Msg::App(sched[next].at_ns)));
+                        next += 1;
+                        first_deferral_of_next = true;
+                        progressed = true;
+                    }
+                }
+                if !progressed {
+                    thread::yield_now();
+                }
+            }
+            (samples, markers_seen, deferred)
+        }));
+    }
+    drop(txs);
+
+    let mut samples = LoadSamples::default();
+    let mut markers = 0u64;
+    let mut blocked = 0u64;
+    for j in joins {
+        let (s, m, d) = j.join().unwrap();
+        samples.merge(s);
+        markers += m;
+        blocked += d;
+    }
+    (
+        Metrics {
+            coordination_msgs: markers,
+            processes_disturbed: n as u64,
+            post_migration_extra_hops: 0.0,
+            blocked_messages: blocked,
+            residual_dependency: false,
+            // Consistent-cut restart stores everyone's checkpoint.
+            state_bytes_moved: state_bytes * n as u64,
+        },
+        samples,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,5 +382,57 @@ mod tests {
         for s in &out.snapshots {
             assert_eq!(s.markers_seen, 4, "one marker per inbound channel");
         }
+    }
+
+    fn uniform(n: u64, span_ns: u64) -> Vec<Offered> {
+        (0..n)
+            .map(|i| Offered {
+                at_ns: i * span_ns / n,
+                bytes: 64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn load_run_disturbs_everyone_with_quadratic_markers() {
+        // Five processes, snapshot a third of the way in, 4 ms restart:
+        // the marker flood is N·(N−1) and the disturbance is global —
+        // every process's during-phase traffic eats the stall, not just
+        // the migrant's.
+        let n = 5usize;
+        let schedules: Vec<Vec<Offered>> = (0..n).map(|_| uniform(90, 30_000_000)).collect();
+        let (m, s) = run_cocheck_load(&schedules, 10_000_000, Duration::from_millis(4), 512);
+        assert_eq!(m.coordination_msgs, (n * (n - 1)) as u64, "O(N²) markers");
+        assert_eq!(m.processes_disturbed, n as u64, "all N disturbed");
+        assert_eq!(m.state_bytes_moved, 512 * n as u64, "everyone checkpoints");
+        assert_eq!(s.total(), n * 90, "no loss across the restart");
+        assert!(!s.pre.is_empty(), "steady state before the snapshot");
+        assert!(!s.post.is_empty(), "traffic resumes after the restart");
+        assert!(
+            m.blocked_messages > 0,
+            "sends due inside the recording window must be deferred"
+        );
+    }
+
+    #[test]
+    fn load_run_restart_stall_shows_in_the_window() {
+        let n = 3usize;
+        let schedules: Vec<Vec<Offered>> = (0..n).map(|_| uniform(80, 24_000_000)).collect();
+        let (_, s) = run_cocheck_load(&schedules, 8_000_000, Duration::from_millis(6), 0);
+        let pre_p50 = LoadSamples::quantile_us(&s.pre, 0.5).expect("pre samples");
+        // The worst sample anywhere at/after the snapshot must carry
+        // the checkpoint+restart stall.
+        let worst = s
+            .during
+            .iter()
+            .chain(s.post.iter())
+            .copied()
+            .max()
+            .expect("samples at or after the snapshot") as f64
+            / 1_000.0;
+        assert!(
+            worst > pre_p50 + 3_000.0,
+            "global stall must show up: pre p50 {pre_p50}, worst later {worst}"
+        );
     }
 }

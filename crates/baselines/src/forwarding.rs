@@ -8,9 +8,10 @@
 //! unsuitable for virtual machine environments where computers can join
 //! and leave dynamically."
 
-use crate::Metrics;
+use crate::{LoadSamples, Metrics, Offered};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::thread;
+use std::time::{Duration, Instant};
 
 /// A message whose hop count grows at each forwarder.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,7 +34,7 @@ pub struct Forwarder {
 }
 
 impl Forwarder {
-    fn spawn(from: Receiver<Hopped>, to: Sender<Hopped>) -> Forwarder {
+    fn spawn(from: Receiver<Hopped>, to: Sender<Hopped>, hop_delay: Duration) -> Forwarder {
         let (stop_tx, stop_rx) = unbounded::<()>();
         let join = thread::spawn(move || {
             let mut relayed = 0u64;
@@ -41,6 +42,11 @@ impl Forwarder {
                 crossbeam::channel::select! {
                     recv(from) -> msg => match msg {
                         Ok(mut m) => {
+                            // The extra network traversal a relayed
+                            // message pays on a real deployment.
+                            if !hop_delay.is_zero() {
+                                thread::sleep(hop_delay);
+                            }
                             m.hops += 1;
                             if to.send(m).is_err() {
                                 return relayed;
@@ -99,9 +105,16 @@ impl ForwardingEndpoint {
     /// a new inbox is created at the destination. Senders are *not*
     /// told anything.
     pub fn migrate(&mut self) {
+        self.migrate_with_delay(Duration::ZERO);
+    }
+
+    /// [`migrate`](Self::migrate), with the relay charging `hop_delay`
+    /// per forwarded message (the cost of the extra network traversal).
+    pub fn migrate_with_delay(&mut self, hop_delay: Duration) {
         let (new_tx, new_rx) = unbounded();
         let old_rx = std::mem::replace(&mut self.inbox, new_rx);
-        self.forwarders.push(Forwarder::spawn(old_rx, new_tx));
+        self.forwarders
+            .push(Forwarder::spawn(old_rx, new_tx, hop_delay));
         self.migrations += 1;
     }
 
@@ -113,6 +126,11 @@ impl ForwardingEndpoint {
     /// Receive the next message at the current location.
     pub fn recv(&self) -> Option<Hopped> {
         self.inbox.recv().ok()
+    }
+
+    /// Non-blocking receive at the current location.
+    pub fn try_recv(&self) -> Option<Hopped> {
+        self.inbox.try_recv().ok()
     }
 
     /// Tear down all forwarders (source hosts leave). Messages queued
@@ -163,6 +181,96 @@ pub fn run_forwarding_demo(migrations: u32, msgs: u64, payload: usize) -> Metric
     }
 }
 
+/// Drive the forwarding scheme with an open-loop offered load: a sender
+/// paces `schedule` against a shared epoch while the endpoint drains;
+/// at `migrate_at_ns` the process migrates (leaving a forwarder that
+/// charges `hop_delay` per relayed message) and is frozen for
+/// `transfer` while its state moves. Returns comparable [`Metrics`]
+/// plus phase-sliced service latencies — the hop tax shows up as a
+/// permanent post-migration latency floor, which is the cost §7 holds
+/// against Mach/tmPVM-style forwarding.
+pub fn run_forwarding_load(
+    schedule: &[Offered],
+    migrate_at_ns: u64,
+    transfer: Duration,
+    hop_delay: Duration,
+    state_bytes: u64,
+) -> (Metrics, LoadSamples) {
+    let epoch = Instant::now();
+    let mut ep = ForwardingEndpoint::new();
+    let address = ep.address.clone();
+    let sched: Vec<Offered> = schedule.to_vec();
+    let sender = thread::spawn(move || {
+        for (seq, m) in sched.iter().enumerate() {
+            let now = epoch.elapsed().as_nanos() as u64;
+            if now < m.at_ns {
+                thread::sleep(Duration::from_nanos(m.at_ns - now));
+            }
+            // The sender keeps using the birth address forever: under
+            // forwarding, location updates never propagate.
+            if address
+                .send(Hopped {
+                    seq: seq as u64,
+                    hops: 0,
+                    bytes: m.bytes as usize,
+                })
+                .is_err()
+            {
+                return;
+            }
+        }
+    });
+
+    let mut samples = LoadSamples::default();
+    let mut delivered = 0u64;
+    let mut relayed_hops = 0u64;
+    let mut relayed_msgs = 0u64;
+    let mut migrated = false;
+    let mut win = (migrate_at_ns, u64::MAX);
+    while delivered < schedule.len() as u64 {
+        let now = epoch.elapsed().as_nanos() as u64;
+        if !migrated && now >= migrate_at_ns {
+            ep.migrate_with_delay(hop_delay);
+            // The migrant is down while its state transfers: nothing
+            // drains, traffic piles up behind the forwarder.
+            thread::sleep(transfer);
+            win.1 = epoch.elapsed().as_nanos() as u64;
+            migrated = true;
+        }
+        match ep.try_recv() {
+            Some(m) => {
+                let now = epoch.elapsed().as_nanos() as u64;
+                let lat = now.saturating_sub(schedule[m.seq as usize].at_ns);
+                samples.push_at(now, win.0, win.1, lat);
+                if m.hops > 0 {
+                    relayed_hops += u64::from(m.hops);
+                    relayed_msgs += 1;
+                }
+                delivered += 1;
+            }
+            None => thread::yield_now(),
+        }
+    }
+    sender.join().unwrap();
+    let residual = ep.chain_len() > 0;
+    ep.drop_forwarders();
+    (
+        Metrics {
+            coordination_msgs: 0,
+            processes_disturbed: 1,
+            post_migration_extra_hops: if relayed_msgs > 0 {
+                relayed_hops as f64 / relayed_msgs as f64
+            } else {
+                0.0
+            },
+            blocked_messages: 0,
+            residual_dependency: residual,
+            state_bytes_moved: state_bytes,
+        },
+        samples,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,6 +311,74 @@ mod tests {
             assert_eq!(m.hops, 2);
         }
         assert_eq!(ep.chain_len(), 2);
+    }
+
+    /// Build a uniform `Offered` schedule: `n` messages evenly spaced
+    /// over `span_ns`.
+    fn uniform(n: u64, span_ns: u64) -> Vec<Offered> {
+        (0..n)
+            .map(|i| Offered {
+                at_ns: i * span_ns / n,
+                bytes: 64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn load_run_pays_residual_hops_that_grow_with_post_traffic() {
+        // Migrate a third of the way in: every message offered after
+        // the migration relays through the forwarder, so the mean
+        // relayed hop count is pinned at 1 and the number of taxed
+        // messages grows with the post-migration share of the load.
+        let schedule = uniform(300, 30_000_000);
+        let (m, s) = run_forwarding_load(
+            &schedule,
+            10_000_000,
+            Duration::from_millis(2),
+            Duration::ZERO,
+            4096,
+        );
+        assert_eq!(m.post_migration_extra_hops, 1.0, "one migration = one hop");
+        assert!(m.residual_dependency, "forwarder must stay alive");
+        assert_eq!(m.coordination_msgs, 0, "forwarding migrates silently");
+        assert_eq!(s.total(), 300, "open loop delivers the whole schedule");
+        assert!(!s.pre.is_empty(), "steady state before the migration");
+        assert!(!s.post.is_empty(), "taxed traffic after the migration");
+
+        // An earlier migration leaves more of the load on the taxed
+        // side of the window: the residual cost scales with how much
+        // traffic follows the migration, not with the migration itself.
+        let (_, early) = run_forwarding_load(
+            &schedule,
+            2_000_000,
+            Duration::from_millis(2),
+            Duration::ZERO,
+            4096,
+        );
+        assert!(
+            early.post.len() > s.post.len(),
+            "earlier migration ⇒ more taxed messages: {} vs {}",
+            early.post.len(),
+            s.post.len()
+        );
+    }
+
+    #[test]
+    fn hop_delay_inflates_post_migration_latency() {
+        let schedule = uniform(120, 24_000_000);
+        let (_, s) = run_forwarding_load(
+            &schedule,
+            8_000_000,
+            Duration::from_millis(1),
+            Duration::from_micros(300),
+            0,
+        );
+        let pre = LoadSamples::quantile_us(&s.pre, 0.5).expect("pre samples");
+        let post = LoadSamples::quantile_us(&s.post, 0.5).expect("post samples");
+        assert!(
+            post > pre,
+            "hop tax must lift the post-migration median: pre {pre} post {post}"
+        );
     }
 
     #[test]

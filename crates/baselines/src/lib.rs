@@ -53,6 +53,69 @@ pub struct Metrics {
     pub state_bytes_moved: u64,
 }
 
+/// One scheduled message of an offered-load trace: the open-loop
+/// generator decides *when* traffic should exist independently of how
+/// the system under test copes, so a stall shows up as latency instead
+/// of silently thinning the load (see `snow_bench::workload`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Offered {
+    /// Scheduled emission time, nanoseconds after the run epoch.
+    pub at_ns: u64,
+    /// Payload size, bytes.
+    pub bytes: u32,
+}
+
+/// Service-latency samples (nanoseconds) from one load run, sliced by
+/// migration phase the same way `snow_bench::workload` slices its
+/// histograms, so the §7 strategies are comparable point for point.
+#[derive(Debug, Clone, Default)]
+pub struct LoadSamples {
+    /// Latencies of messages delivered before the migration window.
+    pub pre: Vec<u64>,
+    /// Latencies of messages delivered inside the migration window.
+    pub during: Vec<u64>,
+    /// Latencies of messages delivered after the migration window.
+    pub post: Vec<u64>,
+}
+
+impl LoadSamples {
+    /// Record one sample into the phase bucket for `now_ns`, given the
+    /// migration window `[win_start, win_end]`.
+    pub fn push_at(&mut self, now_ns: u64, win_start: u64, win_end: u64, latency_ns: u64) {
+        if now_ns < win_start {
+            self.pre.push(latency_ns);
+        } else if now_ns <= win_end {
+            self.during.push(latency_ns);
+        } else {
+            self.post.push(latency_ns);
+        }
+    }
+
+    /// Merge another sample set into this one.
+    pub fn merge(&mut self, other: LoadSamples) {
+        self.pre.extend(other.pre);
+        self.during.extend(other.during);
+        self.post.extend(other.post);
+    }
+
+    /// Total samples across all phases.
+    pub fn total(&self) -> usize {
+        self.pre.len() + self.during.len() + self.post.len()
+    }
+
+    /// The `q`-quantile (0..=1) of one phase's samples, microseconds.
+    /// `None` when the phase is empty.
+    pub fn quantile_us(samples: &[u64], q: f64) -> Option<f64> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut v = samples.to_vec();
+        v.sort_unstable();
+        let idx = ((q.clamp(0.0, 1.0) * v.len() as f64).ceil() as usize).clamp(1, v.len()) - 1;
+        Some(v[idx] as f64 / 1_000.0)
+    }
+}
+
 /// Analytic SNOW costs for a migration with `connected_peers` open
 /// connections and `state_bytes` of exe+mem state (per §3: the protocol
 /// coordinates *only* directly connected processes; location updates are

@@ -1,0 +1,202 @@
+//! Log-bucketed latency histogram shared by the bench suites.
+//!
+//! Extracted from `scale.rs` so the open-loop workload generator and
+//! the scale suite bucket latencies identically: bucket `i` holds
+//! samples whose nanosecond value has its highest set bit at position
+//! `i-1` (bucket 0 is exactly zero). Quantiles interpolate linearly
+//! inside a bucket — a few percent of error at worst, far below
+//! run-to-run noise, for O(1) memory at any message count.
+
+/// Log-bucketed latency histogram (see module docs for the bucketing
+/// rule).
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; 65],
+    count: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: [0; 65],
+            count: 0,
+        }
+    }
+
+    /// Record one sample (nanoseconds).
+    pub fn record(&mut self, ns: u64) {
+        let idx = 64 - ns.leading_zeros() as usize;
+        self.buckets[idx] += 1;
+        self.count += 1;
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The `q`-quantile (0..=1) in nanoseconds, interpolated inside the
+    /// winning bucket. Zero when empty.
+    pub fn quantile_ns(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= target {
+                if i == 0 {
+                    return 0.0;
+                }
+                let lo = (1u128 << (i - 1)) as f64;
+                let hi = (1u128 << i) as f64;
+                let frac = (target - seen) as f64 / n as f64;
+                return lo + frac * (hi - lo);
+            }
+            seen += n;
+        }
+        (1u128 << 64) as f64
+    }
+
+    /// The `q`-quantile in microseconds.
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        self.quantile_ns(q) / 1_000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        // A sample of exactly 2^k lands in bucket k+1: its quantile
+        // interpolates inside (2^k, 2^(k+1)], never below the sample's
+        // own power of two.
+        for k in [0u32, 1, 5, 20, 40] {
+            let mut h = LatencyHistogram::new();
+            h.record(1u64 << k);
+            let q = h.quantile_ns(1.0);
+            assert!(
+                q > (1u64 << k) as f64 && q <= (1u128 << (k + 1)) as f64,
+                "2^{k} quantile {q} outside its bucket"
+            );
+        }
+        // 2^k - 1 stays in bucket k (highest set bit k-1).
+        let mut h = LatencyHistogram::new();
+        h.record((1u64 << 10) - 1);
+        assert!(h.quantile_ns(1.0) <= 1024.0);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile_ns(q), 0.0, "empty hist q={q}");
+        }
+    }
+
+    #[test]
+    fn single_sample_all_quantiles_agree() {
+        let mut h = LatencyHistogram::new();
+        h.record(1500);
+        // One sample: every quantile interpolates to the same point at
+        // the top of the sample's bucket (frac = 1/1).
+        let p50 = h.quantile_ns(0.5);
+        let p99 = h.quantile_ns(0.99);
+        let p999 = h.quantile_ns(0.999);
+        assert_eq!(p50, p99);
+        assert_eq!(p99, p999);
+        assert!((1024.0..=2048.0).contains(&p50), "p50 = {p50}");
+        // Zero-latency samples stay representable.
+        let mut z = LatencyHistogram::new();
+        z.record(0);
+        assert_eq!(z.quantile_ns(0.999), 0.0);
+    }
+
+    #[test]
+    fn all_one_bucket_interpolates_linearly() {
+        // 100 samples all in bucket (1024, 2048]: quantile q lands at
+        // lo + ceil(q*100)/100 * (hi - lo), strictly increasing in q.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record(1500);
+        }
+        let p50 = h.quantile_ns(0.50);
+        let p99 = h.quantile_ns(0.99);
+        let p999 = h.quantile_ns(0.999);
+        assert_eq!(p50, 1024.0 + 0.50 * 1024.0);
+        assert_eq!(p99, 1024.0 + 0.99 * 1024.0);
+        assert_eq!(p999, 1024.0 + 1.00 * 1024.0, "ceil(0.999*100) = 100");
+        assert!(p50 < p99 && p99 < p999);
+    }
+
+    #[test]
+    fn p99_p999_separate_in_heavy_tail() {
+        // 1000 fast samples and 5 slow ones: p99 stays fast, p999 must
+        // reach into the slow tail.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..1000 {
+            h.record(1_000);
+        }
+        for _ in 0..5 {
+            h.record(1_000_000);
+        }
+        assert!(h.quantile_ns(0.99) <= 2048.0);
+        assert!(h.quantile_ns(0.999) >= 524_288.0);
+    }
+
+    #[test]
+    fn quantiles_bracket_samples() {
+        let mut h = LatencyHistogram::new();
+        for ns in [
+            100u64, 200, 400, 800, 1600, 3200, 6400, 12_800, 25_600, 1_000_000,
+        ] {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), 10);
+        let p50 = h.quantile_ns(0.50);
+        assert!((64.0..=3200.0).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile_ns(0.99);
+        assert!(p99 >= 524_288.0, "p99 = {p99} must land in the top bucket");
+        assert!(p99 <= 1_048_576.0, "p99 = {p99}");
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for i in 1..100u64 {
+            a.record(i * 1000);
+            b.record(i * 7);
+        }
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.count(), a.count() + b.count());
+        assert!(m.quantile_ns(1.0) >= a.quantile_ns(1.0));
+        // Merging an empty histogram is the identity.
+        let mut id = a.clone();
+        id.merge(&LatencyHistogram::new());
+        assert_eq!(id.count(), a.count());
+        assert_eq!(id.quantile_ns(0.99), a.quantile_ns(0.99));
+    }
+}

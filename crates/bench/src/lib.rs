@@ -13,10 +13,13 @@
 //! | `cargo run -p snow-bench --release --bin ablation` | §7 comparison table (SNOW vs forwarding vs broadcast vs CoCheck) |
 //! | `cargo run -p snow-bench --bin audit -- --dir target/audit-logs` | offline §4-guarantee audit of exported event logs |
 //! | `cargo run -p snow-bench --release --bin scale` | BENCH_scale.json: flood + migration-under-load at 256/1k/5k ranks |
+//! | `cargo run -p snow-bench --release --bin workload` | BENCH_workload.json: open-loop soak with phase-sliced latency + quantified §7 ablation under load |
 //! | `cargo bench -p snow-bench` | overhead (A3), state transfer (A4), migration cost vs peers (A2), baseline costs (A1), post-office path |
 
 pub mod chaos;
+pub mod hist;
 pub mod scale;
+pub mod workload;
 
 use snow_core::{Computation, MigrationTimings};
 use snow_mg::{mg_app_instrumented, MgConfig, MgResult, RawNetwork};

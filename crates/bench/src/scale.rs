@@ -74,82 +74,7 @@ impl TransportKind {
     }
 }
 
-// ---------------------------------------------------------------------
-// latency histogram
-// ---------------------------------------------------------------------
-
-/// Log-bucketed latency histogram: bucket `i` holds samples whose
-/// nanosecond value has its highest set bit at position `i-1` (bucket 0
-/// is exactly zero). Quantiles interpolate linearly inside a bucket —
-/// a few percent of error at worst, which is far below run-to-run
-/// noise, for O(1) memory at any message count.
-#[derive(Clone)]
-pub struct LatencyHistogram {
-    buckets: [u64; 65],
-    count: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        LatencyHistogram {
-            buckets: [0; 65],
-            count: 0,
-        }
-    }
-
-    /// Record one sample (nanoseconds).
-    pub fn record(&mut self, ns: u64) {
-        let idx = 64 - ns.leading_zeros() as usize;
-        self.buckets[idx] += 1;
-        self.count += 1;
-    }
-
-    /// Fold another histogram into this one.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += b;
-        }
-        self.count += other.count;
-    }
-
-    /// Samples recorded.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// The `q`-quantile (0..=1) in nanoseconds, interpolated inside the
-    /// winning bucket. Zero when empty.
-    pub fn quantile_ns(&self, q: f64) -> f64 {
-        if self.count == 0 {
-            return 0.0;
-        }
-        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            if n == 0 {
-                continue;
-            }
-            if seen + n >= target {
-                if i == 0 {
-                    return 0.0;
-                }
-                let lo = (1u128 << (i - 1)) as f64;
-                let hi = (1u128 << i) as f64;
-                let frac = (target - seen) as f64 / n as f64;
-                return lo + frac * (hi - lo);
-            }
-            seen += n;
-        }
-        (1u128 << 64) as f64
-    }
-}
+pub use crate::hist::LatencyHistogram;
 
 // ---------------------------------------------------------------------
 // records
@@ -1175,40 +1100,6 @@ fn step_ring_rank(
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn histogram_quantiles_bracket_samples() {
-        let mut h = LatencyHistogram::new();
-        for ns in [
-            100u64, 200, 400, 800, 1600, 3200, 6400, 12_800, 25_600, 1_000_000,
-        ] {
-            h.record(ns);
-        }
-        assert_eq!(h.count(), 10);
-        let p50 = h.quantile_ns(0.50);
-        assert!((64.0..=3200.0).contains(&p50), "p50 = {p50}");
-        let p99 = h.quantile_ns(0.99);
-        assert!(p99 >= 524_288.0, "p99 = {p99} must land in the top bucket");
-        assert!(p99 <= 1_048_576.0, "p99 = {p99}");
-        // Zero-latency samples stay representable.
-        let mut z = LatencyHistogram::new();
-        z.record(0);
-        assert_eq!(z.quantile_ns(0.99), 0.0);
-    }
-
-    #[test]
-    fn histogram_merge_is_additive() {
-        let mut a = LatencyHistogram::new();
-        let mut b = LatencyHistogram::new();
-        for i in 1..100u64 {
-            a.record(i * 1000);
-            b.record(i * 7);
-        }
-        let mut m = a.clone();
-        m.merge(&b);
-        assert_eq!(m.count(), a.count() + b.count());
-        assert!(m.quantile_ns(1.0) >= a.quantile_ns(1.0));
-    }
 
     #[test]
     fn small_flood_delivers_budget_without_staging() {

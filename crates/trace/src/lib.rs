@@ -35,6 +35,7 @@ pub mod analysis;
 pub mod audit;
 pub mod event;
 pub mod metrics;
+pub mod phase;
 pub mod report;
 pub mod serial;
 pub mod spacetime;
@@ -46,6 +47,7 @@ pub use event::{Event, EventKind, MsgId};
 pub use metrics::{
     DrainMetrics, MetricsRegistry, MigrationMetrics, MigrationVerdict, SchedulerRuling,
 };
+pub use phase::{MigrationPhase, PhaseWindows};
 pub use report::{Breakdown, JsonValue};
 pub use serial::{event_from_json, event_to_json, events_from_jsonl, events_to_jsonl};
 pub use spacetime::{MessageLine, SpaceTime};

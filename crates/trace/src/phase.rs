@@ -1,0 +1,198 @@
+//! Phase-sliced latency attribution: carve a run's timeline into
+//! pre-migration / during-migration / post-migration windows from the
+//! event log, so service-latency samples can be attributed to the
+//! phase production actually cares about (the pause and the forwarding
+//! tail, not just a makespan).
+//!
+//! A migration window opens at [`EventKind::MigrationStart`] and
+//! closes at the matching [`EventKind::MigrationCommit`] (or
+//! [`EventKind::MigrationAborted`]) for the same rank. Overlapping
+//! windows (simultaneous migrations) merge into one `During` span.
+//! Everything before the first window is [`MigrationPhase::Pre`];
+//! everything after a window that is not inside a later one is
+//! [`MigrationPhase::Post`] — in a multi-migration run the quiet time
+//! between two migrations is deliberately `Post`, matching what a live
+//! phase classifier (set before the migrate call, cleared after)
+//! observes.
+
+use crate::event::{Event, EventKind};
+
+/// Which side of the migration window(s) a timestamp falls on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MigrationPhase {
+    /// Before the first migration started.
+    Pre,
+    /// Inside a `MigrationStart → MigrationCommit/Aborted` window.
+    During,
+    /// After a migration window (and not inside another).
+    Post,
+}
+
+impl MigrationPhase {
+    /// Stable lower-case name (`"pre"` / `"during"` / `"post"`), as
+    /// stamped into benchmark records.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MigrationPhase::Pre => "pre",
+            MigrationPhase::During => "during",
+            MigrationPhase::Post => "post",
+        }
+    }
+}
+
+/// The merged migration windows of one traced run.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseWindows {
+    /// Non-overlapping, sorted `[start_ns, end_ns]` spans.
+    windows: Vec<(u64, u64)>,
+}
+
+impl PhaseWindows {
+    /// Extract the migration windows from an event log. A
+    /// `MigrationStart` without a matching terminal event closes at
+    /// the last event's timestamp (the run ended mid-migration).
+    pub fn from_events(events: &[Event]) -> PhaseWindows {
+        let mut open: Vec<(usize, u64)> = Vec::new();
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        let mut last_t = 0u64;
+        for e in events {
+            last_t = last_t.max(e.t_ns);
+            match e.kind {
+                EventKind::MigrationStart { rank } => open.push((rank, e.t_ns)),
+                EventKind::MigrationCommit { rank } | EventKind::MigrationAborted { rank, .. } => {
+                    if let Some(i) = open.iter().position(|(r, _)| *r == rank) {
+                        let (_, start) = open.swap_remove(i);
+                        spans.push((start, e.t_ns.max(start)));
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (_, start) in open {
+            spans.push((start, last_t.max(start)));
+        }
+        Self::from_spans(spans)
+    }
+
+    /// Build windows from raw spans, merging overlaps.
+    pub fn from_spans(mut spans: Vec<(u64, u64)>) -> PhaseWindows {
+        spans.sort_unstable();
+        let mut windows: Vec<(u64, u64)> = Vec::new();
+        for (s, e) in spans {
+            match windows.last_mut() {
+                Some((_, le)) if s <= *le => *le = (*le).max(e),
+                _ => windows.push((s, e)),
+            }
+        }
+        PhaseWindows { windows }
+    }
+
+    /// The merged `[start_ns, end_ns]` spans, sorted.
+    pub fn spans(&self) -> &[(u64, u64)] {
+        &self.windows
+    }
+
+    /// No migration was observed.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Total nanoseconds spent inside migration windows.
+    pub fn during_ns(&self) -> u64 {
+        self.windows.iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// Attribute a timestamp to its phase. With no windows at all,
+    /// everything is `Pre` (no migration ever started).
+    pub fn classify(&self, t_ns: u64) -> MigrationPhase {
+        let Some(&(first_start, _)) = self.windows.first() else {
+            return MigrationPhase::Pre;
+        };
+        if t_ns < first_start {
+            return MigrationPhase::Pre;
+        }
+        for &(s, e) in &self.windows {
+            if t_ns >= s && t_ns <= e {
+                return MigrationPhase::During;
+            }
+        }
+        MigrationPhase::Post
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::MsgId;
+
+    fn ev(t_ns: u64, kind: EventKind) -> Event {
+        Event {
+            t_ns,
+            seq: 0,
+            who: "sched".into(),
+            kind,
+        }
+    }
+
+    #[test]
+    fn windows_pair_start_with_commit_per_rank() {
+        let events = vec![
+            ev(10, EventKind::MigrationStart { rank: 3 }),
+            ev(
+                15,
+                EventKind::Send {
+                    to: 1,
+                    tag: 0,
+                    bytes: 4,
+                    msg: MsgId(1),
+                },
+            ),
+            ev(40, EventKind::MigrationCommit { rank: 3 }),
+        ];
+        let w = PhaseWindows::from_events(&events);
+        assert_eq!(w.spans(), &[(10, 40)]);
+        assert_eq!(w.classify(9), MigrationPhase::Pre);
+        assert_eq!(w.classify(10), MigrationPhase::During);
+        assert_eq!(w.classify(40), MigrationPhase::During);
+        assert_eq!(w.classify(41), MigrationPhase::Post);
+        assert_eq!(w.during_ns(), 30);
+    }
+
+    #[test]
+    fn aborted_and_unterminated_migrations_close_windows() {
+        let events = vec![
+            ev(5, EventKind::MigrationStart { rank: 0 }),
+            ev(
+                9,
+                EventKind::MigrationAborted {
+                    rank: 0,
+                    attempt: 1,
+                },
+            ),
+            ev(20, EventKind::MigrationStart { rank: 1 }),
+            ev(33, EventKind::MigrationCommit { rank: 9 }), // unrelated rank
+        ];
+        let w = PhaseWindows::from_events(&events);
+        // Rank 1 never terminated: its window runs to the log's end.
+        assert_eq!(w.spans(), &[(5, 9), (20, 33)]);
+        assert_eq!(w.classify(12), MigrationPhase::Post, "between windows");
+        assert_eq!(w.classify(25), MigrationPhase::During);
+    }
+
+    #[test]
+    fn overlapping_simultaneous_windows_merge() {
+        let w = PhaseWindows::from_spans(vec![(10, 30), (20, 50), (60, 70)]);
+        assert_eq!(w.spans(), &[(10, 50), (60, 70)]);
+        assert_eq!(w.during_ns(), 50);
+        assert_eq!(w.classify(55), MigrationPhase::Post);
+    }
+
+    #[test]
+    fn no_windows_means_everything_is_pre() {
+        let w = PhaseWindows::from_events(&[]);
+        assert!(w.is_empty());
+        assert_eq!(w.classify(0), MigrationPhase::Pre);
+        assert_eq!(w.classify(u64::MAX), MigrationPhase::Pre);
+        assert_eq!(w.during_ns(), 0);
+    }
+}
